@@ -1,0 +1,86 @@
+// §VII ablation — pattern threshold sensitivity.
+//
+// The paper argues its thresholds (KRP N>=5, SBS volatility >=28%, MBS
+// rounds >=3) are the minima seen in real attacks, and that relaxing them
+// finds more but at a higher false-positive rate. This sweep quantifies
+// that trade-off on the synthetic population.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace leishen;
+
+namespace {
+
+struct sweep_result {
+  int flagged = 0;
+  int tp = 0;
+  int fp = 0;
+};
+
+sweep_result evaluate(const bench::population_run& run,
+                      const core::pattern_params& params) {
+  core::detector det{run.u->bc().creations(), run.u->labels(),
+                     run.u->weth().id(), params};
+  sweep_result out;
+  for (const auto& tx : run.pop.txs) {
+    const auto rep = det.analyze(run.u->bc().receipt(tx.tx_index));
+    if (!rep.is_attack()) continue;
+    ++out.flagged;
+    bool any_tp = false;
+    for (const auto p : {core::attack_pattern::krp, core::attack_pattern::sbs,
+                         core::attack_pattern::mbs}) {
+      if (rep.has_pattern(p) && bench::truth_of(tx, p)) any_tp = true;
+    }
+    any_tp ? ++out.tp : ++out.fp;
+  }
+  return out;
+}
+
+void print_result(const char* label, const sweep_result& r) {
+  std::printf("%-34s %8d %6d %6d %9.1f%%\n", label, r.flagged, r.tp, r.fp,
+              r.flagged ? 100.0 * r.tp / r.flagged : 0.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int benign = bench::arg_benign(argc, argv, 800);
+  bench::print_header(
+      "Ablation — pattern threshold sensitivity (§VII discussion)");
+
+  const auto run = bench::population_run::make(benign);
+
+  std::printf("%-34s %8s %6s %6s %10s\n", "configuration", "flagged", "TP",
+              "FP", "precision");
+  bench::print_rule();
+
+  print_result("paper defaults (5 / 28% / 3)", evaluate(run, {}));
+
+  for (const int n : {3, 4, 6, 8}) {
+    core::pattern_params p;
+    p.krp_min_buys = n;
+    char label[64];
+    std::snprintf(label, sizeof label, "KRP min buys = %d", n);
+    print_result(label, evaluate(run, p));
+  }
+  for (const double v : {5.0, 15.0, 50.0, 100.0}) {
+    core::pattern_params p;
+    p.sbs_min_volatility_pct = v;
+    char label[64];
+    std::snprintf(label, sizeof label, "SBS min volatility = %.0f%%", v);
+    print_result(label, evaluate(run, p));
+  }
+  for (const int n : {2, 4, 5}) {
+    core::pattern_params p;
+    p.mbs_min_rounds = n;
+    char label[64];
+    std::snprintf(label, sizeof label, "MBS min rounds = %d", n);
+    print_result(label, evaluate(run, p));
+  }
+  bench::print_rule();
+  std::printf("expectation: relaxing any threshold raises flagged count and "
+              "lowers precision;\ntightening drops recall (paper: detected "
+              "attacks are a lower bound)\n");
+  return 0;
+}

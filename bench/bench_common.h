@@ -1,0 +1,75 @@
+// Shared bench plumbing: population runs, stat collection, table printing.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/profit.h"
+#include "scenarios/known_attacks.h"
+#include "scenarios/population.h"
+
+namespace leishen::bench {
+
+/// A generated universe + population + per-tx detection reports.
+struct population_run {
+  std::unique_ptr<scenarios::universe> u;
+  scenarios::population pop;
+  std::vector<core::detection_report> reports;  // parallel to pop.txs
+
+  static population_run make(int benign_txs, std::uint64_t seed = 20230614) {
+    population_run run;
+    run.u = std::make_unique<scenarios::universe>();
+    scenarios::population_params params;
+    params.benign_txs = benign_txs;
+    params.seed = seed;
+    run.pop = scenarios::generate_population(*run.u, params);
+    core::detector det{run.u->bc().creations(), run.u->labels(),
+                       run.u->weth().id()};
+    run.reports.reserve(run.pop.txs.size());
+    for (const scenarios::population_tx& tx : run.pop.txs) {
+      run.reports.push_back(det.analyze(run.u->bc().receipt(tx.tx_index)));
+    }
+    return run;
+  }
+};
+
+inline bool truth_of(const scenarios::population_tx& tx,
+                     core::attack_pattern p) {
+  switch (p) {
+    case core::attack_pattern::krp:
+      return tx.truth_krp;
+    case core::attack_pattern::sbs:
+      return tx.truth_sbs;
+    case core::attack_pattern::mbs:
+      return tx.truth_mbs;
+  }
+  return false;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+/// Parse "--benign N" style argument; returns fallback otherwise.
+inline int arg_benign(int argc, char** argv, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string{argv[i]} == "--benign") {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+}  // namespace leishen::bench

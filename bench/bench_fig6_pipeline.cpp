@@ -1,0 +1,81 @@
+// Figure 6 — the bZx-1 transaction lifted stage by stage through the
+// LeiShen pipeline: account-level transfers, tagged transfers, simplified
+// application-level transfers, identified trades, matched pattern.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/simplify.h"
+
+using namespace leishen;
+
+namespace {
+
+std::string asset_name(const scenarios::universe& u, const chain::asset& a) {
+  if (a.is_ether()) return "ETH";
+  if (const auto* t = u.bc().find_as<token::erc20>(a.contract_address())) {
+    return t->symbol();
+  }
+  return a.contract_address().to_short();
+}
+
+std::string amount_str(const u256& amount) {
+  // whole tokens, assuming 18 decimals for display
+  const u256 whole = amount / u256::pow10(18);
+  return whole.to_decimal();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 6 — constructing application-level asset transfers (bZx-1)");
+
+  scenarios::universe u;
+  const auto attack = scenarios::run_known_attack(u, 1);
+  const auto& receipt = u.bc().receipt(attack.tx_index);
+  core::detector det{u.bc().creations(), u.labels(), u.weth().id()};
+  const auto report = det.analyze(receipt);
+
+  std::printf("\n(a) account-level asset transfers (T1..T%zu)\n",
+              report.account_transfers.size());
+  for (std::size_t i = 0; i < report.account_transfers.size(); ++i) {
+    const auto& t = report.account_transfers[i];
+    std::printf("  T%-3zu %s -> %s : %s %s\n", i + 1,
+                t.sender.to_short().c_str(), t.receiver.to_short().c_str(),
+                amount_str(t.amount).c_str(),
+                asset_name(u, t.token).c_str());
+  }
+
+  std::printf("\n(b) tagged asset transfers (account tagging, §V-B1)\n");
+  for (std::size_t i = 0; i < report.tagged_transfers.size(); ++i) {
+    const auto& t = report.tagged_transfers[i];
+    const std::string from = t.from_tag.size() > 14
+                                 ? t.from_tag.substr(0, 6) + ".."
+                                 : t.from_tag;
+    const std::string to =
+        t.to_tag.size() > 14 ? t.to_tag.substr(0, 6) + ".." : t.to_tag;
+    std::printf("  tagT%-3zu %-12s -> %-12s : %s %s\n", i + 1, from.c_str(),
+                to.c_str(), amount_str(t.amount).c_str(),
+                asset_name(u, t.token).c_str());
+  }
+
+  std::printf("\n(c) application-level transfers after simplification "
+              "(§V-B2: intra-app removed, WETH unified, intermediaries "
+              "merged)\n");
+  for (std::size_t i = 0; i < report.app_transfers.size(); ++i) {
+    const auto& t = report.app_transfers[i];
+    const std::string from = t.from_tag.size() > 14
+                                 ? t.from_tag.substr(0, 6) + ".."
+                                 : t.from_tag;
+    const std::string to =
+        t.to_tag.size() > 14 ? t.to_tag.substr(0, 6) + ".." : t.to_tag;
+    std::printf("  appT%-3zu %-12s -> %-12s : %s %s\n", i + 1, from.c_str(),
+                to.c_str(), amount_str(t.amount).c_str(),
+                asset_name(u, t.token).c_str());
+  }
+
+  std::printf("\n(d) identified trades (§V-C) and matched pattern\n");
+  core::print_report(std::cout, report);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// §VI-A — detection latency per flash loan transaction.
+//
+// Paper: 10 ms mean, 16 ms p75 on their corpus (Geth replay included). Our
+// replay is an in-memory projection so absolute numbers are far lower; the
+// claim to check is that per-transaction detection is bounded and scales
+// with transfer count, keeping whole-chain scanning practical.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+using namespace leishen;
+
+namespace {
+
+struct fixture {
+  fixture() : u{} {
+    attacks = scenarios::run_known_attacks(u);
+    scenarios::population_params params;
+    params.benign_txs = 400;
+    pop = scenarios::generate_population(u, params);
+  }
+  scenarios::universe u;
+  std::vector<scenarios::known_attack> attacks;
+  scenarios::population pop;
+};
+
+fixture& fix() {
+  static fixture f;
+  return f;
+}
+
+void bm_detect_benign(benchmark::State& state) {
+  auto& f = fix();
+  core::detector det{f.u.bc().creations(), f.u.labels(), f.u.weth().id()};
+  // first benign tx (smallest transfer count)
+  const scenarios::population_tx* benign = nullptr;
+  for (const auto& tx : f.pop.txs) {
+    if (!tx.truth_attack && tx.victim_app.empty()) {
+      benign = &tx;
+      break;
+    }
+  }
+  const auto& receipt = f.u.bc().receipt(benign->tx_index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.analyze(receipt));
+  }
+}
+BENCHMARK(bm_detect_benign);
+
+void bm_detect_bzx1(benchmark::State& state) {
+  auto& f = fix();
+  core::detector det{f.u.bc().creations(), f.u.labels(), f.u.weth().id()};
+  const auto& receipt = f.u.bc().receipt(f.attacks[0].tx_index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.analyze(receipt));
+  }
+}
+BENCHMARK(bm_detect_bzx1);
+
+void bm_detect_bzx2_krp18(benchmark::State& state) {
+  auto& f = fix();
+  core::detector det{f.u.bc().creations(), f.u.labels(), f.u.weth().id()};
+  const auto& receipt = f.u.bc().receipt(f.attacks[1].tx_index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.analyze(receipt));
+  }
+}
+BENCHMARK(bm_detect_bzx2_krp18);
+
+void bm_detect_harvest_mbs(benchmark::State& state) {
+  auto& f = fix();
+  core::detector det{f.u.bc().creations(), f.u.labels(), f.u.weth().id()};
+  const auto& receipt = f.u.bc().receipt(f.attacks[4].tx_index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.analyze(receipt));
+  }
+}
+BENCHMARK(bm_detect_harvest_mbs);
+
+void bm_flashloan_identification(benchmark::State& state) {
+  auto& f = fix();
+  const auto& receipt = f.u.bc().receipt(f.attacks[0].tx_index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::identify_flash_loan(receipt));
+  }
+}
+BENCHMARK(bm_flashloan_identification);
+
+/// Whole-population scan, reported as time per transaction.
+void bm_population_scan(benchmark::State& state) {
+  auto& f = fix();
+  core::detector det{f.u.bc().creations(), f.u.labels(), f.u.weth().id()};
+  for (auto _ : state) {
+    for (const auto& tx : f.pop.txs) {
+      benchmark::DoNotOptimize(det.analyze(f.u.bc().receipt(tx.tx_index)));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.pop.txs.size()));
+}
+BENCHMARK(bm_population_scan)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

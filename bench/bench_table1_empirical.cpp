@@ -1,0 +1,81 @@
+// Table I — the empirical study: 22 real-world flpAttacks with per-pair
+// price volatility and the attack pattern each conforms to.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace leishen;
+
+namespace {
+
+const char* paper_volatility(int id) {
+  switch (id) {
+    case 1: return "125%";
+    case 2: return "136%";
+    case 3: return "6.5e28%";
+    case 4: return "124%";
+    case 5: return "0.5%";
+    case 6: return "1.5e4%";
+    case 7: return "27.6%";
+    case 8: return "402.3%";
+    case 9: return "1.6e4%";
+    case 10: return "2.8e6%";
+    case 11: return "5.1e3%";
+    case 12: return "288.2%";
+    case 13: return "3.1%";
+    case 14: return "2.5e3%";
+    case 15: return "-";
+    case 16: return "514.8%";
+    case 17: return "7%";
+    case 18: return "1.9e3%";
+    case 19: return "-";
+    case 20: return "4.7e3%";
+    case 21: return "3.8e3%";
+    case 22: return "86.5%";
+    default: return "-";
+  }
+}
+
+std::string pattern_string(const std::vector<core::attack_pattern>& ps) {
+  if (ps.empty()) return "(none)";
+  std::string out;
+  for (const auto p : ps) {
+    if (!out.empty()) out += "+";
+    out += core::to_string(p);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table I — real-world flash loan based attacks (22 reconstructions)");
+
+  scenarios::universe u;
+  const auto attacks = scenarios::run_known_attacks(u);
+  core::detector det{u.bc().creations(), u.labels(), u.weth().id()};
+
+  std::printf("%-3s %-18s %-14s %12s %12s  %-9s %-9s\n", "ID", "attack",
+              "pair", "vol(ours)", "vol(paper)", "truth", "matched");
+  bench::print_rule();
+  for (const auto& a : attacks) {
+    const auto report = det.analyze(u.bc().receipt(a.tx_index));
+    const auto vols = report.volatilities();
+    const double vol = vols.empty() ? 0.0 : vols.front().percent;
+    std::string matched;
+    for (const auto& m : report.matches) {
+      if (!matched.empty()) matched += "+";
+      matched += core::to_string(m.pattern);
+    }
+    if (matched.empty()) matched = "-";
+    std::printf("%-3d %-18s %-14s %11.4g%% %12s  %-9s %-9s\n", a.id,
+                a.name.c_str(), a.pair_label.c_str(), vol,
+                paper_volatility(a.id),
+                pattern_string(a.true_patterns).c_str(), matched.c_str());
+  }
+  bench::print_rule();
+  std::printf("paper: 4 KRP, 8 SBS, 6 MBS (Saddle conforms to both), 5 with "
+              "no clear pattern\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table VI — the most attacked applications: attacks, attackers, attack
+// contracts and attacked assets per victim.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench_common.h"
+
+using namespace leishen;
+
+int main(int argc, char** argv) {
+  const int benign = bench::arg_benign(argc, argv, 1'000);
+  bench::print_header("Table VI — the top attacked applications");
+
+  const auto run = bench::population_run::make(benign);
+
+  struct victim_stats {
+    int attacks = 0;
+    std::set<address> attackers;
+    std::set<address> contracts;
+    std::set<std::string> assets;
+  };
+  std::map<std::string, victim_stats> victims;
+  for (std::size_t i = 0; i < run.pop.txs.size(); ++i) {
+    const auto& tx = run.pop.txs[i];
+    if (!tx.truth_attack) continue;
+    // Count only detected (true-positive) attacks, as the paper does.
+    bool detected_tp = false;
+    for (const auto p : {core::attack_pattern::krp, core::attack_pattern::sbs,
+                         core::attack_pattern::mbs}) {
+      if (run.reports[i].has_pattern(p) && bench::truth_of(tx, p)) {
+        detected_tp = true;
+      }
+    }
+    if (!detected_tp) continue;
+    auto& v = victims[tx.victim_app];
+    ++v.attacks;
+    v.attackers.insert(tx.attacker);
+    v.contracts.insert(tx.contract_addr);
+    v.assets.insert(tx.target_token);
+  }
+
+  std::vector<std::pair<std::string, const victim_stats*>> sorted;
+  for (const auto& [name, v] : victims) sorted.emplace_back(name, &v);
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second->attacks > b.second->attacks;
+  });
+
+  std::printf("%-18s %8s %10s %10s %8s\n", "application", "attacks",
+              "attackers", "contracts", "assets");
+  bench::print_rule();
+  for (std::size_t i = 0; i < sorted.size() && i < 6; ++i) {
+    const auto& [name, v] = sorted[i];
+    std::printf("%-18s %8d %10zu %10zu %8zu\n", name.c_str(), v->attacks,
+                v->attackers.size(), v->contracts.size(), v->assets.size());
+  }
+  bench::print_rule();
+  std::printf("paper top-3: Balancer 31/5/14/13, Uniswap 16/6/8/5, "
+              "Yearn 11/1/1/1\n");
+  std::printf("burst behavior: Balancer attacker launches 25 attacks in ten "
+              "minutes; the Yearn bot 11 attacks in 40 minutes\n");
+  return 0;
+}

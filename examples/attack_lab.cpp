@@ -1,0 +1,132 @@
+// Attack lab: build each of the three attack patterns from scratch against
+// the simulated protocols using the public substrate API — and one benign
+// strategy that fools a naive multi-round check. A hands-on tour of why
+// each pattern condition exists.
+#include <iostream>
+
+#include "core/detector.h"
+#include "defi/lending.h"
+#include "defi/stableswap.h"
+#include "defi/vault.h"
+#include "scenarios/scenario_helpers.h"
+#include "scenarios/universe.h"
+
+using namespace leishen;
+using scenarios::attacker_identity;
+using scenarios::make_attacker;
+using scenarios::run_flash_dydx;
+using scenarios::swap_direct;
+
+namespace {
+
+void show(const scenarios::universe& u, core::detector& det,
+          std::uint64_t tx_index, const char* title) {
+  std::cout << "\n=== " << title << " ===\n";
+  core::print_report(std::cout, det.analyze(u.bc().receipt(tx_index)));
+}
+
+}  // namespace
+
+int main() {
+  scenarios::universe u;
+
+  // A fresh victim DEX with two pools of the same token, and a leveraged
+  // margin desk whose trades an attacker can weaponize.
+  auto& weth_tok = u.weth();
+  auto& gem = u.make_token("GEM", "GemSwap", 20.0);
+  auto& pool1 = u.make_app_pool("GemSwap", weth_tok, units(1'000, 18), gem,
+                                units(1'000'000, 18), false);
+  auto& pool2 = u.make_app_pool("GemSwap", weth_tok, units(10'000, 18), gem,
+                                units(1'000'000, 18), false);
+  const auto desk_dep = u.bc().create_user_account("LevDesk");
+  auto& desk = u.bc().deploy<defi::lending_pool>(desk_dep, "LevDesk",
+                                                 u.oracle(), 75, false);
+  u.airdrop(weth_tok, desk.addr(), units(50'000, 18));
+  u.fund_flashloan_providers(weth_tok, units(100'000, 18));
+
+  // A Harvest-style vault for the MBS play.
+  auto& usd = u.make_token("USDx", "USDx", 1.0);
+  auto& usdy = u.make_token("USDy", "USDy", 1.0);
+  auto& curve = u.make_stable_pool("CurvePool", usd, units(20'000'000, 18),
+                                   usdy, units(20'000'000, 18), 60);
+  auto& vault = u.make_vault("SafeYield", "sUSDx", usd, usdy, curve,
+                             units(40'000'000, 18), units(30'000'000, 18),
+                             false);
+  u.fund_flashloan_providers(usd, units(120'000'000, 18));
+  u.reseed_labels();
+  core::detector det{u.bc().creations(), u.labels(), u.weth().id()};
+
+  // ---- 1. Keep Raising Price: six escalating buys, then the dump --------
+  {
+    const attacker_identity who = make_attacker(u);
+    const auto& rec = run_flash_dydx(
+        u, who, weth_tok, units(5'000, 18), "lab KRP",
+        [&](chain::context& ctx) {
+          u256 bought;
+          for (int i = 1; i <= 6; ++i) {
+            bought += swap_direct(ctx, pool1, weth_tok,
+                                  units(100ULL * static_cast<unsigned>(i), 18),
+                                  who.contract->addr());
+          }
+          swap_direct(ctx, pool2, gem, bought, who.contract->addr());
+        });
+    show(u, det, rec.tx_index, "Keep Raising Price (KRP)");
+  }
+
+  // ---- 2. Symmetrical Buying and Selling: victim-funded pump ------------
+  {
+    const attacker_identity who = make_attacker(u);
+    const auto& rec = run_flash_dydx(
+        u, who, weth_tok, units(25'000, 18), "lab SBS",
+        [&](chain::context& ctx) {
+          const u256 x1 = swap_direct(ctx, pool2, weth_tok,
+                                      units(20'000, 18), who.contract->addr());
+          weth_tok.approve(ctx, desk.addr(), units(3'000, 18));
+          desk.margin_trade(ctx, weth_tok, units(3'000, 18), 10, pool2);
+          swap_direct(ctx, pool2, gem, x1, who.contract->addr());
+        });
+    show(u, det, rec.tx_index, "Symmetrical Buying and Selling (SBS)");
+  }
+
+  // ---- 3. Multi-Round Buying and Selling: vault share mispricing --------
+  {
+    const attacker_identity who = make_attacker(u);
+    const auto& rec = run_flash_dydx(
+        u, who, usd, units(60'000'000, 18), "lab MBS",
+        [&](chain::context& ctx) {
+          for (int round = 0; round < 3; ++round) {
+            usd.approve(ctx, vault.addr(), units(25'000'000, 18));
+            const u256 shares = vault.deposit(ctx, units(25'000'000, 18));
+            usd.approve(ctx, curve.addr(), units(15'000'000, 18));
+            const u256 got = curve.exchange(ctx, 0, 1,
+                                            units(15'000'000, 18),
+                                            who.contract->addr());
+            vault.withdraw(ctx, shares);
+            usdy.approve(ctx, curve.addr(), got);
+            curve.exchange(ctx, 1, 0, got, who.contract->addr());
+          }
+        });
+    show(u, det, rec.tx_index, "Multi-Round Buying and Selling (MBS)");
+  }
+
+  // ---- 4. A benign compounding bot: MBS-shaped but legitimate -----------
+  {
+    const attacker_identity who = make_attacker(u);
+    const auto& rec = run_flash_dydx(
+        u, who, usd, units(10'000'000, 18), "lab benign compounding",
+        [&](chain::context& ctx) {
+          for (int round = 0; round < 3; ++round) {
+            usd.approve(ctx, vault.addr(), units(8'000'000, 18));
+            const u256 shares = vault.deposit(ctx, units(8'000'000, 18));
+            // harvest rewards accrue to the vault while staked
+            usd.mint(ctx, vault.addr(), units(40'000, 18));
+            vault.withdraw(ctx, shares);
+          }
+        });
+    show(u, det, rec.tx_index,
+         "benign compounding bot (the MBS false-positive shape, §VI-C)");
+    std::cout << "\nthe paper's fix: drop MBS hits whose borrower is a "
+                 "labeled yield aggregator\n";
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Chain monitor: stream every block of a synthetic population, identify
+// flash loan transactions online, and print an incident feed for the ones
+// LeiShen flags — the deployment mode the paper envisions.
+//
+//   usage: chain_monitor [--benign N]
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+
+#include "common/sim_time.h"
+#include "core/scanner.h"
+#include "core/profit.h"
+#include "scenarios/population.h"
+
+using namespace leishen;
+
+int main(int argc, char** argv) {
+  int benign = 800;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--benign") == 0) benign = std::atoi(argv[i + 1]);
+  }
+
+  scenarios::universe u;
+  scenarios::population_params params;
+  params.benign_txs = benign;
+  std::cout << "generating chain activity (" << benign
+            << " benign flash loan txs + the attack set)...\n";
+  const auto pop = scenarios::generate_population(u, params);
+
+  // The scanner is the deployment-facing API: streaming detection with the
+  // §VI-C yield-aggregator heuristic applied.
+  core::scanner_options opts;
+  opts.yield_aggregator_apps = pop.aggregator_apps;
+  core::scanner scanner{u.bc().creations(), u.labels(), u.weth().id(), opts};
+
+  double total_loss = 0;
+  std::cout << "\n--- incident feed ---\n";
+  scanner.scan_all(u.bc().receipts(), [&](const core::incident& inc) {
+    const auto report =
+        scanner.underlying_detector().analyze(u.bc().receipt(inc.tx_index));
+    const auto profit = core::summarize_profit(
+        report, [&](const chain::asset& t, const u256& amount) {
+          return u.usd_value(t, amount);
+        });
+    total_loss += profit.net_usd;
+    std::string patterns;
+    for (const auto& m : inc.matches) {
+      if (!patterns.empty()) patterns += "+";
+      patterns += core::to_string(m.pattern);
+    }
+    std::string victim = inc.matches.front().counterparty;
+    if (victim.size() > 16) victim = victim.substr(0, 13) + "...";
+    std::cout << date_label(inc.timestamp) << "  tx#" << std::setw(6)
+              << inc.tx_index << "  " << std::setw(8) << patterns << "  vs "
+              << std::setw(16) << victim << "  est. profit $"
+              << static_cast<long>(profit.net_usd) << "\n";
+  });
+  std::cout << "--- end of feed ---\n\n";
+  const auto& st = scanner.stats();
+  std::cout << "scanned " << st.transactions << " transactions, "
+            << st.flash_loans << " flash loans, " << st.incidents
+            << " flagged as price manipulation attacks ("
+            << st.suppressed_by_heuristic
+            << " aggregator strategies suppressed)\n";
+  std::cout << "estimated attacker profit across incidents: $"
+            << static_cast<long>(total_loss) << "\n";
+  std::cout << "(ground truth: " << [&] {
+    int n = 0;
+    for (const auto& tx : pop.txs) n += tx.truth_attack;
+    return n;
+  }() << " true attacks in the population)\n";
+  return 0;
+}

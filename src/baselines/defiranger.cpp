@@ -1,0 +1,73 @@
+#include "baselines/defiranger.h"
+
+#include "core/flashloan_id.h"
+#include "core/trade_actions.h"
+#include "replay/replayer.h"
+
+namespace leishen::baselines {
+namespace {
+
+/// Account-level "tags": every account is its own party (hex string);
+/// the zero address still reads as the BlackHole so mint/burn trades parse.
+core::app_transfer_list to_account_level(const chain::transfer_list& transfers,
+                                         const chain::asset& weth_token) {
+  core::app_transfer_list out;
+  out.reserve(transfers.size());
+  for (const chain::transfer& t : transfers) {
+    core::app_transfer at{
+        .from_tag = t.sender.is_zero() ? std::string{core::kBlackHoleTag}
+                                       : t.sender.to_hex(),
+        .to_tag = t.receiver.is_zero() ? std::string{core::kBlackHoleTag}
+                                       : t.receiver.to_hex(),
+        .amount = t.amount,
+        .token = t.token};
+    if (!weth_token.is_ether() && at.token == weth_token) {
+      at.token = chain::asset::ether();
+    }
+    out.push_back(at);
+  }
+  return out;
+}
+
+}  // namespace
+
+defiranger_result run_defiranger(const chain::tx_receipt& receipt,
+                                 const chain::asset& weth_token) {
+  defiranger_result out;
+  const core::flashloan_info fl = core::identify_flash_loan(receipt);
+  out.is_flash_loan = fl.is_flash_loan;
+  if (!fl.is_flash_loan) return out;
+
+  const chain::transfer_list transfers = replay::extract_transfers(receipt);
+  const core::app_transfer_list lifted =
+      to_account_level(transfers, weth_token);
+  out.trades = core::identify_trades(lifted);
+
+  // Two-trade price manipulation pattern: the borrower buys some token X
+  // from an account and later sells the *same amount* of X back to the
+  // same account at a better price.
+  const std::string borrower = fl.borrower.to_hex();
+  for (std::size_t i = 0; i < out.trades.size(); ++i) {
+    const core::trade& buy = out.trades[i];
+    if (buy.buyer != borrower) continue;
+    for (std::size_t j = i + 1; j < out.trades.size(); ++j) {
+      const core::trade& sell = out.trades[j];
+      if (sell.buyer != borrower) continue;
+      if (sell.seller != buy.seller) continue;          // same counterparty
+      if (sell.token_sell != buy.token_buy) continue;   // same target token
+      if (sell.token_buy != buy.token_sell) continue;   // same quote token
+      if (sell.amount_sell != buy.amount_buy) continue; // symmetric amount
+      // Profitable: quote received per X on exit exceeds quote paid per X
+      // on entry.
+      const rate entry{buy.amount_sell, buy.amount_buy};
+      const rate exit{sell.amount_buy, sell.amount_sell};
+      if (entry < exit) {
+        out.detected = true;
+        return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace leishen::baselines

@@ -1,0 +1,29 @@
+// DeFiRanger-style baseline detector (Wu et al. [22], as characterized in
+// paper §I and §VI-B).
+//
+// Differences from LeiShen, per the paper:
+//   - operates on *account-level* asset transfers: no application tagging,
+//     no intermediary merging — so trades routed through aggregators or
+//     split across a protocol's accounts are never identified;
+//   - its price-manipulation pattern covers two trades only (a symmetric
+//     buy/sell pair at a better exit price), so batch buying (KRP) and the
+//     28%-volatility refinement are absent.
+// WETH/ETH unification is kept (DeFiRanger lifts that semantic too).
+#pragma once
+
+#include "chain/receipt.h"
+#include "core/app_transfer.h"
+
+namespace leishen::baselines {
+
+struct defiranger_result {
+  bool is_flash_loan = false;
+  bool detected = false;
+  core::trade_list trades;  // account-level trades it identified
+};
+
+/// Run the baseline on a receipt. `weth_token` enables the WETH=ETH lift.
+[[nodiscard]] defiranger_result run_defiranger(
+    const chain::tx_receipt& receipt, const chain::asset& weth_token);
+
+}  // namespace leishen::baselines

@@ -1,0 +1,160 @@
+#include "baselines/explorer_detector.h"
+
+#include "core/flashloan_id.h"
+#include "defi/lending.h"
+#include "defi/stableswap.h"
+#include "defi/uniswap_v2.h"
+#include "defi/vault.h"
+
+namespace leishen::baselines {
+namespace {
+
+using chain::event_log;
+using core::trade;
+using core::trade_kind;
+
+void lift_uniswap_swap(const event_log& log, const chain::blockchain& bc,
+                       const core::account_tagger& tagger,
+                       core::trade_list& out) {
+  const auto* pair = bc.find_as<defi::uniswap_v2_pair>(log.emitter);
+  if (pair == nullptr) return;
+  // Swap(sender, amount0In, amount1In, amount0Out, amount1Out, to)
+  const u256& in0 = log.amount0;
+  const u256& in1 = log.amount1;
+  const u256& out0 = log.amount2;
+  const u256& out1 = log.amount3;
+  const bool in_is_0 = !in0.is_zero();
+  out.push_back(trade{
+      .buyer = tagger.tag_of(log.addr1),
+      .seller = tagger.tag_of(log.emitter),
+      .amount_sell = in_is_0 ? in0 : in1,
+      .token_sell = (in_is_0 ? pair->token0() : pair->token1()).id(),
+      .amount_buy = in_is_0 ? out1 : out0,
+      .token_buy = (in_is_0 ? pair->token1() : pair->token0()).id(),
+      .kind = trade_kind::swap});
+}
+
+void lift_token_exchange(const event_log& log, const chain::blockchain& bc,
+                         const core::account_tagger& tagger,
+                         core::trade_list& out) {
+  const auto* pool = bc.find_as<defi::stableswap_pool>(log.emitter);
+  if (pool == nullptr) return;
+  // TokenExchange(buyer, to, tokens_sold, tokens_bought, sold_id, bought_id)
+  const std::size_t i = log.amount2.to_u64();
+  const std::size_t j = log.amount3.to_u64();
+  if (i > 1 || j > 1) return;
+  out.push_back(trade{.buyer = tagger.tag_of(log.addr0),
+                      .seller = tagger.tag_of(log.emitter),
+                      .amount_sell = log.amount0,
+                      .token_sell = pool->coin(i).id(),
+                      .amount_buy = log.amount1,
+                      .token_buy = pool->coin(j).id(),
+                      .kind = trade_kind::swap});
+}
+
+void lift_log_swap(const event_log& log, const core::account_tagger& tagger,
+                   core::trade_list& out) {
+  // LOG_SWAP(caller, tokenIn, tokenOut, amountIn, amountOut)
+  out.push_back(trade{.buyer = tagger.tag_of(log.addr0),
+                      .seller = tagger.tag_of(log.emitter),
+                      .amount_sell = log.amount0,
+                      .token_sell = chain::asset::token(log.addr1),
+                      .amount_buy = log.amount1,
+                      .token_buy = chain::asset::token(log.addr2),
+                      .kind = trade_kind::swap});
+}
+
+void lift_trade_executed(const event_log& log,
+                         const core::account_tagger& tagger,
+                         core::trade_list& out) {
+  // TradeExecuted(user, tokenIn, tokenOut, amountIn, amountOut)
+  out.push_back(trade{.buyer = tagger.tag_of(log.addr0),
+                      .seller = tagger.tag_of(log.emitter),
+                      .amount_sell = log.amount0,
+                      .token_sell = chain::asset::token(log.addr1),
+                      .amount_buy = log.amount1,
+                      .token_buy = chain::asset::token(log.addr2),
+                      .kind = trade_kind::swap});
+}
+
+void lift_vault_event(const event_log& log, const chain::blockchain& bc,
+                      const core::account_tagger& tagger, bool is_deposit,
+                      core::trade_list& out) {
+  const auto* v = bc.find_as<defi::vault>(log.emitter);
+  if (v == nullptr) return;
+  // Deposit(user, amountUnderlying, shares) / Withdraw(user, amount, shares)
+  if (is_deposit) {
+    out.push_back(trade{.buyer = tagger.tag_of(log.addr0),
+                        .seller = tagger.tag_of(log.emitter),
+                        .amount_sell = log.amount0,
+                        .token_sell = v->underlying().id(),
+                        .amount_buy = log.amount1,
+                        .token_buy = v->id(),
+                        .kind = trade_kind::mint_liquidity});
+  } else {
+    out.push_back(trade{.buyer = tagger.tag_of(log.addr0),
+                        .seller = tagger.tag_of(log.emitter),
+                        .amount_sell = log.amount1,
+                        .token_sell = v->id(),
+                        .amount_buy = log.amount0,
+                        .token_buy = v->underlying().id(),
+                        .kind = trade_kind::remove_liquidity});
+  }
+}
+
+void lift_borrow(const event_log& log, const core::account_tagger& tagger,
+                 core::trade_list& out) {
+  // Borrow(borrower, collateralToken, debtToken, collateralAmt, debtAmt)
+  out.push_back(trade{.buyer = tagger.tag_of(log.addr0),
+                      .seller = tagger.tag_of(log.emitter),
+                      .amount_sell = log.amount0,
+                      .token_sell = chain::asset::token(log.addr1),
+                      .amount_buy = log.amount1,
+                      .token_buy = chain::asset::token(log.addr2),
+                      .kind = trade_kind::swap});
+}
+
+}  // namespace
+
+core::trade_list extract_event_trades(const chain::tx_receipt& receipt,
+                                      const chain::blockchain& bc,
+                                      const core::account_tagger& tagger) {
+  core::trade_list out;
+  for (const chain::trace_event& ev : receipt.events) {
+    const auto* log = std::get_if<event_log>(&ev);
+    if (log == nullptr) continue;
+    if (log->name == "Swap") {
+      lift_uniswap_swap(*log, bc, tagger, out);
+    } else if (log->name == "TokenExchange") {
+      lift_token_exchange(*log, bc, tagger, out);
+    } else if (log->name == "LOG_SWAP") {
+      lift_log_swap(*log, tagger, out);
+    } else if (log->name == "TradeExecuted") {
+      lift_trade_executed(*log, tagger, out);
+    } else if (log->name == "Deposit") {
+      lift_vault_event(*log, bc, tagger, true, out);
+    } else if (log->name == "Withdraw") {
+      lift_vault_event(*log, bc, tagger, false, out);
+    } else if (log->name == "Borrow") {
+      lift_borrow(*log, tagger, out);
+    }
+  }
+  return out;
+}
+
+explorer_result run_explorer_leishen(const chain::tx_receipt& receipt,
+                                     const chain::blockchain& bc,
+                                     const core::account_tagger& tagger,
+                                     const core::pattern_params& params) {
+  explorer_result out;
+  const core::flashloan_info fl = core::identify_flash_loan(receipt);
+  out.is_flash_loan = fl.is_flash_loan;
+  if (!fl.is_flash_loan) return out;
+  out.trades = extract_event_trades(receipt, bc, tagger);
+  out.matches = core::match_patterns(out.trades,
+                                     tagger.tag_of(fl.borrower), params);
+  out.detected = !out.matches.empty();
+  return out;
+}
+
+}  // namespace leishen::baselines

@@ -1,0 +1,37 @@
+// Explorer+LeiShen baseline (paper §VI-B, Table IV column 4).
+//
+// Etherscan/BscScan expose "transaction actions" decoded from well-known
+// event signatures. This baseline rebuilds the trade list purely from such
+// events (Uniswap Swap, Balancer LOG_SWAP, Curve TokenExchange, aggregator
+// TradeExecuted, vault Deposit/Withdraw, bZx Borrow) and then applies
+// LeiShen's pattern matching. Protocols that do not implement trade events
+// are invisible to it — the paper's explanation for its low recall.
+#pragma once
+
+#include "chain/blockchain.h"
+#include "core/account_tagging.h"
+#include "core/patterns.h"
+
+namespace leishen::baselines {
+
+struct explorer_result {
+  bool is_flash_loan = false;
+  bool detected = false;
+  core::trade_list trades;
+  std::vector<core::pattern_match> matches;
+};
+
+/// Extract event-decoded trades. Needs the chain to resolve emitting
+/// contracts' token metadata (as Etherscan's decoders do) and a tagger for
+/// counterparty naming.
+[[nodiscard]] core::trade_list extract_event_trades(
+    const chain::tx_receipt& receipt, const chain::blockchain& bc,
+    const core::account_tagger& tagger);
+
+/// Full baseline: event trades + LeiShen pattern matching.
+[[nodiscard]] explorer_result run_explorer_leishen(
+    const chain::tx_receipt& receipt, const chain::blockchain& bc,
+    const core::account_tagger& tagger,
+    const core::pattern_params& params = {});
+
+}  // namespace leishen::baselines

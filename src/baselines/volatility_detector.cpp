@@ -1,0 +1,19 @@
+#include "baselines/volatility_detector.h"
+
+namespace leishen::baselines {
+
+volatility_result run_volatility_detector(
+    const core::detection_report& report, double threshold_pct) {
+  volatility_result out;
+  out.is_flash_loan = report.is_flash_loan;
+  if (!report.is_flash_loan) return out;
+  for (const core::pair_volatility& v : report.volatilities()) {
+    if (v.percent > out.max_volatility_pct) {
+      out.max_volatility_pct = v.percent;
+    }
+  }
+  out.detected = out.max_volatility_pct >= threshold_pct;
+  return out;
+}
+
+}  // namespace leishen::baselines

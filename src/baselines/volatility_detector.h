@@ -1,0 +1,26 @@
+// Price-volatility baseline (Xue et al. [23], paper §I and §VIII).
+//
+// Monitors the price movement a transaction causes and flags it when the
+// volatility of any traded pair exceeds a fixed threshold (99% in the
+// original work). The paper's critique: flpAttacks with slight price
+// movements (e.g. Harvest's 0.5%) slip under any such threshold, while
+// ordinary large trades can trip it — no pattern reasoning at all.
+#pragma once
+
+#include "core/detector.h"
+
+namespace leishen::baselines {
+
+struct volatility_result {
+  bool is_flash_loan = false;
+  bool detected = false;
+  double max_volatility_pct = 0.0;
+};
+
+/// Flags flash loan transactions whose maximum per-pair volatility exceeds
+/// `threshold_pct`. Uses LeiShen's transfer/trade lifting only to observe
+/// rates (the original queried prices on two platforms directly).
+[[nodiscard]] volatility_result run_volatility_detector(
+    const core::detection_report& report, double threshold_pct = 99.0);
+
+}  // namespace leishen::baselines

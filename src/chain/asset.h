@@ -1,0 +1,49 @@
+// Crypto-asset identity.
+#pragma once
+
+#include <compare>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "common/address.h"
+
+namespace leishen::chain {
+
+/// Identifies a crypto asset: either native Ether or an ERC20 token
+/// identified by its contract address (paper §II-A).
+class asset {
+ public:
+  constexpr asset() noexcept : contract_{} {}  // default: native ETH
+
+  static constexpr asset ether() noexcept { return asset{}; }
+  static constexpr asset token(address contract_addr) noexcept {
+    asset a;
+    a.contract_ = contract_addr;
+    return a;
+  }
+
+  [[nodiscard]] constexpr bool is_ether() const noexcept {
+    return contract_.is_zero();
+  }
+  [[nodiscard]] constexpr const address& contract_address() const noexcept {
+    return contract_;
+  }
+
+  friend constexpr bool operator==(const asset&, const asset&) noexcept =
+      default;
+  friend constexpr std::strong_ordering operator<=>(const asset&,
+                                                    const asset&) noexcept =
+      default;
+
+ private:
+  address contract_;
+};
+
+struct asset_hash {
+  std::size_t operator()(const asset& a) const noexcept {
+    return address_hash{}(a.contract_address());
+  }
+};
+
+}  // namespace leishen::chain

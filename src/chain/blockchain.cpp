@@ -1,0 +1,84 @@
+#include "chain/blockchain.h"
+
+#include <utility>
+
+namespace leishen::chain {
+
+blockchain::blockchain(std::uint64_t start_block) : block_{start_block} {}
+
+address blockchain::next_address() {
+  return address::from_seed(0xc0ffee00ULL + address_counter_++);
+}
+
+address blockchain::create_user_account(std::string app_name) {
+  const address a = next_address();
+  state_.account(a).kind = account_kind::user;
+  if (!app_name.empty()) eoa_apps_[a] = std::move(app_name);
+  return a;
+}
+
+void blockchain::fund_eth(const address& a, const u256& amount) {
+  account_record& rec = state_.account(a);
+  rec.eth_balance += amount;
+  state_.commit();
+}
+
+void blockchain::register_contract(const address& deployer,
+                                   std::unique_ptr<contract> c) {
+  const address self = c->addr();
+  state_.account(self).kind = account_kind::contract;
+  creations_.record(deployer, self);
+  contract_index_.push_back(c.get());
+  contracts_.emplace(self, std::move(c));
+}
+
+contract* blockchain::find(const address& a) const {
+  const auto it = contracts_.find(a);
+  return it == contracts_.end() ? nullptr : it->second.get();
+}
+
+std::string blockchain::app_of(const address& a) const {
+  if (const contract* c = find(a)) return c->app_name();
+  const auto it = eoa_apps_.find(a);
+  return it == eoa_apps_.end() ? std::string{} : it->second;
+}
+
+void blockchain::advance_to_time(std::int64_t unix_seconds) {
+  const std::uint64_t target = block_at_time(unix_seconds);
+  if (target > block_) block_ = target;
+}
+
+const tx_receipt& blockchain::execute(
+    const address& from, std::string description,
+    const std::function<void(context&)>& body) {
+  context ctx{*this, state_, from, block_, timestamp()};
+  const context::checkpoint cp = ctx.save();
+  tx_receipt rec;
+  rec.tx_index = receipts_.size();
+  rec.from = from;
+  rec.description = std::move(description);
+  rec.block_number = block_;
+  rec.timestamp = timestamp();
+  try {
+    body(ctx);
+    rec.success = true;
+    state_.commit();
+    rec.events = ctx.events();
+  } catch (const revert_error& e) {
+    rec.success = false;
+    rec.revert_reason = e.what();
+    rec.events = ctx.events();  // keep the partial trace for debugging
+    ctx.rollback(cp);
+  }
+  // Record the first contract invoked, if any.
+  for (const trace_event& ev : rec.events) {
+    if (const auto* call = std::get_if<call_record>(&ev)) {
+      rec.to = call->callee;
+      break;
+    }
+  }
+  receipts_.push_back(std::move(rec));
+  return receipts_.back();
+}
+
+}  // namespace leishen::chain

@@ -1,0 +1,117 @@
+// The simulated Ethereum blockchain.
+//
+// Owns the world state, the deployed contract objects, creation
+// relationships, blocks and transaction receipts. Transactions execute
+// atomically: a revert anywhere in the call tree undoes all state changes,
+// which is exactly the property that makes flash loans safe for lenders
+// (paper §I).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/context.h"
+#include "chain/contract.h"
+#include "chain/creation_registry.h"
+#include "chain/receipt.h"
+#include "chain/world_state.h"
+#include "common/sim_time.h"
+
+namespace leishen::chain {
+
+class blockchain {
+ public:
+  /// Starts at the given block number; timestamps follow block_timestamp().
+  explicit blockchain(std::uint64_t start_block = 9'000'000);
+
+  blockchain(const blockchain&) = delete;
+  blockchain& operator=(const blockchain&) = delete;
+
+  // -- state ------------------------------------------------------------------
+  [[nodiscard]] world_state& state() noexcept { return state_; }
+  [[nodiscard]] const world_state& state() const noexcept { return state_; }
+
+  // -- accounts & deployment ---------------------------------------------------
+  /// Create a fresh externally-owned account, optionally bound to an
+  /// application name (ground truth for the label database).
+  address create_user_account(std::string app_name = "");
+
+  /// Credit Ether out of thin air (test/scenario setup only).
+  void fund_eth(const address& a, const u256& amount);
+
+  /// Deploy a contract of type T. T's constructor must accept
+  /// (blockchain&, address self, Args...). Records the creation edge
+  /// deployer -> contract.
+  template <typename T, typename... Args>
+  T& deploy(const address& deployer, Args&&... args) {
+    const address self = next_address();
+    auto owned = std::make_unique<T>(*this, self, std::forward<Args>(args)...);
+    T& ref = *owned;
+    register_contract(deployer, std::move(owned));
+    return ref;
+  }
+
+  [[nodiscard]] contract* find(const address& a) const;
+  template <typename T>
+  [[nodiscard]] T* find_as(const address& a) const {
+    return dynamic_cast<T*>(find(a));
+  }
+
+  /// Ground-truth application of an account ("" when unknown/none): contract
+  /// app names plus EOA app bindings. The Etherscan label DB is seeded from
+  /// a *subset* of this.
+  [[nodiscard]] std::string app_of(const address& a) const;
+
+  [[nodiscard]] const creation_registry& creations() const noexcept {
+    return creations_;
+  }
+  [[nodiscard]] const std::vector<const contract*>& contracts()
+      const noexcept {
+    return contract_index_;
+  }
+
+  // -- blocks -------------------------------------------------------------------
+  [[nodiscard]] std::uint64_t block_number() const noexcept { return block_; }
+  [[nodiscard]] std::int64_t timestamp() const noexcept {
+    return block_timestamp(block_);
+  }
+  void advance_blocks(std::uint64_t n) { block_ += n; }
+  /// Jump forward so that the chain time is at least `unix_seconds`.
+  void advance_to_time(std::int64_t unix_seconds);
+
+  // -- transactions ----------------------------------------------------------------
+  /// Execute `body` as a transaction from `from`. On revert_error the state
+  /// is rolled back and the receipt is marked failed (with the partial trace
+  /// retained for debugging). Other exceptions propagate: they indicate
+  /// simulator bugs, not contract-level reverts.
+  const tx_receipt& execute(const address& from, std::string description,
+                            const std::function<void(context&)>& body);
+
+  [[nodiscard]] const std::vector<tx_receipt>& receipts() const noexcept {
+    return receipts_;
+  }
+  [[nodiscard]] const tx_receipt& receipt(std::uint64_t tx_index) const {
+    return receipts_.at(tx_index);
+  }
+
+ private:
+  address next_address();
+  void register_contract(const address& deployer,
+                         std::unique_ptr<contract> c);
+
+  world_state state_;
+  creation_registry creations_;
+  std::unordered_map<address, std::unique_ptr<contract>, address_hash>
+      contracts_;
+  std::vector<const contract*> contract_index_;  // deployment order
+  std::unordered_map<address, std::string, address_hash> eoa_apps_;
+  std::vector<tx_receipt> receipts_;
+  std::uint64_t block_;
+  std::uint64_t address_counter_ = 1;
+};
+
+}  // namespace leishen::chain

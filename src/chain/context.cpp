@@ -1,0 +1,65 @@
+#include "chain/context.h"
+
+#include <utility>
+
+namespace leishen::chain {
+
+context::context(blockchain& bc, world_state& state, address origin,
+                 std::uint64_t block_number, std::int64_t timestamp)
+    : bc_{bc},
+      state_{state},
+      origin_{origin},
+      block_{block_number},
+      timestamp_{timestamp} {}
+
+address context::sender() const noexcept {
+  if (frames_.empty()) return origin_;
+  return frames_.back().caller;
+}
+
+address context::self() const noexcept {
+  if (frames_.empty()) return origin_;
+  return frames_.back().callee;
+}
+
+void context::transfer_eth(const address& from, const address& to,
+                           const u256& amount) {
+  if (amount.is_zero()) return;
+  const u256 bal = state_.eth_balance(from);
+  require(bal >= amount, "insufficient ETH balance");
+  state_.set_eth_balance(from, bal - amount);
+  state_.set_eth_balance(to, state_.eth_balance(to) + amount);
+  trace_.push_back(internal_tx{from, to, amount});
+}
+
+void context::emit_log(event_log log) { trace_.push_back(std::move(log)); }
+
+void context::emit_transfer(const address& token, const address& from,
+                            const address& to, const u256& amount) {
+  trace_.push_back(event_log{.emitter = token,
+                             .name = kTransferEvent,
+                             .addr0 = from,
+                             .addr1 = to,
+                             .amount0 = amount});
+}
+
+void context::rollback(const checkpoint& cp) {
+  state_.revert_to(cp.state);
+  trace_.resize(cp.trace_size);
+}
+
+context::call_guard::call_guard(context& ctx, const address& callee,
+                                std::string method)
+    : ctx_{ctx} {
+  const address caller = ctx.frames_.empty() ? ctx.origin_
+                                             : ctx.frames_.back().callee;
+  ctx.frames_.push_back(frame{caller, callee});
+  ctx.trace_.push_back(call_record{.caller = caller,
+                                   .callee = callee,
+                                   .method = std::move(method),
+                                   .depth = ctx.depth()});
+}
+
+context::call_guard::~call_guard() { ctx_.frames_.pop_back(); }
+
+}  // namespace leishen::chain

@@ -1,0 +1,111 @@
+// Transaction execution context.
+//
+// Carries the per-transaction call stack, the ordered trace (calls, internal
+// transactions, event logs — the happened-before record of paper §V-A) and
+// journaled access to world state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chain/contract.h"
+#include "chain/trace.h"
+#include "chain/world_state.h"
+
+namespace leishen::chain {
+
+class blockchain;
+
+class context {
+ public:
+  context(blockchain& bc, world_state& state, address origin,
+          std::uint64_t block_number, std::int64_t timestamp);
+
+  context(const context&) = delete;
+  context& operator=(const context&) = delete;
+
+  // -- environment ----------------------------------------------------------
+  [[nodiscard]] blockchain& chain() noexcept { return bc_; }
+  [[nodiscard]] const address& origin() const noexcept { return origin_; }
+  [[nodiscard]] std::uint64_t block_number() const noexcept { return block_; }
+  [[nodiscard]] std::int64_t timestamp() const noexcept { return timestamp_; }
+
+  /// msg.sender of the currently-executing contract method: the callee of
+  /// the frame below the top (the transaction origin at depth 0).
+  [[nodiscard]] address sender() const noexcept;
+  /// The currently-executing contract.
+  [[nodiscard]] address self() const noexcept;
+  [[nodiscard]] int depth() const noexcept {
+    return static_cast<int>(frames_.size());
+  }
+
+  // -- state access ---------------------------------------------------------
+  [[nodiscard]] u256 load(const address& contract_addr,
+                          const u256& slot) const {
+    return state_.load(contract_addr, slot);
+  }
+  void store(const address& contract_addr, const u256& slot,
+             const u256& value) {
+    state_.store(contract_addr, slot, value);
+  }
+  [[nodiscard]] world_state& state() noexcept { return state_; }
+
+  /// Move Ether; records an internal transaction in the trace. Throws
+  /// revert_error on insufficient balance.
+  void transfer_eth(const address& from, const address& to,
+                    const u256& amount);
+
+  /// Append an event log to the trace.
+  void emit_log(event_log log);
+
+  /// Emit the canonical ERC20 Transfer event.
+  void emit_transfer(const address& token, const address& from,
+                     const address& to, const u256& amount);
+
+  /// Abort the transaction unless `cond` holds.
+  static void require(bool cond, const char* what) {
+    if (!cond) throw revert_error(what);
+  }
+
+  [[nodiscard]] const trace& events() const noexcept { return trace_; }
+
+  // -- revert support (used by blockchain::execute) --------------------------
+  struct checkpoint {
+    world_state::snapshot state;
+    std::size_t trace_size;
+  };
+  [[nodiscard]] checkpoint save() const noexcept {
+    return {state_.take_snapshot(), trace_.size()};
+  }
+  void rollback(const checkpoint& cp);
+
+  /// RAII frame for a contract method invocation. Construct as the first
+  /// statement of every public contract method.
+  class call_guard {
+   public:
+    call_guard(context& ctx, const address& callee, std::string method);
+    call_guard(const call_guard&) = delete;
+    call_guard& operator=(const call_guard&) = delete;
+    ~call_guard();
+
+   private:
+    context& ctx_;
+  };
+
+ private:
+  struct frame {
+    address caller;
+    address callee;
+  };
+
+  blockchain& bc_;
+  world_state& state_;
+  address origin_;
+  std::uint64_t block_;
+  std::int64_t timestamp_;
+  std::vector<frame> frames_;
+  trace trace_;
+};
+
+}  // namespace leishen::chain

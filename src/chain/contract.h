@@ -1,0 +1,50 @@
+// Base class for simulated smart contracts.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/address.h"
+
+namespace leishen::chain {
+
+/// Thrown by contract code to abort the enclosing transaction. Mirrors the
+/// EVM REVERT opcode: the transaction's state changes are undone atomically.
+class revert_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A deployed contract. Instances are owned by the blockchain; all mutable
+/// state lives in the journaled world_state (keyed by this contract's
+/// address), so contract objects themselves stay immutable after
+/// construction and revert semantics are uniform.
+class contract {
+ public:
+  contract(address self, std::string app_name, std::string kind)
+      : self_{self}, app_name_{std::move(app_name)}, kind_{std::move(kind)} {}
+
+  contract(const contract&) = delete;
+  contract& operator=(const contract&) = delete;
+  virtual ~contract() = default;
+
+  [[nodiscard]] const address& addr() const noexcept { return self_; }
+
+  /// Ground-truth application this contract belongs to ("Uniswap", "bZx",
+  /// ...). The Etherscan label database exposes only a configurable subset
+  /// of these; LeiShen's tagging must recover the rest.
+  [[nodiscard]] const std::string& app_name() const noexcept {
+    return app_name_;
+  }
+
+  /// Human-readable contract kind, e.g. "UniswapV2Pair".
+  [[nodiscard]] const std::string& kind() const noexcept { return kind_; }
+
+ private:
+  address self_;
+  std::string app_name_;
+  std::string kind_;
+};
+
+}  // namespace leishen::chain

@@ -1,0 +1,50 @@
+#include "chain/creation_registry.h"
+
+#include <stdexcept>
+
+namespace leishen::chain {
+
+void creation_registry::record(const address& creator,
+                               const address& created) {
+  const auto [it, inserted] = parent_.emplace(created, creator);
+  if (!inserted) {
+    throw std::logic_error("creation_registry: account already has a creator");
+  }
+  children_[creator].push_back(created);
+}
+
+std::optional<address> creation_registry::creator_of(const address& a) const {
+  const auto it = parent_.find(a);
+  if (it == parent_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<address>& creation_registry::children_of(
+    const address& a) const {
+  static const std::vector<address> kEmpty;
+  const auto it = children_.find(a);
+  return it == children_.end() ? kEmpty : it->second;
+}
+
+address creation_registry::root_of(const address& a) const {
+  address cur = a;
+  for (;;) {
+    const auto it = parent_.find(cur);
+    if (it == parent_.end()) return cur;
+    cur = it->second;
+  }
+}
+
+std::vector<address> creation_registry::tree_of(const address& a) const {
+  std::vector<address> out;
+  std::vector<address> stack{root_of(a)};
+  while (!stack.empty()) {
+    const address cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    for (const address& c : children_of(cur)) stack.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace leishen::chain

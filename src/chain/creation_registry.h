@@ -1,0 +1,42 @@
+// Account creation relationships.
+//
+// The paper's account-tagging approach (§V-B1) rests on contract creation
+// edges (the XBlock-ETH dataset on mainnet). The simulator records every
+// deployment here: EOA -> contract and contract -> contract edges form the
+// forests that tagging walks.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/address.h"
+
+namespace leishen::chain {
+
+class creation_registry {
+ public:
+  /// Record that `creator` deployed `created`. Each account has at most one
+  /// creator; re-recording is an error.
+  void record(const address& creator, const address& created);
+
+  [[nodiscard]] std::optional<address> creator_of(const address& a) const;
+  [[nodiscard]] const std::vector<address>& children_of(
+      const address& a) const;
+
+  /// Walk up to the root of `a`'s creation tree (an EOA on mainnet).
+  [[nodiscard]] address root_of(const address& a) const;
+
+  /// Every account in the same creation tree as `a` (including `a`).
+  [[nodiscard]] std::vector<address> tree_of(const address& a) const;
+
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return parent_.size();
+  }
+
+ private:
+  std::unordered_map<address, address, address_hash> parent_;
+  std::unordered_map<address, std::vector<address>, address_hash> children_;
+};
+
+}  // namespace leishen::chain

@@ -1,0 +1,23 @@
+// Transaction receipts: everything LeiShen consumes per transaction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chain/trace.h"
+
+namespace leishen::chain {
+
+struct tx_receipt {
+  std::uint64_t tx_index = 0;  // stands in for the transaction hash
+  address from;                // transaction origin (EOA)
+  address to;                  // first contract invoked (attack contract etc.)
+  std::string description;     // human label for reports
+  std::uint64_t block_number = 0;
+  std::int64_t timestamp = 0;
+  bool success = false;
+  std::string revert_reason;
+  trace events;  // ordered calls + internal txs + event logs
+};
+
+}  // namespace leishen::chain

@@ -1,0 +1,73 @@
+// Execution trace events.
+//
+// The paper's key infrastructure fix (§V-A) is a modified Geth that records
+// the happened-before relationship between internal transactions (Ether
+// transfers) and ERC20 Transfer event logs. Our execution context natively
+// appends every call, internal transaction and event log to one ordered
+// vector, so that ordering is exact by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "chain/asset.h"
+#include "common/address.h"
+#include "common/u256.h"
+
+namespace leishen::chain {
+
+/// A contract (or EOA->contract) call, recorded when a contract method is
+/// entered. Used by flash loan identification (paper Table II).
+struct call_record {
+  address caller;
+  address callee;
+  std::string method;  // e.g. "swap", "uniswapV2Call", "flashLoan"
+  int depth = 0;
+};
+
+/// An Ether value transfer carried by an internal transaction.
+struct internal_tx {
+  address from;
+  address to;
+  u256 amount;
+};
+
+/// A contract event log. ERC20 transfers use name == "Transfer" with
+/// addr0 = from, addr1 = to, amount0 = value. DeFi protocols emit their own
+/// events (e.g. "FlashLoan", "LogOperate", "Swap", "TradeExecuted"); the
+/// explorer baseline consumes those. Up to three indexed addresses and four
+/// data words cover every mainnet event we model.
+struct event_log {
+  address emitter;
+  std::string name;
+  address addr0;
+  address addr1;
+  address addr2;
+  u256 amount0;
+  u256 amount1;
+  u256 amount2;
+  u256 amount3;
+};
+
+/// Name of the ERC20 transfer event.
+inline constexpr const char* kTransferEvent = "Transfer";
+
+using trace_event = std::variant<call_record, internal_tx, event_log>;
+
+/// An account-level asset transfer (paper Fig. 6): the unit the whole
+/// LeiShen pipeline operates on.
+struct transfer {
+  address sender;
+  address receiver;
+  u256 amount;
+  asset token;
+
+  friend bool operator==(const transfer&, const transfer&) = default;
+};
+
+using trace = std::vector<trace_event>;
+using transfer_list = std::vector<transfer>;
+
+}  // namespace leishen::chain

@@ -1,0 +1,137 @@
+#include "chain/world_state.h"
+
+namespace leishen::chain {
+namespace {
+
+u256 fold_address(const address& a) noexcept {
+  // Pack the 20 address bytes into the low 160 bits of a u256.
+  std::uint64_t w0 = 0;
+  std::uint64_t w1 = 0;
+  std::uint64_t w2 = 0;
+  const auto& b = a.bytes();
+  for (int i = 0; i < 8; ++i) w0 |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  for (int i = 0; i < 8; ++i)
+    w1 |= static_cast<std::uint64_t>(b[i + 8]) << (8 * i);
+  for (int i = 0; i < 4; ++i)
+    w2 |= static_cast<std::uint64_t>(b[i + 16]) << (8 * i);
+  return u256{w0, w1, w2, 0};
+}
+
+u256 mix_slot(const u256& a, const u256& b) noexcept {
+  // A cheap stand-in for keccak(slot . key): XOR-rotate mixing is enough for
+  // a simulator where adversarial collisions are not a concern.
+  u256 r = a;
+  r = (r << 64) | (r >> 192);
+  return r | (b << 1) | (b >> 255) | ((a | b) << 128);
+}
+
+}  // namespace
+
+u256 pack_address(const address& a) noexcept { return fold_address(a); }
+
+address unpack_address(const u256& word) noexcept {
+  std::array<std::uint8_t, address::kSize> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(word.limb(0) >> (8 * i));
+    bytes[static_cast<std::size_t>(i + 8)] =
+        static_cast<std::uint8_t>(word.limb(1) >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    bytes[static_cast<std::size_t>(i + 16)] =
+        static_cast<std::uint8_t>(word.limb(2) >> (8 * i));
+  }
+  return address{bytes};
+}
+
+u256 map_slot(std::uint64_t base_slot, const address& subject) {
+  return mix_slot(u256{base_slot} + u256{0x51aULL << 32},
+                  fold_address(subject));
+}
+
+u256 map_slot2(std::uint64_t base_slot, const address& a, const address& b) {
+  return mix_slot(map_slot(base_slot, a), fold_address(b) + u256{1});
+}
+
+account_record& world_state::account(const address& a) {
+  return accounts_[a];
+}
+
+const account_record* world_state::find_account(const address& a) const {
+  const auto it = accounts_.find(a);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+u256 world_state::eth_balance(const address& a) const {
+  const auto* rec = find_account(a);
+  return rec ? rec->eth_balance : u256{};
+}
+
+void world_state::set_eth_balance(const address& a, const u256& v) {
+  account_record& rec = account(a);
+  journal_.push_back({.k = journal_entry::kind::balance_write,
+                      .account_addr = a,
+                      .old_value = rec.eth_balance});
+  rec.eth_balance = v;
+}
+
+void world_state::set_kind(const address& a, account_kind k) {
+  account_record& rec = account(a);
+  journal_.push_back({.k = journal_entry::kind::flag_write,
+                      .account_addr = a,
+                      .old_kind = rec.kind,
+                      .old_destroyed = rec.destroyed});
+  rec.kind = k;
+}
+
+void world_state::set_destroyed(const address& a, bool destroyed) {
+  account_record& rec = account(a);
+  journal_.push_back({.k = journal_entry::kind::flag_write,
+                      .account_addr = a,
+                      .old_kind = rec.kind,
+                      .old_destroyed = rec.destroyed});
+  rec.destroyed = destroyed;
+}
+
+u256 world_state::load(const address& contract, const u256& slot) const {
+  const auto it = storage_.find(storage_key{contract, slot});
+  return it == storage_.end() ? u256{} : it->second;
+}
+
+void world_state::store(const address& contract, const u256& slot,
+                        const u256& value) {
+  const storage_key key{contract, slot};
+  const auto it = storage_.find(key);
+  journal_entry e{.k = journal_entry::kind::storage_write, .skey = key};
+  if (it != storage_.end()) {
+    e.old_value = it->second;
+    e.had_value = true;
+  }
+  journal_.push_back(e);
+  storage_[key] = value;
+}
+
+void world_state::revert_to(snapshot s) {
+  while (journal_.size() > s) {
+    const journal_entry& e = journal_.back();
+    switch (e.k) {
+      case journal_entry::kind::storage_write:
+        if (e.had_value) {
+          storage_[e.skey] = e.old_value;
+        } else {
+          storage_.erase(e.skey);
+        }
+        break;
+      case journal_entry::kind::balance_write:
+        accounts_[e.account_addr].eth_balance = e.old_value;
+        break;
+      case journal_entry::kind::flag_write:
+        accounts_[e.account_addr].kind = e.old_kind;
+        accounts_[e.account_addr].destroyed = e.old_destroyed;
+        break;
+    }
+    journal_.pop_back();
+  }
+}
+
+}  // namespace leishen::chain

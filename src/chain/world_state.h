@@ -1,0 +1,111 @@
+// Journaled Ethereum world state.
+//
+// All persistent contract state (ERC20 balances, AMM reserves, vault shares,
+// ...) lives in a generic per-address key/value store, mirroring EVM storage.
+// A write journal makes transaction atomicity (the property that secures
+// flash loans) a first-class, testable operation: snapshot before the
+// transaction body, revert on failure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/address.h"
+#include "common/u256.h"
+
+namespace leishen::chain {
+
+enum class account_kind : std::uint8_t { user, contract };
+
+struct account_record {
+  account_kind kind = account_kind::user;
+  u256 eth_balance;
+  bool destroyed = false;  // set by selfdestruct; history remains replayable
+};
+
+/// A storage cell key: (contract address, slot). Mapping-typed Solidity
+/// state (balances[holder]) is modelled by deriving the slot from a base
+/// slot id and the subject address, like keccak(slot . key) on mainnet.
+struct storage_key {
+  address contract;
+  u256 slot;
+
+  friend bool operator==(const storage_key&, const storage_key&) = default;
+};
+
+struct storage_key_hash {
+  std::size_t operator()(const storage_key& k) const noexcept {
+    return address_hash{}(k.contract) * 1000003U ^ u256_hash{}(k.slot);
+  }
+};
+
+/// Derive the slot for mapping entry `base[subject]`.
+[[nodiscard]] u256 map_slot(std::uint64_t base_slot, const address& subject);
+
+/// Derive the slot for a two-level mapping `base[a][b]` (e.g. allowances).
+[[nodiscard]] u256 map_slot2(std::uint64_t base_slot, const address& a,
+                             const address& b);
+
+/// Pack a 160-bit address into the low bits of a storage word (and back) —
+/// how address-valued state (ERC721 owners, approvals) is stored.
+[[nodiscard]] u256 pack_address(const address& a) noexcept;
+[[nodiscard]] address unpack_address(const u256& word) noexcept;
+
+class world_state {
+ public:
+  world_state() = default;
+
+  // Non-copyable: the journal refers into the maps.
+  world_state(const world_state&) = delete;
+  world_state& operator=(const world_state&) = delete;
+
+  // -- accounts -------------------------------------------------------------
+  /// Creates the account if absent.
+  account_record& account(const address& a);
+  [[nodiscard]] const account_record* find_account(const address& a) const;
+  [[nodiscard]] u256 eth_balance(const address& a) const;
+  void set_eth_balance(const address& a, const u256& v);
+  void set_kind(const address& a, account_kind k);
+  void set_destroyed(const address& a, bool destroyed);
+
+  // -- storage --------------------------------------------------------------
+  [[nodiscard]] u256 load(const address& contract, const u256& slot) const;
+  void store(const address& contract, const u256& slot, const u256& value);
+
+  // -- journaling -----------------------------------------------------------
+  using snapshot = std::size_t;
+  [[nodiscard]] snapshot take_snapshot() const noexcept {
+    return journal_.size();
+  }
+  /// Undo every mutation made after `s`, in reverse order.
+  void revert_to(snapshot s);
+  /// Forget undo records older than the current tip (commit point); cheap.
+  void commit() { journal_.clear(); }
+
+  [[nodiscard]] std::size_t journal_size() const noexcept {
+    return journal_.size();
+  }
+
+ private:
+  struct journal_entry {
+    enum class kind : std::uint8_t { storage_write, balance_write, flag_write };
+    kind k;
+    // storage_write
+    storage_key skey{};
+    // balance_write / flag_write subject
+    address account_addr{};
+    u256 old_value{};
+    bool had_value = false;  // storage cell existed before the write
+    account_kind old_kind = account_kind::user;
+    bool old_destroyed = false;
+  };
+
+  std::unordered_map<address, account_record, address_hash> accounts_;
+  std::unordered_map<storage_key, u256, storage_key_hash> storage_;
+  std::vector<journal_entry> journal_;
+};
+
+}  // namespace leishen::chain

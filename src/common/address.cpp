@@ -1,0 +1,89 @@
+#include "common/address.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace leishen {
+namespace {
+
+// splitmix64 finalizer: a cheap, high-quality bit mixer.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+address address::from_seed(std::uint64_t seed) noexcept {
+  std::array<std::uint8_t, kSize> bytes{};
+  const std::uint64_t a = mix64(seed);
+  const std::uint64_t b = mix64(seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  const std::uint64_t c = mix64(seed + 0x5bd1e995ULL);
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(a >> (i * 8));
+    bytes[static_cast<std::size_t>(i + 8)] =
+        static_cast<std::uint8_t>(b >> (i * 8));
+  }
+  for (int i = 0; i < 4; ++i) {
+    bytes[static_cast<std::size_t>(i + 16)] =
+        static_cast<std::uint8_t>(c >> (i * 8));
+  }
+  return address{bytes};
+}
+
+address address::from_hex(std::string_view s) {
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s.remove_prefix(2);
+  }
+  if (s.empty() || s.size() > 2 * kSize) {
+    throw std::invalid_argument("address::from_hex: bad length");
+  }
+  std::array<std::uint8_t, kSize> bytes{};
+  // Right-align the digits (left-pad with zero).
+  std::size_t nibble = 2 * kSize - s.size();
+  for (char ch : s) {
+    const int d = hex_digit(ch);
+    if (d < 0) throw std::invalid_argument("address::from_hex: bad digit");
+    bytes[nibble / 2] |= static_cast<std::uint8_t>(
+        (nibble % 2 == 0) ? d << 4 : d);
+    ++nibble;
+  }
+  return address{bytes};
+}
+
+std::string address::to_hex() const {
+  std::string out = "0x";
+  out.reserve(2 + 2 * kSize);
+  for (auto b : bytes_) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::string address::to_short() const {
+  std::string out = "0x";
+  for (std::size_t i = 0; i < 2; ++i) {
+    out.push_back(kDigits[bytes_[i] >> 4]);
+    out.push_back(kDigits[bytes_[i] & 0xF]);
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const address& a) {
+  return os << a.to_short();
+}
+
+}  // namespace leishen

@@ -1,0 +1,80 @@
+// 160-bit Ethereum account addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace leishen {
+
+/// A 160-bit Ethereum address. Value type, totally ordered, hashable.
+class address {
+ public:
+  static constexpr std::size_t kSize = 20;
+
+  constexpr address() noexcept : bytes_{} {}
+  explicit constexpr address(std::array<std::uint8_t, kSize> bytes) noexcept
+      : bytes_{bytes} {}
+
+  /// Deterministically derive an address from a 64-bit seed. The seed is
+  /// diffused so that nearby seeds yield unrelated-looking addresses.
+  static address from_seed(std::uint64_t seed) noexcept;
+
+  /// Parse "0x" + 40 hex chars (or fewer: left-padded with zeros).
+  static address from_hex(std::string_view s);
+
+  /// The BlackHole / zero address: mint source and burn sink (paper §V-C).
+  static constexpr address zero() noexcept { return address{}; }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept {
+    for (auto b : bytes_) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::array<std::uint8_t, kSize>& bytes() const noexcept {
+    return bytes_;
+  }
+
+  /// Full "0x"-prefixed 40-hex-digit form.
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Abbreviated form used in logs and reports, e.g. "0xb017" — the first
+  /// 16 bits, matching the paper's figures.
+  [[nodiscard]] std::string to_short() const;
+
+  friend constexpr bool operator==(const address&, const address&) noexcept =
+      default;
+  friend constexpr std::strong_ordering operator<=>(
+      const address& a, const address& b) noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const address& a);
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_;
+};
+
+struct address_hash {
+  std::size_t operator()(const address& a) const noexcept {
+    // FNV-1a over the 20 bytes.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (auto b : a.bytes()) {
+      h = (h ^ b) * 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace leishen
+
+template <>
+struct std::hash<leishen::address> {
+  std::size_t operator()(const leishen::address& a) const noexcept {
+    return leishen::address_hash{}(a);
+  }
+};

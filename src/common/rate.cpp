@@ -1,0 +1,68 @@
+#include "common/rate.h"
+
+#include <limits>
+#include <ostream>
+
+namespace leishen {
+namespace {
+
+// Compare a1*b2 vs a2*b1 exactly in 512-bit space.
+int cmp_products(const u256& a1, const u256& b2, const u256& a2,
+                 const u256& b1) {
+  const auto x = u256::wide_mul(a1, b2);
+  const auto y = u256::wide_mul(a2, b1);
+  if (x.hi != y.hi) return x.hi < y.hi ? -1 : 1;
+  if (x.lo != y.lo) return x.lo < y.lo ? -1 : 1;
+  return 0;
+}
+
+}  // namespace
+
+rate::rate(u256 num, u256 den) : num_{num}, den_{den} {
+  if (num_.is_zero() && den_.is_zero()) {
+    throw arithmetic_error("rate: 0/0 is undefined");
+  }
+}
+
+double rate::to_double() const noexcept {
+  if (den_.is_zero()) return std::numeric_limits<double>::infinity();
+  return num_.to_double() / den_.to_double();
+}
+
+bool operator==(const rate& a, const rate& b) {
+  if (a.is_infinite() || b.is_infinite()) {
+    return a.is_infinite() && b.is_infinite();
+  }
+  return cmp_products(a.num_, b.den_, b.num_, a.den_) == 0;
+}
+
+bool operator<(const rate& a, const rate& b) {
+  if (a.is_infinite()) return false;
+  if (b.is_infinite()) return true;
+  return cmp_products(a.num_, b.den_, b.num_, a.den_) < 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const rate& r) {
+  return os << r.num() << "/" << r.den() << " (" << r.to_double() << ")";
+}
+
+double volatility_percent(const rate& max, const rate& min) {
+  if (min.is_zero() || min.is_infinite()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double mx = max.to_double();
+  const double mn = min.to_double();
+  return (mx - mn) / mn * 100.0;
+}
+
+bool amounts_close(const u256& a, const u256& b, std::uint64_t tolerance_num,
+                   std::uint64_t tolerance_den) {
+  const u256& hi = a > b ? a : b;
+  const u256& lo = a > b ? b : a;
+  if (hi.is_zero()) return true;
+  const u256 diff = hi - lo;
+  // diff / hi < tol_num / tol_den  <=>  diff * tol_den < hi * tol_num
+  return cmp_products(diff, u256{tolerance_den}, hi, u256{tolerance_num}) < 0;
+}
+
+}  // namespace leishen

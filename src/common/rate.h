@@ -1,0 +1,56 @@
+// Exact exchange-rate arithmetic.
+//
+// The pattern conditions in the paper compare ratios of token amounts, e.g.
+//   trade1.amountSell / trade1.amountBuy  <  trade3.amountBuy / trade3.amountSell
+// Comparing floating approximations of 10^18-scaled integers is unsound, so
+// rates are kept as exact integer fractions and compared by cross
+// multiplication in 512-bit space.
+#pragma once
+
+#include <iosfwd>
+
+#include "common/u256.h"
+
+namespace leishen {
+
+/// An exact non-negative rational num/den. den == 0 with num != 0 models an
+/// infinite rate (selling something for nothing); 0/0 is invalid.
+class rate {
+ public:
+  constexpr rate() noexcept : num_{}, den_{1} {}
+  rate(u256 num, u256 den);
+
+  [[nodiscard]] const u256& num() const noexcept { return num_; }
+  [[nodiscard]] const u256& den() const noexcept { return den_; }
+  [[nodiscard]] bool is_infinite() const noexcept { return den_.is_zero(); }
+  [[nodiscard]] bool is_zero() const noexcept {
+    return num_.is_zero() && !den_.is_zero();
+  }
+
+  /// Lossy value for reporting only.
+  [[nodiscard]] double to_double() const noexcept;
+
+  friend bool operator==(const rate& a, const rate& b);
+  friend bool operator<(const rate& a, const rate& b);
+  friend bool operator>(const rate& a, const rate& b) { return b < a; }
+  friend bool operator<=(const rate& a, const rate& b) { return !(b < a); }
+  friend bool operator>=(const rate& a, const rate& b) { return !(a < b); }
+
+  friend std::ostream& operator<<(std::ostream& os, const rate& r);
+
+ private:
+  u256 num_;
+  u256 den_;
+};
+
+/// ((rate_max - rate_min) / rate_min) * 100, the paper's price volatility
+/// formula (§III-D), as a double percentage. Requires rate_min > 0.
+[[nodiscard]] double volatility_percent(const rate& max, const rate& min);
+
+/// True iff |a - b| / max(a,b) < tolerance_num/tolerance_den. Used by the
+/// inter-app merge rule (amounts within 0.1% → tolerance 1/1000).
+[[nodiscard]] bool amounts_close(const u256& a, const u256& b,
+                                 std::uint64_t tolerance_num,
+                                 std::uint64_t tolerance_den);
+
+}  // namespace leishen

@@ -1,0 +1,75 @@
+#include "common/rng.h"
+
+#include <bit>
+#include <cmath>
+
+namespace leishen {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) noexcept {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t rng::next() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t rng::next_below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless bounded sampling; the slight modulo bias of
+  // the plain approach is irrelevant here but this is just as cheap.
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(next()) * bound;
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t rng::next_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+  return lo + next_below(hi - lo + 1);
+}
+
+double rng::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool rng::next_bool(double p_true) noexcept { return next_double() < p_true; }
+
+double rng::next_log_uniform(double lo, double hi) noexcept {
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  return std::exp(llo + (lhi - llo) * next_double());
+}
+
+std::size_t rng::next_weighted(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double x = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+rng rng::fork(std::uint64_t salt) const noexcept {
+  return rng{s_[0] ^ (salt * 0x9e3779b97f4a7c15ULL) ^ s_[3]};
+}
+
+}  // namespace leishen

@@ -1,0 +1,79 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace leishen {
+
+std::int64_t days_from_civil(civil_date d) noexcept {
+  const int y = d.year - (d.month <= 2);
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153 * (d.month + (d.month > 2 ? -3 : 9)) + 2) / 5 + d.day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+civil_date civil_from_days(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + static_cast<int>(era) * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned month = mp + (mp < 10 ? 3 : -9);
+  return {y + (month <= 2), month, day};
+}
+
+std::int64_t timestamp_of(civil_date d) noexcept {
+  return days_from_civil(d) * 86400;
+}
+
+civil_date date_of(std::int64_t unix_seconds) noexcept {
+  std::int64_t days = unix_seconds / 86400;
+  if (unix_seconds < 0 && unix_seconds % 86400 != 0) --days;
+  return civil_from_days(days);
+}
+
+std::string month_label(std::int64_t unix_seconds) {
+  const civil_date d = date_of(unix_seconds);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02u", d.year, d.month);
+  return buf;
+}
+
+std::string date_label(std::int64_t unix_seconds) {
+  const civil_date d = date_of(unix_seconds);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u", d.year, d.month, d.day);
+  return buf;
+}
+
+int month_index(std::int64_t unix_seconds) noexcept {
+  const civil_date d = date_of(unix_seconds);
+  return (d.year - 2020) * 12 + static_cast<int>(d.month) - 1;
+}
+
+int week_index(std::int64_t unix_seconds) noexcept {
+  static const std::int64_t start = timestamp_of({2020, 1, 1});
+  const std::int64_t delta = unix_seconds - start;
+  const std::int64_t week = 7 * 86400;
+  return static_cast<int>(delta >= 0 ? delta / week : (delta - week + 1) / week);
+}
+
+std::int64_t block_timestamp(std::uint64_t block_number) noexcept {
+  static const std::int64_t genesis = timestamp_of({2015, 7, 30});
+  return genesis + static_cast<std::int64_t>(block_number) * kBlockTimeNum /
+                       kBlockTimeDen;
+}
+
+std::uint64_t block_at_time(std::int64_t unix_seconds) noexcept {
+  static const std::int64_t genesis = timestamp_of({2015, 7, 30});
+  if (unix_seconds <= genesis) return 0;
+  return static_cast<std::uint64_t>((unix_seconds - genesis) * kBlockTimeDen /
+                                    kBlockTimeNum);
+}
+
+}  // namespace leishen

@@ -1,0 +1,61 @@
+// Simulated blockchain time.
+//
+// The paper's timeline experiments (Fig. 1 weekly flash loan volume, Fig. 8
+// monthly attacks) need calendar bucketing of block timestamps. We carry
+// unix seconds on every block and convert with exact civil-date arithmetic
+// (no locale, no libc time zones).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace leishen {
+
+struct civil_date {
+  int year;
+  unsigned month;  // 1..12
+  unsigned day;    // 1..31
+
+  friend bool operator==(const civil_date&, const civil_date&) = default;
+};
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+[[nodiscard]] std::int64_t days_from_civil(civil_date d) noexcept;
+
+/// Inverse of days_from_civil.
+[[nodiscard]] civil_date civil_from_days(std::int64_t z) noexcept;
+
+/// Unix timestamp (UTC midnight) of a civil date.
+[[nodiscard]] std::int64_t timestamp_of(civil_date d) noexcept;
+
+/// Civil date of a unix timestamp.
+[[nodiscard]] civil_date date_of(std::int64_t unix_seconds) noexcept;
+
+/// "YYYY-MM" label, used by the monthly attack histogram.
+[[nodiscard]] std::string month_label(std::int64_t unix_seconds);
+
+/// "YYYY-MM-DD".
+[[nodiscard]] std::string date_label(std::int64_t unix_seconds);
+
+/// Months elapsed since Jan 2020 (the start of the paper's timeline);
+/// negative before that.
+[[nodiscard]] int month_index(std::int64_t unix_seconds) noexcept;
+
+/// Weeks elapsed since Jan 1 2020 (rounded down).
+[[nodiscard]] int week_index(std::int64_t unix_seconds) noexcept;
+
+/// Mainnet-like average block time: 14.5 seconds per block, expressed as the
+/// exact rational 29/2 so that block 14,500,000 lands in spring 2022 —
+/// the end of the paper's evaluation window.
+inline constexpr std::int64_t kBlockTimeNum = 29;
+inline constexpr std::int64_t kBlockTimeDen = 2;
+
+/// Timestamp of a block number assuming genesis at the Ethereum mainnet
+/// genesis date (2015-07-30) and a constant 14.5 s block time. This places
+/// block 14,500,000 in spring 2022, matching the paper's evaluation window.
+[[nodiscard]] std::int64_t block_timestamp(std::uint64_t block_number) noexcept;
+
+/// Inverse of block_timestamp (nearest block at or before the timestamp).
+[[nodiscard]] std::uint64_t block_at_time(std::int64_t unix_seconds) noexcept;
+
+}  // namespace leishen

@@ -1,0 +1,327 @@
+#include "common/u256.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+namespace leishen {
+namespace {
+
+// 64x64 -> 128 multiply, portable via __int128.
+inline void mul64(std::uint64_t a, std::uint64_t b, std::uint64_t& lo,
+                  std::uint64_t& hi) noexcept {
+  const unsigned __int128 p =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  lo = static_cast<std::uint64_t>(p);
+  hi = static_cast<std::uint64_t>(p >> 64);
+}
+
+// 512-bit accumulator used by muldiv: 8 little-endian limbs.
+using limbs8 = std::array<std::uint64_t, 8>;
+
+limbs8 mul_full(const u256& a, const u256& b) noexcept {
+  limbs8 r{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      std::uint64_t lo = 0;
+      std::uint64_t hi = 0;
+      mul64(a.limb(i), b.limb(j), lo, hi);
+      unsigned __int128 acc = static_cast<unsigned __int128>(r[i + j]) + lo +
+                              carry;
+      r[i + j] = static_cast<std::uint64_t>(acc);
+      carry = hi + static_cast<std::uint64_t>(acc >> 64);
+    }
+    r[i + 4] += carry;
+  }
+  return r;
+}
+
+int bit_length8(const limbs8& v) noexcept {
+  for (int i = 7; i >= 0; --i) {
+    if (v[i] != 0) {
+      return i * 64 + 64 - std::countl_zero(v[i]);
+    }
+  }
+  return 0;
+}
+
+bool get_bit8(const limbs8& v, int bit) noexcept {
+  return (v[static_cast<std::size_t>(bit / 64)] >> (bit % 64)) & 1U;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+u256 u256::from_string(std::string_view s) {
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    return from_hex(s);
+  }
+  return from_decimal(s);
+}
+
+u256 u256::from_decimal(std::string_view s) {
+  if (s.empty()) throw arithmetic_error("u256::from_decimal: empty string");
+  u256 r;
+  for (char c : s) {
+    if (c == '_' || c == ',') continue;  // allow digit grouping
+    if (c < '0' || c > '9') {
+      throw arithmetic_error("u256::from_decimal: bad digit");
+    }
+    r = r * u256{10} + u256{static_cast<std::uint64_t>(c - '0')};
+  }
+  return r;
+}
+
+u256 u256::from_hex(std::string_view s) {
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s.remove_prefix(2);
+  }
+  if (s.empty()) throw arithmetic_error("u256::from_hex: empty string");
+  if (s.size() > 64) throw arithmetic_error("u256::from_hex: too long");
+  u256 r;
+  for (char c : s) {
+    const int d = hex_digit(c);
+    if (d < 0) throw arithmetic_error("u256::from_hex: bad digit");
+    r = (r << 4) | u256{static_cast<std::uint64_t>(d)};
+  }
+  return r;
+}
+
+u256 u256::pow10(unsigned exp) {
+  if (exp > 77) throw arithmetic_error("u256::pow10: overflow");
+  u256 r{1};
+  for (unsigned i = 0; i < exp; ++i) r = r * u256{10};
+  return r;
+}
+
+std::uint64_t u256::to_u64() const {
+  if (!fits_u64()) throw arithmetic_error("u256::to_u64: value > 2^64");
+  return limbs_[0];
+}
+
+double u256::to_double() const noexcept {
+  double r = 0.0;
+  for (int i = 3; i >= 0; --i) {
+    r = r * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
+  }
+  return r;
+}
+
+int u256::bit_length() const noexcept {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs_[i] != 0) return i * 64 + 64 - std::countl_zero(limbs_[i]);
+  }
+  return 0;
+}
+
+std::optional<u256> u256::checked_add(const u256& o) const noexcept {
+  u256 r;
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const unsigned __int128 s =
+        static_cast<unsigned __int128>(limbs_[i]) + o.limbs_[i] + carry;
+    r.limbs_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  if (carry != 0) return std::nullopt;
+  return r;
+}
+
+std::optional<u256> u256::checked_sub(const u256& o) const noexcept {
+  if (*this < o) return std::nullopt;
+  u256 r;
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t d = limbs_[i] - o.limbs_[i];
+    const std::uint64_t b2 = (limbs_[i] < o.limbs_[i]) ||
+                             (d < borrow);
+    r.limbs_[i] = d - borrow;
+    borrow = b2 ? 1 : 0;
+  }
+  return r;
+}
+
+std::optional<u256> u256::checked_mul(const u256& o) const noexcept {
+  const limbs8 full = mul_full(*this, o);
+  if ((full[4] | full[5] | full[6] | full[7]) != 0) return std::nullopt;
+  return u256{full[0], full[1], full[2], full[3]};
+}
+
+u256 operator+(const u256& a, const u256& b) {
+  auto r = a.checked_add(b);
+  if (!r) throw arithmetic_error("u256 addition overflow");
+  return *r;
+}
+
+u256 operator-(const u256& a, const u256& b) {
+  auto r = a.checked_sub(b);
+  if (!r) throw arithmetic_error("u256 subtraction underflow");
+  return *r;
+}
+
+u256 operator*(const u256& a, const u256& b) {
+  auto r = a.checked_mul(b);
+  if (!r) throw arithmetic_error("u256 multiplication overflow");
+  return *r;
+}
+
+u256_divmod u256::divmod(const u256& divisor) const {
+  if (divisor.is_zero()) throw arithmetic_error("u256 division by zero");
+  if (*this < divisor) return {u256{}, *this};
+  if (divisor.fits_u64() && fits_u64()) {
+    return {u256{limbs_[0] / divisor.limbs_[0]},
+            u256{limbs_[0] % divisor.limbs_[0]}};
+  }
+  // Bitwise long division: adequate for a simulator's hot paths because
+  // operands rarely exceed ~2^128.
+  u256 quot;
+  u256 rem;
+  for (int bit = bit_length() - 1; bit >= 0; --bit) {
+    rem = rem << 1;
+    if ((limbs_[static_cast<std::size_t>(bit / 64)] >> (bit % 64)) & 1U) {
+      rem.limbs_[0] |= 1;
+    }
+    if (rem >= divisor) {
+      rem = *rem.checked_sub(divisor);
+      quot.limbs_[static_cast<std::size_t>(bit / 64)] |= 1ULL << (bit % 64);
+    }
+  }
+  return {quot, rem};
+}
+
+u256 operator/(const u256& a, const u256& b) { return a.divmod(b).quot; }
+u256 operator%(const u256& a, const u256& b) { return a.divmod(b).rem; }
+
+u256 operator<<(const u256& a, unsigned n) noexcept {
+  if (n >= 256) return u256{};
+  u256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (int i = 3; i >= static_cast<int>(limb_shift); --i) {
+    const std::size_t src = static_cast<std::size_t>(i) - limb_shift;
+    std::uint64_t v = a.limbs_[src] << bit_shift;
+    if (bit_shift != 0 && src > 0) {
+      v |= a.limbs_[src - 1] >> (64 - bit_shift);
+    }
+    r.limbs_[static_cast<std::size_t>(i)] = v;
+  }
+  return r;
+}
+
+u256 operator>>(const u256& a, unsigned n) noexcept {
+  if (n >= 256) return u256{};
+  u256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (std::size_t i = 0; i + limb_shift < 4; ++i) {
+    const std::size_t src = i + limb_shift;
+    std::uint64_t v = a.limbs_[src] >> bit_shift;
+    if (bit_shift != 0 && src + 1 < 4) {
+      v |= a.limbs_[src + 1] << (64 - bit_shift);
+    }
+    r.limbs_[i] = v;
+  }
+  return r;
+}
+
+u256 operator&(const u256& a, const u256& b) noexcept {
+  return u256{a.limbs_[0] & b.limbs_[0], a.limbs_[1] & b.limbs_[1],
+              a.limbs_[2] & b.limbs_[2], a.limbs_[3] & b.limbs_[3]};
+}
+
+u256 operator|(const u256& a, const u256& b) noexcept {
+  return u256{a.limbs_[0] | b.limbs_[0], a.limbs_[1] | b.limbs_[1],
+              a.limbs_[2] | b.limbs_[2], a.limbs_[3] | b.limbs_[3]};
+}
+
+u256 u256::muldiv(const u256& a, const u256& b, const u256& d) {
+  if (d.is_zero()) throw arithmetic_error("u256::muldiv division by zero");
+  limbs8 num = mul_full(a, b);
+  // 512 / 256 bitwise long division.
+  limbs8 quot{};
+  u256 rem;
+  for (int bit = bit_length8(num) - 1; bit >= 0; --bit) {
+    // rem = rem*2 + bit; rem can exceed d only transiently by < d*2, and d
+    // fits 256 bits, so rem stays within 256 bits after the subtraction.
+    if (rem.bit_length() >= 256) throw arithmetic_error("muldiv overflow");
+    rem = rem << 1;
+    if (get_bit8(num, bit)) rem.limbs_[0] |= 1;
+    if (rem >= d) {
+      rem = *rem.checked_sub(d);
+      quot[static_cast<std::size_t>(bit / 64)] |= 1ULL << (bit % 64);
+    }
+  }
+  if ((quot[4] | quot[5] | quot[6] | quot[7]) != 0) {
+    throw arithmetic_error("u256::muldiv quotient overflow");
+  }
+  return u256{quot[0], quot[1], quot[2], quot[3]};
+}
+
+u256_wide u256::wide_mul(const u256& a, const u256& b) noexcept {
+  const limbs8 full = mul_full(a, b);
+  return {u256{full[4], full[5], full[6], full[7]},
+          u256{full[0], full[1], full[2], full[3]}};
+}
+
+std::string u256::to_decimal() const {
+  if (is_zero()) return "0";
+  std::string out;
+  u256 v = *this;
+  const u256 ten{10};
+  while (!v.is_zero()) {
+    const auto [q, r] = v.divmod(ten);
+    out.push_back(static_cast<char>('0' + r.limbs_[0]));
+    v = q;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string u256::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  if (is_zero()) return "0x0";
+  std::string out = "0x";
+  bool started = false;
+  for (int i = 3; i >= 0; --i) {
+    for (int nib = 15; nib >= 0; --nib) {
+      const unsigned d =
+          static_cast<unsigned>(limbs_[static_cast<std::size_t>(i)] >>
+                                (nib * 4)) &
+          0xF;
+      if (!started && d == 0) continue;
+      started = true;
+      out.push_back(kDigits[d]);
+    }
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const u256& v) {
+  return os << v.to_decimal();
+}
+
+u256 units(std::uint64_t value, unsigned decimals) {
+  return u256{value} * u256::pow10(decimals);
+}
+
+u256 isqrt(const u256& v) noexcept {
+  if (v < u256{2}) return v;
+  // Newton's method from a power-of-two overestimate; converges in a few
+  // iterations and the iterate sequence is strictly decreasing.
+  u256 x = u256{1} << static_cast<unsigned>((v.bit_length() + 1) / 2);
+  for (;;) {
+    const u256 y = (x + v / x) >> 1;
+    if (y >= x) return x;
+    x = y;
+  }
+}
+
+}  // namespace leishen

@@ -1,0 +1,153 @@
+// 256-bit unsigned integer arithmetic.
+//
+// Ethereum balances and AMM reserve products do not fit in 64 or 128 bits
+// (e.g. 1.2e9 tokens * 1e18 wei/token squared in a constant-product check),
+// so the whole library uses u256 for asset amounts, mirroring EVM word size.
+//
+// Little-endian limb order: limb[0] is least significant.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace leishen {
+
+/// Thrown when an arithmetic operation on u256 would overflow/underflow or
+/// divide by zero. Ethereum wraps silently; a detector substrate prefers to
+/// fail loudly, and the checked_* variants return std::nullopt instead.
+class arithmetic_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class u256 {
+ public:
+  constexpr u256() noexcept : limbs_{0, 0, 0, 0} {}
+  constexpr u256(std::uint64_t v) noexcept : limbs_{v, 0, 0, 0} {}  // NOLINT(google-explicit-constructor)
+  constexpr u256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2,
+                 std::uint64_t l3) noexcept
+      : limbs_{l0, l1, l2, l3} {}
+
+  /// Parse from decimal ("12345") or hex ("0xdeadbeef") representation.
+  static u256 from_string(std::string_view s);
+  /// Parse decimal digits only; throws on any other character.
+  static u256 from_decimal(std::string_view s);
+  /// Parse hex digits (with or without 0x prefix).
+  static u256 from_hex(std::string_view s);
+
+  /// 10^exp as u256 (exp <= 77).
+  static u256 pow10(unsigned exp);
+
+  static constexpr u256 max() noexcept {
+    return u256{~0ULL, ~0ULL, ~0ULL, ~0ULL};
+  }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept {
+    return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  [[nodiscard]] constexpr std::uint64_t limb(std::size_t i) const noexcept {
+    return limbs_[i];
+  }
+
+  /// True iff the value fits in 64 bits.
+  [[nodiscard]] constexpr bool fits_u64() const noexcept {
+    return (limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+  /// Truncating conversion; throws if the value does not fit.
+  [[nodiscard]] std::uint64_t to_u64() const;
+  /// Lossy conversion for reporting/statistics only.
+  [[nodiscard]] double to_double() const noexcept;
+
+  [[nodiscard]] std::string to_decimal() const;
+  [[nodiscard]] std::string to_hex() const;  // 0x-prefixed, no leading zeros
+
+  /// Index of the highest set bit, or -1 for zero.
+  [[nodiscard]] int bit_length() const noexcept;
+
+  // -- checked arithmetic (nullopt on overflow / div-by-zero) --------------
+  [[nodiscard]] std::optional<u256> checked_add(const u256& o) const noexcept;
+  [[nodiscard]] std::optional<u256> checked_sub(const u256& o) const noexcept;
+  [[nodiscard]] std::optional<u256> checked_mul(const u256& o) const noexcept;
+
+  // -- throwing arithmetic --------------------------------------------------
+  friend u256 operator+(const u256& a, const u256& b);
+  friend u256 operator-(const u256& a, const u256& b);
+  friend u256 operator*(const u256& a, const u256& b);
+  friend u256 operator/(const u256& a, const u256& b);
+  friend u256 operator%(const u256& a, const u256& b);
+  u256& operator+=(const u256& o) { return *this = *this + o; }
+  u256& operator-=(const u256& o) { return *this = *this - o; }
+  u256& operator*=(const u256& o) { return *this = *this * o; }
+  u256& operator/=(const u256& o) { return *this = *this / o; }
+
+  friend u256 operator<<(const u256& a, unsigned n) noexcept;
+  friend u256 operator>>(const u256& a, unsigned n) noexcept;
+  friend u256 operator&(const u256& a, const u256& b) noexcept;
+  friend u256 operator|(const u256& a, const u256& b) noexcept;
+
+  friend constexpr bool operator==(const u256& a, const u256& b) noexcept {
+    return a.limbs_ == b.limbs_;
+  }
+  friend constexpr std::strong_ordering operator<=>(const u256& a,
+                                                    const u256& b) noexcept {
+    for (int i = 3; i >= 0; --i) {
+      if (a.limbs_[i] != b.limbs_[i])
+        return a.limbs_[i] <=> b.limbs_[i];
+    }
+    return std::strong_ordering::equal;
+  }
+
+  /// Quotient and remainder in one division (see u256_divmod below).
+  [[nodiscard]] struct u256_divmod divmod(const u256& divisor) const;
+
+  /// floor(a * b / d) computed with a 512-bit intermediate: never overflows
+  /// unless the final quotient itself exceeds 256 bits. This is the muldiv
+  /// every AMM needs (e.g. amount_out = reserve_out * dx / (reserve_in+dx)).
+  static u256 muldiv(const u256& a, const u256& b, const u256& d);
+
+  /// Full 512-bit product as a (hi, lo) pair (see u256_wide below).
+  static struct u256_wide wide_mul(const u256& a, const u256& b) noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, const u256& v);
+
+ private:
+  std::array<std::uint64_t, 4> limbs_;
+};
+
+/// Quotient and remainder of a 256-bit division.
+struct u256_divmod {
+  u256 quot;
+  u256 rem;
+};
+
+/// A 512-bit value as (hi, lo) 256-bit words.
+struct u256_wide {
+  u256 hi;
+  u256 lo;
+};
+
+/// Convenience: value * 10^decimals, the standard token-unit scaling.
+/// units(3, 18) == 3 ether in wei.
+[[nodiscard]] u256 units(std::uint64_t value, unsigned decimals);
+
+/// floor(sqrt(v)) — Uniswap V2 uses this for initial LP share issuance.
+[[nodiscard]] u256 isqrt(const u256& v) noexcept;
+
+/// Hash support so u256 can key unordered containers.
+struct u256_hash {
+  std::size_t operator()(const u256& v) const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t i = 0; i < 4; ++i) {
+      h ^= v.limb(i) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace leishen

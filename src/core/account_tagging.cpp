@@ -1,0 +1,82 @@
+#include "core/account_tagging.h"
+
+#include <set>
+#include <vector>
+
+namespace leishen::core {
+
+const char* to_string(trade_kind k) noexcept {
+  switch (k) {
+    case trade_kind::swap:
+      return "swap";
+    case trade_kind::mint_liquidity:
+      return "mint";
+    case trade_kind::remove_liquidity:
+      return "remove";
+  }
+  return "?";
+}
+
+const std::string& account_tagger::tag_of(const address& a) const {
+  return compute(a).tag;
+}
+
+bool account_tagger::is_conflicted(const address& a) const {
+  return compute(a).conflicted;
+}
+
+const account_tagger::result& account_tagger::compute(const address& a) const {
+  const auto it = cache_.find(a);
+  if (it != cache_.end()) return it->second;
+
+  result r;
+  if (a.is_zero()) {
+    r.tag = kBlackHoleTag;
+  } else if (const auto own = labels_.label_of(a)) {
+    r.tag = *own;
+  } else {
+    // Tag set = labels of ancestors and descendants (paper Fig. 7).
+    std::set<std::string> tag_set;
+    // ancestors
+    address cur = a;
+    while (const auto parent = creations_.creator_of(cur)) {
+      if (const auto l = labels_.label_of(*parent)) tag_set.insert(*l);
+      cur = *parent;
+    }
+    const address root = cur;
+    // descendants
+    std::vector<address> stack{a};
+    while (!stack.empty()) {
+      const address node = stack.back();
+      stack.pop_back();
+      for (const address& child : creations_.children_of(node)) {
+        if (const auto l = labels_.label_of(child)) tag_set.insert(*l);
+        stack.push_back(child);
+      }
+    }
+    if (tag_set.size() == 1) {
+      r.tag = *tag_set.begin();
+    } else if (tag_set.empty()) {
+      r.tag = root.to_hex();  // pseudo-tag: whole unlabeled tree unifies
+    } else {
+      r.tag = "?" + a.to_hex();  // conflicting labels: untaggable
+      r.conflicted = true;
+    }
+  }
+  return cache_.emplace(a, std::move(r)).first->second;
+}
+
+app_transfer_list account_tagger::lift(
+    const chain::transfer_list& transfers) const {
+  app_transfer_list out;
+  out.reserve(transfers.size());
+  for (const chain::transfer& t : transfers) {
+    out.push_back(app_transfer{.from_tag = tag_of(t.sender),
+                               .to_tag = tag_of(t.receiver),
+                               .amount = t.amount,
+                               .token = t.token});
+  }
+  return out;
+}
+
+}  // namespace leishen::core

@@ -1,0 +1,64 @@
+// Application-level asset transfer and trade types (paper §V-B, §V-C).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "chain/trace.h"
+#include "common/rate.h"
+
+namespace leishen::core {
+
+using leishen::address;
+using chain::asset;
+
+/// Tag of the BlackHole (zero) address: mint source / burn sink.
+inline constexpr const char* kBlackHoleTag = "BlackHole";
+
+/// A transfer whose endpoints have been lifted from 160-bit accounts to
+/// application identities. `from_tag`/`to_tag` are application names when
+/// tagging succeeded, creation-tree-root pseudo-tags ("0x...") when the tree
+/// carries no label, or per-account conflict tags ("?0x...") when the tree
+/// carries labels of different applications (paper Fig. 7).
+struct app_transfer {
+  std::string from_tag;
+  std::string to_tag;
+  u256 amount;
+  asset token;
+
+  friend bool operator==(const app_transfer&, const app_transfer&) = default;
+};
+
+using app_transfer_list = std::vector<app_transfer>;
+
+enum class trade_kind { swap, mint_liquidity, remove_liquidity };
+
+[[nodiscard]] const char* to_string(trade_kind k) noexcept;
+
+/// A key trade action (paper §IV-B): `buyer` exchanges `amount_sell` of
+/// `token_sell` for `amount_buy` of `token_buy` with `seller`. The
+/// three-transfer conditions of Table III can carry a second leg on one
+/// side (e.g. removing liquidity into two assets); the secondary leg is
+/// recorded but rates always use the primary leg.
+struct trade {
+  std::string buyer;
+  std::string seller;
+  u256 amount_sell;
+  asset token_sell;
+  u256 amount_buy;
+  asset token_buy;
+  trade_kind kind = trade_kind::swap;
+  // Optional secondary legs (three-transfer forms); amount zero when absent.
+  u256 amount_sell2;
+  asset token_sell2;
+  u256 amount_buy2;
+  asset token_buy2;
+
+  /// Price the buyer pays per unit bought: amount_sell / amount_buy.
+  [[nodiscard]] rate buy_price() const { return rate{amount_sell, amount_buy}; }
+};
+
+using trade_list = std::vector<trade>;
+
+}  // namespace leishen::core

@@ -1,0 +1,128 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "replay/replayer.h"
+
+namespace leishen::core {
+
+std::vector<pair_volatility> detection_report::volatilities() const {
+  // Collect exchange rates per unordered token pair, in the canonical
+  // direction (smaller asset as base): rate = amount(quote) / amount(base).
+  struct obs {
+    rate min_rate{u256{1}, u256{1}};
+    rate max_rate{u256{1}, u256{1}};
+    int n = 0;
+  };
+  std::map<std::pair<asset, asset>, obs> seen;
+  auto add = [&](const asset& a, const u256& amount_a, const asset& b,
+                 const u256& amount_b) {
+    if (amount_a.is_zero() || amount_b.is_zero()) return;
+    const bool flip = b < a;
+    const asset base = flip ? b : a;
+    const asset quote = flip ? a : b;
+    const rate r = flip ? rate{amount_a, amount_b} : rate{amount_b, amount_a};
+    auto& o = seen[{base, quote}];
+    if (o.n == 0) {
+      o.min_rate = o.max_rate = r;
+    } else {
+      if (r < o.min_rate) o.min_rate = r;
+      if (o.max_rate < r) o.max_rate = r;
+    }
+    ++o.n;
+  };
+  for (const trade& t : trades) {
+    add(t.token_buy, t.amount_buy, t.token_sell, t.amount_sell);
+  }
+  std::vector<pair_volatility> out;
+  for (const auto& [key, o] : seen) {
+    if (o.n < 2) continue;
+    out.push_back(pair_volatility{
+        .base = key.first,
+        .quote = key.second,
+        .percent = volatility_percent(o.max_rate, o.min_rate),
+        .observations = o.n});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const pair_volatility& a, const pair_volatility& b) {
+              return a.percent > b.percent;
+            });
+  return out;
+}
+
+std::map<asset, detection_report::net_flow>
+detection_report::borrower_flows() const {
+  std::map<asset, net_flow> flows;
+  for (const app_transfer& t : app_transfers) {
+    if (t.to_tag == borrower_tag) flows[t.token].in += t.amount;
+    if (t.from_tag == borrower_tag) flows[t.token].out += t.amount;
+  }
+  return flows;
+}
+
+detector::detector(const chain::creation_registry& creations,
+                   const etherscan::label_db& labels, asset weth_token,
+                   pattern_params params)
+    : tagger_{creations, labels},
+      weth_token_{weth_token},
+      params_{params} {}
+
+detection_report detector::analyze(const chain::tx_receipt& receipt) const {
+  detection_report report;
+  report.tx_index = receipt.tx_index;
+  report.flash = identify_flash_loan(receipt);
+  report.is_flash_loan = report.flash.is_flash_loan;
+  if (!report.is_flash_loan) return report;
+
+  report.borrower_tag = tagger_.tag_of(report.flash.borrower);
+  report.account_transfers = replay::extract_transfers(receipt);
+  report.tagged_transfers = tagger_.lift(report.account_transfers);
+  simplify_params sp = simplify_params_;
+  sp.protected_tag = report.borrower_tag;  // never merge through the borrower
+  report.app_transfers = simplify(report.tagged_transfers, weth_token_, sp);
+  report.trades = identify_trades(report.app_transfers);
+  report.matches =
+      match_patterns(report.trades, report.borrower_tag, params_);
+  return report;
+}
+
+void print_report(std::ostream& os, const detection_report& report) {
+  os << "tx #" << report.tx_index;
+  if (!report.is_flash_loan) {
+    os << ": not a flash loan transaction\n";
+    return;
+  }
+  os << ": flash loan by " << report.borrower_tag << " [";
+  for (std::size_t i = 0; i < report.flash.loans.size(); ++i) {
+    const auto& l = report.flash.loans[i];
+    os << (i ? ", " : "") << to_string(l.provider) << ":"
+       << l.amount.to_decimal();
+  }
+  os << "]\n";
+  os << "  transfers: " << report.account_transfers.size()
+     << " account-level -> " << report.app_transfers.size()
+     << " app-level; trades: " << report.trades.size() << "\n";
+  for (const trade& t : report.trades) {
+    os << "    " << to_string(t.kind) << " " << t.buyer << " -> " << t.seller
+       << ": sell " << t.amount_sell.to_decimal() << " buy "
+       << t.amount_buy.to_decimal() << "\n";
+  }
+  if (report.matches.empty()) {
+    os << "  verdict: benign\n";
+    return;
+  }
+  os << "  verdict: ATTACK —";
+  for (const auto& m : report.matches) {
+    os << " " << to_string(m.pattern) << "(vs " << m.counterparty << ", "
+       << m.trade_indices.size() << " trades)";
+  }
+  os << "\n";
+  for (const auto& v : report.volatilities()) {
+    os << "  volatility " << v.percent << "% over " << v.observations
+       << " trades\n";
+  }
+}
+
+}  // namespace leishen::core

@@ -1,0 +1,94 @@
+// The LeiShen detection pipeline (paper Fig. 5).
+//
+//   receipt -> transfer history extraction -> account tagging ->
+//   simplification -> trade identification -> pattern matching -> report
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "core/account_tagging.h"
+#include "core/flashloan_id.h"
+#include "core/patterns.h"
+#include "core/simplify.h"
+#include "core/trade_actions.h"
+#include "etherscan/label_db.h"
+
+namespace leishen::core {
+
+/// Price volatility observed on one token pair within a transaction
+/// (paper §III-D): ((rate_max - rate_min) / rate_min) * 100%.
+struct pair_volatility {
+  asset base;
+  asset quote;
+  double percent = 0.0;
+  int observations = 0;
+};
+
+/// Everything LeiShen derives from one transaction.
+struct detection_report {
+  std::uint64_t tx_index = 0;
+  bool is_flash_loan = false;
+  flashloan_info flash;
+  std::string borrower_tag;
+
+  chain::transfer_list account_transfers;  // stage 1
+  app_transfer_list tagged_transfers;      // stage 2a (tagged, unsimplified)
+  app_transfer_list app_transfers;         // stage 2b (simplified)
+  trade_list trades;                       // stage 3a
+  std::vector<pattern_match> matches;      // stage 3b
+
+  [[nodiscard]] bool is_attack() const noexcept { return !matches.empty(); }
+  [[nodiscard]] bool has_pattern(attack_pattern p) const noexcept {
+    for (const auto& m : matches) {
+      if (m.pattern == p) return true;
+    }
+    return false;
+  }
+
+  /// Max price volatility across all traded pairs.
+  [[nodiscard]] std::vector<pair_volatility> volatilities() const;
+
+  /// Net asset flow of the borrower across the transaction: token ->
+  /// (inflow - outflow), with negative flows reported separately.
+  struct net_flow {
+    u256 in;
+    u256 out;
+  };
+  [[nodiscard]] std::map<asset, net_flow> borrower_flows() const;
+};
+
+class detector {
+ public:
+  /// `weth_token` identifies the canonical WETH contract for rule 2 (pass
+  /// a default asset when none exists).
+  detector(const chain::creation_registry& creations,
+           const etherscan::label_db& labels, asset weth_token,
+           pattern_params params = {});
+
+  /// Run the full pipeline on one receipt. Non-flash-loan transactions get
+  /// a report with is_flash_loan == false and no further stages.
+  [[nodiscard]] detection_report analyze(
+      const chain::tx_receipt& receipt) const;
+
+  [[nodiscard]] const pattern_params& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] const account_tagger& tagger() const noexcept {
+    return tagger_;
+  }
+
+ private:
+  account_tagger tagger_;
+  asset weth_token_;
+  pattern_params params_;
+  simplify_params simplify_params_;
+};
+
+/// Human-readable report rendering (used by examples and benches).
+void print_report(std::ostream& os, const detection_report& report);
+
+}  // namespace leishen::core

@@ -1,0 +1,126 @@
+#include "core/flashloan_id.h"
+
+namespace leishen::core {
+namespace {
+
+using chain::call_record;
+using chain::event_log;
+using chain::trace_event;
+
+/// Uniswap flash swaps: find each uniswapV2Call callback; the loaned
+/// amounts are the Transfer logs the pair emitted between its enclosing
+/// swap call and the callback.
+void detect_uniswap(const chain::tx_receipt& rec, flashloan_info& out) {
+  const auto& evs = rec.events;
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    const auto* cb = std::get_if<call_record>(&evs[i]);
+    if (cb == nullptr || cb->method != "uniswapV2Call") continue;
+    const address pair = cb->caller;
+    const address borrower = cb->callee;
+    // Walk back to the pair's swap call, collecting pair -> borrower
+    // Transfer logs: the optimistic payouts, i.e. the loan principal.
+    std::vector<flash_loan> loans;
+    for (std::size_t j = i; j-- > 0;) {
+      if (const auto* call = std::get_if<call_record>(&evs[j])) {
+        if (call->method == "swap" && call->callee == pair) break;
+      }
+      if (const auto* log = std::get_if<event_log>(&evs[j])) {
+        if (log->name == chain::kTransferEvent && log->addr0 == pair &&
+            log->addr1 == borrower) {
+          loans.push_back(flash_loan{.provider = flash_provider::uniswap,
+                                     .provider_contract = pair,
+                                     .token = chain::asset::token(log->emitter),
+                                     .amount = log->amount0});
+        }
+      }
+    }
+    if (!loans.empty()) {
+      out.is_flash_loan = true;
+      if (out.borrower.is_zero()) out.borrower = borrower;
+      out.loans.insert(out.loans.end(), loans.begin(), loans.end());
+    }
+  }
+}
+
+/// AAVE: every FlashLoan event is one loan.
+void detect_aave(const chain::tx_receipt& rec, flashloan_info& out) {
+  for (const trace_event& ev : rec.events) {
+    const auto* log = std::get_if<event_log>(&ev);
+    if (log == nullptr || log->name != "FlashLoan") continue;
+    out.is_flash_loan = true;
+    if (out.borrower.is_zero()) out.borrower = log->addr0;
+    out.loans.push_back(flash_loan{.provider = flash_provider::aave,
+                                   .provider_contract = log->emitter,
+                                   .token = chain::asset::token(log->addr1),
+                                   .amount = log->amount0});
+  }
+}
+
+/// dYdX: requires LogOperation, LogWithdraw, LogCall, LogDeposit from the
+/// same contract, in order.
+void detect_dydx(const chain::tx_receipt& rec, flashloan_info& out) {
+  int stage = 0;  // 0=need LogOperation, 1=LogWithdraw, 2=LogCall, 3=LogDeposit
+  address solo;
+  flash_loan pending{};
+  address borrower;
+  for (const trace_event& ev : rec.events) {
+    const auto* log = std::get_if<event_log>(&ev);
+    if (log == nullptr) continue;
+    switch (stage) {
+      case 0:
+        if (log->name == "LogOperation") {
+          solo = log->emitter;
+          borrower = log->addr0;
+          stage = 1;
+        }
+        break;
+      case 1:
+        if (log->name == "LogWithdraw" && log->emitter == solo) {
+          pending = flash_loan{.provider = flash_provider::dydx,
+                               .provider_contract = solo,
+                               .token = chain::asset::token(log->addr1),
+                               .amount = log->amount0};
+          stage = 2;
+        }
+        break;
+      case 2:
+        if (log->name == "LogCall" && log->emitter == solo) stage = 3;
+        break;
+      case 3:
+        if (log->name == "LogDeposit" && log->emitter == solo) {
+          out.is_flash_loan = true;
+          if (out.borrower.is_zero()) out.borrower = borrower;
+          out.loans.push_back(pending);
+          stage = 0;  // allow repeated batches
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(flash_provider p) noexcept {
+  switch (p) {
+    case flash_provider::uniswap:
+      return "Uniswap";
+    case flash_provider::aave:
+      return "AAVE";
+    case flash_provider::dydx:
+      return "dYdX";
+  }
+  return "?";
+}
+
+flashloan_info identify_flash_loan(const chain::tx_receipt& receipt) {
+  flashloan_info out;
+  if (!receipt.success) return out;  // reverted txs left no flash loan
+  detect_uniswap(receipt, out);
+  detect_aave(receipt, out);
+  detect_dydx(receipt, out);
+  return out;
+}
+
+}  // namespace leishen::core

@@ -1,0 +1,44 @@
+// Flash loan transaction identification (paper §V-A, Table II).
+//
+//   Uniswap:  swap call followed by a nested uniswapV2Call callback
+//   AAVE:     flashLoan call emitting a FlashLoan event
+//   dYdX:     the Operate/Withdraw/callFunction/Deposit action sequence
+//             emitting LogOperation/LogWithdraw/LogCall/LogDeposit
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/receipt.h"
+
+namespace leishen::core {
+
+enum class flash_provider { uniswap, aave, dydx };
+
+[[nodiscard]] const char* to_string(flash_provider p) noexcept;
+
+struct flash_loan {
+  flash_provider provider;
+  address provider_contract;
+  chain::asset token;
+  u256 amount;
+};
+
+struct flashloan_info {
+  bool is_flash_loan = false;
+  address borrower;  // callee of the flash loan callback
+  std::vector<flash_loan> loans;
+
+  [[nodiscard]] bool from(flash_provider p) const {
+    for (const auto& l : loans) {
+      if (l.provider == p) return true;
+    }
+    return false;
+  }
+};
+
+/// Scan a receipt's trace for flash loan signals.
+[[nodiscard]] flashloan_info identify_flash_loan(
+    const chain::tx_receipt& receipt);
+
+}  // namespace leishen::core

@@ -1,0 +1,103 @@
+#include "core/forensics.h"
+
+#include <set>
+
+#include "replay/replayer.h"
+
+namespace leishen::core {
+
+bool used_selfdestruct(const chain::tx_receipt& receipt) {
+  for (const chain::trace_event& ev : receipt.events) {
+    if (const auto* call = std::get_if<chain::call_record>(&ev)) {
+      if (call->method == "selfdestruct") return true;
+    }
+  }
+  return false;
+}
+
+const char* to_string(exit_kind k) noexcept {
+  switch (k) {
+    case exit_kind::held:
+      return "held";
+    case exit_kind::multi_hop:
+      return "multi-hop";
+    case exit_kind::mixer:
+      return "mixer";
+  }
+  return "?";
+}
+
+laundering_report trace_profit_flow(const chain::blockchain& bc,
+                                    const etherscan::label_db& labels,
+                                    const address& attack_contract,
+                                    std::uint64_t attack_tx_index,
+                                    int max_hops) {
+  laundering_report out;
+
+  // Frontier of attacker-controlled accounts and the hop at which each was
+  // reached. Start with the attack contract and its creation-tree root
+  // (the attacker EOA).
+  std::set<address> controlled{attack_contract,
+                               bc.creations().root_of(attack_contract)};
+  std::set<address> frontier = controlled;
+  struct depth_entry {
+    address a;
+    int depth;
+  };
+  std::vector<depth_entry> depths;
+  for (const address& a : controlled) depths.push_back({a, 0});
+  const auto depth_of = [&](const address& a) {
+    for (const auto& d : depths) {
+      if (d.a == a) return d.depth;
+    }
+    return 0;
+  };
+
+  const auto& receipts = bc.receipts();
+  for (std::uint64_t i = attack_tx_index; i < receipts.size(); ++i) {
+    const auto& rec = receipts[i];
+    if (!rec.success) continue;
+    if (i == attack_tx_index) {
+      out.selfdestructed = used_selfdestruct(rec);
+      continue;  // the attack itself; laundering happens afterwards
+    }
+    // Only follow transactions initiated by a controlled account.
+    if (controlled.find(rec.from) == controlled.end()) continue;
+    if (used_selfdestruct(rec)) out.selfdestructed = true;
+    for (const chain::transfer& t : replay::extract_transfers(rec)) {
+      if (controlled.find(t.sender) == controlled.end()) continue;
+      if (t.receiver.is_zero()) continue;
+      const int d = depth_of(t.sender) + 1;
+      // Mixer deposit?
+      if (const chain::contract* c = bc.find(t.receiver)) {
+        if (c->kind() == "Mixer") {
+          out.reached_mixer = true;
+          out.trail.push_back(
+              {t.sender, t.receiver, t.amount, t.token, rec.tx_index});
+          if (d > out.hops) out.hops = d;
+          continue;
+        }
+      }
+      // Labeled destinations (exchanges, protocols) end the trail.
+      if (labels.label_of(t.receiver).has_value()) continue;
+      if (d > max_hops) continue;
+      out.trail.push_back(
+          {t.sender, t.receiver, t.amount, t.token, rec.tx_index});
+      if (controlled.insert(t.receiver).second) {
+        depths.push_back({t.receiver, d});
+      }
+      if (d > out.hops) out.hops = d;
+    }
+  }
+
+  if (out.reached_mixer) {
+    out.kind = exit_kind::mixer;
+  } else if (out.hops >= 2) {
+    out.kind = exit_kind::multi_hop;
+  } else {
+    out.kind = exit_kind::held;
+  }
+  return out;
+}
+
+}  // namespace leishen::core

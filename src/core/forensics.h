@@ -1,0 +1,53 @@
+// Post-attack forensics (paper §VI-D2).
+//
+// Two behaviours the paper observes on almost all wild attackers:
+//   1. some call selfdestruct to hide their traces ("the contract code
+//      remains in the entire blockchain history and can be replayed") —
+//      we detect the call and note the account's destroyed flag;
+//   2. nearly all launder their profit: through chains of intermediary
+//      accounts they control, or through coin mixers.
+// trace_profit_flow follows the attacker's funds forward across the
+// transactions *after* the attack and classifies the exit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "core/detector.h"
+
+namespace leishen::core {
+
+/// True if the transaction's call tree contains a selfdestruct.
+[[nodiscard]] bool used_selfdestruct(const chain::tx_receipt& receipt);
+
+enum class exit_kind { held, multi_hop, mixer };
+
+[[nodiscard]] const char* to_string(exit_kind k) noexcept;
+
+struct profit_hop {
+  address from;
+  address to;
+  u256 amount;
+  asset token;
+  std::uint64_t tx_index = 0;
+};
+
+struct laundering_report {
+  exit_kind kind = exit_kind::held;
+  int hops = 0;                 // longest intermediary chain observed
+  bool reached_mixer = false;   // funds deposited into a mixer contract
+  bool selfdestructed = false;  // the attack contract removed itself
+  std::vector<profit_hop> trail;
+};
+
+/// Follow the borrower's outgoing transfers across all receipts after the
+/// attack transaction, up to `max_hops` account hops. An account is
+/// followed only while it looks attacker-controlled: unlabeled, and first
+/// funded by the trail itself.
+[[nodiscard]] laundering_report trace_profit_flow(
+    const chain::blockchain& bc, const etherscan::label_db& labels,
+    const address& attack_contract, std::uint64_t attack_tx_index,
+    int max_hops = 6);
+
+}  // namespace leishen::core

@@ -1,0 +1,193 @@
+#include "core/patterns.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+namespace leishen::core {
+namespace {
+
+/// A trade normalized to the borrower's perspective.
+struct btrade {
+  std::size_t index;  // position in the original trade list
+  std::string counterparty;
+  u256 paid_amount;
+  asset paid_token;
+  u256 recv_amount;
+  asset recv_token;
+};
+
+std::vector<btrade> normalize(const trade_list& trades,
+                              const std::string& borrower) {
+  std::vector<btrade> out;
+  for (std::size_t i = 0; i < trades.size(); ++i) {
+    const trade& t = trades[i];
+    if (t.buyer == borrower) {
+      out.push_back(btrade{.index = i,
+                           .counterparty = t.seller,
+                           .paid_amount = t.amount_sell,
+                           .paid_token = t.token_sell,
+                           .recv_amount = t.amount_buy,
+                           .recv_token = t.token_buy});
+    } else if (t.seller == borrower) {
+      out.push_back(btrade{.index = i,
+                           .counterparty = t.buyer,
+                           .paid_amount = t.amount_buy,
+                           .paid_token = t.token_buy,
+                           .recv_amount = t.amount_sell,
+                           .recv_token = t.token_sell});
+    }
+  }
+  return out;
+}
+
+rate buy_price(const btrade& b) {  // quote paid per unit of X received
+  return rate{b.paid_amount, b.recv_amount};
+}
+rate sell_price(const btrade& b) {  // quote received per unit of X paid
+  return rate{b.recv_amount, b.paid_amount};
+}
+
+/// Dedup key so each (pattern, token, counterparty) reports once.
+using match_key = std::tuple<attack_pattern, asset, std::string>;
+
+void match_krp(const std::vector<btrade>& bts, const pattern_params& params,
+               std::set<match_key>& seen,
+               std::vector<pattern_match>& out) {
+  // Group buys by (target token, seller, quote token), preserving order.
+  std::map<std::tuple<asset, std::string, asset>, std::vector<const btrade*>>
+      buys;
+  for (const btrade& b : bts) {
+    buys[{b.recv_token, b.counterparty, b.paid_token}].push_back(&b);
+  }
+  for (const btrade& sell : bts) {
+    const asset& x = sell.paid_token;
+    for (auto& [key, series] : buys) {
+      if (std::get<0>(key) != x) continue;
+      // Buys of X (same seller, same quote) strictly before the sell.
+      std::vector<const btrade*> before;
+      for (const btrade* b : series) {
+        if (b->index < sell.index) before.push_back(b);
+      }
+      if (static_cast<int>(before.size()) < params.krp_min_buys) continue;
+      // Condition b: the buy price rose from the first to the last buy.
+      if (!(buy_price(*before.front()) < buy_price(*before.back()))) {
+        continue;
+      }
+      const match_key mk{attack_pattern::krp, x, std::get<1>(key)};
+      if (!seen.insert(mk).second) continue;
+      pattern_match m{.pattern = attack_pattern::krp,
+                      .target = x,
+                      .counterparty = std::get<1>(key)};
+      for (const btrade* b : before) m.trade_indices.push_back(b->index);
+      m.trade_indices.push_back(sell.index);
+      out.push_back(std::move(m));
+    }
+  }
+}
+
+void match_sbs(const std::vector<btrade>& bts, const trade_list& trades,
+               const pattern_params& params, std::set<match_key>& seen,
+               std::vector<pattern_match>& out) {
+  for (const btrade& t3 : bts) {            // the sell
+    const asset& x = t3.paid_token;
+    const asset& quote = t3.recv_token;
+    for (const btrade& t1 : bts) {          // the symmetric buy
+      if (t1.index >= t3.index) continue;
+      if (t1.recv_token != x || t1.paid_token != quote) continue;
+      // Condition a: symmetric amounts.
+      if (t1.recv_amount != t3.paid_amount) continue;
+      const rate r1 = buy_price(t1);
+      const rate r3 = sell_price(t3);
+      if (!(r1 < r3)) continue;
+      // Condition b/c: a pump trade between them — any party buying X with
+      // the same quote at a higher price (the paper's trade_2; in bZx-1 it
+      // is bZx's margin trade, not the borrower's own).
+      for (std::size_t j = t1.index + 1; j < t3.index; ++j) {
+        const trade& t2 = trades[j];
+        if (t2.token_buy != x || t2.token_sell != quote) continue;
+        const rate r2 = rate{t2.amount_sell, t2.amount_buy};
+        if (!(r3 < r2)) continue;
+        if (volatility_percent(r2, r1) < params.sbs_min_volatility_pct) {
+          continue;
+        }
+        const match_key mk{attack_pattern::sbs, x, t1.counterparty};
+        if (seen.insert(mk).second) {
+          out.push_back(pattern_match{
+              .pattern = attack_pattern::sbs,
+              .target = x,
+              .counterparty = t1.counterparty,
+              .trade_indices = {t1.index, j, t3.index}});
+        }
+        break;
+      }
+    }
+  }
+}
+
+void match_mbs(const std::vector<btrade>& bts, const pattern_params& params,
+               std::set<match_key>& seen,
+               std::vector<pattern_match>& out) {
+  // Round-trip rounds per (token, counterparty, quote).
+  std::map<std::tuple<asset, std::string, asset>,
+           std::pair<std::optional<btrade>, std::vector<std::size_t>>>
+      state;  // pending buy + collected round indices
+  for (const btrade& b : bts) {
+    // as a buy of recv_token
+    {
+      auto& [pending, rounds] =
+          state[{b.recv_token, b.counterparty, b.paid_token}];
+      if (!pending.has_value()) pending = b;
+    }
+    // as a sell of paid_token
+    {
+      auto& [pending, rounds] =
+          state[{b.paid_token, b.counterparty, b.recv_token}];
+      if (pending.has_value() && buy_price(*pending) < sell_price(b)) {
+        rounds.push_back(pending->index);
+        rounds.push_back(b.index);
+        pending.reset();
+      }
+    }
+  }
+  for (auto& [key, pr] : state) {
+    auto& [pending, rounds] = pr;
+    const int n = static_cast<int>(rounds.size() / 2);
+    if (n < params.mbs_min_rounds) continue;
+    const match_key mk{attack_pattern::mbs, std::get<0>(key),
+                       std::get<1>(key)};
+    if (!seen.insert(mk).second) continue;
+    out.push_back(pattern_match{.pattern = attack_pattern::mbs,
+                                .target = std::get<0>(key),
+                                .counterparty = std::get<1>(key),
+                                .trade_indices = rounds});
+  }
+}
+
+}  // namespace
+
+const char* to_string(attack_pattern p) noexcept {
+  switch (p) {
+    case attack_pattern::krp:
+      return "KRP";
+    case attack_pattern::sbs:
+      return "SBS";
+    case attack_pattern::mbs:
+      return "MBS";
+  }
+  return "?";
+}
+
+std::vector<pattern_match> match_patterns(const trade_list& trades,
+                                          const std::string& borrower_tag,
+                                          const pattern_params& params) {
+  const std::vector<btrade> bts = normalize(trades, borrower_tag);
+  std::vector<pattern_match> out;
+  std::set<match_key> seen;
+  match_krp(bts, params, seen, out);
+  match_sbs(bts, trades, params, seen, out);
+  match_mbs(bts, params, seen, out);
+  return out;
+}
+
+}  // namespace leishen::core

@@ -1,0 +1,51 @@
+// Attack pattern matching (paper §IV-B).
+//
+// Patterns are matched over the trade list from the flash loan borrower's
+// perspective. A borrower-side view of a trade is:
+//   buy  X: the borrower receives X (paying some quote token)
+//   sell X: the borrower pays X (receiving some quote token)
+// with prices always expressed as quote-per-X and compared exactly.
+//
+//   KRP (Keep Raising Price): >= 5 consecutive buys of X from one seller at
+//     (weakly) rising prices, then a sell of X. (bZx-2: 18 x 20 ETH -> sUSD)
+//   SBS (Symmetrical Buying and Selling): buy X (t1), some trade pumps X
+//     (t2), sell exactly the bought amount (t3), with
+//     price(t1) < price(t3) < price(t2) and volatility(t1->t2) >= 28%.
+//   MBS (Multi-Round Buying and Selling): >= 3 profitable (buy X, sell X)
+//     rounds against the same seller. (Harvest: 3 x ~50M USDC rounds)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/app_transfer.h"
+
+namespace leishen::core {
+
+enum class attack_pattern { krp, sbs, mbs };
+
+[[nodiscard]] const char* to_string(attack_pattern p) noexcept;
+
+struct pattern_params {
+  /// KRP: minimum number of buy trades (paper: 5, the real-world minimum).
+  int krp_min_buys = 5;
+  /// SBS: minimum price volatility between trade1 and trade2 in percent
+  /// (paper: 28, the real-world minimum).
+  double sbs_min_volatility_pct = 28.0;
+  /// MBS: minimum number of buy/sell rounds (paper: 3).
+  int mbs_min_rounds = 3;
+};
+
+struct pattern_match {
+  attack_pattern pattern;
+  asset target;              // the manipulated token
+  std::string counterparty;  // the victim application of the primary trades
+  std::vector<std::size_t> trade_indices;  // indices into the input trades
+};
+
+/// Match all three patterns for the given borrower tag.
+[[nodiscard]] std::vector<pattern_match> match_patterns(
+    const trade_list& trades, const std::string& borrower_tag,
+    const pattern_params& params = {});
+
+}  // namespace leishen::core

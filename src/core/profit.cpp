@@ -1,0 +1,21 @@
+#include "core/profit.h"
+
+namespace leishen::core {
+
+profit_summary summarize_profit(const detection_report& report,
+                                const usd_valuer& value) {
+  profit_summary out;
+  for (const auto& [token, flow] : report.borrower_flows()) {
+    out.net_usd += value(token, flow.in);
+    out.net_usd -= value(token, flow.out);
+  }
+  for (const auto& loan : report.flash.loans) {
+    out.borrowed_usd += value(loan.token, loan.amount);
+  }
+  if (out.borrowed_usd > 0) {
+    out.yield_rate_pct = out.net_usd / out.borrowed_usd * 100.0;
+  }
+  return out;
+}
+
+}  // namespace leishen::core

@@ -1,0 +1,24 @@
+// Attack profitability accounting (paper §VI-D3, Table VII).
+#pragma once
+
+#include <functional>
+
+#include "core/detector.h"
+
+namespace leishen::core {
+
+/// Values an amount of an asset in USD (scenario-owned price table; the
+/// paper uses average prices on the attack day).
+using usd_valuer = std::function<double(const asset&, const u256&)>;
+
+struct profit_summary {
+  double net_usd = 0.0;       // borrower inflow - outflow, USD
+  double borrowed_usd = 0.0;  // flash loan principal, USD
+  double yield_rate_pct = 0.0;  // net / borrowed * 100
+};
+
+/// Net profit of the flash loan borrower over the transaction.
+[[nodiscard]] profit_summary summarize_profit(const detection_report& report,
+                                              const usd_valuer& value);
+
+}  // namespace leishen::core

@@ -1,0 +1,72 @@
+#include "core/scanner.h"
+
+#include <algorithm>
+
+namespace leishen::core {
+
+scanner::scanner(const chain::creation_registry& creations,
+                 const etherscan::label_db& labels, chain::asset weth_token,
+                 scanner_options options)
+    : detector_{creations, labels, weth_token, options.params},
+      options_{std::move(options)} {}
+
+bool scanner::is_aggregator(const std::string& tag) const {
+  return std::find(options_.yield_aggregator_apps.begin(),
+                   options_.yield_aggregator_apps.end(),
+                   tag) != options_.yield_aggregator_apps.end();
+}
+
+std::optional<incident> scanner::scan(const chain::tx_receipt& receipt) {
+  ++stats_.transactions;
+  const detection_report report = detector_.analyze(receipt);
+  if (!report.is_flash_loan) return std::nullopt;
+  ++stats_.flash_loans;
+  for (const auto p : {flash_provider::uniswap, flash_provider::aave,
+                       flash_provider::dydx}) {
+    if (report.flash.from(p)) ++stats_.per_provider[static_cast<int>(p)];
+  }
+  if (report.matches.empty()) return std::nullopt;
+
+  std::vector<pattern_match> kept = report.matches;
+  if (options_.aggregator_heuristic && is_aggregator(report.borrower_tag)) {
+    // §VI-C: transactions initiated from yield aggregators are assumed
+    // benign — drop their MBS matches (the pattern their strategies mimic).
+    const auto removed = std::erase_if(kept, [](const pattern_match& m) {
+      return m.pattern == attack_pattern::mbs;
+    });
+    stats_.suppressed_by_heuristic += removed;
+  }
+  if (kept.empty()) return std::nullopt;
+
+  ++stats_.incidents;
+  for (const auto p : {attack_pattern::krp, attack_pattern::sbs,
+                       attack_pattern::mbs}) {
+    if (std::any_of(kept.begin(), kept.end(), [&](const pattern_match& m) {
+          return m.pattern == p;
+        })) {
+      ++stats_.per_pattern[static_cast<int>(p)];
+    }
+  }
+
+  incident inc;
+  inc.tx_index = receipt.tx_index;
+  inc.timestamp = receipt.timestamp;
+  inc.borrower_tag = report.borrower_tag;
+  inc.matches = std::move(kept);
+  const auto vols = report.volatilities();
+  if (!vols.empty()) inc.max_volatility_pct = vols.front().percent;
+  incidents_.push_back(inc);
+  return inc;
+}
+
+void scanner::scan_all(const std::vector<chain::tx_receipt>& receipts,
+                       const std::function<void(const incident&)>&
+                           on_incident) {
+  for (const chain::tx_receipt& rec : receipts) {
+    if (const auto inc = scan(rec)) {
+      if (on_incident) on_incident(*inc);
+    }
+  }
+}
+
+}  // namespace leishen::core

@@ -1,0 +1,75 @@
+// Chain scanner: the deployment-facing API around the per-transaction
+// detector. Feeds on receipts in block order, keeps the running statistics
+// the paper reports (per-provider flash loan counts, detections per
+// pattern), and applies the §VI-C yield-aggregator heuristic.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+
+namespace leishen::core {
+
+struct scanner_options {
+  pattern_params params;
+  /// Applications whose transactions the §VI-C heuristic treats as benign
+  /// yield-aggregator activity: MBS-only matches from these borrowers are
+  /// suppressed.
+  std::vector<std::string> yield_aggregator_apps;
+  /// Apply the heuristic (paper: lifts MBS precision 56.1% -> 80%).
+  bool aggregator_heuristic = true;
+};
+
+struct incident {
+  std::uint64_t tx_index = 0;
+  std::int64_t timestamp = 0;
+  std::string borrower_tag;
+  std::vector<pattern_match> matches;
+  double max_volatility_pct = 0.0;
+};
+
+struct scan_stats {
+  std::uint64_t transactions = 0;
+  std::uint64_t flash_loans = 0;
+  std::uint64_t per_provider[3] = {0, 0, 0};  // indexed by flash_provider
+  std::uint64_t incidents = 0;
+  std::uint64_t per_pattern[3] = {0, 0, 0};   // indexed by attack_pattern
+  std::uint64_t suppressed_by_heuristic = 0;
+};
+
+class scanner {
+ public:
+  scanner(const chain::creation_registry& creations,
+          const etherscan::label_db& labels, chain::asset weth_token,
+          scanner_options options = {});
+
+  /// Scan one receipt; returns the incident if the transaction is flagged
+  /// (after the heuristic), nullopt otherwise. Statistics update either way.
+  std::optional<incident> scan(const chain::tx_receipt& receipt);
+
+  /// Convenience: scan a whole range of receipts, invoking `on_incident`
+  /// for every flagged transaction.
+  void scan_all(const std::vector<chain::tx_receipt>& receipts,
+                const std::function<void(const incident&)>& on_incident);
+
+  [[nodiscard]] const scan_stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<incident>& incidents() const noexcept {
+    return incidents_;
+  }
+  [[nodiscard]] const detector& underlying_detector() const noexcept {
+    return detector_;
+  }
+
+ private:
+  [[nodiscard]] bool is_aggregator(const std::string& tag) const;
+
+  detector detector_;
+  scanner_options options_;
+  scan_stats stats_;
+  std::vector<incident> incidents_;
+};
+
+}  // namespace leishen::core

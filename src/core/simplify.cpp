@@ -1,0 +1,70 @@
+#include "core/simplify.h"
+
+namespace leishen::core {
+
+app_transfer_list unify_weth(const app_transfer_list& in,
+                             const asset& weth_token) {
+  if (weth_token.is_ether()) return in;  // no WETH in this universe
+  app_transfer_list out = in;
+  for (app_transfer& t : out) {
+    if (t.token == weth_token) t.token = asset::ether();
+  }
+  return out;
+}
+
+app_transfer_list simplify(const app_transfer_list& in,
+                           const asset& weth_token,
+                           const simplify_params& params) {
+  // Rule 2a: unify WETH and ETH as one asset.
+  app_transfer_list cur = unify_weth(in, weth_token);
+
+  // Rules 1 + 2b: drop intra-app transfers and transfers that touch the
+  // Wrapped Ether contract (pure wrap/unwrap plumbing).
+  app_transfer_list filtered;
+  filtered.reserve(cur.size());
+  for (const app_transfer& t : cur) {
+    if (t.from_tag == t.to_tag) continue;
+    if (t.from_tag == params.weth_tag || t.to_tag == params.weth_tag) {
+      continue;
+    }
+    filtered.push_back(t);
+  }
+
+  // Rule 3: merge inter-app transfers through intermediaries, repeating
+  // until fixpoint so multi-hop routing (user -> agg -> agg2 -> pool)
+  // collapses fully.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    app_transfer_list merged;
+    merged.reserve(filtered.size());
+    std::size_t i = 0;
+    while (i < filtered.size()) {
+      if (i + 1 < filtered.size()) {
+        const app_transfer& a = filtered[i];
+        const app_transfer& b = filtered[i + 1];
+        if (a.token == b.token && a.to_tag == b.from_tag &&
+            a.from_tag != b.to_tag && a.to_tag != params.protected_tag &&
+            amounts_close(a.amount, b.amount, params.merge_tolerance_num,
+                          params.merge_tolerance_den)) {
+          // The intermediary a.to_tag routed the asset through; expose the
+          // real counterparties. The receiver-side amount is what the end
+          // party actually observed.
+          merged.push_back(app_transfer{.from_tag = a.from_tag,
+                                        .to_tag = b.to_tag,
+                                        .amount = b.amount,
+                                        .token = b.token});
+          i += 2;
+          changed = true;
+          continue;
+        }
+      }
+      merged.push_back(filtered[i]);
+      ++i;
+    }
+    filtered = std::move(merged);
+  }
+  return filtered;
+}
+
+}  // namespace leishen::core

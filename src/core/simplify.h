@@ -1,0 +1,42 @@
+// Asset transfer simplification (paper §V-B2): lift tagged account-level
+// transfers to application-level transfers with three rules.
+//
+//   1. Remove intra-app transfers   (tag_sender == tag_receiver)
+//   2. Remove WETH-related transfers after unifying WETH and ETH 1:1
+//   3. Merge inter-app transfers routed through an intermediary whose in
+//      and out amounts agree within 0.1% (yield aggregators' pass-through)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/app_transfer.h"
+
+namespace leishen::core {
+
+struct simplify_params {
+  /// Application tag of the canonical WETH contract.
+  std::string weth_tag = "Wrapped Ether";
+  /// Merge tolerance as a fraction: |in - out| / max < num/den (paper: 0.1%).
+  std::uint64_t merge_tolerance_num = 1;
+  std::uint64_t merge_tolerance_den = 1000;
+  /// A party that must never be treated as a pass-through intermediary —
+  /// the flash loan borrower, which identification resolves before this
+  /// stage. Without this, a borrower whose sale proceeds happen to equal
+  /// its loan repayment would be merged away along with its trades.
+  std::string protected_tag;
+};
+
+/// Rule 2 asset rewrite: map the WETH token to native Ether. `weth_token`
+/// is the WETH contract's asset id (zero contract -> rule disabled).
+[[nodiscard]] app_transfer_list unify_weth(const app_transfer_list& in,
+                                           const asset& weth_token);
+
+/// Apply all three rules in the paper's order. `weth_token` identifies the
+/// WETH contract's token (pass a default-constructed asset when the
+/// transaction universe has no WETH).
+[[nodiscard]] app_transfer_list simplify(const app_transfer_list& in,
+                                         const asset& weth_token,
+                                         const simplify_params& params = {});
+
+}  // namespace leishen::core

@@ -1,0 +1,195 @@
+#include "core/trade_actions.h"
+
+#include <optional>
+
+namespace leishen::core {
+namespace {
+
+bool is_black_hole(const std::string& tag) { return tag == kBlackHoleTag; }
+
+// ---- three-transfer conditions (checked first) ------------------------------
+
+// Swap, 3 transfers: A pays t1 to B; B pays t2 and t3 back to A.
+std::optional<trade> match_swap3(const app_transfer& x, const app_transfer& y,
+                                 const app_transfer& z) {
+  if (is_black_hole(x.from_tag) || is_black_hole(x.to_tag)) return {};
+  if (x.from_tag == y.to_tag && x.from_tag == z.to_tag &&
+      x.to_tag == y.from_tag && x.to_tag == z.from_tag &&
+      x.token != y.token && y.token != z.token && x.token != z.token) {
+    return trade{.buyer = x.from_tag,
+                 .seller = x.to_tag,
+                 .amount_sell = x.amount,
+                 .token_sell = x.token,
+                 .amount_buy = y.amount,
+                 .token_buy = y.token,
+                 .kind = trade_kind::swap,
+                 .amount_buy2 = z.amount,
+                 .token_buy2 = z.token};
+  }
+  return {};
+}
+
+// Mint, 3 transfers: A pays t1 and t2 to B; t3 minted to A from BlackHole.
+std::optional<trade> match_mint3(const app_transfer& x, const app_transfer& y,
+                                 const app_transfer& z) {
+  if (is_black_hole(x.from_tag)) return {};
+  if (x.from_tag == y.from_tag && x.to_tag == y.to_tag &&
+      x.from_tag == z.to_tag && is_black_hole(z.from_tag) &&
+      x.token != y.token && y.token != z.token && x.token != z.token) {
+    return trade{.buyer = x.from_tag,
+                 .seller = x.to_tag,
+                 .amount_sell = x.amount,
+                 .token_sell = x.token,
+                 .amount_buy = z.amount,
+                 .token_buy = z.token,
+                 .kind = trade_kind::mint_liquidity,
+                 .amount_sell2 = y.amount,
+                 .token_sell2 = y.token};
+  }
+  return {};
+}
+
+// Remove, 3 transfers: A burns t1 to BlackHole; B pays t2 and t3 back to A.
+std::optional<trade> match_remove3(const app_transfer& x,
+                                   const app_transfer& y,
+                                   const app_transfer& z) {
+  if (is_black_hole(x.from_tag)) return {};
+  if (is_black_hole(x.to_tag) && y.to_tag == x.from_tag &&
+      z.to_tag == x.from_tag && y.from_tag == z.from_tag &&
+      !is_black_hole(y.from_tag) && x.token != y.token &&
+      y.token != z.token && x.token != z.token) {
+    return trade{.buyer = x.from_tag,
+                 .seller = y.from_tag,
+                 .amount_sell = x.amount,
+                 .token_sell = x.token,
+                 .amount_buy = y.amount,
+                 .token_buy = y.token,
+                 .kind = trade_kind::remove_liquidity,
+                 .amount_buy2 = z.amount,
+                 .token_buy2 = z.token};
+  }
+  return {};
+}
+
+// ---- two-transfer conditions ---------------------------------------------------
+
+// Swap: A pays t1 to B; B pays t2 back to A.
+std::optional<trade> match_swap2(const app_transfer& x,
+                                 const app_transfer& y) {
+  if (is_black_hole(x.from_tag) || is_black_hole(x.to_tag)) return {};
+  if (x.from_tag == y.to_tag && x.to_tag == y.from_tag &&
+      x.token != y.token) {
+    return trade{.buyer = x.from_tag,
+                 .seller = x.to_tag,
+                 .amount_sell = x.amount,
+                 .token_sell = x.token,
+                 .amount_buy = y.amount,
+                 .token_buy = y.token,
+                 .kind = trade_kind::swap};
+  }
+  return {};
+}
+
+// Mint: A pays t1 to B, t2 minted to A (either order).
+std::optional<trade> match_mint2(const app_transfer& x,
+                                 const app_transfer& y) {
+  const auto make = [](const app_transfer& pay, const app_transfer& minted) {
+    return trade{.buyer = pay.from_tag,
+                 .seller = pay.to_tag,
+                 .amount_sell = pay.amount,
+                 .token_sell = pay.token,
+                 .amount_buy = minted.amount,
+                 .token_buy = minted.token,
+                 .kind = trade_kind::mint_liquidity};
+  };
+  if (x.token == y.token) return {};
+  // pay then mint
+  if (!is_black_hole(x.from_tag) && !is_black_hole(x.to_tag) &&
+      is_black_hole(y.from_tag) && y.to_tag == x.from_tag) {
+    return make(x, y);
+  }
+  // mint then pay
+  if (is_black_hole(x.from_tag) && !is_black_hole(y.from_tag) &&
+      !is_black_hole(y.to_tag) && x.to_tag == y.from_tag) {
+    return make(y, x);
+  }
+  return {};
+}
+
+// Remove: A burns t1 to BlackHole, B pays t2 to A (either order).
+std::optional<trade> match_remove2(const app_transfer& x,
+                                   const app_transfer& y) {
+  const auto make = [](const app_transfer& burn, const app_transfer& recv) {
+    return trade{.buyer = burn.from_tag,
+                 .seller = recv.from_tag,
+                 .amount_sell = burn.amount,
+                 .token_sell = burn.token,
+                 .amount_buy = recv.amount,
+                 .token_buy = recv.token,
+                 .kind = trade_kind::remove_liquidity};
+  };
+  if (x.token == y.token) return {};
+  // burn then receive
+  if (is_black_hole(x.to_tag) && !is_black_hole(x.from_tag) &&
+      !is_black_hole(y.from_tag) && y.to_tag == x.from_tag) {
+    return make(x, y);
+  }
+  // receive then burn
+  if (is_black_hole(y.to_tag) && !is_black_hole(y.from_tag) &&
+      !is_black_hole(x.from_tag) && x.to_tag == y.from_tag) {
+    return make(y, x);
+  }
+  return {};
+}
+
+}  // namespace
+
+trade_list identify_trades(const app_transfer_list& transfers) {
+  trade_list out;
+  std::size_t i = 0;
+  while (i < transfers.size()) {
+    if (i + 2 < transfers.size()) {
+      const auto& x = transfers[i];
+      const auto& y = transfers[i + 1];
+      const auto& z = transfers[i + 2];
+      if (auto t = match_swap3(x, y, z)) {
+        out.push_back(*t);
+        i += 3;
+        continue;
+      }
+      if (auto t = match_mint3(x, y, z)) {
+        out.push_back(*t);
+        i += 3;
+        continue;
+      }
+      if (auto t = match_remove3(x, y, z)) {
+        out.push_back(*t);
+        i += 3;
+        continue;
+      }
+    }
+    if (i + 1 < transfers.size()) {
+      const auto& x = transfers[i];
+      const auto& y = transfers[i + 1];
+      if (auto t = match_swap2(x, y)) {
+        out.push_back(*t);
+        i += 2;
+        continue;
+      }
+      if (auto t = match_mint2(x, y)) {
+        out.push_back(*t);
+        i += 2;
+        continue;
+      }
+      if (auto t = match_remove2(x, y)) {
+        out.push_back(*t);
+        i += 2;
+        continue;
+      }
+    }
+    ++i;  // transfer participates in no trade
+  }
+  return out;
+}
+
+}  // namespace leishen::core

@@ -1,0 +1,17 @@
+// Key trade action identification (paper §V-C, Table III).
+//
+// Greedy left-to-right scan over application-level transfers. At each
+// position the three-transfer conditions are tried before the two-transfer
+// conditions (the paper's update over DeFiRanger: "we consider the
+// situation of three continuous asset transfers"), and matched transfers
+// are consumed.
+#pragma once
+
+#include "core/app_transfer.h"
+
+namespace leishen::core {
+
+/// Identify swap / mint-liquidity / remove-liquidity trades.
+[[nodiscard]] trade_list identify_trades(const app_transfer_list& transfers);
+
+}  // namespace leishen::core

@@ -1,0 +1,41 @@
+#include "defi/aave.h"
+
+#include <utility>
+
+namespace leishen::defi {
+
+aave_pool::aave_pool(chain::blockchain& bc, address self,
+                     std::string app_name)
+    : contract{self, std::move(app_name), "AavePool"} {
+  (void)bc;
+}
+
+void aave_pool::deposit(context& ctx, token::erc20& tok, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "deposit"};
+  tok.transfer_from(ctx, ctx.sender(), addr(), amount);
+}
+
+void aave_pool::flash_loan(context& ctx, aave_callee& receiver,
+                           token::erc20& tok, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "flashLoan"};
+  const u256 before = tok.balance_of(ctx.state(), addr());
+  context::require(before >= amount, "Aave: insufficient liquidity");
+  const u256 fee = amount * u256{kFeeBps} / u256{10'000};
+
+  tok.transfer(ctx, receiver.callee_addr(), amount);
+  {
+    context::call_guard cb{ctx, receiver.callee_addr(), "executeOperation"};
+    receiver.on_execute_operation(ctx, tok.id(), amount, fee);
+  }
+
+  const u256 after = tok.balance_of(ctx.state(), addr());
+  context::require(after >= before + fee, "Aave: flash loan not repaid");
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "FlashLoan",
+                                .addr0 = receiver.callee_addr(),
+                                .addr1 = tok.addr(),
+                                .amount0 = amount,
+                                .amount1 = fee});
+}
+
+}  // namespace leishen::defi

@@ -1,0 +1,37 @@
+// AAVE-style flash loan lending pool (paper Table II).
+//
+// Holds reserves of many tokens. flash_loan() transfers the requested
+// amount to the borrower, runs the borrower's executeOperation hook, and
+// requires principal + 0.09% fee back before returning — all within the
+// enclosing transaction, so a default reverts everything.
+#pragma once
+
+#include <string>
+
+#include "defi/interfaces.h"
+#include "token/erc20.h"
+
+namespace leishen::defi {
+
+class aave_pool : public chain::contract {
+ public:
+  /// Flash loan fee: 9 basis points.
+  static constexpr std::uint64_t kFeeBps = 9;
+
+  aave_pool(chain::blockchain& bc, address self, std::string app_name);
+
+  /// Deposit liquidity into the pool (providers).
+  void deposit(context& ctx, token::erc20& tok, const u256& amount);
+
+  /// The flash loan entry point: emits the FlashLoan event the paper's
+  /// identifier looks for.
+  void flash_loan(context& ctx, aave_callee& receiver, token::erc20& tok,
+                  const u256& amount);
+
+  [[nodiscard]] u256 available(const chain::world_state& st,
+                               const token::erc20& tok) const {
+    return tok.balance_of(st, addr());
+  }
+};
+
+}  // namespace leishen::defi

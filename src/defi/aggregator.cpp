@@ -1,0 +1,84 @@
+#include "defi/aggregator.h"
+
+#include <utility>
+
+namespace leishen::defi {
+
+aggregator::aggregator(chain::blockchain& bc, address self,
+                       std::string app_name, uniswap_v2_router& router,
+                       std::uint64_t fee_bps)
+    : contract{self, std::move(app_name), "Aggregator"},
+      router_{router},
+      fee_bps_{fee_bps} {
+  (void)bc;
+  context::require(fee_bps < 10, "aggregator: fee must stay below 0.1%");
+}
+
+u256 aggregator::trade(context& ctx, erc20& token_in, const u256& amount_in,
+                       erc20& token_out) {
+  context::call_guard guard{ctx, addr(), "trade"};
+  const address user = ctx.sender();
+  // Pull the input through this contract: user -> aggregator -> pair.
+  token_in.transfer_from(ctx, user, addr(), amount_in);
+  token_in.approve(ctx, router_.addr(), amount_in);
+  const u256 out =
+      router_.swap_exact_tokens(ctx, token_in, amount_in, token_out, addr());
+  // Forward output minus the routing fee: pair -> aggregator -> user.
+  const u256 fee = out * u256{fee_bps_} / u256{10'000};
+  const u256 forwarded = out - fee;
+  token_out.transfer(ctx, user, forwarded);
+  // TradeExecuted(user, tokenIn, tokenOut, amountIn, amountOut).
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "TradeExecuted",
+                                .addr0 = user,
+                                .addr1 = token_in.addr(),
+                                .addr2 = token_out.addr(),
+                                .amount0 = amount_in,
+                                .amount1 = forwarded});
+  return forwarded;
+}
+
+u256 aggregator::trade_on(context& ctx, uniswap_v2_pair& pair,
+                          erc20& token_in, const u256& amount_in) {
+  context::call_guard guard{ctx, addr(), "trade"};
+  const address user = ctx.sender();
+  erc20& token_out = pair.other(token_in);
+  token_in.transfer_from(ctx, user, addr(), amount_in);
+  const u256 out = pair.quote_out(ctx.state(), token_in, amount_in);
+  token_in.transfer(ctx, pair.addr(), amount_in);
+  if (&pair.token0() == &token_in) {
+    pair.swap(ctx, u256{}, out, addr());
+  } else {
+    pair.swap(ctx, out, u256{}, addr());
+  }
+  const u256 fee = out * u256{fee_bps_} / u256{10'000};
+  const u256 forwarded = out - fee;
+  token_out.transfer(ctx, user, forwarded);
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "TradeExecuted",
+                                .addr0 = user,
+                                .addr1 = token_in.addr(),
+                                .addr2 = token_out.addr(),
+                                .amount0 = amount_in,
+                                .amount1 = forwarded});
+  return forwarded;
+}
+
+void aggregator::run_compounding_strategy(context& ctx, vault& v,
+                                          const u256& stake, int rounds,
+                                          std::uint64_t yield_bps) {
+  context::call_guard guard{ctx, addr(), "compound"};
+  erc20& underlying = v.underlying();
+  for (int round = 0; round < rounds; ++round) {
+    underlying.approve(ctx, v.addr(), stake);
+    const u256 shares = v.deposit(ctx, stake);
+    // Harvested farming rewards accrue to the vault while our capital is
+    // staked (simulated as a reward mint — FARM-style emissions).
+    const u256 reward =
+        v.total_assets(ctx.state()) * u256{yield_bps} / u256{10'000};
+    underlying.mint(ctx, v.addr(), reward);
+    v.withdraw(ctx, shares);
+  }
+}
+
+}  // namespace leishen::defi

@@ -1,0 +1,49 @@
+// Yield / trade aggregator (Kyber, 1inch, yield farmers; paper §II-B).
+//
+// Routes a trade through the best venue while sitting in the middle of the
+// token flow: user -> aggregator -> pool -> aggregator -> user. Those
+// pass-through legs (with a small fee < 0.1%) are exactly the "inter-app
+// transfers" LeiShen's third simplification rule merges away to reveal the
+// true counterparties (paper §V-B2). The aggregator also runs a benign
+// multi-round vault compounding strategy that *looks like* an MBS attack —
+// the paper's dominant false-positive source (§VI-C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "defi/uniswap_v2.h"
+#include "defi/vault.h"
+
+namespace leishen::defi {
+
+class aggregator : public chain::contract {
+ public:
+  /// routing fee in basis points; must stay below the 10 bps merge
+  /// tolerance to be recognized as an intermediary.
+  aggregator(chain::blockchain& bc, address self, std::string app_name,
+             uniswap_v2_router& router, std::uint64_t fee_bps = 5);
+
+  /// Route an exact-in swap through the router; output (minus fee) goes to
+  /// the caller.
+  u256 trade(context& ctx, erc20& token_in, const u256& amount_in,
+             erc20& token_out);
+
+  /// Route directly on an explicit pair (covers non-factory pools the
+  /// aggregator integrates with). Same intermediary transfer shape.
+  u256 trade_on(context& ctx, uniswap_v2_pair& pair, erc20& token_in,
+                const u256& amount_in);
+
+  /// Benign compounding strategy: `rounds` times, deposit underlying into
+  /// the vault, let the strategy harvest yield (value grows), and withdraw
+  /// — a profitable buy/sell loop against one counterparty. `yield_bps` is
+  /// the per-round harvest credited to the vault by its reward schedule.
+  void run_compounding_strategy(context& ctx, vault& v, const u256& stake,
+                                int rounds, std::uint64_t yield_bps);
+
+ private:
+  uniswap_v2_router& router_;
+  std::uint64_t fee_bps_;
+};
+
+}  // namespace leishen::defi

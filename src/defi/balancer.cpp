@@ -1,0 +1,158 @@
+#include "defi/balancer.h"
+
+#include <cmath>
+#include <utility>
+
+namespace leishen::defi {
+
+balancer_pool::balancer_pool(chain::blockchain& bc, address self,
+                             std::string app_name,
+                             std::vector<bound_token> tokens,
+                             std::uint64_t fee_bps)
+    : erc20{bc, self, std::move(app_name), "BPT", 18},
+      tokens_{std::move(tokens)},
+      fee_bps_{fee_bps} {
+  context::require(tokens_.size() >= 2, "balancer: need >= 2 tokens");
+  context::require(fee_bps_ < 10'000, "balancer: fee too high");
+}
+
+bool balancer_pool::is_bound(const erc20& t) const {
+  for (const auto& b : tokens_) {
+    if (b.token == &t) return true;
+  }
+  return false;
+}
+
+const balancer_pool::bound_token& balancer_pool::record(
+    const erc20& t) const {
+  for (const auto& b : tokens_) {
+    if (b.token == &t) return b;
+  }
+  throw chain::revert_error("balancer: token not bound");
+}
+
+std::uint64_t balancer_pool::total_weight() const noexcept {
+  std::uint64_t w = 0;
+  for (const auto& b : tokens_) w += b.weight;
+  return w;
+}
+
+rate balancer_pool::spot_price(const chain::world_state& st,
+                               const erc20& base, const erc20& quote) const {
+  const auto& rb = record(base);
+  const auto& rq = record(quote);
+  // (balQ / wQ) / (balB / wB) = balQ * wB / (balB * wQ)
+  return rate{balance_of_token(st, quote) * u256{rb.weight},
+              balance_of_token(st, base) * u256{rq.weight}};
+}
+
+u256 balancer_pool::pow_ratio(const u256& num, const u256& den,
+                              double exponent, const u256& scale) {
+  // scale * (num/den)^exponent, evaluated in double precision.
+  const double ratio = num.to_double() / den.to_double();
+  const double powed = std::pow(ratio, exponent);
+  // Decompose scale * powed without losing integer range: split powed into
+  // a 1e18-scaled integer factor.
+  const double scaled = powed * 1e18;
+  context::require(scaled >= 0 && scaled < 1.8e19, "balancer: pow overflow");
+  const u256 factor{static_cast<std::uint64_t>(scaled)};
+  return u256::muldiv(scale, factor, u256::pow10(18));
+}
+
+u256 balancer_pool::swap_exact_in(context& ctx, erc20& token_in,
+                                  const u256& amount_in, erc20& token_out,
+                                  const address& to) {
+  context::call_guard guard{ctx, addr(), "swapExactAmountIn"};
+  const auto& rin = record(token_in);
+  const auto& rout = record(token_out);
+  const u256 bal_in = balance_of_token(ctx.state(), token_in);
+  const u256 bal_out = balance_of_token(ctx.state(), token_out);
+  context::require(!bal_in.is_zero() && !bal_out.is_zero(),
+                   "balancer: empty pool");
+
+  const u256 in_after_fee =
+      amount_in * u256{10'000 - fee_bps_} / u256{10'000};
+  const double exponent =
+      static_cast<double>(rin.weight) / static_cast<double>(rout.weight);
+  // out = balOut - balOut * (balIn / (balIn + inAfterFee))^(wIn/wOut)
+  const u256 kept =
+      pow_ratio(bal_in, bal_in + in_after_fee, exponent, bal_out);
+  context::require(kept <= bal_out, "balancer: math");
+  const u256 amount_out = bal_out - kept;
+  context::require(!amount_out.is_zero(), "balancer: zero out");
+
+  token_in.transfer_from(ctx, ctx.sender(), addr(), amount_in);
+  token_out.transfer(ctx, to, amount_out);
+  // Mainnet-shaped LOG_SWAP(caller, tokenIn, tokenOut, amountIn, amountOut).
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "LOG_SWAP",
+                                .addr0 = ctx.sender(),
+                                .addr1 = token_in.addr(),
+                                .addr2 = token_out.addr(),
+                                .amount0 = amount_in,
+                                .amount1 = amount_out});
+  return amount_out;
+}
+
+u256 balancer_pool::join_pool(context& ctx, erc20& token_in,
+                              const u256& amount_in, const address& to) {
+  context::call_guard guard{ctx, addr(), "joinswapExternAmountIn"};
+  const auto& rin = record(token_in);
+  const u256 bal_in = balance_of_token(ctx.state(), token_in);
+  const u256 supply = total_supply(ctx.state());
+  context::require(!bal_in.is_zero() && !supply.is_zero(),
+                   "balancer: pool not seeded");
+
+  const u256 in_after_fee =
+      amount_in * u256{10'000 - fee_bps_} / u256{10'000};
+  const double norm_weight = static_cast<double>(rin.weight) /
+                             static_cast<double>(total_weight());
+  // minted = supply * ((1 + in/balIn)^normWeight - 1)
+  const u256 grown =
+      pow_ratio(bal_in + in_after_fee, bal_in, norm_weight, supply);
+  context::require(grown >= supply, "balancer: math");
+  const u256 minted = grown - supply;
+  context::require(!minted.is_zero(), "balancer: zero mint");
+
+  token_in.transfer_from(ctx, ctx.sender(), addr(), amount_in);
+  add_supply(ctx, minted);
+  move_balance(ctx, address::zero(), to, minted);
+  return minted;
+}
+
+u256 balancer_pool::exit_pool(context& ctx, erc20& token_out,
+                              const u256& pool_amount_in, const address& to) {
+  context::call_guard guard{ctx, addr(), "exitswapPoolAmountIn"};
+  const auto& rout = record(token_out);
+  const u256 bal_out = balance_of_token(ctx.state(), token_out);
+  const u256 supply = total_supply(ctx.state());
+  context::require(pool_amount_in < supply, "balancer: exit too large");
+
+  const double norm_weight = static_cast<double>(rout.weight) /
+                             static_cast<double>(total_weight());
+  // out = balOut * (1 - ((supply - in)/supply)^(1/normWeight)), then fee.
+  const u256 kept =
+      pow_ratio(supply - pool_amount_in, supply, 1.0 / norm_weight, bal_out);
+  context::require(kept <= bal_out, "balancer: math");
+  u256 amount_out = bal_out - kept;
+  amount_out = amount_out * u256{10'000 - fee_bps_} / u256{10'000};
+  context::require(!amount_out.is_zero(), "balancer: zero out");
+
+  sub_supply(ctx, pool_amount_in);
+  move_balance(ctx, ctx.sender(), address::zero(), pool_amount_in);
+  token_out.transfer(ctx, to, amount_out);
+  return amount_out;
+}
+
+void balancer_pool::seed(context& ctx, const std::vector<u256>& amounts,
+                         const u256& initial_supply) {
+  context::call_guard guard{ctx, addr(), "bind"};
+  context::require(amounts.size() == tokens_.size(), "balancer: seed arity");
+  for (std::size_t i = 0; i < amounts.size(); ++i) {
+    tokens_[i].token->transfer_from(ctx, ctx.sender(), addr(), amounts[i]);
+  }
+  add_supply(ctx, initial_supply);
+  move_balance(ctx, address::zero(), ctx.sender(), initial_supply);
+}
+
+}  // namespace leishen::defi

@@ -1,0 +1,77 @@
+// Balancer-style weighted constant-mean pool.
+//
+// Generalizes the constant product to N tokens with weights w_i:
+//   prod_i balance_i ^ w_i == const.
+// Swap-out uses the closed form
+//   out = balOut * (1 - (balIn / (balIn + in*(1-fee)))^(wIn/wOut)).
+// The fractional power is evaluated in double precision — a deliberate
+// simulator shortcut (documented in DESIGN.md): relative error ~1e-15 is
+// far below the 0.1% tolerances anywhere in the detection pipeline. For
+// equal weights the double path is cross-checked against exact constant-
+// product math in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rate.h"
+#include "token/erc20.h"
+
+namespace leishen::defi {
+
+using token::erc20;
+using chain::context;
+
+class balancer_pool : public erc20 {  // the BPT (pool share) token
+ public:
+  struct bound_token {
+    erc20* token;
+    std::uint64_t weight;  // relative weight (denormalized)
+  };
+
+  /// fee in basis points (Balancer pools choose their own; 10–100 typical).
+  balancer_pool(chain::blockchain& bc, address self, std::string app_name,
+                std::vector<bound_token> tokens, std::uint64_t fee_bps);
+
+  [[nodiscard]] const std::vector<bound_token>& tokens() const noexcept {
+    return tokens_;
+  }
+  [[nodiscard]] bool is_bound(const erc20& t) const;
+  [[nodiscard]] u256 balance_of_token(const chain::world_state& st,
+                                      const erc20& t) const {
+    return t.balance_of(st, addr());
+  }
+
+  /// Spot price of `base` in units of `quote`: (balQ/wQ) / (balB/wB),
+  /// ignoring fees (Balancer's spotPrice).
+  [[nodiscard]] rate spot_price(const chain::world_state& st,
+                                const erc20& base, const erc20& quote) const;
+
+  /// Exact-in swap: pulls `amount_in` from the caller, pays out to `to`.
+  u256 swap_exact_in(context& ctx, erc20& token_in, const u256& amount_in,
+                     erc20& token_out, const address& to);
+
+  /// Single-asset join: deposit one token, mint BPT to `to`.
+  u256 join_pool(context& ctx, erc20& token_in, const u256& amount_in,
+                 const address& to);
+
+  /// Single-asset exit: burn BPT from caller, withdraw `token_out` to `to`.
+  u256 exit_pool(context& ctx, erc20& token_out, const u256& pool_amount_in,
+                 const address& to);
+
+  /// Initial liquidity seeding: transfers the given amounts from the caller
+  /// and mints `initial_supply` BPT.
+  void seed(context& ctx, const std::vector<u256>& amounts,
+            const u256& initial_supply);
+
+ private:
+  [[nodiscard]] const bound_token& record(const erc20& t) const;
+  [[nodiscard]] std::uint64_t total_weight() const noexcept;
+  static u256 pow_ratio(const u256& num, const u256& den, double exponent,
+                        const u256& scale);
+
+  std::vector<bound_token> tokens_;
+  std::uint64_t fee_bps_;
+};
+
+}  // namespace leishen::defi

@@ -1,0 +1,71 @@
+#include "defi/dydx.h"
+
+#include <utility>
+
+namespace leishen::defi {
+
+dydx_solo_margin::dydx_solo_margin(chain::blockchain& bc, address self,
+                                   std::string app_name)
+    : contract{self, std::move(app_name), "DydxSoloMargin"} {
+  (void)bc;
+}
+
+void dydx_solo_margin::fund(context& ctx, token::erc20& tok,
+                            const u256& amount) {
+  context::call_guard guard{ctx, addr(), "deposit"};
+  tok.transfer_from(ctx, ctx.sender(), addr(), amount);
+}
+
+void dydx_solo_margin::operate(context& ctx, dydx_callee& receiver,
+                               token::erc20& tok, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "operate"};
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "LogOperation",
+                                .addr0 = receiver.callee_addr()});
+  const u256 before = tok.balance_of(ctx.state(), addr());
+  context::require(before >= amount, "dYdX: insufficient liquidity");
+  const u256 repay = amount + u256{kFlatFeeWei};
+
+  withdraw(ctx, tok, receiver.callee_addr(), amount);
+  call_function(ctx, receiver, tok.id(), amount, repay);
+  deposit_back(ctx, tok, receiver.callee_addr(), repay);
+
+  const u256 after = tok.balance_of(ctx.state(), addr());
+  context::require(after >= before + u256{kFlatFeeWei},
+                   "dYdX: flash loan not repaid");
+}
+
+void dydx_solo_margin::withdraw(context& ctx, token::erc20& tok,
+                                const address& to, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "withdraw"};
+  tok.transfer(ctx, to, amount);
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "LogWithdraw",
+                                .addr0 = to,
+                                .addr1 = tok.addr(),
+                                .amount0 = amount});
+}
+
+void dydx_solo_margin::call_function(context& ctx, dydx_callee& receiver,
+                                     const chain::asset& token,
+                                     const u256& amount, const u256& repay) {
+  context::call_guard guard{ctx, addr(), "callFunction"};
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "LogCall",
+                                .addr0 = receiver.callee_addr()});
+  context::call_guard cb{ctx, receiver.callee_addr(), "callFunction"};
+  receiver.on_call_function(ctx, token, amount, repay);
+}
+
+void dydx_solo_margin::deposit_back(context& ctx, token::erc20& tok,
+                                    const address& from, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "deposit"};
+  tok.transfer_from(ctx, from, addr(), amount);
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "LogDeposit",
+                                .addr0 = from,
+                                .addr1 = tok.addr(),
+                                .amount0 = amount});
+}
+
+}  // namespace leishen::defi

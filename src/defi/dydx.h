@@ -1,0 +1,47 @@
+// dYdX SoloMargin-style flash loans (paper Table II).
+//
+// dYdX has no dedicated flash loan function: borrowers submit an Operate
+// batch of [Withdraw, Call, Deposit] actions. The free "loan" comes from
+// withdrawing, running arbitrary code, and depositing back amount + 2 wei,
+// all enforced by the enclosing transaction's atomicity. The four call
+// records / event logs (Operate, LogWithdraw, LogCall, LogDeposit) are the
+// identification signals.
+#pragma once
+
+#include <string>
+
+#include "defi/interfaces.h"
+#include "token/erc20.h"
+
+namespace leishen::defi {
+
+class dydx_solo_margin : public chain::contract {
+ public:
+  /// Flat repayment premium in wei: the famous "2 wei" dYdX fee.
+  static constexpr std::uint64_t kFlatFeeWei = 2;
+
+  dydx_solo_margin(chain::blockchain& bc, address self, std::string app_name);
+
+  /// Deposit liquidity into the margin pool.
+  void fund(context& ctx, token::erc20& tok, const u256& amount);
+
+  /// Run the canonical flash-loan action batch for `amount` of `tok`.
+  void operate(context& ctx, dydx_callee& receiver, token::erc20& tok,
+               const u256& amount);
+
+  [[nodiscard]] u256 available(const chain::world_state& st,
+                               const token::erc20& tok) const {
+    return tok.balance_of(st, addr());
+  }
+
+ private:
+  void withdraw(context& ctx, token::erc20& tok, const address& to,
+                const u256& amount);
+  void call_function(context& ctx, dydx_callee& receiver,
+                     const chain::asset& token, const u256& amount,
+                     const u256& repay);
+  void deposit_back(context& ctx, token::erc20& tok, const address& from,
+                    const u256& amount);
+};
+
+}  // namespace leishen::defi

@@ -1,0 +1,50 @@
+// Callback interfaces between DeFi protocols and their callers.
+//
+// Flash loan providers hand control back to the borrower mid-transaction;
+// on mainnet this is an ABI call into the borrower contract. Here borrower
+// contracts implement these interfaces. The *provider* pushes the call
+// frame (with the mainnet method name) before invoking the body, so the
+// call trace always carries the signals LeiShen's flash loan identification
+// keys on (paper Table II) regardless of how the borrower is written.
+#pragma once
+
+#include "chain/context.h"
+#include "chain/trace.h"
+
+namespace leishen::defi {
+
+using chain::context;
+
+/// Implemented by contracts that receive Uniswap V2 flash swaps.
+class uniswap_v2_callee {
+ public:
+  virtual ~uniswap_v2_callee() = default;
+  /// The borrower contract's address (the frame callee for the callback).
+  [[nodiscard]] virtual address callee_addr() const = 0;
+  /// Body of the mainnet `uniswapV2Call` hook.
+  virtual void on_uniswap_v2_call(context& ctx, const address& initiator,
+                                  const u256& amount0, const u256& amount1) = 0;
+};
+
+/// Implemented by contracts that receive AAVE flash loans.
+class aave_callee {
+ public:
+  virtual ~aave_callee() = default;
+  [[nodiscard]] virtual address callee_addr() const = 0;
+  /// Body of the mainnet `executeOperation` hook.
+  virtual void on_execute_operation(context& ctx, const chain::asset& token,
+                                    const u256& amount, const u256& fee) = 0;
+};
+
+/// Implemented by contracts that receive dYdX flash loans (the body run by
+/// SoloMargin's callFunction action).
+class dydx_callee {
+ public:
+  virtual ~dydx_callee() = default;
+  [[nodiscard]] virtual address callee_addr() const = 0;
+  /// Body of the mainnet `callFunction` hook; `repay` is amount + 2 wei.
+  virtual void on_call_function(context& ctx, const chain::asset& token,
+                                const u256& amount, const u256& repay) = 0;
+};
+
+}  // namespace leishen::defi

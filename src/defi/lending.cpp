@@ -1,0 +1,126 @@
+#include "defi/lending.h"
+
+#include <utility>
+
+namespace leishen::defi {
+
+lending_pool::lending_pool(chain::blockchain& bc, address self,
+                           std::string app_name, const price_oracle& oracle,
+                           std::uint64_t collateral_factor_pct,
+                           bool emit_trade_events)
+    : contract{self, std::move(app_name), "LendingPool"},
+      oracle_{oracle},
+      collateral_factor_pct_{collateral_factor_pct},
+      emit_trade_events_{emit_trade_events} {
+  (void)bc;
+  context::require(collateral_factor_pct > 0 && collateral_factor_pct <= 100,
+                   "lending: bad collateral factor");
+}
+
+void lending_pool::supply(context& ctx, erc20& tok, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "supply"};
+  tok.transfer_from(ctx, ctx.sender(), addr(), amount);
+}
+
+u256 lending_pool::debt_of(const chain::world_state& st,
+                           const address& account, const erc20& tok) const {
+  return st.load(addr(), chain::map_slot2(kDebtSlot, account, tok.addr()));
+}
+
+u256 lending_pool::collateral_of(const chain::world_state& st,
+                                 const address& account,
+                                 const erc20& tok) const {
+  return st.load(addr(),
+                 chain::map_slot2(kCollateralSlot, account, tok.addr()));
+}
+
+void lending_pool::borrow(context& ctx, erc20& collateral,
+                          const u256& collateral_amount, erc20& debt,
+                          const u256& borrow_amount) {
+  context::call_guard guard{ctx, addr(), "borrow"};
+  const address borrower = ctx.sender();
+
+  // Oracle-valued collateral check: the manipulable step.
+  const u256 collateral_value =
+      oracle_.value_of(ctx.state(), collateral, collateral_amount);
+  const u256 borrow_value = oracle_.value_of(ctx.state(), debt, borrow_amount);
+  context::require(
+      borrow_value * u256{100} <=
+          collateral_value * u256{collateral_factor_pct_},
+      "lending: undercollateralized");
+
+  collateral.transfer_from(ctx, borrower, addr(), collateral_amount);
+  const u256 cslot =
+      chain::map_slot2(kCollateralSlot, borrower, collateral.addr());
+  ctx.store(addr(), cslot, ctx.load(addr(), cslot) + collateral_amount);
+
+  context::require(debt.balance_of(ctx.state(), addr()) >= borrow_amount,
+                   "lending: insufficient pool liquidity");
+  debt.transfer(ctx, borrower, borrow_amount);
+  const u256 dslot = chain::map_slot2(kDebtSlot, borrower, debt.addr());
+  ctx.store(addr(), dslot, ctx.load(addr(), dslot) + borrow_amount);
+
+  // Borrow(borrower, collateralToken, debtToken, collateralAmount,
+  // debtAmount) — decodable by explorers only on platforms that ship it.
+  if (emit_trade_events_) {
+    ctx.emit_log(chain::event_log{.emitter = addr(),
+                                  .name = "Borrow",
+                                  .addr0 = borrower,
+                                  .addr1 = collateral.addr(),
+                                  .addr2 = debt.addr(),
+                                  .amount0 = collateral_amount,
+                                  .amount1 = borrow_amount});
+  }
+}
+
+void lending_pool::repay(context& ctx, erc20& debt, const u256& amount,
+                         erc20& collateral) {
+  context::call_guard guard{ctx, addr(), "repay"};
+  const address borrower = ctx.sender();
+  const u256 dslot = chain::map_slot2(kDebtSlot, borrower, debt.addr());
+  const u256 owed = ctx.load(addr(), dslot);
+  context::require(!owed.is_zero() && amount <= owed, "lending: bad repay");
+
+  debt.transfer_from(ctx, borrower, addr(), amount);
+  ctx.store(addr(), dslot, owed - amount);
+
+  const u256 cslot =
+      chain::map_slot2(kCollateralSlot, borrower, collateral.addr());
+  const u256 posted = ctx.load(addr(), cslot);
+  const u256 back = u256::muldiv(posted, amount, owed);
+  ctx.store(addr(), cslot, posted - back);
+  collateral.transfer(ctx, borrower, back);
+}
+
+u256 lending_pool::margin_trade(context& ctx, erc20& token_in,
+                                const u256& stake, std::uint64_t leverage,
+                                uniswap_v2_pair& pair) {
+  context::call_guard guard{ctx, addr(), "marginTrade"};
+  context::require(leverage >= 1 && leverage <= 10, "lending: bad leverage");
+  context::require(pair.has_token(token_in), "lending: pair mismatch");
+
+  token_in.transfer_from(ctx, ctx.sender(), addr(), stake);
+  const u256 total = stake * u256{leverage};
+  context::require(token_in.balance_of(ctx.state(), addr()) >= total,
+                   "lending: insufficient pool liquidity");
+
+  // Swap the whole leveraged position on the DEX; output stays here as the
+  // position backing.
+  erc20& token_out = pair.other(token_in);
+  const u256 out = pair.quote_out(ctx.state(), token_in, total);
+  token_in.transfer(ctx, pair.addr(), total);
+  if (&pair.token0() == &token_in) {
+    pair.swap(ctx, u256{}, out, addr());
+  } else {
+    pair.swap(ctx, out, u256{}, addr());
+  }
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "MarginTrade",
+                                .addr0 = ctx.sender(),
+                                .addr1 = token_out.addr(),
+                                .amount0 = total,
+                                .amount1 = out});
+  return out;
+}
+
+}  // namespace leishen::defi

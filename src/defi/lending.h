@@ -1,0 +1,64 @@
+// Collateralized lending platform (Compound / bZx style; paper §II-B).
+//
+// Lenders fund the pool; borrowers post collateral valued by a DEX-backed
+// oracle and borrow up to a collateral factor. Because the oracle reads a
+// manipulable DEX spot price, pumping the DEX lets an attacker borrow more
+// than their collateral is really worth — the bZx-1 / Cheese Bank pattern.
+// A bZx-style leveraged margin trade is provided as well: the platform
+// fronts (leverage-1)x the trader's stake and swaps the whole position on
+// a DEX, moving that DEX's price with pool money.
+#pragma once
+
+#include <string>
+
+#include "defi/price_oracle.h"
+#include "defi/uniswap_v2.h"
+
+namespace leishen::defi {
+
+class lending_pool : public chain::contract {
+ public:
+  /// collateral factor in percent: borrow value <= factor% of collateral
+  /// value (both in oracle quote units).
+  /// `emit_trade_events` models whether explorers decode this platform's
+  /// Borrow events as trade actions (bZx: yes; many forks: no).
+  lending_pool(chain::blockchain& bc, address self, std::string app_name,
+               const price_oracle& oracle, std::uint64_t collateral_factor_pct,
+               bool emit_trade_events = false);
+
+  /// Lenders add borrowable liquidity.
+  void supply(context& ctx, erc20& tok, const u256& amount);
+
+  /// Post `collateral_amount` of `collateral` and immediately borrow
+  /// `borrow_amount` of `debt` against it (the one-shot path the bZx-1
+  /// attacker used). Enforces the oracle-valued collateral factor.
+  void borrow(context& ctx, erc20& collateral, const u256& collateral_amount,
+              erc20& debt, const u256& borrow_amount);
+
+  /// Repay debt and reclaim the proportional collateral.
+  void repay(context& ctx, erc20& debt, const u256& amount, erc20& collateral);
+
+  /// bZx-style margin trade: pull `stake` of token_in from the trader, add
+  /// (leverage-1)*stake of pool funds, swap everything through `pair` for
+  /// token_out which stays in the pool as the position. Returns position
+  /// size. The platform, not the trader, eats the loss when the position
+  /// was opened at a manipulated price.
+  u256 margin_trade(context& ctx, erc20& token_in, const u256& stake,
+                    std::uint64_t leverage, uniswap_v2_pair& pair);
+
+  [[nodiscard]] u256 debt_of(const chain::world_state& st,
+                             const address& account, const erc20& tok) const;
+  [[nodiscard]] u256 collateral_of(const chain::world_state& st,
+                                   const address& account,
+                                   const erc20& tok) const;
+
+ private:
+  static constexpr std::uint64_t kDebtSlot = 20;
+  static constexpr std::uint64_t kCollateralSlot = 21;
+
+  const price_oracle& oracle_;
+  std::uint64_t collateral_factor_pct_;
+  bool emit_trade_events_;
+};
+
+}  // namespace leishen::defi

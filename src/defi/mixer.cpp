@@ -1,0 +1,39 @@
+#include "defi/mixer.h"
+
+#include <utility>
+
+namespace leishen::defi {
+
+mixer::mixer(chain::blockchain& bc, address self, std::string app_name,
+             token::erc20& tok, const u256& denomination)
+    : contract{self, std::move(app_name), "Mixer"},
+      tok_{tok},
+      denom_{denomination} {
+  (void)bc;
+}
+
+void mixer::deposit(chain::context& ctx, const u256& commitment) {
+  chain::context::call_guard guard{ctx, addr(), "deposit"};
+  chain::context::require(notes_.find(commitment) == notes_.end(),
+                          "mixer: commitment reused");
+  tok_.transfer_from(ctx, ctx.sender(), addr(), denom_);
+  notes_[commitment] = true;
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "MixerDeposit",
+                                .amount0 = denom_});
+}
+
+void mixer::withdraw(chain::context& ctx, const u256& commitment,
+                     const address& recipient) {
+  chain::context::call_guard guard{ctx, addr(), "withdraw"};
+  const auto it = notes_.find(commitment);
+  chain::context::require(it != notes_.end() && it->second,
+                          "mixer: unknown or spent note");
+  it->second = false;
+  tok_.transfer(ctx, recipient, denom_);
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "MixerWithdraw",
+                                .amount0 = denom_});
+}
+
+}  // namespace leishen::defi

@@ -1,0 +1,44 @@
+// Tornado Cash-style coin mixer (paper §VI-D2).
+//
+// Users deposit a fixed denomination of a token against a commitment and
+// later withdraw it to a fresh address. On-chain, the link between deposit
+// and withdrawal is broken — exactly why attackers route their profits
+// through it. The simulator keeps the commitment -> note mapping internally
+// so scenarios can complete withdrawals, but nothing in the transfer trace
+// connects the two sides.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "token/erc20.h"
+
+namespace leishen::defi {
+
+class mixer : public chain::contract {
+ public:
+  mixer(chain::blockchain& bc, address self, std::string app_name,
+        token::erc20& tok, const u256& denomination);
+
+  [[nodiscard]] token::erc20& token() const noexcept { return tok_; }
+  [[nodiscard]] const u256& denomination() const noexcept { return denom_; }
+
+  /// Deposit one denomination against a caller-chosen commitment.
+  void deposit(chain::context& ctx, const u256& commitment);
+
+  /// Withdraw the note behind `commitment` to `recipient` (stands in for
+  /// the zero-knowledge proof). Each note spends once.
+  void withdraw(chain::context& ctx, const u256& commitment,
+                const address& recipient);
+
+  [[nodiscard]] std::size_t pending_notes() const noexcept {
+    return notes_.size();
+  }
+
+ private:
+  token::erc20& tok_;
+  u256 denom_;
+  std::unordered_map<u256, bool, u256_hash> notes_;  // commitment -> unspent
+};
+
+}  // namespace leishen::defi

@@ -1,0 +1,52 @@
+#include "defi/nft_flashloan.h"
+
+#include <utility>
+
+namespace leishen::defi {
+
+nft_flash_pool::nft_flash_pool(chain::blockchain& bc, address self,
+                               std::string app_name,
+                               token::erc721& collection,
+                               token::erc20& fee_token, const u256& fee)
+    : contract{self, std::move(app_name), "NftFlashPool"},
+      collection_{collection},
+      fee_token_{fee_token},
+      fee_{fee} {
+  (void)bc;
+}
+
+void nft_flash_pool::deposit(chain::context& ctx, const u256& token_id) {
+  chain::context::call_guard guard{ctx, addr(), "deposit"};
+  collection_.transfer_from(ctx, ctx.sender(), addr(), token_id);
+}
+
+void nft_flash_pool::flash_loan(chain::context& ctx,
+                                nft_flash_callee& receiver,
+                                const u256& token_id) {
+  chain::context::call_guard guard{ctx, addr(), "flashLoanNFT"};
+  chain::context::require(
+      collection_.owner_of(ctx.state(), token_id) == addr(),
+      "nft pool: token not in pool");
+  const u256 fee_before = fee_token_.balance_of(ctx.state(), addr());
+
+  collection_.transfer(ctx, receiver.callee_addr(), token_id);
+  {
+    chain::context::call_guard cb{ctx, receiver.callee_addr(),
+                                  "onNFTFlashLoan"};
+    receiver.on_nft_flash_loan(ctx, collection_, token_id);
+  }
+
+  chain::context::require(
+      collection_.owner_of(ctx.state(), token_id) == addr(),
+      "nft pool: NFT not returned");
+  chain::context::require(
+      fee_token_.balance_of(ctx.state(), addr()) >= fee_before + fee_,
+      "nft pool: fee not paid");
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "NFTFlashLoan",
+                                .addr0 = receiver.callee_addr(),
+                                .amount0 = token_id,
+                                .amount1 = fee_});
+}
+
+}  // namespace leishen::defi

@@ -1,0 +1,53 @@
+// NFT flash loans (paper §VIII: "flash loans have also been used to borrow
+// NFTs temporarily, whose implementation is similar to that for ERC20
+// tokens").
+//
+// A pool holds deposited NFTs; flash_loan() hands one to the borrower,
+// runs the callback, and requires it back (plus an ERC20 fee) before the
+// transaction can commit — the same atomicity guarantee as asset flash
+// loans.
+#pragma once
+
+#include <string>
+
+#include "token/erc20.h"
+#include "token/erc721.h"
+
+namespace leishen::defi {
+
+/// Callback interface for NFT borrowers.
+class nft_flash_callee {
+ public:
+  virtual ~nft_flash_callee() = default;
+  [[nodiscard]] virtual address callee_addr() const = 0;
+  virtual void on_nft_flash_loan(chain::context& ctx, token::erc721& nft,
+                                 const u256& token_id) = 0;
+};
+
+class nft_flash_pool : public chain::contract {
+ public:
+  /// `fee` is a flat amount of `fee_token` per loan.
+  nft_flash_pool(chain::blockchain& bc, address self, std::string app_name,
+                 token::erc721& collection, token::erc20& fee_token,
+                 const u256& fee);
+
+  [[nodiscard]] token::erc721& collection() const noexcept {
+    return collection_;
+  }
+  [[nodiscard]] const u256& fee() const noexcept { return fee_; }
+
+  /// List an NFT into the pool (caller must own and approve it).
+  void deposit(chain::context& ctx, const u256& token_id);
+
+  /// Flash-borrow `token_id`: the borrower gets it for the duration of the
+  /// callback and must have returned it (plus the fee) by the end.
+  void flash_loan(chain::context& ctx, nft_flash_callee& receiver,
+                  const u256& token_id);
+
+ private:
+  token::erc721& collection_;
+  token::erc20& fee_token_;
+  u256 fee_;
+};
+
+}  // namespace leishen::defi

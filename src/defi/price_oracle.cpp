@@ -1,0 +1,38 @@
+#include "defi/price_oracle.h"
+
+#include <utility>
+
+namespace leishen::defi {
+
+price_oracle::price_oracle(chain::blockchain& bc, address self,
+                           std::string app_name)
+    : contract{self, std::move(app_name), "PriceOracle"} {
+  (void)bc;
+}
+
+void price_oracle::set_source(const token::erc20& tok,
+                              const uniswap_v2_pair& pair) {
+  sources_[tok.addr()] = source{.pair = &pair};
+}
+
+void price_oracle::set_fixed(const token::erc20& tok, rate price) {
+  sources_[tok.addr()] = source{.pair = nullptr, .fixed = price};
+}
+
+rate price_oracle::price_of(const chain::world_state& st,
+                            const token::erc20& tok) const {
+  const auto it = sources_.find(tok.addr());
+  context::require(it != sources_.end(), "oracle: unknown asset");
+  if (it->second.pair == nullptr) return it->second.fixed;
+  return it->second.pair->spot_price(st, tok);
+}
+
+u256 price_oracle::value_of(const chain::world_state& st,
+                            const token::erc20& tok,
+                            const u256& amount) const {
+  const rate p = price_of(st, tok);
+  context::require(!p.is_infinite(), "oracle: infinite price");
+  return u256::muldiv(amount, p.num(), p.den());
+}
+
+}  // namespace leishen::defi

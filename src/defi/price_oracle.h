@@ -1,0 +1,41 @@
+// On-chain price oracle backed by DEX spot prices (paper §II-B).
+//
+// Many mainnet protocols read asset prices straight from a DEX pool — the
+// design flaw every flpAttack exploits: pumping the pool moves the oracle.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "defi/uniswap_v2.h"
+
+namespace leishen::defi {
+
+class price_oracle : public chain::contract {
+ public:
+  price_oracle(chain::blockchain& bc, address self, std::string app_name);
+
+  /// Quote `tok` from `pair` (the other pair token is the quote currency).
+  void set_source(const token::erc20& tok, const uniswap_v2_pair& pair);
+
+  /// Fixed price for reference assets (e.g. the numéraire itself = 1/1).
+  void set_fixed(const token::erc20& tok, rate price);
+
+  /// Spot price of `tok` in quote units. Throws revert_error if unknown.
+  [[nodiscard]] rate price_of(const chain::world_state& st,
+                              const token::erc20& tok) const;
+
+  /// Value of `amount` of `tok` in quote units (floor).
+  [[nodiscard]] u256 value_of(const chain::world_state& st,
+                              const token::erc20& tok,
+                              const u256& amount) const;
+
+ private:
+  struct source {
+    const uniswap_v2_pair* pair = nullptr;  // null -> fixed
+    rate fixed{};
+  };
+  std::unordered_map<address, source, address_hash> sources_;
+};
+
+}  // namespace leishen::defi

@@ -1,0 +1,173 @@
+#include "defi/stableswap.h"
+
+#include <utility>
+
+namespace leishen::defi {
+namespace {
+
+u256 abs_diff(const u256& a, const u256& b) { return a > b ? a - b : b - a; }
+
+}  // namespace
+
+stableswap_pool::stableswap_pool(chain::blockchain& bc, address self,
+                                 std::string app_name, erc20& coin0,
+                                 erc20& coin1, std::uint64_t amplification,
+                                 std::uint64_t fee_bps)
+    : erc20{bc, self, std::move(app_name),
+            coin0.symbol() + coin1.symbol() + "-Crv", 18},
+      coins_{&coin0, &coin1},
+      amp_{amplification},
+      fee_bps_{fee_bps} {
+  context::require(&coin0 != &coin1, "stableswap: identical coins");
+  context::require(amplification > 0, "stableswap: zero A");
+}
+
+int stableswap_pool::index_of(const erc20& t) const {
+  if (&t == coins_[0]) return 0;
+  if (&t == coins_[1]) return 1;
+  return -1;
+}
+
+u256 stableswap_pool::compute_d(const u256& x0, const u256& x1,
+                                std::uint64_t amp) {
+  const u256 s = x0 + x1;
+  if (s.is_zero()) return u256{};
+  const u256 ann{amp * 4};  // A * n^n, n = 2
+  u256 d = s;
+  for (int iter = 0; iter < 256; ++iter) {
+    // d_p = d^3 / (4 * x0 * x1)
+    u256 d_p = d;
+    d_p = u256::muldiv(d_p, d, x0 * u256{2});
+    d_p = u256::muldiv(d_p, d, x1 * u256{2});
+    const u256 d_prev = d;
+    // d = (ann*s + 2*d_p) * d / ((ann-1)*d + 3*d_p)
+    d = u256::muldiv(ann * s + d_p * u256{2}, d,
+                     (ann - u256{1}) * d + d_p * u256{3});
+    if (abs_diff(d, d_prev) <= u256{1}) return d;
+  }
+  return d;
+}
+
+u256 stableswap_pool::compute_y(const u256& x_other, const u256& d,
+                                std::uint64_t amp) {
+  const u256 ann{amp * 4};
+  // c = d^3 / (2*x_other) / (2*ann), b = x_other + d/ann
+  u256 c = u256::muldiv(d, d, x_other * u256{2});
+  c = u256::muldiv(c, d, ann * u256{2});
+  const u256 b = x_other + d / ann;
+  u256 y = d;
+  for (int iter = 0; iter < 256; ++iter) {
+    const u256 y_prev = y;
+    // y = (y^2 + c) / (2y + b - d)
+    y = (y * y + c) / (y * u256{2} + b - d);
+    if (abs_diff(y, y_prev) <= u256{1}) return y;
+  }
+  return y;
+}
+
+u256 stableswap_pool::get_d(const chain::world_state& st) const {
+  return compute_d(balance(st, 0), balance(st, 1), amp_);
+}
+
+u256 stableswap_pool::virtual_price(const chain::world_state& st) const {
+  const u256 supply = total_supply(st);
+  if (supply.is_zero()) return u256::pow10(18);
+  return u256::muldiv(get_d(st), u256::pow10(18), supply);
+}
+
+u256 stableswap_pool::quote_out(const chain::world_state& st, int i, int j,
+                                const u256& dx) const {
+  context::require(i != j && i >= 0 && j >= 0 && i < 2 && j < 2,
+                   "stableswap: bad indices");
+  const u256 xi = balance(st, static_cast<std::size_t>(i));
+  const u256 xj = balance(st, static_cast<std::size_t>(j));
+  const u256 d = compute_d(xi, xj, amp_);
+  const u256 y_new = compute_y(xi + dx, d, amp_);
+  context::require(y_new < xj, "stableswap: drained");
+  u256 dy = xj - y_new - u256{1};
+  dy = dy - dy * u256{fee_bps_} / u256{10'000};
+  return dy;
+}
+
+u256 stableswap_pool::exchange(context& ctx, int i, int j, const u256& dx,
+                               const address& to) {
+  context::call_guard guard{ctx, addr(), "exchange"};
+  const u256 dy = quote_out(ctx.state(), i, j, dx);
+  coins_[static_cast<std::size_t>(i)]->transfer_from(ctx, ctx.sender(),
+                                                     addr(), dx);
+  coins_[static_cast<std::size_t>(j)]->transfer(ctx, to, dy);
+  // Mainnet-shaped TokenExchange(buyer, sold_id, tokens_sold, bought_id,
+  // tokens_bought).
+  ctx.emit_log(chain::event_log{
+      .emitter = addr(),
+      .name = "TokenExchange",
+      .addr0 = ctx.sender(),
+      .addr1 = to,
+      .amount0 = dx,
+      .amount1 = dy,
+      .amount2 = u256{static_cast<std::uint64_t>(i)},
+      .amount3 = u256{static_cast<std::uint64_t>(j)}});
+  return dy;
+}
+
+u256 stableswap_pool::add_liquidity(context& ctx, const u256& amount0,
+                                    const u256& amount1, const address& to) {
+  context::call_guard guard{ctx, addr(), "add_liquidity"};
+  const u256 d0 = get_d(ctx.state());
+  if (!amount0.is_zero()) {
+    coins_[0]->transfer_from(ctx, ctx.sender(), addr(), amount0);
+  }
+  if (!amount1.is_zero()) {
+    coins_[1]->transfer_from(ctx, ctx.sender(), addr(), amount1);
+  }
+  const u256 d1 = get_d(ctx.state());
+  context::require(d1 > d0, "stableswap: no D growth");
+  const u256 supply = total_supply(ctx.state());
+  const u256 minted =
+      supply.is_zero() ? d1 : u256::muldiv(supply, d1 - d0, d0);
+  context::require(!minted.is_zero(), "stableswap: zero mint");
+  add_supply(ctx, minted);
+  move_balance(ctx, address::zero(), to, minted);
+  return minted;
+}
+
+std::array<u256, 2> stableswap_pool::remove_liquidity(context& ctx,
+                                                      const u256& shares,
+                                                      const address& to) {
+  context::call_guard guard{ctx, addr(), "remove_liquidity"};
+  const u256 supply = total_supply(ctx.state());
+  context::require(!supply.is_zero() && shares <= supply,
+                   "stableswap: bad shares");
+  const u256 out0 = u256::muldiv(balance(ctx.state(), 0), shares, supply);
+  const u256 out1 = u256::muldiv(balance(ctx.state(), 1), shares, supply);
+  sub_supply(ctx, shares);
+  move_balance(ctx, ctx.sender(), address::zero(), shares);
+  if (!out0.is_zero()) coins_[0]->transfer(ctx, to, out0);
+  if (!out1.is_zero()) coins_[1]->transfer(ctx, to, out1);
+  return {out0, out1};
+}
+
+u256 stableswap_pool::remove_liquidity_one_coin(context& ctx,
+                                                const u256& shares, int i,
+                                                const address& to) {
+  context::call_guard guard{ctx, addr(), "remove_liquidity_one_coin"};
+  context::require(i == 0 || i == 1, "stableswap: bad index");
+  const u256 supply = total_supply(ctx.state());
+  context::require(!supply.is_zero() && shares < supply,
+                   "stableswap: bad shares");
+  const u256 d0 = get_d(ctx.state());
+  const u256 d1 = d0 - u256::muldiv(shares, d0, supply);
+  const u256 x_other =
+      balance(ctx.state(), static_cast<std::size_t>(1 - i));
+  const u256 xi = balance(ctx.state(), static_cast<std::size_t>(i));
+  const u256 y_new = compute_y(x_other, d1, amp_);
+  context::require(y_new < xi, "stableswap: math");
+  u256 dy = xi - y_new;
+  dy = dy - dy * u256{fee_bps_} / u256{10'000};
+  sub_supply(ctx, shares);
+  move_balance(ctx, ctx.sender(), address::zero(), shares);
+  coins_[static_cast<std::size_t>(i)]->transfer(ctx, to, dy);
+  return dy;
+}
+
+}  // namespace leishen::defi

@@ -1,0 +1,79 @@
+// Curve-style StableSwap pool (two coins).
+//
+// Implements the StableSwap invariant (Egorov 2019, cited by the paper as
+// [25]) with integer Newton iteration, exactly as the mainnet contracts do:
+//   A*n^n*sum(x_i) + D = A*D*n^n + D^(n+1) / (n^n * prod(x_i))
+// The pool issues an LP token whose virtual price D/supply is the quantity
+// Harvest/Yearn-style vaults read — and the quantity flpAttacks bend.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/rate.h"
+#include "token/erc20.h"
+
+namespace leishen::defi {
+
+using token::erc20;
+using chain::context;
+
+class stableswap_pool : public erc20 {  // the LP token (e.g. 3Crv-style)
+ public:
+  /// fee in basis points on swap output (mainnet: 4 bps typical).
+  stableswap_pool(chain::blockchain& bc, address self, std::string app_name,
+                  erc20& coin0, erc20& coin1, std::uint64_t amplification,
+                  std::uint64_t fee_bps);
+
+  [[nodiscard]] erc20& coin(std::size_t i) const {
+    return *coins_.at(i);
+  }
+  [[nodiscard]] int index_of(const erc20& t) const;
+
+  [[nodiscard]] u256 balance(const chain::world_state& st,
+                             std::size_t i) const {
+    return coins_.at(i)->balance_of(st, addr());
+  }
+
+  /// The invariant D at current balances.
+  [[nodiscard]] u256 get_d(const chain::world_state& st) const;
+
+  /// LP token value: D / total_supply, scaled by 1e18 (mainnet
+  /// get_virtual_price).
+  [[nodiscard]] u256 virtual_price(const chain::world_state& st) const;
+
+  /// Quote for an exact-in swap (view; fee applied).
+  [[nodiscard]] u256 quote_out(const chain::world_state& st, int i, int j,
+                               const u256& dx) const;
+
+  /// Exact-in swap coin i -> coin j; pulls dx from caller, sends dy to `to`.
+  u256 exchange(context& ctx, int i, int j, const u256& dx, const address& to);
+
+  /// Deposit both coins, mint LP shares pro-rata to D growth.
+  u256 add_liquidity(context& ctx, const u256& amount0, const u256& amount1,
+                     const address& to);
+
+  /// Burn LP shares, withdraw both coins proportionally.
+  std::array<u256, 2> remove_liquidity(context& ctx, const u256& shares,
+                                       const address& to);
+
+  /// Burn LP shares for a single coin (the imbalanced withdrawal attackers
+  /// love): pays out so that D shrinks proportionally to the burned share.
+  u256 remove_liquidity_one_coin(context& ctx, const u256& shares, int i,
+                                 const address& to);
+
+ private:
+  static constexpr unsigned kN = 2;  // number of coins
+
+  [[nodiscard]] static u256 compute_d(const u256& x0, const u256& x1,
+                                      std::uint64_t amp);
+  /// Solve for the new balance of coin j given coin i's balance, holding D.
+  [[nodiscard]] static u256 compute_y(const u256& x_new_i, const u256& d,
+                                      std::uint64_t amp);
+
+  std::array<erc20*, kN> coins_;
+  std::uint64_t amp_;
+  std::uint64_t fee_bps_;
+};
+
+}  // namespace leishen::defi

@@ -1,0 +1,279 @@
+#include "defi/uniswap_v2.h"
+
+#include <utility>
+
+namespace leishen::defi {
+
+const u256 uniswap_v2_pair::kReserve0Slot = u256{10};
+const u256 uniswap_v2_pair::kReserve1Slot = u256{11};
+
+uniswap_v2_pair::uniswap_v2_pair(chain::blockchain& bc, address self,
+                                 std::string app_name, erc20& token0,
+                                 erc20& token1, bool emit_trade_events)
+    : erc20{bc, self, std::move(app_name),
+            token0.symbol() + "-" + token1.symbol() + "-LP", 18},
+      token0_{token0},
+      token1_{token1},
+      emit_trade_events_{emit_trade_events} {
+  context::require(&token0 != &token1, "pair: identical tokens");
+}
+
+u256 uniswap_v2_pair::reserve0(const chain::world_state& st) const {
+  return st.load(addr(), kReserve0Slot);
+}
+
+u256 uniswap_v2_pair::reserve1(const chain::world_state& st) const {
+  return st.load(addr(), kReserve1Slot);
+}
+
+u256 uniswap_v2_pair::reserve_of(const chain::world_state& st,
+                                 const erc20& t) const {
+  return &t == &token0_ ? reserve0(st) : reserve1(st);
+}
+
+rate uniswap_v2_pair::spot_price(const chain::world_state& st,
+                                 const erc20& base) const {
+  return rate{reserve_of(st, other(base)), reserve_of(st, base)};
+}
+
+u256 uniswap_v2_pair::get_amount_out(const u256& amount_in,
+                                     const u256& reserve_in,
+                                     const u256& reserve_out) {
+  context::require(!amount_in.is_zero(), "insufficient input amount");
+  context::require(!reserve_in.is_zero() && !reserve_out.is_zero(),
+                   "insufficient liquidity");
+  const u256 in_with_fee = amount_in * u256{kFeeNum};
+  const u256 denominator = reserve_in * u256{kFeeDen} + in_with_fee;
+  return u256::muldiv(in_with_fee, reserve_out, denominator);
+}
+
+u256 uniswap_v2_pair::get_amount_in(const u256& amount_out,
+                                    const u256& reserve_in,
+                                    const u256& reserve_out) {
+  context::require(!amount_out.is_zero(), "insufficient output amount");
+  context::require(amount_out < reserve_out, "insufficient liquidity");
+  const u256 numerator = reserve_in * amount_out * u256{kFeeDen};
+  const u256 denominator = (reserve_out - amount_out) * u256{kFeeNum};
+  return numerator / denominator + u256{1};
+}
+
+u256 uniswap_v2_pair::quote_out(const chain::world_state& st,
+                                const erc20& token_in,
+                                const u256& amount_in) const {
+  return get_amount_out(amount_in, reserve_of(st, token_in),
+                        reserve_of(st, other(token_in)));
+}
+
+u256 uniswap_v2_pair::quote_in(const chain::world_state& st,
+                               const erc20& token_out,
+                               const u256& amount_out) const {
+  return get_amount_in(amount_out, reserve_of(st, other(token_out)),
+                       reserve_of(st, token_out));
+}
+
+u256 uniswap_v2_pair::balance0(context& ctx) const {
+  return token0_.balance_of(ctx.state(), addr());
+}
+
+u256 uniswap_v2_pair::balance1(context& ctx) const {
+  return token1_.balance_of(ctx.state(), addr());
+}
+
+void uniswap_v2_pair::update_reserves(context& ctx, const u256& b0,
+                                      const u256& b1) {
+  ctx.store(addr(), kReserve0Slot, b0);
+  ctx.store(addr(), kReserve1Slot, b1);
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "Sync",
+                                .amount0 = b0,
+                                .amount1 = b1});
+}
+
+u256 uniswap_v2_pair::mint_liquidity(context& ctx, const address& to) {
+  context::call_guard guard{ctx, addr(), "mint"};
+  const u256 r0 = ctx.load(addr(), kReserve0Slot);
+  const u256 r1 = ctx.load(addr(), kReserve1Slot);
+  const u256 b0 = balance0(ctx);
+  const u256 b1 = balance1(ctx);
+  const u256 amount0 = b0 - r0;
+  const u256 amount1 = b1 - r1;
+  const u256 supply = total_supply(ctx.state());
+
+  u256 liquidity;
+  if (supply.is_zero()) {
+    liquidity = isqrt(amount0 * amount1);
+  } else {
+    const u256 l0 = u256::muldiv(amount0, supply, r0);
+    const u256 l1 = u256::muldiv(amount1, supply, r1);
+    liquidity = l0 < l1 ? l0 : l1;
+  }
+  context::require(!liquidity.is_zero(), "insufficient liquidity minted");
+  add_supply(ctx, liquidity);
+  move_balance(ctx, address::zero(), to, liquidity);
+  update_reserves(ctx, b0, b1);
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "Mint",
+                                .addr0 = ctx.sender(),
+                                .addr1 = to,
+                                .amount0 = amount0,
+                                .amount1 = amount1});
+  return liquidity;
+}
+
+std::pair<u256, u256> uniswap_v2_pair::burn_liquidity(context& ctx,
+                                                      const address& to) {
+  context::call_guard guard{ctx, addr(), "burn"};
+  const u256 liquidity = balance_of(ctx.state(), addr());
+  context::require(!liquidity.is_zero(), "no liquidity to burn");
+  const u256 supply = total_supply(ctx.state());
+  const u256 b0 = balance0(ctx);
+  const u256 b1 = balance1(ctx);
+  const u256 amount0 = u256::muldiv(liquidity, b0, supply);
+  const u256 amount1 = u256::muldiv(liquidity, b1, supply);
+  context::require(!amount0.is_zero() && !amount1.is_zero(),
+                   "insufficient liquidity burned");
+  sub_supply(ctx, liquidity);
+  move_balance(ctx, addr(), address::zero(), liquidity);
+  token0_.transfer(ctx, to, amount0);
+  token1_.transfer(ctx, to, amount1);
+  update_reserves(ctx, balance0(ctx), balance1(ctx));
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "Burn",
+                                .addr0 = ctx.sender(),
+                                .addr1 = to,
+                                .amount0 = amount0,
+                                .amount1 = amount1});
+  return {amount0, amount1};
+}
+
+void uniswap_v2_pair::swap(context& ctx, const u256& amount0_out,
+                           const u256& amount1_out, const address& to,
+                           uniswap_v2_callee* callee) {
+  context::call_guard guard{ctx, addr(), "swap"};
+  context::require(!amount0_out.is_zero() || !amount1_out.is_zero(),
+                   "insufficient output amount");
+  const u256 r0 = ctx.load(addr(), kReserve0Slot);
+  const u256 r1 = ctx.load(addr(), kReserve1Slot);
+  context::require(amount0_out < r0 && amount1_out < r1,
+                   "insufficient liquidity");
+
+  // Optimistic transfer out, then hand control to the callee (flash swap).
+  if (!amount0_out.is_zero()) token0_.transfer(ctx, to, amount0_out);
+  if (!amount1_out.is_zero()) token1_.transfer(ctx, to, amount1_out);
+  if (callee != nullptr) {
+    const address initiator = ctx.sender();
+    context::call_guard cb{ctx, callee->callee_addr(), "uniswapV2Call"};
+    callee->on_uniswap_v2_call(ctx, initiator, amount0_out, amount1_out);
+  }
+
+  const u256 b0 = balance0(ctx);
+  const u256 b1 = balance1(ctx);
+  const u256 in0 = b0 > r0 - amount0_out ? b0 - (r0 - amount0_out) : u256{};
+  const u256 in1 = b1 > r1 - amount1_out ? b1 - (r1 - amount1_out) : u256{};
+  context::require(!in0.is_zero() || !in1.is_zero(),
+                   "insufficient input amount");
+
+  // Fee-adjusted K invariant: balances net of 0.3% of the input must keep
+  // the product at or above the pre-swap reserves product.
+  const u256 adj0 = b0 * u256{kFeeDen} - in0 * u256{kFeeDen - kFeeNum};
+  const u256 adj1 = b1 * u256{kFeeDen} - in1 * u256{kFeeDen - kFeeNum};
+  const auto lhs = u256::wide_mul(adj0, adj1);
+  const auto rhs = u256::wide_mul(r0 * u256{kFeeDen}, r1 * u256{kFeeDen});
+  const bool k_ok =
+      lhs.hi > rhs.hi || (lhs.hi == rhs.hi && lhs.lo >= rhs.lo);
+  context::require(k_ok, "UniswapV2: K");
+
+  update_reserves(ctx, b0, b1);
+  // Mainnet-shaped Swap(sender, amount0In, amount1In, amount0Out,
+  // amount1Out, to): the explorer baseline reconstructs trades from this.
+  if (!emit_trade_events_) return;
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "Swap",
+                                .addr0 = ctx.sender(),
+                                .addr1 = to,
+                                .amount0 = in0,
+                                .amount1 = in1,
+                                .amount2 = amount0_out,
+                                .amount3 = amount1_out});
+}
+
+void uniswap_v2_pair::sync(context& ctx) {
+  context::call_guard guard{ctx, addr(), "sync"};
+  update_reserves(ctx, balance0(ctx), balance1(ctx));
+}
+
+// ---- factory -----------------------------------------------------------------
+
+uniswap_v2_factory::uniswap_v2_factory(chain::blockchain& bc, address self,
+                                       std::string app_name)
+    : contract{self, std::move(app_name), "UniswapV2Factory"}, bc_{bc} {}
+
+uniswap_v2_pair& uniswap_v2_factory::create_pair(erc20& a, erc20& b,
+                                                 bool emit_trade_events) {
+  context::require(find_pair(a, b) == nullptr, "pair exists");
+  auto& pair =
+      bc_.deploy<uniswap_v2_pair>(addr(), app_name(), a, b, emit_trade_events);
+  pairs_.push_back(&pair);
+  return pair;
+}
+
+uniswap_v2_pair* uniswap_v2_factory::find_pair(const erc20& a,
+                                               const erc20& b) const {
+  for (uniswap_v2_pair* p : pairs_) {
+    if (p->has_token(a) && p->has_token(b)) return p;
+  }
+  return nullptr;
+}
+
+// ---- router ------------------------------------------------------------------
+
+uniswap_v2_router::uniswap_v2_router(chain::blockchain& bc, address self,
+                                     std::string app_name,
+                                     uniswap_v2_factory& factory)
+    : contract{self, std::move(app_name), "UniswapV2Router"},
+      factory_{factory} {
+  (void)bc;
+}
+
+u256 uniswap_v2_router::swap_exact_tokens(context& ctx, erc20& token_in,
+                                          const u256& amount_in,
+                                          erc20& token_out,
+                                          const address& to) {
+  context::call_guard guard{ctx, addr(), "swapExactTokensForTokens"};
+  uniswap_v2_pair* pair = factory_.find_pair(token_in, token_out);
+  context::require(pair != nullptr, "router: no pair");
+  const u256 amount_out = pair->quote_out(ctx.state(), token_in, amount_in);
+  token_in.transfer_from(ctx, ctx.sender(), pair->addr(), amount_in);
+  if (&pair->token0() == &token_in) {
+    pair->swap(ctx, u256{}, amount_out, to);
+  } else {
+    pair->swap(ctx, amount_out, u256{}, to);
+  }
+  return amount_out;
+}
+
+u256 uniswap_v2_router::add_liquidity(context& ctx, erc20& a,
+                                      const u256& amount_a, erc20& b,
+                                      const u256& amount_b,
+                                      const address& to) {
+  context::call_guard guard{ctx, addr(), "addLiquidity"};
+  uniswap_v2_pair* pair = factory_.find_pair(a, b);
+  context::require(pair != nullptr, "router: no pair");
+  a.transfer_from(ctx, ctx.sender(), pair->addr(), amount_a);
+  b.transfer_from(ctx, ctx.sender(), pair->addr(), amount_b);
+  return pair->mint_liquidity(ctx, to);
+}
+
+std::pair<u256, u256> uniswap_v2_router::remove_liquidity(
+    context& ctx, erc20& a, erc20& b, const u256& liquidity,
+    const address& to) {
+  context::call_guard guard{ctx, addr(), "removeLiquidity"};
+  uniswap_v2_pair* pair = factory_.find_pair(a, b);
+  context::require(pair != nullptr, "router: no pair");
+  pair->transfer_from(ctx, ctx.sender(), pair->addr(), liquidity);
+  auto [amount0, amount1] = pair->burn_liquidity(ctx, to);
+  if (&pair->token0() == &a) return {amount0, amount1};
+  return {amount1, amount0};
+}
+
+}  // namespace leishen::defi

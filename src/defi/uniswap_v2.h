@@ -1,0 +1,152 @@
+// Uniswap V2: constant-product AMM with flash swaps (paper §II-B, §V-A).
+//
+// Faithful to the mainnet core: pairs are themselves ERC20 LP tokens;
+// swap() transfers outputs optimistically, optionally calls back into the
+// recipient (flash swap), and then enforces the fee-adjusted constant
+// product invariant. The factory deploys pairs, so all pools share one
+// creation tree rooted at the Uniswap deployer — the structure account
+// tagging exploits.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rate.h"
+#include "defi/interfaces.h"
+#include "token/erc20.h"
+
+namespace leishen::defi {
+
+using token::erc20;
+
+class uniswap_v2_pair : public erc20 {
+ public:
+  /// 0.3% swap fee, expressed as parts per thousand retained.
+  static constexpr std::uint64_t kFeeNum = 997;
+  static constexpr std::uint64_t kFeeDen = 1000;
+
+  /// `emit_trade_events` models whether explorers can decode this pool's
+  /// swaps: mainnet Uniswap/Balancer emit standard events, while many BSC
+  /// forks and bespoke AMMs do not (paper §VI-B: the Explorer baseline's
+  /// blind spot).
+  uniswap_v2_pair(chain::blockchain& bc, address self, std::string app_name,
+                  erc20& token0, erc20& token1,
+                  bool emit_trade_events = true);
+
+  [[nodiscard]] erc20& token0() const noexcept { return token0_; }
+  [[nodiscard]] erc20& token1() const noexcept { return token1_; }
+  [[nodiscard]] bool has_token(const erc20& t) const noexcept {
+    return &t == &token0_ || &t == &token1_;
+  }
+  [[nodiscard]] erc20& other(const erc20& t) const {
+    return &t == &token0_ ? token1_ : token0_;
+  }
+
+  [[nodiscard]] u256 reserve0(const chain::world_state& st) const;
+  [[nodiscard]] u256 reserve1(const chain::world_state& st) const;
+  [[nodiscard]] u256 reserve_of(const chain::world_state& st,
+                                const erc20& t) const;
+
+  /// Mid (spot) price of `base` quoted in the pair's other token, as an
+  /// exact fraction reserve_other / reserve_base.
+  [[nodiscard]] rate spot_price(const chain::world_state& st,
+                                const erc20& base) const;
+
+  /// amount_out for an exact-in swap at current reserves (view).
+  [[nodiscard]] u256 quote_out(const chain::world_state& st,
+                               const erc20& token_in,
+                               const u256& amount_in) const;
+  /// amount_in required for an exact-out swap at current reserves (view).
+  [[nodiscard]] u256 quote_in(const chain::world_state& st,
+                              const erc20& token_out,
+                              const u256& amount_out) const;
+
+  /// Static constant-product math (Uniswap V2 library functions).
+  static u256 get_amount_out(const u256& amount_in, const u256& reserve_in,
+                             const u256& reserve_out);
+  static u256 get_amount_in(const u256& amount_out, const u256& reserve_in,
+                            const u256& reserve_out);
+
+  /// Deposit both tokens (already transferred to the pair) and mint LP
+  /// shares to `to`. Returns minted liquidity.
+  u256 mint_liquidity(context& ctx, const address& to);
+
+  /// Burn the LP shares held by the pair and pay out both tokens to `to`.
+  /// Returns (amount0, amount1).
+  std::pair<u256, u256> burn_liquidity(context& ctx, const address& to);
+
+  /// Core swap. Inputs must already sit in the pair (push model). If
+  /// `callee` is non-null this is a flash swap: outputs are sent first,
+  /// the callee runs arbitrary logic, and the K check settles afterwards.
+  void swap(context& ctx, const u256& amount0_out, const u256& amount1_out,
+            const address& to, uniswap_v2_callee* callee = nullptr);
+
+  /// Bring reserves in line with balances (mainnet `sync()`).
+  void sync(context& ctx);
+
+ private:
+  [[nodiscard]] u256 balance0(context& ctx) const;
+  [[nodiscard]] u256 balance1(context& ctx) const;
+  void update_reserves(context& ctx, const u256& b0, const u256& b1);
+
+  static const u256 kReserve0Slot;
+  static const u256 kReserve1Slot;
+
+  erc20& token0_;
+  erc20& token1_;
+  bool emit_trade_events_;
+};
+
+class uniswap_v2_factory : public chain::contract {
+ public:
+  uniswap_v2_factory(chain::blockchain& bc, address self,
+                     std::string app_name);
+
+  /// Deploy a pair for (a, b). The pair's creation edge points at this
+  /// factory. Pairs are unique per unordered token pair.
+  uniswap_v2_pair& create_pair(erc20& a, erc20& b,
+                               bool emit_trade_events = true);
+
+  [[nodiscard]] uniswap_v2_pair* find_pair(const erc20& a,
+                                           const erc20& b) const;
+  [[nodiscard]] const std::vector<uniswap_v2_pair*>& pairs() const noexcept {
+    return pairs_;
+  }
+
+ private:
+  chain::blockchain& bc_;
+  std::vector<uniswap_v2_pair*> pairs_;
+};
+
+/// Periphery router: pulls input tokens from the caller, pushes them to the
+/// pair, executes the swap, and forwards output — the mainnet user path that
+/// produces the two-legged transfer shape LeiShen lifts into a Swap trade.
+class uniswap_v2_router : public chain::contract {
+ public:
+  uniswap_v2_router(chain::blockchain& bc, address self, std::string app_name,
+                    uniswap_v2_factory& factory);
+
+  /// Swap an exact `amount_in` of token_in for token_out via the direct
+  /// pair; output goes to `to`. Returns amount_out.
+  u256 swap_exact_tokens(context& ctx, erc20& token_in, const u256& amount_in,
+                         erc20& token_out, const address& to);
+
+  /// Add liquidity at current ratio; returns LP tokens minted to `to`.
+  u256 add_liquidity(context& ctx, erc20& a, const u256& amount_a, erc20& b,
+                     const u256& amount_b, const address& to);
+
+  /// Remove liquidity; returns (amount_a, amount_b) sent to `to`.
+  std::pair<u256, u256> remove_liquidity(context& ctx, erc20& a, erc20& b,
+                                         const u256& liquidity,
+                                         const address& to);
+
+  [[nodiscard]] uniswap_v2_factory& factory() const noexcept {
+    return factory_;
+  }
+
+ private:
+  uniswap_v2_factory& factory_;
+};
+
+}  // namespace leishen::defi

@@ -1,0 +1,109 @@
+#include "defi/vault.h"
+
+#include <utility>
+
+namespace leishen::defi {
+
+vault::vault(chain::blockchain& bc, address self, std::string app_name,
+             std::string share_symbol, erc20& underlying,
+             erc20& invested_token, stableswap_pool& value_source,
+             bool emit_events)
+    : erc20{bc, self, std::move(app_name), std::move(share_symbol),
+            underlying.decimals()},
+      underlying_{underlying},
+      invested_{invested_token},
+      source_{value_source},
+      emit_events_{emit_events} {
+  context::require(value_source.index_of(underlying) >= 0 &&
+                       value_source.index_of(invested_token) >= 0,
+                   "vault: source pool must trade both tokens");
+}
+
+u256 vault::total_assets(const chain::world_state& st) const {
+  const u256 idle = underlying_.balance_of(st, addr());
+  const u256 invested = invested_.balance_of(st, addr());
+  if (invested.is_zero()) return idle;
+  // Value the invested position at the pool's *spot* rate — the manipulable
+  // read. Spot rate invested -> underlying = quote for a marginal unit.
+  const u256 probe = invested_.one();
+  const u256 out = source_.quote_out(
+      st, source_.index_of(invested_), source_.index_of(underlying_), probe);
+  return idle + u256::muldiv(invested, out, probe);
+}
+
+u256 vault::price_per_share(const chain::world_state& st) const {
+  const u256 supply = total_supply(st);
+  if (supply.is_zero()) return u256::pow10(18);
+  return u256::muldiv(total_assets(st), u256::pow10(18), supply);
+}
+
+std::uint64_t vault::pool_divergence_bps(const chain::world_state& st) const {
+  const u256 probe = invested_.one();
+  const u256 out = source_.quote_out(
+      st, source_.index_of(invested_), source_.index_of(underlying_), probe);
+  const u256 diff = out > probe ? out - probe : probe - out;
+  return u256::muldiv(diff, u256{10'000}, probe).fits_u64()
+             ? u256::muldiv(diff, u256{10'000}, probe).to_u64()
+             : ~0ULL;
+}
+
+void vault::check_defense(context& ctx) const {
+  if (defense_bps_ == 0) return;
+  context::require(pool_divergence_bps(ctx.state()) <= defense_bps_,
+                   "vault: price check failed");
+}
+
+u256 vault::deposit(context& ctx, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "deposit"};
+  check_defense(ctx);
+  context::require(!amount.is_zero(), "vault: zero deposit");
+  const u256 assets = total_assets(ctx.state());
+  const u256 supply = total_supply(ctx.state());
+  underlying_.transfer_from(ctx, ctx.sender(), addr(), amount);
+  const u256 shares = supply.is_zero() || assets.is_zero()
+                          ? amount
+                          : u256::muldiv(amount, supply, assets);
+  context::require(!shares.is_zero(), "vault: zero shares");
+  add_supply(ctx, shares);
+  move_balance(ctx, address::zero(), ctx.sender(), shares);
+  if (emit_events_) {
+    ctx.emit_log(chain::event_log{.emitter = addr(),
+                                  .name = "Deposit",
+                                  .addr0 = ctx.sender(),
+                                  .amount0 = amount,
+                                  .amount1 = shares});
+  }
+  return shares;
+}
+
+u256 vault::withdraw(context& ctx, const u256& shares) {
+  context::call_guard guard{ctx, addr(), "withdraw"};
+  check_defense(ctx);
+  const u256 supply = total_supply(ctx.state());
+  context::require(!shares.is_zero() && shares <= supply,
+                   "vault: bad share amount");
+  const u256 amount =
+      u256::muldiv(shares, total_assets(ctx.state()), supply);
+  sub_supply(ctx, shares);
+  move_balance(ctx, ctx.sender(), address::zero(), shares);
+  context::require(underlying_.balance_of(ctx.state(), addr()) >= amount,
+                   "vault: insufficient idle liquidity");
+  underlying_.transfer(ctx, ctx.sender(), amount);
+  if (emit_events_) {
+    ctx.emit_log(chain::event_log{.emitter = addr(),
+                                  .name = "Withdraw",
+                                  .addr0 = ctx.sender(),
+                                  .amount0 = amount,
+                                  .amount1 = shares});
+  }
+  return amount;
+}
+
+void vault::invest(context& ctx, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "doHardWork"};
+  underlying_.approve(ctx, source_.addr(), amount);
+  source_.exchange(ctx, source_.index_of(underlying_),
+                   source_.index_of(invested_), amount, addr());
+}
+
+}  // namespace leishen::defi

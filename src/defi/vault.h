@@ -1,0 +1,80 @@
+// Yield vault (Harvest fUSDC / Yearn yVault style).
+//
+// Users deposit an underlying token and receive shares; the share price is
+// total_assets / total_shares. The vault's assets include a position whose
+// value is read from a *manipulable* on-chain source — either a StableSwap
+// pool's virtual/spot price or a Uniswap pair spot. This reproduces the
+// vulnerability class behind the Harvest Finance, Value DeFi, Yearn and
+// Belt attacks (paper Table I): pump the source, deposit or withdraw at a
+// distorted share price, restore, pocket the difference.
+#pragma once
+
+#include <string>
+
+#include "defi/stableswap.h"
+#include "defi/uniswap_v2.h"
+
+namespace leishen::defi {
+
+class vault : public erc20 {  // the share token (fUSDC, yDAI, ...)
+ public:
+  /// A vault holding `underlying` plus an invested position of
+  /// `invested_token`, valued at the StableSwap spot rate
+  /// invested_token -> underlying.
+  /// `emit_events` models whether the vault implements Deposit/Withdraw
+  /// events an explorer can decode (paper §VI-B: many vaults do not).
+  vault(chain::blockchain& bc, address self, std::string app_name,
+        std::string share_symbol, erc20& underlying,
+        erc20& invested_token, stableswap_pool& value_source,
+        bool emit_events = false);
+
+  [[nodiscard]] erc20& underlying() const noexcept { return underlying_; }
+  [[nodiscard]] erc20& invested_token() const noexcept {
+    return invested_;
+  }
+
+  /// Total assets in underlying units: idle underlying + invested tokens
+  /// valued at the pool's current (manipulable) exchange rate.
+  [[nodiscard]] u256 total_assets(const chain::world_state& st) const;
+
+  /// Share price scaled by 1e18 (mainnet getPricePerFullShare).
+  [[nodiscard]] u256 price_per_share(const chain::world_state& st) const;
+
+  /// Deposit underlying, mint shares at the current share price.
+  u256 deposit(context& ctx, const u256& amount);
+
+  /// Burn shares, withdraw underlying at the current share price (paid from
+  /// the idle balance).
+  u256 withdraw(context& ctx, const u256& shares);
+
+  /// Simulate strategy yield: the protocol moves part of the idle
+  /// underlying into the invested token through the pool (benign rebalance
+  /// used by scenarios and the yield-aggregator workload).
+  void invest(context& ctx, const u256& amount);
+
+  /// §VI-D defense: after the 2020 attacks, Harvest and others gate
+  /// deposits/withdrawals when the pricing pool deviates too far from par.
+  /// A threshold of 0 disables the gate (the default). The paper's point —
+  /// which tests reproduce — is that attacks with volatility *below* the
+  /// threshold still go through.
+  void set_defense_threshold_bps(std::uint64_t bps) { defense_bps_ = bps; }
+  [[nodiscard]] std::uint64_t defense_threshold_bps() const noexcept {
+    return defense_bps_;
+  }
+
+  /// Current deviation of the pricing pool from 1:1 par, in basis points
+  /// (both vault tokens are stable assets, so par is the honest rate).
+  [[nodiscard]] std::uint64_t pool_divergence_bps(
+      const chain::world_state& st) const;
+
+ private:
+  void check_defense(context& ctx) const;
+
+  erc20& underlying_;
+  erc20& invested_;
+  stableswap_pool& source_;
+  bool emit_events_;
+  std::uint64_t defense_bps_ = 0;
+};
+
+}  // namespace leishen::defi

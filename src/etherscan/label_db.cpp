@@ -1,0 +1,46 @@
+#include "etherscan/label_db.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace leishen::etherscan {
+
+void label_db::tag(const address& a, std::string app) {
+  labels_[a] = std::move(app);
+}
+
+void label_db::remove(const address& a) { labels_.erase(a); }
+
+std::optional<std::string> label_db::label_of(const address& a) const {
+  const auto it = labels_.find(a);
+  if (it == labels_.end()) return std::nullopt;
+  return it->second;
+}
+
+void label_db::seed_from_chain(const chain::blockchain& bc,
+                               const std::vector<std::string>& exclude_apps) {
+  const auto excluded = [&](const std::string& app) {
+    return app.empty() ||
+           std::find(exclude_apps.begin(), exclude_apps.end(), app) !=
+               exclude_apps.end();
+  };
+  const chain::creation_registry& reg = bc.creations();
+  for (const chain::contract* c : bc.contracts()) {
+    const std::string& app = c->app_name();
+    if (excluded(app)) continue;
+    // Label only creation-tree roots' direct children (factories, routers,
+    // top-level protocol contracts). Deeper descendants stay unlabeled.
+    const auto creator = reg.creator_of(c->addr());
+    if (creator.has_value() && reg.creator_of(*creator).has_value()) {
+      continue;  // grandchild or deeper
+    }
+    labels_[c->addr()] = app;
+    // Root EOAs with a known app get their deployer label too.
+    if (creator.has_value()) {
+      const std::string root_app = bc.app_of(*creator);
+      if (!excluded(root_app)) labels_[*creator] = root_app;
+    }
+  }
+}
+
+}  // namespace leishen::etherscan

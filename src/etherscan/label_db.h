@@ -1,0 +1,42 @@
+// Etherscan-style account label database (paper §V-B1).
+//
+// Mainnet LeiShen seeds its tagging from ~52,500 Etherscan labels covering
+// 119 DeFi applications — but most pool/periphery accounts carry no label.
+// This database plays that role: scenarios register labels for a *subset*
+// of the simulator's ground-truth apps (typically only deployers/factories),
+// and LeiShen's creation-tree tagging must recover the rest.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/blockchain.h"
+
+namespace leishen::etherscan {
+
+class label_db {
+ public:
+  void tag(const address& a, std::string app);
+  void remove(const address& a);
+  [[nodiscard]] std::optional<std::string> label_of(
+      const address& a) const;
+  [[nodiscard]] std::size_t size() const noexcept { return labels_.size(); }
+
+  /// Seed from the chain's ground truth with partial coverage: label every
+  /// account whose app is known and which is a creation-tree *root or
+  /// first-generation* contract (deployers, factories, routers), leaving
+  /// deeper descendants (pools, pairs, vault instances) unlabeled — the
+  /// realistic Etherscan coverage shape. `exclude_apps` suppresses labels
+  /// entirely (used to model unknown/attacker accounts, and the paper's
+  /// removal of post-hoc attacker tags).
+  void seed_from_chain(const chain::blockchain& bc,
+                       const std::vector<std::string>& exclude_apps = {});
+
+ private:
+  std::unordered_map<address, std::string, address_hash>
+      labels_;
+};
+
+}  // namespace leishen::etherscan

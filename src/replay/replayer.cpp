@@ -1,0 +1,41 @@
+#include "replay/replayer.h"
+
+#include <algorithm>
+
+namespace leishen::replay {
+
+chain::transfer_list extract_transfers(const chain::tx_receipt& receipt) {
+  chain::transfer_list out;
+  for (const chain::trace_event& ev : receipt.events) {
+    if (const auto* itx = std::get_if<chain::internal_tx>(&ev)) {
+      if (itx->amount.is_zero()) continue;
+      out.push_back(chain::transfer{.sender = itx->from,
+                                    .receiver = itx->to,
+                                    .amount = itx->amount,
+                                    .token = chain::asset::ether()});
+    } else if (const auto* log = std::get_if<chain::event_log>(&ev)) {
+      if (log->name != chain::kTransferEvent || log->amount0.is_zero()) {
+        continue;
+      }
+      out.push_back(chain::transfer{.sender = log->addr0,
+                                    .receiver = log->addr1,
+                                    .amount = log->amount0,
+                                    .token = chain::asset::token(log->emitter)});
+    }
+  }
+  return out;
+}
+
+std::vector<address> participants(
+    const chain::transfer_list& transfers) {
+  std::vector<address> out;
+  for (const chain::transfer& t : transfers) {
+    out.push_back(t.sender);
+    out.push_back(t.receiver);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace leishen::replay

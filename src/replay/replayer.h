@@ -1,0 +1,25 @@
+// Transaction replay: account-level asset transfer extraction (paper §V-A).
+//
+// On mainnet, LeiShen re-executes every flash loan transaction in a Geth
+// modified to record the happened-before order between internal (Ether)
+// transactions and ERC20 Transfer logs. Our execution context records that
+// unified order natively, so replay is a pure projection of the receipt's
+// trace onto the transfer domain.
+#pragma once
+
+#include "chain/receipt.h"
+
+namespace leishen::replay {
+
+/// Project a receipt's trace onto the ordered list of account-level asset
+/// transfers: internal transactions become Ether transfers; ERC20 Transfer
+/// logs become token transfers (the emitting contract is the asset).
+/// Zero-amount transfers are dropped — they carry no trade information.
+[[nodiscard]] chain::transfer_list extract_transfers(
+    const chain::tx_receipt& receipt);
+
+/// Every distinct account that appears as a sender or receiver.
+[[nodiscard]] std::vector<address> participants(
+    const chain::transfer_list& transfers);
+
+}  // namespace leishen::replay

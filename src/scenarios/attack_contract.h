@@ -1,0 +1,74 @@
+// A scriptable attack/strategy contract (the paper's attack model, Fig. 2).
+//
+// Real attackers deploy a bespoke contract whose body runs inside the flash
+// loan callback; here the body is a C++ closure, so each scenario scripts
+// its trade sequence directly while the chain records the same call tree,
+// internal transactions and event logs a mainnet attack would leave.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "chain/blockchain.h"
+#include "defi/interfaces.h"
+#include "token/erc20.h"
+
+namespace leishen::scenarios {
+
+class attack_contract : public chain::contract,
+                        public defi::uniswap_v2_callee,
+                        public defi::aave_callee,
+                        public defi::dydx_callee {
+ public:
+  using body_fn = std::function<void(chain::context&)>;
+
+  attack_contract(chain::blockchain& bc, address self,
+                  std::string app_name)
+      : contract{self, std::move(app_name), "AttackContract"} {
+    (void)bc;
+  }
+
+  /// The logic run inside the flash loan callback.
+  void set_callback(body_fn cb) { callback_ = std::move(cb); }
+
+  /// Entry point invoked by the attacker EOA's transaction.
+  void run(chain::context& ctx, const body_fn& body) {
+    chain::context::call_guard guard{ctx, addr(), "run"};
+    body(ctx);
+  }
+
+  /// Owner sweep: move tokens held by the contract out (how real attack
+  /// contracts hand profits back to their deployer).
+  void sweep(chain::context& ctx, token::erc20& t, const address& to,
+             const u256& amount) {
+    chain::context::call_guard guard{ctx, addr(), "sweep"};
+    t.transfer(ctx, to, amount);
+  }
+
+  /// Mimic `selfdestruct` cleanup some attackers perform (paper §VI-D2).
+  void self_destruct(chain::context& ctx) {
+    chain::context::call_guard guard{ctx, addr(), "selfdestruct"};
+    ctx.state().set_destroyed(addr(), true);
+  }
+
+  [[nodiscard]] address callee_addr() const override { return addr(); }
+
+  void on_uniswap_v2_call(chain::context& ctx, const address&,
+                          const u256&, const u256&) override {
+    if (callback_) callback_(ctx);
+  }
+  void on_execute_operation(chain::context& ctx, const chain::asset&,
+                            const u256&, const u256&) override {
+    if (callback_) callback_(ctx);
+  }
+  void on_call_function(chain::context& ctx, const chain::asset&,
+                        const u256&, const u256&) override {
+    if (callback_) callback_(ctx);
+  }
+
+ private:
+  body_fn callback_;
+};
+
+}  // namespace leishen::scenarios

@@ -1,0 +1,816 @@
+#include "scenarios/known_attacks.h"
+
+#include <stdexcept>
+
+#include "common/sim_time.h"
+#include "core/flashloan_id.h"
+#include "scenarios/scenario_helpers.h"
+
+namespace leishen::scenarios {
+namespace {
+
+using core::attack_pattern;
+using core::flash_provider;
+using defi::lending_pool;
+using defi::uniswap_v2_pair;
+
+u256 whole(std::uint64_t n) { return units(n, 18); }
+
+// ---------------------------------------------------------------------------
+// Template A — margin-financed SBS (the bZx-1 mechanism generalized): buy
+// the target cheap, poke the victim platform into pumping the pool with its
+// own money (leveraged margin trade), sell the bought amount symmetrically
+// at the inflated price.
+// ---------------------------------------------------------------------------
+struct margin_sbs_opts {
+  std::string token_sym;    // the manipulated token X
+  std::string quote_sym;    // quote currency (e.g. WBNB)
+  std::string app;          // victim application (the margin desk)
+  std::string pool_app;     // the third-party AMM whose pool gets pumped
+  std::uint64_t pool_quote; // pool reserves, whole tokens
+  std::uint64_t pool_x;
+  std::uint64_t q1;         // entry buy size (quote)
+  std::uint64_t stake;      // margin stake; pump = stake * lev (victim money)
+  std::uint64_t lev;
+  std::uint64_t flash;      // flash loan size (quote)
+  bool sell_on_second_pool = false;  // breaks DeFiRanger account symmetry
+  bool sell_via_aggregator = false;  // ditto, through Kyber
+  flash_provider provider = flash_provider::dydx;
+};
+
+known_attack run_margin_sbs(universe& u, int id, const std::string& name,
+                            const std::string& pair_label,
+                            const margin_sbs_opts& o) {
+  auto& quote = u.make_token(o.quote_sym, o.quote_sym, 300.0);
+  auto& x = u.make_token(o.token_sym, o.pool_app, 1.0);
+  auto& pool = u.make_app_pool(o.pool_app, quote, whole(o.pool_quote), x,
+                               whole(o.pool_x), /*emit_trade_events=*/false);
+  uniswap_v2_pair* pool2 = nullptr;
+  if (o.sell_on_second_pool) {
+    pool2 = &u.make_app_pool(o.pool_app, quote, whole(o.pool_quote), x,
+                             whole(o.pool_x), false);
+  }
+  const address margin_dep = u.bc().create_user_account(o.app);
+  auto& margin = u.bc().deploy<lending_pool>(margin_dep, o.app, u.oracle(),
+                                             75, false);
+  u.airdrop(quote, margin.addr(), whole(o.stake * o.lev * 2));
+  u.fund_flashloan_providers(quote, whole(o.flash * 2));
+  u.reseed_labels();
+
+  const attacker_identity who = make_attacker(u);
+  u256 x1;
+  auto body = [&](context& ctx) {
+    // t1: symmetric entry buy.
+    x1 = swap_direct(ctx, pool, quote, whole(o.q1), who.contract->addr());
+    // t2: victim-funded pump.
+    quote.approve(ctx, margin.addr(), whole(o.stake));
+    margin.margin_trade(ctx, quote, whole(o.stake), o.lev, pool);
+    // t3: symmetric exit at the inflated price.
+    uniswap_v2_pair& out_pool = pool2 != nullptr ? *pool2 : pool;
+    if (o.sell_via_aggregator) {
+      x.approve(ctx, u.kyber().addr(), x1);
+      u.kyber().trade_on(ctx, out_pool, x, x1);
+    } else {
+      swap_direct(ctx, out_pool, x, x1, who.contract->addr());
+    }
+  };
+  const chain::tx_receipt* rec = nullptr;
+  if (o.provider == flash_provider::dydx) {
+    rec = &run_flash_dydx(u, who, quote, whole(o.flash), name, body);
+  } else {
+    rec = &run_flash_aave(u, who, quote, whole(o.flash), name, body);
+  }
+  if (!rec->success) {
+    throw std::runtime_error(name + " reconstruction reverted: " +
+                             rec->revert_reason);
+  }
+  return known_attack{.id = id,
+                      .name = name,
+                      .victim_app = o.app,
+                      .pair_label = pair_label,
+                      .true_patterns = {attack_pattern::sbs},
+                      .tx_index = rec->tx_index,
+                      .attacker = who.eoa,
+                      .contract_addr = who.contract->addr()};
+}
+
+// ---------------------------------------------------------------------------
+// Template B — vault MBS (the Harvest mechanism): per round, deposit the
+// underlying, pump the vault's pricing pool so the share price rises,
+// withdraw at the inflated price, unwind the pump.
+// ---------------------------------------------------------------------------
+struct vault_mbs_opts {
+  std::string underlying_sym;
+  std::string invested_sym;
+  std::string share_sym;
+  std::string pool_app;  // pricing pool's application (e.g. "Curve")
+  std::string app;       // the vault application (victim)
+  bool vault_events = false;
+  int rounds = 3;
+  int chunks = 1;  // deposits per round; 2 breaks DeFiRanger's symmetry
+  std::uint64_t deposit_m;
+  std::uint64_t pump_m;
+  std::uint64_t pool_m;
+  std::uint64_t vault_seed_m;
+  std::uint64_t vault_invested_m;
+  std::uint64_t amp = 20;
+  std::uint64_t flash_m;
+  flash_provider provider = flash_provider::aave;
+};
+
+known_attack run_vault_mbs(universe& u, int id, const std::string& name,
+                           const std::string& pair_label,
+                           const vault_mbs_opts& o) {
+  auto& un = u.make_token(o.underlying_sym, o.underlying_sym, 1.0);
+  auto& inv = u.make_token(o.invested_sym, o.invested_sym, 1.0);
+  auto& pool = u.make_stable_pool(o.pool_app, un, units(o.pool_m, 24), inv,
+                                  units(o.pool_m, 24), o.amp);
+  auto& v = u.make_vault(o.app, o.share_sym, un, inv, pool,
+                         units(o.vault_seed_m, 24),
+                         units(o.vault_invested_m, 24), o.vault_events);
+  defi::uniswap_v2_pair* flash_pool = nullptr;
+  if (o.provider == flash_provider::uniswap) {
+    flash_pool = &u.make_uniswap_pool(un, units(o.flash_m * 3, 24), u.weth(),
+                                      whole(o.flash_m * 2), true);
+  } else {
+    u.fund_flashloan_providers(un, units(o.flash_m * 2, 24));
+  }
+  u.reseed_labels();
+
+  const attacker_identity who = make_attacker(u);
+  auto body = [&](context& ctx) {
+    const u256 chunk =
+        units(o.deposit_m, 24) / u256{static_cast<std::uint64_t>(o.chunks)};
+    for (int r = 0; r < o.rounds; ++r) {
+      u256 shares;
+      for (int c = 0; c < o.chunks; ++c) {
+        un.approve(ctx, v.addr(), chunk);
+        shares += v.deposit(ctx, chunk);
+      }
+      un.approve(ctx, pool.addr(), units(o.pump_m, 24));
+      const u256 got =
+          pool.exchange(ctx, 0, 1, units(o.pump_m, 24), who.contract->addr());
+      v.withdraw(ctx, shares);
+      inv.approve(ctx, pool.addr(), got);
+      pool.exchange(ctx, 1, 0, got, who.contract->addr());
+    }
+  };
+  const chain::tx_receipt* rec = nullptr;
+  switch (o.provider) {
+    case flash_provider::uniswap:
+      rec = &run_flash_uniswap(u, who, *flash_pool, un, units(o.flash_m, 24),
+                               name, body);
+      break;
+    case flash_provider::aave:
+      rec = &run_flash_aave(u, who, un, units(o.flash_m, 24), name, body);
+      break;
+    case flash_provider::dydx:
+      rec = &run_flash_dydx(u, who, un, units(o.flash_m, 24), name, body);
+      break;
+  }
+  if (!rec->success) {
+    throw std::runtime_error(name + " reconstruction reverted: " +
+                             rec->revert_reason);
+  }
+  return known_attack{.id = id,
+                      .name = name,
+                      .victim_app = o.app,
+                      .pair_label = pair_label,
+                      .true_patterns = {attack_pattern::mbs},
+                      .tx_index = rec->tx_index,
+                      .attacker = who.eoa,
+                      .contract_addr = who.contract->addr()};
+}
+
+// ---------------------------------------------------------------------------
+// Template C — batch-buy KRP on twin pools: >= 5 rising buys on one pool,
+// exit into a second (richer) pool of the same application.
+// ---------------------------------------------------------------------------
+struct twin_krp_opts {
+  std::string token_sym;
+  std::string quote_sym;
+  std::string app;
+  bool explorer_visible = false;  // false -> app pools are silent
+  int buys = 6;
+  std::uint64_t buy_quote;  // per-buy size (quote)
+  std::uint64_t pool1_quote;
+  std::uint64_t pool1_x;
+  std::uint64_t pool2_quote;
+  std::uint64_t pool2_x;
+  std::uint64_t flash;
+};
+
+known_attack run_twin_krp(universe& u, int id, const std::string& name,
+                          const std::string& pair_label,
+                          const twin_krp_opts& o) {
+  auto& quote = u.make_token(o.quote_sym, o.quote_sym, 300.0);
+  auto& x = u.make_token(o.token_sym, o.app, 0.5);
+  auto& pool1 = u.make_app_pool(o.app, quote, whole(o.pool1_quote), x,
+                                whole(o.pool1_x), o.explorer_visible);
+  auto& pool2 = u.make_app_pool(o.app, quote, whole(o.pool2_quote), x,
+                                whole(o.pool2_x), o.explorer_visible);
+  u.fund_flashloan_providers(quote, whole(o.flash * 2));
+  u.reseed_labels();
+
+  const attacker_identity who = make_attacker(u);
+  auto body = [&](context& ctx) {
+    u256 bought;
+    for (int i = 0; i < o.buys; ++i) {
+      bought += swap_direct(ctx, pool1, quote, whole(o.buy_quote),
+                            who.contract->addr());
+    }
+    swap_direct(ctx, pool2, x, bought, who.contract->addr());
+  };
+  const auto& rec =
+      run_flash_dydx(u, who, quote, whole(o.flash), name, body);
+  if (!rec.success) {
+    throw std::runtime_error(name + " reconstruction reverted: " +
+                             rec.revert_reason);
+  }
+  return known_attack{.id = id,
+                      .name = name,
+                      .victim_app = o.app,
+                      .pair_label = pair_label,
+                      .true_patterns = {attack_pattern::krp},
+                      .tx_index = rec.tx_index,
+                      .attacker = who.eoa,
+                      .contract_addr = who.contract->addr()};
+}
+
+// ---------------------------------------------------------------------------
+// Individual reconstructions
+// ---------------------------------------------------------------------------
+
+// #1 bZx-1 (Feb 2020, SBS, ETH-WBTC ~125%): dYdX flash loan; collateralized
+// WBTC borrow on Compound (honest price); bZx margin trade pumps the
+// Uniswap pool with platform money; symmetric exit routed through Kyber.
+known_attack attack_bzx1(universe& u) {
+  auto& weth_tok = u.weth();
+  auto& wbtc = u.make_token("WBTC", "WBTC", 70'000.0);
+  auto& pair = u.make_uniswap_pool(weth_tok, whole(4'400), wbtc, whole(90),
+                                   /*emit_trade_events=*/true);
+  u.oracle().set_fixed(weth_tok, rate{u256{1}, u256{1}});
+  u.oracle().set_fixed(wbtc, rate{u256{35}, u256{1}});
+  u.airdrop(wbtc, u.compound().addr(), whole(200));
+  u.airdrop(weth_tok, u.bzx().addr(), whole(7'000));
+  u.fund_flashloan_providers(weth_tok, whole(25'000));
+  u.reseed_labels();
+
+  const attacker_identity who = make_attacker(u);
+  auto body = [&](context& ctx) {
+    // Step 2: collateralize 5,500 WETH, borrow 112 WBTC on Compound.
+    weth_tok.approve(ctx, u.compound().addr(), whole(5'500));
+    u.compound().borrow(ctx, weth_tok, whole(5'500), wbtc, whole(112));
+    // Step 3/4: 1,127 WETH margin trade at 5x on bZx pumps the pool.
+    weth_tok.approve(ctx, u.bzx().addr(), whole(1'127));
+    u.bzx().margin_trade(ctx, weth_tok, whole(1'127), 5, pair);
+    // Step 5: sell the 112 WBTC at the pumped price, via Kyber.
+    wbtc.approve(ctx, u.kyber().addr(), whole(112));
+    u.kyber().trade_on(ctx, pair, wbtc, whole(112));
+  };
+  const auto& rec =
+      run_flash_dydx(u, who, weth_tok, whole(10'000), "bZx-1", body);
+  if (!rec.success) {
+    throw std::runtime_error("bZx-1 reverted: " + rec.revert_reason);
+  }
+  return known_attack{.id = 1,
+                      .name = "bZx-1",
+                      .victim_app = "bZx",
+                      .pair_label = "ETH-WBTC",
+                      .true_patterns = {attack_pattern::sbs},
+                      .tx_index = rec.tx_index,
+                      .attacker = who.eoa,
+                      .contract_addr = who.contract->addr()};
+}
+
+// #2 bZx-2 (Feb 2020, KRP, ETH-sUSD ~136%): 18 repeated 20-WETH buys of
+// sUSD on Uniswap, then dump the whole position on bZx, whose oracle reads
+// the pumped Uniswap pool.
+known_attack attack_bzx2(universe& u) {
+  auto& weth_tok = u.weth();
+  auto& susd = u.make_token("sUSD", "Synthetix", 1.0);
+  auto& pair = u.make_uniswap_pool(weth_tok, whole(500), susd,
+                                   whole(130'000), true);
+  u.oracle().set_fixed(weth_tok, rate{u256{1}, u256{1}});
+  u.oracle().set_source(susd, pair);
+  u.airdrop(weth_tok, u.bzx().addr(), whole(2'000));
+  u.fund_flashloan_providers(weth_tok, whole(10'000));
+  u.reseed_labels();
+
+  const attacker_identity who = make_attacker(u);
+  u256 bought;
+  auto body = [&](context& ctx) {
+    for (int i = 0; i < 18; ++i) {
+      bought +=
+          swap_direct(ctx, pair, weth_tok, whole(20), who.contract->addr());
+    }
+    // Sell: post all sUSD as collateral on bZx and borrow WETH at the
+    // manipulated oracle price.
+    susd.approve(ctx, u.bzx().addr(), bought);
+    const u256 borrow =
+        u.oracle().value_of(ctx.state(), susd, bought) * u256{74} /
+        u256{100};
+    u.bzx().borrow(ctx, susd, bought, weth_tok, borrow);
+  };
+  const auto& rec =
+      run_flash_dydx(u, who, weth_tok, whole(4'500), "bZx-2", body);
+  if (!rec.success) {
+    throw std::runtime_error("bZx-2 reverted: " + rec.revert_reason);
+  }
+  return known_attack{.id = 2,
+                      .name = "bZx-2",
+                      .victim_app = "bZx",
+                      .pair_label = "ETH-sUSD",
+                      .true_patterns = {attack_pattern::krp},
+                      .tx_index = rec.tx_index,
+                      .attacker = who.eoa,
+                      .contract_addr = who.contract->addr()};
+}
+
+// #3 Balancer (Jun 2020, KRP): rising buys of STA against one Balancer pool
+// and an exit against a second, far richer Balancer pool (standing in for
+// the deflationary-token mechanics the real attack exploited).
+known_attack attack_balancer(universe& u) {
+  auto& weth_tok = u.weth();
+  auto& sta = u.make_token("STA", "Statera", 0.02);
+  const address bal_dep = u.bc().create_user_account("Balancer");
+  auto& pool1 = u.bc().deploy<defi::balancer_pool>(
+      bal_dep, "Balancer",
+      std::vector<defi::balancer_pool::bound_token>{{&weth_tok, 1},
+                                                    {&sta, 1}},
+      20);
+  auto& pool2 = u.bc().deploy<defi::balancer_pool>(
+      bal_dep, "Balancer",
+      std::vector<defi::balancer_pool::bound_token>{{&weth_tok, 1},
+                                                    {&sta, 1}},
+      20);
+  u.bc().execute(u.whale(), "seed balancer pools", [&](context& ctx) {
+    weth_tok.mint(ctx, u.whale(), whole(11'000));
+    sta.mint(ctx, u.whale(), whole(2'000'000));
+    weth_tok.approve(ctx, pool1.addr(), whole(1'000));
+    sta.approve(ctx, pool1.addr(), whole(1'000'000));
+    pool1.seed(ctx, {whole(1'000), whole(1'000'000)}, whole(100));
+    weth_tok.approve(ctx, pool2.addr(), whole(10'000));
+    sta.approve(ctx, pool2.addr(), whole(1'000'000));
+    pool2.seed(ctx, {whole(10'000), whole(1'000'000)}, whole(100));
+  });
+  u.fund_flashloan_providers(weth_tok, whole(10'000));
+  u.reseed_labels();
+
+  const attacker_identity who = make_attacker(u);
+  auto body = [&](context& ctx) {
+    u256 bought;
+    for (int i = 1; i <= 6; ++i) {
+      const u256 in = whole(100ULL * static_cast<std::uint64_t>(i));
+      weth_tok.approve(ctx, pool1.addr(), in);
+      bought += pool1.swap_exact_in(ctx, weth_tok, in, sta,
+                                    who.contract->addr());
+    }
+    sta.approve(ctx, pool2.addr(), bought);
+    pool2.swap_exact_in(ctx, sta, bought, weth_tok, who.contract->addr());
+  };
+  const auto& rec =
+      run_flash_dydx(u, who, weth_tok, whole(3'000), "Balancer", body);
+  if (!rec.success) {
+    throw std::runtime_error("Balancer reverted: " + rec.revert_reason);
+  }
+  return known_attack{.id = 3,
+                      .name = "Balancer",
+                      .victim_app = "Balancer",
+                      .pair_label = "ETH-STA",
+                      .true_patterns = {attack_pattern::krp},
+                      .tx_index = rec.tx_index,
+                      .attacker = who.eoa,
+                      .contract_addr = who.contract->addr()};
+}
+
+// #12/#19 — JulSwap & PancakeHunny: pattern-conforming attacks whose pools
+// pay out from unlabeled satellite accounts, so neither account-level nor
+// application-level trade identification can pair the legs (the paper's
+// two LeiShen misses, §VI-B).
+known_attack attack_split_pool(universe& u, int id, const std::string& name,
+                               const std::string& app,
+                               const std::string& pair_label,
+                               const std::string& token_sym,
+                               attack_pattern true_pattern, int rounds) {
+  auto& wbnb = u.make_token("WBNB", "WBNB", 300.0);
+  auto& x = u.make_token(token_sym, app, 1.0);
+  const address dep = u.bc().create_user_account(app);
+  auto& pool = u.bc().deploy<split_pool>(dep, app, wbnb, x);
+  // Fund the satellite and pre-approve the pool (the on-chain equivalent of
+  // an operator account the protocol pays out from).
+  u.airdrop(x, pool.satellite(), whole(10'000'000));
+  u.airdrop(wbnb, pool.satellite(), whole(1'000'000));
+  u.bc().execute(pool.satellite(), "operator approvals", [&](context& ctx) {
+    x.approve(ctx, pool.addr(), whole(10'000'000));
+    wbnb.approve(ctx, pool.addr(), whole(1'000'000));
+  });
+  u.fund_flashloan_providers(wbnb, whole(100'000));
+  u.reseed_labels();
+
+  const attacker_identity who = make_attacker(u);
+  auto body = [&](context& ctx) {
+    for (int r = 0; r < rounds; ++r) {
+      // Buy X (pool account takes WBNB in; satellite pays X out).
+      wbnb.approve(ctx, pool.addr(), whole(1'000));
+      pool.trade(ctx, wbnb, whole(1'000), whole(90'000));
+      // Sell X back at a better rate (profit extracted from the victim).
+      x.approve(ctx, pool.addr(), whole(90'000));
+      pool.trade(ctx, x, whole(90'000), whole(1'050));
+    }
+  };
+  const auto& rec = run_flash_dydx(u, who, wbnb, whole(5'000), name, body);
+  if (!rec.success) {
+    throw std::runtime_error(name + " reverted: " + rec.revert_reason);
+  }
+  return known_attack{.id = id,
+                      .name = name,
+                      .victim_app = app,
+                      .pair_label = pair_label,
+                      .true_patterns = {true_pattern},
+                      .tx_index = rec.tx_index,
+                      .attacker = who.eoa,
+                      .contract_addr = who.contract->addr()};
+}
+
+// No-clear-pattern attacks (#10, #11, #16, #18): flash-loan exploits whose
+// profit comes from minting bugs, not a recognizable trade pattern.
+known_attack attack_mint_exploit(universe& u, int id, const std::string& name,
+                                 const std::string& app,
+                                 const std::string& pair_label,
+                                 const std::string& token_sym, int buys) {
+  auto& wbnb = u.make_token("WBNB", "WBNB", 300.0);
+  auto& x = u.make_token(token_sym, app, 1.0);
+  auto& pool = u.make_app_pool(app, wbnb, whole(5'000), x, whole(500'000),
+                               false);
+  u.fund_flashloan_providers(wbnb, whole(50'000));
+  u.reseed_labels();
+
+  const attacker_identity who = make_attacker(u);
+  auto body = [&](context& ctx) {
+    u256 bought;
+    for (int i = 0; i < buys; ++i) {
+      bought +=
+          swap_direct(ctx, pool, wbnb, whole(400), who.contract->addr());
+    }
+    // The minting bug: the protocol mints the attacker fresh tokens.
+    x.mint(ctx, who.contract->addr(), whole(120'000));
+    // One asymmetric dump of everything.
+    swap_direct(ctx, pool, x, bought + whole(120'000),
+                who.contract->addr());
+  };
+  const auto& rec = run_flash_dydx(u, who, wbnb, whole(2'000), name, body);
+  if (!rec.success) {
+    throw std::runtime_error(name + " reverted: " + rec.revert_reason);
+  }
+  return known_attack{.id = id,
+                      .name = name,
+                      .victim_app = app,
+                      .pair_label = pair_label,
+                      .true_patterns = {},
+                      .tx_index = rec.tx_index,
+                      .attacker = who.eoa,
+                      .contract_addr = who.contract->addr()};
+}
+
+// #22 Saddle (Jan 2022, SBS + MBS): three profitable buy/sell rounds with a
+// victim-funded pump inside the first round's symmetric pair.
+known_attack attack_saddle(universe& u) {
+  auto& wbnb = u.make_token("WBNB", "WBNB", 300.0);
+  auto& x = u.make_token("saddleUSD", "Ellipsis", 1.0);
+  auto& pool = u.make_app_pool("Ellipsis", wbnb, whole(1'000), x,
+                               whole(100'000), false);
+  const address dep = u.bc().create_user_account("Saddle Finance");
+  auto& margin = u.bc().deploy<lending_pool>(dep, "Saddle Finance",
+                                             u.oracle(), 75, false);
+  u.airdrop(wbnb, margin.addr(), whole(10'000));
+  u.fund_flashloan_providers(wbnb, whole(10'000));
+  u.reseed_labels();
+
+  const attacker_identity who = make_attacker(u);
+  auto body = [&](context& ctx) {
+    for (int round = 0; round < 3; ++round) {
+      const u256 x1 =
+          swap_direct(ctx, pool, wbnb, whole(300), who.contract->addr());
+      wbnb.approve(ctx, margin.addr(), whole(50));
+      margin.margin_trade(ctx, wbnb, whole(50), 10, pool);
+      swap_direct(ctx, pool, x, x1, who.contract->addr());
+    }
+  };
+  const auto& rec =
+      run_flash_dydx(u, who, wbnb, whole(2'000), "Saddle Finance", body);
+  if (!rec.success) {
+    throw std::runtime_error("Saddle reverted: " + rec.revert_reason);
+  }
+  return known_attack{
+      .id = 22,
+      .name = "Saddle Finance",
+      .victim_app = "Saddle Finance",
+      .pair_label = "saddleUSD-sUSD",
+      .true_patterns = {attack_pattern::sbs, attack_pattern::mbs},
+      .tx_index = rec.tx_index,
+      .attacker = who.eoa,
+      .contract_addr = who.contract->addr()};
+}
+
+void fill_expectations(known_attack& a) {
+  switch (a.id) {
+    // Table IV: LeiShen column.
+    case 1: case 2: case 3: case 4: case 5: case 6: case 8: case 9:
+    case 13: case 14: case 15: case 17: case 20: case 21: case 22:
+      a.leishen_expected = true;
+      break;
+    default:
+      a.leishen_expected = false;
+  }
+  switch (a.id) {
+    // Table IV: DeFiRanger column.
+    case 5: case 6: case 7: case 8: case 13: case 14: case 20: case 21:
+    case 22:
+      a.defiranger_expected = true;
+      break;
+    default:
+      a.defiranger_expected = false;
+  }
+  switch (a.id) {
+    // Table IV: Explorer+LeiShen column.
+    case 2: case 3: case 5: case 14:
+      a.explorer_expected = true;
+      break;
+    default:
+      a.explorer_expected = false;
+  }
+}
+
+civil_date attack_date(int id) {
+  switch (id) {
+    case 1: return {2020, 2, 15};
+    case 2: return {2020, 2, 18};
+    case 3: return {2020, 6, 28};
+    case 4: return {2020, 9, 29};
+    case 5: return {2020, 10, 26};
+    case 6: return {2020, 11, 6};
+    case 7: return {2020, 11, 14};
+    case 8: return {2021, 2, 4};
+    case 9: return {2021, 5, 2};
+    case 10: return {2021, 5, 12};
+    case 11: return {2021, 5, 19};
+    case 12: return {2021, 5, 27};
+    case 13: return {2021, 5, 29};
+    case 14: return {2021, 6, 5};
+    case 15: return {2021, 6, 15};
+    case 16: return {2021, 7, 10};
+    case 17: return {2021, 7, 20};
+    case 18: return {2021, 8, 12};
+    case 19: return {2021, 10, 20};
+    case 20: return {2021, 10, 24};
+    case 21: return {2021, 11, 8};
+    case 22: return {2022, 1, 11};
+    default: return {2020, 1, 1};
+  }
+}
+
+}  // namespace
+
+known_attack run_known_attack(universe& u, int id) {
+  u.bc().advance_to_time(timestamp_of(attack_date(id)));
+  known_attack a;
+  switch (id) {
+    case 1:
+      a = attack_bzx1(u);
+      break;
+    case 2:
+      a = attack_bzx2(u);
+      break;
+    case 3:
+      a = attack_balancer(u);
+      break;
+    case 4:  // Eminence — MBS via vault rounds, split deposits, no events.
+      a = run_vault_mbs(u, 4, "Eminence", "DAI-EMN",
+                        {.underlying_sym = "DAI",
+                         .invested_sym = "eUSD",
+                         .share_sym = "EMN",
+                         .pool_app = "Eminence",
+                         .app = "Eminence",
+                         .vault_events = false,
+                         .rounds = 3,
+                         .chunks = 2,
+                         .deposit_m = 10,
+                         .pump_m = 12,
+                         .pool_m = 20,
+                         .vault_seed_m = 25,
+                         .vault_invested_m = 20,
+                         .amp = 50,
+                         .flash_m = 30,
+                         .provider = flash_provider::aave});
+      break;
+    case 5:  // Harvest Finance — the canonical vault MBS, explorer-visible.
+      a = run_vault_mbs(u, 5, "Harvest Finance", "fUSDC-USDC",
+                        {.underlying_sym = "USDC",
+                         .invested_sym = "USDT",
+                         .share_sym = "fUSDC",
+                         .pool_app = "Curve",
+                         .app = "Harvest",
+                         .vault_events = true,
+                         .rounds = 3,
+                         .chunks = 1,
+                         .deposit_m = 30,
+                         .pump_m = 15,
+                         .pool_m = 25,
+                         .vault_seed_m = 60,
+                         .vault_invested_m = 50,
+                         .amp = 100,
+                         .flash_m = 50,
+                         .provider = flash_provider::uniswap});
+      break;
+    case 6:  // Cheese Bank — SBS with an extreme victim-funded pump.
+      a = run_margin_sbs(u, 6, "Cheese Bank", "ETH-CHEESE",
+                         {.token_sym = "CHEESE",
+                          .quote_sym = "WETH2",
+                          .app = "Cheese Bank",
+                          .pool_app = "ApeSwap",
+                          .pool_quote = 1'000,
+                          .pool_x = 100'000,
+                          .q1 = 2'000,
+                          .stake = 1'600,
+                          .lev = 10,
+                          .flash = 4'000});
+      break;
+    case 7: {  // Value DeFi — SBS-like but volatility below 28%.
+      a = run_margin_sbs(u, 7, "Value DeFi", "3Crv-mvUSD",
+                         {.token_sym = "mvUSD",
+                          .quote_sym = "3Crv",
+                          .app = "Value DeFi",
+                          .pool_app = "ValueSwap",
+                          .pool_quote = 1'000,
+                          .pool_x = 100'000,
+                          .q1 = 200,
+                          .stake = 5,
+                          .lev = 10,
+                          .flash = 300});
+      a.true_patterns.clear();  // below-threshold: no clear pattern
+      break;
+    }
+    case 8:  // Yearn — SBS, ~400% pump.
+      a = run_margin_sbs(u, 8, "Yearn Finance", "DAI-3Crv",
+                         {.token_sym = "y3Crv",
+                          .quote_sym = "yDAI",
+                          .app = "Yearn",
+                          .pool_app = "CurveFork",
+                          .pool_quote = 1'000,
+                          .pool_x = 100'000,
+                          .q1 = 1'000,
+                          .stake = 250,
+                          .lev = 10,
+                          .flash = 2'500});
+      break;
+    case 9:  // Spartan — KRP on silent twin pools.
+      a = run_twin_krp(u, 9, "Spartan Protocol", "SPARTA-WBNB",
+                       {.token_sym = "SPARTA",
+                        .quote_sym = "WBNB",
+                        .app = "Spartan Protocol",
+                        .explorer_visible = false,
+                        .buys = 6,
+                        .buy_quote = 200,
+                        .pool1_quote = 1'000,
+                        .pool1_x = 1'000'000,
+                        .pool2_quote = 10'000,
+                        .pool2_x = 1'000'000,
+                        .flash = 3'000});
+      break;
+    case 10:
+      a = attack_mint_exploit(u, 10, "XToken-1", "XToken", "WETH-xSNXa",
+                              "xSNXa", 1);
+      break;
+    case 11:
+      a = attack_mint_exploit(u, 11, "PancakeBunny", "PancakeBunny",
+                              "WBNB-Bunny", "BUNNY", 2);
+      break;
+    case 12:
+      a = attack_split_pool(u, 12, "JulSwap", "JulSwap", "WBNB-JULb", "JULb",
+                            attack_pattern::sbs, 1);
+      break;
+    case 13:  // Belt Finance — vault MBS, small volatility, no events.
+      a = run_vault_mbs(u, 13, "Belt Finance", "BUSD-beltBUSD",
+                        {.underlying_sym = "BUSD",
+                         .invested_sym = "bUSDT",
+                         .share_sym = "beltBUSD",
+                         .pool_app = "Belt Finance",
+                         .app = "Belt Finance",
+                         .vault_events = false,
+                         .rounds = 3,
+                         .chunks = 1,
+                         .deposit_m = 20,
+                         .pump_m = 10,
+                         .pool_m = 20,
+                         .vault_seed_m = 45,
+                         .vault_invested_m = 35,
+                         .amp = 150,
+                         .flash_m = 35,
+                         .provider = flash_provider::aave});
+      break;
+    case 14:  // xWin Finance — vault MBS with explorer-visible events.
+      a = run_vault_mbs(u, 14, "xWin Finance", "BNB-XWIN",
+                        {.underlying_sym = "xBNB",
+                         .invested_sym = "XWIN",
+                         .share_sym = "xwBNB",
+                         .pool_app = "xWin Finance",
+                         .app = "xWin Finance",
+                         .vault_events = true,
+                         .rounds = 3,
+                         .chunks = 1,
+                         .deposit_m = 15,
+                         .pump_m = 12,
+                         .pool_m = 18,
+                         .vault_seed_m = 30,
+                         .vault_invested_m = 25,
+                         .amp = 8,
+                         .flash_m = 30,
+                         .provider = flash_provider::aave});
+      break;
+    case 15:  // Wault — KRP on silent twin pools.
+      a = run_twin_krp(u, 15, "Wault Finance", "WUSD-BUSD",
+                       {.token_sym = "WUSD",
+                        .quote_sym = "WBNB",
+                        .app = "Wault Finance",
+                        .explorer_visible = false,
+                        .buys = 7,
+                        .buy_quote = 150,
+                        .pool1_quote = 800,
+                        .pool1_x = 900'000,
+                        .pool2_quote = 9'000,
+                        .pool2_x = 1'000'000,
+                        .flash = 2'500});
+      break;
+    case 16:
+      a = attack_mint_exploit(u, 16, "Twindex", "Twindex", "TWX-KUSD",
+                              "TWX", 2);
+      break;
+    case 17:  // AutoShark-2 — SBS with exit routed through Kyber.
+      a = run_margin_sbs(u, 17, "AutoShark-2", "BNB-USDC",
+                         {.token_sym = "JAWS2",
+                          .quote_sym = "WBNB",
+                          .app = "AutoShark",
+                          .pool_app = "PantherSwap",
+                          .pool_quote = 1'000,
+                          .pool_x = 100'000,
+                          .q1 = 2'000,
+                          .stake = 600,
+                          .lev = 10,
+                          .flash = 4'000,
+                          .sell_via_aggregator = true});
+      break;
+    case 18:
+      a = attack_mint_exploit(u, 18, "MY FARM PET", "MY FARM PET",
+                              "BUSD-MyFarmPET", "MyFarmPET", 1);
+      break;
+    case 19:
+      a = attack_split_pool(u, 19, "PancakeHunny", "PancakeHunny",
+                            "HUNNY-WBNB", "HUNNY", attack_pattern::mbs, 3);
+      break;
+    case 20:  // AutoShark-3 — direct symmetric SBS, huge pump.
+      a = run_margin_sbs(u, 20, "AutoShark-3", "WBNB-JAWS",
+                         {.token_sym = "JAWS",
+                          .quote_sym = "WBNB",
+                          .app = "AutoShark",
+                          .pool_app = "JetSwap",
+                          .pool_quote = 1'000,
+                          .pool_x = 100'000,
+                          .q1 = 2'000,
+                          .stake = 4'000,
+                          .lev = 10,
+                          .flash = 7'000});
+      break;
+    case 21:  // Ploutoz — direct symmetric SBS.
+      a = run_margin_sbs(u, 21, "Ploutoz Finance", "BUSD-DOP",
+                         {.token_sym = "DOP",
+                          .quote_sym = "WBNB",
+                          .app = "Ploutoz Finance",
+                          .pool_app = "DopSwap",
+                          .pool_quote = 1'000,
+                          .pool_x = 100'000,
+                          .q1 = 2'000,
+                          .stake = 3'000,
+                          .lev = 10,
+                          .flash = 6'000});
+      break;
+    case 22:
+      a = attack_saddle(u);
+      break;
+    default:
+      throw std::out_of_range("unknown attack id");
+  }
+  fill_expectations(a);
+  return a;
+}
+
+std::vector<known_attack> run_known_attacks(universe& u) {
+  std::vector<known_attack> out;
+  out.reserve(22);
+  for (int id = 1; id <= 22; ++id) {
+    out.push_back(run_known_attack(u, id));
+  }
+  return out;
+}
+
+}  // namespace leishen::scenarios

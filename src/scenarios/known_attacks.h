@@ -1,0 +1,44 @@
+// Reconstructions of the 22 real-world flpAttacks (paper Table I).
+//
+// Each reconstruction scripts the published manipulation steps against the
+// simulated protocols so that the resulting transaction trace carries the
+// same trade structure (pattern, approximate rate shape, event visibility,
+// account topology) as the mainnet attack. Ground-truth expectations for
+// LeiShen, DeFiRanger and Explorer+LeiShen reproduce Table IV.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/patterns.h"
+#include "scenarios/attack_contract.h"
+#include "scenarios/universe.h"
+
+namespace leishen::scenarios {
+
+struct known_attack {
+  int id = 0;                 // Table I row
+  std::string name;           // "bZx-1", ...
+  std::string victim_app;     // attacked application
+  std::string pair_label;     // the Table I token pair, e.g. "ETH-WBTC"
+  // Ground truth from the paper's manual analysis; empty = no clear pattern.
+  std::vector<core::attack_pattern> true_patterns;
+  // Table IV expectations.
+  bool leishen_expected = false;
+  bool defiranger_expected = false;
+  bool explorer_expected = false;
+  // The attack transaction.
+  std::uint64_t tx_index = 0;
+  address attacker;          // EOA
+  address contract_addr;     // attack contract
+};
+
+/// Run all 22 reconstructions against the universe (in Table I order) and
+/// return their metadata. Labels are reseeded afterwards so the BSC-style
+/// protocols involved stay unlabeled where the reconstruction requires it.
+std::vector<known_attack> run_known_attacks(universe& u);
+
+/// Run a single reconstruction by Table I id (1-22). Useful for examples.
+known_attack run_known_attack(universe& u, int id);
+
+}  // namespace leishen::scenarios

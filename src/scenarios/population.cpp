@@ -1,0 +1,920 @@
+#include "scenarios/population.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "common/sim_time.h"
+#include "core/flashloan_id.h"
+#include "defi/lending.h"
+#include "defi/mixer.h"
+#include "defi/stableswap.h"
+#include "defi/vault.h"
+#include "scenarios/scenario_helpers.h"
+
+namespace leishen::scenarios {
+namespace {
+
+using defi::lending_pool;
+using defi::stableswap_pool;
+using defi::uniswap_v2_pair;
+using defi::vault;
+
+enum class recipe {
+  krp,            // twin-pool batch buys
+  sbs,            // margin-financed symmetric pair
+  sbs_rounds,     // SBS executed in 3 rounds: also trips MBS
+  mbs,            // vault rounds
+  fp_compound,    // benign vault compounding (MBS false positive)
+  fp_compound_sbs,// ditto with a pump-shaped second deposit (SBS+MBS FP)
+  gray_krp,       // 3-4 rising buys: sub-threshold for KRP's N >= 5
+  gray_sbs,       // symmetric pair with ~25% pump: under the 28% bar
+  gray_mbs        // 2 profitable rounds: under the 3-round bar
+};
+
+struct attack_spec {
+  recipe kind = recipe::sbs;
+  std::string victim;
+  std::string token;  // target token symbol
+  int attacker_idx = 0;   // per-victim attacker index
+  int contract_idx = 0;   // per-attacker contract index
+  std::int64_t timestamp = 0;
+  bool known_or_repeat = false;
+  bool truth_mbs_override_off = false;  // sbs_rounds: MBS reading is wrong
+  bool from_aggregator = false;
+  double target_profit_usd = 1'000.0;
+  double borrow_multiplier = 1.5;
+  /// Attacker brings own capital and takes only a token flash loan —
+  /// produces the astronomic yield rates at the top of Table VII.
+  bool self_funded = false;
+  /// Gray-zone behavior below the paper thresholds: benign at defaults,
+  /// flagged once thresholds are relaxed (the §VII ablation's subject).
+  bool gray = false;
+};
+
+/// Whole-token amount from a fractional token count (milli-token units).
+u256 milli(double tokens) {
+  if (tokens < 0.001) tokens = 0.001;
+  return units(static_cast<std::uint64_t>(tokens * 1000.0), 15);
+}
+
+struct pop_state {
+  universe& u;
+  rng rnd;
+  erc20* weth = nullptr;
+
+  // attacker identities: (victim, attacker_idx) -> EOA; plus contracts.
+  std::map<std::pair<std::string, int>, address> eoas;
+  std::map<std::tuple<std::string, int, int>, attack_contract*> contracts;
+  // victim infrastructure caches
+  std::map<std::string, lending_pool*> margins;
+  struct vault_setup {
+    vault* v;
+    stableswap_pool* pool;
+  };
+  std::map<std::pair<std::string, std::string>, vault_setup> vaults;
+
+  // benign background infrastructure
+  std::vector<uniswap_v2_pair*> benign_pools;
+  std::vector<erc20*> benign_tokens;
+
+  explicit pop_state(universe& uu, std::uint64_t seed) : u{uu}, rnd{seed} {
+    weth = &u.weth();
+  }
+
+  attacker_identity identity(const attack_spec& s) {
+    const auto ekey = std::make_pair(s.victim, s.attacker_idx);
+    auto eit = eoas.find(ekey);
+    if (eit == eoas.end()) {
+      std::string app;
+      if (s.from_aggregator) app = "Beefy";  // a labeled yield aggregator
+      const address eoa = u.bc().create_user_account(app);
+      if (s.from_aggregator) u.labels().tag(eoa, app);
+      eit = eoas.emplace(ekey, eoa).first;
+    }
+    const auto ckey = std::make_tuple(s.victim, s.attacker_idx,
+                                      s.contract_idx);
+    auto cit = contracts.find(ckey);
+    if (cit == contracts.end()) {
+      auto& c = u.bc().deploy<attack_contract>(
+          eit->second, s.from_aggregator ? "Beefy" : "");
+      if (s.from_aggregator) u.labels().tag(c.addr(), "Beefy");
+      cit = contracts.emplace(ckey, &c).first;
+    }
+    return attacker_identity{eit->second, cit->second};
+  }
+
+  /// Victim AMM pool pair sized so the canonical SBS/KRP play nets roughly
+  /// `target_usd`. Quote is WETH ($2000); reserve R such that ~1.6R of
+  /// profit in quote covers the target. Pools are fresh per attack (the
+  /// previous attack leaves them arbitraged flat); the *token* is reused so
+  /// Table VI's asset counts hold.
+  std::pair<uniswap_v2_pair*, uniswap_v2_pair*> pools_for(
+      const std::string& victim, const std::string& token,
+      double target_usd, double profit_per_reserve) {
+    const double r = std::max(0.02, target_usd / (profit_per_reserve * 2'000.0));
+    erc20& x = u.make_token(token, victim, 2'000.0 / 100.0);
+    auto& p1 = u.make_app_pool(victim, *weth, milli(r), x, milli(100 * r),
+                               /*emit_trade_events=*/false);
+    auto& p2 = u.make_app_pool(victim, *weth, milli(10 * r), x,
+                               milli(100 * r), false);
+    return {&p1, &p2};
+  }
+
+  /// Leveraged-farming desks (Alpha Homora-style) whose margin trades do
+  /// the pumping. A separate application from the pool's, or the pump
+  /// transfers would be intra-app and invisible.
+  lending_pool* margin_for(const std::string& victim) {
+    const auto it = margins.find(victim);
+    if (it != margins.end()) return it->second;
+    const std::string app = "Alpha Homora";
+    const address dep = u.bc().create_user_account(app);
+    auto& m = u.bc().deploy<lending_pool>(dep, app, u.oracle(), 75, false);
+    margins.emplace(victim, &m);
+    return &m;
+  }
+
+  vault_setup vault_for(const std::string& victim, const std::string& token,
+                        double target_usd) {
+    const auto key = std::make_pair(victim, token);
+    const auto it = vaults.find(key);
+    if (it != vaults.end()) return it->second;
+    // Stable pool per-side P sized so ~3 rounds net the target.
+    const double p = std::max(30.0, target_usd / 0.055);
+    erc20& un = u.make_token(token, token, 1.0);
+    erc20& inv = u.make_token(token + "x", token + "x", 1.0);
+    auto& pool = u.make_stable_pool(victim, un, milli(p), inv, milli(p), 25);
+    auto& v = u.make_vault(victim, "v" + token, un, inv, pool,
+                           milli(2.4 * p), milli(0.4 * p), false);
+    const vault_setup setup{&v, &pool};
+    vaults.emplace(key, setup);
+    return setup;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// attack recipes
+// ---------------------------------------------------------------------------
+
+population_tx run_sbs_recipe(pop_state& st, const attack_spec& s,
+                             int rounds) {
+  // The pump must buy *less* of X than the entry did, or the symmetric exit
+  // beats the pump's average rate and condition b fails; with the entry
+  // split across rounds the pump shrinks accordingly.
+  const std::uint64_t pump_frac =
+      rounds > 1 ? 1 : 2 + st.rnd.next_below(4);
+  // Empirical per-recipe calibration: profit per unit of pool reserve as a
+  // function of the pump fraction (measured on the canonical play).
+  const double profit_per_reserve =
+      rounds > 1 ? 1.9 : 0.62 * static_cast<double>(pump_frac) + 0.4;
+  auto [pool, pool2] =
+      st.pools_for(s.victim, s.token, s.target_profit_usd,
+                   profit_per_reserve);
+  lending_pool* margin = st.margin_for(s.victim);
+  (void)pool2;
+  const attacker_identity who = st.identity(s);
+  erc20& quote = *st.weth;
+  erc20& x = st.u.tok(s.token);
+
+  const u256 reserve = pool->reserve_of(st.u.bc().state(), quote);
+  const u256 q1 = reserve * u256{2} / u256{static_cast<std::uint64_t>(rounds)};
+  const u256 pump = reserve * u256{pump_frac};
+  const u256 stake = pump / u256{10};
+  st.u.airdrop(quote, margin->addr(), pump * u256{3});
+
+  const u256 need = (q1 + stake) * u256{static_cast<std::uint64_t>(rounds)};
+  u256 flash =
+      need + u256::muldiv(need,
+                          u256{static_cast<std::uint64_t>(
+                              s.borrow_multiplier * 100.0)},
+                          u256{100});
+  if (s.self_funded) {
+    st.u.airdrop(quote, who.contract->addr(), need + need / u256{5});
+    flash = need / u256{10'000} + u256{1'000};
+  }
+  st.u.fund_flashloan_providers(quote, flash * u256{2});
+
+  auto body = [&, q1, stake](chain::context& ctx) {
+    for (int r = 0; r < rounds; ++r) {
+      const u256 x1 = swap_direct(ctx, *pool, quote, q1,
+                                  who.contract->addr());
+      quote.approve(ctx, margin->addr(), stake);
+      margin->margin_trade(ctx, quote, stake, 10, *pool);
+      swap_direct(ctx, *pool, x, x1, who.contract->addr());
+    }
+  };
+  const auto& rec = run_flash_dydx(st.u, who, quote, flash,
+                                   "pop-sbs:" + s.victim, body);
+  if (!rec.success) {
+    throw std::runtime_error("population SBS reverted: " +
+                             rec.revert_reason);
+  }
+  population_tx tx;
+  tx.tx_index = rec.tx_index;
+  tx.timestamp = rec.timestamp;
+  tx.truth_attack = true;
+  tx.truth_sbs = true;
+  tx.truth_mbs = rounds >= 3 && !s.truth_mbs_override_off;
+  tx.victim_app = s.victim;
+  tx.target_token = s.token;
+  tx.attacker = who.eoa;
+  tx.contract_addr = who.contract->addr();
+  tx.known_or_repeat = s.known_or_repeat;
+  tx.borrowed_usd = st.u.usd_value(quote.id(), flash);
+  tx.profit_token = "WETH";
+  return tx;
+}
+
+population_tx run_krp_recipe(pop_state& st, const attack_spec& s) {
+  auto [pool1, pool2] =
+      st.pools_for(s.victim, s.token, s.target_profit_usd, 1.5);
+  const attacker_identity who = st.identity(s);
+  erc20& quote = *st.weth;
+  erc20& x = st.u.tok(s.token);
+
+  const u256 reserve = pool1->reserve_of(st.u.bc().state(), quote);
+  const int buys = s.gray ? 3 + static_cast<int>(st.rnd.next_below(2))
+                          : 5 + static_cast<int>(st.rnd.next_below(4));
+  const u256 per_buy = reserve / u256{3};
+  const u256 need = per_buy * u256{static_cast<std::uint64_t>(buys)};
+  u256 flash =
+      need + u256::muldiv(need,
+                          u256{static_cast<std::uint64_t>(
+                              s.borrow_multiplier * 100.0)},
+                          u256{100});
+  if (s.self_funded) {
+    st.u.airdrop(quote, who.contract->addr(), need + need / u256{5});
+    flash = need / u256{10'000} + u256{1'000};
+  }
+  st.u.fund_flashloan_providers(quote, flash * u256{2});
+
+  auto body = [&, per_buy, buys](chain::context& ctx) {
+    u256 bought;
+    for (int i = 0; i < buys; ++i) {
+      bought +=
+          swap_direct(ctx, *pool1, quote, per_buy, who.contract->addr());
+    }
+    swap_direct(ctx, *pool2, x, bought, who.contract->addr());
+  };
+  const auto& rec = run_flash_dydx(st.u, who, quote, flash,
+                                   "pop-krp:" + s.victim, body);
+  if (!rec.success) {
+    throw std::runtime_error("population KRP reverted: " +
+                             rec.revert_reason);
+  }
+  population_tx tx;
+  tx.tx_index = rec.tx_index;
+  tx.timestamp = rec.timestamp;
+  tx.truth_attack = !s.gray;
+  tx.truth_krp = !s.gray;
+  tx.gray = s.gray;
+  tx.victim_app = s.victim;
+  tx.target_token = s.token;
+  tx.attacker = who.eoa;
+  tx.contract_addr = who.contract->addr();
+  tx.known_or_repeat = s.known_or_repeat;
+  tx.borrowed_usd = st.u.usd_value(quote.id(), flash);
+  tx.profit_token = "WETH";
+  return tx;
+}
+
+population_tx run_mbs_recipe(pop_state& st, const attack_spec& s) {
+  const auto setup = st.vault_for(s.victim, s.token, s.target_profit_usd);
+  vault* v = setup.v;
+  stableswap_pool* price_pool = setup.pool;
+  const attacker_identity who = st.identity(s);
+  erc20& un = v->underlying();
+  erc20& inv = v->invested_token();
+
+  const u256 pool_side = un.balance_of(st.u.bc().state(),
+                                       price_pool->addr());
+  const u256 deposit = pool_side + pool_side / u256{5};  // 1.2 P
+  const u256 pump = pool_side * u256{3} / u256{5};       // 0.6 P
+  const int rounds = s.gray ? 2 : 3 + static_cast<int>(st.rnd.next_below(2));
+  const u256 need = deposit + pump;
+  const u256 flash = need + need / u256{4};
+  st.u.fund_flashloan_providers(un, flash * u256{2});
+
+  auto body = [&, deposit, pump, rounds](chain::context& ctx) {
+    for (int r = 0; r < rounds; ++r) {
+      un.approve(ctx, v->addr(), deposit);
+      const u256 shares = v->deposit(ctx, deposit);
+      un.approve(ctx, price_pool->addr(), pump);
+      const u256 got =
+          price_pool->exchange(ctx, price_pool->index_of(un),
+                               price_pool->index_of(inv), pump,
+                               who.contract->addr());
+      v->withdraw(ctx, shares);
+      inv.approve(ctx, price_pool->addr(), got);
+      price_pool->exchange(ctx, price_pool->index_of(inv),
+                           price_pool->index_of(un), got,
+                           who.contract->addr());
+    }
+  };
+  const auto& rec =
+      run_flash_aave(st.u, who, un, flash, "pop-mbs:" + s.victim, body);
+  if (!rec.success) {
+    throw std::runtime_error("population MBS reverted: " +
+                             rec.revert_reason);
+  }
+  population_tx tx;
+  tx.tx_index = rec.tx_index;
+  tx.timestamp = rec.timestamp;
+  tx.truth_attack = !s.gray;
+  tx.truth_mbs = !s.gray;
+  tx.gray = s.gray;
+  tx.victim_app = s.victim;
+  tx.target_token = s.token;
+  tx.attacker = who.eoa;
+  tx.contract_addr = who.contract->addr();
+  tx.known_or_repeat = s.known_or_repeat;
+  tx.borrowed_usd = st.u.usd_value(un.id(), flash);
+  tx.profit_token = un.symbol();
+  return tx;
+}
+
+/// A symmetric buy/pump/sell whose pump stays near 25%: below the paper's
+/// 28% SBS bar, visible only to relaxed thresholds (Value DeFi-shaped).
+population_tx run_gray_sbs(pop_state& st, const attack_spec& s) {
+  auto [pool, pool2] = st.pools_for(s.victim, s.token, s.target_profit_usd, 0.05);
+  (void)pool2;
+  lending_pool* margin = st.margin_for(s.victim);
+  const attacker_identity who = st.identity(s);
+  erc20& quote = *st.weth;
+  erc20& x = st.u.tok(s.token);
+
+  const u256 reserve = pool->reserve_of(st.u.bc().state(), quote);
+  const u256 q1 = reserve / u256{5};
+  const u256 stake = reserve / u256{200};
+  st.u.airdrop(quote, margin->addr(), reserve);
+  const u256 flash = (q1 + stake) * u256{2};
+  st.u.fund_flashloan_providers(quote, flash * u256{2});
+
+  auto body = [&, q1, stake](chain::context& ctx) {
+    const u256 x1 = swap_direct(ctx, *pool, quote, q1, who.contract->addr());
+    quote.approve(ctx, margin->addr(), stake);
+    margin->margin_trade(ctx, quote, stake, 10, *pool);
+    swap_direct(ctx, *pool, x, x1, who.contract->addr());
+  };
+  const auto& rec = run_flash_dydx(st.u, who, quote, flash,
+                                   "pop-gray-sbs:" + s.victim, body);
+  if (!rec.success) {
+    throw std::runtime_error("population gray SBS reverted: " +
+                             rec.revert_reason);
+  }
+  population_tx tx;
+  tx.tx_index = rec.tx_index;
+  tx.timestamp = rec.timestamp;
+  tx.gray = true;
+  tx.victim_app = s.victim;
+  tx.target_token = s.token;
+  tx.attacker = who.eoa;
+  tx.contract_addr = who.contract->addr();
+  tx.borrowed_usd = st.u.usd_value(quote.id(), flash);
+  return tx;
+}
+
+/// Benign vault compounding inside a flash loan: rounds of (deposit,
+/// harvest-yield, withdraw). Profitable against the vault's reward
+/// emissions — the MBS false-positive shape of §VI-C. `with_pump_deposit`
+/// adds a second, pricier deposit inside the first round so SBS trips too.
+population_tx run_fp_compound(pop_state& st, const attack_spec& s,
+                              bool with_pump_deposit) {
+  const auto setup = st.vault_for(s.victim, s.token, s.target_profit_usd);
+  vault* v = setup.v;
+  stableswap_pool* price_pool = setup.pool;
+  const attacker_identity who = st.identity(s);
+  erc20& un = v->underlying();
+  erc20& inv = v->invested_token();
+
+  const u256 vault_assets = v->total_assets(st.u.bc().state());
+  const u256 stakeu = vault_assets / u256{4};
+  const u256 flash = stakeu * u256{3};
+  st.u.fund_flashloan_providers(un, flash * u256{2});
+
+  const std::uint64_t yield_bps = with_pump_deposit ? 3'500 : 120;
+  auto body = [&, stakeu, yield_bps](chain::context& ctx) {
+    for (int r = 0; r < 3; ++r) {
+      un.approve(ctx, v->addr(), stakeu);
+      const u256 shares = v->deposit(ctx, stakeu);
+      // Harvested reward emissions accrue while staked.
+      const u256 reward =
+          v->total_assets(ctx.state()) * u256{yield_bps} / u256{10'000};
+      un.mint(ctx, v->addr(), reward);
+      if (with_pump_deposit && r == 0) {
+        // A transient rebalance lifts the pricing pool while the bot tops
+        // up its stake, then unwinds: the second deposit happens at a
+        // spike price, so the symmetric exit prices strictly between the
+        // entry and the spike — a textbook (spurious) SBS.
+        un.approve(ctx, price_pool->addr(), stakeu);
+        const u256 got = price_pool->exchange(
+            ctx, price_pool->index_of(un), price_pool->index_of(inv),
+            stakeu, who.contract->addr());
+        un.approve(ctx, v->addr(), stakeu);
+        const u256 shares2 = v->deposit(ctx, stakeu);
+        inv.approve(ctx, price_pool->addr(), got);
+        price_pool->exchange(ctx, price_pool->index_of(inv),
+                             price_pool->index_of(un), got,
+                             who.contract->addr());
+        v->withdraw(ctx, shares);
+        v->withdraw(ctx, shares2);
+      } else {
+        v->withdraw(ctx, shares);
+      }
+    }
+  };
+  const auto& rec = run_flash_aave(st.u, who, un, flash,
+                                   "pop-compound:" + s.victim, body);
+  if (!rec.success) {
+    throw std::runtime_error("population compounding reverted: " +
+                             rec.revert_reason);
+  }
+  population_tx tx;
+  tx.tx_index = rec.tx_index;
+  tx.timestamp = rec.timestamp;
+  tx.truth_attack = false;  // benign strategy: every pattern hit is an FP
+  tx.victim_app = s.victim;
+  tx.target_token = s.token;
+  tx.attacker = who.eoa;
+  tx.contract_addr = who.contract->addr();
+  tx.from_aggregator = s.from_aggregator;
+  tx.borrowed_usd = st.u.usd_value(un.id(), flash);
+  return tx;
+}
+
+// ---------------------------------------------------------------------------
+// benign background
+// ---------------------------------------------------------------------------
+
+void build_benign_infra(pop_state& st) {
+  for (int i = 0; i < 6; ++i) {
+    erc20& t = st.u.make_token("BG" + std::to_string(i), "Token BG", 10.0);
+    st.benign_tokens.push_back(&t);
+    // Two venues per token so arbitrage has a shape; both deep.
+    st.benign_pools.push_back(&st.u.make_uniswap_pool(
+        *st.weth, units(1'000'000, 18), t, units(200'000'000, 18), true));
+    st.benign_pools.push_back(&st.u.make_app_pool(
+        "SushiSwap", *st.weth, units(1'000'000, 18), t,
+        units(200'000'000, 18), true));
+  }
+  st.u.fund_flashloan_providers(*st.weth, units(50'000'000, 18));
+}
+
+population_tx run_benign_tx(pop_state& st, core::flash_provider provider) {
+  // Simple two-legged arbitrage financed by a flash loan; the fee shortfall
+  // is covered by the bot's own working capital (a small mint).
+  const std::size_t k = st.rnd.next_below(st.benign_tokens.size());
+  uniswap_v2_pair* a = st.benign_pools[2 * k];
+  uniswap_v2_pair* b = st.benign_pools[2 * k + 1];
+  if (st.rnd.next_bool(0.5)) std::swap(a, b);
+  erc20& x = *st.benign_tokens[k];
+  erc20& quote = *st.weth;
+  const u256 amount = units(st.rnd.next_range(1, 60), 18);
+  const u256 flash = amount * u256{st.rnd.next_range(1, 4)};
+
+  const attacker_identity who = make_attacker(st.u);
+  auto body = [&, amount, flash](chain::context& ctx) {
+    const u256 got = swap_direct(ctx, *a, quote, amount,
+                                 who.contract->addr());
+    swap_direct(ctx, *b, x, got, who.contract->addr());
+    // Working capital to cover AMM fees + flash premium.
+    quote.mint(ctx, who.contract->addr(), flash / u256{50} + units(1, 18));
+  };
+  const chain::tx_receipt* rec = nullptr;
+  switch (provider) {
+    case core::flash_provider::uniswap: {
+      // Borrow from a benign Uniswap pool of another token.
+      const std::size_t j = (k + 1) % st.benign_tokens.size();
+      rec = &run_flash_uniswap(st.u, who, *st.benign_pools[2 * j], quote,
+                               flash, "pop-arb", body);
+      break;
+    }
+    case core::flash_provider::aave:
+      rec = &run_flash_aave(st.u, who, quote, flash, "pop-arb", body);
+      break;
+    case core::flash_provider::dydx:
+      rec = &run_flash_dydx(st.u, who, quote, flash, "pop-arb", body);
+      break;
+  }
+  if (!rec->success) {
+    throw std::runtime_error("population benign tx reverted: " +
+                             rec->revert_reason);
+  }
+  population_tx tx;
+  tx.tx_index = rec->tx_index;
+  tx.timestamp = rec->timestamp;
+  tx.truth_attack = false;
+  tx.attacker = who.eoa;
+  tx.contract_addr = who.contract->addr();
+  tx.borrowed_usd = st.u.usd_value(quote.id(), flash);
+  return tx;
+}
+
+// ---------------------------------------------------------------------------
+// schedule construction
+// ---------------------------------------------------------------------------
+
+/// Fig. 1 weekly intensity shape (relative weights).
+double weekly_weight(int week) {
+  if (week < 6) return 1.5;          // AAVE-only era, Jan-Feb 2020
+  if (week < 19) return 5.0;         // before Uniswap V2 flash swaps
+  if (week < 45) return 5.0 + (week - 19) * 3.4;  // growth into late 2020
+  if (week < 93) return 95.0;        // plateau through Oct 2021
+  return 42.0;                       // decline afterwards (paper §VI-A)
+}
+
+core::flash_provider pick_provider(pop_state& st, int week) {
+  if (week < 19) {
+    return st.rnd.next_bool(0.6) ? core::flash_provider::aave
+                                 : core::flash_provider::dydx;
+  }
+  const double r = st.rnd.next_double();
+  if (r < 0.76) return core::flash_provider::uniswap;
+  if (r < 0.91) return core::flash_provider::dydx;
+  return core::flash_provider::aave;
+}
+
+std::vector<attack_spec> build_attack_schedule(pop_state& st) {
+  std::vector<attack_spec> specs;
+  rng& rnd = st.rnd;
+
+  auto month_ts = [&](int year, unsigned month) {
+    const std::int64_t base = timestamp_of({year, month, 1});
+    return base + static_cast<std::int64_t>(rnd.next_below(27)) * 86'400 +
+           static_cast<std::int64_t>(rnd.next_below(86'000));
+  };
+  // Heavy-tailed profits: most attacks small (tens to a few thousand USD),
+  // a handful of mid six-figure hits, one $6.1M headline (Table VII).
+  auto profit = [&]() {
+    if (rnd.next_bool(0.04)) return rnd.next_log_uniform(80'000.0, 400'000.0);
+    return rnd.next_log_uniform(20.0, 8'000.0);
+  };
+
+  // Unknown-attack month allocation (Fig. 8 shape). 36 of the 109 unknown
+  // attacks sit in the two fixed bursts (Balancer Oct 2020, Yearn Feb
+  // 2021); the other 73 are drawn here: Jun-Dec 2020 ramping into the
+  // surge, 2021 declining, a trickle into Apr 2022.
+  std::vector<std::pair<int, unsigned>> months;
+  auto push_month = [&](int year, unsigned m, int n) {
+    for (int i = 0; i < n; ++i) months.emplace_back(year, m);
+  };
+  push_month(2020, 6, 2);
+  push_month(2020, 7, 2);
+  for (unsigned m = 8; m <= 11; ++m) push_month(2020, m, 3);
+  push_month(2020, 12, 4);  // 20 in 2020
+  const int counts_2021[12] = {6, 5, 4, 4, 3, 3, 3, 3, 3, 3, 2, 2};  // 41
+  for (unsigned m = 1; m <= 12; ++m) push_month(2021, m, counts_2021[m - 1]);
+  push_month(2022, 1, 4);
+  push_month(2022, 2, 3);
+  push_month(2022, 3, 3);
+  push_month(2022, 4, 2);   // 12 in 2022 -> 73 total
+  std::size_t month_cursor = 0;
+  auto next_unknown_ts = [&]() {
+    const auto [y, m] = months.at(month_cursor++ % months.size());
+    return month_ts(y, m);
+  };
+  // FP strategies get their own timeline (they are not Fig. 8 subjects).
+  auto next_fp_ts = [&]() {
+    const int pick = static_cast<int>(rnd.next_below(19));
+    const int y = 2020 + (pick + 8) / 12;
+    const unsigned m = static_cast<unsigned>((pick + 8) % 12) + 1;
+    return month_ts(y, m);
+  };
+
+  int remaining_sbs_rounds_wrong = 9;  // SBS attacks that spuriously trip MBS
+  int remaining_dual = 7;              // genuine SBS+MBS attacks
+
+  auto add = [&](recipe kind, const std::string& victim,
+                 const std::string& token, int attacker, int contract,
+                 std::int64_t ts, bool known) {
+    attack_spec s;
+    s.kind = kind;
+    s.victim = victim;
+    s.token = token;
+    s.attacker_idx = attacker;
+    s.contract_idx = contract;
+    s.timestamp = ts;
+    s.known_or_repeat = known;
+    s.target_profit_usd = profit();
+    s.borrow_multiplier = rnd.next_log_uniform(0.05, 2'000.0);
+    s.self_funded = rnd.next_bool(0.06);
+    specs.push_back(s);
+  };
+
+  // --- Balancer: 31 attacks, 5 attackers, 14 contracts, 13 assets -------
+  {
+    // attacker 0: the 25-attacks-in-ten-minutes burst (paper §VI-D1),
+    // 8 contracts over 9 assets, KRP+SBS mix.
+    const std::int64_t burst = timestamp_of({2020, 10, 14}) + 7'200;
+    for (int i = 0; i < 25; ++i) {
+      const std::string token = "BAL" + std::to_string(i % 9);
+      add(i < 13 ? recipe::krp : recipe::sbs, "Balancer", token, 0, i % 8,
+          burst + i * 24, false);
+    }
+    // attackers 1..4: six more attacks, 6 contracts, 4 more assets.
+    for (int i = 0; i < 6; ++i) {
+      const std::string token = "BAL" + std::to_string(9 + i % 4);
+      add(recipe::sbs, "Balancer", token, 1 + i % 4, 10 + i,
+          next_unknown_ts(), false);
+    }
+  }
+  // --- Uniswap: 16 attacks, 6 attackers, 8 contracts, 5 assets ----------
+  {
+    const std::pair<int, int> pairs[8] = {{0, 0}, {1, 0}, {2, 0}, {3, 0},
+                                          {4, 0}, {5, 0}, {0, 1}, {1, 1}};
+    for (int i = 0; i < 16; ++i) {
+      const auto [attacker, contract] = pairs[i % 8];
+      add(recipe::sbs, "Uniswap", "UNI" + std::to_string(i % 5), attacker,
+          contract, next_unknown_ts(), false);
+    }
+  }
+  // --- Yearn: 11 attacks, one bot, one contract, one asset, 40 minutes --
+  {
+    const std::int64_t burst = timestamp_of({2021, 2, 9}) + 36'000;
+    for (int i = 0; i < 11; ++i) {
+      add(recipe::mbs, "Yearn", "YUSD", 0, 0, burst + i * 215, false);
+    }
+  }
+  // --- the rest: 84 attacks over assorted victims ------------------------
+  {
+    const std::vector<std::string> other_victims{
+        "Curve",        "Cream Finance", "Indexed Finance", "Punk Protocol",
+        "BT.Finance",   "SushiSwap",     "Alpha Finance",   "DODO",
+        "Value DeFi",   "Warp Finance",  "Sanshu",          "Opyn"};
+    // Budget over the remaining 84 attacks: 8 KRP, 7 dual SBS+MBS,
+    // 9 SBS-with-wrong-MBS, 42 pure MBS, 18 pure SBS.
+    int krp_left = 8;
+    int mbs_left = 42;
+    int sbs_left = 18;
+    const int total = 84;
+    // 33 of these are the known/repeat stand-ins (paper §VI-D, Fig. 8
+    // charts only the other 109 population attacks).
+    int known_left = 33;
+    for (int i = 0; i < total; ++i) {
+      const std::string victim = other_victims[static_cast<std::size_t>(i) %
+                                               other_victims.size()];
+      const std::string token =
+          "T" + std::to_string(i % 4) + victim.substr(0, 3);
+      recipe kind;
+      bool mbs_wrong = false;
+      if (krp_left > 0 && i % 10 == 0) {
+        kind = recipe::krp;
+        --krp_left;
+      } else if (remaining_dual > 0 && i % 9 == 1) {
+        kind = recipe::sbs_rounds;  // genuine SBS+MBS
+        --remaining_dual;
+      } else if (remaining_sbs_rounds_wrong > 0 && i % 9 == 2) {
+        kind = recipe::sbs_rounds;  // MBS reading judged wrong
+        mbs_wrong = true;
+        --remaining_sbs_rounds_wrong;
+      } else if (mbs_left > 0 && (sbs_left == 0 || i % 10 < 7)) {
+        kind = recipe::mbs;
+        --mbs_left;
+      } else if (sbs_left > 0) {
+        kind = recipe::sbs;
+        --sbs_left;
+      } else {
+        kind = recipe::mbs;
+        --mbs_left;
+      }
+      attack_spec s;
+      s.kind = kind;
+      s.victim = victim;
+      s.token = token;
+      s.attacker_idx = i % 3;
+      s.contract_idx = i % 2;
+      const bool known = known_left > 0 && i % 5 != 4;
+      if (known) --known_left;
+      s.known_or_repeat = known;
+      s.timestamp = known
+                        ? month_ts(2020 + (i % 2), 2 + (i % 10))
+                        : next_unknown_ts();
+      s.truth_mbs_override_off = mbs_wrong;
+      s.target_profit_usd = profit();
+      s.borrow_multiplier = rnd.next_log_uniform(0.05, 2'000.0);
+      s.self_funded = rnd.next_bool(0.06);
+      specs.push_back(s);
+    }
+  }
+  // One headline attack: the $6.1M maximum of Table VII.
+  specs[40].target_profit_usd = 6'100'000.0;
+
+  // --- false positives ----------------------------------------------------
+  // 38 benign compounding strategies: 32 by labeled yield aggregators,
+  // 6 by anonymous bots; 11 of them also trip SBS. Together with the 9
+  // wrong-MBS readings on SBS attacks this yields the paper's 47 MBS FPs.
+  for (int i = 0; i < 38; ++i) {
+    attack_spec s;
+    s.kind = i < 11 ? recipe::fp_compound_sbs : recipe::fp_compound;
+    s.victim = i % 2 == 0 ? "Harvest" : "Pickle";
+    s.token = "C" + std::to_string(i % 6);
+    // Disjoint identity spaces: aggregator bots share 7 EOAs; anonymous
+    // bots are one-off (a shared key would otherwise let execution order
+    // decide which label the cached contract gets).
+    s.attacker_idx = i < 32 ? 50 + i % 7 : 90 + i;
+    s.contract_idx = 0;
+    s.from_aggregator = i < 32;
+    s.timestamp = next_fp_ts();
+    s.target_profit_usd = rnd.next_log_uniform(200.0, 20'000.0);
+    specs.push_back(s);
+  }
+
+  // Gray-zone behaviors for the threshold ablation: benign at the paper's
+  // thresholds, flagged when they are relaxed.
+  for (int i = 0; i < 18; ++i) {
+    attack_spec s;
+    s.kind = i % 3 == 0 ? recipe::gray_krp
+                        : (i % 3 == 1 ? recipe::gray_sbs : recipe::gray_mbs);
+    s.victim = i % 2 == 0 ? "QuickSwap" : "MDEX";
+    s.token = "G" + std::to_string(i % 5);
+    s.attacker_idx = 80 + i;
+    s.gray = true;
+    s.timestamp = next_fp_ts();
+    s.target_profit_usd = rnd.next_log_uniform(100.0, 5'000.0);
+    specs.push_back(s);
+  }
+
+  std::sort(specs.begin(), specs.end(),
+            [](const attack_spec& a, const attack_spec& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return specs;
+}
+
+}  // namespace
+
+population generate_population(universe& u, const population_params& params) {
+  pop_state st{u, params.seed};
+  population out;
+  out.aggregator_apps = {"Beefy", "Kyber", "Harvest", "Yearn.finance"};
+
+  build_benign_infra(st);
+
+  // Benign schedule: weekly buckets over Jan 2020 .. Apr 2022.
+  const int weeks = 122;
+  std::vector<double> weights(weeks);
+  double total_w = 0;
+  for (int w = 0; w < weeks; ++w) {
+    weights[static_cast<std::size_t>(w)] = weekly_weight(w);
+    total_w += weights[static_cast<std::size_t>(w)];
+  }
+  struct slot {
+    std::int64_t ts;
+    int week;
+  };
+  std::vector<slot> benign_slots;
+  const std::int64_t start = timestamp_of({2020, 1, 1});
+  for (int w = 0; w < weeks; ++w) {
+    const int n = static_cast<int>(params.benign_txs *
+                                   weights[static_cast<std::size_t>(w)] /
+                                   total_w);
+    for (int i = 0; i < n; ++i) {
+      benign_slots.push_back(
+          slot{start + w * 7L * 86'400 +
+                   static_cast<std::int64_t>(st.rnd.next_below(7 * 86'400)),
+               w});
+    }
+  }
+
+  std::vector<attack_spec> attacks;
+  if (params.include_attacks) attacks = build_attack_schedule(st);
+
+  // Merge the two schedules by time and execute.
+  std::sort(benign_slots.begin(), benign_slots.end(),
+            [](const slot& a, const slot& b) { return a.ts < b.ts; });
+  std::size_t bi = 0;
+  std::size_t ai = 0;
+  while (bi < benign_slots.size() || ai < attacks.size()) {
+    const bool take_benign =
+        ai >= attacks.size() ||
+        (bi < benign_slots.size() &&
+         benign_slots[bi].ts <= attacks[ai].timestamp);
+    if (take_benign) {
+      u.bc().advance_to_time(benign_slots[bi].ts);
+      out.txs.push_back(
+          run_benign_tx(st, pick_provider(st, benign_slots[bi].week)));
+      ++bi;
+    } else {
+      const attack_spec& s = attacks[ai];
+      u.bc().advance_to_time(s.timestamp);
+      switch (s.kind) {
+        case recipe::krp:
+          out.txs.push_back(run_krp_recipe(st, s));
+          break;
+        case recipe::sbs:
+          out.txs.push_back(run_sbs_recipe(st, s, 1));
+          break;
+        case recipe::sbs_rounds: {
+          population_tx tx = run_sbs_recipe(st, s, 3);
+          out.txs.push_back(tx);
+          break;
+        }
+        case recipe::mbs:
+          out.txs.push_back(run_mbs_recipe(st, s));
+          break;
+        case recipe::fp_compound:
+          out.txs.push_back(run_fp_compound(st, s, false));
+          break;
+        case recipe::fp_compound_sbs:
+          out.txs.push_back(run_fp_compound(st, s, true));
+          break;
+        case recipe::gray_krp:
+          out.txs.push_back(run_krp_recipe(st, s));
+          break;
+        case recipe::gray_sbs:
+          out.txs.push_back(run_gray_sbs(st, s));
+          break;
+        case recipe::gray_mbs:
+          out.txs.push_back(run_mbs_recipe(st, s));
+          break;
+      }
+      ++ai;
+    }
+  }
+  // ---- §VI-D2 post-pass: attackers hide their traces -----------------------
+  // Roughly a quarter of attackers route profits through a mixer, most of
+  // the rest through chains of fresh intermediary accounts; some also
+  // selfdestruct the attack contract.
+  {
+    auto& weth_mixer = st.u.bc().deploy<defi::mixer>(
+        st.u.bc().create_user_account("Tornado Cash"), "Tornado Cash",
+        *st.weth, units(5, 16));
+    std::set<address> laundered;  // one pass per attacker contract
+    for (population_tx& tx : out.txs) {
+      if (!tx.truth_attack || tx.profit_token.empty()) continue;
+      if (!laundered.insert(tx.contract_addr).second) continue;
+      erc20& t = st.u.tok(tx.profit_token);
+      const u256 balance =
+          t.balance_of(st.u.bc().state(), tx.contract_addr);
+      if (balance.is_zero()) continue;
+      const double roll = st.rnd.next_double();
+      tx.selfdestructed = st.rnd.next_bool(0.3);
+      if (roll < 0.25 && &t == st.weth &&
+          balance >= weth_mixer.denomination()) {
+        // Mixer exit: deposit up to three notes, then withdraw them to a
+        // fresh address in later transactions.
+        tx.laundering = 2;
+        const std::uint64_t notes = std::min<std::uint64_t>(
+            3, (balance / weth_mixer.denomination()).to_u64());
+        const address fresh = st.u.bc().create_user_account();
+        auto* c = st.u.bc().find_as<attack_contract>(tx.contract_addr);
+        for (std::uint64_t n = 0; n < notes; ++n) {
+          const u256 commitment{st.rnd.next()};
+          st.u.bc().execute(tx.attacker, "mixer deposit",
+                            [&](chain::context& ctx) {
+                              c->sweep(ctx, t, tx.attacker,
+                                       weth_mixer.denomination());
+                              t.approve(ctx, weth_mixer.addr(),
+                                        weth_mixer.denomination());
+                              weth_mixer.deposit(ctx, commitment);
+                            });
+          st.u.bc().execute(fresh, "mixer withdraw",
+                            [&](chain::context& ctx) {
+                              weth_mixer.withdraw(ctx, commitment, fresh);
+                            });
+        }
+      } else if (roll < 0.85) {
+        // Multi-hop exit through 2-4 fresh intermediary accounts.
+        tx.laundering = 1;
+        const int hops = 2 + static_cast<int>(st.rnd.next_below(3));
+        address cur = tx.contract_addr;
+        const u256 moving = balance;
+        auto* c = st.u.bc().find_as<attack_contract>(tx.contract_addr);
+        for (int h = 0; h < hops; ++h) {
+          const address next = st.u.bc().create_user_account();
+          const address controller = h == 0 ? tx.attacker : cur;
+          st.u.bc().execute(controller, "hop", [&](chain::context& ctx) {
+            if (h == 0) {
+              c->sweep(ctx, t, next, moving);
+            } else {
+              t.transfer(ctx, next, moving);
+            }
+          });
+          cur = next;
+        }
+      }
+      if (tx.selfdestructed) {
+        st.u.bc().execute(tx.attacker, "cleanup", [&](chain::context& ctx) {
+          auto* c = st.u.bc().find_as<attack_contract>(tx.contract_addr);
+          if (c != nullptr) c->self_destruct(ctx);
+        });
+      }
+    }
+  }
+
+  u.reseed_labels();
+  // reseed_labels wipes manual EOA tags; restore aggregator labels.
+  for (const auto& [key, eoa] : st.eoas) {
+    (void)key;
+  }
+  for (const auto& [key, c] : st.contracts) {
+    if (c->app_name() == "Beefy") {
+      u.labels().tag(c->addr(), "Beefy");
+      u.labels().tag(u.bc().creations().root_of(c->addr()), "Beefy");
+    }
+  }
+  return out;
+}
+
+}  // namespace leishen::scenarios

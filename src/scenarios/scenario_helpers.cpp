@@ -1,0 +1,104 @@
+#include "scenarios/scenario_helpers.h"
+
+#include <utility>
+
+namespace leishen::scenarios {
+
+attacker_identity make_attacker(universe& u) {
+  const address eoa = u.bc().create_user_account();
+  auto& c = u.bc().deploy<attack_contract>(eoa, "");
+  return attacker_identity{eoa, &c};
+}
+
+u256 swap_direct(chain::context& ctx, defi::uniswap_v2_pair& pair,
+                 erc20& token_in, const u256& amount_in, const address& to) {
+  const u256 out = pair.quote_out(ctx.state(), token_in, amount_in);
+  token_in.transfer(ctx, pair.addr(), amount_in);
+  if (&pair.token0() == &token_in) {
+    pair.swap(ctx, u256{}, out, to);
+  } else {
+    pair.swap(ctx, out, u256{}, to);
+  }
+  return out;
+}
+
+const chain::tx_receipt& run_flash_dydx(universe& u,
+                                        const attacker_identity& who,
+                                        erc20& tok, const u256& amount,
+                                        const std::string& description,
+                                        attack_contract::body_fn body) {
+  attack_contract& c = *who.contract;
+  c.set_callback([&, body = std::move(body)](chain::context& ctx) {
+    body(ctx);
+    tok.approve(ctx, u.dydx().addr(), amount + u256{2});
+  });
+  return u.bc().execute(who.eoa, description, [&](chain::context& ctx) {
+    c.run(ctx, [&](chain::context& inner) {
+      u.dydx().operate(inner, c, tok, amount);
+    });
+  });
+}
+
+const chain::tx_receipt& run_flash_aave(universe& u,
+                                        const attacker_identity& who,
+                                        erc20& tok, const u256& amount,
+                                        const std::string& description,
+                                        attack_contract::body_fn body) {
+  attack_contract& c = *who.contract;
+  const u256 fee = amount * u256{defi::aave_pool::kFeeBps} / u256{10'000};
+  c.set_callback([&, body = std::move(body), fee](chain::context& ctx) {
+    body(ctx);
+    tok.transfer(ctx, u.aave().addr(), amount + fee);
+  });
+  return u.bc().execute(who.eoa, description, [&](chain::context& ctx) {
+    c.run(ctx, [&](chain::context& inner) {
+      u.aave().flash_loan(inner, c, tok, amount);
+    });
+  });
+}
+
+const chain::tx_receipt& run_flash_uniswap(universe& u,
+                                           const attacker_identity& who,
+                                           defi::uniswap_v2_pair& pool,
+                                           erc20& tok, const u256& amount,
+                                           const std::string& description,
+                                           attack_contract::body_fn body) {
+  attack_contract& c = *who.contract;
+  const u256 repay =
+      amount * u256{defi::uniswap_v2_pair::kFeeDen} /
+          u256{defi::uniswap_v2_pair::kFeeNum} +
+      u256{1};
+  c.set_callback([&, body = std::move(body), repay](chain::context& ctx) {
+    body(ctx);
+    tok.transfer(ctx, pool.addr(), repay);
+  });
+  return u.bc().execute(who.eoa, description, [&](chain::context& ctx) {
+    c.run(ctx, [&](chain::context& inner) {
+      if (&pool.token0() == &tok) {
+        pool.swap(inner, amount, u256{}, c.addr(), &c);
+      } else {
+        pool.swap(inner, u256{}, amount, c.addr(), &c);
+      }
+    });
+  });
+}
+
+split_pool::split_pool(chain::blockchain& bc, address self,
+                       std::string app_name, erc20& base, erc20& quote)
+    : contract{self, std::move(app_name), "SplitPool"},
+      base_{base},
+      quote_{quote},
+      satellite_{bc.create_user_account()} {}
+
+void split_pool::trade(chain::context& ctx, erc20& token_in,
+                       const u256& amount_in, const u256& amount_out) {
+  chain::context::call_guard guard{ctx, addr(), "swapIn"};
+  const address trader = ctx.sender();
+  erc20& token_out = &token_in == &base_ ? quote_ : base_;
+  // Input lands in the pool account; output is paid by the satellite,
+  // splitting the trade across two unrelated-looking accounts.
+  token_in.transfer_from(ctx, trader, addr(), amount_in);
+  token_out.transfer_from(ctx, satellite_, trader, amount_out);
+}
+
+}  // namespace leishen::scenarios

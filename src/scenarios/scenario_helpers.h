@@ -1,0 +1,82 @@
+// Shared machinery for attack reconstructions and workload generation.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "scenarios/attack_contract.h"
+#include "scenarios/universe.h"
+
+namespace leishen::scenarios {
+
+/// Deploy a fresh attacker: an unlabeled EOA plus its attack contract
+/// (they share one creation tree, so LeiShen unifies them under the root
+/// pseudo-tag — the paper's flash loan borrower identity).
+struct attacker_identity {
+  address eoa;
+  attack_contract* contract;
+};
+attacker_identity make_attacker(universe& u);
+
+/// Swap directly against a pair (attack-contract style, no router):
+/// transfer the input in, call swap. Must run inside a contract frame that
+/// holds the input tokens. Returns amount_out.
+u256 swap_direct(chain::context& ctx, defi::uniswap_v2_pair& pair,
+                 erc20& token_in, const u256& amount_in, const address& to);
+
+/// Run `body` inside a dYdX flash loan of `amount` of `tok` taken by the
+/// attacker's contract. The body must leave the contract holding at least
+/// amount + 2 wei of `tok`; repayment approval is handled here.
+const chain::tx_receipt& run_flash_dydx(universe& u,
+                                        const attacker_identity& who,
+                                        erc20& tok, const u256& amount,
+                                        const std::string& description,
+                                        attack_contract::body_fn body);
+
+/// Same via an AAVE flash loan (fee 9 bps; body must leave amount + fee).
+const chain::tx_receipt& run_flash_aave(universe& u,
+                                        const attacker_identity& who,
+                                        erc20& tok, const u256& amount,
+                                        const std::string& description,
+                                        attack_contract::body_fn body);
+
+/// Same via a Uniswap flash swap on `pool` (body must leave the 0.3%-fee
+/// repayment in the contract; it is pushed back to the pool here).
+const chain::tx_receipt& run_flash_uniswap(universe& u,
+                                           const attacker_identity& who,
+                                           defi::uniswap_v2_pair& pool,
+                                           erc20& tok, const u256& amount,
+                                           const std::string& description,
+                                           attack_contract::body_fn body);
+
+/// A pool whose outgoing payments come from a *satellite* account in an
+/// unlabeled creation tree distinct from the pool's own application — the
+/// account topology that breaks LeiShen's (and DeFiRanger's) trade
+/// identification on the JulSwap and PancakeHunny attacks (paper §VI-B).
+class split_pool : public chain::contract {
+ public:
+  split_pool(chain::blockchain& bc, address self, std::string app_name,
+             erc20& base, erc20& quote);
+
+  /// The payout satellite's address (funded at construction time by the
+  /// scenario; lives in its own unlabeled tree).
+  [[nodiscard]] const address& satellite() const noexcept {
+    return satellite_;
+  }
+
+  /// Scripted trade: pull `amount_in` of `token_in` from the caller into
+  /// the pool account, pay `amount_out` of the other token from the
+  /// satellite account.
+  void trade(chain::context& ctx, erc20& token_in, const u256& amount_in,
+             const u256& amount_out);
+
+  [[nodiscard]] erc20& base() const noexcept { return base_; }
+  [[nodiscard]] erc20& quote() const noexcept { return quote_; }
+
+ private:
+  erc20& base_;
+  erc20& quote_;
+  address satellite_;
+};
+
+}  // namespace leishen::scenarios

@@ -1,0 +1,182 @@
+#include "scenarios/universe.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace leishen::scenarios {
+
+universe::universe(std::uint64_t start_block) : bc_{start_block} {
+  whale_ = bc_.create_user_account();
+
+  // Core infrastructure, each under its ground-truth application.
+  const address weth_dep = bc_.create_user_account(token::kWrappedEtherApp);
+  weth_ = &bc_.deploy<token::weth>(weth_dep);
+  set_usd_price(weth_->id(), 2'000.0);
+  set_usd_price(chain::asset::ether(), 2'000.0);
+  tokens_["WETH"] = weth_;
+
+  const address uni_dep = bc_.create_user_account("Uniswap");
+  uni_factory_ = &bc_.deploy<defi::uniswap_v2_factory>(uni_dep, "Uniswap");
+  uni_router_ =
+      &bc_.deploy<defi::uniswap_v2_router>(uni_dep, "Uniswap", *uni_factory_);
+
+  const address aave_dep = bc_.create_user_account("Aave");
+  aave_ = &bc_.deploy<defi::aave_pool>(aave_dep, "Aave");
+
+  const address dydx_dep = bc_.create_user_account("dYdX");
+  dydx_ = &bc_.deploy<defi::dydx_solo_margin>(dydx_dep, "dYdX");
+
+  const address kyber_dep = bc_.create_user_account("Kyber");
+  kyber_ = &bc_.deploy<defi::aggregator>(kyber_dep, "Kyber", *uni_router_, 5);
+
+  const address comp_dep = bc_.create_user_account("Compound");
+  oracle_ = &bc_.deploy<defi::price_oracle>(comp_dep, "Compound");
+  compound_ = &bc_.deploy<defi::lending_pool>(comp_dep, "Compound", *oracle_,
+                                              75);
+
+  const address bzx_dep = bc_.create_user_account("bZx");
+  // bZx ships explorer-decodable Borrow events; Compound's positions were
+  // not decoded as trade actions (the Explorer baseline's visibility split).
+  bzx_ = &bc_.deploy<defi::lending_pool>(bzx_dep, "bZx", *oracle_, 75,
+                                         /*emit_trade_events=*/true);
+
+  reseed_labels();
+}
+
+erc20& universe::make_token(const std::string& symbol, const std::string& app,
+                            double usd_price, unsigned decimals) {
+  if (const auto it = tokens_.find(symbol); it != tokens_.end()) {
+    return *it->second;
+  }
+  const address dep = bc_.create_user_account(app);
+  erc20& t = bc_.deploy<erc20>(dep, app, symbol, decimals);
+  tokens_[symbol] = &t;
+  set_usd_price(t.id(), usd_price);
+  return t;
+}
+
+erc20& universe::tok(const std::string& symbol) const {
+  const auto it = tokens_.find(symbol);
+  if (it == tokens_.end()) {
+    throw std::out_of_range("universe: unknown token " + symbol);
+  }
+  return *it->second;
+}
+
+double universe::usd_value(const chain::asset& a, const u256& amount) const {
+  const auto it = usd_prices_.find(a);
+  if (it == usd_prices_.end()) return 0.0;
+  // Whole-token scaling: all our tokens use their declared decimals; find
+  // decimals through the contract when available, default 18.
+  unsigned decimals = 18;
+  if (!a.is_ether()) {
+    if (const auto* t = bc_.find_as<erc20>(a.contract_address())) {
+      decimals = t->decimals();
+    }
+  }
+  return amount.to_double() / std::pow(10.0, decimals) * it->second;
+}
+
+void universe::set_usd_price(const chain::asset& a, double price_per_whole) {
+  usd_prices_[a] = price_per_whole;
+}
+
+defi::uniswap_v2_pair& universe::make_uniswap_pool(erc20& a,
+                                                   const u256& amount_a,
+                                                   erc20& b,
+                                                   const u256& amount_b,
+                                                   bool emit_trade_events) {
+  auto& pair = uni_factory_->create_pair(a, b, emit_trade_events);
+  bc_.execute(whale_, "seed " + a.symbol() + "/" + b.symbol(),
+              [&](context& ctx) {
+                a.mint(ctx, pair.addr(), amount_a);
+                b.mint(ctx, pair.addr(), amount_b);
+                pair.mint_liquidity(ctx, whale_);
+              });
+  return pair;
+}
+
+defi::uniswap_v2_pair& universe::make_app_pool(const std::string& app,
+                                               erc20& a, const u256& amount_a,
+                                               erc20& b, const u256& amount_b,
+                                               bool emit_trade_events) {
+  const address dep = bc_.create_user_account(app);
+  auto& pair =
+      bc_.deploy<defi::uniswap_v2_pair>(dep, app, a, b, emit_trade_events);
+  bc_.execute(whale_, "seed " + app + " pool", [&](context& ctx) {
+    a.mint(ctx, pair.addr(), amount_a);
+    b.mint(ctx, pair.addr(), amount_b);
+    pair.mint_liquidity(ctx, whale_);
+  });
+  return pair;
+}
+
+defi::stableswap_pool& universe::make_stable_pool(const std::string& app,
+                                                  erc20& c0,
+                                                  const u256& amount0,
+                                                  erc20& c1,
+                                                  const u256& amount1,
+                                                  std::uint64_t amplification) {
+  const address dep = bc_.create_user_account(app);
+  auto& pool =
+      bc_.deploy<defi::stableswap_pool>(dep, app, c0, c1, amplification, 4);
+  bc_.execute(whale_, "seed " + app + " stable pool", [&](context& ctx) {
+    c0.mint(ctx, whale_, amount0);
+    c1.mint(ctx, whale_, amount1);
+    c0.approve(ctx, pool.addr(), amount0);
+    c1.approve(ctx, pool.addr(), amount1);
+    pool.add_liquidity(ctx, amount0, amount1, whale_);
+  });
+  return pool;
+}
+
+defi::vault& universe::make_vault(const std::string& app,
+                                  const std::string& symbol,
+                                  erc20& underlying, erc20& invested_token,
+                                  defi::stableswap_pool& pool,
+                                  const u256& seed_deposit,
+                                  const u256& invested, bool emit_events) {
+  const address dep = bc_.create_user_account(app);
+  auto& v = bc_.deploy<defi::vault>(dep, app, symbol, underlying,
+                                    invested_token, pool, emit_events);
+  set_usd_price(v.id(), usd_prices_.count(underlying.id())
+                            ? usd_prices_.at(underlying.id())
+                            : 1.0);
+  bc_.execute(whale_, "seed " + app + " vault", [&](context& ctx) {
+    underlying.mint(ctx, whale_, seed_deposit);
+    underlying.approve(ctx, v.addr(), seed_deposit);
+    v.deposit(ctx, seed_deposit);
+  });
+  if (!invested.is_zero()) {
+    // The strategy position was accumulated before our window: mint the
+    // invested tokens straight to the vault instead of distorting the
+    // pricing pool with a giant setup swap.
+    bc_.execute(whale_, "strategy position " + app, [&](context& ctx) {
+      invested_token.mint(ctx, v.addr(), invested);
+    });
+  }
+  return v;
+}
+
+void universe::fund_flashloan_providers(erc20& t, const u256& amount) {
+  bc_.execute(whale_, "fund flash loan providers", [&](context& ctx) {
+    t.mint(ctx, whale_, amount * u256{2});
+    t.approve(ctx, aave_->addr(), amount);
+    aave_->deposit(ctx, t, amount);
+    t.approve(ctx, dydx_->addr(), amount);
+    dydx_->fund(ctx, t, amount);
+  });
+}
+
+void universe::airdrop(erc20& t, const address& to, const u256& amount) {
+  bc_.execute(whale_, "airdrop " + t.symbol(), [&](context& ctx) {
+    t.mint(ctx, to, amount);
+  });
+}
+
+void universe::reseed_labels(const std::vector<std::string>& exclude_apps) {
+  labels_ = etherscan::label_db{};
+  labels_.seed_from_chain(bc_, exclude_apps);
+}
+
+}  // namespace leishen::scenarios

@@ -1,0 +1,132 @@
+// A simulated DeFi universe (the substrate substitution for mainnet).
+//
+// Deploys the protocols the 22 real-world attacks and the synthetic wild
+// population need: Uniswap V2 (factory/router/pairs, flash swaps), Balancer,
+// Curve-style StableSwap pools, Harvest/Yearn/Belt/xWin-style vaults,
+// Compound/bZx-style lending, AAVE and dYdX flash loan providers, a
+// Kyber-style aggregator, WETH, and a roster of tokens — each under its
+// ground-truth application name, with realistic partial Etherscan label
+// coverage and a USD price table for profit accounting.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "chain/blockchain.h"
+#include "defi/aave.h"
+#include "defi/aggregator.h"
+#include "defi/balancer.h"
+#include "defi/dydx.h"
+#include "defi/lending.h"
+#include "defi/price_oracle.h"
+#include "defi/stableswap.h"
+#include "defi/uniswap_v2.h"
+#include "defi/vault.h"
+#include "etherscan/label_db.h"
+#include "token/weth.h"
+
+namespace leishen::scenarios {
+
+using chain::blockchain;
+using chain::context;
+using token::erc20;
+
+class universe {
+ public:
+  /// Deploys and seeds everything. `start_block` defaults to early 2020,
+  /// the beginning of the paper's timeline.
+  explicit universe(std::uint64_t start_block = 9'200'000);
+
+  universe(const universe&) = delete;
+  universe& operator=(const universe&) = delete;
+
+  blockchain& bc() { return bc_; }
+  const blockchain& bc() const { return bc_; }
+
+  // -- tokens -------------------------------------------------------------------
+  token::weth& weth() { return *weth_; }
+  /// Get or create a token. `usd_price` is the reference price used for
+  /// profit accounting (paper: average price on the attack day).
+  erc20& make_token(const std::string& symbol, const std::string& app,
+                    double usd_price, unsigned decimals = 18);
+  erc20& tok(const std::string& symbol) const;
+
+  /// USD value of an amount (for Table VI/VII accounting).
+  [[nodiscard]] double usd_value(const chain::asset& a,
+                                 const u256& amount) const;
+  void set_usd_price(const chain::asset& a, double price_per_whole);
+
+  // -- protocols -----------------------------------------------------------------
+  defi::uniswap_v2_factory& uniswap_factory() { return *uni_factory_; }
+  defi::uniswap_v2_router& uniswap_router() { return *uni_router_; }
+  defi::aave_pool& aave() { return *aave_; }
+  defi::dydx_solo_margin& dydx() { return *dydx_; }
+  defi::aggregator& kyber() { return *kyber_; }
+  defi::price_oracle& oracle() { return *oracle_; }
+  defi::lending_pool& compound() { return *compound_; }
+  defi::lending_pool& bzx() { return *bzx_; }
+
+  /// Create a Uniswap pair and seed it with liquidity from the universe's
+  /// liquidity provider whale.
+  defi::uniswap_v2_pair& make_uniswap_pool(erc20& a, const u256& amount_a,
+                                           erc20& b, const u256& amount_b,
+                                           bool emit_trade_events = true);
+
+  /// Create a standalone AMM pool owned by another application (Spartan,
+  /// JulSwap, AutoShark, ... — the BSC protocols). Optionally silent to
+  /// explorers.
+  defi::uniswap_v2_pair& make_app_pool(const std::string& app, erc20& a,
+                                       const u256& amount_a, erc20& b,
+                                       const u256& amount_b,
+                                       bool emit_trade_events);
+
+  /// Create and seed a StableSwap pool under `app`.
+  defi::stableswap_pool& make_stable_pool(const std::string& app, erc20& c0,
+                                          const u256& amount0, erc20& c1,
+                                          const u256& amount1,
+                                          std::uint64_t amplification = 100);
+
+  /// Create a vault under `app` over `underlying`, investing into `pool`;
+  /// seeds it with `seed_deposit` from the whale and invests `invested`.
+  defi::vault& make_vault(const std::string& app, const std::string& symbol,
+                          erc20& underlying, erc20& invested_token,
+                          defi::stableswap_pool& pool,
+                          const u256& seed_deposit, const u256& invested,
+                          bool emit_events);
+
+  /// Fund the AAVE and dYdX pools with `amount` of `tok` (from the whale).
+  void fund_flashloan_providers(erc20& t, const u256& amount);
+
+  /// The deep-pocketed liquidity provider used for seeding.
+  [[nodiscard]] const address& whale() const { return whale_; }
+
+  /// Mint tokens to an account (scenario setup shortcut, outside any
+  /// detector-relevant transaction).
+  void airdrop(erc20& t, const address& to, const u256& amount);
+
+  /// Rebuild the Etherscan label database from current deployments.
+  /// `exclude_apps` keeps those apps unlabeled (e.g. unknown BSC protocols).
+  void reseed_labels(const std::vector<std::string>& exclude_apps = {});
+  etherscan::label_db& labels() { return labels_; }
+  const etherscan::label_db& labels() const { return labels_; }
+
+ private:
+  blockchain bc_;
+  etherscan::label_db labels_;
+  address whale_;
+  token::weth* weth_ = nullptr;
+  defi::uniswap_v2_factory* uni_factory_ = nullptr;
+  defi::uniswap_v2_router* uni_router_ = nullptr;
+  defi::aave_pool* aave_ = nullptr;
+  defi::dydx_solo_margin* dydx_ = nullptr;
+  defi::aggregator* kyber_ = nullptr;
+  defi::price_oracle* oracle_ = nullptr;
+  defi::lending_pool* compound_ = nullptr;
+  defi::lending_pool* bzx_ = nullptr;
+  std::unordered_map<std::string, erc20*> tokens_;
+  std::unordered_map<chain::asset, double, chain::asset_hash> usd_prices_;
+};
+
+}  // namespace leishen::scenarios

@@ -1,0 +1,98 @@
+#include "token/erc20.h"
+
+#include <utility>
+
+namespace leishen::token {
+
+const u256 erc20::kSupplySlot = u256{2};
+
+erc20::erc20(chain::blockchain& bc, address self, std::string app_name,
+             std::string symbol, unsigned decimals)
+    : contract{self, std::move(app_name), "ERC20"},
+      symbol_{std::move(symbol)},
+      decimals_{decimals} {
+  (void)bc;
+}
+
+u256 erc20::balance_of(const chain::world_state& st,
+                       const address& holder) const {
+  return st.load(addr(), chain::map_slot(kBalancesSlot, holder));
+}
+
+u256 erc20::total_supply(const chain::world_state& st) const {
+  return st.load(addr(), kSupplySlot);
+}
+
+u256 erc20::allowance(const chain::world_state& st, const address& owner,
+                      const address& spender) const {
+  return st.load(addr(), chain::map_slot2(kAllowancesSlot, owner, spender));
+}
+
+void erc20::transfer(context& ctx, const address& to, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "transfer"};
+  move_balance(ctx, ctx.sender(), to, amount);
+}
+
+void erc20::transfer_from(context& ctx, const address& from,
+                          const address& to, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "transferFrom"};
+  if (ctx.sender() != from) {
+    const u256 slot = chain::map_slot2(kAllowancesSlot, from, ctx.sender());
+    const u256 allowed = ctx.load(addr(), slot);
+    context::require(allowed >= amount, "ERC20: allowance exceeded");
+    ctx.store(addr(), slot, allowed - amount);
+  }
+  move_balance(ctx, from, to, amount);
+}
+
+void erc20::approve(context& ctx, const address& spender, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "approve"};
+  ctx.store(addr(), chain::map_slot2(kAllowancesSlot, ctx.sender(), spender),
+            amount);
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "Approval",
+                                .addr0 = ctx.sender(),
+                                .addr1 = spender,
+                                .amount0 = amount});
+}
+
+void erc20::mint(context& ctx, const address& to, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "mint"};
+  ctx.store(addr(), kSupplySlot, ctx.load(addr(), kSupplySlot) + amount);
+  move_balance(ctx, address::zero(), to, amount);
+}
+
+void erc20::burn(context& ctx, const address& from, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "burn"};
+  const u256 supply = ctx.load(addr(), kSupplySlot);
+  context::require(supply >= amount, "ERC20: burn exceeds supply");
+  ctx.store(addr(), kSupplySlot, supply - amount);
+  move_balance(ctx, from, address::zero(), amount);
+}
+
+void erc20::add_supply(context& ctx, const u256& delta) {
+  ctx.store(addr(), kSupplySlot, ctx.load(addr(), kSupplySlot) + delta);
+}
+
+void erc20::sub_supply(context& ctx, const u256& delta) {
+  const u256 supply = ctx.load(addr(), kSupplySlot);
+  context::require(supply >= delta, "ERC20: supply underflow");
+  ctx.store(addr(), kSupplySlot, supply - delta);
+}
+
+void erc20::move_balance(context& ctx, const address& from, const address& to,
+                         const u256& amount) {
+  if (!from.is_zero()) {
+    const u256 slot = chain::map_slot(kBalancesSlot, from);
+    const u256 bal = ctx.load(addr(), slot);
+    context::require(bal >= amount, "ERC20: balance exceeded");
+    ctx.store(addr(), slot, bal - amount);
+  }
+  if (!to.is_zero()) {
+    const u256 slot = chain::map_slot(kBalancesSlot, to);
+    ctx.store(addr(), slot, ctx.load(addr(), slot) + amount);
+  }
+  ctx.emit_transfer(addr(), from, to, amount);
+}
+
+}  // namespace leishen::token

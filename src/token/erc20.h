@@ -1,0 +1,75 @@
+// ERC20 fungible token (paper §II-A).
+//
+// Balances, allowances and total supply live in journaled world state;
+// every balance movement emits the canonical Transfer event log, which the
+// replayer lifts into account-level asset transfers. Mints come from and
+// burns go to the BlackHole (zero) address, the signal the paper's mint/
+// remove-liquidity trade conditions key on (Table III).
+#pragma once
+
+#include <string>
+
+#include "chain/blockchain.h"
+#include "chain/context.h"
+#include "chain/contract.h"
+
+namespace leishen::token {
+
+using chain::context;
+
+class erc20 : public chain::contract {
+ public:
+  erc20(chain::blockchain& bc, address self, std::string app_name,
+        std::string symbol, unsigned decimals);
+
+  [[nodiscard]] const std::string& symbol() const noexcept { return symbol_; }
+  [[nodiscard]] unsigned decimals() const noexcept { return decimals_; }
+  [[nodiscard]] chain::asset id() const noexcept {
+    return chain::asset::token(addr());
+  }
+  /// One whole token in base units (10^decimals).
+  [[nodiscard]] u256 one() const { return u256::pow10(decimals_); }
+
+  // -- views ------------------------------------------------------------------
+  [[nodiscard]] u256 balance_of(const chain::world_state& st,
+                                const address& holder) const;
+  [[nodiscard]] u256 total_supply(const chain::world_state& st) const;
+  [[nodiscard]] u256 allowance(const chain::world_state& st,
+                               const address& owner,
+                               const address& spender) const;
+
+  // -- mutations ----------------------------------------------------------------
+  /// Transfer from ctx.sender() to `to`.
+  void transfer(context& ctx, const address& to, const u256& amount);
+  /// Transfer from `from` to `to`, consuming ctx.sender()'s allowance
+  /// (unless sender == from).
+  void transfer_from(context& ctx, const address& from, const address& to,
+                     const u256& amount);
+  void approve(context& ctx, const address& spender, const u256& amount);
+
+  /// Unrestricted mint/burn: protocol contracts (pools, vaults) and scenario
+  /// setup call these directly; real deployments would gate them.
+  void mint(context& ctx, const address& to, const u256& amount);
+  void burn(context& ctx, const address& from, const u256& amount);
+
+ protected:
+  /// Move balance and emit Transfer; `from`/`to` may be the zero address for
+  /// mint/burn semantics.
+  void move_balance(context& ctx, const address& from, const address& to,
+                    const u256& amount);
+
+  /// Adjust total supply by `delta` (positive: grow, negative: shrink) —
+  /// used by subclasses that mint/burn without the public entry points.
+  void add_supply(context& ctx, const u256& delta);
+  void sub_supply(context& ctx, const u256& delta);
+
+ private:
+  static constexpr std::uint64_t kBalancesSlot = 0;
+  static constexpr std::uint64_t kAllowancesSlot = 1;
+  static const u256 kSupplySlot;
+
+  std::string symbol_;
+  unsigned decimals_;
+};
+
+}  // namespace leishen::token

@@ -1,0 +1,97 @@
+#include "token/erc721.h"
+
+#include <utility>
+
+namespace leishen::token {
+
+namespace {
+constexpr std::uint64_t kOwnersBase = 0x721'0000;
+constexpr std::uint64_t kApprovalsBase = 0x721'0001;
+constexpr std::uint64_t kBalancesSlot = 0x721'0002;
+}  // namespace
+
+erc721::erc721(chain::blockchain& bc, address self, std::string app_name,
+               std::string symbol)
+    : contract{self, std::move(app_name), "ERC721"},
+      symbol_{std::move(symbol)} {
+  (void)bc;
+}
+
+u256 erc721::owner_slot(const u256& token_id) {
+  return (u256{kOwnersBase} << 200) | token_id;
+}
+
+u256 erc721::approval_slot(const u256& token_id) {
+  return (u256{kApprovalsBase} << 200) | (token_id << 1);
+}
+
+address erc721::owner_of(const chain::world_state& st,
+                         const u256& token_id) const {
+  return chain::unpack_address(st.load(addr(), owner_slot(token_id)));
+}
+
+u256 erc721::balance_of(const chain::world_state& st,
+                        const address& holder) const {
+  return st.load(addr(), chain::map_slot(kBalancesSlot, holder));
+}
+
+void erc721::mint(chain::context& ctx, const address& to,
+                  const u256& token_id) {
+  chain::context::call_guard guard{ctx, addr(), "mint"};
+  chain::context::require(owner_of(ctx.state(), token_id).is_zero(),
+                          "ERC721: token exists");
+  move_token(ctx, address::zero(), to, token_id);
+}
+
+void erc721::transfer(chain::context& ctx, const address& to,
+                      const u256& token_id) {
+  chain::context::call_guard guard{ctx, addr(), "transfer"};
+  chain::context::require(owner_of(ctx.state(), token_id) == ctx.sender(),
+                          "ERC721: not the owner");
+  move_token(ctx, ctx.sender(), to, token_id);
+}
+
+void erc721::transfer_from(chain::context& ctx, const address& from,
+                           const address& to, const u256& token_id) {
+  chain::context::call_guard guard{ctx, addr(), "transferFrom"};
+  chain::context::require(owner_of(ctx.state(), token_id) == from,
+                          "ERC721: wrong owner");
+  if (ctx.sender() != from) {
+    const address approved = chain::unpack_address(
+        ctx.load(addr(), approval_slot(token_id)));
+    chain::context::require(approved == ctx.sender(),
+                            "ERC721: not approved");
+  }
+  ctx.store(addr(), approval_slot(token_id), u256{});
+  move_token(ctx, from, to, token_id);
+}
+
+void erc721::approve(chain::context& ctx, const address& spender,
+                     const u256& token_id) {
+  chain::context::call_guard guard{ctx, addr(), "approve"};
+  chain::context::require(owner_of(ctx.state(), token_id) == ctx.sender(),
+                          "ERC721: not the owner");
+  ctx.store(addr(), approval_slot(token_id), chain::pack_address(spender));
+}
+
+void erc721::move_token(chain::context& ctx, const address& from,
+                        const address& to, const u256& token_id) {
+  ctx.store(addr(), owner_slot(token_id), chain::pack_address(to));
+  if (!from.is_zero()) {
+    const u256 slot = chain::map_slot(kBalancesSlot, from);
+    ctx.store(addr(), slot, ctx.load(addr(), slot) - u256{1});
+  }
+  if (!to.is_zero()) {
+    const u256 slot = chain::map_slot(kBalancesSlot, to);
+    ctx.store(addr(), slot, ctx.load(addr(), slot) + u256{1});
+  }
+  // NFT transfers are Transfer(from, to, tokenId); flagged by amount1 so the
+  // ERC20 replay path (amount0 = value) does not mistake ids for amounts.
+  ctx.emit_log(chain::event_log{.emitter = addr(),
+                                .name = "TransferNFT",
+                                .addr0 = from,
+                                .addr1 = to,
+                                .amount0 = token_id});
+}
+
+}  // namespace leishen::token

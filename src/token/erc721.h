@@ -1,0 +1,55 @@
+// ERC721 non-fungible tokens.
+//
+// The paper's related work (§VIII) notes that "flash loans have also been
+// used to borrow NFTs temporarily, whose implementation is similar to that
+// for ERC20 tokens". This minimal ERC721 plus the NFT flash pool in
+// defi/nft_flashloan.h covers that extension: an NFT borrowed and returned
+// within one atomic transaction (e.g. to claim an airdrop or pass a
+// token-gated check).
+#pragma once
+
+#include <string>
+
+#include "chain/blockchain.h"
+#include "chain/context.h"
+#include "chain/contract.h"
+
+namespace leishen::token {
+
+class erc721 : public chain::contract {
+ public:
+  erc721(chain::blockchain& bc, address self, std::string app_name,
+         std::string symbol);
+
+  [[nodiscard]] const std::string& symbol() const noexcept { return symbol_; }
+
+  /// Owner of `token_id` (zero address when unminted/burned).
+  [[nodiscard]] address owner_of(const chain::world_state& st,
+                                 const u256& token_id) const;
+  [[nodiscard]] u256 balance_of(const chain::world_state& st,
+                                const address& holder) const;
+
+  /// Mint `token_id` to `to`; emits Transfer(0 -> to, id).
+  void mint(chain::context& ctx, const address& to, const u256& token_id);
+
+  /// Transfer `token_id` from the caller to `to`.
+  void transfer(chain::context& ctx, const address& to, const u256& token_id);
+
+  /// Transfer on behalf of the owner, requiring a per-token approval.
+  void transfer_from(chain::context& ctx, const address& from,
+                     const address& to, const u256& token_id);
+
+  /// Approve `spender` to move `token_id` once.
+  void approve(chain::context& ctx, const address& spender,
+               const u256& token_id);
+
+ private:
+  void move_token(chain::context& ctx, const address& from, const address& to,
+                  const u256& token_id);
+  [[nodiscard]] static u256 owner_slot(const u256& token_id);
+  [[nodiscard]] static u256 approval_slot(const u256& token_id);
+
+  std::string symbol_;
+};
+
+}  // namespace leishen::token

@@ -1,0 +1,22 @@
+#include "token/weth.h"
+
+namespace leishen::token {
+
+weth::weth(chain::blockchain& bc, address self)
+    : erc20{bc, self, kWrappedEtherApp, "WETH", 18} {}
+
+void weth::deposit(context& ctx, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "deposit"};
+  ctx.transfer_eth(ctx.sender(), addr(), amount);
+  add_supply(ctx, amount);
+  move_balance(ctx, address::zero(), ctx.sender(), amount);
+}
+
+void weth::withdraw(context& ctx, const u256& amount) {
+  context::call_guard guard{ctx, addr(), "withdraw"};
+  sub_supply(ctx, amount);
+  move_balance(ctx, ctx.sender(), address::zero(), amount);
+  ctx.transfer_eth(addr(), ctx.sender(), amount);
+}
+
+}  // namespace leishen::token

@@ -1,0 +1,26 @@
+// Wrapped Ether.
+//
+// Exchanges ETH and WETH 1:1. Its transfers are exactly the "WETH related
+// transfers" that LeiShen's second simplification rule removes after
+// unifying the two assets (paper §V-B2).
+#pragma once
+
+#include "token/erc20.h"
+
+namespace leishen::token {
+
+class weth : public erc20 {
+ public:
+  weth(chain::blockchain& bc, address self);
+
+  /// Wrap: pull `amount` ETH from the sender, mint the same amount of WETH.
+  void deposit(context& ctx, const u256& amount);
+
+  /// Unwrap: burn `amount` WETH from the sender, push back the same ETH.
+  void withdraw(context& ctx, const u256& amount);
+};
+
+/// The application tag the simplification rule matches on.
+inline constexpr const char* kWrappedEtherApp = "Wrapped Ether";
+
+}  // namespace leishen::token

@@ -1,0 +1,209 @@
+// Unit tests for the three baseline detectors.
+#include <gtest/gtest.h>
+
+#include "baselines/defiranger.h"
+#include "baselines/explorer_detector.h"
+#include "baselines/volatility_detector.h"
+#include "core/detector.h"
+#include "defi/aave.h"
+#include "defi/aggregator.h"
+#include "defi/uniswap_v2.h"
+#include "test_support.h"
+
+namespace leishen::baselines {
+namespace {
+
+using chain::blockchain;
+using chain::context;
+using testing::script_contract;
+using token::erc20;
+
+/// Fixture: a victim pool, an AAVE flash source, a Kyber-style aggregator.
+class BaselineTest : public ::testing::Test {
+ protected:
+  BaselineTest()
+      : td_{bc_.create_user_account()},
+        quote_{bc_.deploy<erc20>(td_, "Quote", "QQQ", 18)},
+        x_{bc_.deploy<erc20>(td_, "Gem", "GEM", 18)},
+        uni_dep_{bc_.create_user_account("Uniswap")},
+        factory_{bc_.deploy<defi::uniswap_v2_factory>(uni_dep_, "Uniswap")},
+        router_{bc_.deploy<defi::uniswap_v2_router>(uni_dep_, "Uniswap",
+                                                    factory_)},
+        pair_{factory_.create_pair(quote_, x_)},
+        kyber_{bc_.deploy<defi::aggregator>(
+            bc_.create_user_account("Kyber"), "Kyber", router_, 5)},
+        aave_{bc_.deploy<defi::aave_pool>(bc_.create_user_account("Aave"),
+                                          "Aave")},
+        whale_{bc_.create_user_account()},
+        borrower_{bc_.deploy<script_contract>(
+            bc_.create_user_account(), "")} {
+    bc_.execute(whale_, "seed", [&](context& ctx) {
+      quote_.mint(ctx, pair_.addr(), units(1'000, 18));
+      x_.mint(ctx, pair_.addr(), units(100'000, 18));
+      pair_.mint_liquidity(ctx, whale_);
+      quote_.mint(ctx, whale_, units(100'000, 18));
+      quote_.approve(ctx, aave_.addr(), units(100'000, 18));
+      aave_.deposit(ctx, quote_, units(100'000, 18));
+    });
+    labels_.seed_from_chain(bc_);
+  }
+
+  /// A symmetric buy/sell round trip against the pair; `pump_between`
+  /// injects an extra mid-trade; `sell_via_kyber` routes the exit through
+  /// the aggregator. Returns the receipt.
+  const chain::tx_receipt& round_trip(bool pump_between,
+                                      bool sell_via_kyber) {
+    const u256 flash = units(400, 18);
+    borrower_.set_callback([&, pump_between, sell_via_kyber](context& ctx) {
+      u256 x1;
+      {
+        const u256 in = units(100, 18);
+        x1 = pair_.quote_out(ctx.state(), quote_, in);
+        quote_.transfer(ctx, pair_.addr(), in);
+        pump_swap(ctx, x1);
+      }
+      if (pump_between) {
+        const u256 in = units(200, 18);
+        const u256 out = pair_.quote_out(ctx.state(), quote_, in);
+        quote_.transfer(ctx, pair_.addr(), in);
+        pump_swap(ctx, out);
+      }
+      if (sell_via_kyber) {
+        x_.approve(ctx, kyber_.addr(), x1);
+        kyber_.trade_on(ctx, pair_, x_, x1);
+      } else {
+        const u256 out = pair_.quote_out(ctx.state(), x_, x1);
+        x_.transfer(ctx, pair_.addr(), x1);
+        if (&pair_.token0() == &x_) {
+          pair_.swap(ctx, u256{}, out, borrower_.addr());
+        } else {
+          pair_.swap(ctx, out, u256{}, borrower_.addr());
+        }
+      }
+      const u256 fee = flash * u256{9} / u256{10'000};
+      quote_.mint(ctx, borrower_.addr(), fee + units(300, 18));  // cover
+      quote_.transfer(ctx, aave_.addr(), flash + fee);
+    });
+    return bc_.execute(whale_, "roundtrip", [&](context& ctx) {
+      aave_.flash_loan(ctx, borrower_, quote_, flash);
+    });
+  }
+
+  void pump_swap(context& ctx, const u256& out_x) {
+    if (&pair_.token0() == &x_) {
+      pair_.swap(ctx, out_x, u256{}, borrower_.addr());
+    } else {
+      pair_.swap(ctx, u256{}, out_x, borrower_.addr());
+    }
+  }
+
+  blockchain bc_;
+  address td_;
+  erc20& quote_;
+  erc20& x_;
+  address uni_dep_;
+  defi::uniswap_v2_factory& factory_;
+  defi::uniswap_v2_router& router_;
+  defi::uniswap_v2_pair& pair_;
+  defi::aggregator& kyber_;
+  defi::aave_pool& aave_;
+  address whale_;
+  script_contract& borrower_;
+  etherscan::label_db labels_;
+};
+
+TEST_F(BaselineTest, DefiRangerDetectsDirectSymmetricRoundTrip) {
+  const auto& rec = round_trip(/*pump_between=*/true, /*sell_via_kyber=*/false);
+  ASSERT_TRUE(rec.success) << rec.revert_reason;
+  const auto result = run_defiranger(rec, chain::asset{});
+  EXPECT_TRUE(result.is_flash_loan);
+  EXPECT_TRUE(result.detected);
+  EXPECT_GE(result.trades.size(), 3U);
+}
+
+TEST_F(BaselineTest, DefiRangerBlindToAggregatorRouting) {
+  // The same economics, but the exit routed through Kyber: at account level
+  // the sell legs never pair up (the paper's bZx-1 explanation).
+  const auto& rec = round_trip(true, /*sell_via_kyber=*/true);
+  ASSERT_TRUE(rec.success) << rec.revert_reason;
+  EXPECT_FALSE(run_defiranger(rec, chain::asset{}).detected);
+}
+
+TEST_F(BaselineTest, DefiRangerIgnoresUnprofitableRoundTrip) {
+  // No pump: the round trip loses the pool fee, so exit price < entry.
+  const auto& rec = round_trip(/*pump_between=*/false, false);
+  ASSERT_TRUE(rec.success) << rec.revert_reason;
+  EXPECT_FALSE(run_defiranger(rec, chain::asset{}).detected);
+}
+
+TEST_F(BaselineTest, ExplorerLiftsUniswapSwapEvents) {
+  const auto& rec = round_trip(true, false);
+  core::account_tagger tagger{bc_.creations(), labels_};
+  const auto trades = extract_event_trades(rec, bc_, tagger);
+  ASSERT_EQ(trades.size(), 3U);  // buy, pump, sell — all Swap events
+  EXPECT_EQ(trades[0].seller, "Uniswap");
+  EXPECT_EQ(trades[0].token_buy, x_.id());
+  EXPECT_EQ(trades[2].token_sell, x_.id());
+  // amounts round-trip exactly
+  EXPECT_EQ(trades[0].amount_buy, trades[2].amount_sell);
+}
+
+TEST_F(BaselineTest, ExplorerLiftsAggregatorTradeExecuted) {
+  const auto& rec = round_trip(true, /*sell_via_kyber=*/true);
+  core::account_tagger tagger{bc_.creations(), labels_};
+  const auto trades = extract_event_trades(rec, bc_, tagger);
+  // buy + pump + (kyber swap on the pair emits Swap too) + TradeExecuted
+  bool saw_kyber_trade = false;
+  for (const auto& t : trades) {
+    if (t.seller == "Kyber") saw_kyber_trade = true;
+  }
+  EXPECT_TRUE(saw_kyber_trade);
+}
+
+TEST_F(BaselineTest, ExplorerSilentPoolInvisible) {
+  // A silent pool's swaps produce no Swap events.
+  auto& silent = bc_.deploy<defi::uniswap_v2_pair>(
+      bc_.create_user_account("DarkSwap"), "DarkSwap", quote_, x_, false);
+  bc_.execute(whale_, "seed", [&](context& ctx) {
+    quote_.mint(ctx, silent.addr(), units(1'000, 18));
+    x_.mint(ctx, silent.addr(), units(100'000, 18));
+    silent.mint_liquidity(ctx, whale_);
+  });
+  const auto& rec = bc_.execute(whale_, "swap", [&](context& ctx) {
+    const u256 out = silent.quote_out(ctx.state(), quote_, units(10, 18));
+    quote_.mint(ctx, whale_, units(10, 18));
+    quote_.transfer(ctx, silent.addr(), units(10, 18));
+    if (&silent.token0() == &quote_) {
+      silent.swap(ctx, u256{}, out, whale_);
+    } else {
+      silent.swap(ctx, out, u256{}, whale_);
+    }
+  });
+  core::account_tagger tagger{bc_.creations(), labels_};
+  EXPECT_TRUE(extract_event_trades(rec, bc_, tagger).empty());
+}
+
+TEST_F(BaselineTest, VolatilityDetectorThresholds) {
+  const auto& rec = round_trip(true, false);
+  core::detector det{bc_.creations(), labels_, chain::asset{}};
+  const auto report = det.analyze(rec);
+  const auto low = run_volatility_detector(report, 1.0);
+  const auto high = run_volatility_detector(report, 1e9);
+  EXPECT_TRUE(low.is_flash_loan);
+  EXPECT_TRUE(low.detected);
+  EXPECT_FALSE(high.detected);
+  EXPECT_GT(low.max_volatility_pct, 1.0);
+}
+
+TEST_F(BaselineTest, VolatilityDetectorIgnoresNonFlashLoans) {
+  const auto& rec = bc_.execute(whale_, "noop", [&](context& ctx) {
+    quote_.mint(ctx, whale_, units(1, 18));
+  });
+  core::detector det{bc_.creations(), labels_, chain::asset{}};
+  const auto result = run_volatility_detector(det.analyze(rec), 1.0);
+  EXPECT_FALSE(result.is_flash_loan);
+  EXPECT_FALSE(result.detected);
+}
+
+}  // namespace
+}  // namespace leishen::baselines

@@ -1,0 +1,362 @@
+// Tests for world state journaling, execution context, blockchain atomicity
+// and creation relationships.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "common/rng.h"
+#include "token/erc20.h"
+#include "token/weth.h"
+
+namespace leishen::chain {
+namespace {
+
+using token::erc20;
+using token::weth;
+
+TEST(WorldState, StorageDefaultsToZero) {
+  world_state st;
+  EXPECT_TRUE(st.load(address::from_seed(1), u256{0}).is_zero());
+}
+
+TEST(WorldState, StoreLoadRoundTrip) {
+  world_state st;
+  const address c = address::from_seed(1);
+  st.store(c, u256{5}, u256{99});
+  EXPECT_EQ(st.load(c, u256{5}), u256{99});
+  EXPECT_TRUE(st.load(c, u256{6}).is_zero());
+}
+
+TEST(WorldState, RevertUndoesWritesInOrder) {
+  world_state st;
+  const address c = address::from_seed(1);
+  st.store(c, u256{1}, u256{10});
+  const auto snap = st.take_snapshot();
+  st.store(c, u256{1}, u256{20});
+  st.store(c, u256{2}, u256{30});
+  st.set_eth_balance(c, u256{1000});
+  st.revert_to(snap);
+  EXPECT_EQ(st.load(c, u256{1}), u256{10});
+  EXPECT_TRUE(st.load(c, u256{2}).is_zero());
+  EXPECT_TRUE(st.eth_balance(c).is_zero());
+}
+
+TEST(WorldState, RevertRemovesFreshCells) {
+  world_state st;
+  const address c = address::from_seed(2);
+  const auto snap = st.take_snapshot();
+  st.store(c, u256{7}, u256{1});
+  st.revert_to(snap);
+  EXPECT_TRUE(st.load(c, u256{7}).is_zero());
+  EXPECT_EQ(st.journal_size(), 0U);
+}
+
+TEST(WorldState, NestedSnapshots) {
+  world_state st;
+  const address c = address::from_seed(3);
+  st.store(c, u256{0}, u256{1});
+  const auto outer = st.take_snapshot();
+  st.store(c, u256{0}, u256{2});
+  const auto inner = st.take_snapshot();
+  st.store(c, u256{0}, u256{3});
+  st.revert_to(inner);
+  EXPECT_EQ(st.load(c, u256{0}), u256{2});
+  st.revert_to(outer);
+  EXPECT_EQ(st.load(c, u256{0}), u256{1});
+}
+
+TEST(WorldState, MapSlotsDistinct) {
+  const address a = address::from_seed(10);
+  const address b = address::from_seed(11);
+  EXPECT_NE(map_slot(0, a), map_slot(0, b));
+  EXPECT_NE(map_slot(0, a), map_slot(1, a));
+  EXPECT_NE(map_slot2(1, a, b), map_slot2(1, b, a));
+}
+
+TEST(CreationRegistry, RootsAndTrees) {
+  creation_registry reg;
+  const address eoa = address::from_seed(1);
+  const address factory = address::from_seed(2);
+  const address pool1 = address::from_seed(3);
+  const address pool2 = address::from_seed(4);
+  reg.record(eoa, factory);
+  reg.record(factory, pool1);
+  reg.record(factory, pool2);
+  EXPECT_EQ(reg.root_of(pool1), eoa);
+  EXPECT_EQ(reg.root_of(eoa), eoa);
+  EXPECT_EQ(reg.creator_of(pool2), factory);
+  EXPECT_EQ(reg.creator_of(eoa), std::nullopt);
+  const auto tree = reg.tree_of(pool2);
+  EXPECT_EQ(tree.size(), 4U);
+  EXPECT_THROW(reg.record(eoa, pool1), std::logic_error);
+}
+
+TEST(Blockchain, FundAndTransferEth) {
+  blockchain bc;
+  const address alice = bc.create_user_account();
+  const address bob = bc.create_user_account();
+  bc.fund_eth(alice, units(10, 18));
+  const auto& rec = bc.execute(alice, "send", [&](context& ctx) {
+    ctx.transfer_eth(alice, bob, units(3, 18));
+  });
+  EXPECT_TRUE(rec.success);
+  EXPECT_EQ(bc.state().eth_balance(bob), units(3, 18));
+  EXPECT_EQ(bc.state().eth_balance(alice), units(7, 18));
+  // the internal tx is in the trace
+  ASSERT_EQ(rec.events.size(), 1U);
+  const auto* itx = std::get_if<internal_tx>(&rec.events[0]);
+  ASSERT_NE(itx, nullptr);
+  EXPECT_EQ(itx->amount, units(3, 18));
+}
+
+TEST(Blockchain, RevertedTxLeavesNoTrace) {
+  blockchain bc;
+  const address alice = bc.create_user_account();
+  const address bob = bc.create_user_account();
+  bc.fund_eth(alice, units(1, 18));
+  const auto& rec = bc.execute(alice, "bad", [&](context& ctx) {
+    ctx.transfer_eth(alice, bob, units(1, 18));
+    throw revert_error("oops");
+  });
+  EXPECT_FALSE(rec.success);
+  EXPECT_EQ(rec.revert_reason, "oops");
+  EXPECT_EQ(bc.state().eth_balance(alice), units(1, 18));
+  EXPECT_TRUE(bc.state().eth_balance(bob).is_zero());
+  // partial trace retained for forensics
+  EXPECT_EQ(rec.events.size(), 1U);
+}
+
+TEST(Blockchain, InsufficientEthReverts) {
+  blockchain bc;
+  const address alice = bc.create_user_account();
+  const address bob = bc.create_user_account();
+  const auto& rec = bc.execute(alice, "broke", [&](context& ctx) {
+    ctx.transfer_eth(alice, bob, u256{1});
+  });
+  EXPECT_FALSE(rec.success);
+}
+
+TEST(Blockchain, DeployRecordsCreationEdge) {
+  blockchain bc;
+  const address deployer = bc.create_user_account("Uniswap");
+  auto& tok = bc.deploy<erc20>(deployer, "Uniswap", "UNI", 18);
+  EXPECT_EQ(bc.creations().creator_of(tok.addr()), deployer);
+  EXPECT_EQ(bc.app_of(tok.addr()), "Uniswap");
+  EXPECT_EQ(bc.app_of(deployer), "Uniswap");
+  EXPECT_EQ(bc.find(tok.addr()), &tok);
+  EXPECT_EQ(bc.find_as<erc20>(tok.addr()), &tok);
+  EXPECT_EQ(bc.find_as<weth>(tok.addr()), nullptr);
+  EXPECT_TRUE(bc.app_of(address::from_seed(999)).empty());
+}
+
+TEST(Blockchain, BlocksAdvance) {
+  blockchain bc{10'000'000};
+  EXPECT_EQ(bc.block_number(), 10'000'000U);
+  const auto t0 = bc.timestamp();
+  bc.advance_blocks(1000);
+  EXPECT_EQ(bc.block_number(), 10'001'000U);
+  EXPECT_GT(bc.timestamp(), t0);
+  bc.advance_to_time(timestamp_of({2022, 1, 1}));
+  EXPECT_GE(bc.timestamp(), timestamp_of({2022, 1, 1}) - 15);
+}
+
+TEST(Blockchain, ReceiptRecordsFirstCallee) {
+  blockchain bc;
+  const address deployer = bc.create_user_account();
+  auto& tok = bc.deploy<erc20>(deployer, "TestApp", "TT", 18);
+  const address user = bc.create_user_account();
+  const auto& rec = bc.execute(user, "mint", [&](context& ctx) {
+    tok.mint(ctx, user, units(5, 18));
+  });
+  EXPECT_TRUE(rec.success);
+  EXPECT_EQ(rec.to, tok.addr());
+  EXPECT_EQ(rec.from, user);
+}
+
+// ---- ERC20 -----------------------------------------------------------------
+
+class Erc20Test : public ::testing::Test {
+ protected:
+  Erc20Test()
+      : deployer_{bc_.create_user_account("TestApp")},
+        tok_{bc_.deploy<erc20>(deployer_, "TestApp", "TT", 18)},
+        alice_{bc_.create_user_account()},
+        bob_{bc_.create_user_account()} {
+    bc_.execute(deployer_, "mint", [&](context& ctx) {
+      tok_.mint(ctx, alice_, units(100, 18));
+    });
+  }
+
+  blockchain bc_;
+  address deployer_;
+  erc20& tok_;
+  address alice_;
+  address bob_;
+};
+
+TEST_F(Erc20Test, MintSetsBalanceAndSupply) {
+  EXPECT_EQ(tok_.balance_of(bc_.state(), alice_), units(100, 18));
+  EXPECT_EQ(tok_.total_supply(bc_.state()), units(100, 18));
+}
+
+TEST_F(Erc20Test, MintEmitsTransferFromBlackHole) {
+  const auto& rec = bc_.receipts().front();
+  bool found = false;
+  for (const auto& ev : rec.events) {
+    if (const auto* log = std::get_if<event_log>(&ev)) {
+      if (log->name == kTransferEvent) {
+        EXPECT_TRUE(log->addr0.is_zero());
+        EXPECT_EQ(log->addr1, alice_);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(Erc20Test, TransferMovesBalance) {
+  bc_.execute(alice_, "t", [&](context& ctx) {
+    tok_.transfer(ctx, bob_, units(30, 18));
+  });
+  EXPECT_EQ(tok_.balance_of(bc_.state(), alice_), units(70, 18));
+  EXPECT_EQ(tok_.balance_of(bc_.state(), bob_), units(30, 18));
+}
+
+TEST_F(Erc20Test, TransferBeyondBalanceReverts) {
+  const auto& rec = bc_.execute(alice_, "t", [&](context& ctx) {
+    tok_.transfer(ctx, bob_, units(200, 18));
+  });
+  EXPECT_FALSE(rec.success);
+  EXPECT_EQ(tok_.balance_of(bc_.state(), alice_), units(100, 18));
+}
+
+TEST_F(Erc20Test, TransferFromRequiresAllowance) {
+  const auto& fail = bc_.execute(bob_, "tf", [&](context& ctx) {
+    tok_.transfer_from(ctx, alice_, bob_, units(10, 18));
+  });
+  EXPECT_FALSE(fail.success);
+
+  bc_.execute(alice_, "approve", [&](context& ctx) {
+    tok_.approve(ctx, bob_, units(25, 18));
+  });
+  const auto& ok = bc_.execute(bob_, "tf", [&](context& ctx) {
+    tok_.transfer_from(ctx, alice_, bob_, units(10, 18));
+  });
+  EXPECT_TRUE(ok.success);
+  EXPECT_EQ(tok_.allowance(bc_.state(), alice_, bob_), units(15, 18));
+  EXPECT_EQ(tok_.balance_of(bc_.state(), bob_), units(10, 18));
+}
+
+TEST_F(Erc20Test, TransferFromSelfNeedsNoAllowance) {
+  const auto& ok = bc_.execute(alice_, "tf", [&](context& ctx) {
+    tok_.transfer_from(ctx, alice_, bob_, units(10, 18));
+  });
+  EXPECT_TRUE(ok.success);
+}
+
+TEST_F(Erc20Test, BurnReducesSupply) {
+  bc_.execute(deployer_, "burn", [&](context& ctx) {
+    tok_.burn(ctx, alice_, units(40, 18));
+  });
+  EXPECT_EQ(tok_.total_supply(bc_.state()), units(60, 18));
+  EXPECT_EQ(tok_.balance_of(bc_.state(), alice_), units(60, 18));
+}
+
+TEST_F(Erc20Test, BurnBeyondSupplyReverts) {
+  const auto& rec = bc_.execute(deployer_, "burn", [&](context& ctx) {
+    tok_.burn(ctx, alice_, units(500, 18));
+  });
+  EXPECT_FALSE(rec.success);
+}
+
+// Property: random transfer sequences conserve total supply.
+class Erc20Conservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Erc20Conservation, SupplyConserved) {
+  blockchain bc;
+  const address deployer = bc.create_user_account();
+  auto& tok = bc.deploy<erc20>(deployer, "App", "AA", 18);
+  std::vector<address> holders;
+  for (int i = 0; i < 5; ++i) holders.push_back(bc.create_user_account());
+  bc.execute(deployer, "mint", [&](context& ctx) {
+    for (const auto& h : holders) tok.mint(ctx, h, units(1000, 18));
+  });
+  rng r{GetParam()};
+  for (int i = 0; i < 200; ++i) {
+    const address from = holders[r.next_below(holders.size())];
+    const address to = holders[r.next_below(holders.size())];
+    const u256 amount = units(r.next_below(2000), 15);
+    bc.execute(from, "t", [&](context& ctx) {
+      tok.transfer(ctx, to, amount);  // may revert; that's fine
+    });
+  }
+  u256 total;
+  for (const auto& h : holders) total += tok.balance_of(bc.state(), h);
+  EXPECT_EQ(total, tok.total_supply(bc.state()));
+  EXPECT_EQ(total, units(5000, 18));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Erc20Conservation,
+                         ::testing::Values(11, 22, 33));
+
+// ---- WETH --------------------------------------------------------------------
+
+TEST(Weth, DepositWithdrawRoundTrip) {
+  blockchain bc;
+  const address deployer = bc.create_user_account("Wrapped Ether");
+  auto& w = bc.deploy<weth>(deployer);
+  const address user = bc.create_user_account();
+  bc.fund_eth(user, units(10, 18));
+
+  bc.execute(user, "wrap", [&](context& ctx) {
+    w.deposit(ctx, units(4, 18));
+  });
+  EXPECT_EQ(w.balance_of(bc.state(), user), units(4, 18));
+  EXPECT_EQ(bc.state().eth_balance(user), units(6, 18));
+  EXPECT_EQ(bc.state().eth_balance(w.addr()), units(4, 18));
+
+  bc.execute(user, "unwrap", [&](context& ctx) {
+    w.withdraw(ctx, units(4, 18));
+  });
+  EXPECT_TRUE(w.balance_of(bc.state(), user).is_zero());
+  EXPECT_EQ(bc.state().eth_balance(user), units(10, 18));
+  EXPECT_TRUE(w.total_supply(bc.state()).is_zero());
+}
+
+TEST(Weth, WithdrawBeyondBalanceReverts) {
+  blockchain bc;
+  const address deployer = bc.create_user_account("Wrapped Ether");
+  auto& w = bc.deploy<weth>(deployer);
+  const address user = bc.create_user_account();
+  const auto& rec = bc.execute(user, "unwrap", [&](context& ctx) {
+    w.withdraw(ctx, units(1, 18));
+  });
+  EXPECT_FALSE(rec.success);
+}
+
+TEST(Weth, TraceInterleavesInternalTxAndLog) {
+  // The happened-before property of paper §V-A: the ETH internal transfer
+  // must precede the WETH Transfer log for a deposit.
+  blockchain bc;
+  const address deployer = bc.create_user_account("Wrapped Ether");
+  auto& w = bc.deploy<weth>(deployer);
+  const address user = bc.create_user_account();
+  bc.fund_eth(user, units(1, 18));
+  const auto& rec = bc.execute(user, "wrap", [&](context& ctx) {
+    w.deposit(ctx, units(1, 18));
+  });
+  int itx_pos = -1;
+  int log_pos = -1;
+  for (int i = 0; i < static_cast<int>(rec.events.size()); ++i) {
+    if (std::holds_alternative<internal_tx>(rec.events[i])) itx_pos = i;
+    if (const auto* log = std::get_if<event_log>(&rec.events[i]);
+        log != nullptr && log->name == kTransferEvent) {
+      log_pos = i;
+    }
+  }
+  ASSERT_GE(itx_pos, 0);
+  ASSERT_GE(log_pos, 0);
+  EXPECT_LT(itx_pos, log_pos);
+}
+
+}  // namespace
+}  // namespace leishen::chain

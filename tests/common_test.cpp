@@ -1,0 +1,217 @@
+// Tests for address, rate, rng and simulated time.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/address.h"
+#include "common/rate.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace leishen {
+namespace {
+
+TEST(Address, ZeroIsZero) {
+  EXPECT_TRUE(address::zero().is_zero());
+  EXPECT_FALSE(address::from_seed(1).is_zero());
+}
+
+TEST(Address, FromSeedDeterministicAndDistinct) {
+  EXPECT_EQ(address::from_seed(42), address::from_seed(42));
+  std::set<address> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(address::from_seed(i));
+  EXPECT_EQ(seen.size(), 1000U);
+}
+
+TEST(Address, HexRoundTrip) {
+  const address a = address::from_seed(7);
+  EXPECT_EQ(address::from_hex(a.to_hex()), a);
+  EXPECT_EQ(a.to_hex().size(), 42U);
+}
+
+TEST(Address, ShortForm) {
+  const address a = address::from_hex("0xb01700000000000000000000000000000000beef");
+  EXPECT_EQ(a.to_short(), "0xb017");
+}
+
+TEST(Address, FromHexPadsShortInput) {
+  const address a = address::from_hex("0x1");
+  EXPECT_EQ(a.bytes()[19], 1);
+  EXPECT_EQ(a.bytes()[0], 0);
+}
+
+TEST(Address, FromHexRejectsBadInput) {
+  EXPECT_THROW(address::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(address::from_hex("0xzz"), std::invalid_argument);
+  EXPECT_THROW(address::from_hex("0x" + std::string(41, '1')),
+               std::invalid_argument);
+}
+
+TEST(Address, Ordering) {
+  const address a = address::from_hex("0x01");
+  const address b = address::from_hex("0x02");
+  EXPECT_LT(a, b);
+  EXPECT_NE(address_hash{}(a), address_hash{}(b));
+}
+
+// ---- rate -------------------------------------------------------------------
+
+TEST(Rate, BasicComparisons) {
+  const rate half{u256{1}, u256{2}};
+  const rate third{u256{1}, u256{3}};
+  EXPECT_LT(third, half);
+  EXPECT_GT(half, third);
+  EXPECT_EQ((rate{u256{2}, u256{4}}), half);
+  EXPECT_LE(half, half);
+  EXPECT_GE(half, third);
+}
+
+TEST(Rate, LargeOperandsExact) {
+  // (10^30 + 1)/10^30 > 1 exactly — doubles cannot see the difference.
+  const rate a{u256::pow10(30) + u256{1}, u256::pow10(30)};
+  const rate one{u256{1}, u256{1}};
+  EXPECT_GT(a, one);
+  EXPECT_NE(a, one);
+}
+
+TEST(Rate, InfiniteRate) {
+  const rate inf{u256{5}, u256{0}};
+  EXPECT_TRUE(inf.is_infinite());
+  EXPECT_LT((rate{u256{100}, u256{1}}), inf);
+  EXPECT_EQ(inf, (rate{u256{9}, u256{0}}));
+  EXPECT_THROW((rate{u256{0}, u256{0}}), arithmetic_error);
+}
+
+TEST(Rate, ZeroRate) {
+  const rate z{u256{0}, u256{7}};
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_LT(z, (rate{u256{1}, u256{100}}));
+}
+
+TEST(Rate, VolatilityFormula) {
+  // rate doubles: ((2-1)/1)*100 = 100%
+  EXPECT_DOUBLE_EQ(volatility_percent(rate{u256{2}, u256{1}},
+                                      rate{u256{1}, u256{1}}),
+                   100.0);
+  // Harvest-like: 0.5% movement
+  EXPECT_NEAR(volatility_percent(rate{u256{1005}, u256{1000}},
+                                 rate{u256{1}, u256{1}}),
+              0.5, 1e-9);
+}
+
+TEST(Rate, AmountsClose) {
+  const u256 base = u256::pow10(20);
+  // 0.05% difference passes the 0.1% gate
+  EXPECT_TRUE(amounts_close(base, base + base / u256{2000}, 1, 1000));
+  // 0.2% difference fails it
+  EXPECT_FALSE(amounts_close(base, base + base / u256{500}, 1, 1000));
+  // equality trivially passes
+  EXPECT_TRUE(amounts_close(base, base, 1, 1000));
+  EXPECT_TRUE(amounts_close(u256{0}, u256{0}, 1, 1000));
+  // zero vs nonzero fails
+  EXPECT_FALSE(amounts_close(u256{0}, base, 1, 1000));
+}
+
+// ---- rng ----------------------------------------------------------------------
+
+TEST(Rng, Deterministic) {
+  rng a{123};
+  rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  rng r{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17U);
+    const auto v = r.next_range(5, 9);
+    EXPECT_GE(v, 5U);
+    EXPECT_LE(v, 9U);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, LogUniformWithinRange) {
+  rng r{11};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.next_log_uniform(10.0, 1e6);
+    EXPECT_GE(v, 10.0 * (1 - 1e-9));
+    EXPECT_LE(v, 1e6 * (1 + 1e-9));
+  }
+}
+
+TEST(Rng, WeightedSamplingHitsAllBuckets) {
+  rng r{13};
+  std::vector<double> w{1.0, 2.0, 4.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[r.next_weighted(w)];
+  EXPECT_GT(counts[0], 500);
+  EXPECT_GT(counts[1], counts[0]);
+  EXPECT_GT(counts[2], counts[1]);
+}
+
+TEST(Rng, ForkIndependent) {
+  rng base{42};
+  rng f1 = base.fork(1);
+  rng f2 = base.fork(2);
+  EXPECT_NE(f1.next(), f2.next());
+}
+
+// ---- sim_time ------------------------------------------------------------------
+
+TEST(SimTime, CivilRoundTrip) {
+  for (const civil_date d : {civil_date{2020, 1, 1}, civil_date{2020, 2, 29},
+                             civil_date{2021, 12, 31}, civil_date{2022, 4, 15},
+                             civil_date{1970, 1, 1}}) {
+    EXPECT_EQ(civil_from_days(days_from_civil(d)), d);
+  }
+}
+
+TEST(SimTime, KnownEpochs) {
+  EXPECT_EQ(days_from_civil({1970, 1, 1}), 0);
+  EXPECT_EQ(timestamp_of({2020, 1, 1}), 1577836800);
+  EXPECT_EQ(timestamp_of({2020, 2, 15}), 1581724800);  // bZx-1 attack day
+}
+
+TEST(SimTime, Labels) {
+  EXPECT_EQ(month_label(timestamp_of({2020, 6, 28})), "2020-06");
+  EXPECT_EQ(date_label(timestamp_of({2021, 10, 26})), "2021-10-26");
+}
+
+TEST(SimTime, MonthIndex) {
+  EXPECT_EQ(month_index(timestamp_of({2020, 1, 15})), 0);
+  EXPECT_EQ(month_index(timestamp_of({2020, 12, 1})), 11);
+  EXPECT_EQ(month_index(timestamp_of({2022, 4, 1})), 27);
+  EXPECT_EQ(month_index(timestamp_of({2019, 12, 31})), -1);
+}
+
+TEST(SimTime, WeekIndexMonotone) {
+  EXPECT_EQ(week_index(timestamp_of({2020, 1, 1})), 0);
+  EXPECT_EQ(week_index(timestamp_of({2020, 1, 8})), 1);
+  EXPECT_LT(week_index(timestamp_of({2020, 3, 1})),
+            week_index(timestamp_of({2021, 3, 1})));
+}
+
+TEST(SimTime, BlockTimestampWindowMatchesPaper) {
+  // Block 14,500,000 must land in the first half of 2022, the end of the
+  // paper's evaluation window.
+  const civil_date d = date_of(block_timestamp(14'500'000));
+  EXPECT_EQ(d.year, 2022);
+  EXPECT_LE(d.month, 6U);
+  // And the first flash loan era (block ~9.2M) must land in early 2020.
+  const civil_date e = date_of(block_timestamp(9'200'000));
+  EXPECT_EQ(e.year, 2019 + (e.month < 6 ? 1 : 0));
+}
+
+TEST(SimTime, BlockAtTimeInverse) {
+  const std::uint64_t b = 12'345'678;
+  EXPECT_NEAR(static_cast<double>(block_at_time(block_timestamp(b))),
+              static_cast<double>(b), 1.0);
+  EXPECT_EQ(block_at_time(0), 0U);
+}
+
+}  // namespace
+}  // namespace leishen

@@ -1,0 +1,571 @@
+// Unit tests for the LeiShen core pipeline pieces: account tagging (Fig. 7),
+// simplification rules (§V-B2), trade identification (Table III) and the
+// three attack pattern matchers (§IV-B).
+#include <gtest/gtest.h>
+
+#include "core/account_tagging.h"
+#include "core/patterns.h"
+#include "core/simplify.h"
+#include "core/trade_actions.h"
+
+namespace leishen::core {
+namespace {
+
+using chain::creation_registry;
+using etherscan::label_db;
+
+address a(std::uint64_t seed) { return address::from_seed(seed); }
+asset tok(std::uint64_t seed) { return asset::token(a(1000 + seed)); }
+
+// ---- account tagging -------------------------------------------------------------
+
+TEST(AccountTagging, LabeledAccountKeepsItsLabel) {
+  creation_registry reg;
+  label_db labels;
+  labels.tag(a(1), "Uniswap");
+  account_tagger tagger{reg, labels};
+  EXPECT_EQ(tagger.tag_of(a(1)), "Uniswap");
+}
+
+TEST(AccountTagging, BlackHole) {
+  creation_registry reg;
+  label_db labels;
+  account_tagger tagger{reg, labels};
+  EXPECT_EQ(tagger.tag_of(address::zero()), kBlackHoleTag);
+}
+
+TEST(AccountTagging, SingleTagTreePropagatesFromAncestor) {
+  // Fig. 7(a): a1 (tagged) -> a2 -> a3 (both untagged).
+  creation_registry reg;
+  reg.record(a(1), a(2));
+  reg.record(a(2), a(3));
+  label_db labels;
+  labels.tag(a(1), "Uniswap");
+  account_tagger tagger{reg, labels};
+  EXPECT_EQ(tagger.tag_of(a(2)), "Uniswap");
+  EXPECT_EQ(tagger.tag_of(a(3)), "Uniswap");
+  EXPECT_FALSE(tagger.is_conflicted(a(3)));
+}
+
+TEST(AccountTagging, SingleTagTreePropagatesFromDescendant) {
+  // The untagged account's descendant carries the label.
+  creation_registry reg;
+  reg.record(a(1), a(2));
+  reg.record(a(2), a(3));
+  label_db labels;
+  labels.tag(a(3), "Aave");
+  account_tagger tagger{reg, labels};
+  EXPECT_EQ(tagger.tag_of(a(2)), "Aave");
+  // The root's only path is downward; it sees the same label.
+  EXPECT_EQ(tagger.tag_of(a(1)), "Aave");
+}
+
+TEST(AccountTagging, UntaggedTreeGetsRootPseudoTag) {
+  // Fig. 7(b): no label anywhere -> all accounts unify under root address.
+  creation_registry reg;
+  reg.record(a(10), a(11));
+  reg.record(a(11), a(12));
+  label_db labels;
+  account_tagger tagger{reg, labels};
+  const std::string root_tag = a(10).to_hex();
+  EXPECT_EQ(tagger.tag_of(a(10)), root_tag);
+  EXPECT_EQ(tagger.tag_of(a(11)), root_tag);
+  EXPECT_EQ(tagger.tag_of(a(12)), root_tag);
+}
+
+TEST(AccountTagging, AttackerEoaAndContractUnify) {
+  // The property that matters for detection: attacker EOA and its deployed
+  // attack contract share one identity.
+  creation_registry reg;
+  reg.record(a(66), a(67));  // EOA deploys attack contract
+  label_db labels;
+  account_tagger tagger{reg, labels};
+  EXPECT_EQ(tagger.tag_of(a(66)), tagger.tag_of(a(67)));
+}
+
+TEST(AccountTagging, ConflictingTagsAreUntaggable) {
+  // Fig. 7(c): ancestor tagged Yearn, descendant tagged Uniswap.
+  creation_registry reg;
+  reg.record(a(20), a(21));
+  reg.record(a(21), a(22));
+  label_db labels;
+  labels.tag(a(20), "Yearn");
+  labels.tag(a(22), "Uniswap");
+  account_tagger tagger{reg, labels};
+  EXPECT_TRUE(tagger.is_conflicted(a(21)));
+  // Conflict tags are unique per account: no accidental merging.
+  EXPECT_NE(tagger.tag_of(a(21)), tagger.tag_of(a(20)));
+  EXPECT_NE(tagger.tag_of(a(21)), tagger.tag_of(a(22)));
+}
+
+TEST(AccountTagging, SiblingLabelsDoNotPropagate) {
+  // Tag set = ancestors + descendants only: a sibling's label must not
+  // leak over.
+  creation_registry reg;
+  reg.record(a(30), a(31));
+  reg.record(a(30), a(32));
+  label_db labels;
+  labels.tag(a(31), "Uniswap");
+  account_tagger tagger{reg, labels};
+  // a(32) has no labeled ancestor/descendant -> root pseudo-tag.
+  EXPECT_EQ(tagger.tag_of(a(32)), a(30).to_hex());
+}
+
+TEST(AccountTagging, LiftPreservesOrderAndAmounts) {
+  creation_registry reg;
+  label_db labels;
+  labels.tag(a(1), "A");
+  labels.tag(a(2), "B");
+  account_tagger tagger{reg, labels};
+  chain::transfer_list transfers{
+      {a(1), a(2), u256{10}, tok(0)},
+      {a(2), a(1), u256{20}, tok(1)},
+  };
+  const auto lifted = tagger.lift(transfers);
+  ASSERT_EQ(lifted.size(), 2U);
+  EXPECT_EQ(lifted[0].from_tag, "A");
+  EXPECT_EQ(lifted[0].to_tag, "B");
+  EXPECT_EQ(lifted[0].amount, u256{10});
+  EXPECT_EQ(lifted[1].from_tag, "B");
+}
+
+// ---- simplification ---------------------------------------------------------------
+
+TEST(Simplify, RemovesIntraAppTransfers) {
+  app_transfer_list in{
+      {"A", "A", u256{5}, tok(0)},
+      {"A", "B", u256{5}, tok(0)},
+  };
+  const auto out = simplify(in, asset{});
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].from_tag, "A");
+  EXPECT_EQ(out[0].to_tag, "B");
+}
+
+TEST(Simplify, UnifiesWethAndRemovesWethLegs) {
+  const asset weth = tok(99);
+  app_transfer_list in{
+      {"A", "Wrapped Ether", u256{7}, asset::ether()},  // wrap leg
+      {"Wrapped Ether", "A", u256{7}, weth},            // wrap leg
+      {"A", "B", u256{7}, weth},                        // real payment
+  };
+  const auto out = simplify(in, weth);
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].token, asset::ether());  // WETH rewritten to ETH
+  EXPECT_EQ(out[0].from_tag, "A");
+  EXPECT_EQ(out[0].to_tag, "B");
+}
+
+TEST(Simplify, MergesInterAppTransfers) {
+  // A -> K -> B with ~equal amounts: K is an intermediary (Kyber in Fig. 6).
+  app_transfer_list in{
+      {"A", "Kyber", u256{1'000'000}, tok(0)},
+      {"Kyber", "B", u256{999'500}, tok(0)},  // 0.05% fee, below 0.1%
+  };
+  const auto out = simplify(in, asset{});
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].from_tag, "A");
+  EXPECT_EQ(out[0].to_tag, "B");
+  EXPECT_EQ(out[0].amount, u256{999'500});
+}
+
+TEST(Simplify, DoesNotMergeBeyondTolerance) {
+  app_transfer_list in{
+      {"A", "K", u256{1'000'000}, tok(0)},
+      {"K", "B", u256{990'000}, tok(0)},  // 1% difference
+  };
+  EXPECT_EQ(simplify(in, asset{}).size(), 2U);
+}
+
+TEST(Simplify, DoesNotMergeDifferentTokens) {
+  app_transfer_list in{
+      {"A", "K", u256{1'000}, tok(0)},
+      {"K", "B", u256{1'000}, tok(1)},
+  };
+  EXPECT_EQ(simplify(in, asset{}).size(), 2U);
+}
+
+TEST(Simplify, DoesNotMergeRoundTrips) {
+  // A -> B -> A is a round trip, not intermediary routing.
+  app_transfer_list in{
+      {"A", "B", u256{1'000}, tok(0)},
+      {"B", "A", u256{1'000}, tok(0)},
+  };
+  EXPECT_EQ(simplify(in, asset{}).size(), 2U);
+}
+
+TEST(Simplify, MergesMultiHopChains) {
+  app_transfer_list in{
+      {"A", "K1", u256{1'000'000}, tok(0)},
+      {"K1", "K2", u256{999'900}, tok(0)},
+      {"K2", "B", u256{999'800}, tok(0)},
+  };
+  const auto out = simplify(in, asset{});
+  ASSERT_EQ(out.size(), 1U);
+  EXPECT_EQ(out[0].from_tag, "A");
+  EXPECT_EQ(out[0].to_tag, "B");
+}
+
+TEST(Simplify, PreservesUnrelatedTransfers) {
+  app_transfer_list in{
+      {"A", "B", u256{10}, tok(0)},
+      {"C", "D", u256{20}, tok(1)},
+  };
+  EXPECT_EQ(simplify(in, asset{}), in);
+}
+
+// ---- trade identification (Table III) ---------------------------------------------
+
+TEST(TradeActions, Swap2) {
+  app_transfer_list in{
+      {"A", "B", u256{100}, tok(0)},
+      {"B", "A", u256{200}, tok(1)},
+  };
+  const auto trades = identify_trades(in);
+  ASSERT_EQ(trades.size(), 1U);
+  EXPECT_EQ(trades[0].kind, trade_kind::swap);
+  EXPECT_EQ(trades[0].buyer, "A");
+  EXPECT_EQ(trades[0].seller, "B");
+  EXPECT_EQ(trades[0].amount_sell, u256{100});
+  EXPECT_EQ(trades[0].amount_buy, u256{200});
+}
+
+TEST(TradeActions, Swap2RequiresDistinctTokens) {
+  app_transfer_list in{
+      {"A", "B", u256{100}, tok(0)},
+      {"B", "A", u256{200}, tok(0)},
+  };
+  EXPECT_TRUE(identify_trades(in).empty());
+}
+
+TEST(TradeActions, Swap3TwoOutputs) {
+  // Spartan-style: one input, two assets back.
+  app_transfer_list in{
+      {"A", "B", u256{100}, tok(0)},
+      {"B", "A", u256{50}, tok(1)},
+      {"B", "A", u256{60}, tok(2)},
+  };
+  const auto trades = identify_trades(in);
+  ASSERT_EQ(trades.size(), 1U);
+  EXPECT_EQ(trades[0].kind, trade_kind::swap);
+  EXPECT_EQ(trades[0].amount_buy, u256{50});
+  EXPECT_EQ(trades[0].amount_buy2, u256{60});
+}
+
+TEST(TradeActions, Mint2BothOrders) {
+  // pay then mint
+  app_transfer_list in1{
+      {"A", "B", u256{100}, tok(0)},
+      {kBlackHoleTag, "A", u256{40}, tok(1)},
+  };
+  auto t1 = identify_trades(in1);
+  ASSERT_EQ(t1.size(), 1U);
+  EXPECT_EQ(t1[0].kind, trade_kind::mint_liquidity);
+  EXPECT_EQ(t1[0].buyer, "A");
+  EXPECT_EQ(t1[0].seller, "B");
+
+  // mint then pay
+  app_transfer_list in2{
+      {kBlackHoleTag, "A", u256{40}, tok(1)},
+      {"A", "B", u256{100}, tok(0)},
+  };
+  auto t2 = identify_trades(in2);
+  ASSERT_EQ(t2.size(), 1U);
+  EXPECT_EQ(t2[0].kind, trade_kind::mint_liquidity);
+  EXPECT_EQ(t2[0].amount_buy, u256{40});
+}
+
+TEST(TradeActions, Mint3TwoInputs) {
+  app_transfer_list in{
+      {"A", "B", u256{100}, tok(0)},
+      {"A", "B", u256{200}, tok(1)},
+      {kBlackHoleTag, "A", u256{50}, tok(2)},
+  };
+  const auto trades = identify_trades(in);
+  ASSERT_EQ(trades.size(), 1U);
+  EXPECT_EQ(trades[0].kind, trade_kind::mint_liquidity);
+  EXPECT_EQ(trades[0].amount_sell, u256{100});
+  EXPECT_EQ(trades[0].amount_sell2, u256{200});
+  EXPECT_EQ(trades[0].amount_buy, u256{50});
+}
+
+TEST(TradeActions, Remove2BothOrders) {
+  app_transfer_list in1{
+      {"A", kBlackHoleTag, u256{40}, tok(1)},
+      {"B", "A", u256{100}, tok(0)},
+  };
+  auto t1 = identify_trades(in1);
+  ASSERT_EQ(t1.size(), 1U);
+  EXPECT_EQ(t1[0].kind, trade_kind::remove_liquidity);
+  EXPECT_EQ(t1[0].buyer, "A");
+  EXPECT_EQ(t1[0].seller, "B");
+
+  app_transfer_list in2{
+      {"B", "A", u256{100}, tok(0)},
+      {"A", kBlackHoleTag, u256{40}, tok(1)},
+  };
+  auto t2 = identify_trades(in2);
+  ASSERT_EQ(t2.size(), 1U);
+  EXPECT_EQ(t2[0].kind, trade_kind::remove_liquidity);
+}
+
+TEST(TradeActions, Remove3TwoOutputs) {
+  app_transfer_list in{
+      {"A", kBlackHoleTag, u256{40}, tok(2)},
+      {"B", "A", u256{100}, tok(0)},
+      {"B", "A", u256{200}, tok(1)},
+  };
+  const auto trades = identify_trades(in);
+  ASSERT_EQ(trades.size(), 1U);
+  EXPECT_EQ(trades[0].kind, trade_kind::remove_liquidity);
+  EXPECT_EQ(trades[0].amount_buy, u256{100});
+  EXPECT_EQ(trades[0].amount_buy2, u256{200});
+}
+
+TEST(TradeActions, GreedyScanConsumesAndContinues) {
+  // swap, unmatched transfer, swap.
+  app_transfer_list in{
+      {"A", "B", u256{1}, tok(0)},
+      {"B", "A", u256{2}, tok(1)},
+      {"X", "Y", u256{9}, tok(5)},
+      {"A", "C", u256{3}, tok(2)},
+      {"C", "A", u256{4}, tok(3)},
+  };
+  const auto trades = identify_trades(in);
+  ASSERT_EQ(trades.size(), 2U);
+  EXPECT_EQ(trades[1].seller, "C");
+}
+
+TEST(TradeActions, ThreeTransferFormPreferred) {
+  // The 3-transfer swap must win over the 2-transfer prefix.
+  app_transfer_list in{
+      {"A", "B", u256{100}, tok(0)},
+      {"B", "A", u256{50}, tok(1)},
+      {"B", "A", u256{60}, tok(2)},
+  };
+  const auto trades = identify_trades(in);
+  ASSERT_EQ(trades.size(), 1U);
+  EXPECT_FALSE(trades[0].amount_buy2.is_zero());
+}
+
+// ---- pattern matching -----------------------------------------------------------
+
+// Helpers to build borrower-perspective trades quickly.
+trade buy(const std::string& borrower, const std::string& seller,
+          std::uint64_t pay, const asset& pay_tok, std::uint64_t recv,
+          const asset& recv_tok) {
+  return trade{.buyer = borrower,
+               .seller = seller,
+               .amount_sell = u256{pay},
+               .token_sell = pay_tok,
+               .amount_buy = u256{recv},
+               .token_buy = recv_tok};
+}
+
+const asset kEth = asset::ether();
+const asset kX = tok(7);
+
+TEST(Patterns, KrpDetected) {
+  // 5 buys at rising prices, then a sell (bZx-2 shape).
+  trade_list trades;
+  for (int i = 0; i < 5; ++i) {
+    trades.push_back(
+        buy("ATK", "Uniswap", 20, kEth, 100 - static_cast<unsigned>(i) * 10,
+            kX));  // price per X rises as fewer X per 20 ETH
+  }
+  // sell all X to bZx
+  trades.push_back(buy("bZx", "ATK", 80, kEth, 400, kX));
+  // note: from ATK's perspective the last trade is a sell of X.
+  const auto matches = match_patterns(trades, "ATK");
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].pattern, attack_pattern::krp);
+  EXPECT_EQ(matches[0].target, kX);
+  EXPECT_EQ(matches[0].counterparty, "Uniswap");
+  EXPECT_EQ(matches[0].trade_indices.size(), 6U);
+}
+
+TEST(Patterns, KrpRequiresMinBuys) {
+  trade_list trades;
+  for (int i = 0; i < 4; ++i) {
+    trades.push_back(buy("ATK", "Uniswap", 20, kEth,
+                         100 - static_cast<unsigned>(i) * 10, kX));
+  }
+  trades.push_back(buy("bZx", "ATK", 80, kEth, 350, kX));
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, KrpRequiresRisingPrice) {
+  // Constant price across buys -> no KRP.
+  trade_list trades;
+  for (int i = 0; i < 6; ++i) {
+    trades.push_back(buy("ATK", "Uniswap", 20, kEth, 100, kX));
+  }
+  trades.push_back(buy("bZx", "ATK", 80, kEth, 600, kX));
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, KrpRequiresSameSeller) {
+  trade_list trades;
+  for (int i = 0; i < 5; ++i) {
+    trades.push_back(buy("ATK", "Pool" + std::to_string(i), 20, kEth,
+                         100 - static_cast<unsigned>(i) * 10, kX));
+  }
+  trades.push_back(buy("bZx", "ATK", 80, kEth, 400, kX));
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, KrpRequiresSellAfterBuys) {
+  trade_list trades;
+  for (int i = 0; i < 6; ++i) {
+    trades.push_back(buy("ATK", "Uniswap", 20, kEth,
+                         100 - static_cast<unsigned>(i) * 10, kX));
+  }
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, SbsDetectedBzx1Shape) {
+  // t1: ATK buys 112 X for 5500 ETH from Compound (49.1/X)
+  // t2: bZx buys 51 X for 5637 ETH from Uniswap (110.5/X) — not the borrower
+  // t3: ATK sells 112 X for 6871 ETH on Uniswap (61.3/X)
+  trade_list trades;
+  trades.push_back(buy("ATK", "Compound", 5500, kEth, 112, kX));
+  trades.push_back(buy("bZx", "Uniswap", 5637, kEth, 51, kX));
+  trades.push_back(buy("Uniswap", "ATK", 6871, kEth, 112, kX));
+  const auto matches = match_patterns(trades, "ATK");
+  ASSERT_EQ(matches.size(), 1U);
+  EXPECT_EQ(matches[0].pattern, attack_pattern::sbs);
+  EXPECT_EQ(matches[0].target, kX);
+  ASSERT_EQ(matches[0].trade_indices.size(), 3U);
+  EXPECT_EQ(matches[0].trade_indices[1], 1U);
+}
+
+TEST(Patterns, SbsRequiresSymmetricAmounts) {
+  trade_list trades;
+  trades.push_back(buy("ATK", "Compound", 5500, kEth, 112, kX));
+  trades.push_back(buy("bZx", "Uniswap", 5637, kEth, 51, kX));
+  trades.push_back(buy("Uniswap", "ATK", 6871, kEth, 111, kX));  // 111 != 112
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, SbsRequiresRateOrdering) {
+  // Sell price above the pump price -> violates rate3 < rate2.
+  trade_list trades;
+  trades.push_back(buy("ATK", "Compound", 5500, kEth, 112, kX));
+  trades.push_back(buy("bZx", "Uniswap", 5637, kEth, 51, kX));
+  trades.push_back(buy("Uniswap", "ATK", 20'000, kEth, 112, kX));
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, SbsRequiresMinVolatility) {
+  // Pump only 10% above the entry price: below the 28% threshold.
+  trade_list trades;
+  trades.push_back(buy("ATK", "Compound", 1000, kEth, 100, kX));  // 10/X
+  trades.push_back(buy("bZx", "Uniswap", 1100, kEth, 100, kX));   // 11/X
+  trades.push_back(buy("Uniswap", "ATK", 1050, kEth, 100, kX));   // 10.5/X
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+  // With a relaxed threshold it fires.
+  pattern_params relaxed;
+  relaxed.sbs_min_volatility_pct = 5.0;
+  EXPECT_FALSE(match_patterns(trades, "ATK", relaxed).empty());
+}
+
+TEST(Patterns, SbsPumpMustSitBetween) {
+  trade_list trades;
+  trades.push_back(buy("bZx", "Uniswap", 5637, kEth, 51, kX));  // pump first
+  trades.push_back(buy("ATK", "Compound", 5500, kEth, 112, kX));
+  trades.push_back(buy("Uniswap", "ATK", 6871, kEth, 112, kX));
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, MbsDetectedHarvestShape) {
+  // 3 profitable buy/sell rounds against the same counterparty.
+  trade_list trades;
+  for (int i = 0; i < 3; ++i) {
+    trades.push_back(buy("ATK", "Harvest", 49'977'468, kEth, 51'456'280, kX));
+    trades.push_back(buy("Harvest", "ATK", 50'298'684, kEth, 51'456'280, kX));
+  }
+  const auto matches = match_patterns(trades, "ATK");
+  ASSERT_FALSE(matches.empty());
+  bool has_mbs = false;
+  for (const auto& m : matches) {
+    if (m.pattern == attack_pattern::mbs && m.target == kX) has_mbs = true;
+  }
+  EXPECT_TRUE(has_mbs);
+}
+
+TEST(Patterns, MbsRequiresThreeRounds) {
+  trade_list trades;
+  for (int i = 0; i < 2; ++i) {
+    trades.push_back(buy("ATK", "Harvest", 100, kEth, 103, kX));
+    trades.push_back(buy("Harvest", "ATK", 101, kEth, 103, kX));
+  }
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, MbsRequiresProfitPerRound) {
+  // Sell price below buy price: a losing loop (e.g. paying fees) — benign.
+  trade_list trades;
+  for (int i = 0; i < 4; ++i) {
+    trades.push_back(buy("ATK", "Harvest", 100, kEth, 100, kX));
+    trades.push_back(buy("Harvest", "ATK", 99, kEth, 100, kX));
+  }
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, MbsRequiresSameCounterparty) {
+  trade_list trades;
+  for (int i = 0; i < 3; ++i) {
+    trades.push_back(buy("ATK", "PoolA", 100, kEth, 103, kX));
+    trades.push_back(buy("PoolB", "ATK", 102, kEth, 103, kX));
+  }
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, NonBorrowerTradesIgnored) {
+  // A bystander's MBS-like loop must not be attributed to the borrower.
+  trade_list trades;
+  for (int i = 0; i < 3; ++i) {
+    trades.push_back(buy("OTHER", "Harvest", 100, kEth, 103, kX));
+    trades.push_back(buy("Harvest", "OTHER", 102, kEth, 103, kX));
+  }
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, SaddleShapeMatchesSbsAndMbsTogether) {
+  // The Saddle Finance attack conforms to SBS and MBS simultaneously
+  // (paper §III-C).
+  trade_list trades;
+  // Round trips with a symmetric pair inside and a pump between them.
+  trades.push_back(buy("ATK", "Saddle", 1000, kEth, 500, kX));   // 2.0/X
+  trades.push_back(buy("W", "Saddle", 5000, kEth, 1000, kX));    // 5.0/X pump
+  trades.push_back(buy("Saddle", "ATK", 1500, kEth, 500, kX));   // 3.0/X sell
+  trades.push_back(buy("ATK", "Saddle", 1000, kEth, 480, kX));
+  trades.push_back(buy("Saddle", "ATK", 1200, kEth, 480, kX));
+  trades.push_back(buy("ATK", "Saddle", 1000, kEth, 470, kX));
+  trades.push_back(buy("Saddle", "ATK", 1150, kEth, 470, kX));
+  const auto matches = match_patterns(trades, "ATK");
+  bool sbs = false;
+  bool mbs = false;
+  for (const auto& m : matches) {
+    if (m.pattern == attack_pattern::sbs) sbs = true;
+    if (m.pattern == attack_pattern::mbs) mbs = true;
+  }
+  EXPECT_TRUE(sbs);
+  EXPECT_TRUE(mbs);
+}
+
+TEST(Patterns, AblationRelaxedKrpFiresEarlier) {
+  trade_list trades;
+  for (int i = 0; i < 3; ++i) {
+    trades.push_back(buy("ATK", "Uniswap", 20, kEth,
+                         100 - static_cast<unsigned>(i) * 10, kX));
+  }
+  trades.push_back(buy("bZx", "ATK", 80, kEth, 260, kX));
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+  pattern_params relaxed;
+  relaxed.krp_min_buys = 3;
+  EXPECT_FALSE(match_patterns(trades, "ATK", relaxed).empty());
+}
+
+}  // namespace
+}  // namespace leishen::core

@@ -1,0 +1,213 @@
+// Edge cases and extra property sweeps for the DeFi substrates, plus the
+// scenario helpers (split pool, flash wrappers, attacker identities).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/account_tagging.h"
+#include "core/trade_actions.h"
+#include "defi/stableswap.h"
+#include "defi/uniswap_v2.h"
+#include "scenarios/scenario_helpers.h"
+#include "core/simplify.h"
+#include "replay/replayer.h"
+#include "scenarios/known_attacks.h"
+#include "scenarios/universe.h"
+
+namespace leishen::scenarios {
+namespace {
+
+using chain::context;
+using defi::stableswap_pool;
+using defi::uniswap_v2_pair;
+
+// ---- scenario helpers -------------------------------------------------------
+
+TEST(ScenarioHelpers, AttackerIdentitySharesCreationTree) {
+  universe u;
+  const auto who = make_attacker(u);
+  EXPECT_EQ(u.bc().creations().root_of(who.contract->addr()), who.eoa);
+  etherscan::label_db empty;
+  core::account_tagger tagger{u.bc().creations(), empty};
+  EXPECT_EQ(tagger.tag_of(who.eoa), tagger.tag_of(who.contract->addr()));
+}
+
+TEST(ScenarioHelpers, FlashWrappersRepayExactly) {
+  universe u;
+  auto& t = u.make_token("FLT", "FLT", 1.0);
+  u.fund_flashloan_providers(t, units(10'000, 18));
+  const auto who = make_attacker(u);
+
+  const u256 aave_before = u.aave().available(u.bc().state(), t);
+  const auto& rec1 = run_flash_aave(u, who, t, units(1'000, 18), "a",
+                                    [&](context& ctx) {
+                                      // fee must come from somewhere
+                                      t.mint(ctx, who.contract->addr(),
+                                             units(1, 18));
+                                    });
+  ASSERT_TRUE(rec1.success) << rec1.revert_reason;
+  EXPECT_GT(u.aave().available(u.bc().state(), t), aave_before);
+
+  const u256 dydx_before = u.dydx().available(u.bc().state(), t);
+  const auto& rec2 = run_flash_dydx(u, who, t, units(1'000, 18), "d",
+                                    [&](context& ctx) {
+                                      t.mint(ctx, who.contract->addr(),
+                                             u256{2});
+                                    });
+  ASSERT_TRUE(rec2.success) << rec2.revert_reason;
+  EXPECT_EQ(u.dydx().available(u.bc().state(), t), dydx_before + u256{2});
+}
+
+TEST(ScenarioHelpers, SplitPoolLegsNeverFormATrade) {
+  universe u;
+  auto& base = u.make_token("SPB", "SPB", 1.0);
+  auto& quote = u.make_token("SPQ", "SPQ", 1.0);
+  const auto dep = u.bc().create_user_account("SplitApp");
+  auto& pool = u.bc().deploy<split_pool>(dep, "SplitApp", base, quote);
+  u.airdrop(quote, pool.satellite(), units(1'000, 18));
+  u.bc().execute(pool.satellite(), "approve", [&](context& ctx) {
+    quote.approve(ctx, pool.addr(), units(1'000, 18));
+  });
+  const address user = u.bc().create_user_account();
+  u.airdrop(base, user, units(10, 18));
+  const auto& rec = u.bc().execute(user, "trade", [&](context& ctx) {
+    base.approve(ctx, pool.addr(), units(10, 18));
+    pool.trade(ctx, base, units(10, 18), units(9, 18));
+  });
+  ASSERT_TRUE(rec.success) << rec.revert_reason;
+  u.reseed_labels();
+  core::account_tagger tagger{u.bc().creations(), u.labels()};
+  const auto transfers = tagger.lift(replay::extract_transfers(rec));
+  const auto trades = core::identify_trades(
+      core::simplify(transfers, u.weth().id()));
+  EXPECT_TRUE(trades.empty());  // the split defeats pairing — by design
+}
+
+// ---- uniswap edge cases ------------------------------------------------------
+
+TEST(UniswapEdge, RouterRejectsUnknownPair) {
+  universe u;
+  auto& a = u.make_token("EA", "EA", 1.0);
+  auto& b = u.make_token("EB", "EB", 1.0);
+  const address user = u.bc().create_user_account();
+  u.airdrop(a, user, units(10, 18));
+  const auto& rec = u.bc().execute(user, "swap", [&](context& ctx) {
+    a.approve(ctx, u.uniswap_router().addr(), units(10, 18));
+    u.uniswap_router().swap_exact_tokens(ctx, a, units(10, 18), b, user);
+  });
+  EXPECT_FALSE(rec.success);
+  EXPECT_EQ(rec.revert_reason, "router: no pair");
+}
+
+TEST(UniswapEdge, SwapDrainingReserveRejected) {
+  universe u;
+  auto& a = u.make_token("EC", "EC", 1.0);
+  auto& b = u.make_token("ED", "ED", 1.0);
+  auto& pair = u.make_uniswap_pool(a, units(100, 18), b, units(100, 18));
+  const address user = u.bc().create_user_account();
+  const auto& rec = u.bc().execute(user, "drain", [&](context& ctx) {
+    a.mint(ctx, user, units(1'000, 18));
+    a.transfer(ctx, pair.addr(), units(1'000, 18));
+    const bool b_is_0 = &pair.token0() == &b;
+    pair.swap(ctx, b_is_0 ? units(100, 18) : u256{},
+              b_is_0 ? u256{} : units(100, 18), user);
+  });
+  EXPECT_FALSE(rec.success);  // amount_out == reserve
+}
+
+TEST(UniswapEdge, GetAmountInOutInverseProperty) {
+  rng r{77};
+  for (int i = 0; i < 200; ++i) {
+    const u256 rin = units(r.next_range(100, 1'000'000), 18);
+    const u256 rout = units(r.next_range(100, 1'000'000), 18);
+    const u256 out = units(r.next_range(1, 50), 18);
+    if (out >= rout) continue;
+    const u256 in = uniswap_v2_pair::get_amount_in(out, rin, rout);
+    EXPECT_GE(uniswap_v2_pair::get_amount_out(in, rin, rout), out);
+  }
+}
+
+// ---- stableswap edge cases -----------------------------------------------------
+
+TEST(StableSwapEdge, BadIndicesRejected) {
+  universe u;
+  auto& c0 = u.make_token("S0", "S0", 1.0);
+  auto& c1 = u.make_token("S1", "S1", 1.0);
+  auto& pool = u.make_stable_pool("CurveX", c0, units(1'000, 18), c1,
+                                  units(1'000, 18));
+  EXPECT_THROW((void)pool.quote_out(u.bc().state(), 0, 0, units(1, 18)),
+               chain::revert_error);
+  EXPECT_THROW((void)pool.quote_out(u.bc().state(), 2, 1, units(1, 18)),
+               chain::revert_error);
+  EXPECT_EQ(pool.index_of(c0), 0);
+  EXPECT_EQ(pool.index_of(c1), 1);
+  EXPECT_EQ(pool.index_of(u.weth()), -1);
+}
+
+TEST(StableSwapEdge, VirtualPriceMonotoneUnderChurnProperty) {
+  universe u;
+  auto& c0 = u.make_token("S2", "S2", 1.0);
+  auto& c1 = u.make_token("S3", "S3", 1.0);
+  auto& pool = u.make_stable_pool("CurveY", c0, units(1'000'000, 18), c1,
+                                  units(1'000'000, 18), 50);
+  const address trader = u.bc().create_user_account();
+  rng r{31};
+  u256 last_vp = pool.virtual_price(u.bc().state());
+  for (int i = 0; i < 25; ++i) {
+    const int dir = r.next_bool(0.5) ? 0 : 1;
+    auto& tin = dir == 0 ? c0 : c1;
+    const u256 dx = units(r.next_range(1'000, 150'000), 18);
+    const auto& rec = u.bc().execute(trader, "x", [&](context& ctx) {
+      tin.mint(ctx, trader, dx);
+      tin.approve(ctx, pool.addr(), dx);
+      pool.exchange(ctx, dir, 1 - dir, dx, trader);
+    });
+    ASSERT_TRUE(rec.success);
+    const u256 vp = pool.virtual_price(u.bc().state());
+    EXPECT_GE(vp + u256{2}, last_vp);  // fees only push it up
+    last_vp = vp;
+  }
+}
+
+TEST(StableSwapEdge, AmplificationFlattensTheCurve) {
+  // Higher A => less slippage for the same trade.
+  universe u;
+  auto& a0 = u.make_token("S4", "S4", 1.0);
+  auto& a1 = u.make_token("S5", "S5", 1.0);
+  auto& flat = u.make_stable_pool("CurveHiA", a0, units(1'000'000, 18), a1,
+                                  units(1'000'000, 18), 500);
+  auto& b0 = u.make_token("S6", "S6", 1.0);
+  auto& b1 = u.make_token("S7", "S7", 1.0);
+  auto& curvy = u.make_stable_pool("CurveLoA", b0, units(1'000'000, 18), b1,
+                                   units(1'000'000, 18), 5);
+  const u256 dx = units(300'000, 18);
+  const u256 flat_out = flat.quote_out(u.bc().state(), 0, 1, dx);
+  const u256 curvy_out = curvy.quote_out(u.bc().state(), 0, 1, dx);
+  EXPECT_GT(flat_out, curvy_out);
+}
+
+// ---- tagging determinism property -------------------------------------------
+
+TEST(TaggingProperty, OrderIndependentAndStable) {
+  universe u;
+  // Build a few creation trees via the universe and check tag_of is stable
+  // across query orders of the tagger (memoization must not leak).
+  auto& t = u.make_token("TP", "TagProp", 1.0);
+  (void)t;
+  u.reseed_labels();
+  std::vector<address> all;
+  for (const chain::contract* c : u.bc().contracts()) {
+    all.push_back(c->addr());
+  }
+  core::account_tagger fwd{u.bc().creations(), u.labels()};
+  core::account_tagger rev{u.bc().creations(), u.labels()};
+  std::vector<std::string> forward;
+  for (const address& a : all) forward.push_back(fwd.tag_of(a));
+  std::vector<std::string> backward(all.size());
+  for (std::size_t i = all.size(); i-- > 0;) {
+    backward[i] = rev.tag_of(all[i]);
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+}  // namespace
+}  // namespace leishen::scenarios

@@ -1,0 +1,739 @@
+// Tests for the remaining DeFi substrates: AAVE/dYdX flash loans, Balancer,
+// StableSwap, vault, lending and the aggregator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "defi/aave.h"
+#include "defi/aggregator.h"
+#include "defi/balancer.h"
+#include "defi/dydx.h"
+#include "defi/lending.h"
+#include "defi/price_oracle.h"
+#include "defi/stableswap.h"
+#include "defi/vault.h"
+#include "test_support.h"
+
+namespace leishen::defi {
+namespace {
+
+using chain::blockchain;
+using chain::context;
+using chain::event_log;
+using testing::script_contract;
+
+// ---- AAVE ---------------------------------------------------------------------
+
+class AaveTest : public ::testing::Test {
+ protected:
+  AaveTest()
+      : deployer_{bc_.create_user_account("Aave")},
+        pool_{bc_.deploy<aave_pool>(deployer_, "Aave")},
+        td_{bc_.create_user_account()},
+        usdc_{bc_.deploy<erc20>(td_, "USDC", "USDC", 6)},
+        whale_{bc_.create_user_account()} {
+    bc_.execute(whale_, "fund", [&](context& ctx) {
+      usdc_.mint(ctx, whale_, units(10'000'000, 6));
+      usdc_.approve(ctx, pool_.addr(), units(10'000'000, 6));
+      pool_.deposit(ctx, usdc_, units(10'000'000, 6));
+    });
+  }
+
+  blockchain bc_;
+  address deployer_;
+  aave_pool& pool_;
+  address td_;
+  erc20& usdc_;
+  address whale_;
+};
+
+TEST_F(AaveTest, FlashLoanRepaidWithFee) {
+  auto& borrower = bc_.deploy<script_contract>(whale_, "");
+  const u256 amount = units(1'000'000, 6);
+  const u256 fee = amount * u256{aave_pool::kFeeBps} / u256{10'000};
+  borrower.set_callback([&](context& ctx) {
+    usdc_.mint(ctx, borrower.addr(), fee);  // earn the fee somehow
+    usdc_.transfer(ctx, pool_.addr(), amount + fee);
+  });
+  const auto& rec = bc_.execute(whale_, "flash", [&](context& ctx) {
+    pool_.flash_loan(ctx, borrower, usdc_, amount);
+  });
+  ASSERT_TRUE(rec.success) << rec.revert_reason;
+  EXPECT_EQ(pool_.available(bc_.state(), usdc_),
+            units(10'000'000, 6) + fee);
+
+  // Identification signals: flashLoan call + FlashLoan event.
+  bool saw_call = false;
+  bool saw_event = false;
+  for (const auto& ev : rec.events) {
+    if (const auto* c = std::get_if<chain::call_record>(&ev)) {
+      if (c->method == "flashLoan") saw_call = true;
+    }
+    if (const auto* l = std::get_if<event_log>(&ev)) {
+      if (l->name == "FlashLoan") saw_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_call);
+  EXPECT_TRUE(saw_event);
+}
+
+TEST_F(AaveTest, FlashLoanDefaultReverts) {
+  auto& borrower = bc_.deploy<script_contract>(whale_, "");
+  borrower.set_callback([&](context&) {});
+  const auto& rec = bc_.execute(whale_, "flash", [&](context& ctx) {
+    pool_.flash_loan(ctx, borrower, usdc_, units(1'000'000, 6));
+  });
+  EXPECT_FALSE(rec.success);
+  EXPECT_EQ(pool_.available(bc_.state(), usdc_), units(10'000'000, 6));
+  EXPECT_TRUE(usdc_.balance_of(bc_.state(), borrower.addr()).is_zero());
+}
+
+TEST_F(AaveTest, FlashLoanPartialRepayReverts) {
+  auto& borrower = bc_.deploy<script_contract>(whale_, "");
+  const u256 amount = units(1'000'000, 6);
+  borrower.set_callback([&](context& ctx) {
+    usdc_.transfer(ctx, pool_.addr(), amount);  // principal but no fee
+  });
+  const auto& rec = bc_.execute(whale_, "flash", [&](context& ctx) {
+    pool_.flash_loan(ctx, borrower, usdc_, amount);
+  });
+  EXPECT_FALSE(rec.success);
+}
+
+TEST_F(AaveTest, FlashLoanBeyondLiquidityReverts) {
+  auto& borrower = bc_.deploy<script_contract>(whale_, "");
+  const auto& rec = bc_.execute(whale_, "flash", [&](context& ctx) {
+    pool_.flash_loan(ctx, borrower, usdc_, units(20'000'000, 6));
+  });
+  EXPECT_FALSE(rec.success);
+}
+
+// ---- dYdX ---------------------------------------------------------------------
+
+TEST(DydxTest, FlashLoanLifecycle) {
+  blockchain bc;
+  const address deployer = bc.create_user_account("dYdX");
+  auto& solo = bc.deploy<dydx_solo_margin>(deployer, "dYdX");
+  const address td = bc.create_user_account();
+  auto& weth_tok = bc.deploy<erc20>(td, "EthToken", "WETH", 18);
+  const address whale = bc.create_user_account();
+  bc.execute(whale, "fund", [&](context& ctx) {
+    weth_tok.mint(ctx, whale, units(50'000, 18));
+    weth_tok.approve(ctx, solo.addr(), units(50'000, 18));
+    solo.fund(ctx, weth_tok, units(50'000, 18));
+  });
+
+  auto& borrower = bc.deploy<script_contract>(whale, "");
+  borrower.set_callback([&](context& ctx) {
+    weth_tok.mint(ctx, borrower.addr(), u256{2});  // the 2 wei premium
+    weth_tok.approve(ctx, solo.addr(), units(10'000, 18) + u256{2});
+  });
+  const auto& rec = bc.execute(whale, "flash", [&](context& ctx) {
+    solo.operate(ctx, borrower, weth_tok, units(10'000, 18));
+  });
+  ASSERT_TRUE(rec.success) << rec.revert_reason;
+  EXPECT_EQ(solo.available(bc.state(), weth_tok),
+            units(50'000, 18) + u256{2});
+
+  // All four identification signals (paper Table II).
+  int calls = 0;
+  int logs = 0;
+  for (const auto& ev : rec.events) {
+    if (const auto* c = std::get_if<chain::call_record>(&ev)) {
+      if (c->method == "operate" || c->method == "withdraw" ||
+          c->method == "callFunction" || c->method == "deposit") {
+        ++calls;
+      }
+    }
+    if (const auto* l = std::get_if<event_log>(&ev)) {
+      if (l->name == "LogOperation" || l->name == "LogWithdraw" ||
+          l->name == "LogCall" || l->name == "LogDeposit") {
+        ++logs;
+      }
+    }
+  }
+  EXPECT_GE(calls, 4);
+  EXPECT_EQ(logs, 4);
+}
+
+TEST(DydxTest, DefaultReverts) {
+  blockchain bc;
+  const address deployer = bc.create_user_account("dYdX");
+  auto& solo = bc.deploy<dydx_solo_margin>(deployer, "dYdX");
+  const address td = bc.create_user_account();
+  auto& tok = bc.deploy<erc20>(td, "T", "TTT", 18);
+  const address whale = bc.create_user_account();
+  bc.execute(whale, "fund", [&](context& ctx) {
+    tok.mint(ctx, whale, units(1'000, 18));
+    tok.approve(ctx, solo.addr(), units(1'000, 18));
+    solo.fund(ctx, tok, units(1'000, 18));
+  });
+  auto& borrower = bc.deploy<script_contract>(whale, "");
+  borrower.set_callback([&](context& ctx) {
+    // Approve only the principal: the 2 wei premium is missing.
+    tok.approve(ctx, solo.addr(), units(100, 18));
+  });
+  const auto& rec = bc.execute(whale, "flash", [&](context& ctx) {
+    solo.operate(ctx, borrower, tok, units(100, 18));
+  });
+  EXPECT_FALSE(rec.success);
+  EXPECT_EQ(solo.available(bc.state(), tok), units(1'000, 18));
+}
+
+// ---- Balancer -----------------------------------------------------------------
+
+class BalancerTest : public ::testing::Test {
+ protected:
+  BalancerTest()
+      : td_{bc_.create_user_account()},
+        a_{bc_.deploy<erc20>(td_, "A", "AAA", 18)},
+        b_{bc_.deploy<erc20>(td_, "B", "BBB", 18)},
+        deployer_{bc_.create_user_account("Balancer")},
+        pool_{bc_.deploy<balancer_pool>(
+            deployer_, "Balancer",
+            std::vector<balancer_pool::bound_token>{{&a_, 1}, {&b_, 1}}, 20)},
+        lp_{bc_.create_user_account()},
+        trader_{bc_.create_user_account()} {
+    bc_.execute(lp_, "seed", [&](context& ctx) {
+      a_.mint(ctx, lp_, units(10'000, 18));
+      b_.mint(ctx, lp_, units(40'000, 18));
+      a_.approve(ctx, pool_.addr(), units(10'000, 18));
+      b_.approve(ctx, pool_.addr(), units(40'000, 18));
+      pool_.seed(ctx, {units(10'000, 18), units(40'000, 18)},
+                 units(100, 18));
+    });
+  }
+
+  blockchain bc_;
+  address td_;
+  erc20& a_;
+  erc20& b_;
+  address deployer_;
+  balancer_pool& pool_;
+  address lp_;
+  address trader_;
+};
+
+TEST_F(BalancerTest, SpotPriceWeighted) {
+  // equal weights: price of A in B = balB/balA = 4
+  EXPECT_DOUBLE_EQ(pool_.spot_price(bc_.state(), a_, b_).to_double(), 4.0);
+  EXPECT_DOUBLE_EQ(pool_.spot_price(bc_.state(), b_, a_).to_double(), 0.25);
+}
+
+TEST_F(BalancerTest, EqualWeightSwapMatchesConstantProduct) {
+  // With equal weights Balancer degenerates to x*y=k; compare within the
+  // double-precision tolerance of the pow path.
+  const u256 in = units(500, 18);
+  u256 got;
+  bc_.execute(trader_, "swap", [&](context& ctx) {
+    a_.mint(ctx, trader_, in);
+    a_.approve(ctx, pool_.addr(), in);
+    got = pool_.swap_exact_in(ctx, a_, in, b_, trader_);
+  });
+  // expected (x*y=k with 0.2% fee): out = balB*inFee/(balA+inFee)
+  const double in_fee = 500.0 * 0.998;
+  const double expected = 40'000.0 * in_fee / (10'000.0 + in_fee);
+  EXPECT_NEAR(got.to_double() / 1e18, expected, expected * 1e-9);
+}
+
+TEST_F(BalancerTest, SwapMovesSpotPrice) {
+  bc_.execute(trader_, "swap", [&](context& ctx) {
+    a_.mint(ctx, trader_, units(2'000, 18));
+    a_.approve(ctx, pool_.addr(), units(2'000, 18));
+    pool_.swap_exact_in(ctx, a_, units(2'000, 18), b_, trader_);
+  });
+  EXPECT_LT(pool_.spot_price(bc_.state(), a_, b_).to_double(), 4.0);
+  EXPECT_GT(pool_.spot_price(bc_.state(), b_, a_).to_double(), 0.25);
+}
+
+TEST_F(BalancerTest, JoinExitRoundTripLosesOnlyFees) {
+  const u256 in = units(100, 18);
+  u256 minted;
+  bc_.execute(trader_, "join", [&](context& ctx) {
+    a_.mint(ctx, trader_, in);
+    a_.approve(ctx, pool_.addr(), in);
+    minted = pool_.join_pool(ctx, a_, in, trader_);
+  });
+  EXPECT_FALSE(minted.is_zero());
+  u256 out;
+  bc_.execute(trader_, "exit", [&](context& ctx) {
+    out = pool_.exit_pool(ctx, a_, minted, trader_);
+  });
+  EXPECT_LT(out, in);                          // fees were paid
+  EXPECT_GT(out, in * u256{95} / u256{100});   // but only fees
+}
+
+TEST_F(BalancerTest, UnboundTokenRejected) {
+  auto& c = bc_.deploy<erc20>(td_, "C", "CCC", 18);
+  const auto& rec = bc_.execute(trader_, "swap", [&](context& ctx) {
+    c.mint(ctx, trader_, units(10, 18));
+    c.approve(ctx, pool_.addr(), units(10, 18));
+    pool_.swap_exact_in(ctx, c, units(10, 18), b_, trader_);
+  });
+  EXPECT_FALSE(rec.success);
+}
+
+TEST(BalancerWeights, UnequalWeightSpot) {
+  blockchain bc;
+  const address td = bc.create_user_account();
+  auto& a = bc.deploy<erc20>(td, "A", "AAA", 18);
+  auto& b = bc.deploy<erc20>(td, "B", "BBB", 18);
+  const address dep = bc.create_user_account("Balancer");
+  // 80/20 pool
+  auto& pool = bc.deploy<balancer_pool>(
+      dep, "Balancer",
+      std::vector<balancer_pool::bound_token>{{&a, 8}, {&b, 2}}, 10);
+  const address lp = bc.create_user_account();
+  bc.execute(lp, "seed", [&](context& ctx) {
+    a.mint(ctx, lp, units(8'000, 18));
+    b.mint(ctx, lp, units(2'000, 18));
+    a.approve(ctx, pool.addr(), units(8'000, 18));
+    b.approve(ctx, pool.addr(), units(2'000, 18));
+    pool.seed(ctx, {units(8'000, 18), units(2'000, 18)}, units(100, 18));
+  });
+  // spot A in B = (balB/wB)/(balA/wA) = (2000/2)/(8000/8) = 1
+  EXPECT_DOUBLE_EQ(pool.spot_price(bc.state(), a, b).to_double(), 1.0);
+}
+
+// ---- StableSwap ------------------------------------------------------------------
+
+class StableSwapTest : public ::testing::Test {
+ protected:
+  StableSwapTest()
+      : td_{bc_.create_user_account()},
+        usdc_{bc_.deploy<erc20>(td_, "USDC", "USDC", 18)},
+        usdt_{bc_.deploy<erc20>(td_, "USDT", "USDT", 18)},
+        deployer_{bc_.create_user_account("Curve")},
+        pool_{bc_.deploy<stableswap_pool>(deployer_, "Curve", usdc_, usdt_,
+                                          100, 4)},
+        lp_{bc_.create_user_account()},
+        trader_{bc_.create_user_account()} {
+    bc_.execute(lp_, "seed", [&](context& ctx) {
+      usdc_.mint(ctx, lp_, units(50'000'000, 18));
+      usdt_.mint(ctx, lp_, units(50'000'000, 18));
+      usdc_.approve(ctx, pool_.addr(), units(50'000'000, 18));
+      usdt_.approve(ctx, pool_.addr(), units(50'000'000, 18));
+      pool_.add_liquidity(ctx, units(50'000'000, 18), units(50'000'000, 18),
+                          lp_);
+    });
+  }
+
+  blockchain bc_;
+  address td_;
+  erc20& usdc_;
+  erc20& usdt_;
+  address deployer_;
+  stableswap_pool& pool_;
+  address lp_;
+  address trader_;
+};
+
+TEST_F(StableSwapTest, BalancedPoolNearParity) {
+  // A balanced stable pool trades near 1:1 even for large size.
+  const u256 dx = units(1'000'000, 18);
+  const u256 dy = pool_.quote_out(bc_.state(), 0, 1, dx);
+  const double slip = 1.0 - dy.to_double() / dx.to_double();
+  EXPECT_LT(slip, 0.002);   // < 0.2% for 2% of pool
+  EXPECT_GT(slip, 0.0003);  // but at least the 4bps fee
+}
+
+TEST_F(StableSwapTest, VirtualPriceStartsAtOne) {
+  EXPECT_NEAR(pool_.virtual_price(bc_.state()).to_double() / 1e18, 1.0,
+              1e-9);
+}
+
+TEST_F(StableSwapTest, SwapFeesRaiseVirtualPrice) {
+  const u256 vp0 = pool_.virtual_price(bc_.state());
+  bc_.execute(trader_, "churn", [&](context& ctx) {
+    usdc_.mint(ctx, trader_, units(20'000'000, 18));
+    usdc_.approve(ctx, pool_.addr(), units(20'000'000, 18));
+    const u256 got = pool_.exchange(ctx, 0, 1, units(20'000'000, 18),
+                                    trader_);
+    usdt_.approve(ctx, pool_.addr(), got);
+    pool_.exchange(ctx, 1, 0, got, trader_);
+  });
+  EXPECT_GT(pool_.virtual_price(bc_.state()), vp0);
+}
+
+TEST_F(StableSwapTest, ImbalanceMovesMarginalRate) {
+  // After dumping a lot of USDC in, marginal USDC->USDT rate worsens.
+  const u256 probe = units(1'000, 18);
+  const u256 before = pool_.quote_out(bc_.state(), 0, 1, probe);
+  bc_.execute(trader_, "dump", [&](context& ctx) {
+    usdc_.mint(ctx, trader_, units(30'000'000, 18));
+    usdc_.approve(ctx, pool_.addr(), units(30'000'000, 18));
+    pool_.exchange(ctx, 0, 1, units(30'000'000, 18), trader_);
+  });
+  const u256 after = pool_.quote_out(bc_.state(), 0, 1, probe);
+  EXPECT_LT(after, before);
+}
+
+TEST_F(StableSwapTest, AddRemoveLiquidityRoundTrip) {
+  u256 minted;
+  bc_.execute(trader_, "add", [&](context& ctx) {
+    usdc_.mint(ctx, trader_, units(1'000, 18));
+    usdc_.approve(ctx, pool_.addr(), units(1'000, 18));
+    minted = pool_.add_liquidity(ctx, units(1'000, 18), u256{}, trader_);
+  });
+  EXPECT_FALSE(minted.is_zero());
+  bc_.execute(trader_, "remove", [&](context& ctx) {
+    pool_.remove_liquidity(ctx, minted, trader_);
+  });
+  const u256 back = usdc_.balance_of(bc_.state(), trader_) +
+                    usdt_.balance_of(bc_.state(), trader_);
+  EXPECT_GT(back, units(995, 18));
+  EXPECT_LT(back, units(1'001, 18));
+}
+
+TEST_F(StableSwapTest, RemoveOneCoin) {
+  u256 minted;
+  bc_.execute(trader_, "add", [&](context& ctx) {
+    usdc_.mint(ctx, trader_, units(1'000, 18));
+    usdc_.approve(ctx, pool_.addr(), units(1'000, 18));
+    minted = pool_.add_liquidity(ctx, units(1'000, 18), u256{}, trader_);
+  });
+  u256 out;
+  bc_.execute(trader_, "remove1", [&](context& ctx) {
+    out = pool_.remove_liquidity_one_coin(ctx, minted, 1, trader_);
+  });
+  EXPECT_GT(out, units(990, 18));
+  EXPECT_LT(out, units(1'001, 18));
+  EXPECT_TRUE(usdc_.balance_of(bc_.state(), trader_).is_zero());
+}
+
+// Property: D is (weakly) increasing under fee'd exchanges.
+class StableSwapDProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StableSwapDProperty, DNeverDecreases) {
+  blockchain bc;
+  const address td = bc.create_user_account();
+  auto& c0 = bc.deploy<erc20>(td, "C0", "C0", 18);
+  auto& c1 = bc.deploy<erc20>(td, "C1", "C1", 18);
+  const address dep = bc.create_user_account("Curve");
+  auto& pool = bc.deploy<stableswap_pool>(dep, "Curve", c0, c1, 50, 4);
+  const address lp = bc.create_user_account();
+  bc.execute(lp, "seed", [&](context& ctx) {
+    c0.mint(ctx, lp, units(1'000'000, 18));
+    c1.mint(ctx, lp, units(1'000'000, 18));
+    c0.approve(ctx, pool.addr(), units(1'000'000, 18));
+    c1.approve(ctx, pool.addr(), units(1'000'000, 18));
+    pool.add_liquidity(ctx, units(1'000'000, 18), units(1'000'000, 18), lp);
+  });
+  rng r{GetParam()};
+  const address trader = bc.create_user_account();
+  u256 last_d = pool.get_d(bc.state());
+  for (int i = 0; i < 40; ++i) {
+    const int dir = r.next_bool(0.5) ? 0 : 1;
+    const u256 dx = units(r.next_range(100, 200'000), 18);
+    erc20& tin = dir == 0 ? c0 : c1;
+    const auto& rec = bc.execute(trader, "x", [&](context& ctx) {
+      tin.mint(ctx, trader, dx);
+      tin.approve(ctx, pool.addr(), dx);
+      pool.exchange(ctx, dir, 1 - dir, dx, trader);
+    });
+    ASSERT_TRUE(rec.success) << rec.revert_reason;
+    const u256 d = pool.get_d(bc.state());
+    // Allow 2 units of Newton-iteration slack.
+    EXPECT_GE(d + u256{2}, last_d);
+    last_d = d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StableSwapDProperty,
+                         ::testing::Values(5, 6, 7));
+
+// ---- vault ----------------------------------------------------------------------
+
+class VaultTest : public ::testing::Test {
+ protected:
+  VaultTest()
+      : td_{bc_.create_user_account()},
+        usdc_{bc_.deploy<erc20>(td_, "USDC", "USDC", 18)},
+        usdt_{bc_.deploy<erc20>(td_, "USDT", "USDT", 18)},
+        curve_dep_{bc_.create_user_account("Curve")},
+        pool_{bc_.deploy<stableswap_pool>(curve_dep_, "Curve", usdc_, usdt_,
+                                          100, 4)},
+        harvest_dep_{bc_.create_user_account("Harvest")},
+        vault_{bc_.deploy<vault>(harvest_dep_, "Harvest", "fUSDC", usdc_,
+                                 usdt_, pool_)},
+        user_{bc_.create_user_account()} {
+    bc_.execute(td_, "seed pool", [&](context& ctx) {
+      usdc_.mint(ctx, td_, units(10'000'000, 18));
+      usdt_.mint(ctx, td_, units(10'000'000, 18));
+      usdc_.approve(ctx, pool_.addr(), units(10'000'000, 18));
+      usdt_.approve(ctx, pool_.addr(), units(10'000'000, 18));
+      pool_.add_liquidity(ctx, units(10'000'000, 18),
+                          units(10'000'000, 18), td_);
+    });
+  }
+
+  blockchain bc_;
+  address td_;
+  erc20& usdc_;
+  erc20& usdt_;
+  address curve_dep_;
+  stableswap_pool& pool_;
+  address harvest_dep_;
+  vault& vault_;
+  address user_;
+};
+
+TEST_F(VaultTest, FirstDepositMintsOneToOne) {
+  bc_.execute(user_, "dep", [&](context& ctx) {
+    usdc_.mint(ctx, user_, units(1'000, 18));
+    usdc_.approve(ctx, vault_.addr(), units(1'000, 18));
+    vault_.deposit(ctx, units(1'000, 18));
+  });
+  EXPECT_EQ(vault_.balance_of(bc_.state(), user_), units(1'000, 18));
+  EXPECT_NEAR(vault_.price_per_share(bc_.state()).to_double() / 1e18, 1.0,
+              1e-9);
+}
+
+TEST_F(VaultTest, WithdrawReturnsDeposit) {
+  bc_.execute(user_, "dep", [&](context& ctx) {
+    usdc_.mint(ctx, user_, units(1'000, 18));
+    usdc_.approve(ctx, vault_.addr(), units(1'000, 18));
+    vault_.deposit(ctx, units(1'000, 18));
+  });
+  bc_.execute(user_, "wd", [&](context& ctx) {
+    vault_.withdraw(ctx, units(1'000, 18));
+  });
+  EXPECT_EQ(usdc_.balance_of(bc_.state(), user_), units(1'000, 18));
+  EXPECT_TRUE(vault_.balance_of(bc_.state(), user_).is_zero());
+}
+
+TEST_F(VaultTest, InvestedPositionValuedAtPoolRate) {
+  bc_.execute(user_, "dep", [&](context& ctx) {
+    usdc_.mint(ctx, user_, units(10'000, 18));
+    usdc_.approve(ctx, vault_.addr(), units(10'000, 18));
+    vault_.deposit(ctx, units(10'000, 18));
+  });
+  bc_.execute(harvest_dep_, "invest", [&](context& ctx) {
+    vault_.invest(ctx, units(5'000, 18));
+  });
+  // assets ~ 10,000 still (tiny swap fee lost)
+  const double assets = vault_.total_assets(bc_.state()).to_double() / 1e18;
+  EXPECT_NEAR(assets, 10'000.0, 10.0);
+}
+
+TEST_F(VaultTest, PoolManipulationMovesSharePrice) {
+  // Vault holds invested USDT; dumping USDC into the pool raises the value
+  // of USDT in USDC? No: it lowers USDC->USDT marginal out, i.e. raises
+  // USDT->USDC out — share price rises. Either way it must *move*.
+  bc_.execute(user_, "dep", [&](context& ctx) {
+    usdc_.mint(ctx, user_, units(10'000, 18));
+    usdc_.approve(ctx, vault_.addr(), units(10'000, 18));
+    vault_.deposit(ctx, units(10'000, 18));
+  });
+  bc_.execute(harvest_dep_, "invest", [&](context& ctx) {
+    vault_.invest(ctx, units(8'000, 18));
+  });
+  const u256 pps0 = vault_.price_per_share(bc_.state());
+  const address whale = bc_.create_user_account();
+  bc_.execute(whale, "pump", [&](context& ctx) {
+    usdc_.mint(ctx, whale, units(30'000'000, 18));
+    usdc_.approve(ctx, pool_.addr(), units(30'000'000, 18));
+    pool_.exchange(ctx, 0, 1, units(30'000'000, 18), whale);
+  });
+  const u256 pps1 = vault_.price_per_share(bc_.state());
+  EXPECT_NE(pps0, pps1);
+  EXPECT_GT(pps1, pps0);  // USDT got scarcer/more valuable in USDC terms
+}
+
+TEST_F(VaultTest, WithdrawBeyondIdleReverts) {
+  bc_.execute(user_, "dep", [&](context& ctx) {
+    usdc_.mint(ctx, user_, units(1'000, 18));
+    usdc_.approve(ctx, vault_.addr(), units(1'000, 18));
+    vault_.deposit(ctx, units(1'000, 18));
+  });
+  bc_.execute(harvest_dep_, "invest", [&](context& ctx) {
+    vault_.invest(ctx, units(900, 18));
+  });
+  const auto& rec = bc_.execute(user_, "wd", [&](context& ctx) {
+    vault_.withdraw(ctx, units(1'000, 18));
+  });
+  EXPECT_FALSE(rec.success);
+}
+
+// ---- lending --------------------------------------------------------------------
+
+class LendingTest : public ::testing::Test {
+ protected:
+  LendingTest()
+      : uni_dep_{bc_.create_user_account("Uniswap")},
+        factory_{bc_.deploy<uniswap_v2_factory>(uni_dep_, "Uniswap")},
+        td_{bc_.create_user_account()},
+        eth_{bc_.deploy<erc20>(td_, "EthToken", "ETH", 18)},
+        wbtc_{bc_.deploy<erc20>(td_, "WBTC", "WBTC", 18)},
+        pair_{factory_.create_pair(eth_, wbtc_)},
+        oracle_dep_{bc_.create_user_account("Compound")},
+        oracle_{bc_.deploy<price_oracle>(oracle_dep_, "Compound")},
+        comp_{bc_.deploy<lending_pool>(oracle_dep_, "Compound", oracle_, 75)},
+        borrower_{bc_.create_user_account()} {
+    bc_.execute(td_, "seed", [&](context& ctx) {
+      // 40 ETH per WBTC: 40,000 ETH / 1,000 WBTC
+      eth_.mint(ctx, pair_.addr(), units(40'000, 18));
+      wbtc_.mint(ctx, pair_.addr(), units(1'000, 18));
+      pair_.mint_liquidity(ctx, td_);
+      // Fund the lending pool with WBTC and ETH.
+      wbtc_.mint(ctx, comp_.addr(), units(500, 18));
+      eth_.mint(ctx, comp_.addr(), units(20'000, 18));
+    });
+    oracle_.set_fixed(eth_, rate{u256{1}, u256{1}});     // ETH is numeraire
+    oracle_.set_source(wbtc_, pair_);                    // WBTC priced on DEX
+  }
+
+  blockchain bc_;
+  address uni_dep_;
+  uniswap_v2_factory& factory_;
+  address td_;
+  erc20& eth_;
+  erc20& wbtc_;
+  uniswap_v2_pair& pair_;
+  address oracle_dep_;
+  price_oracle& oracle_;
+  lending_pool& comp_;
+  address borrower_;
+};
+
+TEST_F(LendingTest, OraclePricesFromDex) {
+  EXPECT_DOUBLE_EQ(oracle_.price_of(bc_.state(), wbtc_).to_double(), 40.0);
+  EXPECT_EQ(oracle_.value_of(bc_.state(), wbtc_, units(2, 18)),
+            units(80, 18));
+}
+
+TEST_F(LendingTest, BorrowWithinFactorSucceeds) {
+  // 100 ETH collateral @75% -> up to 75 ETH of debt = 1.875 WBTC.
+  bc_.execute(borrower_, "borrow", [&](context& ctx) {
+    eth_.mint(ctx, borrower_, units(100, 18));
+    eth_.approve(ctx, comp_.addr(), units(100, 18));
+    comp_.borrow(ctx, eth_, units(100, 18), wbtc_, units(1, 18));
+  });
+  EXPECT_EQ(wbtc_.balance_of(bc_.state(), borrower_), units(1, 18));
+  EXPECT_EQ(comp_.debt_of(bc_.state(), borrower_, wbtc_), units(1, 18));
+  EXPECT_EQ(comp_.collateral_of(bc_.state(), borrower_, eth_),
+            units(100, 18));
+}
+
+TEST_F(LendingTest, BorrowBeyondFactorReverts) {
+  const auto& rec = bc_.execute(borrower_, "borrow", [&](context& ctx) {
+    eth_.mint(ctx, borrower_, units(100, 18));
+    eth_.approve(ctx, comp_.addr(), units(100, 18));
+    comp_.borrow(ctx, eth_, units(100, 18), wbtc_, units(2, 18));  // 80 ETH
+  });
+  EXPECT_FALSE(rec.success);
+}
+
+TEST_F(LendingTest, RepayReturnsCollateral) {
+  bc_.execute(borrower_, "borrow", [&](context& ctx) {
+    eth_.mint(ctx, borrower_, units(100, 18));
+    eth_.approve(ctx, comp_.addr(), units(100, 18));
+    comp_.borrow(ctx, eth_, units(100, 18), wbtc_, units(1, 18));
+  });
+  bc_.execute(borrower_, "repay", [&](context& ctx) {
+    wbtc_.approve(ctx, comp_.addr(), units(1, 18));
+    comp_.repay(ctx, wbtc_, units(1, 18), eth_);
+  });
+  EXPECT_EQ(eth_.balance_of(bc_.state(), borrower_), units(100, 18));
+  EXPECT_TRUE(comp_.debt_of(bc_.state(), borrower_, wbtc_).is_zero());
+}
+
+TEST_F(LendingTest, OracleManipulationEnablesOverBorrow) {
+  // Pump WBTC on the DEX, then borrow more WBTC-for-ETH than honest prices
+  // would allow — the bZx-1 mechanic.
+  const address whale = bc_.create_user_account();
+  bc_.execute(whale, "pump", [&](context& ctx) {
+    eth_.mint(ctx, whale, units(40'000, 18));
+    eth_.transfer(ctx, pair_.addr(), units(40'000, 18));
+    const u256 out = uniswap_v2_pair::get_amount_out(
+        units(40'000, 18), units(40'000, 18), units(1'000, 18));
+    if (&pair_.token0() == &eth_) {
+      pair_.swap(ctx, u256{}, out, whale);
+    } else {
+      pair_.swap(ctx, out, u256{}, whale);
+    }
+  });
+  const double pumped = oracle_.price_of(bc_.state(), wbtc_).to_double();
+  EXPECT_GT(pumped, 150.0);  // ~4x the honest 40
+
+  // Collateralize 1 WBTC (really worth 40 ETH) and borrow 100 ETH.
+  const auto& rec = bc_.execute(borrower_, "exploit", [&](context& ctx) {
+    wbtc_.mint(ctx, borrower_, units(1, 18));
+    wbtc_.approve(ctx, comp_.addr(), units(1, 18));
+    comp_.borrow(ctx, wbtc_, units(1, 18), eth_, units(100, 18));
+  });
+  EXPECT_TRUE(rec.success) << rec.revert_reason;
+  EXPECT_EQ(eth_.balance_of(bc_.state(), borrower_), units(100, 18));
+}
+
+TEST_F(LendingTest, MarginTradePumpsDexWithPoolMoney) {
+  const double price0 = pair_.spot_price(bc_.state(), wbtc_).to_double();
+  bc_.execute(borrower_, "margin", [&](context& ctx) {
+    eth_.mint(ctx, borrower_, units(1'000, 18));
+    eth_.approve(ctx, comp_.addr(), units(1'000, 18));
+    comp_.margin_trade(ctx, eth_, units(1'000, 18), 5, pair_);
+  });
+  const double price1 = pair_.spot_price(bc_.state(), wbtc_).to_double();
+  EXPECT_GT(price1, price0 * 1.2);  // 5,000 ETH into a 40,000 ETH pool
+  // The position (WBTC) sits in the lending pool.
+  EXPECT_GT(wbtc_.balance_of(bc_.state(), comp_.addr()), units(500, 18));
+}
+
+// ---- aggregator ---------------------------------------------------------------------
+
+TEST(AggregatorTest, TradeRoutesThroughAsIntermediary) {
+  blockchain bc;
+  const address uni_dep = bc.create_user_account("Uniswap");
+  auto& factory = bc.deploy<uniswap_v2_factory>(uni_dep, "Uniswap");
+  auto& router = bc.deploy<uniswap_v2_router>(uni_dep, "Uniswap", factory);
+  const address td = bc.create_user_account();
+  auto& a = bc.deploy<erc20>(td, "A", "AAA", 18);
+  auto& b = bc.deploy<erc20>(td, "B", "BBB", 18);
+  auto& pair = factory.create_pair(a, b);
+  const address kyber_dep = bc.create_user_account("Kyber");
+  auto& agg = bc.deploy<aggregator>(kyber_dep, "Kyber", router, 5);
+  bc.execute(td, "seed", [&](context& ctx) {
+    a.mint(ctx, pair.addr(), units(10'000, 18));
+    b.mint(ctx, pair.addr(), units(10'000, 18));
+    pair.mint_liquidity(ctx, td);
+  });
+
+  const address user = bc.create_user_account();
+  const auto& rec = bc.execute(user, "trade", [&](context& ctx) {
+    a.mint(ctx, user, units(100, 18));
+    a.approve(ctx, agg.addr(), units(100, 18));
+    agg.trade(ctx, a, units(100, 18), b);
+  });
+  ASSERT_TRUE(rec.success) << rec.revert_reason;
+  const u256 got = b.balance_of(bc.state(), user);
+  EXPECT_GT(got, units(98, 18));
+
+  // The flow must pass through the aggregator in both directions:
+  // user->agg->pair (token A) and pair->agg->user (token B).
+  int a_legs = 0;
+  int b_legs = 0;
+  for (const auto& ev : rec.events) {
+    if (const auto* log = std::get_if<event_log>(&ev)) {
+      if (log->name != chain::kTransferEvent) continue;
+      if (log->emitter == a.addr() &&
+          (log->addr0 == agg.addr() || log->addr1 == agg.addr())) {
+        ++a_legs;
+      }
+      if (log->emitter == b.addr() &&
+          (log->addr0 == agg.addr() || log->addr1 == agg.addr())) {
+        ++b_legs;
+      }
+    }
+  }
+  EXPECT_EQ(a_legs, 2);
+  EXPECT_EQ(b_legs, 2);
+
+  // Fee retained is below the 0.1% merge tolerance.
+  const u256 fee_kept = b.balance_of(bc.state(), agg.addr());
+  EXPECT_FALSE(fee_kept.is_zero());
+  EXPECT_TRUE(amounts_close(got, got + fee_kept, 1, 1000));
+}
+
+}  // namespace
+}  // namespace leishen::defi

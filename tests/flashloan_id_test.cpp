@@ -1,0 +1,203 @@
+// Tests for flash loan transaction identification (paper Table II).
+#include <gtest/gtest.h>
+
+#include "core/flashloan_id.h"
+#include "defi/aave.h"
+#include "defi/dydx.h"
+#include "defi/uniswap_v2.h"
+#include "test_support.h"
+
+namespace leishen::core {
+namespace {
+
+using chain::blockchain;
+using chain::context;
+using testing::script_contract;
+using token::erc20;
+
+class FlashloanIdTest : public ::testing::Test {
+ protected:
+  FlashloanIdTest()
+      : td_{bc_.create_user_account()},
+        tok_{bc_.deploy<erc20>(td_, "Tok", "TOK", 18)},
+        whale_{bc_.create_user_account()},
+        aave_{bc_.deploy<defi::aave_pool>(
+            bc_.create_user_account("Aave"), "Aave")},
+        dydx_{bc_.deploy<defi::dydx_solo_margin>(
+            bc_.create_user_account("dYdX"), "dYdX")},
+        borrower_{bc_.deploy<script_contract>(whale_, "")} {
+    bc_.execute(whale_, "fund", [&](context& ctx) {
+      tok_.mint(ctx, whale_, units(1'000'000, 18));
+      tok_.approve(ctx, aave_.addr(), units(300'000, 18));
+      aave_.deposit(ctx, tok_, units(300'000, 18));
+      tok_.approve(ctx, dydx_.addr(), units(300'000, 18));
+      dydx_.fund(ctx, tok_, units(300'000, 18));
+    });
+  }
+
+  blockchain bc_;
+  address td_;
+  erc20& tok_;
+  address whale_;
+  defi::aave_pool& aave_;
+  defi::dydx_solo_margin& dydx_;
+  script_contract& borrower_;
+};
+
+TEST_F(FlashloanIdTest, PlainTransferIsNotAFlashLoan) {
+  const auto& rec = bc_.execute(whale_, "t", [&](context& ctx) {
+    tok_.transfer(ctx, td_, units(10, 18));
+  });
+  EXPECT_FALSE(identify_flash_loan(rec).is_flash_loan);
+}
+
+TEST_F(FlashloanIdTest, AaveDetectedWithAmountAndBorrower) {
+  const u256 amount = units(12'345, 18);
+  borrower_.set_callback([&](context& ctx) {
+    const u256 fee = amount * u256{9} / u256{10'000};
+    tok_.mint(ctx, borrower_.addr(), fee);
+    tok_.transfer(ctx, aave_.addr(), amount + fee);
+  });
+  const auto& rec = bc_.execute(whale_, "fl", [&](context& ctx) {
+    aave_.flash_loan(ctx, borrower_, tok_, amount);
+  });
+  const auto info = identify_flash_loan(rec);
+  ASSERT_TRUE(info.is_flash_loan);
+  EXPECT_TRUE(info.from(flash_provider::aave));
+  EXPECT_FALSE(info.from(flash_provider::dydx));
+  ASSERT_EQ(info.loans.size(), 1U);
+  EXPECT_EQ(info.loans[0].amount, amount);
+  EXPECT_EQ(info.loans[0].token, tok_.id());
+  EXPECT_EQ(info.borrower, borrower_.addr());
+}
+
+TEST_F(FlashloanIdTest, DydxDetectedViaFourLogSequence) {
+  borrower_.set_callback([&](context& ctx) {
+    tok_.mint(ctx, borrower_.addr(), u256{2});
+    tok_.approve(ctx, dydx_.addr(), units(777, 18) + u256{2});
+  });
+  const auto& rec = bc_.execute(whale_, "fl", [&](context& ctx) {
+    dydx_.operate(ctx, borrower_, tok_, units(777, 18));
+  });
+  const auto info = identify_flash_loan(rec);
+  ASSERT_TRUE(info.is_flash_loan);
+  EXPECT_TRUE(info.from(flash_provider::dydx));
+  EXPECT_EQ(info.loans[0].amount, units(777, 18));
+  EXPECT_EQ(info.borrower, borrower_.addr());
+}
+
+TEST_F(FlashloanIdTest, UniswapFlashSwapDetected) {
+  auto& other = bc_.deploy<erc20>(td_, "Other", "OTH", 18);
+  auto& factory = bc_.deploy<defi::uniswap_v2_factory>(
+      bc_.create_user_account("Uniswap"), "Uniswap");
+  auto& pair = factory.create_pair(tok_, other);
+  bc_.execute(whale_, "seed", [&](context& ctx) {
+    tok_.mint(ctx, pair.addr(), units(10'000, 18));
+    other.mint(ctx, pair.addr(), units(10'000, 18));
+    pair.mint_liquidity(ctx, whale_);
+  });
+  const u256 amount = units(1'000, 18);
+  borrower_.set_callback([&](context& ctx) {
+    const u256 repay = amount * u256{1000} / u256{997} + u256{1};
+    tok_.mint(ctx, borrower_.addr(), repay);
+    tok_.transfer(ctx, pair.addr(), repay);
+  });
+  const auto& rec = bc_.execute(whale_, "fl", [&](context& ctx) {
+    if (&pair.token0() == &tok_) {
+      pair.swap(ctx, amount, u256{}, borrower_.addr(), &borrower_);
+    } else {
+      pair.swap(ctx, u256{}, amount, borrower_.addr(), &borrower_);
+    }
+  });
+  const auto info = identify_flash_loan(rec);
+  ASSERT_TRUE(info.is_flash_loan);
+  EXPECT_TRUE(info.from(flash_provider::uniswap));
+  ASSERT_EQ(info.loans.size(), 1U);
+  EXPECT_EQ(info.loans[0].amount, amount);
+  EXPECT_EQ(info.loans[0].provider_contract, pair.addr());
+  EXPECT_EQ(info.borrower, borrower_.addr());
+}
+
+TEST_F(FlashloanIdTest, OrdinarySwapIsNotAFlashLoan) {
+  // A swap without the uniswapV2Call callback must not register.
+  auto& other = bc_.deploy<erc20>(td_, "Other2", "OT2", 18);
+  auto& factory = bc_.deploy<defi::uniswap_v2_factory>(
+      bc_.create_user_account("Uniswap"), "Uniswap");
+  auto& pair = factory.create_pair(tok_, other);
+  bc_.execute(whale_, "seed", [&](context& ctx) {
+    tok_.mint(ctx, pair.addr(), units(10'000, 18));
+    other.mint(ctx, pair.addr(), units(10'000, 18));
+    pair.mint_liquidity(ctx, whale_);
+  });
+  const auto& rec = bc_.execute(whale_, "swap", [&](context& ctx) {
+    const u256 out = pair.quote_out(ctx.state(), tok_, units(10, 18));
+    tok_.transfer(ctx, pair.addr(), units(10, 18));
+    if (&pair.token0() == &tok_) {
+      pair.swap(ctx, u256{}, out, whale_);
+    } else {
+      pair.swap(ctx, out, u256{}, whale_);
+    }
+  });
+  EXPECT_FALSE(identify_flash_loan(rec).is_flash_loan);
+}
+
+TEST_F(FlashloanIdTest, MultiProviderLoanListsAll) {
+  // Borrow from AAVE, and inside the callback also run a dYdX batch — the
+  // Beanstalk shape (multiple providers in one transaction).
+  borrower_.set_callback([&](context& ctx) {
+    // this is the AAVE callback: kick off dYdX too
+    static bool inner = false;
+    if (!inner) {
+      inner = true;
+      dydx_.operate(ctx, borrower_, tok_, units(50, 18));
+      inner = false;
+      const u256 amount = units(500, 18);
+      const u256 fee = amount * u256{9} / u256{10'000};
+      tok_.mint(ctx, borrower_.addr(), fee);
+      tok_.transfer(ctx, aave_.addr(), amount + fee);
+    } else {
+      tok_.mint(ctx, borrower_.addr(), u256{2});
+      tok_.approve(ctx, dydx_.addr(), units(50, 18) + u256{2});
+    }
+  });
+  const auto& rec = bc_.execute(whale_, "fl", [&](context& ctx) {
+    aave_.flash_loan(ctx, borrower_, tok_, units(500, 18));
+  });
+  ASSERT_TRUE(rec.success) << rec.revert_reason;
+  const auto info = identify_flash_loan(rec);
+  ASSERT_TRUE(info.is_flash_loan);
+  EXPECT_TRUE(info.from(flash_provider::aave));
+  EXPECT_TRUE(info.from(flash_provider::dydx));
+  EXPECT_EQ(info.loans.size(), 2U);
+}
+
+TEST_F(FlashloanIdTest, RevertedFlashLoanNotCounted) {
+  borrower_.set_callback([&](context&) { /* default */ });
+  const auto& rec = bc_.execute(whale_, "fl", [&](context& ctx) {
+    aave_.flash_loan(ctx, borrower_, tok_, units(100, 18));
+  });
+  EXPECT_FALSE(rec.success);
+  EXPECT_FALSE(identify_flash_loan(rec).is_flash_loan);
+}
+
+TEST_F(FlashloanIdTest, DydxSequenceOutOfOrderNotCounted) {
+  // Hand-craft logs in the wrong order: LogWithdraw before LogOperation.
+  chain::tx_receipt rec;
+  rec.success = true;
+  const address solo = dydx_.addr();
+  rec.events.push_back(chain::event_log{.emitter = solo,
+                                        .name = "LogWithdraw",
+                                        .addr0 = borrower_.addr(),
+                                        .addr1 = tok_.addr(),
+                                        .amount0 = units(1, 18)});
+  rec.events.push_back(chain::event_log{.emitter = solo,
+                                        .name = "LogOperation",
+                                        .addr0 = borrower_.addr()});
+  rec.events.push_back(chain::event_log{.emitter = solo, .name = "LogCall"});
+  rec.events.push_back(
+      chain::event_log{.emitter = solo, .name = "LogDeposit"});
+  EXPECT_FALSE(identify_flash_loan(rec).is_flash_loan);
+}
+
+}  // namespace
+}  // namespace leishen::core

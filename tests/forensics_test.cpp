@@ -1,0 +1,251 @@
+// Tests for post-attack forensics (§VI-D2): selfdestruct detection, profit
+// flow tracing, mixer classification — plus the mixer substrate itself.
+#include <gtest/gtest.h>
+
+#include "core/forensics.h"
+#include "defi/mixer.h"
+#include "scenarios/population.h"
+#include "scenarios/scenario_helpers.h"
+
+namespace leishen::core {
+namespace {
+
+using chain::blockchain;
+using chain::context;
+using token::erc20;
+
+// ---- mixer substrate -------------------------------------------------------
+
+class MixerTest : public ::testing::Test {
+ protected:
+  MixerTest()
+      : td_{bc_.create_user_account()},
+        tok_{bc_.deploy<erc20>(td_, "Tok", "TOK", 18)},
+        mixer_{bc_.deploy<defi::mixer>(
+            bc_.create_user_account("Tornado Cash"), "Tornado Cash", tok_,
+            units(10, 18))},
+        user_{bc_.create_user_account()},
+        fresh_{bc_.create_user_account()} {
+    bc_.execute(user_, "fund", [&](context& ctx) {
+      tok_.mint(ctx, user_, units(100, 18));
+    });
+  }
+
+  blockchain bc_;
+  address td_;
+  erc20& tok_;
+  defi::mixer& mixer_;
+  address user_;
+  address fresh_;
+};
+
+TEST_F(MixerTest, DepositWithdrawBreaksTheLink) {
+  const u256 commitment{42};
+  bc_.execute(user_, "dep", [&](context& ctx) {
+    tok_.approve(ctx, mixer_.addr(), units(10, 18));
+    mixer_.deposit(ctx, commitment);
+  });
+  EXPECT_EQ(mixer_.pending_notes(), 1U);
+  bc_.execute(fresh_, "wd", [&](context& ctx) {
+    mixer_.withdraw(ctx, commitment, fresh_);
+  });
+  EXPECT_EQ(tok_.balance_of(bc_.state(), fresh_), units(10, 18));
+}
+
+TEST_F(MixerTest, NoteSpendsOnlyOnce) {
+  const u256 commitment{7};
+  bc_.execute(user_, "dep", [&](context& ctx) {
+    tok_.approve(ctx, mixer_.addr(), units(10, 18));
+    mixer_.deposit(ctx, commitment);
+  });
+  bc_.execute(fresh_, "wd", [&](context& ctx) {
+    mixer_.withdraw(ctx, commitment, fresh_);
+  });
+  const auto& again = bc_.execute(fresh_, "wd2", [&](context& ctx) {
+    mixer_.withdraw(ctx, commitment, fresh_);
+  });
+  EXPECT_FALSE(again.success);
+}
+
+TEST_F(MixerTest, CommitmentReuseRejected) {
+  bc_.execute(user_, "dep", [&](context& ctx) {
+    tok_.approve(ctx, mixer_.addr(), units(20, 18));
+    mixer_.deposit(ctx, u256{9});
+  });
+  const auto& again = bc_.execute(user_, "dep2", [&](context& ctx) {
+    mixer_.deposit(ctx, u256{9});
+  });
+  EXPECT_FALSE(again.success);
+}
+
+TEST_F(MixerTest, UnknownNoteRejected) {
+  const auto& rec = bc_.execute(fresh_, "wd", [&](context& ctx) {
+    mixer_.withdraw(ctx, u256{12345}, fresh_);
+  });
+  EXPECT_FALSE(rec.success);
+}
+
+// ---- forensics over hand-built trails ----------------------------------------
+
+class ForensicsTest : public ::testing::Test {
+ protected:
+  ForensicsTest()
+      : u_{},
+        tok_{u_.make_token("LOOT", "Loot", 1.0)},
+        who_{scenarios::make_attacker(u_)} {
+    // "attack": the contract ends up holding profit (minted here).
+    const auto& rec = u_.bc().execute(who_.eoa, "attack",
+                                      [&](context& ctx) {
+                                        tok_.mint(ctx, who_.contract->addr(),
+                                                  units(100, 18));
+                                      });
+    attack_tx_ = rec.tx_index;
+    u_.reseed_labels();
+  }
+
+  scenarios::universe u_;
+  erc20& tok_;
+  scenarios::attacker_identity who_;
+  std::uint64_t attack_tx_ = 0;
+};
+
+TEST_F(ForensicsTest, HeldProfitClassifiedAsHeld) {
+  const auto report = trace_profit_flow(u_.bc(), u_.labels(),
+                                        who_.contract->addr(), attack_tx_);
+  EXPECT_EQ(report.kind, exit_kind::held);
+  EXPECT_FALSE(report.selfdestructed);
+  EXPECT_TRUE(report.trail.empty());
+}
+
+TEST_F(ForensicsTest, MultiHopTrailFollowed) {
+  const address a1 = u_.bc().create_user_account();
+  const address a2 = u_.bc().create_user_account();
+  const address a3 = u_.bc().create_user_account();
+  u_.bc().execute(who_.eoa, "hop1", [&](context& ctx) {
+    who_.contract->sweep(ctx, tok_, a1, units(100, 18));
+  });
+  u_.bc().execute(a1, "hop2", [&](context& ctx) {
+    tok_.transfer(ctx, a2, units(100, 18));
+  });
+  u_.bc().execute(a2, "hop3", [&](context& ctx) {
+    tok_.transfer(ctx, a3, units(100, 18));
+  });
+  const auto report = trace_profit_flow(u_.bc(), u_.labels(),
+                                        who_.contract->addr(), attack_tx_);
+  EXPECT_EQ(report.kind, exit_kind::multi_hop);
+  EXPECT_EQ(report.hops, 3);
+  EXPECT_EQ(report.trail.size(), 3U);
+}
+
+TEST_F(ForensicsTest, MixerExitClassified) {
+  auto& mix = u_.bc().deploy<defi::mixer>(
+      u_.bc().create_user_account("Tornado Cash"), "Tornado Cash", tok_,
+      units(50, 18));
+  u_.bc().execute(who_.eoa, "launder", [&](context& ctx) {
+    who_.contract->sweep(ctx, tok_, who_.eoa, units(50, 18));
+    tok_.approve(ctx, mix.addr(), units(50, 18));
+    mix.deposit(ctx, u256{777});
+  });
+  const auto report = trace_profit_flow(u_.bc(), u_.labels(),
+                                        who_.contract->addr(), attack_tx_);
+  EXPECT_EQ(report.kind, exit_kind::mixer);
+  EXPECT_TRUE(report.reached_mixer);
+}
+
+TEST_F(ForensicsTest, LabeledDestinationsEndTheTrail) {
+  // Sending profit to a labeled protocol (an exchange deposit, say) is not
+  // followed as attacker-controlled.
+  const address exchange = u_.bc().create_user_account();
+  u_.labels().tag(exchange, "Binance");
+  u_.bc().execute(who_.eoa, "cashout", [&](context& ctx) {
+    who_.contract->sweep(ctx, tok_, exchange, units(100, 18));
+  });
+  const auto report = trace_profit_flow(u_.bc(), u_.labels(),
+                                        who_.contract->addr(), attack_tx_);
+  EXPECT_EQ(report.kind, exit_kind::held);
+  EXPECT_TRUE(report.trail.empty());
+}
+
+TEST_F(ForensicsTest, SelfdestructDetected) {
+  u_.bc().execute(who_.eoa, "cleanup", [&](context& ctx) {
+    who_.contract->self_destruct(ctx);
+  });
+  const auto report = trace_profit_flow(u_.bc(), u_.labels(),
+                                        who_.contract->addr(), attack_tx_);
+  EXPECT_TRUE(report.selfdestructed);
+  // The destroyed flag is set, but history remains replayable (the paper's
+  // point): the attack receipt is still there.
+  EXPECT_TRUE(u_.bc().state().find_account(who_.contract->addr())->destroyed);
+  EXPECT_FALSE(u_.bc().receipt(attack_tx_).events.empty());
+}
+
+TEST_F(ForensicsTest, MaxHopsBoundsTheTrail) {
+  address cur = who_.contract->addr();
+  for (int i = 0; i < 8; ++i) {
+    const address next = u_.bc().create_user_account();
+    const address controller = i == 0 ? who_.eoa : cur;
+    u_.bc().execute(controller, "hop", [&](context& ctx) {
+      if (i == 0) {
+        who_.contract->sweep(ctx, tok_, next, units(100, 18));
+      } else {
+        tok_.transfer(ctx, next, units(100, 18));
+      }
+    });
+    cur = next;
+  }
+  const auto report = trace_profit_flow(
+      u_.bc(), u_.labels(), who_.contract->addr(), attack_tx_, 4);
+  EXPECT_EQ(report.hops, 4);
+}
+
+// ---- population-level laundering ----------------------------------------------
+
+TEST(ForensicsPopulation, LaunderingPostPassTraceable) {
+  scenarios::universe u;
+  scenarios::population_params params;
+  params.benign_txs = 100;
+  const auto pop = scenarios::generate_population(u, params);
+
+  // The trail is rooted at the attacker EOA (contracts of one attacker
+  // share their creation tree), so ground truth aggregates per EOA: an
+  // attacker who mixed *any* loot is a mixer exit.
+  struct truth {
+    bool mixer = false;
+    bool hops = false;
+    const scenarios::population_tx* first = nullptr;
+  };
+  std::map<address, truth> by_attacker;
+  for (const auto& tx : pop.txs) {
+    if (!tx.truth_attack) continue;
+    auto& t = by_attacker[tx.attacker];
+    if (t.first == nullptr) t.first = &tx;
+    t.mixer |= tx.laundering == 2;
+    t.hops |= tx.laundering == 1;
+  }
+
+  int mixer_truth = 0;
+  int hop_truth = 0;
+  int mixer_traced = 0;
+  int hop_traced = 0;
+  int destroyed = 0;
+  for (const auto& [eoa, t] : by_attacker) {
+    const auto report = trace_profit_flow(
+        u.bc(), u.labels(), t.first->contract_addr, t.first->tx_index);
+    if (t.mixer) {
+      ++mixer_truth;
+      mixer_traced += report.kind == exit_kind::mixer;
+    } else if (t.hops) {
+      ++hop_truth;
+      hop_traced += report.kind == exit_kind::multi_hop;
+    }
+    destroyed += report.selfdestructed;
+  }
+  EXPECT_GT(mixer_truth, 3);
+  EXPECT_GT(hop_truth, 10);
+  EXPECT_EQ(mixer_traced, mixer_truth);  // the tracer finds every mixer exit
+  EXPECT_EQ(hop_traced, hop_truth);
+  EXPECT_GT(destroyed, 5);  // "some attackers call selfdestruct"
+}
+
+}  // namespace
+}  // namespace leishen::core

@@ -1,0 +1,264 @@
+// Integration tests for the synthetic wild population: Table V structure
+// (per-pattern TP/FP/precision ordering, the yield-aggregator heuristic),
+// Table VI victim concentration, Fig. 1/Fig. 8 timeline shapes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/detector.h"
+#include "core/profit.h"
+#include "scenarios/population.h"
+
+namespace leishen::scenarios {
+namespace {
+
+struct pattern_stats {
+  int tp = 0;
+  int fp = 0;
+  [[nodiscard]] double precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+};
+
+class Population : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    u_ = new universe{};
+    population_params params;
+    params.benign_txs = 600;  // keep the fixture quick; benches go bigger
+    pop_ = new population{generate_population(*u_, params)};
+    det_ = new core::detector{u_->bc().creations(), u_->labels(),
+                              u_->weth().id()};
+    reports_ = new std::map<std::uint64_t, core::detection_report>{};
+    for (const population_tx& tx : pop_->txs) {
+      reports_->emplace(tx.tx_index,
+                        det_->analyze(u_->bc().receipt(tx.tx_index)));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete reports_;
+    delete det_;
+    delete pop_;
+    delete u_;
+    reports_ = nullptr;
+    det_ = nullptr;
+    pop_ = nullptr;
+    u_ = nullptr;
+  }
+
+  static bool truth_of(const population_tx& tx, core::attack_pattern p) {
+    switch (p) {
+      case core::attack_pattern::krp:
+        return tx.truth_krp;
+      case core::attack_pattern::sbs:
+        return tx.truth_sbs;
+      case core::attack_pattern::mbs:
+        return tx.truth_mbs;
+    }
+    return false;
+  }
+
+  static pattern_stats stats_for(core::attack_pattern p,
+                                 bool aggregator_heuristic = false) {
+    pattern_stats s;
+    for (const population_tx& tx : pop_->txs) {
+      const auto& rep = reports_->at(tx.tx_index);
+      if (!rep.has_pattern(p)) continue;
+      if (aggregator_heuristic && tx.from_aggregator) continue;
+      if (truth_of(tx, p)) {
+        ++s.tp;
+      } else {
+        ++s.fp;
+      }
+    }
+    return s;
+  }
+
+  static universe* u_;
+  static population* pop_;
+  static core::detector* det_;
+  static std::map<std::uint64_t, core::detection_report>* reports_;
+};
+
+universe* Population::u_ = nullptr;
+population* Population::pop_ = nullptr;
+core::detector* Population::det_ = nullptr;
+std::map<std::uint64_t, core::detection_report>* Population::reports_ =
+    nullptr;
+
+TEST_F(Population, EveryGeneratedTxIsAFlashLoan) {
+  for (const population_tx& tx : pop_->txs) {
+    EXPECT_TRUE(reports_->at(tx.tx_index).is_flash_loan) << tx.tx_index;
+  }
+}
+
+TEST_F(Population, GroundTruthCountsMatchDesign) {
+  int attacks = 0;
+  int krp = 0;
+  int sbs = 0;
+  int mbs = 0;
+  int fps = 0;
+  for (const population_tx& tx : pop_->txs) {
+    if (tx.truth_attack) ++attacks;
+    if (tx.truth_krp) ++krp;
+    if (tx.truth_sbs) ++sbs;
+    if (tx.truth_mbs) ++mbs;
+    if (!tx.truth_attack && !tx.gray && !tx.victim_app.empty()) ++fps;
+  }
+  EXPECT_EQ(attacks, 142);  // paper: 142 true attacks
+  EXPECT_EQ(krp, 21);       // paper Table V: 21 KRP TPs
+  EXPECT_EQ(sbs, 68);       // 68 SBS TPs
+  EXPECT_EQ(mbs, 60);       // 60 MBS TPs
+  EXPECT_EQ(fps, 38);       // benign compounding strategies
+}
+
+TEST_F(Population, AllTrueAttacksAreDetected) {
+  for (const population_tx& tx : pop_->txs) {
+    if (!tx.truth_attack) continue;
+    const auto& rep = reports_->at(tx.tx_index);
+    bool any_tp = false;
+    for (const auto p : {core::attack_pattern::krp, core::attack_pattern::sbs,
+                         core::attack_pattern::mbs}) {
+      if (rep.has_pattern(p) && truth_of(tx, p)) any_tp = true;
+    }
+    EXPECT_TRUE(any_tp) << "attack tx " << tx.tx_index << " vs "
+                        << tx.victim_app << " undetected";
+  }
+}
+
+TEST_F(Population, KrpPrecisionIsPerfect) {
+  const auto s = stats_for(core::attack_pattern::krp);
+  EXPECT_EQ(s.tp, 21);
+  EXPECT_EQ(s.fp, 0);  // paper: 100% precision
+}
+
+TEST_F(Population, SbsPrecisionNearPaper) {
+  const auto s = stats_for(core::attack_pattern::sbs);
+  EXPECT_EQ(s.tp, 68);
+  EXPECT_GT(s.fp, 5);   // paper: 11 FPs (86.1%)
+  EXPECT_LT(s.fp, 20);
+  EXPECT_GT(s.precision(), 0.75);
+  EXPECT_LT(s.precision(), 0.95);
+}
+
+TEST_F(Population, MbsPrecisionNearPaper) {
+  const auto s = stats_for(core::attack_pattern::mbs);
+  EXPECT_EQ(s.tp, 60);
+  EXPECT_GT(s.fp, 35);  // paper: 47 FPs (56.1%)
+  EXPECT_LT(s.fp, 60);
+  EXPECT_GT(s.precision(), 0.45);
+  EXPECT_LT(s.precision(), 0.70);
+}
+
+TEST_F(Population, PrecisionOrderingKrpSbsMbs) {
+  const auto krp = stats_for(core::attack_pattern::krp);
+  const auto sbs = stats_for(core::attack_pattern::sbs);
+  const auto mbs = stats_for(core::attack_pattern::mbs);
+  EXPECT_GT(krp.precision(), sbs.precision());
+  EXPECT_GT(sbs.precision(), mbs.precision());
+}
+
+TEST_F(Population, AggregatorHeuristicLiftsMbsPrecision) {
+  const auto before = stats_for(core::attack_pattern::mbs);
+  const auto after = stats_for(core::attack_pattern::mbs, true);
+  EXPECT_EQ(after.tp, before.tp);          // no TP lost
+  EXPECT_LT(after.fp, before.fp - 20);     // ~32 aggregator FPs removed
+  EXPECT_GT(after.precision(), 0.75);      // paper: 56.1% -> 80%
+  EXPECT_LT(after.precision(), 0.90);
+}
+
+TEST_F(Population, VictimConcentrationMatchesTableVI) {
+  std::map<std::string, int> attacks;
+  std::map<std::string, std::set<address>> attackers;
+  std::map<std::string, std::set<address>> contracts;
+  std::map<std::string, std::set<std::string>> assets;
+  for (const population_tx& tx : pop_->txs) {
+    if (!tx.truth_attack) continue;
+    ++attacks[tx.victim_app];
+    attackers[tx.victim_app].insert(tx.attacker);
+    contracts[tx.victim_app].insert(tx.contract_addr);
+    assets[tx.victim_app].insert(tx.target_token);
+  }
+  EXPECT_EQ(attacks["Balancer"], 31);
+  EXPECT_EQ(attackers["Balancer"].size(), 5U);
+  EXPECT_EQ(contracts["Balancer"].size(), 14U);
+  EXPECT_EQ(assets["Balancer"].size(), 13U);
+  EXPECT_EQ(attacks["Uniswap"], 16);
+  EXPECT_EQ(attackers["Uniswap"].size(), 6U);
+  EXPECT_EQ(contracts["Uniswap"].size(), 8U);
+  EXPECT_EQ(assets["Uniswap"].size(), 5U);
+  EXPECT_EQ(attacks["Yearn"], 11);
+  EXPECT_EQ(attackers["Yearn"].size(), 1U);
+  EXPECT_EQ(contracts["Yearn"].size(), 1U);
+  EXPECT_EQ(assets["Yearn"].size(), 1U);
+}
+
+TEST_F(Population, UnknownAttackTimelineShapedLikeFig8) {
+  // No unknown attack before Jun 2020; surge Aug 2020 - Feb 2021; decline
+  // through 2021 (6.5/mo in 2020 vs 4.3/mo in 2021).
+  int unknown = 0;
+  int y2020 = 0;
+  int y2021 = 0;
+  std::int64_t first_ts = 0;
+  for (const population_tx& tx : pop_->txs) {
+    if (!tx.truth_attack || tx.known_or_repeat) continue;
+    ++unknown;
+    if (first_ts == 0 || tx.timestamp < first_ts) first_ts = tx.timestamp;
+    const civil_date d = date_of(tx.timestamp);
+    if (d.year == 2020) ++y2020;
+    if (d.year == 2021) ++y2021;
+  }
+  EXPECT_EQ(unknown, 109);  // paper: 109 previously-unknown attacks
+  const civil_date first = date_of(first_ts);
+  EXPECT_EQ(first.year, 2020);
+  EXPECT_GE(first.month, 6U);  // first unknown attack Jun 2020
+  // Monthly rates: 2020 (7 active months) denser than 2021 (12 months).
+  EXPECT_GT(static_cast<double>(y2020) / 7.0,
+            static_cast<double>(y2021) / 12.0);
+}
+
+TEST_F(Population, ProviderMixShapedLikeFig1) {
+  int uniswap = 0;
+  int dydx = 0;
+  int aave = 0;
+  int before_v2 = 0;
+  const std::int64_t v2_era = timestamp_of({2020, 5, 18});
+  for (const population_tx& tx : pop_->txs) {
+    const auto& rep = reports_->at(tx.tx_index);
+    if (rep.flash.from(core::flash_provider::uniswap)) ++uniswap;
+    if (rep.flash.from(core::flash_provider::dydx)) ++dydx;
+    if (rep.flash.from(core::flash_provider::aave)) ++aave;
+    if (tx.timestamp < v2_era &&
+        rep.flash.from(core::flash_provider::uniswap)) {
+      ++before_v2;
+    }
+  }
+  EXPECT_EQ(before_v2, 0);      // no Uniswap flash swaps before V2
+  EXPECT_GT(uniswap, dydx);     // Uniswap dominates overall
+  EXPECT_GT(dydx, 0);
+  EXPECT_GT(aave, 0);
+}
+
+TEST_F(Population, ProfitDistributionHeavyTailed) {
+  double max_profit = 0;
+  double min_profit = 1e18;
+  int profitable = 0;
+  for (const population_tx& tx : pop_->txs) {
+    if (!tx.truth_attack) continue;
+    const auto profit = core::summarize_profit(
+        reports_->at(tx.tx_index),
+        [&](const chain::asset& t, const u256& amt) {
+          return u_->usd_value(t, amt);
+        });
+    if (profit.net_usd > 0) ++profitable;
+    max_profit = std::max(max_profit, profit.net_usd);
+    if (profit.net_usd > 0) min_profit = std::min(min_profit, profit.net_usd);
+  }
+  EXPECT_EQ(profitable, 142);          // every attack nets a profit
+  EXPECT_GT(max_profit, 1'000'000.0);  // paper max: $6.1M
+  EXPECT_LT(min_profit, 500.0);        // paper min: $23
+}
+
+}  // namespace
+}  // namespace leishen::scenarios

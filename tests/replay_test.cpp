@@ -1,0 +1,129 @@
+// Tests for the transaction replayer: transfer extraction, ordering and
+// the happened-before interleaving of Ether and token transfers.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.h"
+#include "replay/replayer.h"
+#include "token/erc20.h"
+#include "token/weth.h"
+
+namespace leishen::replay {
+namespace {
+
+using chain::blockchain;
+using chain::context;
+using token::erc20;
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  ReplayTest()
+      : deployer_{bc_.create_user_account("App")},
+        tok_{bc_.deploy<erc20>(deployer_, "App", "TT", 18)},
+        alice_{bc_.create_user_account()},
+        bob_{bc_.create_user_account()} {
+    bc_.fund_eth(alice_, units(10, 18));
+  }
+
+  blockchain bc_;
+  address deployer_;
+  erc20& tok_;
+  address alice_;
+  address bob_;
+};
+
+TEST_F(ReplayTest, ExtractsTokenTransfers) {
+  const auto& rec = bc_.execute(alice_, "t", [&](context& ctx) {
+    tok_.mint(ctx, alice_, units(5, 18));
+    tok_.transfer(ctx, bob_, units(2, 18));
+  });
+  const auto transfers = extract_transfers(rec);
+  ASSERT_EQ(transfers.size(), 2U);
+  EXPECT_TRUE(transfers[0].sender.is_zero());  // mint from BlackHole
+  EXPECT_EQ(transfers[0].receiver, alice_);
+  EXPECT_EQ(transfers[1].sender, alice_);
+  EXPECT_EQ(transfers[1].receiver, bob_);
+  EXPECT_EQ(transfers[1].token, tok_.id());
+  EXPECT_FALSE(transfers[1].token.is_ether());
+}
+
+TEST_F(ReplayTest, ExtractsEtherTransfers) {
+  const auto& rec = bc_.execute(alice_, "t", [&](context& ctx) {
+    ctx.transfer_eth(alice_, bob_, units(1, 18));
+  });
+  const auto transfers = extract_transfers(rec);
+  ASSERT_EQ(transfers.size(), 1U);
+  EXPECT_TRUE(transfers[0].token.is_ether());
+  EXPECT_EQ(transfers[0].amount, units(1, 18));
+}
+
+TEST_F(ReplayTest, PreservesHappenedBeforeOrder) {
+  // ETH then token then ETH: the order in the transfer list must match the
+  // execution order exactly (the paper's modified-Geth property).
+  const auto& rec = bc_.execute(alice_, "t", [&](context& ctx) {
+    ctx.transfer_eth(alice_, bob_, units(1, 18));
+    tok_.mint(ctx, alice_, units(5, 18));
+    tok_.transfer(ctx, bob_, units(2, 18));
+    ctx.transfer_eth(alice_, bob_, units(2, 18));
+  });
+  const auto transfers = extract_transfers(rec);
+  ASSERT_EQ(transfers.size(), 4U);
+  EXPECT_TRUE(transfers[0].token.is_ether());
+  EXPECT_FALSE(transfers[1].token.is_ether());
+  EXPECT_FALSE(transfers[2].token.is_ether());
+  EXPECT_TRUE(transfers[3].token.is_ether());
+  EXPECT_EQ(transfers[3].amount, units(2, 18));
+}
+
+TEST_F(ReplayTest, DropsZeroAmountTransfers) {
+  const auto& rec = bc_.execute(alice_, "t", [&](context& ctx) {
+    tok_.mint(ctx, alice_, units(1, 18));
+    tok_.transfer(ctx, bob_, u256{});  // zero-amount
+  });
+  EXPECT_EQ(extract_transfers(rec).size(), 1U);
+}
+
+TEST_F(ReplayTest, IgnoresNonTransferLogs) {
+  const auto& rec = bc_.execute(alice_, "t", [&](context& ctx) {
+    tok_.mint(ctx, alice_, units(1, 18));
+    tok_.approve(ctx, bob_, units(1, 18));  // Approval log, not a transfer
+  });
+  EXPECT_EQ(extract_transfers(rec).size(), 1U);
+}
+
+TEST_F(ReplayTest, FailedTxYieldsPartialTraceOnly) {
+  const auto& rec = bc_.execute(alice_, "t", [&](context& ctx) {
+    tok_.mint(ctx, alice_, units(1, 18));
+    tok_.transfer(ctx, bob_, units(100, 18));  // reverts
+  });
+  EXPECT_FALSE(rec.success);
+  // Only the mint made it into the (retained) partial trace.
+  EXPECT_EQ(extract_transfers(rec).size(), 1U);
+}
+
+TEST_F(ReplayTest, ParticipantsDeduplicated) {
+  const auto& rec = bc_.execute(alice_, "t", [&](context& ctx) {
+    tok_.mint(ctx, alice_, units(5, 18));
+    tok_.transfer(ctx, bob_, units(1, 18));
+    tok_.transfer(ctx, bob_, units(1, 18));
+  });
+  const auto people = participants(extract_transfers(rec));
+  // zero address, alice, bob
+  EXPECT_EQ(people.size(), 3U);
+}
+
+TEST_F(ReplayTest, WethDepositShowsBothLegsInOrder) {
+  const address wdep = bc_.create_user_account("Wrapped Ether");
+  auto& w = bc_.deploy<token::weth>(wdep);
+  const auto& rec = bc_.execute(alice_, "wrap", [&](context& ctx) {
+    w.deposit(ctx, units(3, 18));
+  });
+  const auto transfers = extract_transfers(rec);
+  ASSERT_EQ(transfers.size(), 2U);
+  EXPECT_TRUE(transfers[0].token.is_ether());    // ETH into the contract
+  EXPECT_EQ(transfers[0].receiver, w.addr());
+  EXPECT_EQ(transfers[1].token, w.id());         // WETH minted out
+  EXPECT_EQ(transfers[1].receiver, alice_);
+}
+
+}  // namespace
+}  // namespace leishen::replay

@@ -1,0 +1,210 @@
+// Tests for the chain scanner API (streaming detection + §VI-C heuristic)
+// and for the NFT flash loan extension (§VIII).
+#include <gtest/gtest.h>
+
+#include "core/scanner.h"
+#include "defi/nft_flashloan.h"
+#include "scenarios/population.h"
+#include "scenarios/scenario_helpers.h"
+
+namespace leishen::core {
+namespace {
+
+class ScannerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    u_ = new scenarios::universe{};
+    scenarios::population_params params;
+    params.benign_txs = 300;
+    pop_ = new scenarios::population{generate_population(*u_, params)};
+  }
+  static void TearDownTestSuite() {
+    delete pop_;
+    delete u_;
+    pop_ = nullptr;
+    u_ = nullptr;
+  }
+
+  static scanner make_scanner(bool heuristic) {
+    scanner_options opts;
+    opts.aggregator_heuristic = heuristic;
+    opts.yield_aggregator_apps = pop_->aggregator_apps;
+    return scanner{u_->bc().creations(), u_->labels(), u_->weth().id(),
+                   opts};
+  }
+
+  static scenarios::universe* u_;
+  static scenarios::population* pop_;
+};
+
+scenarios::universe* ScannerTest::u_ = nullptr;
+scenarios::population* ScannerTest::pop_ = nullptr;
+
+TEST_F(ScannerTest, StatsAccumulateOverFullScan) {
+  auto s = make_scanner(false);
+  int callback_incidents = 0;
+  s.scan_all(u_->bc().receipts(),
+             [&](const incident&) { ++callback_incidents; });
+  const auto& st = s.stats();
+  EXPECT_EQ(st.transactions, u_->bc().receipts().size());
+  EXPECT_GE(st.flash_loans, pop_->txs.size());  // setup txs aren't loans
+  EXPECT_EQ(st.incidents, 180U);  // Table V's 180 flagged transactions
+  // (the gray sub-threshold txs never fire at the paper defaults)
+  EXPECT_EQ(callback_incidents, static_cast<int>(st.incidents));
+  EXPECT_EQ(s.incidents().size(), st.incidents);
+}
+
+TEST_F(ScannerTest, HeuristicSuppressesAggregatorMbs) {
+  auto plain = make_scanner(false);
+  auto smart = make_scanner(true);
+  plain.scan_all(u_->bc().receipts(), nullptr);
+  smart.scan_all(u_->bc().receipts(), nullptr);
+  EXPECT_GT(plain.stats().incidents, smart.stats().incidents);
+  // All 32 aggregator-initiated MBS matches are suppressed...
+  EXPECT_EQ(smart.stats().suppressed_by_heuristic, 32U);
+  // ...but the ones that also (spuriously) fire SBS stay incidents, so the
+  // incident count drops by the MBS-only share.
+  const auto dropped = plain.stats().incidents - smart.stats().incidents;
+  EXPECT_GE(dropped, 15U);
+  EXPECT_LE(dropped, 32U);
+  // KRP/SBS counts unaffected by the heuristic.
+  EXPECT_EQ(plain.stats().per_pattern[0], smart.stats().per_pattern[0]);
+  EXPECT_EQ(plain.stats().per_pattern[1], smart.stats().per_pattern[1]);
+}
+
+TEST_F(ScannerTest, PerPatternCountsMatchTableV) {
+  auto s = make_scanner(false);
+  s.scan_all(u_->bc().receipts(), nullptr);
+  EXPECT_EQ(s.stats().per_pattern[0], 21U);   // KRP
+  EXPECT_EQ(s.stats().per_pattern[1], 79U);   // SBS
+  EXPECT_EQ(s.stats().per_pattern[2], 107U);  // MBS
+}
+
+TEST_F(ScannerTest, IncidentCarriesContext) {
+  auto s = make_scanner(false);
+  s.scan_all(u_->bc().receipts(), nullptr);
+  ASSERT_FALSE(s.incidents().empty());
+  const incident& first = s.incidents().front();
+  EXPECT_FALSE(first.matches.empty());
+  EXPECT_FALSE(first.borrower_tag.empty());
+  EXPECT_GT(first.timestamp, 0);
+}
+
+// ---- NFT flash loans (§VIII extension) --------------------------------------
+
+class nft_borrower : public chain::contract, public defi::nft_flash_callee {
+ public:
+  nft_borrower(chain::blockchain& bc, address self, std::string app)
+      : contract{self, std::move(app), "NftBorrower"} {
+    (void)bc;
+  }
+  [[nodiscard]] address callee_addr() const override { return addr(); }
+  void on_nft_flash_loan(chain::context& ctx, token::erc721& nft,
+                         const u256& token_id) override {
+    held_during_loan = nft.owner_of(ctx.state(), token_id) == addr();
+    if (pay_fee != nullptr) pay_fee->transfer(ctx, return_to, fee);
+    if (return_it) nft.transfer(ctx, return_to, token_id);
+  }
+  bool held_during_loan = false;
+  bool return_it = true;
+  address return_to;
+  token::erc20* pay_fee = nullptr;
+  u256 fee;
+};
+
+class NftFlashTest : public ::testing::Test {
+ protected:
+  NftFlashTest()
+      : u_{},
+        punk_{u_.bc().deploy<token::erc721>(
+            u_.bc().create_user_account("CryptoPunks"), "CryptoPunks",
+            "PUNK")},
+        fee_tok_{u_.make_token("FEE", "FEE", 1.0)},
+        pool_{u_.bc().deploy<defi::nft_flash_pool>(
+            u_.bc().create_user_account("NFT20"), "NFT20", punk_, fee_tok_,
+            units(1, 18))},
+        owner_{u_.bc().create_user_account()},
+        borrower_{u_.bc().deploy<nft_borrower>(
+            u_.bc().create_user_account(), "")} {
+    borrower_.return_to = pool_.addr();
+    u_.bc().execute(owner_, "list", [&](chain::context& ctx) {
+      punk_.mint(ctx, owner_, u256{7});
+      punk_.approve(ctx, pool_.addr(), u256{7});
+      pool_.deposit(ctx, u256{7});
+    });
+  }
+
+  scenarios::universe u_;
+  token::erc721& punk_;
+  token::erc20& fee_tok_;
+  defi::nft_flash_pool& pool_;
+  address owner_;
+  nft_borrower& borrower_;
+};
+
+TEST_F(NftFlashTest, BorrowUseReturn) {
+  u_.airdrop(fee_tok_, borrower_.addr(), units(1, 18));
+  borrower_.pay_fee = &fee_tok_;
+  borrower_.fee = units(1, 18);
+  const auto& rec = u_.bc().execute(owner_, "fl", [&](chain::context& ctx) {
+    pool_.flash_loan(ctx, borrower_, u256{7});
+  });
+  ASSERT_TRUE(rec.success) << rec.revert_reason;
+  EXPECT_TRUE(borrower_.held_during_loan);
+  EXPECT_EQ(punk_.owner_of(u_.bc().state(), u256{7}), pool_.addr());
+}
+
+TEST_F(NftFlashTest, KeepingTheNftReverts) {
+  borrower_.return_it = false;
+  u_.airdrop(fee_tok_, pool_.addr(), units(1, 18));
+  const auto& rec = u_.bc().execute(owner_, "fl", [&](chain::context& ctx) {
+    pool_.flash_loan(ctx, borrower_, u256{7});
+  });
+  EXPECT_FALSE(rec.success);
+  // Atomicity: the NFT snapped back to the pool.
+  EXPECT_EQ(punk_.owner_of(u_.bc().state(), u256{7}), pool_.addr());
+}
+
+TEST_F(NftFlashTest, UnpaidFeeReverts) {
+  const auto& rec = u_.bc().execute(owner_, "fl", [&](chain::context& ctx) {
+    pool_.flash_loan(ctx, borrower_, u256{7});
+  });
+  EXPECT_FALSE(rec.success);
+}
+
+TEST_F(NftFlashTest, Erc721Semantics) {
+  const address other = u_.bc().create_user_account();
+  u_.bc().execute(owner_, "mint2", [&](chain::context& ctx) {
+    punk_.mint(ctx, owner_, u256{8});
+  });
+  EXPECT_EQ(punk_.balance_of(u_.bc().state(), owner_), u256{1});
+  // double mint rejected
+  const auto& dup = u_.bc().execute(owner_, "dup", [&](chain::context& ctx) {
+    punk_.mint(ctx, owner_, u256{8});
+  });
+  EXPECT_FALSE(dup.success);
+  // only the owner can transfer
+  const auto& theft = u_.bc().execute(other, "steal",
+                                      [&](chain::context& ctx) {
+                                        punk_.transfer(ctx, other, u256{8});
+                                      });
+  EXPECT_FALSE(theft.success);
+  // approval flow
+  u_.bc().execute(owner_, "approve", [&](chain::context& ctx) {
+    punk_.approve(ctx, other, u256{8});
+  });
+  u_.bc().execute(other, "take", [&](chain::context& ctx) {
+    punk_.transfer_from(ctx, owner_, other, u256{8});
+  });
+  EXPECT_EQ(punk_.owner_of(u_.bc().state(), u256{8}), other);
+  // approval was single-use
+  const auto& again = u_.bc().execute(other, "again",
+                                      [&](chain::context& ctx) {
+                                        punk_.transfer_from(ctx, other,
+                                                            owner_, u256{8});
+                                      });
+  EXPECT_TRUE(again.success);  // owner == sender, no approval needed
+}
+
+}  // namespace
+}  // namespace leishen::core

@@ -1,0 +1,66 @@
+// Shared test helpers: scriptable borrower/attack contracts and a small
+// prefunded DeFi universe used across test files.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "chain/blockchain.h"
+#include "defi/aave.h"
+#include "defi/dydx.h"
+#include "defi/interfaces.h"
+#include "defi/uniswap_v2.h"
+
+namespace leishen::testing {
+
+using chain::blockchain;
+using chain::context;
+using token::erc20;
+
+/// A contract whose flash loan callbacks run an arbitrary C++ closure —
+/// the "attack contract" of the paper's attack model, scriptable per test.
+class script_contract : public chain::contract,
+                        public defi::uniswap_v2_callee,
+                        public defi::aave_callee,
+                        public defi::dydx_callee {
+ public:
+  using body_fn = std::function<void(context&)>;
+
+  script_contract(blockchain& bc, address self, std::string app_name)
+      : contract{self, std::move(app_name), "ScriptContract"} {
+    (void)bc;
+  }
+
+  void set_body(body_fn body) { body_ = std::move(body); }
+
+  /// Entry point: invoke as the tx target so the call tree starts here.
+  void run(context& ctx) {
+    context::call_guard guard{ctx, addr(), "run"};
+    body_(ctx);
+  }
+
+  /// Run a nested closure inside the flash-loan callback.
+  void set_callback(body_fn cb) { callback_ = std::move(cb); }
+
+  [[nodiscard]] address callee_addr() const override { return addr(); }
+
+  void on_uniswap_v2_call(context& ctx, const address&, const u256&,
+                          const u256&) override {
+    if (callback_) callback_(ctx);
+  }
+  void on_execute_operation(context& ctx, const chain::asset&, const u256&,
+                            const u256&) override {
+    if (callback_) callback_(ctx);
+  }
+  void on_call_function(context& ctx, const chain::asset&, const u256&,
+                        const u256&) override {
+    if (callback_) callback_(ctx);
+  }
+
+ private:
+  body_fn body_;
+  body_fn callback_;
+};
+
+}  // namespace leishen::testing

@@ -1,0 +1,258 @@
+// Unit and property tests for 256-bit arithmetic.
+#include "common/u256.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace leishen {
+namespace {
+
+TEST(U256, DefaultIsZero) {
+  EXPECT_TRUE(u256{}.is_zero());
+  EXPECT_EQ(u256{}.to_u64(), 0U);
+}
+
+TEST(U256, SmallArithmetic) {
+  EXPECT_EQ((u256{2} + u256{3}).to_u64(), 5U);
+  EXPECT_EQ((u256{7} - u256{3}).to_u64(), 4U);
+  EXPECT_EQ((u256{6} * u256{7}).to_u64(), 42U);
+  EXPECT_EQ((u256{41} / u256{6}).to_u64(), 6U);
+  EXPECT_EQ((u256{41} % u256{6}).to_u64(), 5U);
+}
+
+TEST(U256, AdditionCarriesAcrossLimbs) {
+  const u256 a{~0ULL, 0, 0, 0};
+  const u256 b{1};
+  const u256 sum = a + b;
+  EXPECT_EQ(sum.limb(0), 0U);
+  EXPECT_EQ(sum.limb(1), 1U);
+}
+
+TEST(U256, SubtractionBorrowsAcrossLimbs) {
+  const u256 a{0, 1, 0, 0};  // 2^64
+  const u256 r = a - u256{1};
+  EXPECT_EQ(r.limb(0), ~0ULL);
+  EXPECT_EQ(r.limb(1), 0U);
+}
+
+TEST(U256, AddOverflowThrows) {
+  EXPECT_THROW(u256::max() + u256{1}, arithmetic_error);
+  EXPECT_EQ(u256::max().checked_add(u256{1}), std::nullopt);
+}
+
+TEST(U256, SubUnderflowThrows) {
+  EXPECT_THROW(u256{1} - u256{2}, arithmetic_error);
+  EXPECT_EQ(u256{1}.checked_sub(u256{2}), std::nullopt);
+}
+
+TEST(U256, MulOverflowThrows) {
+  const u256 big = u256{1} << 200;
+  EXPECT_THROW(big * big, arithmetic_error);
+  EXPECT_EQ(big.checked_mul(big), std::nullopt);
+}
+
+TEST(U256, MulWideLimbs) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  const u256 a{~0ULL};
+  const u256 sq = a * a;
+  EXPECT_EQ(sq.limb(0), 1ULL);
+  EXPECT_EQ(sq.limb(1), ~0ULL - 1);
+}
+
+TEST(U256, DivisionByZeroThrows) {
+  EXPECT_THROW(u256{1} / u256{0}, arithmetic_error);
+  EXPECT_THROW(u256{1} % u256{0}, arithmetic_error);
+  EXPECT_THROW(u256::muldiv(u256{1}, u256{1}, u256{0}), arithmetic_error);
+}
+
+TEST(U256, DivmodLargeOperands) {
+  const u256 n = u256::pow10(40);           // 10^40 > 2^64
+  const u256 d = u256::pow10(17) + u256{3};
+  const auto [q, r] = n.divmod(d);
+  EXPECT_EQ(q * d + r, n);
+  EXPECT_LT(r, d);
+}
+
+TEST(U256, Comparisons) {
+  EXPECT_LT(u256{1}, u256{2});
+  EXPECT_LT(u256{~0ULL}, (u256{0, 1, 0, 0}));
+  EXPECT_EQ(u256{5}, u256{5});
+  EXPECT_GT((u256{0, 0, 0, 1}), (u256{0, 0, 1, 0}));
+}
+
+TEST(U256, Shifts) {
+  EXPECT_EQ(u256{1} << 0, u256{1});
+  EXPECT_EQ((u256{1} << 64).limb(1), 1U);
+  EXPECT_EQ((u256{1} << 255) >> 255, u256{1});
+  EXPECT_EQ(u256{1} << 256, u256{0});
+  EXPECT_EQ(u256::max() >> 256, u256{0});
+  EXPECT_EQ((u256{0xFF} << 4).to_u64(), 0xFF0U);
+}
+
+TEST(U256, DecimalRoundTrip) {
+  const char* cases[] = {"0", "1", "42", "18446744073709551616",
+                         "340282366920938463463374607431768211455",
+                         "115792089237316195423570985008687907853"
+                         "269984665640564039457584007913129639935"};
+  for (const char* s : cases) {
+    EXPECT_EQ(u256::from_decimal(s).to_decimal(), s) << s;
+  }
+}
+
+TEST(U256, DecimalAllowsGrouping) {
+  EXPECT_EQ(u256::from_decimal("1_000_000"), u256{1000000});
+  EXPECT_EQ(u256::from_decimal("1,000"), u256{1000});
+}
+
+TEST(U256, HexRoundTrip) {
+  EXPECT_EQ(u256::from_hex("0xdeadbeef").to_u64(), 0xdeadbeefULL);
+  EXPECT_EQ(u256::from_hex("ff"), u256{255});
+  EXPECT_EQ(u256::from_string("0x10"), u256{16});
+  EXPECT_EQ(u256::from_string("10"), u256{10});
+  EXPECT_EQ(u256{0xabcULL}.to_hex(), "0xabc");
+  EXPECT_EQ(u256{}.to_hex(), "0x0");
+}
+
+TEST(U256, ParseRejectsGarbage) {
+  EXPECT_THROW(u256::from_decimal(""), arithmetic_error);
+  EXPECT_THROW(u256::from_decimal("12a"), arithmetic_error);
+  EXPECT_THROW(u256::from_hex("0x"), arithmetic_error);
+  EXPECT_THROW(u256::from_hex("zz"), arithmetic_error);
+  EXPECT_THROW(u256::from_hex(std::string(65, 'f')), arithmetic_error);
+}
+
+TEST(U256, Pow10Bounds) {
+  EXPECT_EQ(u256::pow10(0), u256{1});
+  EXPECT_EQ(u256::pow10(18), u256{1'000'000'000'000'000'000ULL});
+  EXPECT_NO_THROW(u256::pow10(77));
+  EXPECT_THROW(u256::pow10(78), arithmetic_error);
+}
+
+TEST(U256, Units) {
+  EXPECT_EQ(units(3, 18), u256{3} * u256::pow10(18));
+  EXPECT_EQ(units(0, 18), u256{0});
+}
+
+TEST(U256, ToU64Guard) {
+  EXPECT_THROW((void)(u256{1} << 64).to_u64(), arithmetic_error);
+  EXPECT_EQ((u256{1} << 63).to_u64(), 1ULL << 63);
+}
+
+TEST(U256, BitLength) {
+  EXPECT_EQ(u256{}.bit_length(), 0);
+  EXPECT_EQ(u256{1}.bit_length(), 1);
+  EXPECT_EQ(u256{255}.bit_length(), 8);
+  EXPECT_EQ((u256{1} << 200).bit_length(), 201);
+  EXPECT_EQ(u256::max().bit_length(), 256);
+}
+
+TEST(U256, MuldivBasic) {
+  EXPECT_EQ(u256::muldiv(u256{10}, u256{10}, u256{4}), u256{25});
+  EXPECT_EQ(u256::muldiv(u256{7}, u256{3}, u256{2}), u256{10});  // floor
+}
+
+TEST(U256, MuldivNoIntermediateOverflow) {
+  // a*b exceeds 256 bits but the quotient fits.
+  const u256 a = u256::pow10(40);
+  const u256 b = u256::pow10(40);
+  const u256 d = u256::pow10(50);
+  EXPECT_EQ(u256::muldiv(a, b, d), u256::pow10(30));
+}
+
+TEST(U256, MuldivQuotientOverflowThrows) {
+  EXPECT_THROW(u256::muldiv(u256::max(), u256{2}, u256{1}), arithmetic_error);
+}
+
+TEST(U256, WideMul) {
+  const auto w = u256::wide_mul(u256::max(), u256::max());
+  // (2^256-1)^2 = 2^512 - 2^257 + 1 -> hi = 2^256 - 2, lo = 1
+  EXPECT_EQ(w.lo, u256{1});
+  EXPECT_EQ(w.hi, u256::max() - u256{1});
+  const auto small = u256::wide_mul(u256{6}, u256{7});
+  EXPECT_TRUE(small.hi.is_zero());
+  EXPECT_EQ(small.lo, u256{42});
+}
+
+TEST(U256, ToDouble) {
+  EXPECT_DOUBLE_EQ(u256{1000}.to_double(), 1000.0);
+  EXPECT_NEAR((u256{1} << 64).to_double(), 18446744073709551616.0, 1e4);
+}
+
+// ---- property sweeps -------------------------------------------------------
+
+class U256Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(U256Property, DivmodReconstructs) {
+  rng r{GetParam()};
+  for (int i = 0; i < 200; ++i) {
+    const u256 a{r.next(), r.next(), i % 3 ? r.next() : 0,
+                 i % 5 ? r.next() : 0};
+    const u256 d{r.next(), i % 2 ? r.next() : 0, 0, 0};
+    if (d.is_zero()) continue;
+    const auto [q, rem] = a.divmod(d);
+    EXPECT_EQ(q * d + rem, a);
+    EXPECT_LT(rem, d);
+  }
+}
+
+TEST_P(U256Property, AddSubRoundTrip) {
+  rng r{GetParam() ^ 0xabcdULL};
+  for (int i = 0; i < 200; ++i) {
+    const u256 a{r.next(), r.next(), r.next(), r.next() >> 1};
+    const u256 b{r.next(), r.next(), r.next(), r.next() >> 1};
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST_P(U256Property, MulMatchesRepeatedAdd) {
+  rng r{GetParam() + 17};
+  for (int i = 0; i < 50; ++i) {
+    const u256 a{r.next()};
+    const std::uint64_t n = r.next_below(20);
+    u256 sum;
+    for (std::uint64_t k = 0; k < n; ++k) sum += a;
+    EXPECT_EQ(a * u256{n}, sum);
+  }
+}
+
+TEST_P(U256Property, DecimalRoundTripRandom) {
+  rng r{GetParam() * 31 + 7};
+  for (int i = 0; i < 100; ++i) {
+    const u256 v{r.next(), r.next(), r.next(), r.next()};
+    EXPECT_EQ(u256::from_decimal(v.to_decimal()), v);
+    EXPECT_EQ(u256::from_hex(v.to_hex()), v);
+  }
+}
+
+TEST_P(U256Property, MuldivAgainstExactWhenSmall) {
+  rng r{GetParam() ^ 0x5555ULL};
+  for (int i = 0; i < 200; ++i) {
+    const u256 a{r.next() >> 32};
+    const u256 b{r.next() >> 32};
+    const u256 d{(r.next() >> 40) + 1};
+    EXPECT_EQ(u256::muldiv(a, b, d), (a * b) / d);
+  }
+}
+
+TEST_P(U256Property, ShiftEquivalences) {
+  rng r{GetParam() + 99};
+  for (int i = 0; i < 100; ++i) {
+    const u256 v{r.next(), r.next(), r.next(), r.next()};
+    const unsigned n = static_cast<unsigned>(r.next_below(255)) + 1;
+    EXPECT_EQ((v >> n) << n, v & (u256::max() << n));
+    if (v.bit_length() + static_cast<int>(n) <= 256) {
+      EXPECT_EQ((v << n) >> n, v);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256Property,
+                         ::testing::Values(1, 2, 3, 0xdeadbeefULL,
+                                           0x123456789ULL));
+
+}  // namespace
+}  // namespace leishen

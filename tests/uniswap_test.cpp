@@ -1,0 +1,293 @@
+// Uniswap V2 pair/factory/router tests: swap math, LP accounting, the K
+// invariant property, and flash swap atomicity.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "defi/uniswap_v2.h"
+#include "test_support.h"
+
+namespace leishen::defi {
+namespace {
+
+using chain::blockchain;
+using chain::context;
+using testing::script_contract;
+
+class UniswapTest : public ::testing::Test {
+ protected:
+  UniswapTest()
+      : deployer_{bc_.create_user_account("Uniswap")},
+        token_deployer_{bc_.create_user_account()},
+        factory_{bc_.deploy<uniswap_v2_factory>(deployer_, "Uniswap")},
+        router_{bc_.deploy<uniswap_v2_router>(deployer_, "Uniswap", factory_)},
+        eth_{bc_.deploy<erc20>(token_deployer_, "EthToken", "ETH", 18)},
+        dai_{bc_.deploy<erc20>(token_deployer_, "DaiToken", "DAI", 18)},
+        pair_{factory_.create_pair(eth_, dai_)},
+        lp_{bc_.create_user_account()},
+        trader_{bc_.create_user_account()} {
+    // Seed: 1,000 ETH / 400,000 DAI -> price 400 DAI per ETH.
+    bc_.execute(lp_, "seed", [&](context& ctx) {
+      eth_.mint(ctx, lp_, units(1'000, 18));
+      dai_.mint(ctx, lp_, units(400'000, 18));
+      eth_.approve(ctx, router_.addr(), units(1'000, 18));
+      dai_.approve(ctx, router_.addr(), units(400'000, 18));
+      router_.add_liquidity(ctx, eth_, units(1'000, 18), dai_,
+                            units(400'000, 18), lp_);
+    });
+  }
+
+  blockchain bc_;
+  address deployer_;
+  address token_deployer_;
+  uniswap_v2_factory& factory_;
+  uniswap_v2_router& router_;
+  erc20& eth_;
+  erc20& dai_;
+  uniswap_v2_pair& pair_;
+  address lp_;
+  address trader_;
+};
+
+TEST_F(UniswapTest, SeedSetsReservesAndLpSupply) {
+  EXPECT_EQ(pair_.reserve_of(bc_.state(), eth_), units(1'000, 18));
+  EXPECT_EQ(pair_.reserve_of(bc_.state(), dai_), units(400'000, 18));
+  // initial LP = sqrt(r0*r1) = sqrt(4e44) = 2e22
+  EXPECT_EQ(pair_.total_supply(bc_.state()),
+            isqrt(units(1'000, 18) * units(400'000, 18)));
+  EXPECT_EQ(pair_.balance_of(bc_.state(), lp_),
+            pair_.total_supply(bc_.state()));
+}
+
+TEST_F(UniswapTest, SpotPrice) {
+  const rate p = pair_.spot_price(bc_.state(), eth_);
+  EXPECT_DOUBLE_EQ(p.to_double(), 400.0);
+}
+
+TEST_F(UniswapTest, GetAmountOutClosedForm) {
+  // out = in*997*rOut / (rIn*1000 + in*997)
+  const u256 in = units(10, 18);
+  const u256 out = uniswap_v2_pair::get_amount_out(in, units(1'000, 18),
+                                                   units(400'000, 18));
+  const u256 expected = u256::muldiv(
+      in * u256{997}, units(400'000, 18),
+      units(1'000, 18) * u256{1000} + in * u256{997});
+  EXPECT_EQ(out, expected);
+  // sanity: ~3949 DAI for 10 ETH (0.3% fee + 1% price impact)
+  EXPECT_NEAR(out.to_double() / 1e18, 3949.0, 5.0);
+}
+
+TEST_F(UniswapTest, GetAmountInInverseOfOut) {
+  const u256 r_in = units(1'000, 18);
+  const u256 r_out = units(400'000, 18);
+  const u256 out = units(3'000, 18);
+  const u256 in = uniswap_v2_pair::get_amount_in(out, r_in, r_out);
+  // Swapping `in` must yield at least `out`.
+  EXPECT_GE(uniswap_v2_pair::get_amount_out(in, r_in, r_out), out);
+  // And one unit less must not.
+  EXPECT_LT(uniswap_v2_pair::get_amount_out(in - u256{1}, r_in, r_out), out);
+}
+
+TEST_F(UniswapTest, RouterSwapMovesTokens) {
+  bc_.execute(trader_, "swap", [&](context& ctx) {
+    eth_.mint(ctx, trader_, units(10, 18));
+    eth_.approve(ctx, router_.addr(), units(10, 18));
+    router_.swap_exact_tokens(ctx, eth_, units(10, 18), dai_, trader_);
+  });
+  EXPECT_TRUE(eth_.balance_of(bc_.state(), trader_).is_zero());
+  EXPECT_GT(dai_.balance_of(bc_.state(), trader_), units(3'900, 18));
+  // price of ETH in DAI dropped? no: ETH was sold, so DAI per ETH falls
+  EXPECT_LT(pair_.spot_price(bc_.state(), eth_).to_double(), 400.0);
+}
+
+TEST_F(UniswapTest, SwapWithoutInputReverts) {
+  const auto& rec = bc_.execute(trader_, "steal", [&](context& ctx) {
+    pair_.swap(ctx, u256{}, units(1'000, 18), trader_);
+  });
+  EXPECT_FALSE(rec.success);
+  EXPECT_EQ(pair_.reserve_of(bc_.state(), dai_), units(400'000, 18));
+}
+
+TEST_F(UniswapTest, SwapViolatingKReverts) {
+  // Pay in slightly less than required -> K check must fire.
+  const auto& rec = bc_.execute(trader_, "underpay", [&](context& ctx) {
+    const u256 out = units(3'000, 18);
+    const u256 in = pair_.quote_in(ctx.state(), dai_, out);
+    eth_.mint(ctx, trader_, in);
+    eth_.transfer(ctx, pair_.addr(), in - units(1, 17));  // short by 0.1 ETH
+    pair_.swap(ctx, u256{}, out, trader_);
+  });
+  EXPECT_FALSE(rec.success);
+  EXPECT_EQ(rec.revert_reason, "UniswapV2: K");
+}
+
+TEST_F(UniswapTest, AddRemoveLiquidityRoundTrip) {
+  const address lp2 = bc_.create_user_account();
+  bc_.execute(lp2, "add", [&](context& ctx) {
+    eth_.mint(ctx, lp2, units(100, 18));
+    dai_.mint(ctx, lp2, units(40'000, 18));
+    eth_.approve(ctx, router_.addr(), units(100, 18));
+    dai_.approve(ctx, router_.addr(), units(40'000, 18));
+    router_.add_liquidity(ctx, eth_, units(100, 18), dai_, units(40'000, 18),
+                          lp2);
+  });
+  const u256 minted = pair_.balance_of(bc_.state(), lp2);
+  EXPECT_FALSE(minted.is_zero());
+
+  bc_.execute(lp2, "remove", [&](context& ctx) {
+    pair_.approve(ctx, router_.addr(), minted);
+    router_.remove_liquidity(ctx, eth_, dai_, minted, lp2);
+  });
+  // Gets back (approximately) the deposit; rounding may shave dust.
+  EXPECT_GE(eth_.balance_of(bc_.state(), lp2), units(100, 18) - u256{1000});
+  EXPECT_GE(dai_.balance_of(bc_.state(), lp2),
+            units(40'000, 18) - u256{1000});
+  EXPECT_TRUE(pair_.balance_of(bc_.state(), lp2).is_zero());
+}
+
+TEST_F(UniswapTest, MintLiquidityEmitsBlackHoleTransfer) {
+  // LP token mint comes from the zero address: the Table III signal.
+  bool saw_mint_from_zero = false;
+  for (const auto& rec : bc_.receipts()) {
+    for (const auto& ev : rec.events) {
+      if (const auto* log = std::get_if<chain::event_log>(&ev)) {
+        if (log->name == chain::kTransferEvent &&
+            log->emitter == pair_.addr() && log->addr0.is_zero()) {
+          saw_mint_from_zero = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_mint_from_zero);
+}
+
+TEST_F(UniswapTest, FlashSwapRepaidSucceeds) {
+  auto& borrower = bc_.deploy<script_contract>(trader_, "");
+  const u256 borrow = units(100'000, 18);  // DAI
+  borrower.set_callback([&](context& ctx) {
+    // Repay borrowed DAI + 0.31% fee in DAI.
+    const u256 repay = borrow * u256{1000} / u256{997} + u256{1};
+    dai_.mint(ctx, borrower.addr(), repay - borrow);  // fee funding
+    dai_.transfer(ctx, pair_.addr(), repay);
+  });
+  borrower.set_body([&](context& ctx) {
+    if (&pair_.token0() == &dai_) {
+      pair_.swap(ctx, borrow, u256{}, borrower.addr(), &borrower);
+    } else {
+      pair_.swap(ctx, u256{}, borrow, borrower.addr(), &borrower);
+    }
+  });
+  const auto& rec = bc_.execute(trader_, "flash", [&](context& ctx) {
+    borrower.run(ctx);
+  });
+  EXPECT_TRUE(rec.success) << rec.revert_reason;
+  // Reserves grew by the fee.
+  EXPECT_GT(pair_.reserve_of(bc_.state(), dai_), units(400'000, 18));
+}
+
+TEST_F(UniswapTest, FlashSwapDefaultReverts) {
+  auto& borrower = bc_.deploy<script_contract>(trader_, "");
+  borrower.set_callback([&](context&) { /* keep the money */ });
+  borrower.set_body([&](context& ctx) {
+    if (&pair_.token0() == &dai_) {
+      pair_.swap(ctx, units(100'000, 18), u256{}, borrower.addr(), &borrower);
+    } else {
+      pair_.swap(ctx, u256{}, units(100'000, 18), borrower.addr(), &borrower);
+    }
+  });
+  const auto& rec = bc_.execute(trader_, "default", [&](context& ctx) {
+    borrower.run(ctx);
+  });
+  EXPECT_FALSE(rec.success);
+  // Atomicity: nothing moved.
+  EXPECT_TRUE(dai_.balance_of(bc_.state(), borrower.addr()).is_zero());
+  EXPECT_EQ(pair_.reserve_of(bc_.state(), dai_), units(400'000, 18));
+}
+
+TEST_F(UniswapTest, FlashSwapTraceHasIdentificationSignals) {
+  // The paper identifies Uniswap flash loans by swap + uniswapV2Call.
+  auto& borrower = bc_.deploy<script_contract>(trader_, "");
+  borrower.set_callback([&](context& ctx) {
+    const u256 repay = units(100, 18) * u256{1000} / u256{997} + u256{1};
+    dai_.mint(ctx, borrower.addr(), repay);
+    dai_.transfer(ctx, pair_.addr(), repay);
+  });
+  borrower.set_body([&](context& ctx) {
+    if (&pair_.token0() == &dai_) {
+      pair_.swap(ctx, units(100, 18), u256{}, borrower.addr(), &borrower);
+    } else {
+      pair_.swap(ctx, u256{}, units(100, 18), borrower.addr(), &borrower);
+    }
+  });
+  const auto& rec = bc_.execute(trader_, "flash", [&](context& ctx) {
+    borrower.run(ctx);
+  });
+  ASSERT_TRUE(rec.success) << rec.revert_reason;
+  bool saw_swap = false;
+  bool saw_callback = false;
+  for (const auto& ev : rec.events) {
+    if (const auto* call = std::get_if<chain::call_record>(&ev)) {
+      if (call->method == "swap" && call->callee == pair_.addr()) {
+        saw_swap = true;
+      }
+      if (call->method == "uniswapV2Call" && saw_swap) saw_callback = true;
+    }
+  }
+  EXPECT_TRUE(saw_swap);
+  EXPECT_TRUE(saw_callback);
+}
+
+TEST_F(UniswapTest, FactoryCreationEdges) {
+  // factory -> pair edge exists; root of the pair tree is the deployer EOA.
+  EXPECT_EQ(bc_.creations().creator_of(pair_.addr()), factory_.addr());
+  EXPECT_EQ(bc_.creations().root_of(pair_.addr()), deployer_);
+  EXPECT_EQ(factory_.find_pair(eth_, dai_), &pair_);
+  EXPECT_EQ(factory_.find_pair(dai_, eth_), &pair_);
+}
+
+// Property: under random fee'd swaps the constant product never decreases.
+class UniswapKProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniswapKProperty, ConstantProductNonDecreasing) {
+  blockchain bc;
+  const address deployer = bc.create_user_account("Uniswap");
+  auto& factory = bc.deploy<uniswap_v2_factory>(deployer, "Uniswap");
+  const address td = bc.create_user_account();
+  auto& a = bc.deploy<erc20>(td, "A", "AAA", 18);
+  auto& b = bc.deploy<erc20>(td, "B", "BBB", 18);
+  auto& pair = factory.create_pair(a, b);
+  const address lp = bc.create_user_account();
+  bc.execute(lp, "seed", [&](context& ctx) {
+    a.mint(ctx, pair.addr(), units(5'000, 18));
+    b.mint(ctx, pair.addr(), units(20'000, 18));
+    pair.mint_liquidity(ctx, lp);
+  });
+
+  rng r{GetParam()};
+  const address trader = bc.create_user_account();
+  u256 last_k = pair.reserve0(bc.state()) * pair.reserve1(bc.state());
+  for (int i = 0; i < 60; ++i) {
+    const bool a_in = r.next_bool(0.5);
+    erc20& tin = a_in ? a : b;
+    const u256 amount = units(r.next_range(1, 500), 18);
+    const auto& rec = bc.execute(trader, "swap", [&](context& ctx) {
+      const u256 out = pair.quote_out(ctx.state(), tin, amount);
+      tin.mint(ctx, trader, amount);
+      tin.transfer(ctx, pair.addr(), amount);
+      if (&pair.token0() == &tin) {
+        pair.swap(ctx, u256{}, out, trader);
+      } else {
+        pair.swap(ctx, out, u256{}, trader);
+      }
+    });
+    ASSERT_TRUE(rec.success) << rec.revert_reason;
+    const u256 k = pair.reserve0(bc.state()) * pair.reserve1(bc.state());
+    EXPECT_GE(k, last_k);
+    last_k = k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UniswapKProperty,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace leishen::defi
