@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_weekly_flashloans.dir/bench_fig1_weekly_flashloans.cpp.o"
+  "CMakeFiles/bench_fig1_weekly_flashloans.dir/bench_fig1_weekly_flashloans.cpp.o.d"
+  "bench_fig1_weekly_flashloans"
+  "bench_fig1_weekly_flashloans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_weekly_flashloans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

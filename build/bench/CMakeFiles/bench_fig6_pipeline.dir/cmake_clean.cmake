@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pipeline.dir/bench_fig6_pipeline.cpp.o"
+  "CMakeFiles/bench_fig6_pipeline.dir/bench_fig6_pipeline.cpp.o.d"
+  "bench_fig6_pipeline"
+  "bench_fig6_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_monthly.dir/bench_fig8_monthly.cpp.o"
+  "CMakeFiles/bench_fig8_monthly.dir/bench_fig8_monthly.cpp.o.d"
+  "bench_fig8_monthly"
+  "bench_fig8_monthly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_monthly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

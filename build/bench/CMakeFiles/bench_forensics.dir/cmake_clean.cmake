@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_forensics.dir/bench_forensics.cpp.o"
+  "CMakeFiles/bench_forensics.dir/bench_forensics.cpp.o.d"
+  "bench_forensics"
+  "bench_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_empirical.dir/bench_table1_empirical.cpp.o"
+  "CMakeFiles/bench_table1_empirical.dir/bench_table1_empirical.cpp.o.d"
+  "bench_table1_empirical"
+  "bench_table1_empirical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_empirical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_known_attacks.dir/bench_table4_known_attacks.cpp.o"
+  "CMakeFiles/bench_table4_known_attacks.dir/bench_table4_known_attacks.cpp.o.d"
+  "bench_table4_known_attacks"
+  "bench_table4_known_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_known_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

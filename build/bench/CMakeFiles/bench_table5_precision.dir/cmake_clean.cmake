@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_precision.dir/bench_table5_precision.cpp.o"
+  "CMakeFiles/bench_table5_precision.dir/bench_table5_precision.cpp.o.d"
+  "bench_table5_precision"
+  "bench_table5_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_attacked_apps.dir/bench_table6_attacked_apps.cpp.o"
+  "CMakeFiles/bench_table6_attacked_apps.dir/bench_table6_attacked_apps.cpp.o.d"
+  "bench_table6_attacked_apps"
+  "bench_table6_attacked_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_attacked_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_profit.dir/bench_table7_profit.cpp.o"
+  "CMakeFiles/bench_table7_profit.dir/bench_table7_profit.cpp.o.d"
+  "bench_table7_profit"
+  "bench_table7_profit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_profit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_forensics.dir/attack_forensics.cpp.o"
+  "CMakeFiles/attack_forensics.dir/attack_forensics.cpp.o.d"
+  "attack_forensics"
+  "attack_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

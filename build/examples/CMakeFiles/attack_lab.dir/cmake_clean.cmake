@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_lab.dir/attack_lab.cpp.o"
+  "CMakeFiles/attack_lab.dir/attack_lab.cpp.o.d"
+  "attack_lab"
+  "attack_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_monitor.dir/chain_monitor.cpp.o"
+  "CMakeFiles/chain_monitor.dir/chain_monitor.cpp.o.d"
+  "chain_monitor"
+  "chain_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leishen_baselines.dir/baselines/defiranger.cpp.o"
+  "CMakeFiles/leishen_baselines.dir/baselines/defiranger.cpp.o.d"
+  "CMakeFiles/leishen_baselines.dir/baselines/explorer_detector.cpp.o"
+  "CMakeFiles/leishen_baselines.dir/baselines/explorer_detector.cpp.o.d"
+  "CMakeFiles/leishen_baselines.dir/baselines/volatility_detector.cpp.o"
+  "CMakeFiles/leishen_baselines.dir/baselines/volatility_detector.cpp.o.d"
+  "libleishen_baselines.a"
+  "libleishen_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leishen_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/blockchain.cpp" "src/CMakeFiles/leishen_chain.dir/chain/blockchain.cpp.o" "gcc" "src/CMakeFiles/leishen_chain.dir/chain/blockchain.cpp.o.d"
+  "/root/repo/src/chain/context.cpp" "src/CMakeFiles/leishen_chain.dir/chain/context.cpp.o" "gcc" "src/CMakeFiles/leishen_chain.dir/chain/context.cpp.o.d"
+  "/root/repo/src/chain/creation_registry.cpp" "src/CMakeFiles/leishen_chain.dir/chain/creation_registry.cpp.o" "gcc" "src/CMakeFiles/leishen_chain.dir/chain/creation_registry.cpp.o.d"
+  "/root/repo/src/chain/world_state.cpp" "src/CMakeFiles/leishen_chain.dir/chain/world_state.cpp.o" "gcc" "src/CMakeFiles/leishen_chain.dir/chain/world_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/leishen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leishen_chain.dir/chain/blockchain.cpp.o"
+  "CMakeFiles/leishen_chain.dir/chain/blockchain.cpp.o.d"
+  "CMakeFiles/leishen_chain.dir/chain/context.cpp.o"
+  "CMakeFiles/leishen_chain.dir/chain/context.cpp.o.d"
+  "CMakeFiles/leishen_chain.dir/chain/creation_registry.cpp.o"
+  "CMakeFiles/leishen_chain.dir/chain/creation_registry.cpp.o.d"
+  "CMakeFiles/leishen_chain.dir/chain/world_state.cpp.o"
+  "CMakeFiles/leishen_chain.dir/chain/world_state.cpp.o.d"
+  "libleishen_chain.a"
+  "libleishen_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leishen_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/address.cpp" "src/CMakeFiles/leishen_common.dir/common/address.cpp.o" "gcc" "src/CMakeFiles/leishen_common.dir/common/address.cpp.o.d"
+  "/root/repo/src/common/rate.cpp" "src/CMakeFiles/leishen_common.dir/common/rate.cpp.o" "gcc" "src/CMakeFiles/leishen_common.dir/common/rate.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/leishen_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/leishen_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/sim_time.cpp" "src/CMakeFiles/leishen_common.dir/common/sim_time.cpp.o" "gcc" "src/CMakeFiles/leishen_common.dir/common/sim_time.cpp.o.d"
+  "/root/repo/src/common/u256.cpp" "src/CMakeFiles/leishen_common.dir/common/u256.cpp.o" "gcc" "src/CMakeFiles/leishen_common.dir/common/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

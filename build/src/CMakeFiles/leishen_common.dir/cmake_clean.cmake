@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leishen_common.dir/common/address.cpp.o"
+  "CMakeFiles/leishen_common.dir/common/address.cpp.o.d"
+  "CMakeFiles/leishen_common.dir/common/rate.cpp.o"
+  "CMakeFiles/leishen_common.dir/common/rate.cpp.o.d"
+  "CMakeFiles/leishen_common.dir/common/rng.cpp.o"
+  "CMakeFiles/leishen_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/leishen_common.dir/common/sim_time.cpp.o"
+  "CMakeFiles/leishen_common.dir/common/sim_time.cpp.o.d"
+  "CMakeFiles/leishen_common.dir/common/u256.cpp.o"
+  "CMakeFiles/leishen_common.dir/common/u256.cpp.o.d"
+  "libleishen_common.a"
+  "libleishen_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leishen_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

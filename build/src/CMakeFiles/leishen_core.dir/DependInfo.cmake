@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/account_tagging.cpp" "src/CMakeFiles/leishen_core.dir/core/account_tagging.cpp.o" "gcc" "src/CMakeFiles/leishen_core.dir/core/account_tagging.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/CMakeFiles/leishen_core.dir/core/detector.cpp.o" "gcc" "src/CMakeFiles/leishen_core.dir/core/detector.cpp.o.d"
+  "/root/repo/src/core/flashloan_id.cpp" "src/CMakeFiles/leishen_core.dir/core/flashloan_id.cpp.o" "gcc" "src/CMakeFiles/leishen_core.dir/core/flashloan_id.cpp.o.d"
+  "/root/repo/src/core/forensics.cpp" "src/CMakeFiles/leishen_core.dir/core/forensics.cpp.o" "gcc" "src/CMakeFiles/leishen_core.dir/core/forensics.cpp.o.d"
+  "/root/repo/src/core/patterns.cpp" "src/CMakeFiles/leishen_core.dir/core/patterns.cpp.o" "gcc" "src/CMakeFiles/leishen_core.dir/core/patterns.cpp.o.d"
+  "/root/repo/src/core/profit.cpp" "src/CMakeFiles/leishen_core.dir/core/profit.cpp.o" "gcc" "src/CMakeFiles/leishen_core.dir/core/profit.cpp.o.d"
+  "/root/repo/src/core/scanner.cpp" "src/CMakeFiles/leishen_core.dir/core/scanner.cpp.o" "gcc" "src/CMakeFiles/leishen_core.dir/core/scanner.cpp.o.d"
+  "/root/repo/src/core/simplify.cpp" "src/CMakeFiles/leishen_core.dir/core/simplify.cpp.o" "gcc" "src/CMakeFiles/leishen_core.dir/core/simplify.cpp.o.d"
+  "/root/repo/src/core/trade_actions.cpp" "src/CMakeFiles/leishen_core.dir/core/trade_actions.cpp.o" "gcc" "src/CMakeFiles/leishen_core.dir/core/trade_actions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/leishen_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leishen_etherscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leishen_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leishen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leishen_core.dir/core/account_tagging.cpp.o"
+  "CMakeFiles/leishen_core.dir/core/account_tagging.cpp.o.d"
+  "CMakeFiles/leishen_core.dir/core/detector.cpp.o"
+  "CMakeFiles/leishen_core.dir/core/detector.cpp.o.d"
+  "CMakeFiles/leishen_core.dir/core/flashloan_id.cpp.o"
+  "CMakeFiles/leishen_core.dir/core/flashloan_id.cpp.o.d"
+  "CMakeFiles/leishen_core.dir/core/forensics.cpp.o"
+  "CMakeFiles/leishen_core.dir/core/forensics.cpp.o.d"
+  "CMakeFiles/leishen_core.dir/core/patterns.cpp.o"
+  "CMakeFiles/leishen_core.dir/core/patterns.cpp.o.d"
+  "CMakeFiles/leishen_core.dir/core/profit.cpp.o"
+  "CMakeFiles/leishen_core.dir/core/profit.cpp.o.d"
+  "CMakeFiles/leishen_core.dir/core/scanner.cpp.o"
+  "CMakeFiles/leishen_core.dir/core/scanner.cpp.o.d"
+  "CMakeFiles/leishen_core.dir/core/simplify.cpp.o"
+  "CMakeFiles/leishen_core.dir/core/simplify.cpp.o.d"
+  "CMakeFiles/leishen_core.dir/core/trade_actions.cpp.o"
+  "CMakeFiles/leishen_core.dir/core/trade_actions.cpp.o.d"
+  "libleishen_core.a"
+  "libleishen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leishen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleishen_core.a"
+)

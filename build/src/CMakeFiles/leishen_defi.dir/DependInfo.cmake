@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defi/aave.cpp" "src/CMakeFiles/leishen_defi.dir/defi/aave.cpp.o" "gcc" "src/CMakeFiles/leishen_defi.dir/defi/aave.cpp.o.d"
+  "/root/repo/src/defi/aggregator.cpp" "src/CMakeFiles/leishen_defi.dir/defi/aggregator.cpp.o" "gcc" "src/CMakeFiles/leishen_defi.dir/defi/aggregator.cpp.o.d"
+  "/root/repo/src/defi/balancer.cpp" "src/CMakeFiles/leishen_defi.dir/defi/balancer.cpp.o" "gcc" "src/CMakeFiles/leishen_defi.dir/defi/balancer.cpp.o.d"
+  "/root/repo/src/defi/dydx.cpp" "src/CMakeFiles/leishen_defi.dir/defi/dydx.cpp.o" "gcc" "src/CMakeFiles/leishen_defi.dir/defi/dydx.cpp.o.d"
+  "/root/repo/src/defi/lending.cpp" "src/CMakeFiles/leishen_defi.dir/defi/lending.cpp.o" "gcc" "src/CMakeFiles/leishen_defi.dir/defi/lending.cpp.o.d"
+  "/root/repo/src/defi/mixer.cpp" "src/CMakeFiles/leishen_defi.dir/defi/mixer.cpp.o" "gcc" "src/CMakeFiles/leishen_defi.dir/defi/mixer.cpp.o.d"
+  "/root/repo/src/defi/nft_flashloan.cpp" "src/CMakeFiles/leishen_defi.dir/defi/nft_flashloan.cpp.o" "gcc" "src/CMakeFiles/leishen_defi.dir/defi/nft_flashloan.cpp.o.d"
+  "/root/repo/src/defi/price_oracle.cpp" "src/CMakeFiles/leishen_defi.dir/defi/price_oracle.cpp.o" "gcc" "src/CMakeFiles/leishen_defi.dir/defi/price_oracle.cpp.o.d"
+  "/root/repo/src/defi/stableswap.cpp" "src/CMakeFiles/leishen_defi.dir/defi/stableswap.cpp.o" "gcc" "src/CMakeFiles/leishen_defi.dir/defi/stableswap.cpp.o.d"
+  "/root/repo/src/defi/uniswap_v2.cpp" "src/CMakeFiles/leishen_defi.dir/defi/uniswap_v2.cpp.o" "gcc" "src/CMakeFiles/leishen_defi.dir/defi/uniswap_v2.cpp.o.d"
+  "/root/repo/src/defi/vault.cpp" "src/CMakeFiles/leishen_defi.dir/defi/vault.cpp.o" "gcc" "src/CMakeFiles/leishen_defi.dir/defi/vault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/leishen_token.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leishen_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leishen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

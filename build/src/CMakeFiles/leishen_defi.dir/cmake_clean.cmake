@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leishen_defi.dir/defi/aave.cpp.o"
+  "CMakeFiles/leishen_defi.dir/defi/aave.cpp.o.d"
+  "CMakeFiles/leishen_defi.dir/defi/aggregator.cpp.o"
+  "CMakeFiles/leishen_defi.dir/defi/aggregator.cpp.o.d"
+  "CMakeFiles/leishen_defi.dir/defi/balancer.cpp.o"
+  "CMakeFiles/leishen_defi.dir/defi/balancer.cpp.o.d"
+  "CMakeFiles/leishen_defi.dir/defi/dydx.cpp.o"
+  "CMakeFiles/leishen_defi.dir/defi/dydx.cpp.o.d"
+  "CMakeFiles/leishen_defi.dir/defi/lending.cpp.o"
+  "CMakeFiles/leishen_defi.dir/defi/lending.cpp.o.d"
+  "CMakeFiles/leishen_defi.dir/defi/mixer.cpp.o"
+  "CMakeFiles/leishen_defi.dir/defi/mixer.cpp.o.d"
+  "CMakeFiles/leishen_defi.dir/defi/nft_flashloan.cpp.o"
+  "CMakeFiles/leishen_defi.dir/defi/nft_flashloan.cpp.o.d"
+  "CMakeFiles/leishen_defi.dir/defi/price_oracle.cpp.o"
+  "CMakeFiles/leishen_defi.dir/defi/price_oracle.cpp.o.d"
+  "CMakeFiles/leishen_defi.dir/defi/stableswap.cpp.o"
+  "CMakeFiles/leishen_defi.dir/defi/stableswap.cpp.o.d"
+  "CMakeFiles/leishen_defi.dir/defi/uniswap_v2.cpp.o"
+  "CMakeFiles/leishen_defi.dir/defi/uniswap_v2.cpp.o.d"
+  "CMakeFiles/leishen_defi.dir/defi/vault.cpp.o"
+  "CMakeFiles/leishen_defi.dir/defi/vault.cpp.o.d"
+  "libleishen_defi.a"
+  "libleishen_defi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leishen_defi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

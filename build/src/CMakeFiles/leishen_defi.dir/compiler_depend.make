@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for leishen_defi.
+# This may be replaced when dependencies are built.

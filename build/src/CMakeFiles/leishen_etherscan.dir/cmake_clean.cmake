@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leishen_etherscan.dir/etherscan/label_db.cpp.o"
+  "CMakeFiles/leishen_etherscan.dir/etherscan/label_db.cpp.o.d"
+  "libleishen_etherscan.a"
+  "libleishen_etherscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leishen_etherscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

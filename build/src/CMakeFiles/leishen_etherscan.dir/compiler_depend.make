@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for leishen_etherscan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leishen_replay.dir/replay/replayer.cpp.o"
+  "CMakeFiles/leishen_replay.dir/replay/replayer.cpp.o.d"
+  "libleishen_replay.a"
+  "libleishen_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leishen_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

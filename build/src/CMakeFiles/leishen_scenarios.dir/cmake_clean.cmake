@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leishen_scenarios.dir/scenarios/known_attacks.cpp.o"
+  "CMakeFiles/leishen_scenarios.dir/scenarios/known_attacks.cpp.o.d"
+  "CMakeFiles/leishen_scenarios.dir/scenarios/population.cpp.o"
+  "CMakeFiles/leishen_scenarios.dir/scenarios/population.cpp.o.d"
+  "CMakeFiles/leishen_scenarios.dir/scenarios/scenario_helpers.cpp.o"
+  "CMakeFiles/leishen_scenarios.dir/scenarios/scenario_helpers.cpp.o.d"
+  "CMakeFiles/leishen_scenarios.dir/scenarios/universe.cpp.o"
+  "CMakeFiles/leishen_scenarios.dir/scenarios/universe.cpp.o.d"
+  "libleishen_scenarios.a"
+  "libleishen_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leishen_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/token/erc20.cpp" "src/CMakeFiles/leishen_token.dir/token/erc20.cpp.o" "gcc" "src/CMakeFiles/leishen_token.dir/token/erc20.cpp.o.d"
+  "/root/repo/src/token/erc721.cpp" "src/CMakeFiles/leishen_token.dir/token/erc721.cpp.o" "gcc" "src/CMakeFiles/leishen_token.dir/token/erc721.cpp.o.d"
+  "/root/repo/src/token/weth.cpp" "src/CMakeFiles/leishen_token.dir/token/weth.cpp.o" "gcc" "src/CMakeFiles/leishen_token.dir/token/weth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/leishen_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/leishen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leishen_token.dir/token/erc20.cpp.o"
+  "CMakeFiles/leishen_token.dir/token/erc20.cpp.o.d"
+  "CMakeFiles/leishen_token.dir/token/erc721.cpp.o"
+  "CMakeFiles/leishen_token.dir/token/erc721.cpp.o.d"
+  "CMakeFiles/leishen_token.dir/token/weth.cpp.o"
+  "CMakeFiles/leishen_token.dir/token/weth.cpp.o.d"
+  "libleishen_token.a"
+  "libleishen_token.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leishen_token.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for leishen_token.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defi_edge_test.dir/defi_edge_test.cpp.o"
+  "CMakeFiles/defi_edge_test.dir/defi_edge_test.cpp.o.d"
+  "defi_edge_test"
+  "defi_edge_test.pdb"
+  "defi_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defi_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

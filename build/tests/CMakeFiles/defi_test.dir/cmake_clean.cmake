@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defi_test.dir/defi_test.cpp.o"
+  "CMakeFiles/defi_test.dir/defi_test.cpp.o.d"
+  "defi_test"
+  "defi_test.pdb"
+  "defi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashloan_id_test.dir/flashloan_id_test.cpp.o"
+  "CMakeFiles/flashloan_id_test.dir/flashloan_id_test.cpp.o.d"
+  "flashloan_id_test"
+  "flashloan_id_test.pdb"
+  "flashloan_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashloan_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

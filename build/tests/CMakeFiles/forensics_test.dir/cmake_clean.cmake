@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forensics_test.dir/forensics_test.cpp.o"
+  "CMakeFiles/forensics_test.dir/forensics_test.cpp.o.d"
+  "forensics_test"
+  "forensics_test.pdb"
+  "forensics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forensics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/known_attacks_test.dir/known_attacks_test.cpp.o"
+  "CMakeFiles/known_attacks_test.dir/known_attacks_test.cpp.o.d"
+  "known_attacks_test"
+  "known_attacks_test.pdb"
+  "known_attacks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/known_attacks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_test.dir/scanner_test.cpp.o"
+  "CMakeFiles/scanner_test.dir/scanner_test.cpp.o.d"
+  "scanner_test"
+  "scanner_test.pdb"
+  "scanner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u256_test.dir/u256_test.cpp.o"
+  "CMakeFiles/u256_test.dir/u256_test.cpp.o.d"
+  "u256_test"
+  "u256_test.pdb"
+  "u256_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u256_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

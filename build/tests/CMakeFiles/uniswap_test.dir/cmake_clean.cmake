@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniswap_test.dir/uniswap_test.cpp.o"
+  "CMakeFiles/uniswap_test.dir/uniswap_test.cpp.o.d"
+  "uniswap_test"
+  "uniswap_test.pdb"
+  "uniswap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniswap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/u256_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_test[1]_include.cmake")
+include("/root/repo/build/tests/uniswap_test[1]_include.cmake")
+include("/root/repo/build/tests/defi_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/known_attacks_test[1]_include.cmake")
+include("/root/repo/build/tests/population_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/flashloan_id_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/detector_test[1]_include.cmake")
+include("/root/repo/build/tests/forensics_test[1]_include.cmake")
+include("/root/repo/build/tests/scanner_test[1]_include.cmake")
+include("/root/repo/build/tests/defi_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
