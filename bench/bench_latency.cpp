@@ -4,11 +4,15 @@
 // replay is an in-memory projection so absolute numbers are far lower; the
 // claim to check is that per-transaction detection is bounded and scales
 // with transfer count, keeping whole-chain scanning practical.
+//
+// Every benchmark reports items/sec (SetItemsProcessed) so the JSON
+// trajectory can track per-stage regressions in throughput terms.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 
 #include "bench_common.h"
+#include "core/parallel_scanner.h"
 
 using namespace leishen;
 
@@ -46,6 +50,7 @@ void bm_detect_benign(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(det.analyze(receipt));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(bm_detect_benign);
 
@@ -56,6 +61,7 @@ void bm_detect_bzx1(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(det.analyze(receipt));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(bm_detect_bzx1);
 
@@ -66,6 +72,7 @@ void bm_detect_bzx2_krp18(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(det.analyze(receipt));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(bm_detect_bzx2_krp18);
 
@@ -76,6 +83,7 @@ void bm_detect_harvest_mbs(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(det.analyze(receipt));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(bm_detect_harvest_mbs);
 
@@ -85,8 +93,21 @@ void bm_flashloan_identification(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::identify_flash_loan(receipt));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(bm_flashloan_identification);
+
+/// The signature-only prefilter on the same receipt (the fast path the
+/// scanners take before committing to the full pipeline).
+void bm_flashloan_prefilter(benchmark::State& state) {
+  auto& f = fix();
+  const auto& receipt = f.u.bc().receipt(f.attacks[0].tx_index);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::may_be_flash_loan(receipt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_flashloan_prefilter);
 
 /// Whole-population scan, reported as time per transaction.
 void bm_population_scan(benchmark::State& state) {
@@ -101,6 +122,48 @@ void bm_population_scan(benchmark::State& state) {
                           static_cast<std::int64_t>(f.pop.txs.size()));
 }
 BENCHMARK(bm_population_scan)->Unit(benchmark::kMillisecond);
+
+/// Whole-chain serial scan through the scanner API (prefilter on).
+void bm_chain_scan_serial(benchmark::State& state) {
+  auto& f = fix();
+  core::scanner_options opts;
+  opts.yield_aggregator_apps = f.pop.aggregator_apps;
+  const auto& receipts = f.u.bc().receipts();
+  for (auto _ : state) {
+    core::scanner s{f.u.bc().creations(), f.u.labels(), f.u.weth().id(),
+                    opts};
+    s.scan_all(receipts, nullptr);
+    benchmark::DoNotOptimize(s.stats());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(receipts.size()));
+}
+BENCHMARK(bm_chain_scan_serial)->Unit(benchmark::kMillisecond);
+
+/// Whole-chain parallel scan; thread count is the benchmark argument.
+void bm_chain_scan_parallel(benchmark::State& state) {
+  auto& f = fix();
+  core::parallel_scanner_options opts;
+  opts.scan.yield_aggregator_apps = f.pop.aggregator_apps;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  const auto& receipts = f.u.bc().receipts();
+  for (auto _ : state) {
+    core::parallel_scanner ps{f.u.bc().creations(), f.u.labels(),
+                              f.u.weth().id(), opts};
+    ps.scan_all(receipts);
+    benchmark::DoNotOptimize(ps.stats());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(receipts.size()));
+}
+// Real time, not main-thread CPU time: the work happens on pool workers.
+BENCHMARK(bm_chain_scan_parallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,227 @@
+// Whole-chain scan throughput: serial vs parallel engine at 1/2/4/8 worker
+// threads, plus the serial prefilter fast-path win. Every configuration is
+// first checked (untimed) for bit-identical incidents against the serial
+// reference, then timed as best-of-R construction+scan. Emits
+// machine-readable BENCH_scan.json (path overridable with --out) so the
+// tx/s trajectory is trackable.
+//
+// The corpus is the known attacks + synthetic population, optionally
+// diluted with `--noise N` plain ERC20 transfer transactions (default
+// 2000): mainnet is overwhelmingly non-flash-loan traffic (272,984 flash
+// loan txs in 14.5M blocks), and the prefilter's value is exactly that
+// dilution, so the undiluted corpus (43% flash loans) would misstate it.
+//
+// Usage: bench_throughput [--benign N] [--noise N] [--reps R] [--out FILE]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/parallel_scanner.h"
+#include "scenarios/known_attacks.h"
+
+using namespace leishen;
+
+namespace {
+
+struct timing {
+  std::string name;
+  unsigned threads = 1;       // workers (1 for the serial engine)
+  double best_seconds = 0.0;
+  double tx_per_s = 0.0;
+  double speedup = 1.0;       // vs the serial (no prefilter) baseline
+  bool deterministic = true;  // output identical to the serial reference
+};
+
+int arg_int(int argc, char** argv, const std::string& flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string arg_str(int argc, char** argv, const std::string& flag,
+                    std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Best-of-R wall time of `fn` in seconds.
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// Dilute the corpus with plain token-transfer transactions (the dominant
+/// mainnet traffic shape the scanners must skip cheaply).
+void add_noise_txs(scenarios::universe& u, int count) {
+  if (count <= 0) return;
+  auto& tok = u.make_token("NOISE", "", 1.0);
+  const address alice = u.bc().create_user_account();
+  const address bob = u.bc().create_user_account();
+  u.airdrop(tok, alice, units(1'000'000, 18));
+  u.airdrop(tok, bob, units(1'000'000, 18));
+  for (int i = 0; i < count; ++i) {
+    const address& from = (i % 2) == 0 ? alice : bob;
+    const address& to = (i % 2) == 0 ? bob : alice;
+    u.bc().execute(from, "noise transfer", [&](chain::context& ctx) {
+      tok.transfer(ctx, to, units(1, 18));
+    });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int benign = std::max(0, bench::arg_benign(argc, argv, 400));
+  const int noise = std::max(0, arg_int(argc, argv, "--noise", 2000));
+  // atoi turns garbage into 0; a zero-rep best-of would print sentinels.
+  const int reps = std::max(1, arg_int(argc, argv, "--reps", 5));
+  const std::string out_path = arg_str(argc, argv, "--out", "BENCH_scan.json");
+
+  scenarios::universe u;
+  scenarios::run_known_attacks(u);
+  scenarios::population_params pparams;
+  pparams.benign_txs = benign;
+  const scenarios::population pop = generate_population(u, pparams);
+  add_noise_txs(u, noise);
+  const auto& receipts = u.bc().receipts();
+  const double n_tx = static_cast<double>(receipts.size());
+
+  core::scanner_options base;
+  base.yield_aggregator_apps = pop.aggregator_apps;
+  base.aggregator_heuristic = true;
+  base.prefilter = true;
+
+  // Serial reference output (used for every determinism check).
+  core::scanner reference{u.bc().creations(), u.labels(), u.weth().id(),
+                          base};
+  reference.scan_all(receipts, nullptr);
+
+  std::vector<timing> rows;
+
+  const auto serial_row = [&](const std::string& name,
+                              const core::scanner_options& opts,
+                              bool check_full_stats) {
+    timing t;
+    t.name = name;
+    t.threads = 1;
+    {
+      core::scanner s{u.bc().creations(), u.labels(), u.weth().id(), opts};
+      s.scan_all(receipts, nullptr);
+      t.deterministic =
+          s.incidents() == reference.incidents() &&
+          (check_full_stats ? s.stats() == reference.stats()
+                            : s.stats().incidents ==
+                                  reference.stats().incidents);
+    }
+    t.best_seconds = best_of(reps, [&] {
+      core::scanner s{u.bc().creations(), u.labels(), u.weth().id(), opts};
+      s.scan_all(receipts, nullptr);
+    });
+    rows.push_back(t);
+  };
+
+  // Serial without the prefilter: the pre-optimization baseline
+  // (prefilter_rejects necessarily differs, so only incidents are compared).
+  auto no_prefilter = base;
+  no_prefilter.prefilter = false;
+  serial_row("serial", no_prefilter, /*check_full_stats=*/false);
+  const double baseline = rows.front().best_seconds;
+
+  // Serial with the prefilter fast path.
+  serial_row("serial+prefilter", base, /*check_full_stats=*/true);
+
+  // Parallel engine at 1/2/4/8 worker threads (prefilter + shared cache on).
+  for (const unsigned threads : {1U, 2U, 4U, 8U}) {
+    core::parallel_scanner_options popts;
+    popts.scan = base;
+    popts.threads = threads;
+    timing t;
+    t.name = "parallel";
+    t.threads = threads;
+    {
+      core::parallel_scanner ps{u.bc().creations(), u.labels(),
+                                u.weth().id(), popts};
+      ps.scan_all(receipts);
+      t.deterministic = ps.incidents() == reference.incidents() &&
+                        ps.stats() == reference.stats();
+    }
+    t.best_seconds = best_of(reps, [&] {
+      core::parallel_scanner ps{u.bc().creations(), u.labels(),
+                                u.weth().id(), popts};
+      ps.scan_all(receipts);
+    });
+    rows.push_back(t);
+  }
+
+  for (timing& t : rows) {
+    t.tx_per_s = n_tx / t.best_seconds;
+    t.speedup = baseline / t.best_seconds;
+  }
+
+  bench::print_header("Scan throughput (serial vs parallel block pipeline)");
+  std::printf("corpus: %zu receipts (%llu flash loans, %llu incidents, "
+              "%d noise txs), hardware threads: %u, best of %d reps\n\n",
+              receipts.size(),
+              static_cast<unsigned long long>(reference.stats().flash_loans),
+              static_cast<unsigned long long>(reference.stats().incidents),
+              noise, thread_pool::hardware_threads(), reps);
+  std::printf("%-18s %8s %12s %12s %9s %6s\n", "engine", "threads", "ms/scan",
+              "tx/s", "speedup", "same?");
+  for (const timing& t : rows) {
+    std::printf("%-18s %8u %12.2f %12.0f %8.2fx %6s\n", t.name.c_str(),
+                t.threads, t.best_seconds * 1e3, t.tx_per_s, t.speedup,
+                t.deterministic ? "yes" : "NO");
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scan_throughput\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               thread_pool::hardware_threads());
+  std::fprintf(f, "  \"repetitions\": %d,\n", reps);
+  std::fprintf(
+      f,
+      "  \"corpus\": {\"receipts\": %zu, \"benign_txs\": %d, "
+      "\"noise_txs\": %d, \"flash_loans\": %llu, \"incidents\": %llu, "
+      "\"prefilter_rejects\": %llu},\n",
+      receipts.size(), benign, noise,
+      static_cast<unsigned long long>(reference.stats().flash_loans),
+      static_cast<unsigned long long>(reference.stats().incidents),
+      static_cast<unsigned long long>(reference.stats().prefilter_rejects));
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const timing& t = rows[i];
+    std::fprintf(f,
+                 "    {\"engine\": \"%s\", \"threads\": %u, "
+                 "\"best_seconds\": %.6f, \"tx_per_s\": %.1f, "
+                 "\"speedup_vs_serial\": %.3f, \"deterministic\": %s}%s\n",
+                 t.name.c_str(), t.threads, t.best_seconds, t.tx_per_s,
+                 t.speedup, t.deterministic ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  const bool all_ok = std::all_of(rows.begin(), rows.end(),
+                                  [](const timing& t) {
+                                    return t.deterministic;
+                                  });
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+namespace leishen {
+
+unsigned thread_pool::hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1U : n;
+}
+
+thread_pool::thread_pool(unsigned threads) {
+  if (threads == 0) threads = hardware_threads();
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    const std::lock_guard lk{mu_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void thread_pool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard lk{mu_};
+    queue_.push_back(std::move(job));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void thread_pool::wait() {
+  std::unique_lock lk{mu_};
+  idle_cv_.wait(lk, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lk{mu_};
+      work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::exception_ptr err;
+    try {
+      job();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      const std::lock_guard lk{mu_};
+      if (err && !first_error_) first_error_ = err;
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace leishen

@@ -1,0 +1,55 @@
+// A small fixed-size worker pool for the parallel scan engine (and any
+// other embarrassingly-parallel bulk pass). Jobs are type-erased thunks;
+// `wait()` blocks until every submitted job has finished, rethrowing the
+// first job exception if any. Workers persist for the pool's lifetime, so
+// repeated scans reuse threads instead of respawning them.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace leishen {
+
+class thread_pool {
+ public:
+  /// `threads == 0` means one worker per hardware thread.
+  explicit thread_pool(unsigned threads = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue one job. Never blocks (the queue is unbounded).
+  void submit(std::function<void()> job);
+
+  /// Block until all submitted jobs have completed. If any job threw, the
+  /// first captured exception is rethrown here (remaining jobs still ran).
+  void wait();
+
+  /// hardware_concurrency(), never zero.
+  [[nodiscard]] static unsigned hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;  // queued + running jobs
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace leishen

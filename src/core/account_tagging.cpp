@@ -1,6 +1,8 @@
 #include "core/account_tagging.h"
 
+#include <mutex>
 #include <set>
+#include <utility>
 #include <vector>
 
 namespace leishen::core {
@@ -17,6 +19,23 @@ const char* to_string(trade_kind k) noexcept {
   return "?";
 }
 
+std::optional<tag_result> shared_tag_cache::find(const address& a) const {
+  const std::shared_lock lk{mu_};
+  const auto it = map_.find(a);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+const tag_result& shared_tag_cache::insert(const address& a, tag_result r) {
+  const std::unique_lock lk{mu_};
+  return map_.emplace(a, std::move(r)).first->second;
+}
+
+std::size_t shared_tag_cache::size() const {
+  const std::shared_lock lk{mu_};
+  return map_.size();
+}
+
 const std::string& account_tagger::tag_of(const address& a) const {
   return compute(a).tag;
 }
@@ -25,11 +44,22 @@ bool account_tagger::is_conflicted(const address& a) const {
   return compute(a).conflicted;
 }
 
-const account_tagger::result& account_tagger::compute(const address& a) const {
+const tag_result& account_tagger::compute(const address& a) const {
   const auto it = cache_.find(a);
   if (it != cache_.end()) return it->second;
 
-  result r;
+  if (shared_ != nullptr) {
+    if (auto hit = shared_->find(a)) {
+      return cache_.emplace(a, std::move(*hit)).first->second;
+    }
+  }
+  tag_result r = walk(a);
+  if (shared_ != nullptr) r = shared_->insert(a, std::move(r));
+  return cache_.emplace(a, std::move(r)).first->second;
+}
+
+tag_result account_tagger::walk(const address& a) const {
+  tag_result r;
   if (a.is_zero()) {
     r.tag = kBlackHoleTag;
   } else if (const auto own = labels_.label_of(a)) {
@@ -63,7 +93,7 @@ const account_tagger::result& account_tagger::compute(const address& a) const {
       r.conflicted = true;
     }
   }
-  return cache_.emplace(a, std::move(r)).first->second;
+  return r;
 }
 
 app_transfer_list account_tagger::lift(

@@ -12,8 +12,18 @@
 //                                            one identity)
 //   - conflicting applications            -> untaggable; a unique per-account
 //                                            tag so no accidental merging
+//
+// Creation-tree walks repeat heavily across transactions from the same
+// actors, so tagging is memoized at two levels: each `account_tagger` keeps
+// a lock-free per-instance cache, and taggers can additionally share a
+// `shared_tag_cache` (shared_mutex-guarded) so parallel scan workers reuse
+// each other's walks. Entries are pure functions of the immutable creation
+// registry and label DB, so the caches never need invalidation within a
+// scan; rebuild the tagger (and drop the shared cache) if labels change.
 #pragma once
 
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -23,11 +33,40 @@
 
 namespace leishen::core {
 
+/// The memoized outcome of one creation-tree walk.
+struct tag_result {
+  std::string tag;
+  bool conflicted = false;
+};
+
+/// Thread-safe tag memoization shared across `account_tagger` instances
+/// (one tagger per scan worker). Lookups take a shared lock; inserts take a
+/// unique lock with first-writer-wins semantics — safe because every worker
+/// computes the identical value for a given address. Entries are never
+/// erased, so returned references stay valid for the cache's lifetime.
+class shared_tag_cache {
+ public:
+  [[nodiscard]] std::optional<tag_result> find(const address& a) const;
+
+  /// Insert (keeping any concurrently-inserted value) and return the
+  /// canonical stored entry.
+  const tag_result& insert(const address& a, tag_result r);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<address, tag_result, address_hash> map_;
+};
+
 class account_tagger {
  public:
+  /// `shared` is an optional cross-tagger memoization level (must outlive
+  /// the tagger); pass nullptr for a purely per-instance cache.
   account_tagger(const chain::creation_registry& creations,
-                 const etherscan::label_db& labels)
-      : creations_{creations}, labels_{labels} {}
+                 const etherscan::label_db& labels,
+                 shared_tag_cache* shared = nullptr)
+      : creations_{creations}, labels_{labels}, shared_{shared} {}
 
   /// The tag of `a` (memoized).
   [[nodiscard]] const std::string& tag_of(const address& a) const;
@@ -40,16 +79,19 @@ class account_tagger {
   [[nodiscard]] app_transfer_list lift(
       const chain::transfer_list& transfers) const;
 
+  /// Size of the per-instance memo (observability / tests).
+  [[nodiscard]] std::size_t cache_size() const noexcept {
+    return cache_.size();
+  }
+
  private:
-  struct result {
-    std::string tag;
-    bool conflicted = false;
-  };
-  const result& compute(const address& a) const;
+  const tag_result& compute(const address& a) const;
+  [[nodiscard]] tag_result walk(const address& a) const;
 
   const chain::creation_registry& creations_;
   const etherscan::label_db& labels_;
-  mutable std::unordered_map<address, result, address_hash> cache_;
+  shared_tag_cache* shared_;
+  mutable std::unordered_map<address, tag_result, address_hash> cache_;
 };
 
 }  // namespace leishen::core

@@ -64,8 +64,8 @@ detection_report::borrower_flows() const {
 
 detector::detector(const chain::creation_registry& creations,
                    const etherscan::label_db& labels, asset weth_token,
-                   pattern_params params)
-    : tagger_{creations, labels},
+                   pattern_params params, shared_tag_cache* tag_cache)
+    : tagger_{creations, labels, tag_cache},
       weth_token_{weth_token},
       params_{params} {}
 

@@ -64,10 +64,12 @@ struct detection_report {
 class detector {
  public:
   /// `weth_token` identifies the canonical WETH contract for rule 2 (pass
-  /// a default asset when none exists).
+  /// a default asset when none exists). `tag_cache` optionally shares the
+  /// account-tagging memo across detectors (parallel scan workers); it must
+  /// outlive the detector.
   detector(const chain::creation_registry& creations,
            const etherscan::label_db& labels, asset weth_token,
-           pattern_params params = {});
+           pattern_params params = {}, shared_tag_cache* tag_cache = nullptr);
 
   /// Run the full pipeline on one receipt. Non-flash-loan transactions get
   /// a report with is_flash_loan == false and no further stages.

@@ -114,6 +114,21 @@ const char* to_string(flash_provider p) noexcept {
   return "?";
 }
 
+bool may_be_flash_loan(const chain::tx_receipt& receipt) noexcept {
+  if (!receipt.success) return false;  // identify_flash_loan rejects these too
+  for (const trace_event& ev : receipt.events) {
+    if (const auto* call = std::get_if<call_record>(&ev)) {
+      // Uniswap flash swaps are only recognized through their callback.
+      if (call->method == "uniswapV2Call") return true;
+    } else if (const auto* log = std::get_if<event_log>(&ev)) {
+      // AAVE loans require a FlashLoan event; the dYdX state machine cannot
+      // leave stage 0 without a LogOperation event.
+      if (log->name == "FlashLoan" || log->name == "LogOperation") return true;
+    }
+  }
+  return false;
+}
+
 flashloan_info identify_flash_loan(const chain::tx_receipt& receipt) {
   flashloan_info out;
   if (!receipt.success) return out;  // reverted txs left no flash loan

@@ -41,4 +41,12 @@ struct flashloan_info {
 [[nodiscard]] flashloan_info identify_flash_loan(
     const chain::tx_receipt& receipt);
 
+/// Signature-only pre-check: one early-exit pass over the trace looking for
+/// any Table II provider trigger (a `uniswapV2Call` callback, a `FlashLoan`
+/// event, a dYdX `LogOperation` event). Sound with respect to the full
+/// identification — it never returns false for a receipt that
+/// `identify_flash_loan` accepts — so scanners use it as a cheap fast-path
+/// reject before the expensive replay/tagging/simplification stages.
+[[nodiscard]] bool may_be_flash_loan(const chain::tx_receipt& receipt) noexcept;
+
 }  // namespace leishen::core

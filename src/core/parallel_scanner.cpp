@@ -1,0 +1,68 @@
+#include "core/parallel_scanner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace leishen::core {
+
+parallel_scanner::parallel_scanner(const chain::creation_registry& creations,
+                                   const etherscan::label_db& labels,
+                                   chain::asset weth_token,
+                                   parallel_scanner_options options)
+    : creations_{creations},
+      labels_{labels},
+      weth_{weth_token},
+      options_{std::move(options)},
+      pool_{options_.threads} {
+  options_.scan.tag_cache =
+      options_.share_tag_cache ? &tag_cache_ : nullptr;
+  if (options_.chunk_size == 0) options_.chunk_size = 1;
+}
+
+void parallel_scanner::scan_all(
+    const std::vector<chain::tx_receipt>& receipts,
+    const std::function<void(const incident&)>& on_incident) {
+  const std::size_t n = receipts.size();
+  const std::size_t chunk = options_.chunk_size;
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+
+  // One result slot per chunk: workers write only their own slots, the
+  // merge below reads them in chunk order once the pool is idle.
+  std::vector<std::vector<incident>> chunk_incidents(nchunks);
+  std::vector<scan_stats> chunk_stats(nchunks);
+  std::atomic<std::size_t> next_chunk{0};
+
+  const unsigned workers = pool_.size();
+  for (unsigned w = 0; w < workers; ++w) {
+    pool_.submit([&] {
+      // Worker-private scanner: its detector (and tagging L1 memo) lives
+      // across every chunk this worker claims.
+      const scanner s{creations_, labels_, weth_, options_.scan};
+      for (;;) {
+        const std::size_t c =
+            next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= nchunks) break;
+        s.scan_range(receipts, c * chunk, (c + 1) * chunk, chunk_stats[c],
+                     chunk_incidents[c]);
+      }
+    });
+  }
+  pool_.wait();
+
+  // Deterministic merge: chunks are contiguous receipt ranges, so
+  // concatenation in chunk order is global tx-index order; stats are
+  // commutative sums.
+  std::size_t total = 0;
+  for (const auto& ci : chunk_incidents) total += ci.size();
+  incidents_.reserve(incidents_.size() + total);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    stats_ += chunk_stats[c];
+    for (incident& inc : chunk_incidents[c]) {
+      if (on_incident) on_incident(inc);
+      incidents_.push_back(std::move(inc));
+    }
+  }
+}
+
+}  // namespace leishen::core

@@ -41,6 +41,8 @@ struct pattern_match {
   asset target;              // the manipulated token
   std::string counterparty;  // the victim application of the primary trades
   std::vector<std::size_t> trade_indices;  // indices into the input trades
+
+  friend bool operator==(const pattern_match&, const pattern_match&) = default;
 };
 
 /// Match all three patterns for the given borrower tag.

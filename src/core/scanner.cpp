@@ -1,50 +1,69 @@
 #include "core/scanner.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace leishen::core {
+
+scan_stats& scan_stats::operator+=(const scan_stats& o) noexcept {
+  transactions += o.transactions;
+  flash_loans += o.flash_loans;
+  for (int i = 0; i < 3; ++i) per_provider[i] += o.per_provider[i];
+  incidents += o.incidents;
+  for (int i = 0; i < 3; ++i) per_pattern[i] += o.per_pattern[i];
+  suppressed_by_heuristic += o.suppressed_by_heuristic;
+  prefilter_rejects += o.prefilter_rejects;
+  return *this;
+}
 
 scanner::scanner(const chain::creation_registry& creations,
                  const etherscan::label_db& labels, chain::asset weth_token,
                  scanner_options options)
-    : detector_{creations, labels, weth_token, options.params},
-      options_{std::move(options)} {}
+    : detector_{creations, labels, weth_token, options.params,
+                options.tag_cache},
+      options_{std::move(options)},
+      aggregator_set_{options_.yield_aggregator_apps.begin(),
+                      options_.yield_aggregator_apps.end()} {}
 
 bool scanner::is_aggregator(const std::string& tag) const {
-  return std::find(options_.yield_aggregator_apps.begin(),
-                   options_.yield_aggregator_apps.end(),
-                   tag) != options_.yield_aggregator_apps.end();
+  return aggregator_set_.contains(tag);
 }
 
-std::optional<incident> scanner::scan(const chain::tx_receipt& receipt) {
-  ++stats_.transactions;
-  const detection_report report = detector_.analyze(receipt);
-  if (!report.is_flash_loan) return std::nullopt;
-  ++stats_.flash_loans;
+void scanner::scan_one(const chain::tx_receipt& receipt, scan_stats& stats,
+                       std::vector<incident>& out) const {
+  ++stats.transactions;
+  if (options_.prefilter && !may_be_flash_loan(receipt)) {
+    ++stats.prefilter_rejects;
+    return;
+  }
+  detection_report report = detector_.analyze(receipt);
+  if (!report.is_flash_loan) return;
+  ++stats.flash_loans;
   for (const auto p : {flash_provider::uniswap, flash_provider::aave,
                        flash_provider::dydx}) {
-    if (report.flash.from(p)) ++stats_.per_provider[static_cast<int>(p)];
+    if (report.flash.from(p)) ++stats.per_provider[static_cast<int>(p)];
   }
-  if (report.matches.empty()) return std::nullopt;
+  if (report.matches.empty()) return;
 
-  std::vector<pattern_match> kept = report.matches;
+  // The report is ours: take its matches instead of copying them.
+  std::vector<pattern_match> kept = std::move(report.matches);
   if (options_.aggregator_heuristic && is_aggregator(report.borrower_tag)) {
     // §VI-C: transactions initiated from yield aggregators are assumed
     // benign — drop their MBS matches (the pattern their strategies mimic).
     const auto removed = std::erase_if(kept, [](const pattern_match& m) {
       return m.pattern == attack_pattern::mbs;
     });
-    stats_.suppressed_by_heuristic += removed;
+    stats.suppressed_by_heuristic += removed;
   }
-  if (kept.empty()) return std::nullopt;
+  if (kept.empty()) return;
 
-  ++stats_.incidents;
+  ++stats.incidents;
   for (const auto p : {attack_pattern::krp, attack_pattern::sbs,
                        attack_pattern::mbs}) {
     if (std::any_of(kept.begin(), kept.end(), [&](const pattern_match& m) {
           return m.pattern == p;
         })) {
-      ++stats_.per_pattern[static_cast<int>(p)];
+      ++stats.per_pattern[static_cast<int>(p)];
     }
   }
 
@@ -55,17 +74,31 @@ std::optional<incident> scanner::scan(const chain::tx_receipt& receipt) {
   inc.matches = std::move(kept);
   const auto vols = report.volatilities();
   if (!vols.empty()) inc.max_volatility_pct = vols.front().percent;
-  incidents_.push_back(inc);
-  return inc;
+  out.push_back(std::move(inc));
+}
+
+const incident* scanner::scan(const chain::tx_receipt& receipt) {
+  const std::size_t before = incidents_.size();
+  scan_one(receipt, stats_, incidents_);
+  return incidents_.size() > before ? &incidents_.back() : nullptr;
 }
 
 void scanner::scan_all(const std::vector<chain::tx_receipt>& receipts,
                        const std::function<void(const incident&)>&
                            on_incident) {
   for (const chain::tx_receipt& rec : receipts) {
-    if (const auto inc = scan(rec)) {
+    if (const incident* inc = scan(rec)) {
       if (on_incident) on_incident(*inc);
     }
+  }
+}
+
+void scanner::scan_range(const std::vector<chain::tx_receipt>& receipts,
+                         std::size_t begin, std::size_t end, scan_stats& stats,
+                         std::vector<incident>& out) const {
+  end = std::min(end, receipts.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    scan_one(receipts[i], stats, out);
   }
 }
 

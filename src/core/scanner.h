@@ -2,11 +2,18 @@
 // detector. Feeds on receipts in block order, keeps the running statistics
 // the paper reports (per-provider flash loan counts, detections per
 // pattern), and applies the §VI-C yield-aggregator heuristic.
+//
+// Two engines share the same per-receipt step (`scan_range`):
+//   - `scanner` — the serial streaming engine below;
+//   - `parallel_scanner` (core/parallel_scanner.h) — shards a receipt range
+//     across worker threads, each running its own `scanner`, and merges the
+//     shard outputs deterministically in tx-index order.
 #pragma once
 
+#include <cstddef>
 #include <functional>
-#include <optional>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "core/detector.h"
@@ -21,6 +28,15 @@ struct scanner_options {
   std::vector<std::string> yield_aggregator_apps;
   /// Apply the heuristic (paper: lifts MBS precision 56.1% -> 80%).
   bool aggregator_heuristic = true;
+  /// Fast-path reject via the signature-only Table II pre-check
+  /// (`may_be_flash_loan`) before running the full pipeline. Sound: the
+  /// prefilter only rejects receipts `identify_flash_loan` would reject, so
+  /// detection output is unchanged — only `scan_stats::prefilter_rejects`
+  /// records how often the expensive stages were skipped.
+  bool prefilter = true;
+  /// Optional cross-scanner account-tagging memo (parallel scan workers
+  /// share one); must outlive the scanner. nullptr = per-scanner memo only.
+  shared_tag_cache* tag_cache = nullptr;
 };
 
 struct incident {
@@ -29,6 +45,8 @@ struct incident {
   std::string borrower_tag;
   std::vector<pattern_match> matches;
   double max_volatility_pct = 0.0;
+
+  friend bool operator==(const incident&, const incident&) = default;
 };
 
 struct scan_stats {
@@ -38,6 +56,15 @@ struct scan_stats {
   std::uint64_t incidents = 0;
   std::uint64_t per_pattern[3] = {0, 0, 0};   // indexed by attack_pattern
   std::uint64_t suppressed_by_heuristic = 0;
+  /// Receipts rejected by the signature prefilter without running the full
+  /// pipeline (a subset of transactions - flash_loans).
+  std::uint64_t prefilter_rejects = 0;
+
+  /// Merge another shard's counters (all commutative sums, so shard merge
+  /// order cannot change the result).
+  scan_stats& operator+=(const scan_stats& o) noexcept;
+
+  friend bool operator==(const scan_stats&, const scan_stats&) = default;
 };
 
 class scanner {
@@ -46,14 +73,25 @@ class scanner {
           const etherscan::label_db& labels, chain::asset weth_token,
           scanner_options options = {});
 
-  /// Scan one receipt; returns the incident if the transaction is flagged
-  /// (after the heuristic), nullopt otherwise. Statistics update either way.
-  std::optional<incident> scan(const chain::tx_receipt& receipt);
+  /// Scan one receipt; returns a pointer to the stored incident if the
+  /// transaction is flagged (after the heuristic), nullptr otherwise.
+  /// Statistics update either way. The pointer refers into `incidents()`
+  /// and is invalidated by the next scan.
+  const incident* scan(const chain::tx_receipt& receipt);
 
   /// Convenience: scan a whole range of receipts, invoking `on_incident`
   /// for every flagged transaction.
   void scan_all(const std::vector<chain::tx_receipt>& receipts,
                 const std::function<void(const incident&)>& on_incident);
+
+  /// Stateless-by-argument per-shard step: scan receipts[begin, end),
+  /// accumulating counters into `stats` and appending flagged incidents to
+  /// `out` without touching the scanner's own running state. This is the
+  /// unit the parallel engine schedules; `scan`/`scan_all` are thin
+  /// wrappers over it targeting the member state.
+  void scan_range(const std::vector<chain::tx_receipt>& receipts,
+                  std::size_t begin, std::size_t end, scan_stats& stats,
+                  std::vector<incident>& out) const;
 
   [[nodiscard]] const scan_stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const std::vector<incident>& incidents() const noexcept {
@@ -64,10 +102,15 @@ class scanner {
   }
 
  private:
+  void scan_one(const chain::tx_receipt& receipt, scan_stats& stats,
+                std::vector<incident>& out) const;
   [[nodiscard]] bool is_aggregator(const std::string& tag) const;
 
   detector detector_;
   scanner_options options_;
+  /// O(1) membership for the §VI-C heuristic (built once from
+  /// options_.yield_aggregator_apps).
+  std::unordered_set<std::string> aggregator_set_;
   scan_stats stats_;
   std::vector<incident> incidents_;
 };

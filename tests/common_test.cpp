@@ -1,13 +1,16 @@
 // Tests for address, rate, rng and simulated time.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "common/address.h"
 #include "common/rate.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "common/thread_pool.h"
 
 namespace leishen {
 namespace {
@@ -211,6 +214,47 @@ TEST(SimTime, BlockAtTimeInverse) {
   EXPECT_NEAR(static_cast<double>(block_at_time(block_timestamp(b))),
               static_cast<double>(b), 1.0);
   EXPECT_EQ(block_at_time(0), 0U);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  thread_pool pool{4};
+  EXPECT_EQ(pool.size(), 4U);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 1000);
+  // The pool stays usable after a wait.
+  pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1001);
+}
+
+TEST(ThreadPool, WaitWithNoJobsReturnsImmediately) {
+  thread_pool pool{2};
+  pool.wait();
+}
+
+TEST(ThreadPool, ZeroMeansHardwareThreads) {
+  thread_pool pool{0};
+  EXPECT_EQ(pool.size(), thread_pool::hardware_threads());
+  EXPECT_GE(thread_pool::hardware_threads(), 1U);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstJobException) {
+  thread_pool pool{2};
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error{"boom"}; });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The failure did not take down the other jobs (or the pool).
+  EXPECT_EQ(ran.load(), 10);
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 11);
 }
 
 }  // namespace

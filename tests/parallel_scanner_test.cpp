@@ -1,0 +1,192 @@
+// Parallel scan engine tests: bit-identical output vs the serial scanner
+// for any thread count / chunk size, prefilter soundness, and the shared
+// tagging cache. The corpus is the known-attacks reconstructions plus the
+// synthetic population (the same mix the paper's evaluation scans).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/thread_pool.h"
+#include "core/parallel_scanner.h"
+#include "scenarios/known_attacks.h"
+#include "scenarios/population.h"
+
+namespace leishen::core {
+namespace {
+
+class ParallelScanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    u_ = new scenarios::universe{};
+    attacks_ = new std::vector<scenarios::known_attack>{
+        scenarios::run_known_attacks(*u_)};
+    scenarios::population_params params;
+    params.benign_txs = 250;
+    pop_ = new scenarios::population{generate_population(*u_, params)};
+  }
+  static void TearDownTestSuite() {
+    delete pop_;
+    delete attacks_;
+    delete u_;
+    pop_ = nullptr;
+    attacks_ = nullptr;
+    u_ = nullptr;
+  }
+
+  static scanner_options scan_options(bool prefilter = true) {
+    scanner_options opts;
+    opts.aggregator_heuristic = true;
+    opts.yield_aggregator_apps = pop_->aggregator_apps;
+    opts.prefilter = prefilter;
+    return opts;
+  }
+
+  static scanner make_serial(bool prefilter = true) {
+    return scanner{u_->bc().creations(), u_->labels(), u_->weth().id(),
+                   scan_options(prefilter)};
+  }
+
+  static parallel_scanner make_parallel(unsigned threads,
+                                        std::size_t chunk_size = 64,
+                                        bool share_cache = true) {
+    parallel_scanner_options opts;
+    opts.scan = scan_options();
+    opts.threads = threads;
+    opts.chunk_size = chunk_size;
+    opts.share_tag_cache = share_cache;
+    return parallel_scanner{u_->bc().creations(), u_->labels(),
+                            u_->weth().id(), opts};
+  }
+
+  static scenarios::universe* u_;
+  static std::vector<scenarios::known_attack>* attacks_;
+  static scenarios::population* pop_;
+};
+
+scenarios::universe* ParallelScanTest::u_ = nullptr;
+std::vector<scenarios::known_attack>* ParallelScanTest::attacks_ = nullptr;
+scenarios::population* ParallelScanTest::pop_ = nullptr;
+
+TEST_F(ParallelScanTest, DeterministicAcrossThreadCounts) {
+  auto serial = make_serial();
+  serial.scan_all(u_->bc().receipts(), nullptr);
+  ASSERT_GT(serial.stats().incidents, 0U);
+
+  for (const unsigned threads : {1U, 2U, 8U}) {
+    auto par = make_parallel(threads);
+    EXPECT_EQ(par.threads(), threads);
+    par.scan_all(u_->bc().receipts());
+    EXPECT_EQ(par.stats(), serial.stats()) << "threads=" << threads;
+    EXPECT_EQ(par.incidents(), serial.incidents()) << "threads=" << threads;
+  }
+}
+
+TEST_F(ParallelScanTest, DeterministicAcrossChunkSizes) {
+  auto serial = make_serial();
+  serial.scan_all(u_->bc().receipts(), nullptr);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{100000}}) {
+    auto par = make_parallel(4, chunk);
+    par.scan_all(u_->bc().receipts());
+    EXPECT_EQ(par.stats(), serial.stats()) << "chunk=" << chunk;
+    EXPECT_EQ(par.incidents(), serial.incidents()) << "chunk=" << chunk;
+  }
+}
+
+TEST_F(ParallelScanTest, SharedTagCacheDoesNotChangeResults) {
+  auto with = make_parallel(4, 64, /*share_cache=*/true);
+  auto without = make_parallel(4, 64, /*share_cache=*/false);
+  with.scan_all(u_->bc().receipts());
+  without.scan_all(u_->bc().receipts());
+  EXPECT_EQ(with.stats(), without.stats());
+  EXPECT_EQ(with.incidents(), without.incidents());
+  // The shared cache actually memoized tagging walks.
+  EXPECT_GT(with.tag_cache().size(), 0U);
+  EXPECT_EQ(without.tag_cache().size(), 0U);
+}
+
+TEST_F(ParallelScanTest, CallbackRunsPostMergeInTxOrder) {
+  auto par = make_parallel(4, 16);
+  std::uint64_t last = 0;
+  std::size_t calls = 0;
+  par.scan_all(u_->bc().receipts(), [&](const incident& inc) {
+    EXPECT_GT(inc.tx_index, last);
+    last = inc.tx_index;
+    ++calls;
+  });
+  EXPECT_EQ(calls, par.incidents().size());
+}
+
+TEST_F(ParallelScanTest, RepeatedScansAccumulateLikeSerial) {
+  auto serial = make_serial();
+  serial.scan_all(u_->bc().receipts(), nullptr);
+  serial.scan_all(u_->bc().receipts(), nullptr);
+  auto par = make_parallel(4);
+  par.scan_all(u_->bc().receipts());
+  par.scan_all(u_->bc().receipts());
+  EXPECT_EQ(par.stats(), serial.stats());
+  EXPECT_EQ(par.incidents(), serial.incidents());
+}
+
+TEST_F(ParallelScanTest, EmptyRange) {
+  auto par = make_parallel(4);
+  const std::vector<chain::tx_receipt> none;
+  par.scan_all(none);
+  EXPECT_EQ(par.stats().transactions, 0U);
+  EXPECT_TRUE(par.incidents().empty());
+}
+
+// ---- prefilter soundness ----------------------------------------------------
+
+TEST_F(ParallelScanTest, PrefilterNeverRejectsAcceptedReceipts) {
+  for (const chain::tx_receipt& rec : u_->bc().receipts()) {
+    if (identify_flash_loan(rec).is_flash_loan) {
+      EXPECT_TRUE(may_be_flash_loan(rec)) << "tx " << rec.tx_index;
+    }
+  }
+}
+
+TEST_F(ParallelScanTest, PrefilterIsTransparentToDetection) {
+  auto with = make_serial(/*prefilter=*/true);
+  auto without = make_serial(/*prefilter=*/false);
+  with.scan_all(u_->bc().receipts(), nullptr);
+  without.scan_all(u_->bc().receipts(), nullptr);
+  EXPECT_EQ(with.incidents(), without.incidents());
+  EXPECT_EQ(with.stats().flash_loans, without.stats().flash_loans);
+  EXPECT_EQ(with.stats().incidents, without.stats().incidents);
+  // The corpus has non-flash-loan setup transactions, so the prefilter must
+  // have actually skipped work.
+  EXPECT_GT(with.stats().prefilter_rejects, 0U);
+  EXPECT_EQ(without.stats().prefilter_rejects, 0U);
+  EXPECT_LE(with.stats().prefilter_rejects,
+            with.stats().transactions - with.stats().flash_loans);
+}
+
+// ---- shared tagging cache ---------------------------------------------------
+
+TEST_F(ParallelScanTest, SharedCacheServesSecondTagger) {
+  shared_tag_cache cache;
+  const account_tagger first{u_->bc().creations(), u_->labels(), &cache};
+  const auto& attack = attacks_->front();
+  const std::string tag = first.tag_of(attack.contract_addr);
+  ASSERT_GT(cache.size(), 0U);
+
+  const account_tagger second{u_->bc().creations(), u_->labels(), &cache};
+  EXPECT_EQ(second.tag_of(attack.contract_addr), tag);
+  EXPECT_EQ(second.cache_size(), 1U);  // filled from the shared level
+}
+
+TEST_F(ParallelScanTest, SharedCacheFirstWriterWins) {
+  shared_tag_cache cache;
+  EXPECT_EQ(cache.insert(address::from_seed(1), {"A", false}).tag, "A");
+  EXPECT_EQ(cache.insert(address::from_seed(1), {"B", false}).tag, "A");
+  ASSERT_TRUE(cache.find(address::from_seed(1)).has_value());
+  EXPECT_EQ(cache.find(address::from_seed(1))->tag, "A");
+  EXPECT_FALSE(cache.find(address::from_seed(2)).has_value());
+  EXPECT_EQ(cache.size(), 1U);
+}
+
+}  // namespace
+}  // namespace leishen::core
