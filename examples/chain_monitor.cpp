@@ -1,24 +1,47 @@
-// Chain monitor: stream every block of a synthetic population, identify
-// flash loan transactions online, and print an incident feed for the ones
-// LeiShen flags — the deployment mode the paper envisions.
+// Chain monitor: run the streaming monitor service over a synthetic
+// population fed block-by-block — live ingestion through the bounded
+// queue, incremental detection, an incident feed, periodic checkpoints,
+// and a metrics printout. Ctrl-C requests a clean drain: ingestion stops,
+// queued blocks are still scanned, and the final checkpoint is written, so
+// re-running with the same --checkpoint resumes where the run left off.
 //
-//   usage: chain_monitor [--benign N]
+//   usage: chain_monitor [--benign N] [--rate BLOCKS_PER_SEC]
+//                        [--checkpoint FILE] [--jsonl FILE]
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <memory>
+#include <thread>
 
 #include "common/sim_time.h"
-#include "core/scanner.h"
-#include "core/profit.h"
 #include "scenarios/population.h"
+#include "service/monitor_service.h"
 
 using namespace leishen;
 
+namespace {
+
+// SIGINT flips this; the main thread turns it into a monitor drain.
+volatile std::sig_atomic_t interrupted = 0;
+void on_sigint(int) { interrupted = 1; }
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int benign = 800;
+  double rate = 0.0;
+  const char* checkpoint_path = "";
+  const char* jsonl_path = "";
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--benign") == 0) benign = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--rate") == 0) rate = std::atof(argv[i + 1]);
+    if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      checkpoint_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--jsonl") == 0) jsonl_path = argv[i + 1];
   }
 
   scenarios::universe u;
@@ -28,22 +51,17 @@ int main(int argc, char** argv) {
             << " benign flash loan txs + the attack set)...\n";
   const auto pop = scenarios::generate_population(u, params);
 
-  // The scanner is the deployment-facing API: streaming detection with the
-  // §VI-C yield-aggregator heuristic applied.
-  core::scanner_options opts;
-  opts.yield_aggregator_apps = pop.aggregator_apps;
-  core::scanner scanner{u.bc().creations(), u.labels(), u.weth().id(), opts};
+  service::metrics_registry metrics;
+  service::monitor_options opts;
+  opts.scan.yield_aggregator_apps = pop.aggregator_apps;
+  opts.queue_capacity = 32;
+  opts.checkpoint_path = checkpoint_path;
+  service::monitor_service monitor{u.bc().creations(), u.labels(),
+                                   u.weth().id(), metrics, opts};
 
-  double total_loss = 0;
-  std::cout << "\n--- incident feed ---\n";
-  scanner.scan_all(u.bc().receipts(), [&](const core::incident& inc) {
-    const auto report =
-        scanner.underlying_detector().analyze(u.bc().receipt(inc.tx_index));
-    const auto profit = core::summarize_profit(
-        report, [&](const chain::asset& t, const u256& amount) {
-          return u.usd_value(t, amount);
-        });
-    total_loss += profit.net_usd;
+  // Incident feed straight off the detection worker.
+  service::callback_sink feed{[](const service::monitor_incident& mi) {
+    const core::incident& inc = mi.incident;
     std::string patterns;
     for (const auto& m : inc.matches) {
       if (!patterns.empty()) patterns += "+";
@@ -51,24 +69,63 @@ int main(int argc, char** argv) {
     }
     std::string victim = inc.matches.front().counterparty;
     if (victim.size() > 16) victim = victim.substr(0, 13) + "...";
-    std::cout << date_label(inc.timestamp) << "  tx#" << std::setw(6)
-              << inc.tx_index << "  " << std::setw(8) << patterns << "  vs "
-              << std::setw(16) << victim << "  est. profit $"
-              << static_cast<long>(profit.net_usd) << "\n";
-  });
+    std::cout << date_label(inc.timestamp) << "  block " << std::setw(8)
+              << mi.block_number << "  tx#" << std::setw(6) << inc.tx_index
+              << "  " << std::setw(8) << patterns << "  vs " << std::setw(16)
+              << victim << "  volatility " << std::fixed
+              << std::setprecision(1) << inc.max_volatility_pct << "%\n";
+  }};
+  monitor.add_sink(feed);
+
+  std::unique_ptr<service::jsonl_sink> jsonl;
+  if (jsonl_path[0] != '\0') {
+    const bool resume = monitor.resume_from_checkpoint();
+    jsonl = std::make_unique<service::jsonl_sink>(jsonl_path, resume);
+    monitor.add_sink(*jsonl);
+    if (resume) {
+      std::cout << "resuming after block " << monitor.last_block()
+                << " (appending to " << jsonl_path << ")\n";
+    }
+  } else if (checkpoint_path[0] != '\0' && monitor.resume_from_checkpoint()) {
+    std::cout << "resuming after block " << monitor.last_block() << "\n";
+  }
+
+  service::simulated_source_options src_opts;
+  src_opts.blocks_per_second = rate;
+  service::simulated_block_source source{u.bc().receipts(), src_opts};
+
+  std::signal(SIGINT, on_sigint);
+  std::cout << "\n--- incident feed (Ctrl-C to drain and stop) ---\n";
+  monitor.start(source);
+  // The main thread just babysits the stop token; detection runs on the
+  // monitor's worker.
+  while (interrupted == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{50});
+    if (monitor.queue().closed()) break;  // source exhausted
+  }
+  if (interrupted != 0) {
+    std::cout << "\ninterrupt: draining queue...\n";
+    monitor.request_stop();
+  }
+  monitor.wait();
   std::cout << "--- end of feed ---\n\n";
-  const auto& st = scanner.stats();
-  std::cout << "scanned " << st.transactions << " transactions, "
-            << st.flash_loans << " flash loans, " << st.incidents
+
+  std::cout << "metrics:\n" << metrics.to_text() << "\n";
+  const auto& st = monitor.stats();
+  std::cout << "scanned " << st.transactions << " transactions in "
+            << monitor.blocks_processed() << " blocks, " << st.flash_loans
+            << " flash loans, " << st.incidents
             << " flagged as price manipulation attacks ("
             << st.suppressed_by_heuristic
             << " aggregator strategies suppressed)\n";
-  std::cout << "estimated attacker profit across incidents: $"
-            << static_cast<long>(total_loss) << "\n";
   std::cout << "(ground truth: " << [&] {
     int n = 0;
     for (const auto& tx : pop.txs) n += tx.truth_attack;
     return n;
   }() << " true attacks in the population)\n";
+  if (checkpoint_path[0] != '\0') {
+    std::cout << "checkpoint written to " << checkpoint_path << " (last block "
+              << monitor.last_block() << ")\n";
+  }
   return 0;
 }

@@ -1,0 +1,149 @@
+// Bounded MPMC queue: the ingestion buffer between a block producer (chain
+// head follower / simulator source) and the monitor's detection workers.
+//
+// Backpressure is the producer's choice per call: `push` blocks while the
+// queue is full (lossless, slows ingestion to detection speed), `try_push`
+// never blocks and counts the drop (lossy, keeps ingestion at line rate).
+// `close` is the poison pill for graceful shutdown: producers are refused
+// from then on, consumers drain whatever is still queued and then receive
+// std::nullopt — so a closed queue empties deterministically instead of
+// truncating.
+//
+// The queue also records the observability signals the monitor exports:
+// the depth high-water mark (how close the buffer came to overflowing) and
+// the number of dropped items.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace leishen {
+
+template <typename T>
+class block_queue {
+ public:
+  /// `capacity == 0` is promoted to 1 (a zero-capacity queue could never
+  /// transfer anything).
+  explicit block_queue(std::size_t capacity)
+      : capacity_{capacity == 0 ? 1 : capacity} {}
+
+  block_queue(const block_queue&) = delete;
+  block_queue& operator=(const block_queue&) = delete;
+
+  /// Blocking push: waits while the queue is full. Returns false (and
+  /// discards `item`) if the queue is or becomes closed.
+  bool push(T item) {
+    {
+      std::unique_lock lk{mu_};
+      not_full_cv_.wait(lk, [this] {
+        return closed_ || queue_.size() < capacity_;
+      });
+      if (closed_) return false;
+      enqueue_locked(std::move(item));
+    }
+    not_empty_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. A rejection because the queue is full is counted in
+  /// `dropped()`; a rejection because it is closed is not (nothing was lost
+  /// that a drain would have delivered).
+  bool try_push(T item) {
+    {
+      const std::lock_guard lk{mu_};
+      if (closed_) return false;
+      if (queue_.size() >= capacity_) {
+        ++dropped_;
+        return false;
+      }
+      enqueue_locked(std::move(item));
+    }
+    not_empty_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: waits for an item. Returns std::nullopt only once the
+  /// queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock lk{mu_};
+      not_empty_cv_.wait(lk, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return std::nullopt;  // closed and drained
+      out.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    not_full_cv_.notify_one();
+    return out;
+  }
+
+  /// Non-blocking pop: std::nullopt when nothing is currently queued
+  /// (whether or not the queue is closed).
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      const std::lock_guard lk{mu_};
+      if (queue_.empty()) return std::nullopt;
+      out.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    not_full_cv_.notify_one();
+    return out;
+  }
+
+  /// Poison pill: refuse producers, let consumers drain, wake everyone.
+  void close() {
+    {
+      const std::lock_guard lk{mu_};
+      closed_ = true;
+    }
+    not_full_cv_.notify_all();
+    not_empty_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard lk{mu_};
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard lk{mu_};
+    return queue_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Maximum depth ever observed (backpressure headroom indicator).
+  [[nodiscard]] std::size_t high_water() const {
+    const std::lock_guard lk{mu_};
+    return high_water_;
+  }
+
+  /// Items rejected by `try_push` because the queue was full.
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::lock_guard lk{mu_};
+    return dropped_;
+  }
+
+ private:
+  void enqueue_locked(T item) {
+    queue_.push_back(std::move(item));
+    if (queue_.size() > high_water_) high_water_ = queue_.size();
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_cv_;
+  std::condition_variable not_empty_cv_;
+  std::deque<T> queue_;
+  std::size_t high_water_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace leishen

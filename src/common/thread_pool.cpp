@@ -26,6 +26,10 @@ thread_pool::~thread_pool() {
   for (std::thread& t : workers_) t.join();
 }
 
+void thread_pool::request_stop() noexcept {
+  stop_requested_.store(true, std::memory_order_release);
+}
+
 void thread_pool::submit(std::function<void()> job) {
   {
     const std::lock_guard lk{mu_};

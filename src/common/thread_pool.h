@@ -5,6 +5,7 @@
 // repeated scans reuse threads instead of respawning them.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -36,6 +37,25 @@ class thread_pool {
   /// first captured exception is rethrown here (remaining jobs still ran).
   void wait();
 
+  /// Cooperative cancellation: raise a stop request that long-running jobs
+  /// observe via `stop_requested()` and honor by returning early. Workers
+  /// are NOT killed and already-queued jobs still run (they too should poll
+  /// the flag) — so a service can drain in-flight work and keep reusing the
+  /// pool, unlike destruction, which is one-way. Never blocks.
+  void request_stop() noexcept;
+
+  /// True once `request_stop()` has been called (until `clear_stop()`).
+  /// Jobs that may outlive a single `wait()` round must poll this.
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arm the pool after a cooperative stop so new long-running jobs
+  /// start with a clean flag.
+  void clear_stop() noexcept {
+    stop_requested_.store(false, std::memory_order_release);
+  }
+
   /// hardware_concurrency(), never zero.
   [[nodiscard]] static unsigned hardware_threads() noexcept;
 
@@ -49,7 +69,8 @@ class thread_pool {
   std::condition_variable idle_cv_;
   std::size_t in_flight_ = 0;  // queued + running jobs
   std::exception_ptr first_error_;
-  bool stop_ = false;
+  std::atomic<bool> stop_requested_{false};  // cooperative, job-visible
+  bool stop_ = false;                        // destructor-only worker exit
 };
 
 }  // namespace leishen

@@ -22,7 +22,11 @@ const char* to_string(trade_kind k) noexcept {
 std::optional<tag_result> shared_tag_cache::find(const address& a) const {
   const std::shared_lock lk{mu_};
   const auto it = map_.find(a);
-  if (it == map_.end()) return std::nullopt;
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second;
 }
 

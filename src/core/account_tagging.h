@@ -22,6 +22,8 @@
 // scan; rebuild the tagger (and drop the shared cache) if labels change.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -54,8 +56,20 @@ class shared_tag_cache {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Lookup counters (for the metrics registry): `find` calls that returned
+  /// an entry / came up empty. Only L1 (per-tagger) misses reach this
+  /// cache, so a hit here is a creation-tree walk another worker saved us.
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::shared_mutex mu_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
   std::unordered_map<address, tag_result, address_hash> map_;
 };
 

@@ -30,7 +30,10 @@ namespace leishen::core {
 struct parallel_scanner_options {
   /// Per-worker scanner configuration (params, heuristic, prefilter). Its
   /// `tag_cache` field is overwritten by the engine according to
-  /// `share_tag_cache` below.
+  /// `share_tag_cache` below. Its `stage_observer` (if any) is shared by
+  /// every worker, so it must be thread-safe — the service-layer metrics
+  /// bridge is; this is how batch scans and the streaming monitor export
+  /// identical per-stage latency metrics.
   scanner_options scan;
   /// Worker threads; 0 = one per hardware thread.
   unsigned threads = 0;

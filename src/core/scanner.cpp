@@ -1,9 +1,26 @@
 #include "core/scanner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace leishen::core {
+
+namespace {
+
+/// Wall-time one stage and report it; no-op (and no clock reads) without an
+/// observer so the per-receipt hot path stays clean.
+template <typename Fn>
+auto timed_stage(scan_stage_observer* obs, scan_stage stage, Fn&& fn) {
+  if (obs == nullptr) return fn();
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  obs->on_stage(stage, std::chrono::duration<double>(t1 - t0).count());
+  return result;
+}
+
+}  // namespace
 
 scan_stats& scan_stats::operator+=(const scan_stats& o) noexcept {
   transactions += o.transactions;
@@ -13,6 +30,7 @@ scan_stats& scan_stats::operator+=(const scan_stats& o) noexcept {
   for (int i = 0; i < 3; ++i) per_pattern[i] += o.per_pattern[i];
   suppressed_by_heuristic += o.suppressed_by_heuristic;
   prefilter_rejects += o.prefilter_rejects;
+  prefilter_accepts += o.prefilter_accepts;
   return *this;
 }
 
@@ -32,11 +50,19 @@ bool scanner::is_aggregator(const std::string& tag) const {
 void scanner::scan_one(const chain::tx_receipt& receipt, scan_stats& stats,
                        std::vector<incident>& out) const {
   ++stats.transactions;
-  if (options_.prefilter && !may_be_flash_loan(receipt)) {
-    ++stats.prefilter_rejects;
-    return;
+  if (options_.prefilter) {
+    const bool pass = timed_stage(options_.stage_observer,
+                                  scan_stage::prefilter,
+                                  [&] { return may_be_flash_loan(receipt); });
+    if (!pass) {
+      ++stats.prefilter_rejects;
+      return;
+    }
+    ++stats.prefilter_accepts;
   }
-  detection_report report = detector_.analyze(receipt);
+  detection_report report =
+      timed_stage(options_.stage_observer, scan_stage::pipeline,
+                  [&] { return detector_.analyze(receipt); });
   if (!report.is_flash_loan) return;
   ++stats.flash_loans;
   for (const auto p : {flash_provider::uniswap, flash_provider::aave,

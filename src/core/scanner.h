@@ -20,6 +20,22 @@
 
 namespace leishen::core {
 
+/// The two per-receipt phases worth timing separately: the signature-only
+/// prefilter (cheap, runs on every receipt) and the full replay/tagging/
+/// simplify/match pipeline (expensive, runs on prefilter survivors).
+enum class scan_stage { prefilter, pipeline };
+
+/// Optional per-stage latency hook. `on_stage` is invoked once per stage
+/// run with its wall time; the parallel engine shares one observer across
+/// all workers, so implementations must be thread-safe. The batch scanners
+/// and the streaming monitor feed the same observer type, which is what
+/// keeps their latency metrics comparable.
+class scan_stage_observer {
+ public:
+  virtual ~scan_stage_observer() = default;
+  virtual void on_stage(scan_stage stage, double seconds) = 0;
+};
+
 struct scanner_options {
   pattern_params params;
   /// Applications whose transactions the §VI-C heuristic treats as benign
@@ -37,6 +53,10 @@ struct scanner_options {
   /// Optional cross-scanner account-tagging memo (parallel scan workers
   /// share one); must outlive the scanner. nullptr = per-scanner memo only.
   shared_tag_cache* tag_cache = nullptr;
+  /// Optional per-stage latency observer (must outlive the scanner and be
+  /// thread-safe when the scanner runs inside the parallel engine).
+  /// nullptr = no timing overhead on the per-receipt hot path.
+  scan_stage_observer* stage_observer = nullptr;
 };
 
 struct incident {
@@ -59,6 +79,9 @@ struct scan_stats {
   /// Receipts rejected by the signature prefilter without running the full
   /// pipeline (a subset of transactions - flash_loans).
   std::uint64_t prefilter_rejects = 0;
+  /// Receipts the prefilter passed through to the full pipeline (so with
+  /// the prefilter enabled, accepts + rejects == transactions).
+  std::uint64_t prefilter_accepts = 0;
 
   /// Merge another shard's counters (all commutative sums, so shard merge
   /// order cannot change the result).

@@ -1,0 +1,35 @@
+#include "service/block_source.h"
+
+#include <thread>
+
+namespace leishen::service {
+
+simulated_block_source::simulated_block_source(
+    const std::vector<chain::tx_receipt>& receipts,
+    simulated_source_options opts)
+    : receipts_{&receipts}, options_{opts} {}
+
+std::optional<block> simulated_block_source::next() {
+  if (cursor_ >= receipts_->size()) return std::nullopt;
+
+  if (options_.blocks_per_second > 0.0) {
+    const auto now = std::chrono::steady_clock::now();
+    if (next_emit_.time_since_epoch().count() == 0) next_emit_ = now;
+    if (next_emit_ > now) std::this_thread::sleep_until(next_emit_);
+    next_emit_ += std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(1.0 / options_.blocks_per_second));
+  }
+
+  block b;
+  b.number = (*receipts_)[cursor_].block_number;
+  b.timestamp = (*receipts_)[cursor_].timestamp;
+  while (cursor_ < receipts_->size() &&
+         (*receipts_)[cursor_].block_number == b.number) {
+    b.receipts.push_back((*receipts_)[cursor_]);
+    ++cursor_;
+  }
+  return b;
+}
+
+}  // namespace leishen::service

@@ -1,0 +1,68 @@
+// Where the monitor's blocks come from.
+//
+// A `block_source` yields whole blocks in ascending block-number order —
+// the unit the chain head delivers and the unit the monitor checkpoints at.
+// The simulator-backed implementation groups an already-executed chain's
+// receipt log into blocks and optionally paces them at a configurable rate,
+// standing in for a node subscription feeding live blocks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chain/receipt.h"
+
+namespace leishen::service {
+
+/// One block's worth of work, owned (detached from any simulator state so
+/// queued blocks survive the producer).
+struct block {
+  std::uint64_t number = 0;
+  std::int64_t timestamp = 0;
+  std::vector<chain::tx_receipt> receipts;
+  /// Stamped by the monitor when the block enters the ingestion queue;
+  /// enqueue-to-incident latency is measured against it.
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+class block_source {
+ public:
+  virtual ~block_source() = default;
+
+  /// The next block (strictly increasing numbers); std::nullopt at end of
+  /// stream. Called from the monitor's producer thread only.
+  virtual std::optional<block> next() = 0;
+};
+
+struct simulated_source_options {
+  /// Emission pacing; 0 = as fast as the consumer accepts.
+  double blocks_per_second = 0.0;
+};
+
+/// Replays an executed chain's receipts as a block stream.
+class simulated_block_source final : public block_source {
+ public:
+  /// `receipts` must stay alive and unmodified while the source is used;
+  /// they must be in chain order (block numbers nondecreasing), which the
+  /// simulator's receipt log guarantees.
+  explicit simulated_block_source(
+      const std::vector<chain::tx_receipt>& receipts,
+      simulated_source_options opts = {});
+
+  std::optional<block> next() override;
+
+  /// Blocks remaining (for progress displays).
+  [[nodiscard]] std::size_t remaining_receipts() const noexcept {
+    return receipts_->size() - cursor_;
+  }
+
+ private:
+  const std::vector<chain::tx_receipt>* receipts_;
+  simulated_source_options options_;
+  std::size_t cursor_ = 0;
+  std::chrono::steady_clock::time_point next_emit_{};
+};
+
+}  // namespace leishen::service

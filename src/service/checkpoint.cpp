@@ -1,0 +1,102 @@
+#include "service/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace leishen::service {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+}  // namespace
+
+bool save_checkpoint(const checkpoint& cp, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+
+  std::fprintf(f, "leishen_checkpoint_v=%d\n", kFormatVersion);
+  std::fprintf(f, "last_block=%" PRIu64 "\n", cp.last_block);
+  std::fprintf(f, "blocks_processed=%" PRIu64 "\n", cp.blocks_processed);
+  std::fprintf(f, "incidents_emitted=%" PRIu64 "\n", cp.incidents_emitted);
+  const core::scan_stats& s = cp.stats;
+  std::fprintf(f, "stats.transactions=%" PRIu64 "\n", s.transactions);
+  std::fprintf(f, "stats.flash_loans=%" PRIu64 "\n", s.flash_loans);
+  for (int i = 0; i < 3; ++i) {
+    std::fprintf(f, "stats.per_provider.%d=%" PRIu64 "\n", i,
+                 s.per_provider[i]);
+  }
+  std::fprintf(f, "stats.incidents=%" PRIu64 "\n", s.incidents);
+  for (int i = 0; i < 3; ++i) {
+    std::fprintf(f, "stats.per_pattern.%d=%" PRIu64 "\n", i, s.per_pattern[i]);
+  }
+  std::fprintf(f, "stats.suppressed_by_heuristic=%" PRIu64 "\n",
+               s.suppressed_by_heuristic);
+  std::fprintf(f, "stats.prefilter_rejects=%" PRIu64 "\n",
+               s.prefilter_rejects);
+  std::fprintf(f, "stats.prefilter_accepts=%" PRIu64 "\n",
+               s.prefilter_accepts);
+  for (const auto& [name, value] : cp.metric_counters) {
+    std::fprintf(f, "metric.%s=%" PRIu64 "\n", name.c_str(), value);
+  }
+
+  const bool wrote = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<checkpoint> load_checkpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+
+  checkpoint cp;
+  bool version_ok = false;
+  char line[512];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    const std::string s{line};
+    const std::size_t eq = s.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = s.substr(0, eq);
+    const std::uint64_t value = std::strtoull(s.c_str() + eq + 1, nullptr, 10);
+
+    if (key == "leishen_checkpoint_v") {
+      version_ok = value == kFormatVersion;
+    } else if (key == "last_block") {
+      cp.last_block = value;
+    } else if (key == "blocks_processed") {
+      cp.blocks_processed = value;
+    } else if (key == "incidents_emitted") {
+      cp.incidents_emitted = value;
+    } else if (key == "stats.transactions") {
+      cp.stats.transactions = value;
+    } else if (key == "stats.flash_loans") {
+      cp.stats.flash_loans = value;
+    } else if (key == "stats.incidents") {
+      cp.stats.incidents = value;
+    } else if (key == "stats.suppressed_by_heuristic") {
+      cp.stats.suppressed_by_heuristic = value;
+    } else if (key == "stats.prefilter_rejects") {
+      cp.stats.prefilter_rejects = value;
+    } else if (key == "stats.prefilter_accepts") {
+      cp.stats.prefilter_accepts = value;
+    } else if (key.starts_with("stats.per_provider.")) {
+      const int i = std::atoi(key.c_str() + sizeof "stats.per_provider." - 1);
+      if (i >= 0 && i < 3) cp.stats.per_provider[i] = value;
+    } else if (key.starts_with("stats.per_pattern.")) {
+      const int i = std::atoi(key.c_str() + sizeof "stats.per_pattern." - 1);
+      if (i >= 0 && i < 3) cp.stats.per_pattern[i] = value;
+    } else if (key.starts_with("metric.")) {
+      cp.metric_counters.emplace(key.substr(sizeof "metric." - 1), value);
+    }
+  }
+  std::fclose(f);
+  if (!version_ok) return std::nullopt;
+  return cp;
+}
+
+}  // namespace leishen::service

@@ -1,0 +1,43 @@
+// Monitor checkpoints: the durable cursor that makes the streaming monitor
+// resumable.
+//
+// A checkpoint records the last *fully processed* block, the cumulative
+// scan statistics and the registry's counter snapshot at that point. Since
+// every per-receipt detection is a pure function of (receipt, registry,
+// labels, options), a monitor restarted from a checkpoint and fed the same
+// block stream skips blocks <= `last_block` and then emits the exact
+// incident suffix the interrupted run would have — appending to the same
+// JSONL feed reproduces the uninterrupted stream bit for bit.
+//
+// The file format is versioned line-oriented `key=value` (atomic writes
+// via temp file + rename, so a crash mid-write leaves the previous
+// checkpoint intact).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/scanner.h"
+
+namespace leishen::service {
+
+struct checkpoint {
+  std::uint64_t last_block = 0;       // last fully processed block number
+  std::uint64_t blocks_processed = 0;
+  std::uint64_t incidents_emitted = 0;
+  core::scan_stats stats;             // cumulative detection counters
+  std::map<std::string, std::uint64_t> metric_counters;
+
+  friend bool operator==(const checkpoint&, const checkpoint&) = default;
+};
+
+/// Write atomically (temp + rename). Returns false on I/O failure.
+bool save_checkpoint(const checkpoint& cp, const std::string& path);
+
+/// Load; std::nullopt when the file is absent, unreadable, or from an
+/// incompatible format version.
+std::optional<checkpoint> load_checkpoint(const std::string& path);
+
+}  // namespace leishen::service

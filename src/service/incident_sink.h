@@ -1,0 +1,88 @@
+// Where the monitor's incidents go.
+//
+// Sinks are pluggable delivery channels invoked inline by the monitor's
+// detection worker, in block / tx order — a callback for in-process
+// consumers (alerting, dashboards) and an append-only JSONL file for a
+// durable feed. The JSONL format is its own round-trip: `jsonl_sink::read`
+// reconstructs the exact incident stream, which is how the checkpoint /
+// resume tests compare a resumed run against an uninterrupted one.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scanner.h"
+
+namespace leishen::service {
+
+/// One flagged transaction as the monitor emits it.
+struct monitor_incident {
+  std::uint64_t block_number = 0;
+  core::incident incident;
+  /// When the containing block entered the ingestion queue (latency
+  /// measurement only — deliberately not part of equality or the JSONL
+  /// serialization, so identical detections compare equal across runs).
+  std::chrono::steady_clock::time_point enqueued_at{};
+
+  friend bool operator==(const monitor_incident& a,
+                         const monitor_incident& b) {
+    return a.block_number == b.block_number && a.incident == b.incident;
+  }
+};
+
+class incident_sink {
+ public:
+  virtual ~incident_sink() = default;
+
+  /// Called by the monitor's detection worker, serialized, in tx order.
+  virtual void on_incident(const monitor_incident& inc) = 0;
+
+  /// Make everything delivered so far durable (called at checkpoints and
+  /// on shutdown).
+  virtual void flush() {}
+};
+
+/// Adapts a std::function — the "just give me the incidents" sink.
+class callback_sink final : public incident_sink {
+ public:
+  explicit callback_sink(std::function<void(const monitor_incident&)> fn)
+      : fn_{std::move(fn)} {}
+
+  void on_incident(const monitor_incident& inc) override { fn_(inc); }
+
+ private:
+  std::function<void(const monitor_incident&)> fn_;
+};
+
+/// Durable feed: one JSON object per line, append-only. Reopening with
+/// `append = true` continues an earlier run's file — the resume path.
+class jsonl_sink final : public incident_sink {
+ public:
+  explicit jsonl_sink(const std::string& path, bool append = false);
+  ~jsonl_sink() override;
+
+  jsonl_sink(const jsonl_sink&) = delete;
+  jsonl_sink& operator=(const jsonl_sink&) = delete;
+
+  void on_incident(const monitor_incident& inc) override;
+  void flush() override;
+
+  [[nodiscard]] std::uint64_t written() const noexcept { return written_; }
+
+  /// Serialize one incident to its JSONL line (no trailing newline).
+  static std::string to_json_line(const monitor_incident& inc);
+
+  /// Parse everything a sink wrote. Throws std::runtime_error on a
+  /// malformed line or an unreadable file.
+  static std::vector<monitor_incident> read(const std::string& path);
+
+ private:
+  std::FILE* file_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace leishen::service

@@ -1,0 +1,218 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace leishen::service {
+
+namespace {
+
+/// Shortest decimal form that still distinguishes values (JSON + text).
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- histogram --------------------------------------------------------------
+
+std::vector<double> histogram::default_bounds() {
+  // 1us .. 10s, one bucket per decade third (~2.15x steps).
+  std::vector<double> b;
+  for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+    b.push_back(decade);
+    b.push_back(decade * 2.5);
+    b.push_back(decade * 5.0);
+  }
+  b.push_back(10.0);
+  return b;
+}
+
+histogram::histogram(std::vector<double> upper_bounds)
+    : bounds_{std::move(upper_bounds)} {
+  if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument{"histogram bounds must be sorted, non-empty"};
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> histogram::cumulative() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return out;
+}
+
+double histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> cum = cumulative();
+  const std::uint64_t n = cum.back();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(n);
+  std::size_t i = 0;
+  while (i < cum.size() && static_cast<double>(cum[i]) < rank) ++i;
+  if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+  const std::uint64_t below = i == 0 ? 0 : cum[i - 1];
+  const std::uint64_t in_bucket = cum[i] - below;
+  const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+  const double hi = bounds_[i];
+  if (in_bucket == 0) return hi;
+  const double frac = (rank - static_cast<double>(below)) /
+                      static_cast<double>(in_bucket);
+  return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+}
+
+// ---- registry ---------------------------------------------------------------
+
+namespace {
+
+template <typename Map>
+void reject_cross_kind(const Map& map, const std::string& name,
+                       const char* kind) {
+  if (map.contains(name)) {
+    throw std::invalid_argument{"metric '" + name +
+                                "' already registered as a " + kind};
+  }
+}
+
+}  // namespace
+
+counter& metrics_registry::get_counter(const std::string& name) {
+  const std::lock_guard lk{mu_};
+  reject_cross_kind(gauges_, name, "gauge");
+  reject_cross_kind(histograms_, name, "histogram");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<counter>();
+  return *slot;
+}
+
+gauge& metrics_registry::get_gauge(const std::string& name) {
+  const std::lock_guard lk{mu_};
+  reject_cross_kind(counters_, name, "counter");
+  reject_cross_kind(histograms_, name, "histogram");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<gauge>();
+  return *slot;
+}
+
+histogram& metrics_registry::get_histogram(const std::string& name,
+                                           std::vector<double> bounds) {
+  const std::lock_guard lk{mu_};
+  reject_cross_kind(counters_, name, "counter");
+  reject_cross_kind(gauges_, name, "gauge");
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::uint64_t metrics_registry::counter_value(const std::string& name) const {
+  const std::lock_guard lk{mu_};
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::map<std::string, std::uint64_t> metrics_registry::counter_snapshot()
+    const {
+  const std::lock_guard lk{mu_};
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+std::string metrics_registry::to_text() const {
+  const std::lock_guard lk{mu_};
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += name + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += name + " " + fmt_double(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += name + " count=" + std::to_string(h->count()) +
+           " sum=" + fmt_double(h->sum()) +
+           " p50=" + fmt_double(h->quantile(0.5)) +
+           " p99=" + fmt_double(h->quantile(0.99)) + "\n";
+  }
+  return out;
+}
+
+std::string metrics_registry::to_json() const {
+  const std::lock_guard lk{mu_};
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(c->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + fmt_double(g->value());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": {\"count\": " +
+           std::to_string(h->count()) + ", \"sum\": " + fmt_double(h->sum()) +
+           ", \"p50\": " + fmt_double(h->quantile(0.5)) +
+           ", \"p99\": " + fmt_double(h->quantile(0.99)) + "}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+// ---- scan-stage bridge ------------------------------------------------------
+
+scan_stage_metrics::scan_stage_metrics(metrics_registry& registry,
+                                       const std::string& prefix)
+    : prefilter_{registry.get_histogram(prefix + "_prefilter_seconds")},
+      pipeline_{registry.get_histogram(prefix + "_pipeline_seconds")} {}
+
+void scan_stage_metrics::on_stage(core::scan_stage stage, double seconds) {
+  (stage == core::scan_stage::prefilter ? prefilter_ : pipeline_)
+      .observe(seconds);
+}
+
+}  // namespace leishen::service

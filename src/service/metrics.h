@@ -1,0 +1,150 @@
+// Observability primitives for the streaming monitor (and the batch
+// engines, which share the same counters via the scan-stage bridge).
+//
+// Three instrument kinds, all safe for concurrent updates:
+//   - counter: monotone uint64 (blocks ingested, prefilter rejects, ...)
+//   - gauge: latest double, with a monotone-max helper for high-water marks
+//   - histogram: fixed upper-bound buckets + count + sum; quantiles are
+//     estimated by linear interpolation inside the winning bucket, which is
+//     the usual Prometheus-style tradeoff (exactness bounded by bucket
+//     resolution, O(1) memory regardless of sample count).
+//
+// `metrics_registry` hands out stable references keyed by name (get-or-
+// create; instruments are never removed, so references stay valid for the
+// registry's lifetime) and renders the whole catalogue as aligned human
+// text or machine-readable JSON.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/scanner.h"
+
+namespace leishen::service {
+
+class counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  /// Monotone update: keep the maximum of the current and given value
+  /// (queue depth high-water marks and similar).
+  void set_max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; a +inf overflow bucket is
+  /// implicit. The default layout covers latencies from 1 microsecond to
+  /// ~10 seconds in exponential steps.
+  explicit histogram(std::vector<double> upper_bounds = default_bounds());
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept;
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation within the
+  /// bucket holding the q-th sample. 0 when empty; samples in the overflow
+  /// bucket report the last finite bound.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Cumulative count of samples <= bounds()[i] (Prometheus-style, with
+  /// one extra trailing entry for the +inf bucket).
+  [[nodiscard]] std::vector<std::uint64_t> cumulative() const;
+
+  static std::vector<double> default_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_+1 slots
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class metrics_registry {
+ public:
+  metrics_registry() = default;
+  metrics_registry(const metrics_registry&) = delete;
+  metrics_registry& operator=(const metrics_registry&) = delete;
+
+  /// Get-or-create by name. References remain valid for the registry's
+  /// lifetime. Creating under one kind and requesting the same name under
+  /// another throws std::invalid_argument.
+  counter& get_counter(const std::string& name);
+  gauge& get_gauge(const std::string& name);
+  histogram& get_histogram(const std::string& name,
+                           std::vector<double> bounds =
+                               histogram::default_bounds());
+
+  /// Value of a counter if it exists (0 otherwise) — for checkpointing and
+  /// tests without forcing creation.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+
+  /// Human-readable catalogue, one instrument per line.
+  [[nodiscard]] std::string to_text() const;
+  /// Machine-readable catalogue:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Snapshot of every counter (for the checkpoint file).
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps; instruments are lock-free
+  std::map<std::string, std::unique_ptr<counter>> counters_;
+  std::map<std::string, std::unique_ptr<gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<histogram>> histograms_;
+};
+
+/// Bridge from the core scan engines' per-stage timing hook into a pair of
+/// registry histograms ("<prefix>_prefilter_seconds" and
+/// "<prefix>_pipeline_seconds"). Thread-safe, so one bridge can serve the
+/// parallel engine's workers and the monitor alike — that is what makes
+/// batch and streaming latency metrics directly comparable.
+class scan_stage_metrics final : public core::scan_stage_observer {
+ public:
+  scan_stage_metrics(metrics_registry& registry, const std::string& prefix);
+
+  void on_stage(core::scan_stage stage, double seconds) override;
+
+ private:
+  histogram& prefilter_;
+  histogram& pipeline_;
+};
+
+}  // namespace leishen::service

@@ -1,0 +1,199 @@
+#include "service/monitor_service.h"
+
+#include <chrono>
+#include <utility>
+
+namespace leishen::service {
+
+namespace {
+
+core::scanner_options patched(core::scanner_options scan,
+                              core::shared_tag_cache* cache,
+                              core::scan_stage_observer* observer) {
+  scan.tag_cache = cache;
+  scan.stage_observer = observer;
+  return scan;
+}
+
+}  // namespace
+
+monitor_service::monitor_service(const chain::creation_registry& creations,
+                                 const etherscan::label_db& labels,
+                                 chain::asset weth_token,
+                                 metrics_registry& metrics,
+                                 monitor_options options)
+    : metrics_{metrics},
+      options_{std::move(options)},
+      stage_metrics_{metrics, "monitor"},
+      scanner_{creations, labels, weth_token,
+               patched(options_.scan, &tag_cache_, &stage_metrics_)},
+      queue_{options_.queue_capacity},
+      c_blocks_ingested_{metrics.get_counter("monitor_blocks_ingested")},
+      c_txs_ingested_{metrics.get_counter("monitor_txs_ingested")},
+      c_blocks_dropped_{metrics.get_counter("monitor_blocks_dropped")},
+      c_blocks_processed_{metrics.get_counter("monitor_blocks_processed")},
+      c_blocks_skipped_resume_{
+          metrics.get_counter("monitor_blocks_skipped_resume")},
+      c_flash_loans_{metrics.get_counter("monitor_flash_loans")},
+      c_incidents_{metrics.get_counter("monitor_incidents")},
+      c_incidents_krp_{metrics.get_counter("monitor_incidents_krp")},
+      c_incidents_sbs_{metrics.get_counter("monitor_incidents_sbs")},
+      c_incidents_mbs_{metrics.get_counter("monitor_incidents_mbs")},
+      c_prefilter_accepts_{metrics.get_counter("monitor_prefilter_accepts")},
+      c_prefilter_rejects_{metrics.get_counter("monitor_prefilter_rejects")},
+      c_tag_cache_hits_{metrics.get_counter("monitor_tag_cache_hits")},
+      c_tag_cache_misses_{metrics.get_counter("monitor_tag_cache_misses")},
+      c_checkpoints_{metrics.get_counter("monitor_checkpoints_written")},
+      g_queue_depth_{metrics.get_gauge("monitor_queue_depth")},
+      g_queue_high_water_{metrics.get_gauge("monitor_queue_high_water")},
+      h_incident_latency_{
+          metrics.get_histogram("monitor_incident_latency_seconds")} {}
+
+monitor_service::~monitor_service() {
+  request_stop();
+  wait();
+}
+
+void monitor_service::add_sink(incident_sink& sink) {
+  sinks_.push_back(&sink);
+}
+
+bool monitor_service::resume_from_checkpoint() {
+  if (options_.checkpoint_path.empty()) return false;
+  const auto cp = load_checkpoint(options_.checkpoint_path);
+  if (!cp) return false;
+  resuming_ = true;
+  resume_block_ = cp->last_block;
+  last_block_ = cp->last_block;
+  blocks_processed_ = cp->blocks_processed;
+  incidents_emitted_ = cp->incidents_emitted;
+  stats_ = cp->stats;
+  // Carry the previous run's counters forward so exported metrics stay
+  // cumulative across restarts.
+  for (const auto& [name, value] : cp->metric_counters) {
+    metrics_.get_counter(name).add(value);
+  }
+  seen_cache_hits_ = 0;  // the in-memory cache itself starts empty again
+  seen_cache_misses_ = 0;
+  return true;
+}
+
+void monitor_service::start(block_source& source) {
+  started_ = true;
+  pool_.submit([this] { consume(); });
+  producer_ = std::thread{[this, &source] { produce(source); }};
+}
+
+void monitor_service::request_stop() {
+  stop_.store(true, std::memory_order_release);
+  // Poison pill: refuse further blocks, let the worker drain the rest.
+  queue_.close();
+}
+
+void monitor_service::wait() {
+  if (producer_.joinable()) producer_.join();
+  if (started_) pool_.wait();
+}
+
+void monitor_service::produce(block_source& source) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::optional<block> b = source.next();
+    if (!b) break;  // end of stream
+    b->enqueued_at = std::chrono::steady_clock::now();
+    const std::size_t txs = b->receipts.size();
+    if (options_.drop_when_full) {
+      if (!queue_.try_push(std::move(*b))) {
+        if (queue_.closed()) break;
+        c_blocks_dropped_.add();
+        continue;
+      }
+    } else {
+      if (!queue_.push(std::move(*b))) break;  // closed while blocked
+    }
+    c_blocks_ingested_.add();
+    c_txs_ingested_.add(txs);
+  }
+  queue_.close();
+}
+
+void monitor_service::consume() {
+  // The drain loop: ends when the queue is closed and empty. An external
+  // cooperative stop on the pool cuts the drain short (the final
+  // checkpoint still reflects only fully-processed blocks).
+  while (!pool_.stop_requested()) {
+    std::optional<block> b = queue_.pop();
+    if (!b) break;
+    process_block(*b);
+  }
+  write_checkpoint();
+  for (incident_sink* sink : sinks_) sink->flush();
+}
+
+void monitor_service::process_block(block& b) {
+  g_queue_depth_.set(static_cast<double>(queue_.size()));
+  g_queue_high_water_.set_max(static_cast<double>(queue_.high_water()));
+
+  if (resuming_ && b.number <= resume_block_) {
+    c_blocks_skipped_resume_.add();
+    return;
+  }
+
+  core::scan_stats block_stats;
+  std::vector<core::incident> flagged;
+  scanner_.scan_range(b.receipts, 0, b.receipts.size(), block_stats, flagged);
+  stats_ += block_stats;
+
+  c_blocks_processed_.add();
+  c_flash_loans_.add(block_stats.flash_loans);
+  c_incidents_.add(block_stats.incidents);
+  c_incidents_krp_.add(
+      block_stats.per_pattern[static_cast<int>(core::attack_pattern::krp)]);
+  c_incidents_sbs_.add(
+      block_stats.per_pattern[static_cast<int>(core::attack_pattern::sbs)]);
+  c_incidents_mbs_.add(
+      block_stats.per_pattern[static_cast<int>(core::attack_pattern::mbs)]);
+  c_prefilter_accepts_.add(block_stats.prefilter_accepts);
+  c_prefilter_rejects_.add(block_stats.prefilter_rejects);
+
+  const std::uint64_t hits = tag_cache_.hits();
+  const std::uint64_t misses = tag_cache_.misses();
+  c_tag_cache_hits_.add(hits - seen_cache_hits_);
+  c_tag_cache_misses_.add(misses - seen_cache_misses_);
+  seen_cache_hits_ = hits;
+  seen_cache_misses_ = misses;
+
+  const auto now = std::chrono::steady_clock::now();
+  for (core::incident& inc : flagged) {
+    monitor_incident mi;
+    mi.block_number = b.number;
+    mi.enqueued_at = b.enqueued_at;
+    mi.incident = std::move(inc);
+    h_incident_latency_.observe(
+        std::chrono::duration<double>(now - b.enqueued_at).count());
+    for (incident_sink* sink : sinks_) sink->on_incident(mi);
+    ++incidents_emitted_;
+  }
+
+  last_block_ = b.number;
+  ++blocks_processed_;
+  if (!options_.checkpoint_path.empty() && options_.checkpoint_every != 0 &&
+      blocks_processed_ % options_.checkpoint_every == 0) {
+    write_checkpoint();
+  }
+}
+
+void monitor_service::write_checkpoint() {
+  if (options_.checkpoint_path.empty() || blocks_processed_ == 0) return;
+  // Sinks first: a checkpoint must never claim incidents that are not yet
+  // durable in the feed.
+  for (incident_sink* sink : sinks_) sink->flush();
+  checkpoint cp;
+  cp.last_block = last_block_;
+  cp.blocks_processed = blocks_processed_;
+  cp.incidents_emitted = incidents_emitted_;
+  cp.stats = stats_;
+  cp.metric_counters = metrics_.counter_snapshot();
+  if (save_checkpoint(cp, options_.checkpoint_path)) c_checkpoints_.add();
+}
+
+}  // namespace leishen::service

@@ -1,0 +1,163 @@
+// The streaming monitor: LeiShen's batch detector turned into a
+// long-running online service.
+//
+//   block_source ──(producer thread)──► block_queue ──(detection worker on
+//   common::thread_pool)──► scanner pipeline ──► incident_sinks
+//                                         │
+//                                         ├─► metrics_registry (counters,
+//                                         │   gauges, latency histograms)
+//                                         └─► checkpoint file (resumability)
+//
+// One producer pulls blocks from the source and pushes them into a bounded
+// queue — blocking when full (lossless backpressure) or dropping with a
+// count (`drop_when_full`). One detection worker pulls blocks in order and
+// runs the per-receipt scan pipeline, so the incident stream is exactly the
+// serial scanner's, in tx order; `request_stop()` closes the queue as a
+// poison pill and the worker drains what is already buffered before
+// writing a final checkpoint.
+//
+// Determinism & resume: detections are pure per receipt, blocks are
+// processed whole and in order, and a checkpoint is written only after a
+// block is fully processed and the sinks flushed. A monitor restarted with
+// `resume_from_checkpoint()` over the same stream skips the processed
+// prefix and appends the exact incident suffix — bit-identical to an
+// uninterrupted run (asserted in tests/service_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/block_queue.h"
+#include "common/thread_pool.h"
+#include "core/scanner.h"
+#include "service/block_source.h"
+#include "service/checkpoint.h"
+#include "service/incident_sink.h"
+#include "service/metrics.h"
+
+namespace leishen::service {
+
+struct monitor_options {
+  /// Detection configuration (params, heuristic, prefilter). `tag_cache`
+  /// and `stage_observer` are overwritten: the monitor owns a shared tag
+  /// cache and bridges stage timings into its metrics registry.
+  core::scanner_options scan;
+  /// Ingestion buffer size, in blocks.
+  std::size_t queue_capacity = 64;
+  /// Producer policy when the queue is full: false = block (lossless
+  /// backpressure), true = drop the block and count it.
+  bool drop_when_full = false;
+  /// Write a checkpoint every N fully-processed blocks (0 = only the final
+  /// one on shutdown). Ignored when `checkpoint_path` is empty.
+  std::uint64_t checkpoint_every = 8;
+  /// Checkpoint file; empty disables checkpointing entirely.
+  std::string checkpoint_path;
+};
+
+class monitor_service {
+ public:
+  monitor_service(const chain::creation_registry& creations,
+                  const etherscan::label_db& labels, chain::asset weth_token,
+                  metrics_registry& metrics, monitor_options options = {});
+  ~monitor_service();
+
+  monitor_service(const monitor_service&) = delete;
+  monitor_service& operator=(const monitor_service&) = delete;
+
+  /// Register a delivery channel (not owned; must outlive the monitor).
+  /// Call before `start`.
+  void add_sink(incident_sink& sink);
+
+  /// Load `options.checkpoint_path` and continue from it: blocks up to the
+  /// checkpointed one are skipped, cumulative stats and metric counters are
+  /// restored. Returns false (fresh start) when no checkpoint exists.
+  /// Call before `start`.
+  bool resume_from_checkpoint();
+
+  /// Begin streaming: spawns the producer and detection worker. The source
+  /// must outlive the run. One run per monitor instance.
+  void start(block_source& source);
+
+  /// Graceful Ctrl-C: stop ingesting, let the worker drain the queue,
+  /// write the final checkpoint. Never blocks; follow with `wait()`.
+  void request_stop();
+
+  /// Block until the stream ends (source exhausted or stopped + drained).
+  void wait();
+
+  /// Convenience: start + wait.
+  void run(block_source& source) {
+    start(source);
+    wait();
+  }
+
+  // Post-run observers (stable once `wait()` returned).
+  [[nodiscard]] const core::scan_stats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::uint64_t last_block() const noexcept {
+    return last_block_;
+  }
+  [[nodiscard]] std::uint64_t blocks_processed() const noexcept {
+    return blocks_processed_;
+  }
+  [[nodiscard]] std::uint64_t incidents_emitted() const noexcept {
+    return incidents_emitted_;
+  }
+  [[nodiscard]] const block_queue<block>& queue() const noexcept {
+    return queue_;
+  }
+
+ private:
+  void produce(block_source& source);
+  void consume();
+  void process_block(block& b);
+  void write_checkpoint();
+
+  metrics_registry& metrics_;
+  monitor_options options_;
+  core::shared_tag_cache tag_cache_;
+  scan_stage_metrics stage_metrics_;
+  core::scanner scanner_;
+  block_queue<block> queue_;
+  std::vector<incident_sink*> sinks_;
+  thread_pool pool_{1};  // the detection worker
+  std::thread producer_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  // Cumulative run state (restored by resume_from_checkpoint).
+  core::scan_stats stats_;
+  std::uint64_t last_block_ = 0;
+  std::uint64_t blocks_processed_ = 0;
+  std::uint64_t incidents_emitted_ = 0;
+  std::uint64_t resume_block_ = 0;
+  bool resuming_ = false;
+  std::uint64_t seen_cache_hits_ = 0;    // tag-cache counter deltas
+  std::uint64_t seen_cache_misses_ = 0;
+
+  // Registry instruments (stable references).
+  counter& c_blocks_ingested_;
+  counter& c_txs_ingested_;
+  counter& c_blocks_dropped_;
+  counter& c_blocks_processed_;
+  counter& c_blocks_skipped_resume_;
+  counter& c_flash_loans_;
+  counter& c_incidents_;
+  counter& c_incidents_krp_;
+  counter& c_incidents_sbs_;
+  counter& c_incidents_mbs_;
+  counter& c_prefilter_accepts_;
+  counter& c_prefilter_rejects_;
+  counter& c_tag_cache_hits_;
+  counter& c_tag_cache_misses_;
+  counter& c_checkpoints_;
+  gauge& g_queue_depth_;
+  gauge& g_queue_high_water_;
+  histogram& h_incident_latency_;
+};
+
+}  // namespace leishen::service

@@ -1,0 +1,475 @@
+// Streaming monitor service tests: queue backpressure and drain semantics,
+// checkpoint/resume bit-identity of the incident stream, metrics counters
+// against the batch scanner's ground truth, and the JSONL feed round-trip.
+// The corpus is the synthetic population (same ground-truth labels the
+// paper's evaluation tables verify against).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/block_queue.h"
+#include "common/thread_pool.h"
+#include "core/parallel_scanner.h"
+#include "scenarios/population.h"
+#include "service/monitor_service.h"
+
+namespace leishen::service {
+namespace {
+
+// ---- block_queue ------------------------------------------------------------
+
+TEST(BlockQueue, FifoAndHighWater) {
+  block_queue<int> q{4};
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 3U);
+  EXPECT_EQ(q.high_water(), 3U);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(q.pop(), i);
+  EXPECT_EQ(q.size(), 0U);
+  EXPECT_EQ(q.high_water(), 3U);  // sticky
+}
+
+TEST(BlockQueue, BackpressureBlocksProducerUnderSlowConsumer) {
+  block_queue<int> q{2};
+  constexpr int kItems = 50;
+  std::thread producer{[&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  }};
+  // Slow consumer: the producer must wait, so depth never exceeds capacity
+  // and nothing is lost or reordered.
+  std::vector<int> got;
+  while (auto v = q.pop()) {
+    EXPECT_LE(q.size(), q.capacity());
+    got.push_back(*v);
+    std::this_thread::sleep_for(std::chrono::microseconds{200});
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_LE(q.high_water(), q.capacity());
+  EXPECT_EQ(q.dropped(), 0U);
+}
+
+TEST(BlockQueue, TryPushDropsWithCountWhenFull) {
+  block_queue<int> q{2};
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));
+  EXPECT_EQ(q.dropped(), 2U);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(5));  // room again
+  EXPECT_EQ(q.dropped(), 2U);
+}
+
+TEST(BlockQueue, CloseIsPoisonPillThatStillDrains) {
+  block_queue<int> q{8};
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));      // producers refused...
+  EXPECT_FALSE(q.try_push(3));  // ...and a closed rejection is not a "drop"
+  EXPECT_EQ(q.dropped(), 0U);
+  EXPECT_EQ(q.pop(), 1);  // ...but consumers drain
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BlockQueue, CloseWakesBlockedProducerAndConsumer) {
+  block_queue<int> full{1};
+  ASSERT_TRUE(full.push(1));
+  std::thread producer{[&] { EXPECT_FALSE(full.push(2)); }};
+  block_queue<int> empty{1};
+  std::thread consumer{[&] { EXPECT_EQ(empty.pop(), std::nullopt); }};
+  std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  full.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+}
+
+// ---- thread_pool cooperative cancellation -----------------------------------
+
+TEST(ThreadPoolStop, JobsObserveStopAndPoolSurvives) {
+  thread_pool pool{2};
+  EXPECT_FALSE(pool.stop_requested());
+
+  std::atomic<int> iterations{0};
+  for (int j = 0; j < 2; ++j) {
+    pool.submit([&] {
+      while (!pool.stop_requested()) {
+        iterations.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds{50});
+      }
+    });
+  }
+  // Without the stop request these jobs never finish; with it, wait()
+  // returns — the regression the monitor's drain depends on.
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  pool.request_stop();
+  pool.wait();
+  EXPECT_GT(iterations.load(), 0);
+  EXPECT_TRUE(pool.stop_requested());
+
+  // The pool is still alive and usable after re-arming.
+  pool.clear_stop();
+  EXPECT_FALSE(pool.stop_requested());
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; });
+  pool.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolStop, QueuedJobsStillRunAfterStopRequest) {
+  thread_pool pool{1};
+  pool.request_stop();
+  std::atomic<int> ran{0};
+  for (int j = 0; j < 3; ++j) {
+    pool.submit([&] { ran.fetch_add(1); });
+  }
+  pool.wait();
+  // Cooperative, not destructive: stop only signals; queued jobs execute.
+  EXPECT_EQ(ran.load(), 3);
+}
+
+// ---- monitor service over the population ------------------------------------
+
+class MonitorServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    u_ = new scenarios::universe{};
+    scenarios::population_params params;
+    params.benign_txs = 120;
+    pop_ = new scenarios::population{generate_population(*u_, params)};
+  }
+  static void TearDownTestSuite() {
+    delete pop_;
+    delete u_;
+    pop_ = nullptr;
+    u_ = nullptr;
+  }
+
+  static monitor_options base_options() {
+    monitor_options opts;
+    opts.scan.yield_aggregator_apps = pop_->aggregator_apps;
+    return opts;
+  }
+
+  static monitor_service make_monitor(metrics_registry& metrics,
+                                      monitor_options opts) {
+    return monitor_service{u_->bc().creations(), u_->labels(),
+                           u_->weth().id(), metrics, std::move(opts)};
+  }
+
+  /// The serial batch scanner's output over the same corpus — the ground
+  /// truth every streaming run must reproduce.
+  static core::scanner batch_reference() {
+    core::scanner_options opts;
+    opts.yield_aggregator_apps = pop_->aggregator_apps;
+    core::scanner s{u_->bc().creations(), u_->labels(), u_->weth().id(),
+                    opts};
+    s.scan_all(u_->bc().receipts(), nullptr);
+    return s;
+  }
+
+  static std::string tmp_path(const std::string& name) {
+    return testing::TempDir() + "service_test_" + name;
+  }
+
+  static scenarios::universe* u_;
+  static scenarios::population* pop_;
+};
+
+scenarios::universe* MonitorServiceTest::u_ = nullptr;
+scenarios::population* MonitorServiceTest::pop_ = nullptr;
+
+TEST_F(MonitorServiceTest, StreamingMatchesBatchScanner) {
+  const core::scanner reference = batch_reference();
+
+  metrics_registry metrics;
+  std::vector<monitor_incident> seen;
+  callback_sink sink{[&](const monitor_incident& mi) { seen.push_back(mi); }};
+  monitor_service monitor = make_monitor(metrics, base_options());
+  monitor.add_sink(sink);
+  simulated_block_source source{u_->bc().receipts()};
+  monitor.run(source);
+
+  EXPECT_EQ(monitor.stats(), reference.stats());
+  ASSERT_EQ(seen.size(), reference.incidents().size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].incident, reference.incidents()[i]);
+  }
+  // Incident order is tx order and block numbers are consistent.
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LT(seen[i - 1].incident.tx_index, seen[i].incident.tx_index);
+    EXPECT_LE(seen[i - 1].block_number, seen[i].block_number);
+  }
+}
+
+TEST_F(MonitorServiceTest, MetricsCountersMatchGroundTruth) {
+  const core::scanner reference = batch_reference();
+  const core::scan_stats& ref = reference.stats();
+
+  metrics_registry metrics;
+  monitor_service monitor = make_monitor(metrics, base_options());
+  simulated_block_source source{u_->bc().receipts()};
+  monitor.run(source);
+
+  EXPECT_EQ(metrics.counter_value("monitor_txs_ingested"), ref.transactions);
+  EXPECT_EQ(metrics.counter_value("monitor_flash_loans"), ref.flash_loans);
+  EXPECT_EQ(metrics.counter_value("monitor_incidents"), ref.incidents);
+  EXPECT_EQ(metrics.counter_value("monitor_incidents_krp"),
+            ref.per_pattern[static_cast<int>(core::attack_pattern::krp)]);
+  EXPECT_EQ(metrics.counter_value("monitor_incidents_sbs"),
+            ref.per_pattern[static_cast<int>(core::attack_pattern::sbs)]);
+  EXPECT_EQ(metrics.counter_value("monitor_incidents_mbs"),
+            ref.per_pattern[static_cast<int>(core::attack_pattern::mbs)]);
+  EXPECT_EQ(metrics.counter_value("monitor_prefilter_accepts"),
+            ref.prefilter_accepts);
+  EXPECT_EQ(metrics.counter_value("monitor_prefilter_rejects"),
+            ref.prefilter_rejects);
+  EXPECT_EQ(metrics.counter_value("monitor_blocks_ingested"),
+            metrics.counter_value("monitor_blocks_processed"));
+  // The per-pattern counters sum against the population's ground truth
+  // labels via the reference scanner, which the Table V tests pin down;
+  // here we also sanity-check the ground truth is represented at all.
+  int truth_attacks = 0;
+  for (const auto& tx : pop_->txs) truth_attacks += tx.truth_attack;
+  EXPECT_GT(truth_attacks, 0);
+  EXPECT_GE(metrics.counter_value("monitor_incidents"),
+            static_cast<std::uint64_t>(truth_attacks) / 2);
+  // Stage latency histograms saw every receipt / every pipeline run.
+  EXPECT_EQ(metrics.to_json().find("monitor_prefilter_seconds") ==
+                std::string::npos,
+            false);
+}
+
+TEST_F(MonitorServiceTest, CheckpointResumeEmitsBitIdenticalStream) {
+  const std::string ckpt = tmp_path("resume.ckpt");
+  const std::string feed_full = tmp_path("full.jsonl");
+  const std::string feed_resumed = tmp_path("resumed.jsonl");
+  std::remove(ckpt.c_str());
+
+  // Uninterrupted reference run.
+  {
+    metrics_registry metrics;
+    jsonl_sink sink{feed_full};
+    monitor_service monitor = make_monitor(metrics, base_options());
+    monitor.add_sink(sink);
+    simulated_block_source source{u_->bc().receipts()};
+    monitor.run(source);
+  }
+
+  // Interrupted run: stop mid-stream via the stop token, from the sink
+  // (i.e. while the worker is hot). checkpoint_every=1 keeps the
+  // checkpoint exactly at the last fully-processed block.
+  core::scan_stats stats_at_stop;
+  {
+    metrics_registry metrics;
+    monitor_options opts = base_options();
+    opts.checkpoint_path = ckpt;
+    opts.checkpoint_every = 1;
+    opts.queue_capacity = 4;  // keep plenty of stream un-ingested at stop
+    monitor_service monitor = make_monitor(metrics, opts);
+    jsonl_sink sink{feed_resumed};
+    std::atomic<int> emitted{0};
+    callback_sink stopper{[&](const monitor_incident&) {
+      if (emitted.fetch_add(1) + 1 == 10) monitor.request_stop();
+    }};
+    monitor.add_sink(sink);
+    monitor.add_sink(stopper);
+    simulated_block_source source{u_->bc().receipts()};
+    monitor.run(source);
+    stats_at_stop = monitor.stats();
+    // Genuinely interrupted: not the whole stream was processed.
+    ASSERT_LT(monitor.last_block(), u_->bc().receipts().back().block_number);
+  }
+
+  // Resumed run: continue from the checkpoint, appending to the same feed.
+  {
+    metrics_registry metrics;
+    monitor_options opts = base_options();
+    opts.checkpoint_path = ckpt;
+    opts.checkpoint_every = 1;
+    monitor_service monitor = make_monitor(metrics, opts);
+    ASSERT_TRUE(monitor.resume_from_checkpoint());
+    EXPECT_EQ(monitor.stats(), stats_at_stop);
+    jsonl_sink sink{feed_resumed, /*append=*/true};
+    monitor.add_sink(sink);
+    simulated_block_source source{u_->bc().receipts()};
+    monitor.run(source);
+
+    // Cumulative stats equal the uninterrupted run's.
+    const core::scanner reference = batch_reference();
+    EXPECT_EQ(monitor.stats(), reference.stats());
+  }
+
+  // The interrupted+resumed feed is bit-identical to the uninterrupted one.
+  const std::vector<monitor_incident> full = jsonl_sink::read(feed_full);
+  const std::vector<monitor_incident> resumed = jsonl_sink::read(feed_resumed);
+  ASSERT_GT(full.size(), 10U);
+  EXPECT_EQ(resumed, full);
+}
+
+TEST_F(MonitorServiceTest, CheckpointRoundTrip) {
+  checkpoint cp;
+  cp.last_block = 12345678;
+  cp.blocks_processed = 42;
+  cp.incidents_emitted = 7;
+  cp.stats.transactions = 900;
+  cp.stats.flash_loans = 33;
+  cp.stats.per_provider[1] = 11;
+  cp.stats.incidents = 7;
+  cp.stats.per_pattern[2] = 5;
+  cp.stats.suppressed_by_heuristic = 3;
+  cp.stats.prefilter_rejects = 860;
+  cp.stats.prefilter_accepts = 40;
+  cp.metric_counters = {{"monitor_blocks_processed", 42},
+                        {"monitor_incidents", 7}};
+  const std::string path = tmp_path("roundtrip.ckpt");
+  ASSERT_TRUE(save_checkpoint(cp, path));
+  const auto loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, cp);
+  EXPECT_FALSE(load_checkpoint(path + ".missing").has_value());
+}
+
+TEST_F(MonitorServiceTest, JsonlSinkRoundTrip) {
+  const core::scanner reference = batch_reference();
+  ASSERT_FALSE(reference.incidents().empty());
+
+  const std::string path = tmp_path("roundtrip.jsonl");
+  std::vector<monitor_incident> wrote;
+  {
+    jsonl_sink sink{path};
+    std::uint64_t fake_block = 9'000'000;
+    for (const core::incident& inc : reference.incidents()) {
+      monitor_incident mi;
+      mi.block_number = fake_block++;
+      mi.incident = inc;
+      sink.on_incident(mi);
+      wrote.push_back(mi);
+    }
+    sink.flush();
+    EXPECT_EQ(sink.written(), wrote.size());
+  }
+  EXPECT_EQ(jsonl_sink::read(path), wrote);
+}
+
+TEST_F(MonitorServiceTest, DropWhenFullCountsDrops) {
+  // Tiny queue + a consumer artificially slowed by a sink: with a lossy
+  // producer some blocks must be dropped and counted, and every incident
+  // that *is* emitted still comes from a fully-processed block.
+  metrics_registry metrics;
+  monitor_options opts = base_options();
+  opts.queue_capacity = 1;
+  opts.drop_when_full = true;
+  monitor_service monitor = make_monitor(metrics, opts);
+  callback_sink slow{[](const monitor_incident&) {
+    std::this_thread::sleep_for(std::chrono::microseconds{300});
+  }};
+  monitor.add_sink(slow);
+  simulated_block_source source{u_->bc().receipts()};
+  monitor.run(source);
+
+  const std::uint64_t dropped =
+      metrics.counter_value("monitor_blocks_dropped");
+  EXPECT_EQ(monitor.queue().dropped(), dropped);
+  EXPECT_EQ(metrics.counter_value("monitor_blocks_ingested") + dropped,
+            metrics.counter_value("monitor_blocks_processed") + dropped);
+  EXPECT_GT(dropped, 0U);
+}
+
+// ---- metrics registry -------------------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  metrics_registry reg;
+  counter& c = reg.get_counter("c");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5U);
+  EXPECT_EQ(&reg.get_counter("c"), &c);  // stable get-or-create
+  EXPECT_EQ(reg.counter_value("c"), 5U);
+  EXPECT_EQ(reg.counter_value("absent"), 0U);
+
+  gauge& g = reg.get_gauge("g");
+  g.set(2.5);
+  g.set_max(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.set_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+
+  histogram& h = reg.get_histogram("h", {1.0, 2.0, 4.0});
+  for (const double v : {0.5, 1.5, 1.6, 3.0, 100.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 5U);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.6);
+  EXPECT_EQ(h.cumulative(), (std::vector<std::uint64_t>{1, 3, 4, 5}));
+  // The median sample sits in the (1, 2] bucket; overflow reports the last
+  // finite bound.
+  EXPECT_GT(h.quantile(0.5), 1.0);
+  EXPECT_LE(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+
+  EXPECT_THROW(reg.get_gauge("c"), std::invalid_argument);
+  EXPECT_THROW(reg.get_histogram("g"), std::invalid_argument);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"c\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"g\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"h\""), std::string::npos);
+  EXPECT_NE(reg.to_text().find("c 5"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesDoNotLoseCounts) {
+  metrics_registry reg;
+  counter& c = reg.get_counter("hits");
+  histogram& h = reg.get_histogram("lat");
+  thread_pool pool{4};
+  constexpr int kPerWorker = 5'000;
+  for (unsigned w = 0; w < 4; ++w) {
+    pool.submit([&] {
+      for (int i = 0; i < kPerWorker; ++i) {
+        c.add();
+        h.observe(1e-4);
+      }
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(c.value(), 4U * kPerWorker);
+  EXPECT_EQ(h.count(), 4U * kPerWorker);
+}
+
+// ---- batch/streaming metric parity ------------------------------------------
+
+TEST_F(MonitorServiceTest, BatchEngineFeedsSameStageMetrics) {
+  metrics_registry metrics;
+  scan_stage_metrics bridge{metrics, "batch"};
+  core::parallel_scanner_options popts;
+  popts.scan.yield_aggregator_apps = pop_->aggregator_apps;
+  popts.scan.stage_observer = &bridge;
+  popts.threads = 4;
+  core::parallel_scanner ps{u_->bc().creations(), u_->labels(),
+                            u_->weth().id(), popts};
+  ps.scan_all(u_->bc().receipts());
+
+  // Every receipt hit the prefilter histogram; every accept hit the
+  // pipeline histogram — the same invariant the monitor's metrics obey.
+  histogram& pre = metrics.get_histogram("batch_prefilter_seconds");
+  histogram& pipe = metrics.get_histogram("batch_pipeline_seconds");
+  EXPECT_EQ(pre.count(), ps.stats().transactions);
+  EXPECT_EQ(pipe.count(), ps.stats().prefilter_accepts);
+  EXPECT_EQ(ps.stats().prefilter_accepts + ps.stats().prefilter_rejects,
+            ps.stats().transactions);
+  // And the shared tag cache exposes its hit/miss counters.
+  EXPECT_GT(ps.tag_cache().hits() + ps.tag_cache().misses(), 0U);
+}
+
+}  // namespace
+}  // namespace leishen::service
