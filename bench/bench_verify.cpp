@@ -1,0 +1,83 @@
+// Correctness-tooling overhead: how fast the fuzz loop burns through
+// seeded synthetic populations, split by stage (generation, invariant
+// audit, differential oracle). The interesting number is populations/s for
+// the full loop — it bounds how much seed space an overnight sweep covers.
+//
+// Usage: bench_verify [--seeds N] [--txs N]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "verify/diff_engine.h"
+#include "verify/pipeline_auditor.h"
+#include "verify/receipt_gen.h"
+
+using namespace leishen;
+
+namespace {
+
+int arg_int(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = arg_int(argc, argv, "--seeds", 100);
+  verify::generator_options gen;
+  gen.transactions = arg_int(argc, argv, "--txs", 32);
+
+  double t_gen = 0.0;
+  double t_audit = 0.0;
+  double t_diff = 0.0;
+  std::uint64_t txs = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t divergences = 0;
+
+  for (int seed = 1; seed <= seeds; ++seed) {
+    auto t0 = std::chrono::steady_clock::now();
+    const verify::generated_population pop =
+        verify::generate_receipts(static_cast<std::uint64_t>(seed), gen);
+    t_gen += seconds_since(t0);
+    txs += pop.receipts.size();
+
+    const verify::synthetic_world& w = *pop.world;
+    t0 = std::chrono::steady_clock::now();
+    const verify::pipeline_auditor auditor{w.creations, w.labels,
+                                           w.weth_token};
+    violations += auditor.audit_all(pop.receipts).size();
+    t_audit += seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const verify::diff_engine differ{w.creations, w.labels, w.weth_token};
+    divergences += differ.run(pop.receipts).divergences.size();
+    t_diff += seconds_since(t0);
+  }
+
+  const double total = t_gen + t_audit + t_diff;
+  std::printf("bench_verify: %d populations x %d txs (%llu total txs)\n",
+              seeds, gen.transactions, static_cast<unsigned long long>(txs));
+  std::printf("  %-12s %8.3f s  (%6.1f pop/s)\n", "generate", t_gen,
+              seeds / (t_gen > 0 ? t_gen : 1e-9));
+  std::printf("  %-12s %8.3f s  (%6.1f pop/s)\n", "audit", t_audit,
+              seeds / (t_audit > 0 ? t_audit : 1e-9));
+  std::printf("  %-12s %8.3f s  (%6.1f pop/s)\n", "diff", t_diff,
+              seeds / (t_diff > 0 ? t_diff : 1e-9));
+  std::printf("  %-12s %8.3f s  (%6.1f pop/s, %6.0f tx/s)\n", "full loop",
+              total, seeds / (total > 0 ? total : 1e-9),
+              txs / (total > 0 ? total : 1e-9));
+  std::printf("  violations=%llu divergences=%llu (expected 0/0)\n",
+              static_cast<unsigned long long>(violations),
+              static_cast<unsigned long long>(divergences));
+  return violations == 0 && divergences == 0 ? 0 : 1;
+}

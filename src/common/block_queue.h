@@ -24,6 +24,12 @@
 
 namespace leishen {
 
+/// Why a non-blocking push did not enqueue. Distinguishing `full` from
+/// `closed` in the return value (rather than a follow-up `closed()` call)
+/// keeps the producer's accounting race-free: the queue can close between
+/// two calls, and a push refused by shutdown must not be counted as a drop.
+enum class push_result { ok, full, closed };
+
 template <typename T>
 class block_queue {
  public:
@@ -52,19 +58,27 @@ class block_queue {
 
   /// Non-blocking push. A rejection because the queue is full is counted in
   /// `dropped()`; a rejection because it is closed is not (nothing was lost
-  /// that a drain would have delivered).
-  bool try_push(T item) {
+  /// that a drain would have delivered). The verdict is decided under one
+  /// lock acquisition, so a concurrent `close()` cannot slip between the
+  /// push attempt and the caller learning why it failed.
+  push_result try_push_ex(T item) {
     {
       const std::lock_guard lk{mu_};
-      if (closed_) return false;
+      if (closed_) return push_result::closed;
       if (queue_.size() >= capacity_) {
         ++dropped_;
-        return false;
+        return push_result::full;
       }
       enqueue_locked(std::move(item));
     }
     not_empty_cv_.notify_one();
-    return true;
+    return push_result::ok;
+  }
+
+  /// Boolean convenience over `try_push_ex` for callers that do not need to
+  /// distinguish a full queue from a closed one.
+  bool try_push(T item) {
+    return try_push_ex(std::move(item)) == push_result::ok;
   }
 
   /// Blocking pop: waits for an item. Returns std::nullopt only once the

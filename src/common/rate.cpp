@@ -1,5 +1,7 @@
 #include "common/rate.h"
 
+#include <array>
+#include <cmath>
 #include <limits>
 #include <ostream>
 
@@ -14,6 +16,20 @@ int cmp_products(const u256& a1, const u256& b2, const u256& a2,
   if (x.hi != y.hi) return x.hi < y.hi ? -1 : 1;
   if (x.lo != y.lo) return x.lo < y.lo ? -1 : 1;
   return 0;
+}
+
+/// A 512-bit product scaled by a 64-bit factor: nine limbs, exact.
+std::array<std::uint64_t, 9> scale512(const u256_wide& w, std::uint64_t m) {
+  std::array<std::uint64_t, 9> out{};
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t limb = i < 4 ? w.lo.limb(i) : w.hi.limb(i - 4);
+    carry += static_cast<unsigned __int128>(limb) * m;
+    out[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  out[8] = static_cast<std::uint64_t>(carry);
+  return out;
 }
 
 }  // namespace
@@ -55,11 +71,36 @@ double volatility_percent(const rate& max, const rate& min) {
   return (mx - mn) / mn * 100.0;
 }
 
+bool volatility_at_least(const rate& max, const rate& min, double pct) {
+  if (min.is_zero() || min.is_infinite()) return true;  // infinite volatility
+  if (max.is_infinite()) return true;
+  // Thresholds beyond micropercent-in-u64 range: the exact path can't
+  // represent them, and at that magnitude double rounding is irrelevant.
+  if (!(pct < 1e12)) return volatility_percent(max, min) >= pct;
+  const auto micro = static_cast<std::int64_t>(std::llround(pct * 1e6));
+  constexpr std::int64_t kScale = 100000000;  // 100% in micropercent
+  if (micro <= -kScale) return true;          // max/min >= 0 always holds
+  // max/min >= 1 + pct/100
+  //   <=>  max.num * min.den * 1e8  >=  min.num * max.den * (1e8 + micro)
+  const auto lhs = scale512(u256::wide_mul(max.num(), min.den()),
+                            static_cast<std::uint64_t>(kScale));
+  const auto rhs = scale512(u256::wide_mul(min.num(), max.den()),
+                            static_cast<std::uint64_t>(kScale + micro));
+  for (std::size_t i = 9; i-- > 0;) {
+    if (lhs[i] != rhs[i]) return lhs[i] > rhs[i];
+  }
+  return true;  // exactly on the threshold counts as reaching it
+}
+
 bool amounts_close(const u256& a, const u256& b, std::uint64_t tolerance_num,
                    std::uint64_t tolerance_den) {
+  if (a == b) return true;  // exact match is close under any tolerance
   const u256& hi = a > b ? a : b;
   const u256& lo = a > b ? b : a;
-  if (hi.is_zero()) return true;
+  // A zero leg is never close to a nonzero one: |0 - x| / x == 100%, and
+  // treating a degenerate tolerance (num >= den) as "everything is close"
+  // would merge dropped legs into real ones.
+  if (lo.is_zero()) return false;
   const u256 diff = hi - lo;
   // diff / hi < tol_num / tol_den  <=>  diff * tol_den < hi * tol_num
   return cmp_products(diff, u256{tolerance_den}, hi, u256{tolerance_num}) < 0;

@@ -45,10 +45,25 @@ class rate {
 
 /// ((rate_max - rate_min) / rate_min) * 100, the paper's price volatility
 /// formula (§III-D), as a double percentage. Requires rate_min > 0.
+/// Reporting only — threshold decisions go through `volatility_at_least`.
 [[nodiscard]] double volatility_percent(const rate& max, const rate& min);
+
+/// Exact threshold test: volatility(max over min) >= pct, i.e.
+///   max / min >= 1 + pct/100.
+/// Cross-multiplied in 576-bit space (`pct` is taken at micropercent
+/// resolution), so 10^18-scaled wei amounts can sit exactly on the paper's
+/// 28% boundary without double rounding flipping the verdict — the failure
+/// mode of comparing `volatility_percent` against the threshold. A zero or
+/// infinite `min` means infinite volatility (true).
+[[nodiscard]] bool volatility_at_least(const rate& max, const rate& min,
+                                       double pct);
 
 /// True iff |a - b| / max(a,b) < tolerance_num/tolerance_den. Used by the
 /// inter-app merge rule (amounts within 0.1% → tolerance 1/1000).
+/// Equal amounts (including both zero) are always close — an exact
+/// pass-through merges even under a zero tolerance — while a zero amount is
+/// never close to a nonzero one (a dropped leg is not routing), whatever
+/// the tolerance.
 [[nodiscard]] bool amounts_close(const u256& a, const u256& b,
                                  std::uint64_t tolerance_num,
                                  std::uint64_t tolerance_den);

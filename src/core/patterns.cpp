@@ -22,6 +22,10 @@ std::vector<btrade> normalize(const trade_list& trades,
   std::vector<btrade> out;
   for (std::size_t i = 0; i < trades.size(); ++i) {
     const trade& t = trades[i];
+    // A trade with both primary legs zero has no defined price (rate 0/0);
+    // the pipeline never lifts one, but match_patterns is public API and
+    // must not throw on degenerate input.
+    if (t.amount_sell.is_zero() && t.amount_buy.is_zero()) continue;
     if (t.buyer == borrower) {
       out.push_back(btrade{.index = i,
                            .counterparty = t.seller,
@@ -106,9 +110,14 @@ void match_sbs(const std::vector<btrade>& bts, const trade_list& trades,
       for (std::size_t j = t1.index + 1; j < t3.index; ++j) {
         const trade& t2 = trades[j];
         if (t2.token_buy != x || t2.token_sell != quote) continue;
+        if (t2.amount_sell.is_zero() && t2.amount_buy.is_zero()) continue;
         const rate r2 = rate{t2.amount_sell, t2.amount_buy};
         if (!(r3 < r2)) continue;
-        if (volatility_percent(r2, r1) < params.sbs_min_volatility_pct) {
+        // Exact threshold: cross-multiplied in wide space, so 10^18-scale
+        // amounts sitting exactly on the 28% boundary cannot be flipped by
+        // double rounding (the r1/r2 products overflow even 512 bits once
+        // both rates carry full-precision wei amounts).
+        if (!volatility_at_least(r2, r1, params.sbs_min_volatility_pct)) {
           continue;
         }
         const match_key mk{attack_pattern::sbs, x, t1.counterparty};

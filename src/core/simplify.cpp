@@ -43,8 +43,13 @@ app_transfer_list simplify(const app_transfer_list& in,
       if (i + 1 < filtered.size()) {
         const app_transfer& a = filtered[i];
         const app_transfer& b = filtered[i + 1];
+        // The BlackHole is never a pass-through intermediary: a burn
+        // followed by a coincidentally equal mint of the same token is two
+        // independent supply events, and merging them would erase the
+        // mint/burn evidence the trade identifier needs.
         if (a.token == b.token && a.to_tag == b.from_tag &&
             a.from_tag != b.to_tag && a.to_tag != params.protected_tag &&
+            a.to_tag != kBlackHoleTag &&
             amounts_close(a.amount, b.amount, params.merge_tolerance_num,
                           params.merge_tolerance_den)) {
           // The intermediary a.to_tag routed the asset through; expose the

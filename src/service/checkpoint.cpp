@@ -1,64 +1,85 @@
 #include "service/checkpoint.h"
 
-#include <cinttypes>
 #include <cstdio>
+#include <sstream>
+#include <string_view>
 
 namespace leishen::service {
 
 namespace {
 
-constexpr int kFormatVersion = 1;
+constexpr int kFormatVersion = 2;  // v2: trailing checksum line required
 
-}  // namespace
-
-bool save_checkpoint(const checkpoint& cp, const std::string& path) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return false;
-
-  std::fprintf(f, "leishen_checkpoint_v=%d\n", kFormatVersion);
-  std::fprintf(f, "last_block=%" PRIu64 "\n", cp.last_block);
-  std::fprintf(f, "blocks_processed=%" PRIu64 "\n", cp.blocks_processed);
-  std::fprintf(f, "incidents_emitted=%" PRIu64 "\n", cp.incidents_emitted);
-  const core::scan_stats& s = cp.stats;
-  std::fprintf(f, "stats.transactions=%" PRIu64 "\n", s.transactions);
-  std::fprintf(f, "stats.flash_loans=%" PRIu64 "\n", s.flash_loans);
-  for (int i = 0; i < 3; ++i) {
-    std::fprintf(f, "stats.per_provider.%d=%" PRIu64 "\n", i,
-                 s.per_provider[i]);
+/// FNV-1a over the payload (everything before the checksum line). Cheap,
+/// dependency-free, and plenty to reject truncated or bit-flipped files —
+/// this guards against torn writes, not adversaries.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
   }
-  std::fprintf(f, "stats.incidents=%" PRIu64 "\n", s.incidents);
-  for (int i = 0; i < 3; ++i) {
-    std::fprintf(f, "stats.per_pattern.%d=%" PRIu64 "\n", i, s.per_pattern[i]);
-  }
-  std::fprintf(f, "stats.suppressed_by_heuristic=%" PRIu64 "\n",
-               s.suppressed_by_heuristic);
-  std::fprintf(f, "stats.prefilter_rejects=%" PRIu64 "\n",
-               s.prefilter_rejects);
-  std::fprintf(f, "stats.prefilter_accepts=%" PRIu64 "\n",
-               s.prefilter_accepts);
-  for (const auto& [name, value] : cp.metric_counters) {
-    std::fprintf(f, "metric.%s=%" PRIu64 "\n", name.c_str(), value);
-  }
-
-  const bool wrote = std::fflush(f) == 0;
-  std::fclose(f);
-  if (!wrote) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  return h;
 }
 
-std::optional<checkpoint> load_checkpoint(const std::string& path) {
+std::string render_payload(const checkpoint& cp) {
+  std::ostringstream os;
+  os << "leishen_checkpoint_v=" << kFormatVersion << "\n";
+  os << "last_block=" << cp.last_block << "\n";
+  os << "blocks_processed=" << cp.blocks_processed << "\n";
+  os << "incidents_emitted=" << cp.incidents_emitted << "\n";
+  const core::scan_stats& s = cp.stats;
+  os << "stats.transactions=" << s.transactions << "\n";
+  os << "stats.flash_loans=" << s.flash_loans << "\n";
+  for (int i = 0; i < 3; ++i) {
+    os << "stats.per_provider." << i << "=" << s.per_provider[i] << "\n";
+  }
+  os << "stats.incidents=" << s.incidents << "\n";
+  for (int i = 0; i < 3; ++i) {
+    os << "stats.per_pattern." << i << "=" << s.per_pattern[i] << "\n";
+  }
+  os << "stats.suppressed_by_heuristic=" << s.suppressed_by_heuristic << "\n";
+  os << "stats.prefilter_rejects=" << s.prefilter_rejects << "\n";
+  os << "stats.prefilter_accepts=" << s.prefilter_accepts << "\n";
+  for (const auto& [name, value] : cp.metric_counters) {
+    os << "metric." << name << "=" << value << "\n";
+  }
+  return os.str();
+}
+
+/// Parse and validate one file. A checkpoint loads only when the format
+/// version matches and the trailing checksum covers the payload exactly —
+/// a file cut short mid-write (no checksum line, or a checksum over
+/// different bytes) is rejected as a whole rather than half-applied.
+std::optional<checkpoint> load_one(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return std::nullopt;
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+
+  // The payload is everything up to and including the newline before the
+  // final "checksum=" line.
+  constexpr std::string_view kChecksumKey = "checksum=";
+  const std::size_t tail = content.rfind('\n', content.size() - 2);
+  const std::size_t checksum_at = tail == std::string::npos ? 0 : tail + 1;
+  if (content.empty() ||
+      content.compare(checksum_at, kChecksumKey.size(), kChecksumKey) != 0) {
+    return std::nullopt;  // truncated before the checksum line
+  }
+  const std::string_view payload{content.data(), checksum_at};
+  const std::uint64_t claimed = std::strtoull(
+      content.c_str() + checksum_at + kChecksumKey.size(), nullptr, 16);
+  if (claimed != fnv1a(payload)) return std::nullopt;
 
   checkpoint cp;
   bool version_ok = false;
-  char line[512];
-  while (std::fgets(line, sizeof line, f) != nullptr) {
-    const std::string s{line};
+  std::istringstream lines{std::string{payload}};
+  std::string s;
+  while (std::getline(lines, s)) {
     const std::size_t eq = s.find('=');
     if (eq == std::string::npos) continue;
     const std::string key = s.substr(0, eq);
@@ -94,9 +115,42 @@ std::optional<checkpoint> load_checkpoint(const std::string& path) {
       cp.metric_counters.emplace(key.substr(sizeof "metric." - 1), value);
     }
   }
-  std::fclose(f);
   if (!version_ok) return std::nullopt;
   return cp;
+}
+
+}  // namespace
+
+bool save_checkpoint(const checkpoint& cp, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+
+  const std::string payload = render_payload(cp);
+  char checksum_line[32];
+  std::snprintf(checksum_line, sizeof checksum_line, "checksum=%016llx\n",
+                static_cast<unsigned long long>(fnv1a(payload)));
+  bool wrote =
+      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  wrote = std::fputs(checksum_line, f) >= 0 && wrote;
+  wrote = std::fflush(f) == 0 && wrote;
+  std::fclose(f);
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Keep the superseded checkpoint as the fallback generation before the
+  // atomic cutover (first save: nothing to keep; ignore the failure).
+  std::rename(path.c_str(), (path + ".prev").c_str());
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<checkpoint> load_checkpoint(const std::string& path) {
+  if (auto cp = load_one(path)) return cp;
+  // The current file is missing or failed validation (e.g. a torn write
+  // that survived a crash): fall back to the previous generation rather
+  // than starting the monitor from scratch.
+  return load_one(path + ".prev");
 }
 
 }  // namespace leishen::service

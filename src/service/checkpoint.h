@@ -9,9 +9,12 @@
 // incident suffix the interrupted run would have — appending to the same
 // JSONL feed reproduces the uninterrupted stream bit for bit.
 //
-// The file format is versioned line-oriented `key=value` (atomic writes
-// via temp file + rename, so a crash mid-write leaves the previous
-// checkpoint intact).
+// The file format is versioned line-oriented `key=value`, terminated by a
+// `checksum=` line (FNV-1a over the payload). Writes are atomic (temp file
+// + rename) and the superseded file is kept as `<path>.prev`, so a crash
+// mid-write leaves the previous checkpoint intact and a file corrupted at
+// rest (truncation, bit rot) is rejected by the checksum and loading falls
+// back to the previous generation.
 #pragma once
 
 #include <cstdint>
@@ -33,11 +36,14 @@ struct checkpoint {
   friend bool operator==(const checkpoint&, const checkpoint&) = default;
 };
 
-/// Write atomically (temp + rename). Returns false on I/O failure.
+/// Write atomically (temp + rename), preserving the superseded file as
+/// `path + ".prev"`. Returns false on I/O failure.
 bool save_checkpoint(const checkpoint& cp, const std::string& path);
 
-/// Load; std::nullopt when the file is absent, unreadable, or from an
-/// incompatible format version.
+/// Load; std::nullopt when the file is absent, unreadable, fails checksum
+/// validation, or is from an incompatible format version. A file that fails
+/// validation falls back to `path + ".prev"` (the previous generation kept
+/// by `save_checkpoint`) before giving up.
 std::optional<checkpoint> load_checkpoint(const std::string& path);
 
 }  // namespace leishen::service

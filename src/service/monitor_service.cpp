@@ -102,8 +102,12 @@ void monitor_service::produce(block_source& source) {
     b->enqueued_at = std::chrono::steady_clock::now();
     const std::size_t txs = b->receipts.size();
     if (options_.drop_when_full) {
-      if (!queue_.try_push(std::move(*b))) {
-        if (queue_.closed()) break;
+      // try_push_ex reports why the push failed atomically with the attempt;
+      // re-querying closed() here would race with shutdown and either
+      // miscount a refused block as dropped or spin past the poison pill.
+      const push_result r = queue_.try_push_ex(std::move(*b));
+      if (r == push_result::closed) break;
+      if (r == push_result::full) {
         c_blocks_dropped_.add();
         continue;
       }

@@ -1,0 +1,225 @@
+#include "verify/diff_engine.h"
+
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "core/parallel_scanner.h"
+#include "service/block_source.h"
+#include "service/incident_sink.h"
+#include "service/metrics.h"
+#include "service/monitor_service.h"
+
+namespace leishen::verify {
+namespace {
+
+using core::incident;
+using core::scan_stats;
+
+/// Name of the first differing stats field, if any.
+std::optional<std::string> diff_stats(const scan_stats& a,
+                                      const scan_stats& b) {
+  if (a.transactions != b.transactions) return "stats.transactions";
+  if (a.flash_loans != b.flash_loans) return "stats.flash_loans";
+  for (int i = 0; i < 3; ++i) {
+    if (a.per_provider[i] != b.per_provider[i]) {
+      return "stats.per_provider." + std::to_string(i);
+    }
+  }
+  if (a.incidents != b.incidents) return "stats.incidents";
+  for (int i = 0; i < 3; ++i) {
+    if (a.per_pattern[i] != b.per_pattern[i]) {
+      return "stats.per_pattern." + std::to_string(i);
+    }
+  }
+  if (a.suppressed_by_heuristic != b.suppressed_by_heuristic) {
+    return "stats.suppressed_by_heuristic";
+  }
+  if (a.prefilter_rejects != b.prefilter_rejects) {
+    return "stats.prefilter_rejects";
+  }
+  if (a.prefilter_accepts != b.prefilter_accepts) {
+    return "stats.prefilter_accepts";
+  }
+  return std::nullopt;
+}
+
+/// Name of the first differing incident field, if any.
+std::optional<std::string> diff_incident(const incident& a,
+                                         const incident& b) {
+  if (a.tx_index != b.tx_index) return "incident.tx_index";
+  if (a.timestamp != b.timestamp) return "incident.timestamp";
+  if (a.borrower_tag != b.borrower_tag) return "incident.borrower_tag";
+  if (a.matches != b.matches) return "incident.matches";
+  if (a.max_volatility_pct != b.max_volatility_pct) {
+    return "incident.max_volatility_pct";
+  }
+  return std::nullopt;
+}
+
+class stream_differ {
+ public:
+  stream_differ(std::string engine, const diff_result& reference,
+                const std::unordered_map<std::uint64_t, std::uint64_t>&
+                    tx_to_block,
+                std::vector<divergence>& out)
+      : engine_{std::move(engine)},
+        reference_{reference},
+        tx_to_block_{tx_to_block},
+        out_{out} {}
+
+  [[nodiscard]] bool diverged() const noexcept { return diverged_; }
+
+  std::uint64_t block_of(std::uint64_t tx_index) const {
+    const auto it = tx_to_block_.find(tx_index);
+    return it == tx_to_block_.end() ? 0 : it->second;
+  }
+
+  void report(std::string field, std::uint64_t block, std::uint64_t tx,
+              std::string detail) {
+    if (diverged_) return;  // first divergence only
+    diverged_ = true;
+    out_.push_back(divergence{.engine = engine_,
+                              .field = std::move(field),
+                              .block_number = block,
+                              .tx_index = tx,
+                              .detail = std::move(detail)});
+  }
+
+  /// Compare a full incident stream against the reference.
+  void compare_stream(const std::vector<incident>& got) {
+    const auto& want = reference_.reference_incidents;
+    const std::size_t n = std::min(want.size(), got.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const auto field = diff_incident(want[i], got[i])) {
+        std::ostringstream os;
+        os << "incident #" << i << " differs";
+        report(*field, block_of(want[i].tx_index), want[i].tx_index,
+               os.str());
+        return;
+      }
+    }
+    if (want.size() != got.size()) {
+      std::ostringstream os;
+      os << "incident count " << got.size() << " vs reference "
+         << want.size();
+      const std::uint64_t tx =
+          want.size() > n ? want[n].tx_index
+                          : (got.size() > n ? got[n].tx_index : 0);
+      report("incident.count", block_of(tx), tx, os.str());
+    }
+  }
+
+  void compare_stats(const scan_stats& got) {
+    if (const auto field = diff_stats(reference_.reference_stats, got)) {
+      report(*field, 0, 0, "cumulative counters differ");
+    }
+  }
+
+ private:
+  std::string engine_;
+  const diff_result& reference_;
+  const std::unordered_map<std::uint64_t, std::uint64_t>& tx_to_block_;
+  std::vector<divergence>& out_;
+  bool diverged_ = false;
+};
+
+}  // namespace
+
+diff_engine::diff_engine(const chain::creation_registry& creations,
+                         const etherscan::label_db& labels,
+                         chain::asset weth_token, diff_options options)
+    : creations_{creations},
+      labels_{labels},
+      weth_{weth_token},
+      options_{std::move(options)} {}
+
+diff_result diff_engine::run(
+    const std::vector<chain::tx_receipt>& receipts) const {
+  diff_result result;
+
+  std::unordered_map<std::uint64_t, std::uint64_t> tx_to_block;
+  tx_to_block.reserve(receipts.size());
+  for (const chain::tx_receipt& rec : receipts) {
+    tx_to_block.emplace(rec.tx_index, rec.block_number);
+  }
+
+  // Reference: the serial engine.
+  {
+    core::scanner serial{creations_, labels_, weth_, options_.scan};
+    serial.scan_all(receipts, nullptr);
+    result.reference_stats = serial.stats();
+    result.reference_incidents = serial.incidents();
+  }
+
+  // Parallel engine across the thread/chunk grid.
+  for (const engine_config& cfg : options_.parallel_configs) {
+    std::ostringstream name;
+    name << "parallel[threads=" << cfg.threads << ",chunk=" << cfg.chunk_size
+         << "]";
+    stream_differ differ{name.str(), result, tx_to_block,
+                         result.divergences};
+
+    core::parallel_scanner_options popts;
+    popts.scan = options_.scan;
+    popts.threads = cfg.threads;
+    popts.chunk_size = cfg.chunk_size;
+    core::parallel_scanner par{creations_, labels_, weth_, popts};
+    par.scan_all(receipts);
+
+    differ.compare_stream(par.incidents());
+    if (!differ.diverged()) differ.compare_stats(par.stats());
+  }
+
+  // Streaming monitor: producer -> bounded queue -> detection worker.
+  if (options_.include_monitor) {
+    stream_differ differ{"monitor", result, tx_to_block, result.divergences};
+
+    service::metrics_registry metrics;
+    service::monitor_options mopts;
+    mopts.scan = options_.scan;
+    mopts.queue_capacity = options_.monitor_queue_capacity;
+    mopts.drop_when_full = false;  // lossless: streams must match exactly
+
+    std::vector<service::monitor_incident> streamed;
+    service::callback_sink sink{[&streamed](
+                                    const service::monitor_incident& mi) {
+      streamed.push_back(mi);
+    }};
+
+    service::monitor_service monitor{creations_, labels_, weth_, metrics,
+                                     mopts};
+    monitor.add_sink(sink);
+    service::simulated_block_source source{receipts};
+    monitor.run(source);
+
+    std::vector<incident> stream;
+    stream.reserve(streamed.size());
+    for (const service::monitor_incident& mi : streamed) {
+      stream.push_back(mi.incident);
+    }
+    differ.compare_stream(stream);
+
+    // Block attribution: every emitted incident must carry the block its
+    // transaction actually lives in.
+    if (!differ.diverged()) {
+      for (const service::monitor_incident& mi : streamed) {
+        const std::uint64_t expect = differ.block_of(mi.incident.tx_index);
+        if (mi.block_number != expect) {
+          std::ostringstream os;
+          os << "incident block " << mi.block_number << " vs receipt block "
+             << expect;
+          differ.report("incident.block_number", expect, mi.incident.tx_index,
+                        os.str());
+          break;
+        }
+      }
+    }
+    if (!differ.diverged()) differ.compare_stats(monitor.stats());
+  }
+
+  return result;
+}
+
+}  // namespace leishen::verify

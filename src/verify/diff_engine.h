@@ -1,0 +1,77 @@
+// Cross-engine differential oracle.
+//
+// Three engines promise bit-identical detection output over the same
+// receipts: the serial `core::scanner` (the reference), the chunked
+// `core::parallel_scanner` under any thread/chunk configuration, and the
+// streaming `service::monitor_service`. This oracle runs one population
+// through all of them and structurally diffs the incident streams and
+// counters, reporting the first diverging (engine, block, tx, field) — the
+// actionable unit for the seed shrinker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scanner.h"
+
+namespace leishen::verify {
+
+/// One parallel-engine configuration to pit against the reference.
+struct engine_config {
+  unsigned threads = 2;
+  std::size_t chunk_size = 64;
+};
+
+struct diff_options {
+  /// Detection configuration used identically by every engine.
+  core::scanner_options scan;
+  /// Thread/chunk grid for the parallel engine. Small odd chunk sizes force
+  /// shard boundaries through the middle of attack clusters.
+  std::vector<engine_config> parallel_configs = {
+      {1, 7}, {2, 3}, {4, 64}, {3, 1}};
+  /// Also stream the population through the monitor (producer/queue/worker
+  /// path, lossless backpressure).
+  bool include_monitor = true;
+  /// Small on purpose: keeps the monitor's producer bumping into
+  /// backpressure instead of degenerating into a bulk copy.
+  std::size_t monitor_queue_capacity = 4;
+};
+
+struct divergence {
+  std::string engine;  // e.g. "parallel[threads=2,chunk=3]", "monitor"
+  std::string field;   // e.g. "stats.incidents", "incident.borrower_tag"
+  std::uint64_t block_number = 0;  // 0 when not attributable to a block
+  std::uint64_t tx_index = 0;      // 0 when not attributable to a tx
+  std::string detail;
+};
+
+struct diff_result {
+  core::scan_stats reference_stats;
+  std::vector<core::incident> reference_incidents;
+  std::vector<divergence> divergences;  // first divergence per engine
+
+  [[nodiscard]] bool ok() const noexcept { return divergences.empty(); }
+};
+
+class diff_engine {
+ public:
+  /// Receipts fed to `run` must reference accounts of this registry /
+  /// label DB (e.g. a `generated_population` with its world).
+  diff_engine(const chain::creation_registry& creations,
+              const etherscan::label_db& labels, chain::asset weth_token,
+              diff_options options = {});
+
+  /// Run every engine over `receipts` (must be in chain order: block
+  /// numbers nondecreasing) and diff against the serial reference.
+  [[nodiscard]] diff_result run(
+      const std::vector<chain::tx_receipt>& receipts) const;
+
+ private:
+  const chain::creation_registry& creations_;
+  const etherscan::label_db& labels_;
+  chain::asset weth_;
+  diff_options options_;
+};
+
+}  // namespace leishen::verify

@@ -1,0 +1,491 @@
+#include "verify/pipeline_auditor.h"
+
+#include <array>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "core/simplify.h"
+
+namespace leishen::verify {
+namespace {
+
+using core::app_transfer;
+using core::app_transfer_list;
+using core::attack_pattern;
+using core::detection_report;
+using core::kBlackHoleTag;
+using core::pattern_match;
+using core::trade;
+using core::trade_kind;
+
+// ---- fixed-width accumulator ------------------------------------------------
+// Net-flow sums can exceed u256 (many 2^240-scale legs), and the tolerance
+// comparison multiplies them by up to 64-bit factors, so all conservation
+// arithmetic runs in 512 bits.
+
+struct acc512 {
+  std::array<std::uint64_t, 8> limb{};
+
+  void add(const u256& v) {
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      carry += limb[i];
+      if (i < 4) carry += v.limb(i);
+      limb[i] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+  }
+
+  void add(const acc512& o) {
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      carry += limb[i];
+      carry += o.limb[i];
+      limb[i] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+  }
+
+  /// *this - o; requires *this >= o.
+  [[nodiscard]] acc512 minus(const acc512& o) const {
+    acc512 out;
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const unsigned __int128 lhs = limb[i];
+      const unsigned __int128 rhs =
+          static_cast<unsigned __int128>(o.limb[i]) + borrow;
+      if (lhs >= rhs) {
+        out.limb[i] = static_cast<std::uint64_t>(lhs - rhs);
+        borrow = 0;
+      } else {
+        out.limb[i] = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(1) << 64) + lhs - rhs);
+        borrow = 1;
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] acc512 times(std::uint64_t m) const {
+    acc512 out;
+    unsigned __int128 carry = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      carry += static_cast<unsigned __int128>(limb[i]) * m;
+      out.limb[i] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    return out;  // inputs are bounded far below 2^448, so no overflow here
+  }
+
+  friend std::strong_ordering operator<=>(const acc512& a, const acc512& b) {
+    for (std::size_t i = 8; i-- > 0;) {
+      if (a.limb[i] != b.limb[i]) return a.limb[i] <=> b.limb[i];
+    }
+    return std::strong_ordering::equal;
+  }
+  friend bool operator==(const acc512& a, const acc512& b) = default;
+};
+
+std::string asset_name(const chain::asset& a) {
+  return a.is_ether() ? "ETH" : a.contract_address().to_short();
+}
+
+// ---- I1: simplification ----------------------------------------------------
+
+struct flow {
+  acc512 in;
+  acc512 out;
+};
+
+using flow_map = std::map<std::pair<std::string, chain::asset>, flow>;
+
+flow_map flows_of(const app_transfer_list& transfers) {
+  flow_map m;
+  for (const app_transfer& t : transfers) {
+    m[{t.to_tag, t.token}].in.add(t.amount);
+    m[{t.from_tag, t.token}].out.add(t.amount);
+  }
+  return m;
+}
+
+struct bh_counts {
+  std::size_t minted_legs = 0;  // from BlackHole
+  std::size_t burned_legs = 0;  // to BlackHole
+};
+
+std::map<chain::asset, bh_counts> blackhole_legs(
+    const app_transfer_list& transfers) {
+  std::map<chain::asset, bh_counts> m;
+  for (const app_transfer& t : transfers) {
+    if (t.from_tag == kBlackHoleTag) ++m[t.token].minted_legs;
+    if (t.to_tag == kBlackHoleTag) ++m[t.token].burned_legs;
+  }
+  return m;
+}
+
+void check_simplification(const detection_report& report,
+                          const chain::asset& weth_token,
+                          const audit_params& params,
+                          std::vector<violation>& out) {
+  auto fail = [&](const char* inv, std::string detail) {
+    out.push_back(violation{report.tx_index, inv, std::move(detail)});
+  };
+
+  // Structural checks on the final list.
+  for (const app_transfer& t : report.app_transfers) {
+    if (t.from_tag == t.to_tag) {
+      fail("simplify/intra-app", "leg " + t.from_tag + " -> " + t.to_tag);
+    }
+    if (t.from_tag == params.simplify.weth_tag ||
+        t.to_tag == params.simplify.weth_tag) {
+      fail("simplify/weth-endpoint", "leg " + t.from_tag + " -> " + t.to_tag);
+    }
+    if (!weth_token.is_ether() && t.token == weth_token) {
+      fail("simplify/weth-asset", "WETH token survived unification");
+    }
+    if (t.amount.is_zero()) {
+      fail("simplify/zero-amount", "leg " + t.from_tag + " -> " + t.to_tag);
+    }
+  }
+
+  // The reference point rule 3 started from: rules 1 + 2 recomputed (both
+  // are simple deterministic filters).
+  const app_transfer_list unified =
+      core::unify_weth(report.tagged_transfers, weth_token);
+  app_transfer_list baseline;
+  baseline.reserve(unified.size());
+  for (const app_transfer& t : unified) {
+    if (t.from_tag == t.to_tag) continue;
+    if (t.from_tag == params.simplify.weth_tag ||
+        t.to_tag == params.simplify.weth_tag) {
+      continue;
+    }
+    baseline.push_back(t);
+  }
+
+  // Mint/burn evidence must survive the merge rule exactly: a pass-through
+  // intermediary is never the BlackHole, so the number of legs touching it
+  // cannot change per asset.
+  const auto bh_before = blackhole_legs(baseline);
+  const auto bh_after = blackhole_legs(report.app_transfers);
+  for (const auto& [tok, before] : bh_before) {
+    const auto it = bh_after.find(tok);
+    const bh_counts after = it == bh_after.end() ? bh_counts{} : it->second;
+    if (before.minted_legs != after.minted_legs ||
+        before.burned_legs != after.burned_legs) {
+      std::ostringstream os;
+      os << asset_name(tok) << ": mint legs " << before.minted_legs << " -> "
+         << after.minted_legs << ", burn legs " << before.burned_legs << " -> "
+         << after.burned_legs;
+      fail("simplify/blackhole-legs", os.str());
+    }
+  }
+  for (const auto& [tok, after] : bh_after) {
+    if (!bh_before.contains(tok) &&
+        (after.minted_legs != 0 || after.burned_legs != 0)) {
+      fail("simplify/blackhole-legs",
+           asset_name(tok) + ": BlackHole legs appeared from nowhere");
+    }
+  }
+
+  // Value conservation: rule 3 may shift each (tag, asset) net flow by at
+  // most the merge tolerance per hop. |net_before - net_after| compared as
+  //   |(in_b + out_a) - (in_a + out_b)| * tol_den
+  //     <= (in_b + out_b) * tol_num * slack_factor
+  const flow_map before = flows_of(baseline);
+  const flow_map after = flows_of(report.app_transfers);
+  std::set<std::pair<std::string, chain::asset>> keys;
+  for (const auto& [k, v] : before) keys.insert(k);
+  for (const auto& [k, v] : after) keys.insert(k);
+  for (const auto& key : keys) {
+    static const flow kEmpty{};
+    const auto bit = before.find(key);
+    const auto ait = after.find(key);
+    const flow& fb = bit == before.end() ? kEmpty : bit->second;
+    const flow& fa = ait == after.end() ? kEmpty : ait->second;
+    acc512 lhs = fb.in;
+    lhs.add(fa.out);
+    acc512 rhs = fa.in;
+    rhs.add(fb.out);
+    const acc512 diff = lhs < rhs ? rhs.minus(lhs) : lhs.minus(rhs);
+    acc512 gross = fb.in;
+    gross.add(fb.out);
+    const acc512 scaled_diff =
+        diff.times(params.simplify.merge_tolerance_den);
+    const acc512 allowance = gross.times(params.simplify.merge_tolerance_num)
+                                 .times(params.merge_slack_factor);
+    if (allowance < scaled_diff) {
+      fail("simplify/net-flow",
+           "tag " + key.first + " asset " + asset_name(key.second) +
+               " drifted beyond merge tolerance");
+    }
+  }
+}
+
+// ---- I2: trade lifting ------------------------------------------------------
+
+/// The source-transfer window a trade claims, per its Table III form.
+/// `ordered` is false for the two-transfer mint/remove forms, which match
+/// in either order.
+struct expected_window {
+  std::vector<app_transfer> legs;
+  bool ordered = true;
+};
+
+expected_window window_of(const trade& t) {
+  expected_window w;
+  const auto leg = [](const std::string& from, const std::string& to,
+                      const u256& amount, const chain::asset& token) {
+    return app_transfer{
+        .from_tag = from, .to_tag = to, .amount = amount, .token = token};
+  };
+  switch (t.kind) {
+    case trade_kind::swap:
+      w.legs.push_back(leg(t.buyer, t.seller, t.amount_sell, t.token_sell));
+      w.legs.push_back(leg(t.seller, t.buyer, t.amount_buy, t.token_buy));
+      if (!t.amount_buy2.is_zero()) {
+        w.legs.push_back(
+            leg(t.seller, t.buyer, t.amount_buy2, t.token_buy2));
+      }
+      break;
+    case trade_kind::mint_liquidity:
+      if (!t.amount_sell2.is_zero()) {  // three-transfer form, fixed order
+        w.legs.push_back(leg(t.buyer, t.seller, t.amount_sell, t.token_sell));
+        w.legs.push_back(
+            leg(t.buyer, t.seller, t.amount_sell2, t.token_sell2));
+        w.legs.push_back(
+            leg(kBlackHoleTag, t.buyer, t.amount_buy, t.token_buy));
+      } else {
+        w.legs.push_back(leg(t.buyer, t.seller, t.amount_sell, t.token_sell));
+        w.legs.push_back(
+            leg(kBlackHoleTag, t.buyer, t.amount_buy, t.token_buy));
+        w.ordered = false;
+      }
+      break;
+    case trade_kind::remove_liquidity:
+      if (!t.amount_buy2.is_zero()) {  // three-transfer form, fixed order
+        w.legs.push_back(
+            leg(t.buyer, kBlackHoleTag, t.amount_sell, t.token_sell));
+        w.legs.push_back(leg(t.seller, t.buyer, t.amount_buy, t.token_buy));
+        w.legs.push_back(
+            leg(t.seller, t.buyer, t.amount_buy2, t.token_buy2));
+      } else {
+        w.legs.push_back(
+            leg(t.buyer, kBlackHoleTag, t.amount_sell, t.token_sell));
+        w.legs.push_back(leg(t.seller, t.buyer, t.amount_buy, t.token_buy));
+        w.ordered = false;
+      }
+      break;
+  }
+  return w;
+}
+
+bool window_matches(const app_transfer_list& transfers, std::size_t pos,
+                    const expected_window& w) {
+  if (pos + w.legs.size() > transfers.size()) return false;
+  const auto eq_at = [&](std::size_t i, std::size_t j) {
+    return transfers[pos + i] == w.legs[j];
+  };
+  if (w.ordered) {
+    for (std::size_t i = 0; i < w.legs.size(); ++i) {
+      if (!eq_at(i, i)) return false;
+    }
+    return true;
+  }
+  // Two-transfer mint/remove: either order.
+  return (eq_at(0, 0) && eq_at(1, 1)) || (eq_at(0, 1) && eq_at(1, 0));
+}
+
+void check_trades(const detection_report& report,
+                  std::vector<violation>& out) {
+  auto fail = [&](const char* inv, std::string detail) {
+    out.push_back(violation{report.tx_index, inv, std::move(detail)});
+  };
+
+  std::size_t cursor = 0;
+  for (std::size_t ti = 0; ti < report.trades.size(); ++ti) {
+    const trade& t = report.trades[ti];
+    std::ostringstream id;
+    id << "trade #" << ti << " (" << core::to_string(t.kind) << " "
+       << t.buyer << " -> " << t.seller << ")";
+
+    if (t.token_sell == t.token_buy) {
+      fail("trades/token-identity", id.str() + " buys and sells one token");
+    }
+    if (t.amount_sell.is_zero() || t.amount_buy.is_zero()) {
+      fail("trades/zero-amount", id.str() + " has a zero primary leg");
+    }
+    if (t.buyer == kBlackHoleTag || t.seller == kBlackHoleTag) {
+      fail("trades/blackhole-party", id.str());
+    }
+
+    // Map the trade back to its source transfers: the next unconsumed
+    // contiguous window matching the claimed form. Disjoint, in-order
+    // windows mean no transfer backs two trades.
+    const expected_window w = window_of(t);
+    bool mapped = false;
+    for (std::size_t pos = cursor;
+         pos + w.legs.size() <= report.app_transfers.size(); ++pos) {
+      if (window_matches(report.app_transfers, pos, w)) {
+        cursor = pos + w.legs.size();
+        mapped = true;
+        break;
+      }
+    }
+    if (!mapped) {
+      fail("trades/unmapped",
+           id.str() + " has no matching source-transfer window");
+    }
+  }
+}
+
+// ---- I3: pattern reports ----------------------------------------------------
+
+/// The token the borrower received (buy side) in trade `t`, and the one it
+/// paid — from the borrower's perspective, mirroring patterns.cpp.
+struct perspective {
+  chain::asset received;
+  chain::asset paid;
+};
+
+std::optional<perspective> borrower_side(const trade& t,
+                                         const std::string& borrower) {
+  if (t.buyer == borrower) return perspective{t.token_buy, t.token_sell};
+  if (t.seller == borrower) return perspective{t.token_sell, t.token_buy};
+  return std::nullopt;
+}
+
+void check_patterns(const detection_report& report,
+                    const core::pattern_params& params,
+                    std::vector<violation>& out) {
+  auto fail = [&](const char* inv, std::string detail) {
+    out.push_back(violation{report.tx_index, inv, std::move(detail)});
+  };
+
+  std::set<std::tuple<attack_pattern, chain::asset, std::string>> keys;
+  for (const pattern_match& m : report.matches) {
+    const std::string id = std::string{core::to_string(m.pattern)} + " vs " +
+                           m.counterparty;
+
+    if (!keys.insert({m.pattern, m.target, m.counterparty}).second) {
+      fail("patterns/dedup", "duplicate key " + id);
+    }
+
+    if (m.trade_indices.empty()) {
+      fail("patterns/indices", id + " references no trades");
+      continue;
+    }
+    bool in_range = true;
+    for (std::size_t i = 0; i < m.trade_indices.size(); ++i) {
+      if (m.trade_indices[i] >= report.trades.size()) {
+        fail("patterns/indices", id + " index out of range");
+        in_range = false;
+      }
+      if (i > 0 && m.trade_indices[i] <= m.trade_indices[i - 1]) {
+        fail("patterns/indices", id + " indices not strictly increasing");
+      }
+    }
+    if (!in_range) continue;
+
+    switch (m.pattern) {
+      case attack_pattern::krp:
+        if (static_cast<int>(m.trade_indices.size()) <
+            params.krp_min_buys + 1) {
+          fail("patterns/count", id + " below krp_min_buys + sell");
+        }
+        break;
+      case attack_pattern::sbs:
+        if (m.trade_indices.size() != 3) {
+          fail("patterns/count", id + " SBS must reference exactly 3 trades");
+        }
+        break;
+      case attack_pattern::mbs:
+        if (m.trade_indices.size() % 2 != 0 ||
+            static_cast<int>(m.trade_indices.size()) <
+                2 * params.mbs_min_rounds) {
+          fail("patterns/count", id + " below mbs_min_rounds round pairs");
+        }
+        break;
+    }
+
+    for (std::size_t i = 0; i < m.trade_indices.size(); ++i) {
+      const trade& t = report.trades[m.trade_indices[i]];
+      // Rates over this trade must be well-defined (never 0/0).
+      if (t.amount_sell.is_zero() && t.amount_buy.is_zero()) {
+        fail("patterns/rate", id + " references a zero/zero-amount trade");
+      }
+      // Every referenced trade involves the borrower — except the SBS pump
+      // trade in the middle, which may be any party's (and even when it is
+      // the borrower's, it moves the target in either direction).
+      if (m.pattern == attack_pattern::sbs && i == 1) continue;
+      const auto side = borrower_side(t, report.borrower_tag);
+      if (!side.has_value()) {
+        fail("patterns/borrower",
+             id + " references a trade without the borrower");
+        continue;
+      }
+      // Target consistency from the borrower's perspective: buys receive
+      // the target, the closing sell pays it.
+      const bool is_final_sell = i + 1 == m.trade_indices.size();
+      if (m.pattern == attack_pattern::krp ||
+          m.pattern == attack_pattern::sbs) {
+        const chain::asset expect =
+            is_final_sell ? side->paid : side->received;
+        if (expect != m.target) {
+          fail("patterns/target", id + " trade does not move the target");
+        }
+      } else {  // MBS: alternating buy/sell rounds
+        const chain::asset expect =
+            i % 2 == 0 ? side->received : side->paid;
+        if (expect != m.target) {
+          fail("patterns/target", id + " round leg does not move the target");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+pipeline_auditor::pipeline_auditor(const chain::creation_registry& creations,
+                                   const etherscan::label_db& labels,
+                                   chain::asset weth_token,
+                                   audit_params params)
+    : detector_{creations, labels, weth_token, params.patterns},
+      weth_token_{weth_token},
+      params_{std::move(params)} {}
+
+std::vector<violation> pipeline_auditor::audit(
+    const chain::tx_receipt& receipt) const {
+  return audit_report(detector_.analyze(receipt));
+}
+
+std::vector<violation> pipeline_auditor::audit_report(
+    const core::detection_report& report) const {
+  std::vector<violation> out;
+  if (!report.is_flash_loan) return out;  // later stages did not run
+  if (report.borrower_tag.empty()) {
+    out.push_back(
+        violation{report.tx_index, "flash/borrower-tag", "empty tag"});
+  }
+  check_simplification(report, weth_token_, params_, out);
+  check_trades(report, out);
+  check_patterns(report, params_.patterns, out);
+  return out;
+}
+
+std::vector<violation> pipeline_auditor::audit_all(
+    const std::vector<chain::tx_receipt>& receipts) const {
+  std::vector<violation> out;
+  for (const chain::tx_receipt& rec : receipts) {
+    auto v = audit(rec);
+    out.insert(out.end(), std::make_move_iterator(v.begin()),
+               std::make_move_iterator(v.end()));
+  }
+  return out;
+}
+
+}  // namespace leishen::verify

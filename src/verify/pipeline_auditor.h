@@ -1,0 +1,81 @@
+// Per-transaction stage invariants for the LeiShen pipeline.
+//
+// The detector's stage outputs are all carried in `detection_report`, so
+// invariants can be checked from the outside without touching the hot
+// path. Three families:
+//
+//   I1 (simplification) — the simplified transfer list differs from the
+//      tagged one only in the ways the three rules permit: no intra-app or
+//      WETH-touching legs survive, the WETH asset is fully unified away,
+//      mint/burn legs (BlackHole endpoints) are preserved per asset, and
+//      per-(tag, asset) net flows move by at most the merge tolerance times
+//      the gross flow (512-bit accumulation, no overflow blind spots).
+//
+//   I2 (trade lifting) — every lifted trade maps back to a contiguous
+//      window of simplified transfers matching its Table III form, windows
+//      are disjoint and in order (no transfer consumed twice), and trade
+//      fields are well-formed (distinct tokens, nonzero primary legs, no
+//      BlackHole counterparty).
+//
+//   I3 (pattern reports) — trade indices are in range and strictly
+//      increasing, per-pattern cardinalities hold, referenced trades carry
+//      well-defined rates and involve the borrower, targets match the
+//      borrower's perspective, and (pattern, target, counterparty) dedup
+//      keys are unique.
+//
+// A clean pipeline produces zero violations on any input; the fuzz target
+// asserts exactly that over seeded synthetic populations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+
+namespace leishen::verify {
+
+struct violation {
+  std::uint64_t tx_index = 0;
+  /// Stable invariant id, e.g. "simplify/blackhole-legs".
+  std::string invariant;
+  std::string detail;
+};
+
+struct audit_params {
+  /// Must mirror the simplification parameters the audited pipeline ran
+  /// with (the detector uses the defaults).
+  core::simplify_params simplify;
+  core::pattern_params patterns;
+  /// Net-flow slack headroom: each router hop may shift an amount by the
+  /// merge tolerance, and multi-hop chains compound, so the allowed drift
+  /// is tolerance * gross * this factor.
+  std::uint64_t merge_slack_factor = 8;
+};
+
+class pipeline_auditor {
+ public:
+  pipeline_auditor(const chain::creation_registry& creations,
+                   const etherscan::label_db& labels, chain::asset weth_token,
+                   audit_params params = {});
+
+  /// Run the full pipeline on one receipt and check every invariant.
+  [[nodiscard]] std::vector<violation> audit(
+      const chain::tx_receipt& receipt) const;
+
+  /// Check invariants on a report produced elsewhere (must stem from the
+  /// same registry / labels / WETH asset this auditor was built with).
+  [[nodiscard]] std::vector<violation> audit_report(
+      const core::detection_report& report) const;
+
+  /// Audit a whole population; violations from all receipts, in order.
+  [[nodiscard]] std::vector<violation> audit_all(
+      const std::vector<chain::tx_receipt>& receipts) const;
+
+ private:
+  core::detector detector_;
+  chain::asset weth_token_;
+  audit_params params_;
+};
+
+}  // namespace leishen::verify

@@ -1,0 +1,449 @@
+#include "verify/receipt_gen.h"
+
+#include <utility>
+
+#include "common/rng.h"
+
+namespace leishen::verify {
+namespace {
+
+using chain::asset;
+using chain::call_record;
+using chain::event_log;
+using chain::internal_tx;
+using chain::tx_receipt;
+
+/// ERC20 Transfer log — the token-transfer unit `extract_transfers` lifts.
+void emit_transfer(tx_receipt& rec, const asset& token, const address& from,
+                   const address& to, const u256& amount) {
+  rec.events.push_back(event_log{.emitter = token.contract_address(),
+                                 .name = chain::kTransferEvent,
+                                 .addr0 = from,
+                                 .addr1 = to,
+                                 .amount0 = amount});
+}
+
+void emit_ether(tx_receipt& rec, const address& from, const address& to,
+                const u256& amount) {
+  rec.events.push_back(internal_tx{.from = from, .to = to, .amount = amount});
+}
+
+void emit_call(tx_receipt& rec, const address& caller, const address& callee,
+               std::string method) {
+  rec.events.push_back(call_record{
+      .caller = caller, .callee = callee, .method = std::move(method)});
+}
+
+/// Amount distribution: mostly token-unit scale, a dust band, and (with
+/// `huge_frac` probability) a 2^190..2^240 band that forces every
+/// comparison in the pipeline through the wide-arithmetic paths. The cap at
+/// 2^241 keeps even pathological per-(party, token) sums inside u256.
+u256 rand_amount(rng& t, double huge_frac) {
+  const double c = t.next_double();
+  if (c < huge_frac) {
+    const auto bits = static_cast<unsigned>(t.next_range(190, 240));
+    return (u256{1} << bits) | u256{t.next(), t.next(), 0, 0};
+  }
+  if (c < huge_frac + 0.15) return u256{t.next_range(1, 1000)};  // dust
+  return units(t.next_range(1, 1000000),
+               static_cast<unsigned>(t.next_range(6, 18)));
+}
+
+template <typename T>
+const T& pick(rng& t, const std::vector<T>& v) {
+  return v[t.next_below(v.size())];
+}
+
+/// Everything one transaction's synthesis needs in one place.
+struct tx_ctx {
+  const synthetic_world& w;
+  rng& t;
+  tx_receipt& rec;
+  address borrower;      // attack contract of this transaction
+  double huge_frac = 0.0;
+
+  u256 amount() { return rand_amount(t, huge_frac); }
+  const address& pool() { return pick(t, w.pool_contracts); }
+  const address& router() { return pick(t, w.router_contracts); }
+  const address& user() { return pick(t, w.user_eoas); }
+  const asset& token() { return pick(t, w.tokens); }
+};
+
+// ---- body shapes ------------------------------------------------------------
+// Each shape appends a few trace events; together they cover the transfer
+// configurations every pipeline stage branches on.
+
+/// Plain two-transfer swap: borrower pays quote to a pool, pool pays back X.
+void shape_swap(tx_ctx& c) {
+  const address pool = c.pool();
+  const asset a = c.token();
+  asset b = c.token();
+  while (b == a) b = c.token();
+  emit_transfer(c.rec, a, c.borrower, pool, c.amount());
+  emit_transfer(c.rec, b, pool, c.borrower, c.amount());
+}
+
+/// A KRP-shaped burst: n buys of X from one pool at rising prices, then a
+/// sell — n straddles the krp_min_buys threshold so populations land on
+/// both sides of it.
+void shape_krp_burst(tx_ctx& c) {
+  const address pool = c.pool();
+  const asset x = c.token();
+  asset quote = c.token();
+  while (quote == x) quote = c.token();
+  const auto n = static_cast<int>(c.t.next_range(4, 7));
+  const u256 unit = units(c.t.next_range(1, 50), 15);
+  u256 paid = unit;
+  u256 total_x;
+  for (int i = 0; i < n; ++i) {
+    const u256 got = unit;  // fixed amount out, rising amount in = rising price
+    emit_transfer(c.rec, quote, c.borrower, pool, paid);
+    emit_transfer(c.rec, x, pool, c.borrower, got);
+    total_x += got;
+    paid += unit / 4 + u256{1};
+  }
+  emit_transfer(c.rec, x, c.borrower, pool, total_x);
+  emit_transfer(c.rec, quote, pool, c.borrower,
+                paid * u256{static_cast<std::uint64_t>(n)});
+}
+
+/// Pass-through routing: src -> router(s) -> dst with the out-amount landing
+/// exactly at, just inside, or outside the 0.1% merge tolerance.
+void shape_pass_through(tx_ctx& c) {
+  const asset tok = c.token();
+  const address src = c.t.next_bool(0.5) ? c.borrower : c.user();
+  const address dst = c.pool();
+  const u256 in = c.amount();
+  u256 out = in;
+  switch (c.t.next_below(5)) {
+    case 0:
+      break;  // exact pass-through
+    case 1:   // well inside tolerance
+      if (in > u256{4000}) out = in - in / u256{4000};
+      break;
+    case 2:  // exactly 0.1% off: NOT close (strict <), must not merge
+      if (in > u256{1000}) out = in - in / u256{1000};
+      break;
+    case 3:  // one below the boundary: closest mergeable amount
+      if (in > u256{1000} && !(in / u256{1000}).is_zero()) {
+        out = in - (in / u256{1000} - u256{1});
+      }
+      break;
+    default:  // way off: a real trade leg, not routing
+      out = in / u256{3} + u256{1};
+      break;
+  }
+  const address r1 = c.router();
+  if (c.t.next_bool(0.3)) {  // two-hop chain through both routers
+    const address r2 = c.router();
+    emit_transfer(c.rec, tok, src, r1, in);
+    emit_transfer(c.rec, tok, r1, r2, in);
+    emit_transfer(c.rec, tok, r2, dst, out);
+  } else {
+    emit_transfer(c.rec, tok, src, r1, in);
+    emit_transfer(c.rec, tok, r1, dst, out);
+  }
+}
+
+/// Wrap/unwrap plumbing: Ether to the WETH contract, WETH token back (or the
+/// reverse) — rule 2 must delete all of it.
+void shape_wrap(tx_ctx& c) {
+  const address party = c.t.next_bool(0.5) ? c.borrower : c.user();
+  const u256 amt = c.amount();
+  if (c.t.next_bool(0.5)) {
+    emit_ether(c.rec, party, c.w.weth_contract, amt);
+    emit_transfer(c.rec, c.w.weth_token, c.w.weth_contract, party, amt);
+  } else {
+    emit_transfer(c.rec, c.w.weth_token, party, c.w.weth_contract, amt);
+    emit_ether(c.rec, c.w.weth_contract, party, amt);
+  }
+}
+
+/// Mint/burn traffic, including the adversarial adjacency: a burn to the
+/// BlackHole immediately followed by a mint from it in the same token with
+/// near-equal amounts — mint/burn evidence the merge rule must not eat.
+void shape_mint_burn(tx_ctx& c) {
+  const asset tok = c.token();
+  const u256 amt = c.amount();
+  switch (c.t.next_below(3)) {
+    case 0:  // mint to a party
+      emit_transfer(c.rec, tok, address::zero(), c.borrower, amt);
+      break;
+    case 1:  // burn from a party
+      emit_transfer(c.rec, tok, c.user(), address::zero(), amt);
+      break;
+    default: {  // burn then adjacent mint, amounts within tolerance
+      const address a = c.t.next_bool(0.5) ? c.borrower : c.user();
+      address b = c.pool();
+      u256 minted = amt;
+      if (amt > u256{4000}) minted = amt - amt / u256{4000};
+      emit_transfer(c.rec, tok, a, address::zero(), amt);
+      emit_transfer(c.rec, tok, address::zero(), b, minted);
+      break;
+    }
+  }
+}
+
+/// Liquidity round trip: pay a pool, LP token minted from BlackHole (mint
+/// kind), or burn LP and receive from the pool (remove kind).
+void shape_liquidity(tx_ctx& c) {
+  const address pool = c.pool();
+  const asset tok = c.token();
+  asset lp = c.token();
+  while (lp == tok) lp = c.token();
+  const u256 amt = c.amount();
+  const u256 shares = c.amount();
+  if (c.t.next_bool(0.5)) {
+    emit_transfer(c.rec, tok, c.borrower, pool, amt);
+    emit_transfer(c.rec, lp, address::zero(), c.borrower, shares);
+  } else {
+    emit_transfer(c.rec, lp, c.borrower, address::zero(), shares);
+    emit_transfer(c.rec, tok, pool, c.borrower, amt);
+  }
+}
+
+/// Noise the simplifier must delete or that extraction must drop: intra-app
+/// legs, zero-amount logs, transfers touching the conflicted tree.
+void shape_noise_legs(tx_ctx& c) {
+  switch (c.t.next_below(4)) {
+    case 0: {  // intra-app: two pools of the same factory (adjacent in list)
+      const std::size_t app = c.t.next_below(c.w.pool_contracts.size() / 2);
+      emit_transfer(c.rec, c.token(), c.w.pool_contracts[2 * app],
+                    c.w.pool_contracts[2 * app + 1], c.amount());
+      break;
+    }
+    case 1:  // zero-amount log: extract_transfers drops it
+      emit_transfer(c.rec, c.token(), c.user(), c.pool(), u256{});
+      break;
+    case 2:  // conflicted-tag party in the flow
+      emit_transfer(c.rec, c.token(), c.user(), c.w.conflicted_contract,
+                    c.amount());
+      emit_transfer(c.rec, c.token(), c.w.conflicted_contract, c.pool(),
+                    c.amount());
+      break;
+    default:  // raw Ether between parties
+      emit_ether(c.rec, c.user(), c.pool(), c.amount());
+      break;
+  }
+}
+
+void emit_body_shapes(tx_ctx& c, int count) {
+  for (int i = 0; i < count; ++i) {
+    switch (c.t.next_weighted({3, 2, 3, 2, 3, 2, 3})) {
+      case 0:
+        shape_swap(c);
+        break;
+      case 1:
+        shape_krp_burst(c);
+        break;
+      case 2:
+        shape_pass_through(c);
+        break;
+      case 3:
+        shape_wrap(c);
+        break;
+      case 4:
+        shape_mint_burn(c);
+        break;
+      case 5:
+        shape_liquidity(c);
+        break;
+      default:
+        shape_noise_legs(c);
+        break;
+    }
+  }
+}
+
+// ---- flash loan triggers ----------------------------------------------------
+
+void emit_uniswap_loan(tx_ctx& c, const asset& tok, const u256& amt) {
+  const address pair = c.pool();
+  emit_call(c.rec, c.borrower, pair, "swap");
+  emit_transfer(c.rec, tok, pair, c.borrower, amt);
+  emit_call(c.rec, pair, c.borrower, "uniswapV2Call");
+  // Deferred repayment with the 0.3% flash-swap premium.
+  emit_transfer(c.rec, tok, c.borrower, pair, amt + amt / u256{333} + u256{1});
+}
+
+void emit_aave_loan(tx_ctx& c, const asset& tok, const u256& amt) {
+  c.rec.events.push_back(event_log{.emitter = c.w.aave_pool,
+                                   .name = "FlashLoan",
+                                   .addr0 = c.borrower,
+                                   .addr1 = tok.contract_address(),
+                                   .amount0 = amt});
+  emit_transfer(c.rec, tok, c.w.aave_pool, c.borrower, amt);
+  emit_transfer(c.rec, tok, c.borrower, c.w.aave_pool,
+                amt + amt / u256{1111} + u256{1});
+}
+
+/// The four-event dYdX batch; `complete == false` stops after LogCall so the
+/// prefilter fires but full identification (correctly) rejects.
+void emit_dydx_loan(tx_ctx& c, const asset& tok, const u256& amt,
+                    bool complete) {
+  const address solo = c.w.dydx_solo;
+  c.rec.events.push_back(
+      event_log{.emitter = solo, .name = "LogOperation", .addr0 = c.borrower});
+  c.rec.events.push_back(event_log{.emitter = solo,
+                                   .name = "LogWithdraw",
+                                   .addr0 = c.borrower,
+                                   .addr1 = tok.contract_address(),
+                                   .amount0 = amt});
+  emit_transfer(c.rec, tok, solo, c.borrower, amt);
+  c.rec.events.push_back(
+      event_log{.emitter = solo, .name = "LogCall", .addr0 = c.borrower});
+  if (!complete) return;
+  emit_transfer(c.rec, tok, c.borrower, solo, amt + u256{2});
+  c.rec.events.push_back(
+      event_log{.emitter = solo, .name = "LogDeposit", .addr0 = c.borrower});
+}
+
+}  // namespace
+
+std::shared_ptr<synthetic_world> make_world(std::uint64_t seed) {
+  auto w = std::make_shared<synthetic_world>();
+  rng r = rng{seed}.fork(0x57A11D);
+  auto fresh = [&r] { return address::from_seed(r.next()); };
+
+  const address weth_deployer = fresh();
+  w->weth_contract = fresh();
+  w->creations.record(weth_deployer, w->weth_contract);
+  w->labels.tag(w->weth_contract, "Wrapped Ether");
+  w->weth_token = chain::asset::token(w->weth_contract);
+
+  w->aave_pool = fresh();
+  w->creations.record(fresh(), w->aave_pool);
+  w->labels.tag(w->aave_pool, "AAVE");
+
+  w->dydx_solo = fresh();
+  w->creations.record(fresh(), w->dydx_solo);
+  w->labels.tag(w->dydx_solo, "dYdX");
+
+  // Pool apps with realistic partial label coverage: only the factory is
+  // labeled; tagging must recover the pools through the creation tree.
+  for (int app = 0; app < 3; ++app) {
+    const address root = fresh();
+    const address factory = fresh();
+    w->creations.record(root, factory);
+    w->labels.tag(factory, "DEX-" + std::to_string(app));
+    for (int p = 0; p < 2; ++p) {
+      const address pool = fresh();
+      w->creations.record(factory, pool);
+      w->pool_contracts.push_back(pool);
+    }
+  }
+
+  for (int i = 0; i < 2; ++i) {
+    const address router = fresh();
+    w->creations.record(fresh(), router);
+    w->labels.tag(router, "Aggregator-" + std::to_string(i));
+    w->router_contracts.push_back(router);
+  }
+
+  // Unlabeled attacker trees: EOA root -> attack contract. The tag the
+  // pipeline derives is the root's address pseudo-tag.
+  for (int i = 0; i < 3; ++i) {
+    const address eoa = fresh();
+    const address attack = fresh();
+    w->creations.record(eoa, attack);
+    w->borrower_contracts.push_back(attack);
+  }
+
+  // A creation chain carrying two different labels: every descendant below
+  // both is untaggable (conflict tag).
+  {
+    const address root = fresh();
+    const address c1 = fresh();
+    const address c2 = fresh();
+    w->conflicted_contract = fresh();
+    w->creations.record(root, c1);
+    w->creations.record(c1, c2);
+    w->creations.record(c2, w->conflicted_contract);
+    w->labels.tag(c1, "ConfA");
+    w->labels.tag(c2, "ConfB");
+  }
+
+  for (int i = 0; i < 6; ++i) w->user_eoas.push_back(fresh());
+  for (int i = 0; i < 6; ++i) {
+    w->tokens.push_back(chain::asset::token(fresh()));
+  }
+  return w;
+}
+
+generated_population generate_receipts(std::uint64_t seed,
+                                       const generator_options& options) {
+  generated_population pop;
+  pop.seed = seed;
+  pop.world = make_world(seed);
+  const synthetic_world& w = *pop.world;
+
+  rng r = rng{seed}.fork(0x6E47);
+  std::uint64_t block = 1000000 + seed % 997;
+  auto span = [&r, &options] {
+    return static_cast<int>(
+        r.next_range(1, static_cast<std::uint64_t>(
+                            options.block_span < 1 ? 1 : options.block_span)));
+  };
+  int left_in_block = span();
+
+  for (int i = 0; i < options.transactions; ++i) {
+    rng t = r.fork(0x10000 + static_cast<std::uint64_t>(i));
+    tx_receipt rec;
+    rec.tx_index = static_cast<std::uint64_t>(i) + 1;
+    rec.block_number = block;
+    rec.timestamp = 1600000000 + static_cast<std::int64_t>(block) * 12;
+    rec.success = true;
+    if (--left_in_block == 0) {
+      block += 1 + r.next_below(3);
+      left_in_block = span();
+    }
+
+    tx_ctx c{.w = w,
+             .t = t,
+             .rec = rec,
+             .borrower = pick(t, w.borrower_contracts),
+             .huge_frac = options.huge_amount_fraction};
+    rec.from = pick(t, w.user_eoas);
+    rec.to = c.borrower;
+
+    const bool reverted = t.next_bool(0.05);
+    if (t.next_bool(options.noise_fraction)) {
+      // Non-flash-loan traffic: the prefilter-reject path. One variant
+      // carries a truncated dYdX batch — prefilter-accepted, then rejected
+      // by full identification.
+      rec.description = "noise";
+      if (t.next_bool(0.2)) {
+        emit_dydx_loan(c, c.token(), c.amount(), /*complete=*/false);
+      } else if (t.next_bool(0.3)) {
+        emit_call(rec, rec.from, c.pool(), "swap");
+      }
+      emit_body_shapes(c, static_cast<int>(t.next_range(1, 3)));
+    } else {
+      rec.description = "flash loan";
+      const asset loan_tok = c.token();
+      const u256 loan_amt = c.amount();
+      switch (t.next_below(4)) {
+        case 0:
+          emit_uniswap_loan(c, loan_tok, loan_amt);
+          break;
+        case 1:
+          emit_aave_loan(c, loan_tok, loan_amt);
+          break;
+        case 2:
+          emit_dydx_loan(c, loan_tok, loan_amt, /*complete=*/true);
+          break;
+        default:  // multi-provider batch in one transaction
+          emit_aave_loan(c, loan_tok, loan_amt);
+          emit_dydx_loan(c, c.token(), c.amount(), /*complete=*/true);
+          break;
+      }
+      emit_body_shapes(c, static_cast<int>(t.next_range(1, 5)));
+    }
+    rec.success = !reverted;
+    if (reverted) rec.revert_reason = "synthetic revert";
+    pop.receipts.push_back(std::move(rec));
+  }
+  return pop;
+}
+
+}  // namespace leishen::verify

@@ -1,0 +1,81 @@
+// Seeded synthetic receipt populations for correctness fuzzing.
+//
+// The scenario layer's `generate_population` executes real DeFi protocol
+// code on the simulated chain — high fidelity, but seconds per population
+// and only as diverse as the protocol mix. Differential testing and
+// invariant fuzzing want the opposite trade-off: thousands of cheap,
+// structurally adversarial transactions per second. This generator
+// fabricates `tx_receipt`s directly at the trace level (call records,
+// internal transactions, event logs) over a small synthetic world of
+// creation trees and labels, hitting the corners the protocol simulators
+// never produce: dust and near-tolerance pass-through chains, 2^200-scale
+// amounts, burn-then-mint adjacency, conflicted tags, multi-provider
+// loans, and zero-length bodies.
+//
+// Everything is a pure function of the seed, so any failure reproduces
+// from `(seed, options)` alone — the contract the seed shrinker and the
+// regression fixtures rely on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chain/creation_registry.h"
+#include "chain/receipt.h"
+#include "etherscan/label_db.h"
+
+namespace leishen::verify {
+
+/// The immutable tagging substrate the generated receipts refer to:
+/// labeled provider/pool/router trees, unlabeled attacker trees, one
+/// deliberately conflicted tree, WETH, and a token roster. Fixed given the
+/// world seed; receipts from any population over the same world seed are
+/// mutually consistent.
+struct synthetic_world {
+  chain::creation_registry creations;
+  etherscan::label_db labels;
+
+  address weth_contract;
+  chain::asset weth_token;   // asset::token(weth_contract)
+  address aave_pool;
+  address dydx_solo;
+
+  std::vector<address> pool_contracts;     // labeled-app AMM venues
+  std::vector<address> router_contracts;   // pass-through intermediaries
+  std::vector<address> borrower_contracts; // unlabeled attack trees
+  std::vector<address> user_eoas;          // plain EOAs (pseudo-tag roots)
+  address conflicted_contract;             // tree with two labels ("?0x...")
+  std::vector<chain::asset> tokens;        // ERC20 roster (excludes WETH)
+};
+
+struct generator_options {
+  /// Receipts per population.
+  int transactions = 32;
+  /// Transactions per block (1..block_span receipts share a block number).
+  int block_span = 4;
+  /// Probability that a transaction is plain non-flash-loan noise (the
+  /// prefilter-reject path).
+  double noise_fraction = 0.25;
+  /// Probability that a flash loan body includes a 2^190..2^250-scale
+  /// amount segment (exercises wide arithmetic).
+  double huge_amount_fraction = 0.15;
+};
+
+struct generated_population {
+  std::uint64_t seed = 0;
+  /// Owned by the population; receipts reference its addresses and the
+  /// engines its registry/labels, so keep it alive alongside them.
+  std::shared_ptr<synthetic_world> world;
+  std::vector<chain::tx_receipt> receipts;
+};
+
+/// The world alone (fixtures re-run shrunken receipts against the same
+/// substrate by rebuilding the world from the recorded seed).
+[[nodiscard]] std::shared_ptr<synthetic_world> make_world(std::uint64_t seed);
+
+/// A full seeded population: world + receipts.
+[[nodiscard]] generated_population generate_receipts(
+    std::uint64_t seed, const generator_options& options = {});
+
+}  // namespace leishen::verify

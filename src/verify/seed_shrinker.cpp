@@ -1,0 +1,197 @@
+#include "verify/seed_shrinker.h"
+
+#include <algorithm>
+#include <sstream>
+#include <variant>
+
+namespace leishen::verify {
+namespace {
+
+using chain::tx_receipt;
+
+std::vector<tx_receipt> without_chunk(const std::vector<tx_receipt>& all,
+                                      std::size_t chunk, std::size_t chunks) {
+  std::vector<tx_receipt> out;
+  out.reserve(all.size());
+  const std::size_t base = all.size() / chunks;
+  const std::size_t extra = all.size() % chunks;
+  std::size_t pos = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    if (c != chunk) {
+      out.insert(out.end(), all.begin() + static_cast<std::ptrdiff_t>(pos),
+                 all.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    }
+    pos += len;
+  }
+  return out;
+}
+
+std::vector<tx_receipt> only_chunk(const std::vector<tx_receipt>& all,
+                                   std::size_t chunk, std::size_t chunks) {
+  std::vector<tx_receipt> out;
+  const std::size_t base = all.size() / chunks;
+  const std::size_t extra = all.size() % chunks;
+  std::size_t pos = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    if (c == chunk) {
+      out.assign(all.begin() + static_cast<std::ptrdiff_t>(pos),
+                 all.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      break;
+    }
+    pos += len;
+  }
+  return out;
+}
+
+// ---- fixture rendering ------------------------------------------------------
+
+std::string addr_expr(const address& a) {
+  if (a.is_zero()) return "address::zero()";
+  return "address::from_hex(\"" + a.to_hex() + "\")";
+}
+
+std::string u256_expr(const u256& v) {
+  if (v.fits_u64()) {
+    return "u256{" + v.to_decimal() + "ULL}";
+  }
+  return "u256::from_hex(\"" + v.to_hex() + "\")";
+}
+
+void render_event(std::ostringstream& os, const chain::trace_event& ev) {
+  if (const auto* call = std::get_if<chain::call_record>(&ev)) {
+    os << "  r.events.push_back(chain::call_record{\n"
+       << "      .caller = " << addr_expr(call->caller) << ",\n"
+       << "      .callee = " << addr_expr(call->callee) << ",\n"
+       << "      .method = \"" << call->method << "\"";
+    if (call->depth != 0) os << ",\n      .depth = " << call->depth;
+    os << "});\n";
+  } else if (const auto* itx = std::get_if<chain::internal_tx>(&ev)) {
+    os << "  r.events.push_back(chain::internal_tx{\n"
+       << "      .from = " << addr_expr(itx->from) << ",\n"
+       << "      .to = " << addr_expr(itx->to) << ",\n"
+       << "      .amount = " << u256_expr(itx->amount) << "});\n";
+  } else if (const auto* log = std::get_if<chain::event_log>(&ev)) {
+    os << "  r.events.push_back(chain::event_log{\n"
+       << "      .emitter = " << addr_expr(log->emitter) << ",\n"
+       << "      .name = \"" << log->name << "\"";
+    if (!log->addr0.is_zero()) {
+      os << ",\n      .addr0 = " << addr_expr(log->addr0);
+    }
+    if (!log->addr1.is_zero()) {
+      os << ",\n      .addr1 = " << addr_expr(log->addr1);
+    }
+    if (!log->addr2.is_zero()) {
+      os << ",\n      .addr2 = " << addr_expr(log->addr2);
+    }
+    if (!log->amount0.is_zero()) {
+      os << ",\n      .amount0 = " << u256_expr(log->amount0);
+    }
+    if (!log->amount1.is_zero()) {
+      os << ",\n      .amount1 = " << u256_expr(log->amount1);
+    }
+    if (!log->amount2.is_zero()) {
+      os << ",\n      .amount2 = " << u256_expr(log->amount2);
+    }
+    if (!log->amount3.is_zero()) {
+      os << ",\n      .amount3 = " << u256_expr(log->amount3);
+    }
+    os << "});\n";
+  }
+}
+
+}  // namespace
+
+std::vector<tx_receipt> shrink(std::vector<tx_receipt> failing,
+                               const failure_predicate& still_fails,
+                               const shrink_options& options,
+                               shrink_stats* stats) {
+  shrink_stats local;
+  local.initial_size = failing.size();
+  auto fails = [&](const std::vector<tx_receipt>& candidate) {
+    ++local.predicate_calls;
+    return still_fails(candidate);
+  };
+
+  if (!fails(failing)) {
+    // Nothing to shrink from — hand the input back untouched.
+    local.final_size = failing.size();
+    if (stats != nullptr) *stats = local;
+    return failing;
+  }
+
+  // Zeller's ddmin: alternate reduce-to-subset and reduce-to-complement,
+  // refining the partition granularity until single receipts.
+  std::size_t chunks = 2;
+  for (int round = 0; round < options.max_rounds && failing.size() >= 2;
+       ++round) {
+    bool reduced = false;
+    for (std::size_t c = 0; c < chunks && !reduced; ++c) {
+      auto subset = only_chunk(failing, c, chunks);
+      if (!subset.empty() && subset.size() < failing.size() &&
+          fails(subset)) {
+        failing = std::move(subset);
+        chunks = 2;
+        reduced = true;
+      }
+    }
+    for (std::size_t c = 0; c < chunks && !reduced; ++c) {
+      auto rest = without_chunk(failing, c, chunks);
+      if (!rest.empty() && rest.size() < failing.size() && fails(rest)) {
+        failing = std::move(rest);
+        chunks = std::max<std::size_t>(chunks - 1, 2);
+        reduced = true;
+      }
+    }
+    if (reduced) continue;
+    if (chunks >= failing.size()) break;  // 1-minimal
+    chunks = std::min(chunks * 2, failing.size());
+  }
+
+  local.final_size = failing.size();
+  if (stats != nullptr) *stats = local;
+  return failing;
+}
+
+std::string to_fixture_code(const std::vector<tx_receipt>& receipts,
+                            std::uint64_t world_seed) {
+  std::ostringstream os;
+  os << "// Shrunken regression fixture: " << receipts.size()
+     << " transaction(s) over the synthetic world of seed " << world_seed
+     << ".\n"
+     << "// Rebuild the tagging substrate with verify::make_world("
+     << world_seed << "ULL).\n"
+     << "std::vector<chain::tx_receipt> receipts;\n";
+  for (const tx_receipt& rec : receipts) {
+    os << "{\n"
+       << "  chain::tx_receipt r;\n"
+       << "  r.tx_index = " << rec.tx_index << ";\n"
+       << "  r.from = " << addr_expr(rec.from) << ";\n"
+       << "  r.to = " << addr_expr(rec.to) << ";\n";
+    if (!rec.description.empty()) {
+      os << "  r.description = \"" << rec.description << "\";\n";
+    }
+    os << "  r.block_number = " << rec.block_number << ";\n"
+       << "  r.timestamp = " << rec.timestamp << ";\n"
+       << "  r.success = " << (rec.success ? "true" : "false") << ";\n";
+    if (!rec.revert_reason.empty()) {
+      os << "  r.revert_reason = \"" << rec.revert_reason << "\";\n";
+    }
+    for (const chain::trace_event& ev : rec.events) render_event(os, ev);
+    os << "  receipts.push_back(std::move(r));\n"
+       << "}\n";
+  }
+  return os.str();
+}
+
+shrink_result shrink_population(const generated_population& pop,
+                                const failure_predicate& still_fails,
+                                const shrink_options& options) {
+  shrink_result out;
+  out.minimal = shrink(pop.receipts, still_fails, options, &out.stats);
+  out.fixture_code = to_fixture_code(out.minimal, pop.seed);
+  return out;
+}
+
+}  // namespace leishen::verify

@@ -1,0 +1,65 @@
+// Delta-debugging shrinker for failing receipt populations.
+//
+// The fuzz loop hands over a (seed, population) pair plus a predicate —
+// "this population still diverges / still violates an invariant". The
+// shrinker ddmin-bisects the receipt vector down to a locally minimal
+// failing transaction set (removing any single remaining transaction makes
+// the failure disappear), then renders the survivors as a ready-to-paste
+// C++ fixture so the bug lands in the repo as a deterministic regression
+// test instead of a seed number in a commit message.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/receipt_gen.h"
+
+namespace leishen::verify {
+
+/// True while the candidate receipt set still reproduces the failure.
+/// Must be deterministic: the shrinker trusts every answer.
+using failure_predicate =
+    std::function<bool(const std::vector<chain::tx_receipt>&)>;
+
+struct shrink_options {
+  /// Upper bound on ddmin refinement rounds (each round is one pass over
+  /// the current partition); populations are small, so this never binds in
+  /// practice — it is a guard against a non-deterministic predicate.
+  int max_rounds = 256;
+};
+
+struct shrink_stats {
+  int predicate_calls = 0;
+  std::size_t initial_size = 0;
+  std::size_t final_size = 0;
+};
+
+/// Minimize `failing` under `still_fails` (which must hold for `failing`
+/// itself — otherwise the input is returned unchanged). Returns a
+/// 1-minimal failing subset, preserving the original receipt order.
+[[nodiscard]] std::vector<chain::tx_receipt> shrink(
+    std::vector<chain::tx_receipt> failing,
+    const failure_predicate& still_fails, const shrink_options& options = {},
+    shrink_stats* stats = nullptr);
+
+/// Render receipts as compilable C++ that reconstructs them verbatim. The
+/// emitted comment records `world_seed` — rebuild the tagging substrate
+/// with `verify::make_world(world_seed)` next to the pasted fixture.
+[[nodiscard]] std::string to_fixture_code(
+    const std::vector<chain::tx_receipt>& receipts, std::uint64_t world_seed);
+
+struct shrink_result {
+  std::vector<chain::tx_receipt> minimal;
+  std::string fixture_code;
+  shrink_stats stats;
+};
+
+/// Convenience for the fuzz loop: shrink a generated population and emit
+/// its fixture in one call.
+[[nodiscard]] shrink_result shrink_population(
+    const generated_population& pop, const failure_predicate& still_fails,
+    const shrink_options& options = {});
+
+}  // namespace leishen::verify

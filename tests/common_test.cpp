@@ -116,6 +116,66 @@ TEST(Rate, AmountsClose) {
   EXPECT_FALSE(amounts_close(u256{0}, base, 1, 1000));
 }
 
+TEST(Rate, AmountsCloseExactBoundary) {
+  // diff/hi < 1/1000 is strict: a difference of exactly 0.1% is NOT close,
+  // one unit less is.
+  const u256 hi = u256::pow10(21);
+  const u256 tenth_pct = hi / u256{1000};
+  EXPECT_FALSE(amounts_close(hi, hi - tenth_pct, 1, 1000));
+  EXPECT_TRUE(amounts_close(hi, hi - tenth_pct + u256{1}, 1, 1000));
+  // Symmetric in argument order.
+  EXPECT_FALSE(amounts_close(hi - tenth_pct, hi, 1, 1000));
+  EXPECT_TRUE(amounts_close(hi - tenth_pct + u256{1}, hi, 1, 1000));
+}
+
+TEST(Rate, AmountsCloseZeroAndDust) {
+  // A zero leg must never merge with a nonzero one, even under a degenerate
+  // tolerance where num >= den would otherwise accept everything.
+  EXPECT_FALSE(amounts_close(u256{0}, u256{1}, 2, 1));
+  EXPECT_FALSE(amounts_close(u256{1}, u256{0}, 1000, 1000));
+  // Equal values are close even under a zero tolerance.
+  EXPECT_TRUE(amounts_close(u256{0}, u256{0}, 0, 1000));
+  const u256 big = u256{1} << 250;
+  EXPECT_TRUE(amounts_close(big, big, 0, 1000));
+  // Dust: 1 vs 2 is a 50% difference, far outside 0.1%.
+  EXPECT_FALSE(amounts_close(u256{1}, u256{2}, 1, 1000));
+}
+
+TEST(Rate, VolatilityAtLeastExactBoundary) {
+  // 25 -> 32 is exactly +28%: on-threshold reaches the threshold.
+  const rate min{u256{25}, u256{1}};
+  const rate max{u256{32}, u256{1}};
+  EXPECT_TRUE(volatility_at_least(max, min, 28.0));
+  EXPECT_FALSE(volatility_at_least(max, min, 28.000001));
+  EXPECT_TRUE(volatility_at_least(max, min, 27.999999));
+}
+
+TEST(Rate, VolatilityAtLeastU256Scale) {
+  // The same 28% boundary with operands whose cross products overflow 512
+  // bits once scaled — the case the double formula rounds and the wide
+  // comparison must decide exactly.
+  const u256 big = u256{1} << 200;
+  const rate min{big * u256{25}, big};
+  const rate max{big * u256{32}, big};
+  EXPECT_TRUE(volatility_at_least(max, min, 28.0));
+  EXPECT_FALSE(volatility_at_least(max, min, 28.000001));
+  // One part in 2^200 below the boundary flips the exact verdict.
+  const rate just_under{big * u256{32} - u256{1}, big};
+  EXPECT_FALSE(volatility_at_least(just_under, min, 28.0));
+}
+
+TEST(Rate, VolatilityAtLeastDegenerateRates) {
+  const rate one{u256{1}, u256{1}};
+  const rate inf{u256{1}, u256{0}};
+  const rate zero{u256{0}, u256{1}};
+  EXPECT_TRUE(volatility_at_least(one, zero, 28.0));   // zero min: infinite
+  EXPECT_TRUE(volatility_at_least(inf, one, 1e30));    // infinite max
+  EXPECT_TRUE(volatility_at_least(one, inf, 28.0));    // infinite min
+  // Negative thresholds always hold for max >= 0.
+  EXPECT_TRUE(volatility_at_least(zero, one, -150.0));
+  EXPECT_FALSE(volatility_at_least(zero, one, 28.0));
+}
+
 // ---- rng ----------------------------------------------------------------------
 
 TEST(Rng, Deterministic) {

@@ -3,6 +3,9 @@
 // three attack pattern matchers (§IV-B).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "core/account_tagging.h"
 #include "core/patterns.h"
 #include "core/simplify.h"
@@ -552,6 +555,123 @@ TEST(Patterns, SaddleShapeMatchesSbsAndMbsTogether) {
   }
   EXPECT_TRUE(sbs);
   EXPECT_TRUE(mbs);
+}
+
+TEST(Simplify, BlackHoleIsNeverAnIntermediary) {
+  // Regression (found by the pipeline auditor): a burn immediately followed
+  // by a near-equal mint of the same token looks like routing through the
+  // BlackHole, but merging would erase both supply events and the trade
+  // identifier would lose its mint/burn evidence.
+  app_transfer_list in{
+      {"A", kBlackHoleTag, u256{1'000'000}, tok(0)},
+      {kBlackHoleTag, "Pool", u256{999'500}, tok(0)},  // within 0.1%
+  };
+  EXPECT_EQ(simplify(in, asset{}), in);
+  // Exactly equal amounts must not merge either.
+  app_transfer_list exact{
+      {"A", kBlackHoleTag, u256{5'000}, tok(1)},
+      {kBlackHoleTag, "Pool", u256{5'000}, tok(1)},
+  };
+  EXPECT_EQ(simplify(exact, asset{}), exact);
+}
+
+TEST(Patterns, DegenerateZeroTradeDoesNotThrow) {
+  // A 0/0 trade has no defined rate; match_patterns is public API and must
+  // skip it instead of constructing rate{0,0}.
+  trade_list trades;
+  trades.push_back(buy("ATK", "P", 0, kEth, 0, kX));
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+  // A 0/0 bystander trade sitting between an SBS buy/sell pair previously
+  // crashed the pump scan; it must be skipped and the real pump still found.
+  trades.clear();
+  trades.push_back(buy("ATK", "Compound", 5500, kEth, 112, kX));
+  trades.push_back(buy("W", "V", 0, kEth, 0, kX));
+  trades.push_back(buy("bZx", "Uniswap", 5637, kEth, 51, kX));
+  trades.push_back(buy("Uniswap", "ATK", 6871, kEth, 112, kX));
+  const auto matches = match_patterns(trades, "ATK");
+  ASSERT_EQ(matches.size(), 1U);
+  EXPECT_EQ(matches[0].pattern, attack_pattern::sbs);
+  EXPECT_EQ(matches[0].trade_indices[1], 2U);
+}
+
+TEST(Patterns, SbsExactVolatilityBoundaryAtU256Scale) {
+  // Entry at 25 quote/X, pump at exactly 32 quote/X: volatility is exactly
+  // the 28% threshold, with wei-scale operands whose cross products need
+  // the 576-bit comparison — the double formula cannot decide this case.
+  const u256 big = u256{1} << 190;
+  auto wide = [](const std::string& buyer, const std::string& seller,
+                 const u256& pay, const u256& recv) {
+    return trade{.buyer = buyer,
+                 .seller = seller,
+                 .amount_sell = pay,
+                 .token_sell = kEth,
+                 .amount_buy = recv,
+                 .token_buy = kX};
+  };
+  trade_list trades;
+  trades.push_back(wide("ATK", "Compound", big * u256{25}, big));
+  trades.push_back(wide("bZx", "Uniswap", big * u256{32}, big));
+  trades.push_back(wide("Uniswap", "ATK", big * u256{27}, big));
+  ASSERT_EQ(match_patterns(trades, "ATK").size(), 1U);
+  // One part in 2^190 below the boundary and the pattern must not fire.
+  trades[1] = wide("bZx", "Uniswap", big * u256{32} - u256{1}, big);
+  EXPECT_TRUE(match_patterns(trades, "ATK").empty());
+}
+
+TEST(Patterns, KrpDistinctCounterpartiesReportSeparately) {
+  // Two pools each absorb a full rising-price buy burst on the same token
+  // in one transaction: two incidents, one per counterparty, not one
+  // deduplicated report.
+  trade_list trades;
+  for (int i = 0; i < 5; ++i) {
+    trades.push_back(buy("ATK", "PoolA", 20, kEth,
+                         100 - static_cast<unsigned>(i) * 10, kX));
+  }
+  for (int i = 0; i < 5; ++i) {
+    trades.push_back(buy("ATK", "PoolB", 20, kEth,
+                         100 - static_cast<unsigned>(i) * 10, kX));
+  }
+  trades.push_back(buy("bZx", "ATK", 80, kEth, 800, kX));
+  const auto matches = match_patterns(trades, "ATK");
+  std::set<std::string> counterparties;
+  for (const auto& m : matches) {
+    if (m.pattern == attack_pattern::krp && m.target == kX) {
+      counterparties.insert(m.counterparty);
+    }
+  }
+  EXPECT_EQ(counterparties, (std::set<std::string>{"PoolA", "PoolB"}));
+}
+
+TEST(Patterns, SbsDistinctCounterpartiesReportSeparately) {
+  trade_list trades;
+  trades.push_back(buy("ATK", "Compound", 5500, kEth, 112, kX));
+  trades.push_back(buy("bZx", "Uniswap", 5637, kEth, 51, kX));
+  trades.push_back(buy("Uniswap", "ATK", 6871, kEth, 112, kX));
+  trades.push_back(buy("ATK", "Cream", 5500, kEth, 112, kX));
+  trades.push_back(buy("bZx", "Uniswap", 5637, kEth, 51, kX));
+  trades.push_back(buy("Uniswap", "ATK", 6871, kEth, 112, kX));
+  const auto matches = match_patterns(trades, "ATK");
+  std::set<std::string> counterparties;
+  for (const auto& m : matches) {
+    if (m.pattern == attack_pattern::sbs) counterparties.insert(m.counterparty);
+  }
+  EXPECT_EQ(counterparties, (std::set<std::string>{"Compound", "Cream"}));
+}
+
+TEST(Patterns, MbsDistinctCounterpartiesReportSeparately) {
+  trade_list trades;
+  for (int i = 0; i < 3; ++i) {
+    trades.push_back(buy("ATK", "VaultA", 100, kEth, 103, kX));
+    trades.push_back(buy("VaultA", "ATK", 102, kEth, 103, kX));
+    trades.push_back(buy("ATK", "VaultB", 100, kEth, 103, kX));
+    trades.push_back(buy("VaultB", "ATK", 102, kEth, 103, kX));
+  }
+  const auto matches = match_patterns(trades, "ATK");
+  std::set<std::string> counterparties;
+  for (const auto& m : matches) {
+    if (m.pattern == attack_pattern::mbs) counterparties.insert(m.counterparty);
+  }
+  EXPECT_EQ(counterparties, (std::set<std::string>{"VaultA", "VaultB"}));
 }
 
 TEST(Patterns, AblationRelaxedKrpFiresEarlier) {

@@ -94,6 +94,62 @@ TEST(BlockQueue, CloseWakesBlockedProducerAndConsumer) {
   consumer.join();
 }
 
+TEST(BlockQueue, TryPushExDistinguishesFullFromClosed) {
+  block_queue<int> q{1};
+  EXPECT_EQ(q.try_push_ex(1), push_result::ok);
+  EXPECT_EQ(q.try_push_ex(2), push_result::full);
+  EXPECT_EQ(q.dropped(), 1U);
+  q.close();
+  // A closed rejection is reported as such and never counted as a drop.
+  EXPECT_EQ(q.try_push_ex(3), push_result::closed);
+  EXPECT_EQ(q.dropped(), 1U);
+}
+
+TEST(BlockQueue, ConcurrentTryPushAndCloseAccountEveryItem) {
+  // Producers hammer try_push_ex while the queue is closed mid-flight: each
+  // attempt must resolve to exactly one of ok/full/closed, the drop counter
+  // must equal the `full` verdicts, and every accepted item must drain.
+  // (Run under TSan via the `service` ctest label.)
+  block_queue<int> q{3};
+  constexpr int kProducers = 4;
+  constexpr int kAttempts = 2000;
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> full{0};
+  std::atomic<std::uint64_t> rejected_closed{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kAttempts; ++i) {
+        switch (q.try_push_ex(i)) {
+          case push_result::ok:
+            ok.fetch_add(1);
+            break;
+          case push_result::full:
+            full.fetch_add(1);
+            break;
+          case push_result::closed:
+            rejected_closed.fetch_add(1);
+            break;
+        }
+      }
+    });
+  }
+  std::uint64_t popped = 0;
+  std::thread consumer{[&] {
+    while (q.pop().has_value()) ++popped;
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  q.close();
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  EXPECT_EQ(ok.load() + full.load() + rejected_closed.load(),
+            static_cast<std::uint64_t>(kProducers) * kAttempts);
+  EXPECT_EQ(popped, ok.load());        // accepted items all drained
+  EXPECT_EQ(q.dropped(), full.load()); // drops are exactly the full verdicts
+  EXPECT_EQ(q.size(), 0U);
+}
+
 // ---- thread_pool cooperative cancellation -----------------------------------
 
 TEST(ThreadPoolStop, JobsObserveStopAndPoolSurvives) {
@@ -338,6 +394,79 @@ TEST_F(MonitorServiceTest, CheckpointRoundTrip) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(*loaded, cp);
   EXPECT_FALSE(load_checkpoint(path + ".missing").has_value());
+}
+
+TEST_F(MonitorServiceTest, CheckpointRejectsCorruptedFile) {
+  checkpoint cp;
+  cp.last_block = 1111;
+  cp.blocks_processed = 5;
+  const std::string path = tmp_path("corrupt.ckpt");
+  std::remove((path + ".prev").c_str());
+  ASSERT_TRUE(save_checkpoint(cp, path));
+
+  // Truncate: the payload loses its tail, so the checksum no longer covers
+  // what the file claims. No .prev generation exists yet -> load fails
+  // entirely instead of returning half a checkpoint.
+  std::string content;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+    std::fclose(f);
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(content.data(), 1, content.size() / 2, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_checkpoint(path).has_value());
+
+  // Bit flip inside an otherwise complete file: also rejected.
+  {
+    std::string flipped = content;
+    flipped[flipped.size() / 3] ^= 0x01;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(flipped.data(), 1, flipped.size(), f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_checkpoint(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST_F(MonitorServiceTest, CheckpointFallsBackToPreviousGeneration) {
+  checkpoint older;
+  older.last_block = 100;
+  older.blocks_processed = 10;
+  checkpoint newer;
+  newer.last_block = 200;
+  newer.blocks_processed = 20;
+  const std::string path = tmp_path("fallback.ckpt");
+  std::remove((path + ".prev").c_str());
+  ASSERT_TRUE(save_checkpoint(older, path));
+  ASSERT_TRUE(save_checkpoint(newer, path));  // keeps `older` as .prev
+
+  // Intact current file wins.
+  auto loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, newer);
+
+  // Corrupt the current generation: loading falls back to the previous one
+  // instead of starting the monitor from scratch.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("leishen_checkpoint_v=2\nlast_bl", f);  // torn write
+    std::fclose(f);
+  }
+  loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, older);
+  std::remove(path.c_str());
+  std::remove((path + ".prev").c_str());
 }
 
 TEST_F(MonitorServiceTest, JsonlSinkRoundTrip) {

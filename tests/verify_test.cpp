@@ -1,0 +1,296 @@
+// Tests for the correctness tooling: synthetic receipt generation, pipeline
+// stage invariants, the cross-engine differential oracle and the ddmin seed
+// shrinker — plus the shrunken regression fixtures for the bugs the tooling
+// surfaced.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "verify/diff_engine.h"
+#include "verify/pipeline_auditor.h"
+#include "verify/receipt_gen.h"
+#include "verify/seed_shrinker.h"
+
+namespace leishen::verify {
+namespace {
+
+using chain::asset;
+using chain::event_log;
+using chain::tx_receipt;
+
+bool has_invariant(const std::vector<violation>& vs, const std::string& id) {
+  for (const violation& v : vs) {
+    if (v.invariant == id) return true;
+  }
+  return false;
+}
+
+std::string render(const std::vector<violation>& vs) {
+  std::string out;
+  for (const violation& v : vs) {
+    out += "tx " + std::to_string(v.tx_index) + " [" + v.invariant + "] " +
+           v.detail + "\n";
+  }
+  return out;
+}
+
+void emit_transfer(tx_receipt& rec, const asset& token, const address& from,
+                   const address& to, const u256& amount) {
+  rec.events.push_back(event_log{.emitter = token.contract_address(),
+                                 .name = chain::kTransferEvent,
+                                 .addr0 = from,
+                                 .addr1 = to,
+                                 .amount0 = amount});
+}
+
+/// A minimal AAVE flash loan wrapper: loan of `loan_tok` disbursed to the
+/// world's first attack contract and repaid with premium. Body shapes go
+/// between disbursal and repayment... except that event order within the
+/// receipt is all extract_transfers needs, so appending after works too.
+tx_receipt aave_loan_receipt(const synthetic_world& w, const asset& loan_tok) {
+  tx_receipt rec;
+  rec.tx_index = 1;
+  rec.block_number = 100;
+  rec.success = true;
+  rec.from = w.user_eoas[0];
+  rec.to = w.borrower_contracts[0];
+  const u256 amt = units(1000, 18);
+  rec.events.push_back(event_log{.emitter = w.aave_pool,
+                                 .name = "FlashLoan",
+                                 .addr0 = rec.to,
+                                 .addr1 = loan_tok.contract_address(),
+                                 .amount0 = amt});
+  emit_transfer(rec, loan_tok, w.aave_pool, rec.to, amt);
+  emit_transfer(rec, loan_tok, rec.to, w.aave_pool,
+                amt + amt / u256{1111} + u256{1});
+  return rec;
+}
+
+// ---- receipt generator ------------------------------------------------------
+
+TEST(ReceiptGen, DeterministicForSeed) {
+  const generated_population a = generate_receipts(5);
+  const generated_population b = generate_receipts(5);
+  ASSERT_EQ(a.receipts.size(), b.receipts.size());
+  for (std::size_t i = 0; i < a.receipts.size(); ++i) {
+    EXPECT_EQ(a.receipts[i].tx_index, b.receipts[i].tx_index);
+    EXPECT_EQ(a.receipts[i].block_number, b.receipts[i].block_number);
+    EXPECT_EQ(a.receipts[i].from, b.receipts[i].from);
+    EXPECT_EQ(a.receipts[i].to, b.receipts[i].to);
+    EXPECT_EQ(a.receipts[i].events.size(), b.receipts[i].events.size());
+  }
+  EXPECT_EQ(a.world->weth_contract, b.world->weth_contract);
+  EXPECT_EQ(a.world->pool_contracts, b.world->pool_contracts);
+}
+
+TEST(ReceiptGen, DifferentSeedsDiffer) {
+  const generated_population a = generate_receipts(1);
+  const generated_population b = generate_receipts(2);
+  EXPECT_NE(a.world->weth_contract, b.world->weth_contract);
+}
+
+TEST(ReceiptGen, BlocksAreNondecreasing) {
+  const generated_population pop = generate_receipts(9);
+  for (std::size_t i = 1; i < pop.receipts.size(); ++i) {
+    EXPECT_LE(pop.receipts[i - 1].block_number, pop.receipts[i].block_number);
+  }
+}
+
+TEST(ReceiptGen, ProducesFlashLoansAndNoise) {
+  const generated_population pop = generate_receipts(3, {.transactions = 64});
+  core::detector det{pop.world->creations, pop.world->labels,
+                     pop.world->weth_token};
+  int loans = 0;
+  for (const tx_receipt& rec : pop.receipts) {
+    if (det.analyze(rec).is_flash_loan) ++loans;
+  }
+  EXPECT_GT(loans, 0);
+  EXPECT_LT(loans, static_cast<int>(pop.receipts.size()));
+}
+
+// ---- pipeline auditor -------------------------------------------------------
+
+TEST(PipelineAuditor, CleanOnGeneratedPopulation) {
+  const generated_population pop = generate_receipts(42);
+  const pipeline_auditor auditor{pop.world->creations, pop.world->labels,
+                                 pop.world->weth_token};
+  const auto violations = auditor.audit_all(pop.receipts);
+  EXPECT_TRUE(violations.empty()) << render(violations);
+}
+
+TEST(PipelineAuditor, FlagsTamperedPatternIndices) {
+  const auto w = make_world(1);
+  const tx_receipt rec = aave_loan_receipt(*w, w->tokens[0]);
+  core::detector det{w->creations, w->labels, w->weth_token};
+  core::detection_report rep = det.analyze(rec);
+  ASSERT_TRUE(rep.is_flash_loan);
+
+  rep.matches.push_back(
+      core::pattern_match{.pattern = core::attack_pattern::krp,
+                          .target = w->tokens[0],
+                          .counterparty = "X",
+                          .trade_indices = {99, 98}});
+  const pipeline_auditor auditor{w->creations, w->labels, w->weth_token};
+  const auto violations = auditor.audit_report(rep);
+  EXPECT_TRUE(has_invariant(violations, "patterns/indices"))
+      << render(violations);
+}
+
+TEST(PipelineAuditor, FlagsSurvivingWethAsset) {
+  const auto w = make_world(1);
+  const tx_receipt rec = aave_loan_receipt(*w, w->tokens[0]);
+  core::detector det{w->creations, w->labels, w->weth_token};
+  core::detection_report rep = det.analyze(rec);
+  ASSERT_TRUE(rep.is_flash_loan);
+
+  // Rule 2 promises the WETH asset is unified away; smuggle one back in.
+  rep.app_transfers.push_back(core::app_transfer{
+      .from_tag = "A", .to_tag = "B", .amount = u256{5}, .token =
+          w->weth_token});
+  const pipeline_auditor auditor{w->creations, w->labels, w->weth_token};
+  const auto violations = auditor.audit_report(rep);
+  EXPECT_TRUE(has_invariant(violations, "simplify/weth-asset"))
+      << render(violations);
+}
+
+TEST(PipelineAuditor, NonFlashLoanReceiptsHaveNothingToViolate) {
+  const auto w = make_world(1);
+  tx_receipt rec;
+  rec.tx_index = 3;
+  rec.success = true;
+  rec.from = w->user_eoas[0];
+  rec.to = w->user_eoas[1];
+  emit_transfer(rec, w->tokens[0], w->user_eoas[0], w->user_eoas[1],
+                u256{500});
+  const pipeline_auditor auditor{w->creations, w->labels, w->weth_token};
+  EXPECT_TRUE(auditor.audit(rec).empty());
+}
+
+// Shrunken regression fixture (pipeline auditor, invariant
+// "simplify/blackhole-legs"): a flash loan whose body burns a token to the
+// BlackHole and immediately mints a near-equal amount from it. The merge
+// rule used to treat the BlackHole as a routing intermediary and collapse
+// burn+mint into one borrower->pool transfer, erasing both supply events.
+TEST(PipelineAuditor, RegressionBlackHoleBurnMintAdjacency) {
+  const auto w = make_world(1);
+  tx_receipt rec = aave_loan_receipt(*w, w->tokens[0]);
+  // Burn then adjacent mint, amounts within the 0.1% merge tolerance.
+  emit_transfer(rec, w->tokens[1], w->borrower_contracts[0], address::zero(),
+                u256{1'000'000});
+  emit_transfer(rec, w->tokens[1], address::zero(), w->pool_contracts[0],
+                u256{999'500});
+
+  const pipeline_auditor auditor{w->creations, w->labels, w->weth_token};
+  const auto violations = auditor.audit(rec);
+  EXPECT_TRUE(violations.empty()) << render(violations);
+
+  // And the pipeline output really does preserve both BlackHole legs.
+  core::detector det{w->creations, w->labels, w->weth_token};
+  const core::detection_report rep = det.analyze(rec);
+  int blackhole_legs = 0;
+  for (const core::app_transfer& t : rep.app_transfers) {
+    if (t.token == w->tokens[1] && (t.from_tag == core::kBlackHoleTag ||
+                                    t.to_tag == core::kBlackHoleTag)) {
+      ++blackhole_legs;
+    }
+  }
+  EXPECT_EQ(blackhole_legs, 2);
+}
+
+// ---- differential oracle ----------------------------------------------------
+
+TEST(DiffEngine, EnginesAgreeOnGeneratedPopulation) {
+  const generated_population pop = generate_receipts(7);
+  const diff_engine differ{pop.world->creations, pop.world->labels,
+                           pop.world->weth_token};
+  const diff_result result = differ.run(pop.receipts);
+  EXPECT_TRUE(result.ok()) << (result.divergences.empty()
+                                   ? ""
+                                   : result.divergences[0].engine + ": " +
+                                         result.divergences[0].field + " — " +
+                                         result.divergences[0].detail);
+  EXPECT_EQ(result.reference_stats.transactions, pop.receipts.size());
+}
+
+TEST(DiffEngine, EmptyPopulationIsTriviallyConsistent) {
+  const auto w = make_world(1);
+  const diff_engine differ{w->creations, w->labels, w->weth_token};
+  const diff_result result = differ.run({});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.reference_stats.transactions, 0U);
+  EXPECT_TRUE(result.reference_incidents.empty());
+}
+
+// ---- seed shrinker ----------------------------------------------------------
+
+TEST(SeedShrinker, ShrinksToSingleCulprit) {
+  const generated_population pop = generate_receipts(11);
+  ASSERT_GT(pop.receipts.size(), 8U);
+  const auto pred = [](const std::vector<tx_receipt>& rs) {
+    for (const tx_receipt& r : rs) {
+      if (r.tx_index == 7) return true;
+    }
+    return false;
+  };
+  const shrink_result res = shrink_population(pop, pred);
+  ASSERT_EQ(res.minimal.size(), 1U);
+  EXPECT_EQ(res.minimal[0].tx_index, 7U);
+  EXPECT_EQ(res.stats.initial_size, pop.receipts.size());
+  EXPECT_EQ(res.stats.final_size, 1U);
+  EXPECT_GT(res.stats.predicate_calls, 0);
+  // The emitted fixture is self-describing: world seed + the receipt.
+  EXPECT_NE(res.fixture_code.find("make_world(11ULL)"), std::string::npos);
+  EXPECT_NE(res.fixture_code.find("r.tx_index = 7;"), std::string::npos);
+}
+
+TEST(SeedShrinker, FindsMinimalPair) {
+  // The failure needs two specific receipts together: ddmin must keep both
+  // and drop everything else.
+  const generated_population pop = generate_receipts(13);
+  const auto pred = [](const std::vector<tx_receipt>& rs) {
+    bool a = false;
+    bool b = false;
+    for (const tx_receipt& r : rs) {
+      if (r.tx_index == 3) a = true;
+      if (r.tx_index == 9) b = true;
+    }
+    return a && b;
+  };
+  shrink_stats stats;
+  const auto minimal = shrink(pop.receipts, pred, {}, &stats);
+  ASSERT_EQ(minimal.size(), 2U);
+  EXPECT_EQ(minimal[0].tx_index, 3U);  // original order preserved
+  EXPECT_EQ(minimal[1].tx_index, 9U);
+  EXPECT_EQ(stats.final_size, 2U);
+}
+
+TEST(SeedShrinker, NonFailingInputReturnedUnchanged) {
+  const generated_population pop = generate_receipts(17);
+  shrink_stats stats;
+  const auto out = shrink(
+      pop.receipts, [](const std::vector<tx_receipt>&) { return false; }, {},
+      &stats);
+  EXPECT_EQ(out.size(), pop.receipts.size());
+  EXPECT_EQ(stats.predicate_calls, 1);
+}
+
+TEST(SeedShrinker, FixtureCodeRendersAllEventKinds) {
+  const auto w = make_world(1);
+  tx_receipt rec = aave_loan_receipt(*w, w->tokens[0]);
+  rec.events.push_back(chain::call_record{
+      .caller = rec.from, .callee = rec.to, .method = "execute"});
+  rec.events.push_back(chain::internal_tx{
+      .from = rec.from, .to = rec.to, .amount = u256{1} << 200});
+  const std::string code = to_fixture_code({rec}, 1);
+  EXPECT_NE(code.find("chain::event_log{"), std::string::npos);
+  EXPECT_NE(code.find("chain::call_record{"), std::string::npos);
+  EXPECT_NE(code.find("chain::internal_tx{"), std::string::npos);
+  EXPECT_NE(code.find("\"FlashLoan\""), std::string::npos);
+  // Over-u64 amounts round-trip through hex.
+  EXPECT_NE(code.find("u256::from_hex("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace leishen::verify
