@@ -5,8 +5,15 @@
 // queued blocks are still scanned, and the final checkpoint is written, so
 // re-running with the same --checkpoint resumes where the run left off.
 //
+// Ingestion runs behind the resilient wrapper (retry/backoff, failover,
+// circuit breaker, dedup/reorder normalization), blocks carry chain
+// linkage so reorgs roll back cleanly, and receipts that fail structural
+// validation are quarantined to --dead-letter instead of killing the run.
+//
 //   usage: chain_monitor [--benign N] [--rate BLOCKS_PER_SEC]
 //                        [--checkpoint FILE] [--jsonl FILE]
+//                        [--max-retries N] [--reorg-depth N]
+//                        [--dead-letter FILE]
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -19,6 +26,7 @@
 #include "common/sim_time.h"
 #include "scenarios/population.h"
 #include "service/monitor_service.h"
+#include "service/resilient_block_source.h"
 
 using namespace leishen;
 
@@ -33,8 +41,11 @@ void on_sigint(int) { interrupted = 1; }
 int main(int argc, char** argv) {
   int benign = 800;
   double rate = 0.0;
+  int max_retries = 3;
+  int reorg_depth = 16;
   const char* checkpoint_path = "";
   const char* jsonl_path = "";
+  const char* dead_letter_path = "";
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--benign") == 0) benign = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--rate") == 0) rate = std::atof(argv[i + 1]);
@@ -42,6 +53,15 @@ int main(int argc, char** argv) {
       checkpoint_path = argv[i + 1];
     }
     if (std::strcmp(argv[i], "--jsonl") == 0) jsonl_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--max-retries") == 0) {
+      max_retries = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--reorg-depth") == 0) {
+      reorg_depth = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--dead-letter") == 0) {
+      dead_letter_path = argv[i + 1];
+    }
   }
 
   scenarios::universe u;
@@ -56,6 +76,13 @@ int main(int argc, char** argv) {
   opts.scan.yield_aggregator_apps = pop.aggregator_apps;
   opts.queue_capacity = 32;
   opts.checkpoint_path = checkpoint_path;
+  opts.reorg_journal_depth = static_cast<std::size_t>(reorg_depth);
+  std::unique_ptr<service::dead_letter_jsonl> dead_letter;
+  if (dead_letter_path[0] != '\0') {
+    dead_letter = std::make_unique<service::dead_letter_jsonl>(
+        dead_letter_path, /*append=*/true);
+    opts.dead_letter = dead_letter.get();
+  }
   service::monitor_service monitor{u.bc().creations(), u.labels(),
                                    u.weth().id(), metrics, opts};
 
@@ -92,7 +119,13 @@ int main(int argc, char** argv) {
 
   service::simulated_source_options src_opts;
   src_opts.blocks_per_second = rate;
-  service::simulated_block_source source{u.bc().receipts(), src_opts};
+  service::simulated_block_source upstream{u.bc().receipts(), src_opts};
+  // Ingest through the resilient wrapper, as a real deployment would: the
+  // simulated upstream never misbehaves, but retries, failover and the
+  // circuit breaker are armed and their counters exported either way.
+  service::resilient_source_options rs_opts;
+  rs_opts.max_retries = max_retries;
+  service::resilient_block_source source{upstream, rs_opts, &metrics};
 
   std::signal(SIGINT, on_sigint);
   std::cout << "\n--- incident feed (Ctrl-C to drain and stop) ---\n";
@@ -126,6 +159,10 @@ int main(int argc, char** argv) {
   if (checkpoint_path[0] != '\0') {
     std::cout << "checkpoint written to " << checkpoint_path << " (last block "
               << monitor.last_block() << ")\n";
+  }
+  if (dead_letter) {
+    std::cout << dead_letter->written() << " poison receipt(s) quarantined to "
+              << dead_letter_path << "\n";
   }
   return 0;
 }

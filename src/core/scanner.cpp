@@ -34,6 +34,34 @@ scan_stats& scan_stats::operator+=(const scan_stats& o) noexcept {
   return *this;
 }
 
+scan_stats& scan_stats::operator-=(const scan_stats& o) noexcept {
+  transactions -= o.transactions;
+  flash_loans -= o.flash_loans;
+  for (int i = 0; i < 3; ++i) per_provider[i] -= o.per_provider[i];
+  incidents -= o.incidents;
+  for (int i = 0; i < 3; ++i) per_pattern[i] -= o.per_pattern[i];
+  suppressed_by_heuristic -= o.suppressed_by_heuristic;
+  prefilter_rejects -= o.prefilter_rejects;
+  prefilter_accepts -= o.prefilter_accepts;
+  return *this;
+}
+
+void validate_receipt(const chain::tx_receipt& receipt) {
+  for (const chain::trace_event& ev : receipt.events) {
+    if (const auto* call = std::get_if<chain::call_record>(&ev)) {
+      if (call->depth < 0) {
+        throw malformed_receipt_error{"call record with negative depth"};
+      }
+    } else if (const auto* log = std::get_if<chain::event_log>(&ev)) {
+      if (log->name == chain::kTransferEvent && !log->amount0.is_zero() &&
+          log->addr0.is_zero() && log->addr1.is_zero()) {
+        throw malformed_receipt_error{
+            "Transfer of a nonzero amount between two zero addresses"};
+      }
+    }
+  }
+}
+
 scanner::scanner(const chain::creation_registry& creations,
                  const etherscan::label_db& labels, chain::asset weth_token,
                  scanner_options options)
@@ -125,6 +153,29 @@ void scanner::scan_range(const std::vector<chain::tx_receipt>& receipts,
   end = std::min(end, receipts.size());
   for (std::size_t i = begin; i < end; ++i) {
     scan_one(receipts[i], stats, out);
+  }
+}
+
+void scanner::scan_range_guarded(
+    const std::vector<chain::tx_receipt>& receipts, std::size_t begin,
+    std::size_t end, scan_stats& stats, std::vector<incident>& out,
+    const poison_handler& on_poison) const {
+  if (!on_poison) return scan_range(receipts, begin, end, stats, out);
+  end = std::min(end, receipts.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    // Private accumulators, merged only on success: a receipt that throws
+    // mid-pipeline must not leave half its counters behind.
+    scan_stats one;
+    std::vector<incident> flagged;
+    try {
+      validate_receipt(receipts[i]);
+      scan_one(receipts[i], one, flagged);
+    } catch (const std::exception& e) {
+      on_poison(receipts[i], e.what());
+      continue;
+    }
+    stats += one;
+    for (incident& inc : flagged) out.push_back(std::move(inc));
   }
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -19,6 +20,20 @@
 #include "core/detector.h"
 
 namespace leishen::core {
+
+/// A receipt that is structurally broken (corrupted upstream feed, decoder
+/// bug): the ingestion boundary quarantines these instead of scanning them.
+class malformed_receipt_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Structural well-formedness of a receipt's trace. Throws
+/// `malformed_receipt_error` on shapes no execution can produce (negative
+/// call depth, a Transfer between two zero addresses with a nonzero
+/// amount). Cheap — one pass over the events — and deliberately minimal:
+/// it must never reject a receipt a real execution emits.
+void validate_receipt(const chain::tx_receipt& receipt);
 
 /// The two per-receipt phases worth timing separately: the signature-only
 /// prefilter (cheap, runs on every receipt) and the full replay/tagging/
@@ -87,6 +102,11 @@ struct scan_stats {
   /// order cannot change the result).
   scan_stats& operator+=(const scan_stats& o) noexcept;
 
+  /// Exact inverse of `+=`: the streaming monitor subtracts a retracted
+  /// block's delta when a chain reorganization rolls it back. `o` must have
+  /// been previously added (counters never underflow in that discipline).
+  scan_stats& operator-=(const scan_stats& o) noexcept;
+
   friend bool operator==(const scan_stats&, const scan_stats&) = default;
 };
 
@@ -115,6 +135,23 @@ class scanner {
   void scan_range(const std::vector<chain::tx_receipt>& receipts,
                   std::size_t begin, std::size_t end, scan_stats& stats,
                   std::vector<incident>& out) const;
+
+  /// Invoked by `scan_range_guarded` for every receipt it quarantines.
+  using poison_handler =
+      std::function<void(const chain::tx_receipt&, const std::string& error)>;
+
+  /// `scan_range` with an exception boundary per receipt: each receipt is
+  /// structurally validated (`validate_receipt`) and scanned into private
+  /// accumulators that are merged only on success, so a throwing receipt
+  /// contributes nothing — not even a transaction count — and is diverted
+  /// to `on_poison` instead of propagating. With a null handler the
+  /// exception propagates as in `scan_range`. This is the streaming
+  /// monitor's quarantine boundary: one malformed receipt must never take
+  /// the detection worker down.
+  void scan_range_guarded(const std::vector<chain::tx_receipt>& receipts,
+                          std::size_t begin, std::size_t end,
+                          scan_stats& stats, std::vector<incident>& out,
+                          const poison_handler& on_poison) const;
 
   [[nodiscard]] const scan_stats& stats() const noexcept { return stats_; }
   [[nodiscard]] const std::vector<incident>& incidents() const noexcept {

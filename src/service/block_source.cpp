@@ -4,10 +4,29 @@
 
 namespace leishen::service {
 
+std::uint64_t block_link_hash(std::uint64_t number,
+                              std::uint64_t fork_salt) noexcept {
+  // splitmix64 finalizer over (number, salt); never returns 0, which is
+  // reserved for "unlinked".
+  std::uint64_t z = number + 0x9E3779B97F4A7C15ULL * (fork_salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
 simulated_block_source::simulated_block_source(
     const std::vector<chain::tx_receipt>& receipts,
     simulated_source_options opts)
-    : receipts_{&receipts}, options_{opts} {}
+    : receipts_{&receipts}, options_{opts} {
+  for (std::size_t i = 1; i < receipts.size(); ++i) {
+    if (receipts[i].block_number < receipts[i - 1].block_number) {
+      throw std::invalid_argument{
+          "simulated_block_source: receipt log is not in chain order "
+          "(block numbers decrease at index " + std::to_string(i) + ")"};
+    }
+  }
+}
 
 std::optional<block> simulated_block_source::next() {
   if (cursor_ >= receipts_->size()) return std::nullopt;
@@ -24,11 +43,14 @@ std::optional<block> simulated_block_source::next() {
   block b;
   b.number = (*receipts_)[cursor_].block_number;
   b.timestamp = (*receipts_)[cursor_].timestamp;
+  b.hash = block_link_hash(b.number);
+  b.parent_hash = last_hash_;
   while (cursor_ < receipts_->size() &&
          (*receipts_)[cursor_].block_number == b.number) {
     b.receipts.push_back((*receipts_)[cursor_]);
     ++cursor_;
   }
+  last_hash_ = b.hash;
   return b;
 }
 

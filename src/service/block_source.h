@@ -1,15 +1,24 @@
 // Where the monitor's blocks come from.
 //
-// A `block_source` yields whole blocks in ascending block-number order —
-// the unit the chain head delivers and the unit the monitor checkpoints at.
-// The simulator-backed implementation groups an already-executed chain's
-// receipt log into blocks and optionally paces them at a configurable rate,
-// standing in for a node subscription feeding live blocks.
+// A `block_source` yields whole blocks — the unit the chain head delivers
+// and the unit the monitor checkpoints at. Blocks carry parent linkage
+// (`hash` / `parent_hash`), so consumers can verify that deliveries extend
+// the chain they have seen and can recognize a fork (chain reorganization)
+// when a delivery links to an ancestor instead of the tip. The
+// simulator-backed implementation groups an already-executed chain's
+// receipt log into blocks and optionally paces them at a configurable
+// rate, standing in for a node subscription feeding live blocks.
+//
+// Real upstreams fail: `next()` may throw (`source_timeout_error` for a
+// timed-out call, any other exception for a transient or permanent fault).
+// `resilient_block_source` (resilient_block_source.h) turns one or more
+// such imperfect upstreams into the well-behaved stream the monitor wants.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "chain/receipt.h"
@@ -21,18 +30,53 @@ namespace leishen::service {
 struct block {
   std::uint64_t number = 0;
   std::int64_t timestamp = 0;
+  /// Identity of this block and of the block it builds on. Two blocks at
+  /// the same height with different hashes are fork siblings; a delivery
+  /// whose `parent_hash` matches an ancestor (not the tip) announces a
+  /// reorg. Both zero = an unlinked source that makes no chain promises
+  /// (linkage checks are bypassed for such blocks).
+  std::uint64_t hash = 0;
+  std::uint64_t parent_hash = 0;
   std::vector<chain::tx_receipt> receipts;
   /// Stamped by the monitor when the block enters the ingestion queue;
   /// enqueue-to-incident latency is measured against it.
   std::chrono::steady_clock::time_point enqueued_at{};
+
+  [[nodiscard]] bool unlinked() const noexcept {
+    return hash == 0 && parent_hash == 0;
+  }
+};
+
+/// Deterministic block-identity hash for simulated chains: a pure function
+/// of (height, fork salt), so a re-created source over the same receipts
+/// reproduces the same chain ids (what checkpoint resume relies on) and a
+/// fault injector can mint fork siblings by varying the salt.
+[[nodiscard]] std::uint64_t block_link_hash(std::uint64_t number,
+                                            std::uint64_t fork_salt = 0)
+    noexcept;
+
+/// A `next()` call that exceeded its time budget. The resilient wrapper
+/// treats it as a transient failure (retry/backoff/failover) and counts it
+/// separately from other errors.
+class source_timeout_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Every upstream of a resilient source is down (retries exhausted on each
+/// one in a full failover cycle). The monitor's producer turns this into a
+/// clean end of stream.
+class source_exhausted_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 class block_source {
  public:
   virtual ~block_source() = default;
 
-  /// The next block (strictly increasing numbers); std::nullopt at end of
-  /// stream. Called from the monitor's producer thread only.
+  /// The next block; std::nullopt at end of stream. May throw on upstream
+  /// failure. Called from the monitor's producer thread only.
   virtual std::optional<block> next() = 0;
 };
 
@@ -44,9 +88,12 @@ struct simulated_source_options {
 /// Replays an executed chain's receipts as a block stream.
 class simulated_block_source final : public block_source {
  public:
-  /// `receipts` must stay alive and unmodified while the source is used;
-  /// they must be in chain order (block numbers nondecreasing), which the
-  /// simulator's receipt log guarantees.
+  /// `receipts` must stay alive and unmodified while the source is used and
+  /// must be in chain order. The constructor validates the block numbers
+  /// are nondecreasing and throws std::invalid_argument otherwise — a
+  /// receipt log that violates the precondition would silently emit
+  /// out-of-order blocks, which only the resilient wrapper's reorder
+  /// buffer is equipped to repair.
   explicit simulated_block_source(
       const std::vector<chain::tx_receipt>& receipts,
       simulated_source_options opts = {});
@@ -62,6 +109,7 @@ class simulated_block_source final : public block_source {
   const std::vector<chain::tx_receipt>* receipts_;
   simulated_source_options options_;
   std::size_t cursor_ = 0;
+  std::uint64_t last_hash_ = 0;
   std::chrono::steady_clock::time_point next_emit_{};
 };
 

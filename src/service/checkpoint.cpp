@@ -8,7 +8,7 @@ namespace leishen::service {
 
 namespace {
 
-constexpr int kFormatVersion = 2;  // v2: trailing checksum line required
+constexpr int kFormatVersion = 3;  // v3: last_hash + reorg journal
 
 /// FNV-1a over the payload (everything before the checksum line). Cheap,
 /// dependency-free, and plenty to reject truncated or bit-flipped files —
@@ -21,27 +21,71 @@ std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
+void render_stats(std::ostringstream& os, const std::string& prefix,
+                  const core::scan_stats& s) {
+  os << prefix << "transactions=" << s.transactions << "\n";
+  os << prefix << "flash_loans=" << s.flash_loans << "\n";
+  for (int i = 0; i < 3; ++i) {
+    os << prefix << "per_provider." << i << "=" << s.per_provider[i] << "\n";
+  }
+  os << prefix << "incidents=" << s.incidents << "\n";
+  for (int i = 0; i < 3; ++i) {
+    os << prefix << "per_pattern." << i << "=" << s.per_pattern[i] << "\n";
+  }
+  os << prefix << "suppressed_by_heuristic=" << s.suppressed_by_heuristic
+     << "\n";
+  os << prefix << "prefilter_rejects=" << s.prefilter_rejects << "\n";
+  os << prefix << "prefilter_accepts=" << s.prefilter_accepts << "\n";
+}
+
+/// Apply one `<field>=value` pair to a stats struct; `key` is the part
+/// after the "stats." prefix. Unknown fields are ignored (forward compat).
+void parse_stats_field(std::string_view key, std::uint64_t value,
+                       core::scan_stats& s) {
+  if (key == "transactions") {
+    s.transactions = value;
+  } else if (key == "flash_loans") {
+    s.flash_loans = value;
+  } else if (key == "incidents") {
+    s.incidents = value;
+  } else if (key == "suppressed_by_heuristic") {
+    s.suppressed_by_heuristic = value;
+  } else if (key == "prefilter_rejects") {
+    s.prefilter_rejects = value;
+  } else if (key == "prefilter_accepts") {
+    s.prefilter_accepts = value;
+  } else if (key.starts_with("per_provider.")) {
+    const int i = std::atoi(key.data() + sizeof "per_provider." - 1);
+    if (i >= 0 && i < 3) s.per_provider[i] = value;
+  } else if (key.starts_with("per_pattern.")) {
+    const int i = std::atoi(key.data() + sizeof "per_pattern." - 1);
+    if (i >= 0 && i < 3) s.per_pattern[i] = value;
+  }
+}
+
 std::string render_payload(const checkpoint& cp) {
   std::ostringstream os;
   os << "leishen_checkpoint_v=" << kFormatVersion << "\n";
   os << "last_block=" << cp.last_block << "\n";
+  os << "last_hash=" << cp.last_hash << "\n";
   os << "blocks_processed=" << cp.blocks_processed << "\n";
   os << "incidents_emitted=" << cp.incidents_emitted << "\n";
-  const core::scan_stats& s = cp.stats;
-  os << "stats.transactions=" << s.transactions << "\n";
-  os << "stats.flash_loans=" << s.flash_loans << "\n";
-  for (int i = 0; i < 3; ++i) {
-    os << "stats.per_provider." << i << "=" << s.per_provider[i] << "\n";
-  }
-  os << "stats.incidents=" << s.incidents << "\n";
-  for (int i = 0; i < 3; ++i) {
-    os << "stats.per_pattern." << i << "=" << s.per_pattern[i] << "\n";
-  }
-  os << "stats.suppressed_by_heuristic=" << s.suppressed_by_heuristic << "\n";
-  os << "stats.prefilter_rejects=" << s.prefilter_rejects << "\n";
-  os << "stats.prefilter_accepts=" << s.prefilter_accepts << "\n";
+  render_stats(os, "stats.", cp.stats);
   for (const auto& [name, value] : cp.metric_counters) {
     os << "metric." << name << "=" << value << "\n";
+  }
+  for (std::size_t i = 0; i < cp.journal.size(); ++i) {
+    const journal_entry& e = cp.journal[i];
+    const std::string p = "journal." + std::to_string(i) + ".";
+    os << p << "number=" << e.number << "\n";
+    os << p << "hash=" << e.hash << "\n";
+    render_stats(os, p + "stats.", e.stats);
+    // Incidents reuse the JSONL feed serialization: one record per line,
+    // value taken verbatim (the line never contains a newline).
+    for (std::size_t j = 0; j < e.incidents.size(); ++j) {
+      os << p << "incident." << j << "="
+         << jsonl_sink::to_json_line(e.incidents[j]) << "\n";
+    }
   }
   return os.str();
 }
@@ -79,41 +123,57 @@ std::optional<checkpoint> load_one(const std::string& path) {
   bool version_ok = false;
   std::istringstream lines{std::string{payload}};
   std::string s;
-  while (std::getline(lines, s)) {
-    const std::size_t eq = s.find('=');
-    if (eq == std::string::npos) continue;
-    const std::string key = s.substr(0, eq);
-    const std::uint64_t value = std::strtoull(s.c_str() + eq + 1, nullptr, 10);
+  try {
+    while (std::getline(lines, s)) {
+      const std::size_t eq = s.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = s.substr(0, eq);
+      const std::uint64_t value =
+          std::strtoull(s.c_str() + eq + 1, nullptr, 10);
 
-    if (key == "leishen_checkpoint_v") {
-      version_ok = value == kFormatVersion;
-    } else if (key == "last_block") {
-      cp.last_block = value;
-    } else if (key == "blocks_processed") {
-      cp.blocks_processed = value;
-    } else if (key == "incidents_emitted") {
-      cp.incidents_emitted = value;
-    } else if (key == "stats.transactions") {
-      cp.stats.transactions = value;
-    } else if (key == "stats.flash_loans") {
-      cp.stats.flash_loans = value;
-    } else if (key == "stats.incidents") {
-      cp.stats.incidents = value;
-    } else if (key == "stats.suppressed_by_heuristic") {
-      cp.stats.suppressed_by_heuristic = value;
-    } else if (key == "stats.prefilter_rejects") {
-      cp.stats.prefilter_rejects = value;
-    } else if (key == "stats.prefilter_accepts") {
-      cp.stats.prefilter_accepts = value;
-    } else if (key.starts_with("stats.per_provider.")) {
-      const int i = std::atoi(key.c_str() + sizeof "stats.per_provider." - 1);
-      if (i >= 0 && i < 3) cp.stats.per_provider[i] = value;
-    } else if (key.starts_with("stats.per_pattern.")) {
-      const int i = std::atoi(key.c_str() + sizeof "stats.per_pattern." - 1);
-      if (i >= 0 && i < 3) cp.stats.per_pattern[i] = value;
-    } else if (key.starts_with("metric.")) {
-      cp.metric_counters.emplace(key.substr(sizeof "metric." - 1), value);
+      if (key == "leishen_checkpoint_v") {
+        version_ok = value == kFormatVersion;
+      } else if (key == "last_block") {
+        cp.last_block = value;
+      } else if (key == "last_hash") {
+        cp.last_hash = value;
+      } else if (key == "blocks_processed") {
+        cp.blocks_processed = value;
+      } else if (key == "incidents_emitted") {
+        cp.incidents_emitted = value;
+      } else if (key.starts_with("stats.")) {
+        parse_stats_field(std::string_view{key}.substr(sizeof "stats." - 1),
+                          value, cp.stats);
+      } else if (key.starts_with("metric.")) {
+        cp.metric_counters.emplace(key.substr(sizeof "metric." - 1), value);
+      } else if (key.starts_with("journal.")) {
+        // journal.<i>.<field>; entries are written oldest first with
+        // consecutive indices, so resizing keeps order.
+        const char* p = key.c_str() + sizeof "journal." - 1;
+        char* after = nullptr;
+        const std::size_t i = std::strtoull(p, &after, 10);
+        if (after == p || *after != '.') continue;
+        if (i >= cp.journal.size()) cp.journal.resize(i + 1);
+        journal_entry& e = cp.journal[i];
+        const std::string_view field =
+            std::string_view{key}.substr(
+                static_cast<std::size_t>(after + 1 - key.c_str()));
+        if (field == "number") {
+          e.number = value;
+        } else if (field == "hash") {
+          e.hash = value;
+        } else if (field.starts_with("stats.")) {
+          parse_stats_field(field.substr(sizeof "stats." - 1), value,
+                            e.stats);
+        } else if (field.starts_with("incident.")) {
+          // The value is a raw JSONL record, not a number.
+          e.incidents.push_back(
+              jsonl_sink::record_from_json_line(s.substr(eq + 1)).incident);
+        }
+      }
     }
+  } catch (const std::exception&) {
+    return std::nullopt;  // malformed journal incident line
   }
   if (!version_ok) return std::nullopt;
   return cp;

@@ -9,6 +9,13 @@
 // incident suffix the interrupted run would have — appending to the same
 // JSONL feed reproduces the uninterrupted stream bit for bit.
 //
+// v3 additionally records the tip's linkage hash and the monitor's reorg
+// journal — the last N processed blocks with each block's stats delta and
+// emitted incidents. A monitor resumed from a v3 checkpoint can therefore
+// still roll back through a reorg that straddles the restart: the journal
+// tells it exactly which incidents to retract and how to rewind its
+// cumulative stats.
+//
 // The file format is versioned line-oriented `key=value`, terminated by a
 // `checksum=` line (FNV-1a over the payload). Writes are atomic (temp file
 // + rename) and the superseded file is kept as `<path>.prev`, so a crash
@@ -21,17 +28,34 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/scanner.h"
+#include "service/incident_sink.h"
 
 namespace leishen::service {
 
+/// One processed block as the monitor's reorg journal remembers it: enough
+/// to undo the block (subtract its stats, retract its incidents) when a
+/// fork orphans it.
+struct journal_entry {
+  std::uint64_t number = 0;
+  std::uint64_t hash = 0;               // linkage hash (0 = unlinked source)
+  core::scan_stats stats;               // this block's contribution
+  std::vector<monitor_incident> incidents;  // this block's emissions
+
+  friend bool operator==(const journal_entry&,
+                         const journal_entry&) = default;
+};
+
 struct checkpoint {
   std::uint64_t last_block = 0;       // last fully processed block number
+  std::uint64_t last_hash = 0;        // its linkage hash (0 = unlinked)
   std::uint64_t blocks_processed = 0;
   std::uint64_t incidents_emitted = 0;
   core::scan_stats stats;             // cumulative detection counters
   std::map<std::string, std::uint64_t> metric_counters;
+  std::vector<journal_entry> journal;  // recent blocks, oldest first
 
   friend bool operator==(const checkpoint&, const checkpoint&) = default;
 };

@@ -1,0 +1,52 @@
+#include "service/dead_letter.h"
+
+#include <stdexcept>
+
+#include "service/jsonl_util.h"
+
+namespace leishen::service {
+
+dead_letter_jsonl::dead_letter_jsonl(const std::string& path, bool append)
+    : file_{std::fopen(path.c_str(), append ? "ab" : "wb")} {
+  if (file_ == nullptr) {
+    throw std::runtime_error{"dead_letter_jsonl: cannot open " + path};
+  }
+}
+
+dead_letter_jsonl::~dead_letter_jsonl() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::string dead_letter_jsonl::to_json_line(const dead_letter_entry& entry) {
+  std::string out = "{\"block\":" + std::to_string(entry.block_number) +
+                    ",\"tx\":" + std::to_string(entry.tx_index) +
+                    ",\"error\":\"" + jsonl::escape(entry.error) +
+                    "\",\"description\":\"" + jsonl::escape(entry.description) +
+                    "\"}";
+  return out;
+}
+
+void dead_letter_jsonl::on_poison(const dead_letter_entry& entry) {
+  const std::string line = to_json_line(entry) + "\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  ++written_;
+}
+
+void dead_letter_jsonl::flush() { std::fflush(file_); }
+
+std::vector<dead_letter_entry> dead_letter_jsonl::read(
+    const std::string& path) {
+  std::vector<dead_letter_entry> out;
+  for (const std::string& line : jsonl::read_lines(path)) {
+    jsonl::line_reader r{line};
+    dead_letter_entry e;
+    e.block_number = r.uint_field("block");
+    e.tx_index = r.uint_field("tx");
+    e.error = r.string_field("error");
+    e.description = r.string_field("description");
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace leishen::service

@@ -1,0 +1,81 @@
+// Dead-letter channel for poison receipts.
+//
+// A malformed receipt that throws inside the scan pipeline must not take
+// the detection worker down — the monitor diverts it here with full
+// context instead. The JSONL implementation gives operators a durable
+// quarantine file to inspect and replay after a decoder fix; the counting
+// implementation backs tests and the differential oracle, which must
+// account for every quarantined receipt.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace leishen::service {
+
+/// Everything known about one quarantined receipt.
+struct dead_letter_entry {
+  std::uint64_t block_number = 0;
+  std::uint64_t tx_index = 0;
+  std::string error;        // what() of the exception that diverted it
+  std::string description;  // the receipt's human label, if any
+
+  friend bool operator==(const dead_letter_entry&,
+                         const dead_letter_entry&) = default;
+};
+
+class dead_letter_sink {
+ public:
+  virtual ~dead_letter_sink() = default;
+
+  /// Called by the monitor's detection worker, serialized.
+  virtual void on_poison(const dead_letter_entry& entry) = 0;
+
+  /// Make everything recorded so far durable.
+  virtual void flush() {}
+};
+
+/// In-memory recorder (tests, differential oracle).
+class dead_letter_recorder final : public dead_letter_sink {
+ public:
+  void on_poison(const dead_letter_entry& entry) override {
+    entries_.push_back(entry);
+  }
+
+  [[nodiscard]] const std::vector<dead_letter_entry>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<dead_letter_entry> entries_;
+};
+
+/// Durable quarantine feed: one JSON object per line, append-only.
+class dead_letter_jsonl final : public dead_letter_sink {
+ public:
+  explicit dead_letter_jsonl(const std::string& path, bool append = false);
+  ~dead_letter_jsonl() override;
+
+  dead_letter_jsonl(const dead_letter_jsonl&) = delete;
+  dead_letter_jsonl& operator=(const dead_letter_jsonl&) = delete;
+
+  void on_poison(const dead_letter_entry& entry) override;
+  void flush() override;
+
+  [[nodiscard]] std::uint64_t written() const noexcept { return written_; }
+
+  static std::string to_json_line(const dead_letter_entry& entry);
+
+  /// Parse everything a sink wrote. Throws std::runtime_error on a
+  /// malformed line or an unreadable file.
+  static std::vector<dead_letter_entry> read(const std::string& path);
+
+ private:
+  std::FILE* file_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace leishen::service

@@ -1,0 +1,123 @@
+#include "service/fault_injection.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace leishen::service {
+
+fault_injecting_block_source::fault_injecting_block_source(
+    block_source& upstream, fault_injection_options options)
+    : upstream_{&upstream}, options_{options}, rng_{options.seed} {}
+
+std::optional<block> fault_injecting_block_source::next() {
+  for (;;) {
+    if (!out_.empty()) {
+      block b = std::move(out_.front());
+      out_.pop_front();
+      return b;
+    }
+    std::optional<block> b = pull();  // may throw (fault injection)
+    if (!b) return std::nullopt;
+    stage(std::move(*b));
+  }
+}
+
+std::optional<block> fault_injecting_block_source::pull() {
+  if (!carried_) {
+    carried_ = upstream_->next();
+    if (!carried_) return std::nullopt;
+    consecutive_throws_ = 0;
+  }
+  if (consecutive_throws_ < options_.max_consecutive_failures) {
+    if (rng_.next_bool(options_.timeout_rate)) {
+      ++timeouts_;
+      ++consecutive_throws_;
+      throw source_timeout_error{"injected timeout"};
+    }
+    if (rng_.next_bool(options_.error_rate)) {
+      ++errors_;
+      ++consecutive_throws_;
+      throw std::runtime_error{"injected transient error"};
+    }
+  }
+  block b = std::move(*carried_);
+  carried_.reset();
+  return b;
+}
+
+void fault_injecting_block_source::poison(block& b) {
+  chain::tx_receipt bad;
+  bad.block_number = b.number;
+  bad.timestamp = b.timestamp;
+  bad.tx_index =
+      kPoisonTxBit | (b.receipts.empty() ? 0 : b.receipts.back().tx_index);
+  bad.description = "injected poison";
+  bad.success = true;
+  chain::call_record broken_call;
+  broken_call.method = "corrupted";
+  broken_call.depth = -1;  // trips core::validate_receipt
+  bad.events.emplace_back(broken_call);
+  poisons_.emplace_back(bad.block_number, bad.tx_index);
+  b.receipts.push_back(std::move(bad));
+}
+
+void fault_injecting_block_source::stage(block b) {
+  if (rng_.next_bool(options_.poison_rate)) poison(b);
+  recent_.push_back(b);
+  while (recent_.size() > options_.max_reorg_depth + 1) recent_.pop_front();
+
+  const bool dup = rng_.next_bool(options_.duplicate_rate);
+  const bool reorg =
+      rng_.next_bool(options_.reorg_rate) && recent_.size() >= 2 &&
+      !b.unlinked();
+  const bool reorder = !reorg && rng_.next_bool(options_.reorder_rate);
+
+  out_.push_back(std::move(b));
+  if (dup) {
+    out_.push_back(recent_.back());
+    ++duplicates_;
+  }
+
+  if (reorder) {
+    // Deliver the next canonical block *before* this one: the consumer
+    // sees a gap that heals one delivery later (the transient out-of-order
+    // case a reorder buffer must park across). The swapped-in block skips
+    // this round's throw faults but still rolls for poison.
+    std::optional<block> nxt = upstream_->next();
+    if (nxt) {
+      if (rng_.next_bool(options_.poison_rate)) poison(*nxt);
+      recent_.push_back(*nxt);
+      while (recent_.size() > options_.max_reorg_depth + 1) {
+        recent_.pop_front();
+      }
+      out_.push_front(std::move(*nxt));
+      ++reorders_;
+    }
+  }
+
+  if (reorg) {
+    // Orphan the last d canonical blocks with fork siblings (identical
+    // receipts, fork-salted identities), then re-emit the canonical blocks
+    // so the canonical branch wins the fork.
+    const auto max_d = static_cast<std::uint64_t>(
+        std::min(options_.max_reorg_depth, recent_.size() - 1));
+    const std::uint64_t d = 1 + rng_.next_below(max_d);
+    ++reorgs_;
+    max_reorg_depth_seen_ = std::max(max_reorg_depth_seen_, d);
+    ++fork_salt_;
+    const std::size_t first = recent_.size() - d;
+    std::uint64_t parent = recent_[first - 1].hash;
+    for (std::size_t i = first; i < recent_.size(); ++i) {
+      block fork = recent_[i];
+      fork.hash = block_link_hash(fork.number, fork_salt_);
+      fork.parent_hash = parent;
+      parent = fork.hash;
+      out_.push_back(std::move(fork));
+    }
+    for (std::size_t i = first; i < recent_.size(); ++i) {
+      out_.push_back(recent_[i]);
+    }
+  }
+}
+
+}  // namespace leishen::service

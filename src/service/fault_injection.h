@@ -1,0 +1,135 @@
+// Deterministic fault injection for the ingestion path.
+//
+// `fault_injecting_block_source` decorates an upstream source with a
+// seeded schedule of the faults a real node feed exhibits: timed-out and
+// transiently failing calls, duplicate and out-of-order deliveries
+// (the latter opening a transient gap the resilient wrapper must park
+// across), N-deep chain reorganizations, and structurally corrupted
+// receipts. Everything flows from one `common::rng` seed, so a fault
+// schedule replays bit-identically — which is what lets the differential
+// oracle (src/verify) assert that a monitor run under faults produces the
+// exact incident stream of a fault-free run.
+//
+// Fault semantics are chosen so the *canonical* stream is preserved:
+//   - a thrown timeout/error keeps the fetched block carried; the next
+//     call delivers it (retry recovers it losslessly);
+//   - duplicates are extra copies (the original is still delivered);
+//   - a reorg emits fork siblings of the last D canonical blocks (same
+//     receipts, fork-salted hashes) and then re-emits the canonical
+//     blocks, so the surviving chain is the canonical one;
+//   - a poison is an *extra* corrupted receipt appended to a block (high
+//     tx_index bit set), so quarantining it leaves the block's real
+//     receipts — and therefore the incident stream — untouched.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/block_source.h"
+
+namespace leishen::service {
+
+struct fault_injection_options {
+  std::uint64_t seed = 1;
+  /// Per-block probabilities of each fault kind.
+  double timeout_rate = 0.0;    // throw source_timeout_error (block carried)
+  double error_rate = 0.0;      // throw std::runtime_error (block carried)
+  double duplicate_rate = 0.0;  // deliver an extra copy of the block
+  double reorder_rate = 0.0;    // deliver the next block first (gap + heal)
+  double reorg_rate = 0.0;      // fork the last D blocks, then re-emit them
+  std::size_t max_reorg_depth = 3;
+  double poison_rate = 0.0;     // append a corrupted receipt to the block
+  /// Cap on back-to-back injected throws for one block, so a wrapper whose
+  /// retry budget exceeds it is guaranteed to recover the block (the
+  /// lossless-recovery invariant the differential oracle asserts).
+  int max_consecutive_failures = 2;
+};
+
+/// An upstream that is simply down: every call throws. Wrapping it as the
+/// preferred upstream of a resilient source forces a failover (and, after
+/// enough calls, an open circuit) on every fetch — deterministic coverage
+/// for the failover path while a healthy upstream preserves the stream.
+class broken_block_source final : public block_source {
+ public:
+  std::optional<block> next() override {
+    ++calls_;
+    throw source_timeout_error{"broken upstream"};
+  }
+  [[nodiscard]] std::uint64_t calls() const noexcept { return calls_; }
+
+ private:
+  std::uint64_t calls_ = 0;
+};
+
+/// Tx index marker for injected poison receipts: far above any simulated
+/// index, so injected corruption can never collide with a real receipt.
+inline constexpr std::uint64_t kPoisonTxBit = 1ULL << 62;
+
+class fault_injecting_block_source final : public block_source {
+ public:
+  /// `upstream` must outlive the injector and should deliver linked blocks
+  /// in order (a `simulated_block_source`); injecting faults into an
+  /// already-faulty stream is unsupported.
+  fault_injecting_block_source(block_source& upstream,
+                               fault_injection_options options);
+
+  std::optional<block> next() override;
+
+  // What was injected (for exact accounting in tests and the oracle).
+  [[nodiscard]] std::uint64_t timeouts_injected() const noexcept {
+    return timeouts_;
+  }
+  [[nodiscard]] std::uint64_t errors_injected() const noexcept {
+    return errors_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_injected() const noexcept {
+    return duplicates_;
+  }
+  [[nodiscard]] std::uint64_t reorders_injected() const noexcept {
+    return reorders_;
+  }
+  [[nodiscard]] std::uint64_t reorgs_injected() const noexcept {
+    return reorgs_;
+  }
+  [[nodiscard]] std::uint64_t max_injected_reorg_depth() const noexcept {
+    return max_reorg_depth_seen_;
+  }
+  /// (block_number, tx_index) of every injected poison receipt. A poisoned
+  /// block re-delivered by a reorg quarantines the same (block, tx) again,
+  /// so dead-letter contents match this as a *set*, not a multiset.
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+  poisons_injected() const noexcept {
+    return poisons_;
+  }
+
+ private:
+  /// Pull one canonical block (carrying it across injected throws).
+  std::optional<block> pull();
+  /// Append a corrupted receipt and record it.
+  void poison(block& b);
+  /// Stage a canonical block (and possibly fault events) onto `out_`.
+  void stage(block b);
+
+  block_source* upstream_;
+  fault_injection_options options_;
+  rng rng_;
+  std::optional<block> carried_;  // fetched but not yet delivered (throws)
+  int consecutive_throws_ = 0;
+  std::deque<block> out_;         // staged deliveries
+  std::deque<block> recent_;      // canonical history for reorgs/duplicates
+  std::uint64_t fork_salt_ = 0;
+
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t reorders_ = 0;
+  std::uint64_t reorgs_ = 0;
+  std::uint64_t max_reorg_depth_seen_ = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> poisons_;
+};
+
+}  // namespace leishen::service

@@ -5,20 +5,11 @@
 #include <stdexcept>
 
 #include "core/patterns.h"
+#include "service/jsonl_util.h"
 
 namespace leishen::service {
 
 namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
 
 core::attack_pattern pattern_from_string(const std::string& s) {
   for (const auto p : {core::attack_pattern::krp, core::attack_pattern::sbs,
@@ -28,103 +19,18 @@ core::attack_pattern pattern_from_string(const std::string& s) {
   throw std::runtime_error{"jsonl: unknown pattern '" + s + "'"};
 }
 
-/// Minimal parser for the exact shape `to_json_line` emits. It scans for
-/// `"key":` and reads the value after it; keys never repeat at different
-/// nesting depths in this format except inside "matches", which is parsed
-/// as its own sub-slices.
-class line_reader {
- public:
-  explicit line_reader(const std::string& line) : s_{line} {}
-
-  std::string string_field(const std::string& key, std::size_t from = 0) {
-    const std::size_t v = value_pos(key, from);
-    if (s_[v] != '"') throw err(key, "expected string");
-    std::string out;
-    for (std::size_t i = v + 1; i < s_.size(); ++i) {
-      if (s_[i] == '\\' && i + 1 < s_.size()) {
-        out.push_back(s_[++i]);
-      } else if (s_[i] == '"') {
-        return out;
-      } else {
-        out.push_back(s_[i]);
-      }
-    }
-    throw err(key, "unterminated string");
-  }
-
-  double number_field(const std::string& key, std::size_t from = 0) {
-    const std::size_t v = value_pos(key, from);
-    return std::strtod(s_.c_str() + v, nullptr);
-  }
-
-  std::uint64_t uint_field(const std::string& key, std::size_t from = 0) {
-    const std::size_t v = value_pos(key, from);
-    return std::strtoull(s_.c_str() + v, nullptr, 10);
-  }
-
-  /// The [start, end) slices of each `{...}` object inside the array named
-  /// `key` (objects in this format are never nested).
-  std::vector<std::string> object_array(const std::string& key) {
-    const std::size_t v = value_pos(key, 0);
-    if (s_[v] != '[') throw err(key, "expected array");
-    std::vector<std::string> out;
-    std::size_t i = v + 1;
-    while (i < s_.size() && s_[i] != ']') {
-      if (s_[i] == '{') {
-        const std::size_t close = s_.find('}', i);
-        if (close == std::string::npos) throw err(key, "unterminated object");
-        out.push_back(s_.substr(i, close - i + 1));
-        i = close + 1;
-      } else {
-        ++i;
-      }
-    }
-    return out;
-  }
-
-  std::vector<std::size_t> uint_array(const std::string& key) {
-    const std::size_t v = value_pos(key, 0);
-    if (s_[v] != '[') throw err(key, "expected array");
-    std::vector<std::size_t> out;
-    std::size_t i = v + 1;
-    while (i < s_.size() && s_[i] != ']') {
-      if (s_[i] >= '0' && s_[i] <= '9') {
-        char* end = nullptr;
-        out.push_back(std::strtoull(s_.c_str() + i, &end, 10));
-        i = static_cast<std::size_t>(end - s_.c_str());
-      } else {
-        ++i;
-      }
-    }
-    return out;
-  }
-
- private:
-  std::size_t value_pos(const std::string& key, std::size_t from) const {
-    const std::string needle = "\"" + key + "\":";
-    const std::size_t k = s_.find(needle, from);
-    if (k == std::string::npos) throw err(key, "missing");
-    return k + needle.size();
-  }
-
-  std::runtime_error err(const std::string& key, const char* what) const {
-    return std::runtime_error{"jsonl: field '" + key + "': " + what + " in " +
-                              s_};
-  }
-
-  const std::string& s_;
-};
-
 }  // namespace
 
-std::string jsonl_sink::to_json_line(const monitor_incident& inc) {
+std::string jsonl_sink::to_json_line(const monitor_incident& inc,
+                                     bool retract) {
   char buf[128];
   std::snprintf(buf, sizeof buf,
                 "{\"block\":%" PRIu64 ",\"tx\":%" PRIu64 ",\"ts\":%" PRId64,
                 inc.block_number, inc.incident.tx_index,
                 inc.incident.timestamp);
   std::string out = buf;
-  out += ",\"borrower\":\"" + json_escape(inc.incident.borrower_tag) + "\"";
+  if (retract) out += ",\"retract\":true";
+  out += ",\"borrower\":\"" + jsonl::escape(inc.incident.borrower_tag) + "\"";
   // %.17g round-trips IEEE doubles exactly, so read-back compares equal.
   std::snprintf(buf, sizeof buf, ",\"max_volatility_pct\":%.17g",
                 inc.incident.max_volatility_pct);
@@ -136,7 +42,7 @@ std::string jsonl_sink::to_json_line(const monitor_incident& inc) {
     out += "{\"pattern\":\"";
     out += core::to_string(m.pattern);
     out += "\",\"target\":\"" + m.target.contract_address().to_hex() + "\"";
-    out += ",\"counterparty\":\"" + json_escape(m.counterparty) + "\"";
+    out += ",\"counterparty\":\"" + jsonl::escape(m.counterparty) + "\"";
     out += ",\"trades\":[";
     for (std::size_t t = 0; t < m.trade_indices.size(); ++t) {
       if (t > 0) out += ",";
@@ -146,6 +52,30 @@ std::string jsonl_sink::to_json_line(const monitor_incident& inc) {
   }
   out += "]}";
   return out;
+}
+
+jsonl_sink::feed_record jsonl_sink::record_from_json_line(
+    const std::string& line) {
+  jsonl::line_reader r{line};
+  feed_record rec;
+  rec.retract = r.has_field("retract");
+  monitor_incident& inc = rec.incident;
+  inc.block_number = r.uint_field("block");
+  inc.incident.tx_index = r.uint_field("tx");
+  inc.incident.timestamp = static_cast<std::int64_t>(r.uint_field("ts"));
+  inc.incident.borrower_tag = r.string_field("borrower");
+  inc.incident.max_volatility_pct = r.number_field("max_volatility_pct");
+  for (const std::string& obj : r.object_array("matches")) {
+    jsonl::line_reader mr{obj};
+    core::pattern_match m;
+    m.pattern = pattern_from_string(mr.string_field("pattern"));
+    m.target =
+        chain::asset::token(address::from_hex(mr.string_field("target")));
+    m.counterparty = mr.string_field("counterparty");
+    m.trade_indices = mr.uint_array("trades");
+    inc.incident.matches.push_back(std::move(m));
+  }
+  return rec;
 }
 
 jsonl_sink::jsonl_sink(const std::string& path, bool append)
@@ -166,46 +96,53 @@ void jsonl_sink::on_incident(const monitor_incident& inc) {
   ++written_;
 }
 
+void jsonl_sink::on_retract(const monitor_incident& inc) {
+  const std::string line = to_json_line(inc, /*retract=*/true);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  ++retracted_;
+}
+
 void jsonl_sink::flush() { std::fflush(file_); }
 
-std::vector<monitor_incident> jsonl_sink::read(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) throw std::runtime_error{"jsonl: cannot read " + path};
-  std::string content;
-  char buf[4096];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
-  std::fclose(f);
-
-  std::vector<monitor_incident> out;
-  std::size_t pos = 0;
-  while (pos < content.size()) {
-    std::size_t eol = content.find('\n', pos);
-    if (eol == std::string::npos) eol = content.size();
-    const std::string line = content.substr(pos, eol - pos);
-    pos = eol + 1;
-    if (line.empty()) continue;
-
-    line_reader r{line};
-    monitor_incident inc;
-    inc.block_number = r.uint_field("block");
-    inc.incident.tx_index = r.uint_field("tx");
-    inc.incident.timestamp = static_cast<std::int64_t>(r.uint_field("ts"));
-    inc.incident.borrower_tag = r.string_field("borrower");
-    inc.incident.max_volatility_pct = r.number_field("max_volatility_pct");
-    for (const std::string& obj : r.object_array("matches")) {
-      line_reader mr{obj};
-      core::pattern_match m;
-      m.pattern = pattern_from_string(mr.string_field("pattern"));
-      m.target =
-          chain::asset::token(address::from_hex(mr.string_field("target")));
-      m.counterparty = mr.string_field("counterparty");
-      m.trade_indices = mr.uint_array("trades");
-      inc.incident.matches.push_back(std::move(m));
-    }
-    out.push_back(std::move(inc));
+std::vector<jsonl_sink::feed_record> jsonl_sink::read_records(
+    const std::string& path) {
+  std::vector<feed_record> out;
+  for (const std::string& line : jsonl::read_lines(path)) {
+    out.push_back(record_from_json_line(line));
   }
   return out;
+}
+
+std::vector<monitor_incident> jsonl_sink::collapse(
+    const std::vector<feed_record>& records) {
+  std::vector<monitor_incident> out;
+  for (const feed_record& rec : records) {
+    if (!rec.retract) {
+      out.push_back(rec.incident);
+      continue;
+    }
+    // The monitor retracts newest-first, so the match is near the tail.
+    bool found = false;
+    for (std::size_t i = out.size(); i-- > 0;) {
+      if (out[i] == rec.incident) {
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(i));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error{
+          "jsonl: tombstone with no matching emission (block " +
+          std::to_string(rec.incident.block_number) + ", tx " +
+          std::to_string(rec.incident.incident.tx_index) + ")"};
+    }
+  }
+  return out;
+}
+
+std::vector<monitor_incident> jsonl_sink::read(const std::string& path) {
+  return collapse(read_records(path));
 }
 
 }  // namespace leishen::service

@@ -6,6 +6,14 @@
 // durable feed. The JSONL format is its own round-trip: `jsonl_sink::read`
 // reconstructs the exact incident stream, which is how the checkpoint /
 // resume tests compare a resumed run against an uninterrupted one.
+//
+// A chain reorg can orphan blocks whose incidents were already delivered.
+// The monitor then calls `on_retract` for each orphaned incident, newest
+// first, before re-emitting the canonical chain's detections. An
+// append-only feed cannot unwrite a line, so the JSONL sink records a
+// tombstone (`"retract":true`) instead; `read` collapses tombstones so
+// consumers see only the canonical stream, while `read_records` preserves
+// the full emit/retract history for audit.
 #pragma once
 
 #include <chrono>
@@ -41,6 +49,11 @@ class incident_sink {
   /// Called by the monitor's detection worker, serialized, in tx order.
   virtual void on_incident(const monitor_incident& inc) = 0;
 
+  /// A previously emitted incident was orphaned by a reorg. Called newest
+  /// first, before the canonical replacement blocks are emitted. The
+  /// default ignores retractions (fire-and-forget consumers).
+  virtual void on_retract(const monitor_incident& /*inc*/) {}
+
   /// Make everything delivered so far durable (called at checkpoints and
   /// on shutdown).
   virtual void flush() {}
@@ -49,19 +62,31 @@ class incident_sink {
 /// Adapts a std::function — the "just give me the incidents" sink.
 class callback_sink final : public incident_sink {
  public:
-  explicit callback_sink(std::function<void(const monitor_incident&)> fn)
-      : fn_{std::move(fn)} {}
+  explicit callback_sink(std::function<void(const monitor_incident&)> fn,
+                         std::function<void(const monitor_incident&)>
+                             retract_fn = nullptr)
+      : fn_{std::move(fn)}, retract_fn_{std::move(retract_fn)} {}
 
   void on_incident(const monitor_incident& inc) override { fn_(inc); }
+  void on_retract(const monitor_incident& inc) override {
+    if (retract_fn_) retract_fn_(inc);
+  }
 
  private:
   std::function<void(const monitor_incident&)> fn_;
+  std::function<void(const monitor_incident&)> retract_fn_;
 };
 
 /// Durable feed: one JSON object per line, append-only. Reopening with
 /// `append = true` continues an earlier run's file — the resume path.
 class jsonl_sink final : public incident_sink {
  public:
+  /// One line of the feed: an emission, or a reorg tombstone for one.
+  struct feed_record {
+    bool retract = false;
+    monitor_incident incident;
+  };
+
   explicit jsonl_sink(const std::string& path, bool append = false);
   ~jsonl_sink() override;
 
@@ -69,20 +94,41 @@ class jsonl_sink final : public incident_sink {
   jsonl_sink& operator=(const jsonl_sink&) = delete;
 
   void on_incident(const monitor_incident& inc) override;
+  void on_retract(const monitor_incident& inc) override;
   void flush() override;
 
   [[nodiscard]] std::uint64_t written() const noexcept { return written_; }
+  [[nodiscard]] std::uint64_t retracted() const noexcept {
+    return retracted_;
+  }
 
-  /// Serialize one incident to its JSONL line (no trailing newline).
-  static std::string to_json_line(const monitor_incident& inc);
+  /// Serialize one incident to its JSONL line (no trailing newline). With
+  /// `retract` the line is a tombstone: same payload plus "retract":true.
+  static std::string to_json_line(const monitor_incident& inc,
+                                  bool retract = false);
 
-  /// Parse everything a sink wrote. Throws std::runtime_error on a
-  /// malformed line or an unreadable file.
+  /// Parse one feed line (emission or tombstone). Throws
+  /// std::runtime_error on a malformed line.
+  static feed_record record_from_json_line(const std::string& line);
+
+  /// The canonical incident stream: every record a sink wrote, with each
+  /// tombstone cancelling the latest matching emission. Throws
+  /// std::runtime_error on a malformed line, an unreadable file, or a
+  /// tombstone with no matching emission.
   static std::vector<monitor_incident> read(const std::string& path);
+
+  /// The raw emit/retract history, tombstones preserved (audit trail).
+  static std::vector<feed_record> read_records(const std::string& path);
+
+  /// Apply tombstones to an in-order record list (what `read` does after
+  /// parsing). Exposed so in-memory consumers can collapse the same way.
+  static std::vector<monitor_incident> collapse(
+      const std::vector<feed_record>& records);
 
  private:
   std::FILE* file_;
   std::uint64_t written_ = 0;
+  std::uint64_t retracted_ = 0;
 };
 
 }  // namespace leishen::service

@@ -1,0 +1,31 @@
+#include "service/jsonl_util.h"
+
+#include <cstdio>
+
+namespace leishen::service::jsonl {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error{"jsonl: cannot open " + path};
+  }
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    if (end > start) lines.push_back(content.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace leishen::service::jsonl

@@ -1,0 +1,117 @@
+// Internal helpers shared by the service's JSONL feeds (incident sink,
+// dead-letter quarantine, checkpoint journal): minimal escaping and a
+// scanning reader for the exact line shapes those writers emit. Not a
+// general JSON parser — keys never repeat at different nesting depths in
+// these formats except where the callers slice sub-objects out first.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace leishen::service::jsonl {
+
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Scans for `"key":` and reads the value after it.
+class line_reader {
+ public:
+  explicit line_reader(const std::string& line) : s_{line} {}
+
+  [[nodiscard]] bool has_field(const std::string& key) const {
+    return s_.find("\"" + key + "\":") != std::string::npos;
+  }
+
+  std::string string_field(const std::string& key, std::size_t from = 0) {
+    const std::size_t v = value_pos(key, from);
+    if (s_[v] != '"') throw err(key, "expected string");
+    std::string out;
+    for (std::size_t i = v + 1; i < s_.size(); ++i) {
+      if (s_[i] == '\\' && i + 1 < s_.size()) {
+        out.push_back(s_[++i]);
+      } else if (s_[i] == '"') {
+        return out;
+      } else {
+        out.push_back(s_[i]);
+      }
+    }
+    throw err(key, "unterminated string");
+  }
+
+  double number_field(const std::string& key, std::size_t from = 0) {
+    const std::size_t v = value_pos(key, from);
+    return std::strtod(s_.c_str() + v, nullptr);
+  }
+
+  std::uint64_t uint_field(const std::string& key, std::size_t from = 0) {
+    const std::size_t v = value_pos(key, from);
+    return std::strtoull(s_.c_str() + v, nullptr, 10);
+  }
+
+  /// The [start, end) slices of each `{...}` object inside the array named
+  /// `key` (objects in these formats are never nested).
+  std::vector<std::string> object_array(const std::string& key) {
+    const std::size_t v = value_pos(key, 0);
+    if (s_[v] != '[') throw err(key, "expected array");
+    std::vector<std::string> out;
+    std::size_t i = v + 1;
+    while (i < s_.size() && s_[i] != ']') {
+      if (s_[i] == '{') {
+        const std::size_t close = s_.find('}', i);
+        if (close == std::string::npos) throw err(key, "unterminated object");
+        out.push_back(s_.substr(i, close - i + 1));
+        i = close + 1;
+      } else {
+        ++i;
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::size_t> uint_array(const std::string& key) {
+    const std::size_t v = value_pos(key, 0);
+    if (s_[v] != '[') throw err(key, "expected array");
+    std::vector<std::size_t> out;
+    std::size_t i = v + 1;
+    while (i < s_.size() && s_[i] != ']') {
+      if (s_[i] >= '0' && s_[i] <= '9') {
+        char* end = nullptr;
+        out.push_back(std::strtoull(s_.c_str() + i, &end, 10));
+        i = static_cast<std::size_t>(end - s_.c_str());
+      } else {
+        ++i;
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::size_t value_pos(const std::string& key, std::size_t from) const {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t k = s_.find(needle, from);
+    if (k == std::string::npos) throw err(key, "missing");
+    return k + needle.size();
+  }
+
+  std::runtime_error err(const std::string& key, const char* what) const {
+    return std::runtime_error{"jsonl: field '" + key + "': " + what + " in " +
+                              s_};
+  }
+
+  const std::string& s_;
+};
+
+/// Split a file's content into its non-empty lines.
+std::vector<std::string> read_lines(const std::string& path);
+
+}  // namespace leishen::service::jsonl

@@ -44,14 +44,26 @@ monitor_service::monitor_service(const chain::creation_registry& creations,
       c_tag_cache_hits_{metrics.get_counter("monitor_tag_cache_hits")},
       c_tag_cache_misses_{metrics.get_counter("monitor_tag_cache_misses")},
       c_checkpoints_{metrics.get_counter("monitor_checkpoints_written")},
+      c_source_errors_{metrics.get_counter("source_errors_total")},
+      c_reorgs_{metrics.get_counter("reorgs_total")},
+      c_duplicate_blocks_{metrics.get_counter("monitor_duplicate_blocks")},
+      c_unlinkable_blocks_{metrics.get_counter("monitor_unlinkable_blocks")},
+      c_poisoned_receipts_{metrics.get_counter("poisoned_receipts_total")},
+      c_worker_restarts_{metrics.get_counter("monitor_worker_restarts")},
       g_queue_depth_{metrics.get_gauge("monitor_queue_depth")},
       g_queue_high_water_{metrics.get_gauge("monitor_queue_high_water")},
+      g_reorg_depth_{metrics.get_gauge("reorg_depth")},
       h_incident_latency_{
           metrics.get_histogram("monitor_incident_latency_seconds")} {}
 
 monitor_service::~monitor_service() {
   request_stop();
-  wait();
+  try {
+    wait();
+  } catch (...) {
+    // A worker that died past its restart budget rethrows in wait(); the
+    // destructor is not the place to surface it.
+  }
 }
 
 void monitor_service::add_sink(incident_sink& sink) {
@@ -65,9 +77,18 @@ bool monitor_service::resume_from_checkpoint() {
   resuming_ = true;
   resume_block_ = cp->last_block;
   last_block_ = cp->last_block;
+  last_hash_ = cp->last_hash;
   blocks_processed_ = cp->blocks_processed;
   incidents_emitted_ = cp->incidents_emitted;
   stats_ = cp->stats;
+  // The journal crosses the restart in both roles: the worker can still
+  // roll back through a reorg that straddles it, and the producer's chain
+  // window recognizes re-fed prefix blocks as duplicates instead of forks.
+  journal_.assign(cp->journal.begin(), cp->journal.end());
+  chain_window_.clear();
+  for (const journal_entry& e : cp->journal) {
+    if (e.hash != 0) chain_window_.emplace_back(e.number, e.hash);
+  }
   // Carry the previous run's counters forward so exported metrics stay
   // cumulative across restarts.
   for (const auto& [name, value] : cp->metric_counters) {
@@ -97,40 +118,163 @@ void monitor_service::wait() {
 
 void monitor_service::produce(block_source& source) {
   while (!stop_.load(std::memory_order_acquire)) {
-    std::optional<block> b = source.next();
-    if (!b) break;  // end of stream
-    b->enqueued_at = std::chrono::steady_clock::now();
-    const std::size_t txs = b->receipts.size();
-    if (options_.drop_when_full) {
-      // try_push_ex reports why the push failed atomically with the attempt;
-      // re-querying closed() here would race with shutdown and either
-      // miscount a refused block as dropped or spin past the poison pill.
-      const push_result r = queue_.try_push_ex(std::move(*b));
-      if (r == push_result::closed) break;
-      if (r == push_result::full) {
-        c_blocks_dropped_.add();
-        continue;
-      }
-    } else {
-      if (!queue_.push(std::move(*b))) break;  // closed while blocked
+    std::optional<block> b;
+    try {
+      b = source.next();
+    } catch (const std::exception&) {
+      // An upstream that dies (including source_exhausted_error from the
+      // resilient wrapper) ends the stream; the worker drains what is
+      // buffered and the final checkpoint lets a restart pick up here.
+      c_source_errors_.add();
+      break;
     }
-    c_blocks_ingested_.add();
-    c_txs_ingested_.add(txs);
+    if (!b) break;  // end of stream
+    if (!ingest(std::move(*b))) break;
   }
   queue_.close();
 }
 
+bool monitor_service::ingest(block b) {
+  bool extend_window = false;
+  if (!b.unlinked()) {
+    // Duplicate first: a re-delivery of a window block must not be
+    // mistaken for a reorg (a duplicate of the tip's sibling would
+    // otherwise look like a depth-1 fork).
+    for (const auto& [num, hash] : chain_window_) {
+      if (num == b.number && hash == b.hash) {
+        c_duplicate_blocks_.add();
+        return true;
+      }
+    }
+    if (chain_window_.empty() ||
+        b.parent_hash == chain_window_.back().second) {
+      extend_window = true;  // first block, or extends the tip
+    } else {
+      // Fork? Find the delivery's parent among remembered ancestors.
+      std::size_t k = chain_window_.size();
+      for (std::size_t i = chain_window_.size(); i-- > 0;) {
+        if (chain_window_[i].second == b.parent_hash) {
+          k = i;
+          break;
+        }
+      }
+      if (k < chain_window_.size()) {
+        // Reorg: everything after the fork point is orphaned. Tell the
+        // worker to rewind before delivering the replacement block. The
+        // rollback event is always lossless — dropping it would desync the
+        // worker's journal from the chain.
+        const auto [target_number, target_hash] = chain_window_[k];
+        const auto depth =
+            static_cast<std::uint64_t>(chain_window_.size() - 1 - k);
+        chain_window_.resize(k + 1);
+        c_reorgs_.add();
+        g_reorg_depth_.set_max(static_cast<double>(depth));
+        block_event ev;
+        ev.kind = block_event::kind_t::rollback;
+        ev.target_number = target_number;
+        ev.target_hash = target_hash;
+        ev.depth = depth;
+        if (!queue_.push(std::move(ev))) return false;
+        extend_window = true;
+      } else if (chain_window_.empty() ||
+                 b.number < chain_window_.front().first) {
+        // Below the remembered window: a re-fed pre-checkpoint block on
+        // resume. Deliver it — the worker's resume cursor skips it — but
+        // do not let it displace the window tip.
+      } else {
+        // In or above the window but linking to no block we know: either a
+        // fork deeper than the journal (unrecoverable by construction) or
+        // a corrupt delivery. Drop it.
+        c_unlinkable_blocks_.add();
+        return true;
+      }
+    }
+    if (extend_window) {
+      chain_window_.emplace_back(b.number, b.hash);
+      while (chain_window_.size() > options_.reorg_journal_depth) {
+        chain_window_.pop_front();
+      }
+    }
+  }
+
+  b.enqueued_at = std::chrono::steady_clock::now();
+  const std::size_t txs = b.receipts.size();
+  block_event ev;
+  ev.blk = std::move(b);
+  if (options_.drop_when_full) {
+    // try_push_ex reports why the push failed atomically with the attempt;
+    // re-querying closed() here would race with shutdown and either
+    // miscount a refused block as dropped or spin past the poison pill.
+    const push_result r = queue_.try_push_ex(std::move(ev));
+    if (r == push_result::closed) return false;
+    if (r == push_result::full) {
+      c_blocks_dropped_.add();
+      return true;
+    }
+  } else {
+    if (!queue_.push(std::move(ev))) return false;  // closed while blocked
+  }
+  c_blocks_ingested_.add();
+  c_txs_ingested_.add(txs);
+  return true;
+}
+
 void monitor_service::consume() {
-  // The drain loop: ends when the queue is closed and empty. An external
-  // cooperative stop on the pool cuts the drain short (the final
-  // checkpoint still reflects only fully-processed blocks).
-  while (!pool_.stop_requested()) {
-    std::optional<block> b = queue_.pop();
-    if (!b) break;
-    process_block(*b);
+  try {
+    // The drain loop: ends when the queue is closed and empty. An external
+    // cooperative stop on the pool cuts the drain short (the final
+    // checkpoint still reflects only fully-processed blocks).
+    while (!pool_.stop_requested()) {
+      std::optional<block_event> ev = queue_.pop();
+      if (!ev) break;
+      if (ev->kind == block_event::kind_t::rollback) {
+        handle_rollback(*ev);
+      } else {
+        process_block(ev->blk);
+      }
+    }
+  } catch (const std::exception&) {
+    // Supervision: the worker died mid-block (a throwing sink, a bug the
+    // receipt validator does not catch). The in-flight block is lost, but
+    // the queue and all cumulative state are intact — restart the loop on
+    // the pool, bounded so a deterministic crash cannot spin forever.
+    if (worker_restarts_ < options_.max_worker_restarts) {
+      ++worker_restarts_;
+      c_worker_restarts_.add();
+      pool_.submit([this] { consume(); });
+      return;
+    }
+    queue_.close();  // unblock the producer; the run is over
+    write_checkpoint();
+    for (incident_sink* sink : sinks_) sink->flush();
+    throw;  // surfaces from wait()
   }
   write_checkpoint();
   for (incident_sink* sink : sinks_) sink->flush();
+  if (options_.dead_letter != nullptr) options_.dead_letter->flush();
+}
+
+void monitor_service::handle_rollback(const block_event& ev) {
+  // Rewind to the fork point: undo journal entries newest-first. Blocks
+  // above the target that never reached the worker (dropped under lossy
+  // backpressure) simply have no entry to undo.
+  while (!journal_.empty() && journal_.back().number > ev.target_number) {
+    const journal_entry e = std::move(journal_.back());
+    journal_.pop_back();
+    for (std::size_t i = e.incidents.size(); i-- > 0;) {
+      for (incident_sink* sink : sinks_) sink->on_retract(e.incidents[i]);
+    }
+    stats_ -= e.stats;
+    --blocks_processed_;
+    incidents_emitted_ -= e.incidents.size();
+  }
+  last_block_ = ev.target_number;
+  last_hash_ = ev.target_hash;
+  // A rollback below the resume cursor re-opens those heights: the
+  // canonical replacements must be processed, not skipped.
+  if (resuming_ && resume_block_ > ev.target_number) {
+    resume_block_ = ev.target_number;
+  }
 }
 
 void monitor_service::process_block(block& b) {
@@ -144,7 +288,18 @@ void monitor_service::process_block(block& b) {
 
   core::scan_stats block_stats;
   std::vector<core::incident> flagged;
-  scanner_.scan_range(b.receipts, 0, b.receipts.size(), block_stats, flagged);
+  scanner_.scan_range_guarded(
+      b.receipts, 0, b.receipts.size(), block_stats, flagged,
+      [this](const chain::tx_receipt& receipt, const std::string& error) {
+        c_poisoned_receipts_.add();
+        if (options_.dead_letter == nullptr) return;
+        dead_letter_entry entry;
+        entry.block_number = receipt.block_number;
+        entry.tx_index = receipt.tx_index;
+        entry.error = error;
+        entry.description = receipt.description;
+        options_.dead_letter->on_poison(entry);
+      });
   stats_ += block_stats;
 
   c_blocks_processed_.add();
@@ -166,6 +321,8 @@ void monitor_service::process_block(block& b) {
   seen_cache_hits_ = hits;
   seen_cache_misses_ = misses;
 
+  std::vector<monitor_incident> emitted;
+  emitted.reserve(flagged.size());
   const auto now = std::chrono::steady_clock::now();
   for (core::incident& inc : flagged) {
     monitor_incident mi;
@@ -176,10 +333,24 @@ void monitor_service::process_block(block& b) {
         std::chrono::duration<double>(now - b.enqueued_at).count());
     for (incident_sink* sink : sinks_) sink->on_incident(mi);
     ++incidents_emitted_;
+    emitted.push_back(std::move(mi));
   }
 
   last_block_ = b.number;
+  last_hash_ = b.hash;
   ++blocks_processed_;
+  if (!b.unlinked()) {
+    // Remember enough to undo this block if a fork orphans it.
+    journal_entry e;
+    e.number = b.number;
+    e.hash = b.hash;
+    e.stats = block_stats;
+    e.incidents = std::move(emitted);
+    journal_.push_back(std::move(e));
+    while (journal_.size() > options_.reorg_journal_depth) {
+      journal_.pop_front();
+    }
+  }
   if (!options_.checkpoint_path.empty() && options_.checkpoint_every != 0 &&
       blocks_processed_ % options_.checkpoint_every == 0) {
     write_checkpoint();
@@ -193,10 +364,12 @@ void monitor_service::write_checkpoint() {
   for (incident_sink* sink : sinks_) sink->flush();
   checkpoint cp;
   cp.last_block = last_block_;
+  cp.last_hash = last_hash_;
   cp.blocks_processed = blocks_processed_;
   cp.incidents_emitted = incidents_emitted_;
   cp.stats = stats_;
   cp.metric_counters = metrics_.counter_snapshot();
+  cp.journal.assign(journal_.begin(), journal_.end());
   if (save_checkpoint(cp, options_.checkpoint_path)) c_checkpoints_.add();
 }
 

@@ -6,7 +6,8 @@
 //                                         │
 //                                         ├─► metrics_registry (counters,
 //                                         │   gauges, latency histograms)
-//                                         └─► checkpoint file (resumability)
+//                                         ├─► checkpoint file (resumability)
+//                                         └─► dead_letter_sink (quarantine)
 //
 // One producer pulls blocks from the source and pushes them into a bounded
 // queue — blocking when full (lossless backpressure) or dropping with a
@@ -16,16 +17,38 @@
 // poison pill and the worker drains what is already buffered before
 // writing a final checkpoint.
 //
+// Fault tolerance (see DESIGN.md §9):
+//   - A throwing `block_source::next()` ends the stream cleanly (counted in
+//     `source_errors_total`) instead of killing the producer thread.
+//   - The producer tracks the chain window of recently delivered blocks.
+//     When a delivery's parent is an ancestor instead of the tip — a chain
+//     reorganization — it enqueues a rollback event ahead of the fork
+//     block; the worker rewinds its journal to the fork point, retracting
+//     orphaned incidents through `incident_sink::on_retract` (newest
+//     first) and subtracting the orphaned blocks' stats, then processes
+//     the canonical replacements normally. Duplicate deliveries are
+//     dropped; a linked block whose parent is unknown and not below the
+//     window is dropped as unlinkable.
+//   - A receipt that fails structural validation is quarantined to the
+//     dead-letter sink with full context instead of poisoning the scan;
+//     the rest of its block is processed normally.
+//   - A detection worker killed by an unexpected exception (e.g. a
+//     throwing sink) is restarted up to `max_worker_restarts` times; past
+//     that the run shuts down cleanly and `wait()` rethrows.
+//
 // Determinism & resume: detections are pure per receipt, blocks are
 // processed whole and in order, and a checkpoint is written only after a
 // block is fully processed and the sinks flushed. A monitor restarted with
 // `resume_from_checkpoint()` over the same stream skips the processed
 // prefix and appends the exact incident suffix — bit-identical to an
-// uninterrupted run (asserted in tests/service_test.cpp).
+// uninterrupted run (asserted in tests/service_test.cpp). Checkpoints
+// carry the reorg journal, so a rollback that straddles a restart still
+// retracts exactly the orphaned incidents.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,10 +58,22 @@
 #include "core/scanner.h"
 #include "service/block_source.h"
 #include "service/checkpoint.h"
+#include "service/dead_letter.h"
 #include "service/incident_sink.h"
 #include "service/metrics.h"
 
 namespace leishen::service {
+
+/// What travels through the ingestion queue: a block to process, or an
+/// instruction to rewind to a fork point before the blocks that follow.
+struct block_event {
+  enum class kind_t { deliver, rollback };
+  kind_t kind = kind_t::deliver;
+  block blk;                        // deliver payload
+  std::uint64_t target_number = 0;  // rollback: last block that survives
+  std::uint64_t target_hash = 0;
+  std::uint64_t depth = 0;          // rollback: orphaned block count
+};
 
 struct monitor_options {
   /// Detection configuration (params, heuristic, prefilter). `tag_cache`
@@ -48,13 +83,24 @@ struct monitor_options {
   /// Ingestion buffer size, in blocks.
   std::size_t queue_capacity = 64;
   /// Producer policy when the queue is full: false = block (lossless
-  /// backpressure), true = drop the block and count it.
+  /// backpressure), true = drop the block and count it. Rollback events are
+  /// always delivered losslessly.
   bool drop_when_full = false;
   /// Write a checkpoint every N fully-processed blocks (0 = only the final
   /// one on shutdown). Ignored when `checkpoint_path` is empty.
   std::uint64_t checkpoint_every = 8;
   /// Checkpoint file; empty disables checkpointing entirely.
   std::string checkpoint_path;
+  /// Blocks the reorg journal remembers — the deepest fork the monitor can
+  /// roll back through. Deeper forks are dropped as unlinkable.
+  std::size_t reorg_journal_depth = 16;
+  /// Quarantine channel for receipts that fail structural validation (not
+  /// owned; must outlive the monitor). Null = poison receipts are counted
+  /// and skipped without being recorded.
+  dead_letter_sink* dead_letter = nullptr;
+  /// Times an unexpectedly dying detection worker is restarted before the
+  /// run gives up (the in-flight block is lost either way).
+  int max_worker_restarts = 3;
 };
 
 class monitor_service {
@@ -72,9 +118,9 @@ class monitor_service {
   void add_sink(incident_sink& sink);
 
   /// Load `options.checkpoint_path` and continue from it: blocks up to the
-  /// checkpointed one are skipped, cumulative stats and metric counters are
-  /// restored. Returns false (fresh start) when no checkpoint exists.
-  /// Call before `start`.
+  /// checkpointed one are skipped, cumulative stats, metric counters and
+  /// the reorg journal are restored. Returns false (fresh start) when no
+  /// checkpoint exists. Call before `start`.
   bool resume_from_checkpoint();
 
   /// Begin streaming: spawns the producer and detection worker. The source
@@ -86,6 +132,7 @@ class monitor_service {
   void request_stop();
 
   /// Block until the stream ends (source exhausted or stopped + drained).
+  /// Rethrows the worker's exception when restarts were exhausted.
   void wait();
 
   /// Convenience: start + wait.
@@ -107,14 +154,18 @@ class monitor_service {
   [[nodiscard]] std::uint64_t incidents_emitted() const noexcept {
     return incidents_emitted_;
   }
-  [[nodiscard]] const block_queue<block>& queue() const noexcept {
+  [[nodiscard]] const block_queue<block_event>& queue() const noexcept {
     return queue_;
   }
 
  private:
   void produce(block_source& source);
+  /// Linkage-check one delivery and enqueue the events it implies. False =
+  /// the queue closed underneath us (shutdown).
+  bool ingest(block b);
   void consume();
   void process_block(block& b);
+  void handle_rollback(const block_event& ev);
   void write_checkpoint();
 
   metrics_registry& metrics_;
@@ -122,16 +173,28 @@ class monitor_service {
   core::shared_tag_cache tag_cache_;
   scan_stage_metrics stage_metrics_;
   core::scanner scanner_;
-  block_queue<block> queue_;
+  block_queue<block_event> queue_;
   std::vector<incident_sink*> sinks_;
   thread_pool pool_{1};  // the detection worker
   std::thread producer_;
   std::atomic<bool> stop_{false};
   bool started_ = false;
 
+  // Producer-side chain window: (number, hash) of recently delivered
+  // blocks, the reference against which duplicates, reorgs and unlinkable
+  // deliveries are judged. Touched only by the producer thread once
+  // started (seeded from the checkpoint before that).
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> chain_window_;
+
+  // Worker-side reorg journal: everything needed to undo a recent block.
+  // Touched only by the detection worker once started.
+  std::deque<journal_entry> journal_;
+  int worker_restarts_ = 0;
+
   // Cumulative run state (restored by resume_from_checkpoint).
   core::scan_stats stats_;
   std::uint64_t last_block_ = 0;
+  std::uint64_t last_hash_ = 0;
   std::uint64_t blocks_processed_ = 0;
   std::uint64_t incidents_emitted_ = 0;
   std::uint64_t resume_block_ = 0;
@@ -155,8 +218,15 @@ class monitor_service {
   counter& c_tag_cache_hits_;
   counter& c_tag_cache_misses_;
   counter& c_checkpoints_;
+  counter& c_source_errors_;
+  counter& c_reorgs_;
+  counter& c_duplicate_blocks_;
+  counter& c_unlinkable_blocks_;
+  counter& c_poisoned_receipts_;
+  counter& c_worker_restarts_;
   gauge& g_queue_depth_;
   gauge& g_queue_high_water_;
+  gauge& g_reorg_depth_;
   histogram& h_incident_latency_;
 };
 

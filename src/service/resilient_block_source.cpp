@@ -1,0 +1,281 @@
+#include "service/resilient_block_source.h"
+
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "service/metrics.h"
+
+namespace leishen::service {
+
+resilient_block_source::resilient_block_source(
+    std::vector<block_source*> upstreams, resilient_source_options options,
+    metrics_registry* metrics)
+    : upstreams_{std::move(upstreams)},
+      options_{std::move(options)},
+      jitter_{options_.seed},
+      breakers_(upstreams_.size()) {
+  if (upstreams_.empty()) {
+    throw std::invalid_argument{
+        "resilient_block_source: at least one upstream required"};
+  }
+  if (metrics != nullptr) {
+    c_retries_ = &metrics->get_counter("source_retries_total");
+    c_failovers_ = &metrics->get_counter("source_failovers_total");
+    c_circuit_opens_ = &metrics->get_counter("circuit_open_total");
+    c_timeouts_ = &metrics->get_counter("source_timeouts_total");
+    c_duplicates_ = &metrics->get_counter("source_duplicates_total");
+    c_reordered_ = &metrics->get_counter("source_reordered_total");
+  }
+}
+
+resilient_block_source::resilient_block_source(
+    block_source& upstream, resilient_source_options options,
+    metrics_registry* metrics)
+    : resilient_block_source{std::vector<block_source*>{&upstream},
+                             std::move(options), metrics} {}
+
+circuit_state resilient_block_source::circuit(std::size_t upstream) const {
+  return breakers_.at(upstream).state;
+}
+
+void resilient_block_source::count_retry() {
+  ++retries_;
+  if (c_retries_ != nullptr) c_retries_->add();
+}
+
+void resilient_block_source::count_timeout() {
+  ++timeouts_;
+  if (c_timeouts_ != nullptr) c_timeouts_->add();
+}
+
+void resilient_block_source::sleep_backoff(int attempt) {
+  // base * 2^(attempt-1), jittered into [1/2, 1) deterministically.
+  auto delay = options_.base_backoff;
+  for (int i = 1; i < attempt && delay < options_.max_backoff; ++i) {
+    delay *= 2;
+  }
+  if (delay > options_.max_backoff) delay = options_.max_backoff;
+  delay = std::chrono::microseconds{
+      delay.count() / 2 +
+      static_cast<std::int64_t>(jitter_.next_double() *
+                                static_cast<double>(delay.count() / 2))};
+  if (delay.count() <= 0) return;
+  if (options_.sleeper) {
+    options_.sleeper(delay);
+  } else {
+    std::this_thread::sleep_for(delay);
+  }
+}
+
+void resilient_block_source::on_failure(std::size_t idx) {
+  breaker& br = breakers_[idx];
+  if (br.state == circuit_state::half_open) {
+    // The probe failed: re-open and re-arm the cooldown.
+    br.state = circuit_state::open;
+    br.cooldown_left = options_.circuit_cooldown_calls;
+    ++circuit_opens_;
+    if (c_circuit_opens_ != nullptr) c_circuit_opens_->add();
+    return;
+  }
+  if (++br.consecutive_failures >= options_.circuit_failure_threshold &&
+      br.state == circuit_state::closed) {
+    br.state = circuit_state::open;
+    br.cooldown_left = options_.circuit_cooldown_calls;
+    ++circuit_opens_;
+    if (c_circuit_opens_ != nullptr) c_circuit_opens_->add();
+  }
+}
+
+void resilient_block_source::on_success(std::size_t idx) {
+  breaker& br = breakers_[idx];
+  br.state = circuit_state::closed;
+  br.consecutive_failures = 0;
+  br.cooldown_left = 0;
+}
+
+bool resilient_block_source::allowed(std::size_t idx) {
+  breaker& br = breakers_[idx];
+  switch (br.state) {
+    case circuit_state::closed:
+    case circuit_state::half_open:
+      return true;
+    case circuit_state::open:
+      if (--br.cooldown_left <= 0) {
+        br.state = circuit_state::half_open;  // one probe allowed
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+resilient_block_source::fetch_status resilient_block_source::fetch_from(
+    std::size_t idx, std::optional<block>& out) {
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      count_retry();
+      sleep_backoff(attempt);
+    }
+    try {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::optional<block> b = upstreams_[idx]->next();
+      const auto elapsed = std::chrono::duration_cast<
+          std::chrono::microseconds>(std::chrono::steady_clock::now() - t0);
+      if (options_.timeout.count() > 0 && elapsed > options_.timeout) {
+        // Slow success: deliver the block, but charge the breaker — a
+        // consistently slow upstream should trip it just like an erroring
+        // one.
+        count_timeout();
+        on_failure(idx);
+      } else {
+        on_success(idx);
+      }
+      if (!b) return fetch_status::end_of_stream;
+      out = std::move(b);
+      return fetch_status::got_block;
+    } catch (const source_timeout_error&) {
+      count_timeout();
+      on_failure(idx);
+    } catch (const std::exception&) {
+      on_failure(idx);
+    }
+    if (breakers_[idx].state == circuit_state::open) break;  // stop hammering
+  }
+  return fetch_status::upstream_failed;
+}
+
+bool resilient_block_source::is_duplicate(const block& b) const {
+  for (const auto& [num, hash] : emitted_) {
+    if (num == b.number && hash == b.hash) return true;
+  }
+  return false;
+}
+
+void resilient_block_source::remember(const block& b) {
+  emitted_.emplace_back(b.number, b.hash);
+  while (emitted_.size() > options_.dedup_window) emitted_.pop_front();
+}
+
+void resilient_block_source::accept(block b) {
+  remember(b);
+  tip_set_ = true;
+  tip_number_ = b.number;
+  tip_hash_ = b.hash;
+  out_.push_back(std::move(b));
+  flush_linkable();
+}
+
+void resilient_block_source::flush_linkable() {
+  // Release parked blocks that now link to the tip (a gap just closed).
+  bool progressed = true;
+  while (progressed && !pending_.empty()) {
+    progressed = false;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->second.parent_hash == tip_hash_) {
+        block b = std::move(it->second);
+        pending_.erase(it);
+        remember(b);
+        tip_number_ = b.number;
+        tip_hash_ = b.hash;
+        out_.push_back(std::move(b));
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+bool resilient_block_source::refill() {
+  while (out_.empty()) {
+    if (end_seen_) {
+      // Stream over: flush whatever is still parked, in height order.
+      if (pending_.empty()) return false;
+      auto it = pending_.begin();
+      block b = std::move(it->second);
+      pending_.erase(it);
+      accept(std::move(b));
+      continue;
+    }
+
+    std::optional<block> fetched;
+    bool got = false;
+    for (int pass = 0; pass < 2 && !got; ++pass) {
+      for (std::size_t i = 0; i < upstreams_.size() && !got; ++i) {
+        const std::size_t idx = (current_ + i) % upstreams_.size();
+        if (pass == 0) {
+          if (!allowed(idx)) continue;
+        } else {
+          // Every upstream sat behind an open circuit: force one probe per
+          // breaker before declaring the stream dead.
+          if (breakers_[idx].state != circuit_state::open) continue;
+          breakers_[idx].state = circuit_state::half_open;
+        }
+        if (idx != current_) {
+          ++failovers_;
+          if (c_failovers_ != nullptr) c_failovers_->add();
+        }
+        const fetch_status st = fetch_from(idx, fetched);
+        if (st == fetch_status::end_of_stream) {
+          end_seen_ = true;
+          got = true;
+        } else if (st == fetch_status::got_block) {
+          current_ = idx;
+          got = true;
+        }
+        // upstream_failed: fall through to the next upstream.
+      }
+    }
+    if (!got) {
+      throw source_exhausted_error{
+          "resilient_block_source: all upstreams failed"};
+    }
+    if (!fetched) continue;  // end of stream; loop drains pending_
+
+    block& b = *fetched;
+    if (b.unlinked()) {
+      // The upstream makes no chain promises: pass through untouched.
+      out_.push_back(std::move(b));
+      continue;
+    }
+    if (is_duplicate(b)) {
+      ++duplicates_;
+      if (c_duplicates_ != nullptr) c_duplicates_->add();
+      continue;
+    }
+    if (!tip_set_ || b.parent_hash == tip_hash_ || b.number <= tip_number_) {
+      // In order, or a reorg announcement (at/below tip height with a new
+      // hash) the monitor's journal must resolve — either way, emit now.
+      // A reorg orphans everything at or above its height, so those blocks
+      // leave the dedup window: the branch that wins the fork may
+      // legitimately re-deliver a block we have emitted before.
+      if (tip_set_ && b.number <= tip_number_ && b.parent_hash != tip_hash_) {
+        std::erase_if(emitted_,
+                      [&](const auto& e) { return e.first >= b.number; });
+      }
+      accept(std::move(b));
+      continue;
+    }
+    // A future block whose parent we have not emitted yet: park it until
+    // the gap closes (or the window overflows).
+    ++reordered_;
+    if (c_reordered_ != nullptr) c_reordered_->add();
+    pending_.insert_or_assign(b.number, std::move(b));
+    if (pending_.size() > options_.reorder_window) {
+      auto it = pending_.begin();
+      block lowest = std::move(it->second);
+      pending_.erase(it);
+      accept(std::move(lowest));
+    }
+  }
+  return true;
+}
+
+std::optional<block> resilient_block_source::next() {
+  if (!refill()) return std::nullopt;
+  block b = std::move(out_.front());
+  out_.pop_front();
+  return b;
+}
+
+}  // namespace leishen::service

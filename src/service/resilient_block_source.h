@@ -1,0 +1,167 @@
+// Fault-tolerant decorator over one or more imperfect block upstreams.
+//
+// Real node feeds time out, rate-limit, hiccup, deliver duplicates and
+// out-of-order blocks, and occasionally die. `resilient_block_source`
+// wraps N upstreams and presents the monitor with the well-behaved stream
+// it wants:
+//
+//   - bounded retry with exponential backoff and deterministic jitter
+//     (seeded via common::rng — no wall-clock randomness, so a fault
+//     schedule replays bit-identically);
+//   - per-call time budget: a `source_timeout_error` thrown by the
+//     upstream, or a call whose wall time exceeds `timeout` (the block is
+//     still delivered — only the breaker is charged), counts as a timeout;
+//   - a half-open circuit breaker per upstream: after
+//     `circuit_failure_threshold` consecutive failures the upstream is
+//     skipped for `circuit_cooldown_calls` picks, then one probe call
+//     decides between closing the circuit and re-opening it;
+//   - failover: when one upstream exhausts its retries the next one is
+//     tried; only after a full cycle of dead upstreams does `next()` throw
+//     `source_exhausted_error`;
+//   - a reorder/dedup buffer: duplicate deliveries (same hash as a recent
+//     emission) are dropped, a block that does not yet link to the tip is
+//     parked until its parent arrives (bounded by `reorder_window`), and
+//     blocks at or below the tip height with a new hash — reorg
+//     announcements — pass straight through for the monitor's journal to
+//     resolve.
+//
+// The wrapper normalizes delivery order and drops duplicates; it does NOT
+// interpret forks. Reorg semantics (rollback, retraction) live in the
+// monitor, which owns the incident history.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/block_source.h"
+
+namespace leishen::service {
+
+class metrics_registry;
+class counter;
+
+struct resilient_source_options {
+  /// Retries per upstream per `next()` call (attempts = 1 + max_retries).
+  int max_retries = 3;
+  /// Backoff before retry k (1-based): base * 2^(k-1), jittered into
+  /// [1/2, 1) of that and capped at `max_backoff`.
+  std::chrono::microseconds base_backoff{1000};
+  std::chrono::microseconds max_backoff{250000};
+  /// Seed for the jitter stream (deterministic; no wall-clock randomness).
+  std::uint64_t seed = 0x5EED;
+  /// Wall-time budget per upstream call. A slow success is delivered but
+  /// charged to the circuit breaker as a timeout. Zero disables the check.
+  std::chrono::microseconds timeout{0};
+  /// Consecutive failures that open an upstream's circuit.
+  int circuit_failure_threshold = 5;
+  /// Picks an open circuit sits out before going half-open (probe).
+  int circuit_cooldown_calls = 8;
+  /// Out-of-order blocks parked while waiting for their parent; beyond
+  /// this the buffer flushes in height order (the monitor then decides).
+  std::size_t reorder_window = 8;
+  /// Recent emissions remembered for duplicate detection.
+  std::size_t dedup_window = 32;
+  /// Injectable sleep (tests capture backoff delays instead of waiting).
+  std::function<void(std::chrono::microseconds)> sleeper;
+};
+
+/// Per-upstream circuit breaker state, exposed for observability.
+enum class circuit_state { closed, open, half_open };
+
+class resilient_block_source final : public block_source {
+ public:
+  /// `upstreams` are tried in order, must be non-empty and must outlive the
+  /// wrapper. When `metrics` is non-null the wrapper registers and updates
+  /// `source_retries_total`, `source_failovers_total`, `circuit_open_total`,
+  /// `source_timeouts_total`, `source_duplicates_total` and
+  /// `source_reordered_total`.
+  resilient_block_source(std::vector<block_source*> upstreams,
+                         resilient_source_options options = {},
+                         metrics_registry* metrics = nullptr);
+
+  /// Convenience for the single-upstream case.
+  resilient_block_source(block_source& upstream,
+                         resilient_source_options options = {},
+                         metrics_registry* metrics = nullptr);
+
+  /// The next normalized block. Throws `source_exhausted_error` when every
+  /// upstream failed a full failover cycle.
+  std::optional<block> next() override;
+
+  [[nodiscard]] circuit_state circuit(std::size_t upstream) const;
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::uint64_t failovers() const noexcept {
+    return failovers_;
+  }
+  [[nodiscard]] std::uint64_t circuit_opens() const noexcept {
+    return circuit_opens_;
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
+    return duplicates_;
+  }
+  [[nodiscard]] std::uint64_t reordered() const noexcept {
+    return reordered_;
+  }
+
+ private:
+  struct breaker {
+    circuit_state state = circuit_state::closed;
+    int consecutive_failures = 0;
+    int cooldown_left = 0;
+  };
+
+  /// One upstream call with retry/backoff; reports whether the upstream
+  /// produced a value (false = retries exhausted or end of stream).
+  enum class fetch_status { got_block, end_of_stream, upstream_failed };
+  fetch_status fetch_from(std::size_t idx, std::optional<block>& out);
+  /// Pull blocks (with failover) until one can be emitted or the stream
+  /// ends; normalized results land in `out_`.
+  bool refill();
+  void on_failure(std::size_t idx);
+  void on_success(std::size_t idx);
+  [[nodiscard]] bool allowed(std::size_t idx);
+  void sleep_backoff(int attempt);
+  void accept(block b);
+  void remember(const block& b);
+  [[nodiscard]] bool is_duplicate(const block& b) const;
+  void flush_linkable();
+  void count_retry();
+  void count_timeout();
+
+  std::vector<block_source*> upstreams_;
+  resilient_source_options options_;
+  rng jitter_;
+  std::vector<breaker> breakers_;
+  std::size_t current_ = 0;
+  bool end_seen_ = false;
+
+  // Normalization state.
+  std::deque<block> out_;              // ready to hand to the caller
+  std::map<std::uint64_t, block> pending_;  // parked out-of-order, by height
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> emitted_;  // (num,hash)
+  bool tip_set_ = false;
+  std::uint64_t tip_number_ = 0;
+  std::uint64_t tip_hash_ = 0;
+
+  // Counters (mirrored into the registry when one was given).
+  std::uint64_t retries_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t circuit_opens_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t reordered_ = 0;
+  counter* c_retries_ = nullptr;
+  counter* c_failovers_ = nullptr;
+  counter* c_circuit_opens_ = nullptr;
+  counter* c_timeouts_ = nullptr;
+  counter* c_duplicates_ = nullptr;
+  counter* c_reordered_ = nullptr;
+};
+
+}  // namespace leishen::service

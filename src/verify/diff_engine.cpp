@@ -5,11 +5,17 @@
 #include <unordered_map>
 #include <utility>
 
+#include <algorithm>
+#include <set>
+
 #include "core/parallel_scanner.h"
 #include "service/block_source.h"
+#include "service/dead_letter.h"
+#include "service/fault_injection.h"
 #include "service/incident_sink.h"
 #include "service/metrics.h"
 #include "service/monitor_service.h"
+#include "service/resilient_block_source.h"
 
 namespace leishen::verify {
 namespace {
@@ -217,6 +223,95 @@ diff_result diff_engine::run(
       }
     }
     if (!differ.diverged()) differ.compare_stats(monitor.stats());
+  }
+
+  // Fault-injected monitor: same detection contract under a hostile
+  // ingestion path. The stack is sim -> fault injector -> resilient
+  // wrapper (with a permanently dead preferred upstream, forcing failover
+  // and an open circuit) -> monitor. Reorg retractions are collapsed out
+  // of the stream before comparing, so a divergence here means a fault
+  // actually leaked into detection output.
+  if (options_.include_monitor && options_.include_faults) {
+    stream_differ differ{"monitor[faults]", result, tx_to_block,
+                         result.divergences};
+
+    service::metrics_registry metrics;
+    service::monitor_options mopts;
+    mopts.scan = options_.scan;
+    mopts.queue_capacity = options_.monitor_queue_capacity;
+    mopts.drop_when_full = false;  // lossless: streams must match exactly
+    mopts.reorg_journal_depth = 16;
+    service::dead_letter_recorder dead;
+    mopts.dead_letter = &dead;
+
+    std::vector<service::monitor_incident> streamed;
+    service::callback_sink sink{
+        [&streamed](const service::monitor_incident& mi) {
+          streamed.push_back(mi);
+        },
+        [&streamed](const service::monitor_incident& mi) {
+          // Retractions arrive newest-first; drop the latest match.
+          for (std::size_t i = streamed.size(); i-- > 0;) {
+            if (streamed[i] == mi) {
+              streamed.erase(streamed.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+              return;
+            }
+          }
+        }};
+
+    service::simulated_block_source base{receipts};
+    service::fault_injection_options fopts;
+    fopts.seed = options_.fault_seed;
+    fopts.timeout_rate = 0.08;
+    fopts.error_rate = 0.08;
+    fopts.duplicate_rate = 0.10;
+    fopts.reorder_rate = 0.08;
+    fopts.reorg_rate = 0.06;
+    fopts.max_reorg_depth = 3;
+    fopts.poison_rate = 0.10;
+    service::fault_injecting_block_source faulty{base, fopts};
+    service::broken_block_source broken;
+
+    service::resilient_source_options ropts;
+    ropts.seed = options_.fault_seed ^ 0xC1DCu;
+    ropts.max_retries = 3;
+    ropts.circuit_failure_threshold = 3;  // opens on the dead upstream
+    ropts.sleeper = [](std::chrono::microseconds) {};  // no real waiting
+    service::resilient_block_source source{{&broken, &faulty}, ropts,
+                                           &metrics};
+
+    service::monitor_service monitor{creations_, labels_, weth_, metrics,
+                                     mopts};
+    monitor.add_sink(sink);
+    monitor.run(source);
+
+    std::vector<incident> stream;
+    stream.reserve(streamed.size());
+    for (const service::monitor_incident& mi : streamed) {
+      stream.push_back(mi.incident);
+    }
+    differ.compare_stream(stream);
+    if (!differ.diverged()) differ.compare_stats(monitor.stats());
+
+    // Exact quarantine accounting: the dead-letter channel holds injected
+    // poisons and nothing else, and no injected poison slipped through.
+    // Re-deliveries (reorgs) may quarantine the same receipt again, so the
+    // comparison is by set of (block, tx).
+    if (!differ.diverged()) {
+      std::set<std::pair<std::uint64_t, std::uint64_t>> injected(
+          faulty.poisons_injected().begin(), faulty.poisons_injected().end());
+      std::set<std::pair<std::uint64_t, std::uint64_t>> quarantined;
+      for (const service::dead_letter_entry& e : dead.entries()) {
+        quarantined.emplace(e.block_number, e.tx_index);
+      }
+      if (injected != quarantined) {
+        std::ostringstream os;
+        os << "dead-letter set has " << quarantined.size()
+           << " distinct receipts vs " << injected.size() << " injected";
+        differ.report("dead_letter.accounting", 0, 0, os.str());
+      }
+    }
   }
 
   return result;

@@ -36,6 +36,16 @@ struct diff_options {
   /// Small on purpose: keeps the monitor's producer bumping into
   /// backpressure instead of degenerating into a bulk copy.
   std::size_t monitor_queue_capacity = 4;
+  /// Also stream the population through the monitor behind a seeded fault
+  /// schedule (timeouts, transient errors, a dead upstream forcing
+  /// failover, duplicates, out-of-order deliveries, reorgs, poisoned
+  /// receipts) routed through `service::resilient_block_source`. The
+  /// collapsed (retraction-aware) incident stream and the cumulative stats
+  /// must still match the serial reference exactly, and the dead-letter
+  /// channel must account for every injected poison — the fault-tolerance
+  /// half of the determinism contract.
+  bool include_faults = true;
+  std::uint64_t fault_seed = 0xF4017;
 };
 
 struct divergence {

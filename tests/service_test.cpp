@@ -1,13 +1,19 @@
 // Streaming monitor service tests: queue backpressure and drain semantics,
 // checkpoint/resume bit-identity of the incident stream, metrics counters
-// against the batch scanner's ground truth, and the JSONL feed round-trip.
-// The corpus is the synthetic population (same ground-truth labels the
-// paper's evaluation tables verify against).
+// against the batch scanner's ground truth, the JSONL feed round-trip, and
+// the fault-tolerance contract (reorg rollback with retraction, poison
+// quarantine, dying sources, supervised worker restart). The corpus is the
+// synthetic population (same ground-truth labels the paper's evaluation
+// tables verify against).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
+#include <optional>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,7 +22,9 @@
 #include "common/thread_pool.h"
 #include "core/parallel_scanner.h"
 #include "scenarios/population.h"
+#include "service/fault_injection.h"
 #include "service/monitor_service.h"
+#include "service/resilient_block_source.h"
 
 namespace leishen::service {
 namespace {
@@ -236,6 +244,34 @@ class MonitorServiceTest : public ::testing::Test {
 
   static std::string tmp_path(const std::string& name) {
     return testing::TempDir() + "service_test_" + name;
+  }
+
+  /// The population's receipts grouped into hash-linked blocks, exactly as
+  /// the simulated source delivers them — raw material for scripted reorg
+  /// schedules.
+  static std::vector<block> canonical_blocks() {
+    simulated_block_source src{u_->bc().receipts()};
+    std::vector<block> out;
+    while (auto b = src.next()) out.push_back(std::move(*b));
+    return out;
+  }
+
+  /// Index into `chain` of the block holding the reference run's last
+  /// incident — the block a scripted fork must orphan so the reorg provably
+  /// retracts delivered detections.
+  static std::size_t last_incident_block_index(
+      const std::vector<block>& chain, const core::scanner& reference) {
+    std::uint64_t incident_block = 0;
+    for (const chain::tx_receipt& r : u_->bc().receipts()) {
+      if (r.tx_index == reference.incidents().back().tx_index) {
+        incident_block = r.block_number;
+      }
+    }
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i].number == incident_block) idx = i;
+    }
+    return idx;
   }
 
   static scenarios::universe* u_;
@@ -513,6 +549,348 @@ TEST_F(MonitorServiceTest, DropWhenFullCountsDrops) {
   EXPECT_EQ(metrics.counter_value("monitor_blocks_ingested") + dropped,
             metrics.counter_value("monitor_blocks_processed") + dropped);
   EXPECT_GT(dropped, 0U);
+}
+
+// ---- fault tolerance: reorgs, poison receipts, dying sources ----------------
+
+/// Feeds a pre-built delivery schedule; a disengaged step makes that call
+/// throw (a transient upstream error).
+class scripted_block_source final : public block_source {
+ public:
+  explicit scripted_block_source(std::vector<std::optional<block>> steps)
+      : steps_{std::move(steps)} {}
+
+  std::optional<block> next() override {
+    if (cursor_ >= steps_.size()) return std::nullopt;
+    std::optional<block> s = steps_[cursor_++];
+    if (!s) throw std::runtime_error{"scripted upstream error"};
+    return s;
+  }
+
+ private:
+  std::vector<std::optional<block>> steps_;
+  std::size_t cursor_ = 0;
+};
+
+TEST(SimulatedSource, RejectsDecreasingBlockNumbers) {
+  chain::tx_receipt a;
+  a.block_number = 5;
+  a.tx_index = 0;
+  chain::tx_receipt b;
+  b.block_number = 4;  // goes backwards: precondition violated
+  b.tx_index = 1;
+  const std::vector<chain::tx_receipt> receipts{a, b};
+  EXPECT_THROW((simulated_block_source{receipts}), std::invalid_argument);
+}
+
+TEST_F(MonitorServiceTest, ReorgRollbackRetractsOrphanedIncidents) {
+  const core::scanner reference = batch_reference();
+  ASSERT_FALSE(reference.incidents().empty());
+  const std::vector<block> chain = canonical_blocks();
+  const std::size_t idx = last_incident_block_index(chain, reference);
+  constexpr std::size_t d = 3;
+  ASSERT_GE(idx, d);
+
+  // Schedule: the chain up to the incident block, a 3-deep fork orphaning
+  // it (identical receipts, fork-salted identities), the canonical blocks
+  // again (the canonical branch wins), then the rest of the chain. A
+  // duplicate delivery and an unlinkable stray ride along.
+  std::vector<std::optional<block>> steps;
+  for (std::size_t i = 0; i <= idx; ++i) {
+    steps.emplace_back(chain[i]);
+    if (i == 3) steps.emplace_back(chain[1]);  // duplicate: dropped silently
+  }
+  std::uint64_t parent = chain[idx - d].hash;
+  for (std::size_t i = idx - d + 1; i <= idx; ++i) {
+    block fork = chain[i];
+    fork.hash = block_link_hash(fork.number, /*fork_salt=*/77);
+    fork.parent_hash = parent;
+    parent = fork.hash;
+    steps.emplace_back(std::move(fork));
+  }
+  for (std::size_t i = idx - d + 1; i <= idx; ++i) steps.emplace_back(chain[i]);
+  for (std::size_t i = idx + 1; i < chain.size(); ++i) {
+    steps.emplace_back(chain[i]);
+  }
+  block stray;  // in/above the window but linking to nothing we know
+  stray.number = chain.back().number + 1;
+  stray.hash = block_link_hash(stray.number, 99);
+  stray.parent_hash = 0xDEADBEEF;
+  steps.emplace_back(std::move(stray));
+
+  const std::string feed = tmp_path("reorg.jsonl");
+  metrics_registry metrics;
+  jsonl_sink sink{feed};
+  monitor_service monitor = make_monitor(metrics, base_options());
+  monitor.add_sink(sink);
+  scripted_block_source source{std::move(steps)};
+  monitor.run(source);
+
+  // Net effect: exactly the canonical chain, bit-identical to the batch
+  // scanner — the fork's detections were emitted and then retracted.
+  EXPECT_EQ(monitor.stats(), reference.stats());
+  EXPECT_EQ(monitor.blocks_processed(), chain.size());
+  EXPECT_EQ(monitor.incidents_emitted(), reference.incidents().size());
+  EXPECT_EQ(monitor.last_block(), chain.back().number);
+
+  // The feed preserves the churn as tombstones but collapses to the
+  // canonical stream.
+  std::size_t tombstones = 0;
+  for (const auto& r : jsonl_sink::read_records(feed)) {
+    tombstones += r.retract ? 1 : 0;
+  }
+  EXPECT_GE(tombstones, 2U);  // fork arrival + canonical return
+  EXPECT_EQ(sink.retracted(), tombstones);
+  const std::vector<monitor_incident> collapsed = jsonl_sink::read(feed);
+  ASSERT_EQ(collapsed.size(), reference.incidents().size());
+  for (std::size_t i = 0; i < collapsed.size(); ++i) {
+    EXPECT_EQ(collapsed[i].incident, reference.incidents()[i]);
+  }
+
+  EXPECT_EQ(metrics.counter_value("reorgs_total"), 2U);
+  EXPECT_DOUBLE_EQ(metrics.get_gauge("reorg_depth").value(),
+                   static_cast<double>(d));
+  EXPECT_EQ(metrics.counter_value("monitor_duplicate_blocks"), 1U);
+  EXPECT_EQ(metrics.counter_value("monitor_unlinkable_blocks"), 1U);
+}
+
+TEST_F(MonitorServiceTest, CheckpointResumeRollsBackThroughRestart) {
+  const core::scanner reference = batch_reference();
+  ASSERT_FALSE(reference.incidents().empty());
+  const std::vector<block> chain = canonical_blocks();
+  const std::size_t idx = last_incident_block_index(chain, reference);
+  constexpr std::size_t d = 2;
+  ASSERT_GE(idx, d);
+
+  const std::string ckpt = tmp_path("reorg_resume.ckpt");
+  const std::string feed = tmp_path("reorg_resume.jsonl");
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".prev").c_str());
+
+  core::scan_stats stats_at_stop;
+  {  // First run: the chain up to and including the to-be-orphaned blocks.
+    metrics_registry metrics;
+    monitor_options opts = base_options();
+    opts.checkpoint_path = ckpt;
+    monitor_service monitor = make_monitor(metrics, opts);
+    jsonl_sink sink{feed};
+    monitor.add_sink(sink);
+    std::vector<std::optional<block>> steps;
+    for (std::size_t i = 0; i <= idx; ++i) steps.emplace_back(chain[i]);
+    scripted_block_source source{std::move(steps)};
+    monitor.run(source);
+    stats_at_stop = monitor.stats();
+    ASSERT_EQ(monitor.last_block(), chain[idx].number);
+  }
+
+  {  // Restarted run: the first delivery announces a 2-deep reorg orphaning
+     // blocks processed before the restart, so both the fork detection (the
+     // producer's chain window) and the retraction (the worker's journal)
+     // must come out of the checkpoint.
+    metrics_registry metrics;
+    monitor_options opts = base_options();
+    opts.checkpoint_path = ckpt;
+    monitor_service monitor = make_monitor(metrics, opts);
+    ASSERT_TRUE(monitor.resume_from_checkpoint());
+    EXPECT_EQ(monitor.stats(), stats_at_stop);
+    jsonl_sink sink{feed, /*append=*/true};
+    monitor.add_sink(sink);
+    std::vector<std::optional<block>> steps;
+    std::uint64_t parent = chain[idx - d].hash;
+    for (std::size_t i = idx - d + 1; i <= idx; ++i) {
+      block fork = chain[i];
+      fork.hash = block_link_hash(fork.number, /*fork_salt=*/55);
+      fork.parent_hash = parent;
+      parent = fork.hash;
+      steps.emplace_back(std::move(fork));
+    }
+    for (std::size_t i = idx - d + 1; i < chain.size(); ++i) {
+      steps.emplace_back(chain[i]);
+    }
+    scripted_block_source source{std::move(steps)};
+    monitor.run(source);
+    EXPECT_EQ(monitor.stats(), reference.stats());
+    EXPECT_EQ(metrics.counter_value("reorgs_total"), 2U);
+  }
+
+  // The stitched feed collapses to the uninterrupted canonical stream, and
+  // its audit trail shows the cross-restart retractions happened.
+  const std::vector<monitor_incident> collapsed = jsonl_sink::read(feed);
+  ASSERT_EQ(collapsed.size(), reference.incidents().size());
+  for (std::size_t i = 0; i < collapsed.size(); ++i) {
+    EXPECT_EQ(collapsed[i].incident, reference.incidents()[i]);
+  }
+  std::size_t tombstones = 0;
+  for (const auto& r : jsonl_sink::read_records(feed)) {
+    tombstones += r.retract ? 1 : 0;
+  }
+  EXPECT_GE(tombstones, 2U);
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".prev").c_str());
+}
+
+TEST_F(MonitorServiceTest, PoisonReceiptsAreQuarantinedNotFatal) {
+  const core::scanner reference = batch_reference();
+  std::vector<chain::tx_receipt> receipts = u_->bc().receipts();
+
+  const auto corrupt = [](std::uint64_t block_number, std::uint64_t tx_index,
+                          std::int64_t timestamp) {
+    chain::tx_receipt bad;
+    bad.block_number = block_number;
+    bad.timestamp = timestamp;
+    bad.tx_index = tx_index;
+    bad.description = "hand-rolled poison";
+    bad.success = true;
+    chain::call_record broken_call;
+    broken_call.method = "corrupted";
+    broken_call.depth = -1;  // fails structural validation
+    bad.events.emplace_back(broken_call);
+    return bad;
+  };
+  // One corrupt receipt inside the first block, one at the very end of the
+  // stream; block numbers stay nondecreasing either way.
+  const std::uint64_t first_block = receipts.front().block_number;
+  std::size_t end_of_first = 0;
+  while (end_of_first < receipts.size() &&
+         receipts[end_of_first].block_number == first_block) {
+    ++end_of_first;
+  }
+  receipts.insert(
+      receipts.begin() + static_cast<std::ptrdiff_t>(end_of_first),
+      corrupt(first_block, 1'000'001, receipts.front().timestamp));
+  receipts.push_back(corrupt(receipts.back().block_number, 1'000'002,
+                             receipts.back().timestamp));
+
+  const std::string dlq = tmp_path("dead_letter.jsonl");
+  metrics_registry metrics;
+  dead_letter_jsonl dead{dlq};
+  monitor_options opts = base_options();
+  opts.dead_letter = &dead;
+  std::vector<monitor_incident> seen;
+  callback_sink sink{[&](const monitor_incident& mi) { seen.push_back(mi); }};
+  monitor_service monitor = make_monitor(metrics, opts);
+  monitor.add_sink(sink);
+  simulated_block_source source{receipts};
+  monitor.run(source);
+
+  // Detection output is untouched by the quarantined receipts.
+  EXPECT_EQ(monitor.stats(), reference.stats());
+  ASSERT_EQ(seen.size(), reference.incidents().size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].incident, reference.incidents()[i]);
+  }
+
+  // Both poisons landed in the quarantine file with full context.
+  EXPECT_EQ(metrics.counter_value("poisoned_receipts_total"), 2U);
+  EXPECT_EQ(dead.written(), 2U);
+  const std::vector<dead_letter_entry> entries = dead_letter_jsonl::read(dlq);
+  ASSERT_EQ(entries.size(), 2U);
+  EXPECT_EQ(entries[0].block_number, first_block);
+  EXPECT_EQ(entries[0].tx_index, 1'000'001U);
+  EXPECT_EQ(entries[0].description, "hand-rolled poison");
+  EXPECT_FALSE(entries[0].error.empty());
+  EXPECT_EQ(entries[1].tx_index, 1'000'002U);
+}
+
+TEST_F(MonitorServiceTest, ProducerSurvivesThrowingSource) {
+  const std::vector<block> chain = canonical_blocks();
+  ASSERT_GE(chain.size(), 3U);
+  metrics_registry metrics;
+  monitor_service monitor = make_monitor(metrics, base_options());
+  std::vector<std::optional<block>> steps;
+  steps.emplace_back(chain[0]);
+  steps.emplace_back(chain[1]);
+  steps.emplace_back(std::nullopt);  // the upstream dies here
+  steps.emplace_back(chain[2]);      // never reached
+  scripted_block_source source{std::move(steps)};
+  monitor.run(source);  // a throwing source ends the stream, not the process
+
+  EXPECT_EQ(metrics.counter_value("source_errors_total"), 1U);
+  EXPECT_EQ(monitor.blocks_processed(), 2U);
+  EXPECT_EQ(monitor.last_block(), chain[1].number);
+  EXPECT_TRUE(monitor.queue().closed());
+}
+
+TEST_F(MonitorServiceTest, WorkerRestartsAfterSinkFailure) {
+  const core::scanner reference = batch_reference();
+  // The restart semantics below need incidents spread over >= 2 blocks
+  // (the crash loses the in-flight block; later ones must still flow).
+  std::set<std::uint64_t> incident_blocks;
+  for (const chain::tx_receipt& r : u_->bc().receipts()) {
+    for (const core::incident& inc : reference.incidents()) {
+      if (inc.tx_index == r.tx_index) incident_blocks.insert(r.block_number);
+    }
+  }
+  ASSERT_GE(incident_blocks.size(), 2U);
+
+  metrics_registry metrics;
+  monitor_service monitor = make_monitor(metrics, base_options());
+  std::atomic<int> calls{0};
+  callback_sink bomb{[&](const monitor_incident&) {
+    if (calls.fetch_add(1) == 0) throw std::runtime_error{"sink exploded"};
+  }};
+  monitor.add_sink(bomb);
+  simulated_block_source source{u_->bc().receipts()};
+  monitor.run(source);  // survives: the worker was restarted
+
+  EXPECT_EQ(metrics.counter_value("monitor_worker_restarts"), 1U);
+  // The in-flight block's remaining emissions are lost with the crash (its
+  // stats were already merged), but everything after it flowed.
+  EXPECT_LT(monitor.incidents_emitted(), reference.stats().incidents);
+  EXPECT_GT(monitor.incidents_emitted(), 0U);
+}
+
+TEST_F(MonitorServiceTest, WorkerRestartBudgetExhaustionSurfacesInWait) {
+  metrics_registry metrics;
+  monitor_options opts = base_options();
+  opts.max_worker_restarts = 1;
+  monitor_service monitor = make_monitor(metrics, opts);
+  callback_sink bomb{[](const monitor_incident&) -> void {
+    throw std::runtime_error{"sink always explodes"};
+  }};
+  monitor.add_sink(bomb);
+  simulated_block_source source{u_->bc().receipts()};
+  EXPECT_THROW(monitor.run(source), std::runtime_error);
+  EXPECT_EQ(metrics.counter_value("monitor_worker_restarts"), 1U);
+}
+
+TEST_F(MonitorServiceTest, StressStopDuringFaultyFailoverIngest) {
+  // Concurrent request_stop while the producer is mid-retry/failover and
+  // the worker is mid-rollback: must neither race nor deadlock. (Run under
+  // TSan via the `service` ctest label.)
+  for (int round = 0; round < 4; ++round) {
+    metrics_registry metrics;
+    monitor_options opts = base_options();
+    opts.queue_capacity = 2;
+    monitor_service monitor = make_monitor(metrics, opts);
+    simulated_block_source base{u_->bc().receipts()};
+    fault_injection_options fopts;
+    fopts.seed = 100 + static_cast<std::uint64_t>(round);
+    fopts.timeout_rate = 0.2;
+    fopts.error_rate = 0.2;
+    fopts.duplicate_rate = 0.2;
+    fopts.reorder_rate = 0.1;
+    fopts.reorg_rate = 0.1;
+    fopts.poison_rate = 0.1;
+    fault_injecting_block_source faulty{base, fopts};
+    broken_block_source broken;
+    resilient_source_options ropts;
+    ropts.seed = static_cast<std::uint64_t>(round);
+    ropts.max_retries = 3;
+    ropts.circuit_failure_threshold = 2;
+    ropts.sleeper = [](std::chrono::microseconds) {};
+    resilient_block_source source{{&broken, &faulty}, ropts, &metrics};
+
+    monitor.start(source);
+    std::thread stopper{[&, round] {
+      std::this_thread::sleep_for(std::chrono::microseconds{200 * round});
+      monitor.request_stop();
+    }};
+    monitor.wait();
+    stopper.join();
+    // Whatever was processed before the stop is internally consistent.
+    EXPECT_EQ(monitor.incidents_emitted(), monitor.stats().incidents);
+  }
 }
 
 // ---- metrics registry -------------------------------------------------------

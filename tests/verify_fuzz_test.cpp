@@ -69,10 +69,43 @@ void run_shard(std::uint64_t shard) {
   }
 }
 
+/// One population through the oracle with the fault path isolated: no
+/// parallel grid (the other shards cover it) and a fresh fault schedule
+/// per population, so this shard sweeps the reorg/poison/failover space
+/// instead of re-running the same fault seed 55 times.
+void check_fault_seed(std::uint64_t seed) {
+  const generated_population pop = generate_receipts(seed, fuzz_options());
+  const synthetic_world& w = *pop.world;
+  diff_options opts;
+  opts.parallel_configs.clear();
+  opts.fault_seed = 0xFA000 + seed * 7919;
+  const diff_engine differ{w.creations, w.labels, w.weth_token, opts};
+  const diff_result result = differ.run(pop.receipts);
+  if (!result.ok()) {
+    const auto& d = result.divergences.front();
+    const shrink_result res = shrink_population(
+        pop, [&](const std::vector<chain::tx_receipt>& rs) {
+          return !differ.run(rs).ok();
+        });
+    ADD_FAILURE() << "seed " << seed << ": engine " << d.engine
+                  << " diverges at block " << d.block_number << " tx "
+                  << d.tx_index << " [" << d.field << "] " << d.detail
+                  << "\nshrunken fixture (" << res.minimal.size()
+                  << " tx):\n" << res.fixture_code;
+  }
+}
+
 TEST(VerifyFuzz, Shard0) { run_shard(0); }
 TEST(VerifyFuzz, Shard1) { run_shard(1); }
 TEST(VerifyFuzz, Shard2) { run_shard(2); }
 TEST(VerifyFuzz, Shard3) { run_shard(3); }
+
+TEST(VerifyFuzz, FaultShard) {
+  for (std::uint64_t i = 0; i < kSeedsPerShard; ++i) {
+    check_fault_seed(1 + i);
+    if (::testing::Test::HasFailure()) return;
+  }
+}
 
 }  // namespace
 }  // namespace leishen::verify
