@@ -50,11 +50,10 @@ int main() {
   std::printf("\n(b) tagged asset transfers (account tagging, §V-B1)\n");
   for (std::size_t i = 0; i < report.tagged_transfers.size(); ++i) {
     const auto& t = report.tagged_transfers[i];
-    const std::string from = t.from_tag.size() > 14
-                                 ? t.from_tag.substr(0, 6) + ".."
-                                 : t.from_tag;
-    const std::string to =
-        t.to_tag.size() > 14 ? t.to_tag.substr(0, 6) + ".." : t.to_tag;
+    const std::string& ft = t.from_tag.str();
+    const std::string& tt = t.to_tag.str();
+    const std::string from = ft.size() > 14 ? ft.substr(0, 6) + ".." : ft;
+    const std::string to = tt.size() > 14 ? tt.substr(0, 6) + ".." : tt;
     std::printf("  tagT%-3zu %-12s -> %-12s : %s %s\n", i + 1, from.c_str(),
                 to.c_str(), amount_str(t.amount).c_str(),
                 asset_name(u, t.token).c_str());
@@ -65,11 +64,10 @@ int main() {
               "merged)\n");
   for (std::size_t i = 0; i < report.app_transfers.size(); ++i) {
     const auto& t = report.app_transfers[i];
-    const std::string from = t.from_tag.size() > 14
-                                 ? t.from_tag.substr(0, 6) + ".."
-                                 : t.from_tag;
-    const std::string to =
-        t.to_tag.size() > 14 ? t.to_tag.substr(0, 6) + ".." : t.to_tag;
+    const std::string& ft = t.from_tag.str();
+    const std::string& tt = t.to_tag.str();
+    const std::string from = ft.size() > 14 ? ft.substr(0, 6) + ".." : ft;
+    const std::string to = tt.size() > 14 ? tt.substr(0, 6) + ".." : tt;
     std::printf("  appT%-3zu %-12s -> %-12s : %s %s\n", i + 1, from.c_str(),
                 to.c_str(), amount_str(t.amount).c_str(),
                 asset_name(u, t.token).c_str());

@@ -1,9 +1,14 @@
 // Whole-chain scan throughput: serial vs parallel engine at 1/2/4/8 worker
 // threads, plus the serial prefilter fast-path win. Every configuration is
 // first checked (untimed) for bit-identical incidents against the serial
-// reference, then timed as best-of-R construction+scan. Emits
-// machine-readable BENCH_scan.json (path overridable with --out) so the
-// tx/s trajectory is trackable.
+// reference, then timed as best-of-R over the scan ONLY: engines are
+// constructed once outside the timed region and reuse their warmed-up
+// per-worker pipeline buffers and tagging memos, mirroring how a long-lived
+// monitor actually runs (and keeping one-time thread-pool spawn out of the
+// per-scan numbers). Emits machine-readable BENCH_scan.json (path
+// overridable with --out) so the tx/s trajectory is trackable, including a
+// steady-state heap-allocation count per transaction (operator-new hook)
+// and a per-stage ns/tx breakdown from the scan-stage observer.
 //
 // The corpus is the known attacks + synthetic population, optionally
 // diluted with `--noise N` plain ERC20 transfer transactions (default
@@ -12,15 +17,64 @@
 // dilution, so the undiluted corpus (43% flash loans) would misstate it.
 //
 // Usage: bench_throughput [--benign N] [--noise N] [--reps R] [--out FILE]
+//                         [--floor-file FILE]
+// --floor-file points at a text file holding the checked-in serial
+// (prefilter) tx/s floor; the run fails (exit 3) if measured throughput
+// drops below 80% of it. That is the `bench-smoke` ctest guard.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/parallel_scanner.h"
 #include "scenarios/known_attacks.h"
+
+// ---- allocation counter -----------------------------------------------------
+// Replaces global operator new/delete with counting forms. The counter is a
+// relaxed atomic bump over malloc, cheap enough to leave permanently on;
+// steady-state allocation per scan is the delta across a warmed-up scan.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                                   (n + static_cast<std::size_t>(al) - 1) /
+                                       static_cast<std::size_t>(al) *
+                                       static_cast<std::size_t>(al))) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 using namespace leishen;
 
@@ -50,19 +104,6 @@ std::string arg_str(int argc, char** argv, const std::string& flag,
   return fallback;
 }
 
-/// Best-of-R wall time of `fn` in seconds.
-template <typename Fn>
-double best_of(int reps, Fn&& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
-  }
-  return best;
-}
-
 /// Dilute the corpus with plain token-transfer transactions (the dominant
 /// mainnet traffic shape the scanners must skip cheaply).
 void add_noise_txs(scenarios::universe& u, int count) {
@@ -81,6 +122,18 @@ void add_noise_txs(scenarios::universe& u, int count) {
   }
 }
 
+/// Per-stage time accumulator (thread-safe: shared by parallel workers).
+struct stage_accum final : core::scan_stage_observer {
+  std::atomic<std::uint64_t> ns[3]{};
+  std::atomic<std::uint64_t> calls[3]{};
+  void on_stage(core::scan_stage stage, double seconds) override {
+    const int i = static_cast<int>(stage);
+    ns[i].fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                    std::memory_order_relaxed);
+    calls[i].fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,6 +142,7 @@ int main(int argc, char** argv) {
   // atoi turns garbage into 0; a zero-rep best-of would print sentinels.
   const int reps = std::max(1, arg_int(argc, argv, "--reps", 5));
   const std::string out_path = arg_str(argc, argv, "--out", "BENCH_scan.json");
+  const std::string floor_file = arg_str(argc, argv, "--floor-file", "");
 
   scenarios::universe u;
   scenarios::run_known_attacks(u);
@@ -97,7 +151,8 @@ int main(int argc, char** argv) {
   const scenarios::population pop = generate_population(u, pparams);
   add_noise_txs(u, noise);
   const auto& receipts = u.bc().receipts();
-  const double n_tx = static_cast<double>(receipts.size());
+  const std::size_t n = receipts.size();
+  const double n_tx = static_cast<double>(n);
 
   core::scanner_options base;
   base.yield_aggregator_apps = pop.aggregator_apps;
@@ -110,40 +165,57 @@ int main(int argc, char** argv) {
   reference.scan_all(receipts, nullptr);
 
   std::vector<timing> rows;
+  // One thunk per row, executing exactly one steady-state scan. Engines
+  // live behind shared_ptrs captured by their thunk.
+  std::vector<std::function<void()>> one_scan;
+  double allocs_per_tx = 0.0;  // steady-state, serial+prefilter row
 
-  const auto serial_row = [&](const std::string& name,
+  const auto add_serial = [&](const std::string& name,
                               const core::scanner_options& opts,
                               bool check_full_stats) {
     timing t;
     t.name = name;
     t.threads = 1;
-    {
-      core::scanner s{u.bc().creations(), u.labels(), u.weth().id(), opts};
-      s.scan_all(receipts, nullptr);
-      t.deterministic =
-          s.incidents() == reference.incidents() &&
-          (check_full_stats ? s.stats() == reference.stats()
-                            : s.stats().incidents ==
-                                  reference.stats().incidents);
+    // Constructed once; the first (untimed) pass checks determinism and
+    // warms the tagging memo and pipeline buffers.
+    auto s = std::make_shared<core::scanner>(u.bc().creations(), u.labels(),
+                                             u.weth().id(), opts);
+    auto incidents = std::make_shared<std::vector<core::incident>>();
+    core::scan_stats stats;
+    s->scan_range(receipts, 0, n, stats, *incidents);
+    t.deterministic =
+        *incidents == reference.incidents() &&
+        (check_full_stats ? stats == reference.stats()
+                          : stats.incidents == reference.stats().incidents);
+    if (check_full_stats) {
+      // Steady-state allocation count across one warmed-up scan.
+      core::scan_stats st2;
+      incidents->clear();
+      const std::uint64_t a0 = g_alloc_count.load(std::memory_order_relaxed);
+      s->scan_range(receipts, 0, n, st2, *incidents);
+      const std::uint64_t a1 = g_alloc_count.load(std::memory_order_relaxed);
+      allocs_per_tx = static_cast<double>(a1 - a0) / n_tx;
     }
-    t.best_seconds = best_of(reps, [&] {
-      core::scanner s{u.bc().creations(), u.labels(), u.weth().id(), opts};
-      s.scan_all(receipts, nullptr);
-    });
     rows.push_back(t);
+    one_scan.push_back([s, incidents, &receipts, n] {
+      core::scan_stats st;
+      incidents->clear();  // keeps capacity: no growth after the warm pass
+      s->scan_range(receipts, 0, n, st, *incidents);
+    });
   };
 
   // Serial without the prefilter: the pre-optimization baseline
   // (prefilter_rejects necessarily differs, so only incidents are compared).
   auto no_prefilter = base;
   no_prefilter.prefilter = false;
-  serial_row("serial", no_prefilter, /*check_full_stats=*/false);
-  const double baseline = rows.front().best_seconds;
+  add_serial("serial", no_prefilter, /*check_full_stats=*/false);
 
   // Serial with the prefilter fast path.
-  serial_row("serial+prefilter", base, /*check_full_stats=*/true);
+  add_serial("serial+prefilter", base, /*check_full_stats=*/true);
 
-  // Parallel engine at 1/2/4/8 worker threads (prefilter + shared cache on).
+  // Parallel engine at 1/2/4/8 worker threads (prefilter + shared cache
+  // on). Each engine is constructed once — its thread pool and per-worker
+  // scanners are reused by every timed scan, like a resident service.
   for (const unsigned threads : {1U, 2U, 4U, 8U}) {
     core::parallel_scanner_options popts;
     popts.scan = base;
@@ -151,20 +223,80 @@ int main(int argc, char** argv) {
     timing t;
     t.name = "parallel";
     t.threads = threads;
-    {
-      core::parallel_scanner ps{u.bc().creations(), u.labels(),
-                                u.weth().id(), popts};
-      ps.scan_all(receipts);
-      t.deterministic = ps.incidents() == reference.incidents() &&
-                        ps.stats() == reference.stats();
-    }
-    t.best_seconds = best_of(reps, [&] {
-      core::parallel_scanner ps{u.bc().creations(), u.labels(),
-                                u.weth().id(), popts};
-      ps.scan_all(receipts);
-    });
+    auto ps = std::make_shared<core::parallel_scanner>(
+        u.bc().creations(), u.labels(), u.weth().id(), popts);
+    ps->scan_all(receipts);
+    t.deterministic = ps->incidents() == reference.incidents() &&
+                      ps->stats() == reference.stats();
     rows.push_back(t);
+    one_scan.push_back([ps, &receipts] { ps->scan_all(receipts); });
   }
+
+  // Timing: reps are interleaved round-robin across every configuration so
+  // slow machine drift (thermal, cgroup throttling) lands on all rows
+  // equally instead of biasing whichever row ran last.
+  {
+    std::vector<double> best(rows.size(), 1e300);
+    for (int r = 0; r < reps; ++r) {
+      for (std::size_t i = 0; i < one_scan.size(); ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        one_scan[i]();
+        const auto t1 = std::chrono::steady_clock::now();
+        best[i] = std::min(
+            best[i], std::chrono::duration<double>(t1 - t0).count());
+      }
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      rows[i].best_seconds = best[i];
+    }
+  }
+  const double baseline = rows.front().best_seconds;
+
+  // Dispatch-overhead metric: one instrumented width-1 engine (untimed).
+  double chunk_setup_us = 0.0;
+  {
+    stage_accum acc;
+    core::parallel_scanner_options iopts;
+    iopts.scan = base;
+    iopts.scan.stage_observer = &acc;
+    iopts.threads = 1;
+    core::parallel_scanner ips{u.bc().creations(), u.labels(), u.weth().id(),
+                               iopts};
+    ips.scan_all(receipts);
+    ips.scan_all(receipts);  // second scan = steady state
+    const int cs = static_cast<int>(core::scan_stage::chunk_setup);
+    if (acc.calls[cs] > 0) {
+      chunk_setup_us = static_cast<double>(acc.ns[cs]) /
+                       static_cast<double>(acc.calls[cs]) / 1e3;
+    }
+  }
+
+  // Per-stage breakdown: one instrumented serial scan (untimed — the
+  // per-receipt clock reads would distort the throughput rows).
+  stage_accum stage;
+  auto instr = base;
+  instr.stage_observer = &stage;
+  core::scanner is{u.bc().creations(), u.labels(), u.weth().id(), instr};
+  {
+    core::scan_stats st;
+    std::vector<core::incident> inc;
+    is.scan_range(receipts, 0, n, st, inc);  // warm
+    st = {};
+    inc.clear();
+    for (int i = 0; i < 3; ++i) {
+      stage.ns[i] = 0;
+      stage.calls[i] = 0;
+    }
+    is.scan_range(receipts, 0, n, st, inc);
+  }
+  const double prefilter_ns_per_tx =
+      static_cast<double>(
+          stage.ns[static_cast<int>(core::scan_stage::prefilter)]) /
+      n_tx;
+  const double pipeline_ns_per_tx =
+      static_cast<double>(
+          stage.ns[static_cast<int>(core::scan_stage::pipeline)]) /
+      n_tx;
 
   for (timing& t : rows) {
     t.tx_per_s = n_tx / t.best_seconds;
@@ -173,11 +305,16 @@ int main(int argc, char** argv) {
 
   bench::print_header("Scan throughput (serial vs parallel block pipeline)");
   std::printf("corpus: %zu receipts (%llu flash loans, %llu incidents, "
-              "%d noise txs), hardware threads: %u, best of %d reps\n\n",
+              "%d noise txs), hardware threads: %u, best of %d reps\n",
               receipts.size(),
               static_cast<unsigned long long>(reference.stats().flash_loans),
               static_cast<unsigned long long>(reference.stats().incidents),
               noise, thread_pool::hardware_threads(), reps);
+  std::printf("steady state: %.2f heap allocations / tx; "
+              "prefilter %.0f ns/tx, pipeline %.0f ns/tx (all receipts), "
+              "parallel dispatch %.1f us/scan\n\n",
+              allocs_per_tx, prefilter_ns_per_tx, pipeline_ns_per_tx,
+              chunk_setup_us);
   std::printf("%-18s %8s %12s %12s %9s %6s\n", "engine", "threads", "ms/scan",
               "tx/s", "speedup", "same?");
   for (const timing& t : rows) {
@@ -204,6 +341,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(reference.stats().flash_loans),
       static_cast<unsigned long long>(reference.stats().incidents),
       static_cast<unsigned long long>(reference.stats().prefilter_rejects));
+  std::fprintf(f,
+               "  \"steady_state\": {\"allocations_per_tx\": %.3f, "
+               "\"prefilter_ns_per_tx\": %.1f, \"pipeline_ns_per_tx\": %.1f, "
+               "\"parallel_dispatch_us_per_scan\": %.2f},\n",
+               allocs_per_tx, prefilter_ns_per_tx, pipeline_ns_per_tx,
+               chunk_setup_us);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const timing& t = rows[i];
@@ -223,5 +366,33 @@ int main(int argc, char** argv) {
                                   [](const timing& t) {
                                     return t.deterministic;
                                   });
-  return all_ok ? 0 : 1;
+  if (!all_ok) return 1;
+
+  if (!floor_file.empty()) {
+    std::FILE* ff = std::fopen(floor_file.c_str(), "r");
+    if (ff == nullptr) {
+      std::fprintf(stderr, "floor file %s is unreadable\n",
+                   floor_file.c_str());
+      return 4;
+    }
+    double floor_txps = 0.0;
+    const int got = std::fscanf(ff, "%lf", &floor_txps);
+    std::fclose(ff);
+    if (got != 1 || floor_txps <= 0.0) {
+      std::fprintf(stderr, "floor file %s holds no positive number\n",
+                   floor_file.c_str());
+      return 4;
+    }
+    const auto it = std::find_if(rows.begin(), rows.end(), [](const timing& t) {
+      return t.name == "serial+prefilter";
+    });
+    const double measured = it->tx_per_s;
+    const double limit = 0.8 * floor_txps;
+    std::printf("floor check: serial+prefilter %.0f tx/s vs floor %.0f "
+                "(fail below %.0f): %s\n",
+                measured, floor_txps, limit,
+                measured >= limit ? "ok" : "REGRESSION");
+    if (measured < limit) return 3;
+  }
+  return 0;
 }

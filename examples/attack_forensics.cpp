@@ -62,8 +62,8 @@ int main(int argc, char** argv) {
   std::cout << "[3] tagged + simplified -> " << report.app_transfers.size()
             << " application-level transfers:\n";
   for (const auto& t : report.app_transfers) {
-    std::cout << "    " << short_tag(t.from_tag) << " -> "
-              << short_tag(t.to_tag) << " : "
+    std::cout << "    " << short_tag(t.from_tag.str()) << " -> "
+              << short_tag(t.to_tag.str()) << " : "
               << (t.amount / u256::pow10(15)).to_decimal() << "m"
               << asset_name(u, t.token) << "\n";
   }

@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
       if (!patterns.empty()) patterns += "+";
       patterns += core::to_string(m.pattern);
     }
-    std::string victim = inc.matches.front().counterparty;
+    std::string victim = inc.matches.front().counterparty.str();
     if (victim.size() > 16) victim = victim.substr(0, 13) + "...";
     std::cout << date_label(inc.timestamp) << "  block " << std::setw(8)
               << mi.block_number << "  tx#" << std::setw(6) << inc.tx_index

@@ -1,0 +1,67 @@
+#include "common/interner.h"
+
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+
+namespace leishen {
+
+string_interner::~string_interner() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t string_interner::intern(std::string_view s) {
+  {
+    const std::shared_lock lk{mu_};
+    const auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+  }
+  const std::unique_lock lk{mu_};
+  // Re-check: another thread may have interned s between the locks.
+  const auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  const std::uint32_t id = count_.load(std::memory_order_relaxed);
+  const std::size_t ci = id / kChunkSize;
+  if (ci >= kMaxChunks) {
+    throw std::length_error{"string_interner: table full"};
+  }
+  chunk* c = chunks_[ci].load(std::memory_order_relaxed);
+  if (c == nullptr) {
+    c = new chunk{};
+    chunks_[ci].store(c, std::memory_order_release);
+  }
+  std::string& stored = (*c)[id % kChunkSize];
+  stored.assign(s);
+  ids_.emplace(std::string_view{stored}, id);
+  // Publish: readers that observe count_ > id also observe the stored
+  // string and its chunk pointer (release/acquire on count_).
+  count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+const std::string& string_interner::resolve(std::uint32_t id) const {
+  if (id >= count_.load(std::memory_order_acquire)) {
+    throw std::out_of_range{"string_interner::resolve: unknown id"};
+  }
+  const chunk* c = chunks_[id / kChunkSize].load(std::memory_order_acquire);
+  return (*c)[id % kChunkSize];
+}
+
+string_interner& tag_interner() {
+  static string_interner interner;
+  static const bool seeded = [] {
+    interner.intern("");           // kEmptyTagId
+    interner.intern("BlackHole");  // kBlackHoleTagId
+    return true;
+  }();
+  (void)seeded;
+  return interner;
+}
+
+std::ostream& operator<<(std::ostream& os, tag_id t) {
+  return os << t.str();
+}
+
+}  // namespace leishen

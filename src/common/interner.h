@@ -1,0 +1,161 @@
+// Global string interning: application tags and other hot-path identities
+// as 32-bit ids.
+//
+// The detection pipeline compares application tags millions of times per
+// scan (intra-app filtering, pass-through merging, trade matching, pattern
+// grouping). Carrying them as std::string means every transfer lift copies
+// two heap strings and every comparison is a memcmp. Interning maps each
+// distinct tag string to a dense 32-bit id exactly once; from then on the
+// hot path moves and compares 4-byte handles, and the string materializes
+// only at report/sink boundaries (JSONL, console reports, forensics).
+//
+// Id assignment is first-come-first-served, so ids are stable and
+// comparable *within one process* but carry no meaning across processes —
+// everything serialized stores the resolved string, and deserialization
+// re-interns. Interned strings are never freed: the table only grows, and
+// `resolve()` returns references that stay valid for the process lifetime.
+// The global tag interner is pre-seeded so well-known tags have fixed ids
+// (`kEmptyTagId`, `kBlackHoleTagId`).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace leishen {
+
+/// Thread-safe append-only string table: string -> dense u32 id and back.
+///
+/// `intern` of an already-known string takes a shared lock on the id map;
+/// the first intern of a new string takes a unique lock. `resolve` is
+/// lock-free: storage is an array of fixed-size chunks whose pointers are
+/// published with release stores after the entry is fully constructed, so
+/// readers only ever see completed strings and references stay valid for
+/// the interner's lifetime (chunks are never moved or freed).
+class string_interner {
+ public:
+  /// Strings per storage chunk and maximum chunk count. The table is
+  /// append-only, so capacity is kChunkSize * kMaxChunks distinct strings
+  /// (= 2^26); exceeding it throws rather than silently recycling ids.
+  static constexpr std::size_t kChunkSize = 4096;
+  static constexpr std::size_t kMaxChunks = 16384;
+
+  string_interner() = default;
+  ~string_interner();
+  string_interner(const string_interner&) = delete;
+  string_interner& operator=(const string_interner&) = delete;
+
+  /// Id of `s`, interning it on first sight.
+  std::uint32_t intern(std::string_view s);
+
+  /// The string for a previously returned id. Lock-free; the reference
+  /// stays valid for the interner's lifetime. Out-of-range ids throw
+  /// std::out_of_range — ids are only ever produced by `intern`, so that
+  /// is a logic error.
+  [[nodiscard]] const std::string& resolve(std::uint32_t id) const;
+
+  /// Number of distinct strings interned so far.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  using chunk = std::array<std::string, kChunkSize>;
+
+  mutable std::shared_mutex mu_;  // guards ids_ and chunk allocation
+  // Keys are views into chunk entries; chunks never move or shrink.
+  std::unordered_map<std::string_view, std::uint32_t> ids_;
+  std::array<std::atomic<chunk*>, kMaxChunks> chunks_{};
+  std::atomic<std::uint32_t> count_{0};
+};
+
+/// The process-global interner behind `tag_id`. Pre-seeded in fixed order:
+/// id 0 = "" and id 1 = "BlackHole", so those two ids are process-invariant
+/// constants the hot path can compare against directly.
+[[nodiscard]] string_interner& tag_interner();
+
+inline constexpr std::uint32_t kEmptyTagId = 0;
+inline constexpr std::uint32_t kBlackHoleTagId = 1;
+
+/// A 32-bit handle to a string in the global tag interner.
+///
+/// Implicitly constructible from any string form (interning it), so
+/// existing code that assigns string literals into tag fields keeps
+/// working; rendering back to text is explicit via `str()`, which keeps
+/// accidental string materialization out of the hot path. Equality is an
+/// integer compare. `operator<` orders by raw id — stable within a process
+/// but NOT lexicographic; anywhere ordering is user-visible (sorted report
+/// tables, deterministic map iteration feeding output), order through
+/// `tag_id::lex_less` instead.
+class tag_id {
+ public:
+  constexpr tag_id() noexcept = default;  // the empty tag, id 0
+  tag_id(std::string_view s) : id_{tag_interner().intern(s)} {}  // NOLINT(google-explicit-constructor)
+  tag_id(const std::string& s) : tag_id{std::string_view{s}} {}  // NOLINT(google-explicit-constructor)
+  tag_id(const char* s) : tag_id{std::string_view{s}} {}         // NOLINT(google-explicit-constructor)
+
+  static constexpr tag_id from_raw(std::uint32_t id) noexcept {
+    tag_id t;
+    t.id_ = id;
+    return t;
+  }
+  [[nodiscard]] constexpr std::uint32_t raw() const noexcept { return id_; }
+
+  /// The interned string; valid for the process lifetime. Lock-free.
+  [[nodiscard]] const std::string& str() const {
+    return tag_interner().resolve(id_);
+  }
+
+  /// True for the empty tag (default-constructed / interned "").
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return id_ == kEmptyTagId;
+  }
+
+  friend constexpr bool operator==(tag_id a, tag_id b) noexcept = default;
+  /// Raw-id order: arbitrary but process-stable. See class comment.
+  friend constexpr bool operator<(tag_id a, tag_id b) noexcept {
+    return a.id_ < b.id_;
+  }
+
+  // Deliberately no (tag_id, string) comparison overloads: a string operand
+  // converts through the implicit interning constructor, so mixed compares
+  // work and stay a single integer compare afterwards. A dedicated overload
+  // would be ambiguous with that conversion.
+
+  /// Lexicographic comparator over the resolved strings, for user-visible
+  /// orderings (sorted tables, map iteration that feeds reports).
+  struct lex_less {
+    bool operator()(tag_id a, tag_id b) const { return a.str() < b.str(); }
+  };
+
+  friend std::ostream& operator<<(std::ostream& os, tag_id t);
+
+ private:
+  std::uint32_t id_ = kEmptyTagId;
+};
+
+struct tag_id_hash {
+  std::size_t operator()(tag_id t) const noexcept {
+    // Integer finalizer (splitmix64 tail) over the raw id.
+    std::uint64_t h = t.raw();
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+}  // namespace leishen
+
+template <>
+struct std::hash<leishen::tag_id> {
+  std::size_t operator()(leishen::tag_id t) const noexcept {
+    return leishen::tag_id_hash{}(t);
+  }
+};

@@ -8,9 +8,21 @@
 namespace leishen {
 namespace {
 
-// Compare a1*b2 vs a2*b1 exactly in 512-bit space.
+// Compare a1*b2 vs a2*b1 exactly. Rates built from single-limb amounts are
+// the common case (every noise-level token transfer), so when all four
+// operands fit one limb the products are compared in 128-bit space; any
+// wider operand escapes to the full 512-bit cross multiplication. Both
+// paths are exact, so the verdict is identical.
 int cmp_products(const u256& a1, const u256& b2, const u256& a2,
                  const u256& b1) {
+  if (a1.fits_u64() && b2.fits_u64() && a2.fits_u64() && b1.fits_u64()) {
+    const unsigned __int128 x =
+        static_cast<unsigned __int128>(a1.limb(0)) * b2.limb(0);
+    const unsigned __int128 y =
+        static_cast<unsigned __int128>(a2.limb(0)) * b1.limb(0);
+    if (x != y) return x < y ? -1 : 1;
+    return 0;
+  }
   const auto x = u256::wide_mul(a1, b2);
   const auto y = u256::wide_mul(a2, b1);
   if (x.hi != y.hi) return x.hi < y.hi ? -1 : 1;

@@ -155,19 +155,19 @@ std::optional<u256> u256::checked_mul(const u256& o) const noexcept {
   return u256{full[0], full[1], full[2], full[3]};
 }
 
-u256 operator+(const u256& a, const u256& b) {
+u256 u256::add_slow(const u256& a, const u256& b) {
   auto r = a.checked_add(b);
   if (!r) throw arithmetic_error("u256 addition overflow");
   return *r;
 }
 
-u256 operator-(const u256& a, const u256& b) {
+u256 u256::sub_slow(const u256& a, const u256& b) {
   auto r = a.checked_sub(b);
   if (!r) throw arithmetic_error("u256 subtraction underflow");
   return *r;
 }
 
-u256 operator*(const u256& a, const u256& b) {
+u256 u256::mul_slow(const u256& a, const u256& b) {
   auto r = a.checked_mul(b);
   if (!r) throw arithmetic_error("u256 multiplication overflow");
   return *r;

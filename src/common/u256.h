@@ -76,9 +76,37 @@ class u256 {
   [[nodiscard]] std::optional<u256> checked_mul(const u256& o) const noexcept;
 
   // -- throwing arithmetic --------------------------------------------------
-  friend u256 operator+(const u256& a, const u256& b);
-  friend u256 operator-(const u256& a, const u256& b);
-  friend u256 operator*(const u256& a, const u256& b);
+  // Token amounts are dominated by values that fit one limb (wei amounts up
+  // to ~18.4 ETH, share counts, unscaled balances), so + - * carry an
+  // inline single-limb fast path; anything that might carry into limb 1
+  // (including a u64+u64 sum that wraps) escapes to the full 256-bit
+  // routines, which alone decide overflow. Semantics are bit-identical to
+  // the slow path.
+  friend u256 operator+(const u256& a, const u256& b) {
+    if (((a.limbs_[1] | a.limbs_[2] | a.limbs_[3]) |
+         (b.limbs_[1] | b.limbs_[2] | b.limbs_[3])) == 0) {
+      const std::uint64_t s = a.limbs_[0] + b.limbs_[0];
+      if (s >= a.limbs_[0]) return u256{s};  // no carry into limb 1
+    }
+    return add_slow(a, b);
+  }
+  friend u256 operator-(const u256& a, const u256& b) {
+    if (((a.limbs_[1] | a.limbs_[2] | a.limbs_[3]) |
+         (b.limbs_[1] | b.limbs_[2] | b.limbs_[3])) == 0) {
+      if (a.limbs_[0] >= b.limbs_[0]) return u256{a.limbs_[0] - b.limbs_[0]};
+    }
+    return sub_slow(a, b);
+  }
+  friend u256 operator*(const u256& a, const u256& b) {
+    if (((a.limbs_[1] | a.limbs_[2] | a.limbs_[3]) |
+         (b.limbs_[1] | b.limbs_[2] | b.limbs_[3])) == 0) {
+      const unsigned __int128 p =
+          static_cast<unsigned __int128>(a.limbs_[0]) * b.limbs_[0];
+      return u256{static_cast<std::uint64_t>(p),
+                  static_cast<std::uint64_t>(p >> 64), 0, 0};
+    }
+    return mul_slow(a, b);
+  }
   friend u256 operator/(const u256& a, const u256& b);
   friend u256 operator%(const u256& a, const u256& b);
   u256& operator+=(const u256& o) { return *this = *this + o; }
@@ -117,6 +145,12 @@ class u256 {
   friend std::ostream& operator<<(std::ostream& os, const u256& v);
 
  private:
+  // Full-width escape paths for the inline operators above; these (not the
+  // fast paths) own the overflow/underflow decisions.
+  static u256 add_slow(const u256& a, const u256& b);
+  static u256 sub_slow(const u256& a, const u256& b);
+  static u256 mul_slow(const u256& a, const u256& b);
+
   std::array<std::uint64_t, 4> limbs_;
 };
 

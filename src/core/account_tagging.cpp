@@ -40,7 +40,7 @@ std::size_t shared_tag_cache::size() const {
   return map_.size();
 }
 
-const std::string& account_tagger::tag_of(const address& a) const {
+tag_id account_tagger::tag_of(const address& a) const {
   return compute(a).tag;
 }
 
@@ -65,7 +65,7 @@ const tag_result& account_tagger::compute(const address& a) const {
 tag_result account_tagger::walk(const address& a) const {
   tag_result r;
   if (a.is_zero()) {
-    r.tag = kBlackHoleTag;
+    r.tag = kBlackHole;
   } else if (const auto own = labels_.label_of(a)) {
     r.tag = *own;
   } else {
@@ -103,6 +103,13 @@ tag_result account_tagger::walk(const address& a) const {
 app_transfer_list account_tagger::lift(
     const chain::transfer_list& transfers) const {
   app_transfer_list out;
+  lift_into(transfers, out);
+  return out;
+}
+
+void account_tagger::lift_into(const chain::transfer_list& transfers,
+                               app_transfer_list& out) const {
+  out.clear();
   out.reserve(transfers.size());
   for (const chain::transfer& t : transfers) {
     out.push_back(app_transfer{.from_tag = tag_of(t.sender),
@@ -110,7 +117,6 @@ app_transfer_list account_tagger::lift(
                                .amount = t.amount,
                                .token = t.token});
   }
-  return out;
 }
 
 }  // namespace leishen::core

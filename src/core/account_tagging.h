@@ -35,9 +35,11 @@
 
 namespace leishen::core {
 
-/// The memoized outcome of one creation-tree walk.
+/// The memoized outcome of one creation-tree walk: the interned tag plus
+/// the conflict flag — 8 flat bytes, so cache entries and cross-worker
+/// shares move without touching the heap.
 struct tag_result {
-  std::string tag;
+  tag_id tag;
   bool conflicted = false;
 };
 
@@ -82,8 +84,9 @@ class account_tagger {
                  shared_tag_cache* shared = nullptr)
       : creations_{creations}, labels_{labels}, shared_{shared} {}
 
-  /// The tag of `a` (memoized).
-  [[nodiscard]] const std::string& tag_of(const address& a) const;
+  /// The interned tag of `a` (memoized). Render with `.str()` at report
+  /// boundaries only.
+  [[nodiscard]] tag_id tag_of(const address& a) const;
 
   /// True when `a`'s creation tree carries labels of more than one
   /// application (Fig. 7(c)).
@@ -92,6 +95,11 @@ class account_tagger {
   /// Lift an account-level transfer list to tagged form.
   [[nodiscard]] app_transfer_list lift(
       const chain::transfer_list& transfers) const;
+
+  /// `lift` into a caller-owned buffer (cleared first, capacity kept): the
+  /// zero-allocation form the scan engines use per transaction.
+  void lift_into(const chain::transfer_list& transfers,
+                 app_transfer_list& out) const;
 
   /// Size of the per-instance memo (observability / tests).
   [[nodiscard]] std::size_t cache_size() const noexcept {

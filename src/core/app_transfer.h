@@ -1,20 +1,30 @@
 // Application-level asset transfer and trade types (paper §V-B, §V-C).
+//
+// Data-oriented layout: application identities are carried as interned
+// 32-bit `tag_id` handles, not strings, so these records are flat
+// fixed-size values the pipeline can compare with integer instructions and
+// keep in reused arena buffers with zero steady-state allocation. The tag
+// strings materialize only at report/sink boundaries via `tag_id::str()`.
 #pragma once
 
 #include <iosfwd>
-#include <string>
 #include <vector>
 
 #include "chain/trace.h"
+#include "common/interner.h"
 #include "common/rate.h"
 
 namespace leishen::core {
 
 using leishen::address;
+using leishen::tag_id;
 using chain::asset;
 
 /// Tag of the BlackHole (zero) address: mint source / burn sink.
 inline constexpr const char* kBlackHoleTag = "BlackHole";
+
+/// Its pre-seeded interned id (process-invariant, see common/interner.h).
+inline constexpr tag_id kBlackHole = tag_id::from_raw(kBlackHoleTagId);
 
 /// A transfer whose endpoints have been lifted from 160-bit accounts to
 /// application identities. `from_tag`/`to_tag` are application names when
@@ -22,8 +32,8 @@ inline constexpr const char* kBlackHoleTag = "BlackHole";
 /// carries no label, or per-account conflict tags ("?0x...") when the tree
 /// carries labels of different applications (paper Fig. 7).
 struct app_transfer {
-  std::string from_tag;
-  std::string to_tag;
+  tag_id from_tag;
+  tag_id to_tag;
   u256 amount;
   asset token;
 
@@ -42,8 +52,8 @@ enum class trade_kind { swap, mint_liquidity, remove_liquidity };
 /// side (e.g. removing liquidity into two assets); the secondary leg is
 /// recorded but rates always use the primary leg.
 struct trade {
-  std::string buyer;
-  std::string seller;
+  tag_id buyer;
+  tag_id seller;
   u256 amount_sell;
   asset token_sell;
   u256 amount_buy;

@@ -52,6 +52,51 @@ std::vector<pair_volatility> detection_report::volatilities() const {
   return out;
 }
 
+double max_volatility_pct(const trade_list& trades) {
+  // Same observation rule as volatilities(): canonical pair direction,
+  // zero legs skipped, only pairs seen at least twice contribute.
+  struct pair_obs {
+    asset base;
+    asset quote;
+    rate min_rate{u256{1}, u256{1}};
+    rate max_rate{u256{1}, u256{1}};
+    int n = 0;
+  };
+  static thread_local std::vector<pair_obs> seen;
+  seen.clear();
+  for (const trade& t : trades) {
+    if (t.amount_buy.is_zero() || t.amount_sell.is_zero()) continue;
+    const bool flip = t.token_sell < t.token_buy;
+    const asset& base = flip ? t.token_sell : t.token_buy;
+    const asset& quote = flip ? t.token_buy : t.token_sell;
+    const rate r = flip ? rate{t.amount_buy, t.amount_sell}
+                        : rate{t.amount_sell, t.amount_buy};
+    pair_obs* o = nullptr;
+    for (pair_obs& p : seen) {
+      if (p.base == base && p.quote == quote) {
+        o = &p;
+        break;
+      }
+    }
+    if (o == nullptr) {
+      seen.push_back(pair_obs{base, quote, r, r, 1});
+      continue;
+    }
+    if (r < o->min_rate) o->min_rate = r;
+    if (o->max_rate < r) o->max_rate = r;
+    ++o->n;
+  }
+  double max_pct = 0.0;
+  bool any = false;
+  for (const pair_obs& p : seen) {
+    if (p.n < 2) continue;
+    const double pct = volatility_percent(p.max_rate, p.min_rate);
+    if (!any || pct > max_pct) max_pct = pct;
+    any = true;
+  }
+  return max_pct;
+}
+
 std::map<asset, detection_report::net_flow>
 detection_report::borrower_flows() const {
   std::map<asset, net_flow> flows;
@@ -62,6 +107,20 @@ detection_report::borrower_flows() const {
   return flows;
 }
 
+void detection_report::reset(std::uint64_t tx) noexcept {
+  tx_index = tx;
+  is_flash_loan = false;
+  flash.is_flash_loan = false;
+  flash.borrower = address{};
+  flash.loans.clear();
+  borrower_tag = tag_id{};
+  account_transfers.clear();
+  tagged_transfers.clear();
+  app_transfers.clear();
+  trades.clear();
+  matches.clear();
+}
+
 detector::detector(const chain::creation_registry& creations,
                    const etherscan::label_db& labels, asset weth_token,
                    pattern_params params, shared_tag_cache* tag_cache)
@@ -70,22 +129,29 @@ detector::detector(const chain::creation_registry& creations,
       params_{params} {}
 
 detection_report detector::analyze(const chain::tx_receipt& receipt) const {
-  detection_report report;
-  report.tx_index = receipt.tx_index;
-  report.flash = identify_flash_loan(receipt);
+  scan_context ctx;
+  analyze_into(receipt, ctx);
+  return std::move(ctx.report);
+}
+
+void detector::analyze_into(const chain::tx_receipt& receipt,
+                            scan_context& ctx) const {
+  detection_report& report = ctx.report;
+  report.reset(receipt.tx_index);
+  identify_flash_loan_into(receipt, report.flash);
   report.is_flash_loan = report.flash.is_flash_loan;
-  if (!report.is_flash_loan) return report;
+  if (!report.is_flash_loan) return;
 
   report.borrower_tag = tagger_.tag_of(report.flash.borrower);
-  report.account_transfers = replay::extract_transfers(receipt);
-  report.tagged_transfers = tagger_.lift(report.account_transfers);
+  replay::extract_transfers_into(receipt, report.account_transfers);
+  tagger_.lift_into(report.account_transfers, report.tagged_transfers);
   simplify_params sp = simplify_params_;
   sp.protected_tag = report.borrower_tag;  // never merge through the borrower
-  report.app_transfers = simplify(report.tagged_transfers, weth_token_, sp);
-  report.trades = identify_trades(report.app_transfers);
-  report.matches =
-      match_patterns(report.trades, report.borrower_tag, params_);
-  return report;
+  simplify_into(report.tagged_transfers, weth_token_, sp, report.app_transfers,
+                ctx.scratch);
+  identify_trades_into(report.app_transfers, report.trades);
+  match_patterns_into(report.trades, report.borrower_tag, params_,
+                      report.matches);
 }
 
 void print_report(std::ostream& os, const detection_report& report) {

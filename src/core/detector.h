@@ -33,13 +33,16 @@ struct detection_report {
   std::uint64_t tx_index = 0;
   bool is_flash_loan = false;
   flashloan_info flash;
-  std::string borrower_tag;
+  tag_id borrower_tag;
 
   chain::transfer_list account_transfers;  // stage 1
   app_transfer_list tagged_transfers;      // stage 2a (tagged, unsimplified)
   app_transfer_list app_transfers;         // stage 2b (simplified)
   trade_list trades;                       // stage 3a
   std::vector<pattern_match> matches;      // stage 3b
+
+  /// Clear for the next transaction; every vector keeps its capacity.
+  void reset(std::uint64_t tx) noexcept;
 
   [[nodiscard]] bool is_attack() const noexcept { return !matches.empty(); }
   [[nodiscard]] bool has_pattern(attack_pattern p) const noexcept {
@@ -61,6 +64,21 @@ struct detection_report {
   [[nodiscard]] std::map<asset, net_flow> borrower_flows() const;
 };
 
+/// Max price volatility across all traded pairs — the one number
+/// `volatilities().front().percent` would give (0.0 when no pair has two
+/// observations), computed over flat thread-local scratch instead of a
+/// map so the incident hot path allocates nothing.
+[[nodiscard]] double max_volatility_pct(const trade_list& trades);
+
+/// Reusable per-worker pipeline state: one report plus the simplifier's
+/// ping-pong scratch. Constructed once per worker (or stream) and handed to
+/// `analyze_into` per transaction — all buffers keep their capacity across
+/// transactions, so the steady-state scan allocates nothing.
+struct scan_context {
+  detection_report report;
+  app_transfer_list scratch;
+};
+
 class detector {
  public:
   /// `weth_token` identifies the canonical WETH contract for rule 2 (pass
@@ -75,6 +93,12 @@ class detector {
   /// a report with is_flash_loan == false and no further stages.
   [[nodiscard]] detection_report analyze(
       const chain::tx_receipt& receipt) const;
+
+  /// `analyze` into a reusable context: the result lands in `ctx.report`,
+  /// overwriting whatever the previous transaction left there. This is the
+  /// scan engines' hot path — with a warmed-up context it performs no heap
+  /// allocation for a typical transaction.
+  void analyze_into(const chain::tx_receipt& receipt, scan_context& ctx) const;
 
   [[nodiscard]] const pattern_params& params() const noexcept {
     return params_;

@@ -1,11 +1,49 @@
 #include "core/flashloan_id.h"
 
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
 namespace leishen::core {
 namespace {
 
 using chain::call_record;
 using chain::event_log;
 using chain::trace_event;
+
+// ---- packed trigger signature table (prefilter hot path) --------------------
+//
+// The Table II triggers, packed as (length, bytes) so the prefilter never
+// touches std::string comparison machinery: a candidate name is first
+// checked against a 64-bit bitmask of trigger lengths (one shift+test — the
+// overwhelmingly common "Transfer", length 8, dies here), and only a length
+// match pays one memcmp against the unique trigger of that length. The
+// triggers happen to have pairwise distinct lengths, which is what makes
+// the table a direct length-indexed lookup rather than a search.
+
+inline constexpr std::string_view kUniswapCallback = "uniswapV2Call";  // 13
+inline constexpr std::string_view kAaveFlashLoan = "FlashLoan";        // 9
+inline constexpr std::string_view kDydxLogOperation = "LogOperation";  // 12
+
+inline constexpr std::uint64_t kEventLenMask =
+    (std::uint64_t{1} << kAaveFlashLoan.size()) |
+    (std::uint64_t{1} << kDydxLogOperation.size());
+
+/// True iff `name` is one of the two trigger *event* names.
+inline bool is_trigger_event(const std::string& name) noexcept {
+  const std::size_t n = name.size();
+  if (n >= 64 || ((kEventLenMask >> n) & 1) == 0) return false;
+  const std::string_view sig =
+      n == kAaveFlashLoan.size() ? kAaveFlashLoan : kDydxLogOperation;
+  return std::memcmp(name.data(), sig.data(), n) == 0;
+}
+
+/// True iff `method` is the Uniswap flash-swap callback.
+inline bool is_trigger_call(const std::string& method) noexcept {
+  return method.size() == kUniswapCallback.size() &&
+         std::memcmp(method.data(), kUniswapCallback.data(),
+                     kUniswapCallback.size()) == 0;
+}
 
 /// Uniswap flash swaps: find each uniswapV2Call callback; the loaned
 /// amounts are the Transfer logs the pair emitted between its enclosing
@@ -14,12 +52,15 @@ void detect_uniswap(const chain::tx_receipt& rec, flashloan_info& out) {
   const auto& evs = rec.events;
   for (std::size_t i = 0; i < evs.size(); ++i) {
     const auto* cb = std::get_if<call_record>(&evs[i]);
-    if (cb == nullptr || cb->method != "uniswapV2Call") continue;
+    if (cb == nullptr || !is_trigger_call(cb->method)) continue;
     const address pair = cb->caller;
     const address borrower = cb->callee;
     // Walk back to the pair's swap call, collecting pair -> borrower
     // Transfer logs: the optimistic payouts, i.e. the loan principal.
-    std::vector<flash_loan> loans;
+    // Thread-local scratch: reused across transactions, so steady-state
+    // identification allocates nothing.
+    static thread_local std::vector<flash_loan> loans;
+    loans.clear();
     for (std::size_t j = i; j-- > 0;) {
       if (const auto* call = std::get_if<call_record>(&evs[j])) {
         if (call->method == "swap" && call->callee == pair) break;
@@ -119,11 +160,11 @@ bool may_be_flash_loan(const chain::tx_receipt& receipt) noexcept {
   for (const trace_event& ev : receipt.events) {
     if (const auto* call = std::get_if<call_record>(&ev)) {
       // Uniswap flash swaps are only recognized through their callback.
-      if (call->method == "uniswapV2Call") return true;
+      if (is_trigger_call(call->method)) return true;
     } else if (const auto* log = std::get_if<event_log>(&ev)) {
       // AAVE loans require a FlashLoan event; the dYdX state machine cannot
       // leave stage 0 without a LogOperation event.
-      if (log->name == "FlashLoan" || log->name == "LogOperation") return true;
+      if (is_trigger_event(log->name)) return true;
     }
   }
   return false;
@@ -131,11 +172,19 @@ bool may_be_flash_loan(const chain::tx_receipt& receipt) noexcept {
 
 flashloan_info identify_flash_loan(const chain::tx_receipt& receipt) {
   flashloan_info out;
-  if (!receipt.success) return out;  // reverted txs left no flash loan
+  identify_flash_loan_into(receipt, out);
+  return out;
+}
+
+void identify_flash_loan_into(const chain::tx_receipt& receipt,
+                              flashloan_info& out) {
+  out.is_flash_loan = false;
+  out.borrower = address{};
+  out.loans.clear();
+  if (!receipt.success) return;  // reverted txs left no flash loan
   detect_uniswap(receipt, out);
   detect_aave(receipt, out);
   detect_dydx(receipt, out);
-  return out;
 }
 
 }  // namespace leishen::core

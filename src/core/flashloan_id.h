@@ -41,6 +41,12 @@ struct flashloan_info {
 [[nodiscard]] flashloan_info identify_flash_loan(
     const chain::tx_receipt& receipt);
 
+/// `identify_flash_loan` into a caller-owned buffer (the loans vector is
+/// cleared first, capacity kept): the zero-allocation form the scan
+/// engines use per transaction.
+void identify_flash_loan_into(const chain::tx_receipt& receipt,
+                              flashloan_info& out);
+
 /// Signature-only pre-check: one early-exit pass over the trace looking for
 /// any Table II provider trigger (a `uniswapV2Call` callback, a `FlashLoan`
 /// event, a dYdX `LogOperation` event). Sound with respect to the full

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -35,7 +36,9 @@ struct parallel_scanner_options {
   /// bridge is; this is how batch scans and the streaming monitor export
   /// identical per-stage latency metrics.
   scanner_options scan;
-  /// Worker threads; 0 = one per hardware thread.
+  /// Scan width; 0 = one worker per hardware thread. The calling thread
+  /// participates as one of the workers during scan_all (it would otherwise
+  /// just block), so width 1 runs entirely inline at serial speed.
   unsigned threads = 0;
   /// Receipts per work unit. Small enough to balance clustered load,
   /// large enough to amortize scheduling (one atomic fetch per chunk).
@@ -75,6 +78,17 @@ class parallel_scanner {
   parallel_scanner_options options_;
   shared_tag_cache tag_cache_;
   thread_pool pool_;
+  /// One persistent scanner per pool thread, constructed once here rather
+  /// than per scan_all call: each carries its detector, tagging L1 memo and
+  /// reusable pipeline buffers across every scan, so repeated scans (the
+  /// streaming monitor's steady state) pay no per-call worker setup. Task
+  /// `w` of a scan uses exactly `workers_[w]`, so no scanner is ever shared
+  /// between two concurrent tasks.
+  std::vector<std::unique_ptr<scanner>> workers_;
+  /// Per-chunk result slots, reused across scans (cleared, capacity kept)
+  /// so a steady-state scan_all performs no per-call slot allocation.
+  std::vector<std::vector<incident>> chunk_incidents_;
+  std::vector<scan_stats> chunk_stats_;
   scan_stats stats_;
   std::vector<incident> incidents_;
 };

@@ -1,25 +1,26 @@
 #include "core/patterns.h"
 
-#include <map>
-#include <optional>
-#include <set>
+#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 namespace leishen::core {
 namespace {
 
-/// A trade normalized to the borrower's perspective.
+/// A trade normalized to the borrower's perspective: flat fixed-size record
+/// (interned counterparty), kept in reused thread-local scratch.
 struct btrade {
   std::size_t index;  // position in the original trade list
-  std::string counterparty;
+  tag_id counterparty;
   u256 paid_amount;
   asset paid_token;
   u256 recv_amount;
   asset recv_token;
 };
 
-std::vector<btrade> normalize(const trade_list& trades,
-                              const std::string& borrower) {
-  std::vector<btrade> out;
+void normalize_into(const trade_list& trades, tag_id borrower,
+                    std::vector<btrade>& out) {
+  out.clear();
   for (std::size_t i = 0; i < trades.size(); ++i) {
     const trade& t = trades[i];
     // A trade with both primary legs zero has no defined price (rate 0/0);
@@ -42,7 +43,6 @@ std::vector<btrade> normalize(const trade_list& trades,
                            .recv_token = t.token_sell});
     }
   }
-  return out;
 }
 
 rate buy_price(const btrade& b) {  // quote paid per unit of X received
@@ -52,38 +52,97 @@ rate sell_price(const btrade& b) {  // quote received per unit of X paid
   return rate{b.recv_amount, b.paid_amount};
 }
 
-/// Dedup key so each (pattern, token, counterparty) reports once.
-using match_key = std::tuple<attack_pattern, asset, std::string>;
+/// Dedup: each (pattern, token, counterparty) reports once. Matches per
+/// transaction are few, so a linear scan over the output beats a set.
+bool already_reported(const std::vector<pattern_match>& out,
+                      std::size_t first, attack_pattern p, const asset& target,
+                      tag_id counterparty) {
+  for (std::size_t i = first; i < out.size(); ++i) {
+    const pattern_match& m = out[i];
+    if (m.pattern == p && m.target == target &&
+        m.counterparty == counterparty) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Grouping key: (target token, counterparty, quote token). Ordering is
+/// lexicographic over (asset bytes, resolved tag string, asset bytes) —
+/// exactly the order the previous std::map<tuple<asset, std::string,
+/// asset>> iterated in, so match output order is unchanged.
+struct group_key {
+  asset x;
+  tag_id counterparty;
+  asset quote;
+
+  friend bool operator==(const group_key&, const group_key&) = default;
+};
+
+bool lex_key_less(const group_key& a, const group_key& b) {
+  if (a.x != b.x) return a.x < b.x;
+  if (a.counterparty != b.counterparty) {
+    return tag_id::lex_less{}(a.counterparty, b.counterparty);
+  }
+  return a.quote < b.quote;
+}
+
+/// KRP per-group state: ordered buy positions into the btrade scratch.
+struct krp_group {
+  group_key key;
+  std::vector<std::uint32_t> buys;  // btrade indices, in trade order
+};
 
 void match_krp(const std::vector<btrade>& bts, const pattern_params& params,
-               std::set<match_key>& seen,
                std::vector<pattern_match>& out) {
+  const std::size_t first_out = out.size();
   // Group buys by (target token, seller, quote token), preserving order.
-  std::map<std::tuple<asset, std::string, asset>, std::vector<const btrade*>>
-      buys;
-  for (const btrade& b : bts) {
-    buys[{b.recv_token, b.counterparty, b.paid_token}].push_back(&b);
+  // Groups per transaction are few; linear probing on flat keys beats a
+  // string-keyed tree.
+  static thread_local std::vector<krp_group> groups;
+  groups.clear();
+  for (std::uint32_t bi = 0; bi < bts.size(); ++bi) {
+    const btrade& b = bts[bi];
+    const group_key key{b.recv_token, b.counterparty, b.paid_token};
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const krp_group& g) { return g.key == key; });
+    if (it == groups.end()) {
+      groups.push_back(krp_group{key, {}});
+      it = std::prev(groups.end());
+    }
+    it->buys.push_back(bi);
   }
+  // Iterate groups in the legacy map order (see group_key comment).
+  std::sort(groups.begin(), groups.end(),
+            [](const krp_group& a, const krp_group& b) {
+              return lex_key_less(a.key, b.key);
+            });
+  static thread_local std::vector<std::uint32_t> before;
   for (const btrade& sell : bts) {
     const asset& x = sell.paid_token;
-    for (auto& [key, series] : buys) {
-      if (std::get<0>(key) != x) continue;
+    for (const krp_group& g : groups) {
+      if (g.key.x != x) continue;
       // Buys of X (same seller, same quote) strictly before the sell.
-      std::vector<const btrade*> before;
-      for (const btrade* b : series) {
-        if (b->index < sell.index) before.push_back(b);
+      before.clear();
+      for (const std::uint32_t bi : g.buys) {
+        if (bts[bi].index < sell.index) before.push_back(bi);
       }
       if (static_cast<int>(before.size()) < params.krp_min_buys) continue;
       // Condition b: the buy price rose from the first to the last buy.
-      if (!(buy_price(*before.front()) < buy_price(*before.back()))) {
+      if (!(buy_price(bts[before.front()]) < buy_price(bts[before.back()]))) {
         continue;
       }
-      const match_key mk{attack_pattern::krp, x, std::get<1>(key)};
-      if (!seen.insert(mk).second) continue;
+      if (already_reported(out, first_out, attack_pattern::krp, x,
+                           g.key.counterparty)) {
+        continue;
+      }
       pattern_match m{.pattern = attack_pattern::krp,
                       .target = x,
-                      .counterparty = std::get<1>(key)};
-      for (const btrade* b : before) m.trade_indices.push_back(b->index);
+                      .counterparty = g.key.counterparty};
+      m.trade_indices.reserve(before.size() + 1);
+      for (const std::uint32_t bi : before) {
+        m.trade_indices.push_back(bts[bi].index);
+      }
       m.trade_indices.push_back(sell.index);
       out.push_back(std::move(m));
     }
@@ -91,8 +150,9 @@ void match_krp(const std::vector<btrade>& bts, const pattern_params& params,
 }
 
 void match_sbs(const std::vector<btrade>& bts, const trade_list& trades,
-               const pattern_params& params, std::set<match_key>& seen,
+               const pattern_params& params,
                std::vector<pattern_match>& out) {
+  const std::size_t first_out = out.size();
   for (const btrade& t3 : bts) {            // the sell
     const asset& x = t3.paid_token;
     const asset& quote = t3.recv_token;
@@ -120,8 +180,8 @@ void match_sbs(const std::vector<btrade>& bts, const trade_list& trades,
         if (!volatility_at_least(r2, r1, params.sbs_min_volatility_pct)) {
           continue;
         }
-        const match_key mk{attack_pattern::sbs, x, t1.counterparty};
-        if (seen.insert(mk).second) {
+        if (!already_reported(out, first_out, attack_pattern::sbs, x,
+                              t1.counterparty)) {
           out.push_back(pattern_match{
               .pattern = attack_pattern::sbs,
               .target = x,
@@ -134,42 +194,64 @@ void match_sbs(const std::vector<btrade>& bts, const trade_list& trades,
   }
 }
 
+/// MBS per-key state: the pending buy (if any) plus collected round
+/// indices, keyed by (token, counterparty, quote).
+struct mbs_state {
+  group_key key;
+  std::int64_t pending = -1;  // btrade index of an unmatched buy, -1 = none
+  std::vector<std::size_t> rounds;
+};
+
 void match_mbs(const std::vector<btrade>& bts, const pattern_params& params,
-               std::set<match_key>& seen,
                std::vector<pattern_match>& out) {
-  // Round-trip rounds per (token, counterparty, quote).
-  std::map<std::tuple<asset, std::string, asset>,
-           std::pair<std::optional<btrade>, std::vector<std::size_t>>>
-      state;  // pending buy + collected round indices
-  for (const btrade& b : bts) {
+  const std::size_t first_out = out.size();
+  static thread_local std::vector<mbs_state> states;
+  states.clear();
+  const auto state_for = [&](const group_key& key) -> mbs_state& {
+    const auto it =
+        std::find_if(states.begin(), states.end(),
+                     [&](const mbs_state& s) { return s.key == key; });
+    if (it != states.end()) return *it;
+    states.push_back(mbs_state{key, -1, {}});
+    return states.back();
+  };
+  for (std::uint32_t bi = 0; bi < bts.size(); ++bi) {
+    const btrade& b = bts[bi];
     // as a buy of recv_token
     {
-      auto& [pending, rounds] =
-          state[{b.recv_token, b.counterparty, b.paid_token}];
-      if (!pending.has_value()) pending = b;
+      mbs_state& s =
+          state_for(group_key{b.recv_token, b.counterparty, b.paid_token});
+      if (s.pending < 0) s.pending = bi;
     }
     // as a sell of paid_token
     {
-      auto& [pending, rounds] =
-          state[{b.paid_token, b.counterparty, b.recv_token}];
-      if (pending.has_value() && buy_price(*pending) < sell_price(b)) {
-        rounds.push_back(pending->index);
-        rounds.push_back(b.index);
-        pending.reset();
+      mbs_state& s =
+          state_for(group_key{b.paid_token, b.counterparty, b.recv_token});
+      if (s.pending >= 0 &&
+          buy_price(bts[static_cast<std::size_t>(s.pending)]) <
+              sell_price(b)) {
+        s.rounds.push_back(bts[static_cast<std::size_t>(s.pending)].index);
+        s.rounds.push_back(b.index);
+        s.pending = -1;
       }
     }
   }
-  for (auto& [key, pr] : state) {
-    auto& [pending, rounds] = pr;
-    const int n = static_cast<int>(rounds.size() / 2);
+  // Report in the legacy map order (see group_key comment).
+  std::sort(states.begin(), states.end(),
+            [](const mbs_state& a, const mbs_state& b) {
+              return lex_key_less(a.key, b.key);
+            });
+  for (const mbs_state& s : states) {
+    const int n = static_cast<int>(s.rounds.size() / 2);
     if (n < params.mbs_min_rounds) continue;
-    const match_key mk{attack_pattern::mbs, std::get<0>(key),
-                       std::get<1>(key)};
-    if (!seen.insert(mk).second) continue;
+    if (already_reported(out, first_out, attack_pattern::mbs, s.key.x,
+                         s.key.counterparty)) {
+      continue;
+    }
     out.push_back(pattern_match{.pattern = attack_pattern::mbs,
-                                .target = std::get<0>(key),
-                                .counterparty = std::get<1>(key),
-                                .trade_indices = rounds});
+                                .target = s.key.x,
+                                .counterparty = s.key.counterparty,
+                                .trade_indices = s.rounds});
   }
 }
 
@@ -188,15 +270,22 @@ const char* to_string(attack_pattern p) noexcept {
 }
 
 std::vector<pattern_match> match_patterns(const trade_list& trades,
-                                          const std::string& borrower_tag,
+                                          tag_id borrower_tag,
                                           const pattern_params& params) {
-  const std::vector<btrade> bts = normalize(trades, borrower_tag);
   std::vector<pattern_match> out;
-  std::set<match_key> seen;
-  match_krp(bts, params, seen, out);
-  match_sbs(bts, trades, params, seen, out);
-  match_mbs(bts, params, seen, out);
+  match_patterns_into(trades, borrower_tag, params, out);
   return out;
+}
+
+void match_patterns_into(const trade_list& trades, tag_id borrower_tag,
+                         const pattern_params& params,
+                         std::vector<pattern_match>& out) {
+  out.clear();
+  static thread_local std::vector<btrade> bts;
+  normalize_into(trades, borrower_tag, bts);
+  match_krp(bts, params, out);
+  match_sbs(bts, trades, params, out);
+  match_mbs(bts, params, out);
 }
 
 }  // namespace leishen::core

@@ -38,16 +38,25 @@ struct pattern_params {
 
 struct pattern_match {
   attack_pattern pattern;
-  asset target;              // the manipulated token
-  std::string counterparty;  // the victim application of the primary trades
+  asset target;          // the manipulated token
+  tag_id counterparty;   // the victim application of the primary trades
   std::vector<std::size_t> trade_indices;  // indices into the input trades
 
   friend bool operator==(const pattern_match&, const pattern_match&) = default;
 };
 
-/// Match all three patterns for the given borrower tag.
+/// Match all three patterns for the given borrower tag (strings convert
+/// implicitly via interning, so string-tag callers keep working).
 [[nodiscard]] std::vector<pattern_match> match_patterns(
-    const trade_list& trades, const std::string& borrower_tag,
+    const trade_list& trades, tag_id borrower_tag,
     const pattern_params& params = {});
+
+/// `match_patterns` into a caller-owned buffer (cleared first, capacity
+/// kept). Matcher scratch is thread-local and reused across calls, so the
+/// steady-state per-transaction allocation is zero except for the
+/// trade-index lists of actual matches.
+void match_patterns_into(const trade_list& trades, tag_id borrower_tag,
+                         const pattern_params& params,
+                         std::vector<pattern_match>& out);
 
 }  // namespace leishen::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <type_traits>
 #include <utility>
 
 namespace leishen::core {
@@ -12,12 +13,23 @@ namespace {
 /// observer so the per-receipt hot path stays clean.
 template <typename Fn>
 auto timed_stage(scan_stage_observer* obs, scan_stage stage, Fn&& fn) {
-  if (obs == nullptr) return fn();
-  const auto t0 = std::chrono::steady_clock::now();
-  auto result = fn();
-  const auto t1 = std::chrono::steady_clock::now();
-  obs->on_stage(stage, std::chrono::duration<double>(t1 - t0).count());
-  return result;
+  if constexpr (std::is_void_v<std::invoke_result_t<Fn&>>) {
+    if (obs == nullptr) {
+      fn();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    obs->on_stage(stage, std::chrono::duration<double>(t1 - t0).count());
+  } else {
+    if (obs == nullptr) return fn();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    obs->on_stage(stage, std::chrono::duration<double>(t1 - t0).count());
+    return result;
+  }
 }
 
 }  // namespace
@@ -71,7 +83,7 @@ scanner::scanner(const chain::creation_registry& creations,
       aggregator_set_{options_.yield_aggregator_apps.begin(),
                       options_.yield_aggregator_apps.end()} {}
 
-bool scanner::is_aggregator(const std::string& tag) const {
+bool scanner::is_aggregator(tag_id tag) const {
   return aggregator_set_.contains(tag);
 }
 
@@ -88,9 +100,9 @@ void scanner::scan_one(const chain::tx_receipt& receipt, scan_stats& stats,
     }
     ++stats.prefilter_accepts;
   }
-  detection_report report =
-      timed_stage(options_.stage_observer, scan_stage::pipeline,
-                  [&] { return detector_.analyze(receipt); });
+  timed_stage(options_.stage_observer, scan_stage::pipeline,
+              [&] { detector_.analyze_into(receipt, ctx_); });
+  detection_report& report = ctx_.report;
   if (!report.is_flash_loan) return;
   ++stats.flash_loans;
   for (const auto p : {flash_provider::uniswap, flash_provider::aave,
@@ -126,8 +138,7 @@ void scanner::scan_one(const chain::tx_receipt& receipt, scan_stats& stats,
   inc.timestamp = receipt.timestamp;
   inc.borrower_tag = report.borrower_tag;
   inc.matches = std::move(kept);
-  const auto vols = report.volatilities();
-  if (!vols.empty()) inc.max_volatility_pct = vols.front().percent;
+  inc.max_volatility_pct = max_volatility_pct(report.trades);
   out.push_back(std::move(inc));
 }
 

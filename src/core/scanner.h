@@ -35,10 +35,14 @@ class malformed_receipt_error : public std::runtime_error {
 /// it must never reject a receipt a real execution emits.
 void validate_receipt(const chain::tx_receipt& receipt);
 
-/// The two per-receipt phases worth timing separately: the signature-only
+/// The per-receipt phases worth timing separately: the signature-only
 /// prefilter (cheap, runs on every receipt) and the full replay/tagging/
 /// simplify/match pipeline (expensive, runs on prefilter survivors).
-enum class scan_stage { prefilter, pipeline };
+/// `chunk_setup` is not per-receipt: the parallel engine reports the
+/// per-scan dispatch overhead (chunk slot allocation + worker wakeup)
+/// under it, once per scan_all call, so hoisted setup work stays visible
+/// in the same metrics stream.
+enum class scan_stage { prefilter, pipeline, chunk_setup };
 
 /// Optional per-stage latency hook. `on_stage` is invoked once per stage
 /// run with its wall time; the parallel engine shares one observer across
@@ -77,7 +81,7 @@ struct scanner_options {
 struct incident {
   std::uint64_t tx_index = 0;
   std::int64_t timestamp = 0;
-  std::string borrower_tag;
+  tag_id borrower_tag;
   std::vector<pattern_match> matches;
   double max_volatility_pct = 0.0;
 
@@ -164,13 +168,20 @@ class scanner {
  private:
   void scan_one(const chain::tx_receipt& receipt, scan_stats& stats,
                 std::vector<incident>& out) const;
-  [[nodiscard]] bool is_aggregator(const std::string& tag) const;
+  [[nodiscard]] bool is_aggregator(tag_id tag) const;
 
   detector detector_;
   scanner_options options_;
-  /// O(1) membership for the §VI-C heuristic (built once from
-  /// options_.yield_aggregator_apps).
-  std::unordered_set<std::string> aggregator_set_;
+  /// O(1) membership for the §VI-C heuristic (tags interned once from
+  /// options_.yield_aggregator_apps, so the per-incident check is an
+  /// integer hash probe).
+  std::unordered_set<tag_id, tag_id_hash> aggregator_set_;
+  /// Reusable pipeline buffers for `scan_one`. Mutable because scanning is
+  /// logically const (results go to caller-provided accumulators), but it
+  /// makes a scanner instance single-threaded: concurrent engines give each
+  /// worker its own scanner, which is also what keeps per-worker tagging
+  /// memos coherent.
+  mutable scan_context ctx_;
   scan_stats stats_;
   std::vector<incident> incidents_;
 };

@@ -1,5 +1,7 @@
 #include "core/simplify.h"
 
+#include <utility>
+
 namespace leishen::core {
 
 app_transfer_list unify_weth(const app_transfer_list& in,
@@ -15,61 +17,73 @@ app_transfer_list unify_weth(const app_transfer_list& in,
 app_transfer_list simplify(const app_transfer_list& in,
                            const asset& weth_token,
                            const simplify_params& params) {
-  // Rule 2a: unify WETH and ETH as one asset.
-  app_transfer_list cur = unify_weth(in, weth_token);
+  app_transfer_list out;
+  app_transfer_list scratch;
+  simplify_into(in, weth_token, params, out, scratch);
+  return out;
+}
 
-  // Rules 1 + 2b: drop intra-app transfers and transfers that touch the
-  // Wrapped Ether contract (pure wrap/unwrap plumbing).
-  app_transfer_list filtered;
-  filtered.reserve(cur.size());
-  for (const app_transfer& t : cur) {
+void simplify_into(const app_transfer_list& in, const asset& weth_token,
+                   const simplify_params& params, app_transfer_list& out,
+                   app_transfer_list& scratch) {
+  // Rules 1 + 2: drop intra-app transfers and transfers that touch the
+  // Wrapped Ether contract (pure wrap/unwrap plumbing), rewriting WETH
+  // amounts to native Ether in the same pass (rule 2a) — all integer
+  // compares on interned tags, no intermediate copy of the list.
+  const bool have_weth = !weth_token.is_ether();
+  out.clear();
+  out.reserve(in.size());
+  for (const app_transfer& t : in) {
     if (t.from_tag == t.to_tag) continue;
     if (t.from_tag == params.weth_tag || t.to_tag == params.weth_tag) {
       continue;
     }
-    filtered.push_back(t);
+    out.push_back(t);
+    if (have_weth && out.back().token == weth_token) {
+      out.back().token = asset::ether();
+    }
   }
 
   // Rule 3: merge inter-app transfers through intermediaries, repeating
   // until fixpoint so multi-hop routing (user -> agg -> agg2 -> pool)
-  // collapses fully.
+  // collapses fully. `out` and `scratch` ping-pong; both keep their
+  // capacity across transactions, so steady state allocates nothing.
   bool changed = true;
   while (changed) {
     changed = false;
-    app_transfer_list merged;
-    merged.reserve(filtered.size());
+    scratch.clear();
+    scratch.reserve(out.size());
     std::size_t i = 0;
-    while (i < filtered.size()) {
-      if (i + 1 < filtered.size()) {
-        const app_transfer& a = filtered[i];
-        const app_transfer& b = filtered[i + 1];
+    while (i < out.size()) {
+      if (i + 1 < out.size()) {
+        const app_transfer& a = out[i];
+        const app_transfer& b = out[i + 1];
         // The BlackHole is never a pass-through intermediary: a burn
         // followed by a coincidentally equal mint of the same token is two
         // independent supply events, and merging them would erase the
         // mint/burn evidence the trade identifier needs.
         if (a.token == b.token && a.to_tag == b.from_tag &&
             a.from_tag != b.to_tag && a.to_tag != params.protected_tag &&
-            a.to_tag != kBlackHoleTag &&
+            a.to_tag != kBlackHole &&
             amounts_close(a.amount, b.amount, params.merge_tolerance_num,
                           params.merge_tolerance_den)) {
           // The intermediary a.to_tag routed the asset through; expose the
           // real counterparties. The receiver-side amount is what the end
           // party actually observed.
-          merged.push_back(app_transfer{.from_tag = a.from_tag,
-                                        .to_tag = b.to_tag,
-                                        .amount = b.amount,
-                                        .token = b.token});
+          scratch.push_back(app_transfer{.from_tag = a.from_tag,
+                                         .to_tag = b.to_tag,
+                                         .amount = b.amount,
+                                         .token = b.token});
           i += 2;
           changed = true;
           continue;
         }
       }
-      merged.push_back(filtered[i]);
+      scratch.push_back(out[i]);
       ++i;
     }
-    filtered = std::move(merged);
+    std::swap(out, scratch);
   }
-  return filtered;
 }
 
 }  // namespace leishen::core

@@ -8,15 +8,15 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 
 #include "core/app_transfer.h"
 
 namespace leishen::core {
 
 struct simplify_params {
-  /// Application tag of the canonical WETH contract.
-  std::string weth_tag = "Wrapped Ether";
+  /// Application tag of the canonical WETH contract (interned handle; the
+  /// rule checks are integer compares).
+  tag_id weth_tag = tag_id{"Wrapped Ether"};
   /// Merge tolerance as a fraction: |in - out| / max < num/den (paper: 0.1%).
   std::uint64_t merge_tolerance_num = 1;
   std::uint64_t merge_tolerance_den = 1000;
@@ -24,7 +24,8 @@ struct simplify_params {
   /// the flash loan borrower, which identification resolves before this
   /// stage. Without this, a borrower whose sale proceeds happen to equal
   /// its loan repayment would be merged away along with its trades.
-  std::string protected_tag;
+  /// Default-constructed = the empty tag, which never matches a lifted leg.
+  tag_id protected_tag;
 };
 
 /// Rule 2 asset rewrite: map the WETH token to native Ether. `weth_token`
@@ -38,5 +39,14 @@ struct simplify_params {
 [[nodiscard]] app_transfer_list simplify(const app_transfer_list& in,
                                          const asset& weth_token,
                                          const simplify_params& params = {});
+
+/// `simplify` into caller-owned buffers (cleared first, capacity kept).
+/// `scratch` is ping-pong storage for the rule-3 fixpoint; after return its
+/// contents are unspecified. The zero-allocation form the scan engines use
+/// per transaction — `out` and `scratch` must be distinct and must not
+/// alias `in`.
+void simplify_into(const app_transfer_list& in, const asset& weth_token,
+                   const simplify_params& params, app_transfer_list& out,
+                   app_transfer_list& scratch);
 
 }  // namespace leishen::core

@@ -5,7 +5,7 @@
 namespace leishen::core {
 namespace {
 
-bool is_black_hole(const std::string& tag) { return tag == kBlackHoleTag; }
+bool is_black_hole(tag_id tag) noexcept { return tag == kBlackHole; }
 
 // ---- three-transfer conditions (checked first) ------------------------------
 
@@ -146,6 +146,13 @@ std::optional<trade> match_remove2(const app_transfer& x,
 
 trade_list identify_trades(const app_transfer_list& transfers) {
   trade_list out;
+  identify_trades_into(transfers, out);
+  return out;
+}
+
+void identify_trades_into(const app_transfer_list& transfers,
+                          trade_list& out) {
+  out.clear();
   std::size_t i = 0;
   while (i < transfers.size()) {
     if (i + 2 < transfers.size()) {
@@ -189,7 +196,6 @@ trade_list identify_trades(const app_transfer_list& transfers) {
     }
     ++i;  // transfer participates in no trade
   }
-  return out;
 }
 
 }  // namespace leishen::core

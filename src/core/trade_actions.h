@@ -14,4 +14,8 @@ namespace leishen::core {
 /// Identify swap / mint-liquidity / remove-liquidity trades.
 [[nodiscard]] trade_list identify_trades(const app_transfer_list& transfers);
 
+/// `identify_trades` into a caller-owned buffer (cleared first, capacity
+/// kept): the zero-allocation form the scan engines use per transaction.
+void identify_trades_into(const app_transfer_list& transfers, trade_list& out);
+
 }  // namespace leishen::core

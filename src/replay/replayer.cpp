@@ -6,6 +6,13 @@ namespace leishen::replay {
 
 chain::transfer_list extract_transfers(const chain::tx_receipt& receipt) {
   chain::transfer_list out;
+  extract_transfers_into(receipt, out);
+  return out;
+}
+
+void extract_transfers_into(const chain::tx_receipt& receipt,
+                            chain::transfer_list& out) {
+  out.clear();
   for (const chain::trace_event& ev : receipt.events) {
     if (const auto* itx = std::get_if<chain::internal_tx>(&ev)) {
       if (itx->amount.is_zero()) continue;
@@ -23,7 +30,6 @@ chain::transfer_list extract_transfers(const chain::tx_receipt& receipt) {
                                     .token = chain::asset::token(log->emitter)});
     }
   }
-  return out;
 }
 
 std::vector<address> participants(

@@ -18,6 +18,11 @@ namespace leishen::replay {
 [[nodiscard]] chain::transfer_list extract_transfers(
     const chain::tx_receipt& receipt);
 
+/// `extract_transfers` into a caller-owned buffer (cleared first, capacity
+/// kept): the zero-allocation form the scan engines use per transaction.
+void extract_transfers_into(const chain::tx_receipt& receipt,
+                            chain::transfer_list& out);
+
 /// Every distinct account that appears as a sender or receiver.
 [[nodiscard]] std::vector<address> participants(
     const chain::transfer_list& transfers);

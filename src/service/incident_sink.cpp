@@ -30,7 +30,8 @@ std::string jsonl_sink::to_json_line(const monitor_incident& inc,
                 inc.incident.timestamp);
   std::string out = buf;
   if (retract) out += ",\"retract\":true";
-  out += ",\"borrower\":\"" + jsonl::escape(inc.incident.borrower_tag) + "\"";
+  out += ",\"borrower\":\"" + jsonl::escape(inc.incident.borrower_tag.str()) +
+         "\"";
   // %.17g round-trips IEEE doubles exactly, so read-back compares equal.
   std::snprintf(buf, sizeof buf, ",\"max_volatility_pct\":%.17g",
                 inc.incident.max_volatility_pct);
@@ -42,7 +43,7 @@ std::string jsonl_sink::to_json_line(const monitor_incident& inc,
     out += "{\"pattern\":\"";
     out += core::to_string(m.pattern);
     out += "\",\"target\":\"" + m.target.contract_address().to_hex() + "\"";
-    out += ",\"counterparty\":\"" + jsonl::escape(m.counterparty) + "\"";
+    out += ",\"counterparty\":\"" + jsonl::escape(m.counterparty.str()) + "\"";
     out += ",\"trades\":[";
     for (std::size_t t = 0; t < m.trade_indices.size(); ++t) {
       if (t > 0) out += ",";

@@ -208,11 +208,21 @@ std::string metrics_registry::to_json() const {
 scan_stage_metrics::scan_stage_metrics(metrics_registry& registry,
                                        const std::string& prefix)
     : prefilter_{registry.get_histogram(prefix + "_prefilter_seconds")},
-      pipeline_{registry.get_histogram(prefix + "_pipeline_seconds")} {}
+      pipeline_{registry.get_histogram(prefix + "_pipeline_seconds")},
+      chunk_setup_{registry.get_histogram(prefix + "_chunk_setup_seconds")} {}
 
 void scan_stage_metrics::on_stage(core::scan_stage stage, double seconds) {
-  (stage == core::scan_stage::prefilter ? prefilter_ : pipeline_)
-      .observe(seconds);
+  switch (stage) {
+    case core::scan_stage::prefilter:
+      prefilter_.observe(seconds);
+      break;
+    case core::scan_stage::pipeline:
+      pipeline_.observe(seconds);
+      break;
+    case core::scan_stage::chunk_setup:
+      chunk_setup_.observe(seconds);
+      break;
+  }
 }
 
 }  // namespace leishen::service

@@ -131,11 +131,12 @@ class metrics_registry {
   std::map<std::string, std::unique_ptr<histogram>> histograms_;
 };
 
-/// Bridge from the core scan engines' per-stage timing hook into a pair of
-/// registry histograms ("<prefix>_prefilter_seconds" and
-/// "<prefix>_pipeline_seconds"). Thread-safe, so one bridge can serve the
-/// parallel engine's workers and the monitor alike — that is what makes
-/// batch and streaming latency metrics directly comparable.
+/// Bridge from the core scan engines' per-stage timing hook into registry
+/// histograms ("<prefix>_prefilter_seconds", "<prefix>_pipeline_seconds"
+/// and "<prefix>_chunk_setup_seconds" — the last fed once per parallel
+/// scan with its dispatch overhead). Thread-safe, so one bridge can serve
+/// the parallel engine's workers and the monitor alike — that is what
+/// makes batch and streaming latency metrics directly comparable.
 class scan_stage_metrics final : public core::scan_stage_observer {
  public:
   scan_stage_metrics(metrics_registry& registry, const std::string& prefix);
@@ -145,6 +146,7 @@ class scan_stage_metrics final : public core::scan_stage_observer {
  private:
   histogram& prefilter_;
   histogram& pipeline_;
+  histogram& chunk_setup_;
 };
 
 }  // namespace leishen::service

@@ -100,7 +100,9 @@ struct flow {
   acc512 out;
 };
 
-using flow_map = std::map<std::pair<std::string, chain::asset>, flow>;
+// Keyed by interned tag; map order is raw-id order, which is process-stable
+// (violations are compared and reported within one process only).
+using flow_map = std::map<std::pair<tag_id, chain::asset>, flow>;
 
 flow_map flows_of(const app_transfer_list& transfers) {
   flow_map m;
@@ -137,17 +139,20 @@ void check_simplification(const detection_report& report,
   // Structural checks on the final list.
   for (const app_transfer& t : report.app_transfers) {
     if (t.from_tag == t.to_tag) {
-      fail("simplify/intra-app", "leg " + t.from_tag + " -> " + t.to_tag);
+      fail("simplify/intra-app",
+           "leg " + t.from_tag.str() + " -> " + t.to_tag.str());
     }
     if (t.from_tag == params.simplify.weth_tag ||
         t.to_tag == params.simplify.weth_tag) {
-      fail("simplify/weth-endpoint", "leg " + t.from_tag + " -> " + t.to_tag);
+      fail("simplify/weth-endpoint",
+           "leg " + t.from_tag.str() + " -> " + t.to_tag.str());
     }
     if (!weth_token.is_ether() && t.token == weth_token) {
       fail("simplify/weth-asset", "WETH token survived unification");
     }
     if (t.amount.is_zero()) {
-      fail("simplify/zero-amount", "leg " + t.from_tag + " -> " + t.to_tag);
+      fail("simplify/zero-amount",
+           "leg " + t.from_tag.str() + " -> " + t.to_tag.str());
     }
   }
 
@@ -197,7 +202,7 @@ void check_simplification(const detection_report& report,
   //     <= (in_b + out_b) * tol_num * slack_factor
   const flow_map before = flows_of(baseline);
   const flow_map after = flows_of(report.app_transfers);
-  std::set<std::pair<std::string, chain::asset>> keys;
+  std::set<std::pair<tag_id, chain::asset>> keys;
   for (const auto& [k, v] : before) keys.insert(k);
   for (const auto& [k, v] : after) keys.insert(k);
   for (const auto& key : keys) {
@@ -219,7 +224,7 @@ void check_simplification(const detection_report& report,
                                  .times(params.merge_slack_factor);
     if (allowance < scaled_diff) {
       fail("simplify/net-flow",
-           "tag " + key.first + " asset " + asset_name(key.second) +
+           "tag " + key.first.str() + " asset " + asset_name(key.second) +
                " drifted beyond merge tolerance");
     }
   }
@@ -237,8 +242,8 @@ struct expected_window {
 
 expected_window window_of(const trade& t) {
   expected_window w;
-  const auto leg = [](const std::string& from, const std::string& to,
-                      const u256& amount, const chain::asset& token) {
+  const auto leg = [](tag_id from, tag_id to, const u256& amount,
+                      const chain::asset& token) {
     return app_transfer{
         .from_tag = from, .to_tag = to, .amount = amount, .token = token};
   };
@@ -351,8 +356,7 @@ struct perspective {
   chain::asset paid;
 };
 
-std::optional<perspective> borrower_side(const trade& t,
-                                         const std::string& borrower) {
+std::optional<perspective> borrower_side(const trade& t, tag_id borrower) {
   if (t.buyer == borrower) return perspective{t.token_buy, t.token_sell};
   if (t.seller == borrower) return perspective{t.token_sell, t.token_buy};
   return std::nullopt;
@@ -365,10 +369,10 @@ void check_patterns(const detection_report& report,
     out.push_back(violation{report.tx_index, inv, std::move(detail)});
   };
 
-  std::set<std::tuple<attack_pattern, chain::asset, std::string>> keys;
+  std::set<std::tuple<attack_pattern, chain::asset, tag_id>> keys;
   for (const pattern_match& m : report.matches) {
     const std::string id = std::string{core::to_string(m.pattern)} + " vs " +
-                           m.counterparty;
+                           m.counterparty.str();
 
     if (!keys.insert({m.pattern, m.target, m.counterparty}).second) {
       fail("patterns/dedup", "duplicate key " + id);

@@ -636,7 +636,7 @@ TEST(Patterns, KrpDistinctCounterpartiesReportSeparately) {
   std::set<std::string> counterparties;
   for (const auto& m : matches) {
     if (m.pattern == attack_pattern::krp && m.target == kX) {
-      counterparties.insert(m.counterparty);
+      counterparties.insert(m.counterparty.str());
     }
   }
   EXPECT_EQ(counterparties, (std::set<std::string>{"PoolA", "PoolB"}));
@@ -653,7 +653,9 @@ TEST(Patterns, SbsDistinctCounterpartiesReportSeparately) {
   const auto matches = match_patterns(trades, "ATK");
   std::set<std::string> counterparties;
   for (const auto& m : matches) {
-    if (m.pattern == attack_pattern::sbs) counterparties.insert(m.counterparty);
+    if (m.pattern == attack_pattern::sbs) {
+      counterparties.insert(m.counterparty.str());
+    }
   }
   EXPECT_EQ(counterparties, (std::set<std::string>{"Compound", "Cream"}));
 }
@@ -669,7 +671,9 @@ TEST(Patterns, MbsDistinctCounterpartiesReportSeparately) {
   const auto matches = match_patterns(trades, "ATK");
   std::set<std::string> counterparties;
   for (const auto& m : matches) {
-    if (m.pattern == attack_pattern::mbs) counterparties.insert(m.counterparty);
+    if (m.pattern == attack_pattern::mbs) {
+      counterparties.insert(m.counterparty.str());
+    }
   }
   EXPECT_EQ(counterparties, (std::set<std::string>{"VaultA", "VaultB"}));
 }

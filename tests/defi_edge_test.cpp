@@ -201,10 +201,10 @@ TEST(TaggingProperty, OrderIndependentAndStable) {
   core::account_tagger fwd{u.bc().creations(), u.labels()};
   core::account_tagger rev{u.bc().creations(), u.labels()};
   std::vector<std::string> forward;
-  for (const address& a : all) forward.push_back(fwd.tag_of(a));
+  for (const address& a : all) forward.push_back(fwd.tag_of(a).str());
   std::vector<std::string> backward(all.size());
   for (std::size_t i = all.size(); i-- > 0;) {
-    backward[i] = rev.tag_of(all[i]);
+    backward[i] = rev.tag_of(all[i]).str();
   }
   EXPECT_EQ(forward, backward);
 }

@@ -170,7 +170,7 @@ TEST_F(ParallelScanTest, SharedCacheServesSecondTagger) {
   shared_tag_cache cache;
   const account_tagger first{u_->bc().creations(), u_->labels(), &cache};
   const auto& attack = attacks_->front();
-  const std::string tag = first.tag_of(attack.contract_addr);
+  const tag_id tag = first.tag_of(attack.contract_addr);
   ASSERT_GT(cache.size(), 0U);
 
   const account_tagger second{u_->bc().creations(), u_->labels(), &cache};

@@ -113,8 +113,8 @@ std::map<flow_key, long long> net_flows(const app_transfer_list& transfers,
   for (const app_transfer& t : transfers) {
     if (t.from_tag == weth_tag || t.to_tag == weth_tag) continue;
     const long long v = static_cast<long long>(t.amount.to_u64());
-    net[{t.from_tag, t.token}] -= v;
-    net[{t.to_tag, t.token}] += v;
+    net[{t.from_tag.str(), t.token}] -= v;
+    net[{t.to_tag.str(), t.token}] += v;
   }
   return net;
 }

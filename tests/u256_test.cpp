@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "common/rate.h"
 #include "common/rng.h"
 
 namespace leishen {
@@ -253,6 +254,81 @@ TEST_P(U256Property, ShiftEquivalences) {
 INSTANTIATE_TEST_SUITE_P(Seeds, U256Property,
                          ::testing::Values(1, 2, 3, 0xdeadbeefULL,
                                            0x123456789ULL));
+
+// ---- single-limb fast paths -------------------------------------------------
+// + - * carry an inline fast path for operands that fit one limb; these pin
+// its boundary behavior: a u64 sum/product that leaves limb 0 must escape
+// to the full routine and produce the identical result.
+
+TEST(U256FastPath, AdditionAtTheU64Boundary) {
+  const std::uint64_t m = ~0ULL;
+  // Largest sum the fast path may handle itself...
+  EXPECT_EQ(u256{m - 1} + u256{1}, u256{m});
+  // ...and the first one that wraps: must carry into limb 1, not truncate.
+  const u256 wrap = u256{m} + u256{1};
+  EXPECT_EQ(wrap, (u256{0, 1, 0, 0}));
+  EXPECT_FALSE(wrap.fits_u64());
+  EXPECT_EQ(u256{m} + u256{m}, (u256{m - 1, 1, 0, 0}));
+}
+
+TEST(U256FastPath, SubtractionUnderflowEscapesAndThrows) {
+  EXPECT_EQ(u256{5} - u256{5}, u256{0});
+  // Single-limb underflow cannot be decided by the fast path; the full
+  // routine owns the error.
+  EXPECT_THROW(u256{3} - u256{5}, arithmetic_error);
+  // Borrow out of limb 1 (slow path: minuend is multi-limb).
+  EXPECT_EQ((u256{0, 1, 0, 0}) - u256{1}, u256{~0ULL});
+}
+
+TEST(U256FastPath, MultiplicationFillsLimb1Exactly) {
+  const std::uint64_t m = ~0ULL;
+  // (2^64-1)^2 = 2^128 - 2^65 + 1: the fast path's 128-bit product must
+  // populate limb 1, matching the long multiplication.
+  EXPECT_EQ(u256{m} * u256{m}, (u256{1, m - 1, 0, 0}));
+  EXPECT_EQ(u256{m} * u256{2}, (u256{m - 1, 1, 0, 0}));
+  // Overflow is still detected once an operand is wide.
+  EXPECT_THROW(u256::max() * u256{2}, arithmetic_error);
+  EXPECT_THROW(u256::max() + u256{1}, arithmetic_error);
+}
+
+TEST(U256FastPath, RandomSingleLimbSumsMatch128BitArithmetic) {
+  rng r{0xfa57ULL};
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = r.next();
+    const std::uint64_t b = r.next();
+    const unsigned __int128 s =
+        static_cast<unsigned __int128>(a) + b;
+    EXPECT_EQ(u256{a} + u256{b},
+              (u256{static_cast<std::uint64_t>(s),
+                    static_cast<std::uint64_t>(s >> 64), 0, 0}));
+    const unsigned __int128 p =
+        static_cast<unsigned __int128>(a) * b;
+    EXPECT_EQ(u256{a} * u256{b},
+              (u256{static_cast<std::uint64_t>(p),
+                    static_cast<std::uint64_t>(p >> 64), 0, 0}));
+  }
+}
+
+// Rate comparisons take a 128-bit cross-product shortcut when all four
+// operands are single-limb. Scaling one rate's numerator and denominator by
+// 2^64 leaves its value unchanged but forces the 512-bit path, so fast and
+// slow verdicts can be compared on identical values.
+TEST(U256FastPath, RateCrossComparisonFastSlowEquivalence) {
+  const auto scaled = [](const rate& r) {
+    const u256 shift{0, 1, 0, 0};  // 2^64
+    return rate{r.num() * shift, r.den() * shift};
+  };
+  rng r{0x7a7e5ULL};
+  for (int i = 0; i < 300; ++i) {
+    const rate a{u256{r.next() >> 1}, u256{(r.next() >> 1) + 1}};
+    const rate b{u256{r.next() >> 1}, u256{(r.next() >> 1) + 1}};
+    EXPECT_EQ(a == b, scaled(a) == scaled(b));
+    EXPECT_EQ(a < b, scaled(a) < scaled(b));
+    EXPECT_EQ(a < b, scaled(a) < b);  // mixed: one wide, one single-limb
+    EXPECT_EQ(a < b, a < scaled(b));
+    EXPECT_TRUE(a == scaled(a));
+  }
+}
 
 }  // namespace
 }  // namespace leishen
