@@ -1,0 +1,290 @@
+// API serving throughput: a populated incident_store behind the embedded
+// HTTP server on an ephemeral loopback port, driven by a keep-alive raw
+// TCP client over a fixed query mix (full keyset-pagination walk, pattern
+// and block-window filters, incident detail fetches, /stats). The mix is
+// repeated several passes per rep, so every query past the first pass can
+// be answered from the version-keyed response cache — the measured rate is
+// the steady-state serving rate, and the cache hit rate is reported from
+// the server's own counters. Every response must come back 200 or the run
+// fails (exit 1): a bench that serves errors fast is not a bench.
+//
+// Emits machine-readable BENCH_api.json (path overridable with --out):
+// queries/s (best of R reps), p50/p99 request latency, cache hit rate.
+//
+// Usage: bench_api [--txs N] [--reps R] [--out FILE] [--floor-file FILE]
+// --floor-file points at a text file holding the checked-in queries/s
+// floor; the run fails (exit 3) if measured throughput drops below 80% of
+// it. That is the `bench_api_smoke` ctest guard.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/http_server.h"
+#include "bench_common.h"
+#include "common/net.h"
+#include "common/thread_pool.h"
+#include "core/scanner.h"
+#include "store/incident_store.h"
+#include "verify/receipt_gen.h"
+
+using namespace leishen;
+
+namespace {
+
+int arg_int(int argc, char** argv, const std::string& flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string arg_str(int argc, char** argv, const std::string& flag,
+                    std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Blocking keep-alive client over the repo's own net helpers (the same
+/// shape curl uses: send a request head, read status + Content-Length
+/// framed body off one long-lived connection).
+class api_client {
+ public:
+  explicit api_client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ok_ = fd_ >= 0 &&
+          ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr) == 0;
+  }
+  ~api_client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  api_client(const api_client&) = delete;
+  api_client& operator=(const api_client&) = delete;
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  /// One round trip; returns the status code (0 on transport failure).
+  int get(const std::string& target) {
+    if (!net::send_all(fd_, "GET " + target + " HTTP/1.1\r\n\r\n")) return 0;
+    std::string buf;
+    while (buf.find("\r\n\r\n") == std::string::npos) {
+      if (net::recv_some(fd_, buf, 2000) <= 0) return 0;
+    }
+    const std::size_t head_end = buf.find("\r\n\r\n") + 4;
+    std::size_t want = 0;
+    const std::size_t cl = buf.find("Content-Length: ");
+    if (cl != std::string::npos && cl < head_end) {
+      want = std::stoul(buf.substr(cl + 16));
+    }
+    while (buf.size() < head_end + want) {
+      if (net::recv_some(fd_, buf, 2000) <= 0) return 0;
+    }
+    return std::atoi(buf.c_str() + 9);  // "HTTP/1.1 NNN ..."
+  }
+
+ private:
+  int fd_ = -1;
+  bool ok_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int txs = std::max(16, arg_int(argc, argv, "--txs", 400));
+  const int reps = std::max(1, arg_int(argc, argv, "--reps", 5));
+  const std::string out_path = arg_str(argc, argv, "--out", "BENCH_api.json");
+  const std::string floor_file = arg_str(argc, argv, "--floor-file", "");
+  constexpr int kPassesPerRep = 8;  // pass 1 fills the cache, the rest hit
+
+  // ---- corpus: scan a generated population into the store -------------------
+  verify::generator_options gopts;
+  gopts.transactions = static_cast<std::size_t>(txs);
+  const verify::generated_population pop = verify::generate_receipts(7, gopts);
+  store::incident_store store;
+  core::scanner scanner{pop.world->creations, pop.world->labels,
+                        pop.world->weth_token};
+  scanner.scan_all(pop.receipts, nullptr);
+  for (const core::incident& inc : scanner.incidents()) {
+    std::uint64_t block = 0;
+    for (const chain::tx_receipt& r : pop.receipts) {
+      if (r.tx_index == inc.tx_index) block = r.block_number;
+    }
+    store.insert(service::monitor_incident{block, inc});
+  }
+  const store::store_stats stats = store.stats();
+  if (stats.active == 0) {
+    std::fprintf(stderr, "population produced no incidents\n");
+    return 2;
+  }
+
+  // ---- the query mix --------------------------------------------------------
+  // Precomputed targets so every rep replays identical requests: the full
+  // pagination walk (cursors from direct store queries), the three pattern
+  // index filters, two block-window scans, a handful of detail fetches, and
+  // /stats. Repeat passes make the version-keyed cache earn its keep.
+  std::vector<std::string> mix;
+  {
+    std::optional<store::incident_key> cursor;
+    std::string target = "/incidents?limit=50";
+    while (true) {
+      mix.push_back(target);
+      const store::incident_page page = store.query({}, cursor, 50);
+      if (!page.has_more) break;
+      cursor = page.next;
+      target = "/incidents?limit=50&page=" + api::render_cursor(page.next);
+    }
+  }
+  for (const char* p : {"KRP", "SBS", "MBS"}) {
+    mix.push_back(std::string{"/incidents?pattern="} + p + "&limit=100");
+  }
+  const std::uint64_t mid =
+      stats.first_block + (stats.last_block - stats.first_block) / 2;
+  mix.push_back("/incidents?from=" + std::to_string(stats.first_block) +
+                "&to=" + std::to_string(mid) + "&limit=100");
+  mix.push_back("/incidents?from=" + std::to_string(mid + 1) + "&limit=100");
+  for (std::uint64_t id = 1; id <= std::min<std::uint64_t>(stats.active, 5);
+       ++id) {
+    mix.push_back("/incidents/" + std::to_string(id));
+  }
+  mix.push_back("/stats");
+
+  // ---- server ---------------------------------------------------------------
+  service::metrics_registry metrics;
+  api::server_config cfg;
+  cfg.endpoint.host = "127.0.0.1";
+  cfg.endpoint.port = 0;  // ephemeral
+  cfg.workers = 2;
+  cfg.rate.enabled = false;  // throughput, not throttling, is under test
+  api::http_server server{store, metrics, cfg};
+  server.start();
+
+  // ---- timed reps -----------------------------------------------------------
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(reps) * kPassesPerRep *
+                       mix.size());
+  double best_seconds = 0.0;
+  std::uint64_t requests_total = 0;
+  bool all_ok = true;
+  for (int rep = 0; rep < reps && all_ok; ++rep) {
+    api_client client{server.port()};
+    if (!client.ok()) {
+      std::fprintf(stderr, "cannot connect to 127.0.0.1:%u\n", server.port());
+      return 2;
+    }
+    const auto rep_start = std::chrono::steady_clock::now();
+    for (int pass = 0; pass < kPassesPerRep && all_ok; ++pass) {
+      for (const std::string& target : mix) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const int status = client.get(target);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (status != 200) {
+          std::fprintf(stderr, "GET %s answered %d\n", target.c_str(), status);
+          all_ok = false;
+          break;
+        }
+        latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+        ++requests_total;
+      }
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      rep_start)
+            .count();
+    if (rep == 0 || secs < best_seconds) best_seconds = secs;
+  }
+  server.stop();
+  if (!all_ok) return 1;
+
+  const double requests_per_rep =
+      static_cast<double>(kPassesPerRep) * static_cast<double>(mix.size());
+  const double qps = requests_per_rep / best_seconds;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto pct = [&](double p) {
+    const std::size_t i = static_cast<std::size_t>(
+        p * static_cast<double>(latencies_us.size() - 1));
+    return latencies_us[i];
+  };
+  const double p50 = pct(0.50);
+  const double p99 = pct(0.99);
+  const std::uint64_t hits = metrics.counter_value("api_cache_hits_total");
+  const std::uint64_t misses = metrics.counter_value("api_cache_misses_total");
+  const double hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+
+  bench::print_header("API serving throughput (HTTP over loopback)");
+  std::printf("corpus: %zu receipts, %llu active incidents; query mix: %zu "
+              "targets x %d passes x %d reps, best of reps\n",
+              pop.receipts.size(),
+              static_cast<unsigned long long>(stats.active), mix.size(),
+              kPassesPerRep, reps);
+  std::printf("%12s %14s %14s %16s\n", "queries/s", "p50 (us)", "p99 (us)",
+              "cache hit rate");
+  std::printf("%12.0f %14.1f %14.1f %15.1f%%\n", qps, p50, p99,
+              hit_rate * 100.0);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"api_serving\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               thread_pool::hardware_threads());
+  std::fprintf(f, "  \"repetitions\": %d,\n", reps);
+  std::fprintf(f,
+               "  \"corpus\": {\"receipts\": %zu, \"active_incidents\": %llu, "
+               "\"query_mix_targets\": %zu, \"passes_per_rep\": %d},\n",
+               pop.receipts.size(),
+               static_cast<unsigned long long>(stats.active), mix.size(),
+               kPassesPerRep);
+  std::fprintf(f,
+               "  \"results\": {\"queries_per_s\": %.1f, "
+               "\"p50_latency_us\": %.1f, \"p99_latency_us\": %.1f, "
+               "\"cache_hit_rate\": %.4f, \"requests_total\": %llu}\n}\n",
+               qps, p50, p99, hit_rate,
+               static_cast<unsigned long long>(requests_total));
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!floor_file.empty()) {
+    std::FILE* ff = std::fopen(floor_file.c_str(), "r");
+    if (ff == nullptr) {
+      std::fprintf(stderr, "floor file %s is unreadable\n",
+                   floor_file.c_str());
+      return 4;
+    }
+    double floor_qps = 0.0;
+    const int got = std::fscanf(ff, "%lf", &floor_qps);
+    std::fclose(ff);
+    if (got != 1 || floor_qps <= 0.0) {
+      std::fprintf(stderr, "floor file %s holds no positive number\n",
+                   floor_file.c_str());
+      return 4;
+    }
+    const double limit = 0.8 * floor_qps;
+    std::printf("floor check: %.0f queries/s vs floor %.0f "
+                "(fail below %.0f): %s\n",
+                qps, floor_qps, limit, qps >= limit ? "ok" : "REGRESSION");
+    if (qps < limit) return 3;
+  }
+  return 0;
+}

@@ -2,18 +2,29 @@
 // population fed block-by-block — live ingestion through the bounded
 // queue, incremental detection, an incident feed, periodic checkpoints,
 // and a metrics printout. Ctrl-C requests a clean drain: ingestion stops,
-// queued blocks are still scanned, and the final checkpoint is written, so
-// re-running with the same --checkpoint resumes where the run left off.
+// queued blocks are still scanned, checkpoints are flushed, and the HTTP
+// listener (if any) closes, so re-running with the same --checkpoint or
+// --state-dir resumes where the run left off.
 //
 // Ingestion runs behind the resilient wrapper (retry/backoff, failover,
 // circuit breaker, dedup/reorder normalization), blocks carry chain
 // linkage so reorgs roll back cleanly, and receipts that fail structural
 // validation are quarantined to --dead-letter instead of killing the run.
 //
+// Serving tier: --serve binds the embedded HTTP/JSON API over the incident
+// store (GET /incidents, /incidents/{id}, /stats, /metrics); --shards N
+// replaces the single monitor with a sharded fleet fanning into the same
+// store; --store-replay preloads the store from an earlier run's JSONL
+// feed. With --serve the process keeps serving after the stream ends,
+// until Ctrl-C.
+//
 //   usage: chain_monitor [--benign N] [--rate BLOCKS_PER_SEC]
 //                        [--checkpoint FILE] [--jsonl FILE]
 //                        [--max-retries N] [--reorg-depth N]
 //                        [--dead-letter FILE]
+//                        [--serve HOST:PORT] [--shards N]
+//                        [--state-dir DIR] [--store-replay FILE]
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -23,10 +34,14 @@
 #include <memory>
 #include <thread>
 
+#include "api/http_server.h"
 #include "common/sim_time.h"
+#include "fleet/shard_coordinator.h"
 #include "scenarios/population.h"
 #include "service/monitor_service.h"
 #include "service/resilient_block_source.h"
+#include "store/incident_store.h"
+#include "store/store_sink.h"
 
 using namespace leishen;
 
@@ -36,6 +51,22 @@ namespace {
 volatile std::sig_atomic_t interrupted = 0;
 void on_sigint(int) { interrupted = 1; }
 
+void print_feed_line(const service::monitor_incident& mi) {
+  const core::incident& inc = mi.incident;
+  std::string patterns;
+  for (const auto& m : inc.matches) {
+    if (!patterns.empty()) patterns += "+";
+    patterns += core::to_string(m.pattern);
+  }
+  std::string victim = inc.matches.front().counterparty.str();
+  if (victim.size() > 16) victim = victim.substr(0, 13) + "...";
+  std::cout << date_label(inc.timestamp) << "  block " << std::setw(8)
+            << mi.block_number << "  tx#" << std::setw(6) << inc.tx_index
+            << "  " << std::setw(8) << patterns << "  vs " << std::setw(16)
+            << victim << "  volatility " << std::fixed
+            << std::setprecision(1) << inc.max_volatility_pct << "%\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,9 +74,13 @@ int main(int argc, char** argv) {
   double rate = 0.0;
   int max_retries = 3;
   int reorg_depth = 16;
+  int shards = 1;
   const char* checkpoint_path = "";
   const char* jsonl_path = "";
   const char* dead_letter_path = "";
+  const char* serve_addr = "";
+  const char* state_dir = "";
+  const char* store_replay = "";
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--benign") == 0) benign = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--rate") == 0) rate = std::atof(argv[i + 1]);
@@ -62,6 +97,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--dead-letter") == 0) {
       dead_letter_path = argv[i + 1];
     }
+    if (std::strcmp(argv[i], "--serve") == 0) serve_addr = argv[i + 1];
+    if (std::strcmp(argv[i], "--shards") == 0) shards = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--state-dir") == 0) state_dir = argv[i + 1];
+    if (std::strcmp(argv[i], "--store-replay") == 0) {
+      store_replay = argv[i + 1];
+    }
   }
 
   scenarios::universe u;
@@ -71,98 +112,201 @@ int main(int argc, char** argv) {
             << " benign flash loan txs + the attack set)...\n";
   const auto pop = scenarios::generate_population(u, params);
 
+  // The incident store backs the API tier and the fleet fan-in; it is
+  // cheap enough to keep around even when nothing serves from it.
+  store::incident_store store;
+  if (store_replay[0] != '\0') {
+    try {
+      const auto replayed = store.replay_jsonl(store_replay);
+      std::cout << "replayed " << replayed.inserted << " incident(s), "
+                << replayed.retracted << " retraction(s) from "
+                << store_replay << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "--store-replay failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  // The API server's own registry. In single-monitor mode the monitor
+  // shares it, so /metrics exports detection and serving metrics together;
+  // in fleet mode each shard owns its registry and /metrics carries the
+  // api_* instruments (shard counters are printed at exit).
   service::metrics_registry metrics;
-  service::monitor_options opts;
-  opts.scan.yield_aggregator_apps = pop.aggregator_apps;
-  opts.queue_capacity = 32;
-  opts.checkpoint_path = checkpoint_path;
-  opts.reorg_journal_depth = static_cast<std::size_t>(reorg_depth);
-  std::unique_ptr<service::dead_letter_jsonl> dead_letter;
-  if (dead_letter_path[0] != '\0') {
-    dead_letter = std::make_unique<service::dead_letter_jsonl>(
-        dead_letter_path, /*append=*/true);
-    opts.dead_letter = dead_letter.get();
-  }
-  service::monitor_service monitor{u.bc().creations(), u.labels(),
-                                   u.weth().id(), metrics, opts};
-
-  // Incident feed straight off the detection worker.
-  service::callback_sink feed{[](const service::monitor_incident& mi) {
-    const core::incident& inc = mi.incident;
-    std::string patterns;
-    for (const auto& m : inc.matches) {
-      if (!patterns.empty()) patterns += "+";
-      patterns += core::to_string(m.pattern);
+  std::unique_ptr<api::http_server> server;
+  if (serve_addr[0] != '\0') {
+    api::server_config cfg;
+    try {
+      cfg.endpoint = net::parse_endpoint(serve_addr);
+    } catch (const std::exception& e) {
+      std::cerr << "--serve: " << e.what() << "\n";
+      return 1;
     }
-    std::string victim = inc.matches.front().counterparty.str();
-    if (victim.size() > 16) victim = victim.substr(0, 13) + "...";
-    std::cout << date_label(inc.timestamp) << "  block " << std::setw(8)
-              << mi.block_number << "  tx#" << std::setw(6) << inc.tx_index
-              << "  " << std::setw(8) << patterns << "  vs " << std::setw(16)
-              << victim << "  volatility " << std::fixed
-              << std::setprecision(1) << inc.max_volatility_pct << "%\n";
-  }};
-  monitor.add_sink(feed);
-
-  std::unique_ptr<service::jsonl_sink> jsonl;
-  if (jsonl_path[0] != '\0') {
-    const bool resume = monitor.resume_from_checkpoint();
-    jsonl = std::make_unique<service::jsonl_sink>(jsonl_path, resume);
-    monitor.add_sink(*jsonl);
-    if (resume) {
-      std::cout << "resuming after block " << monitor.last_block()
-                << " (appending to " << jsonl_path << ")\n";
+    server = std::make_unique<api::http_server>(store, metrics, cfg);
+    try {
+      server->start();
+    } catch (const std::exception& e) {
+      std::cerr << "--serve: " << e.what() << "\n";
+      return 1;
     }
-  } else if (checkpoint_path[0] != '\0' && monitor.resume_from_checkpoint()) {
-    std::cout << "resuming after block " << monitor.last_block() << "\n";
+    std::cout << "serving incidents on http://"
+              << (cfg.endpoint.host.empty() ? "0.0.0.0" : cfg.endpoint.host)
+              << ":" << server->port()
+              << "  (GET /incidents /stats /metrics)\n";
   }
-
-  service::simulated_source_options src_opts;
-  src_opts.blocks_per_second = rate;
-  service::simulated_block_source upstream{u.bc().receipts(), src_opts};
-  // Ingest through the resilient wrapper, as a real deployment would: the
-  // simulated upstream never misbehaves, but retries, failover and the
-  // circuit breaker are armed and their counters exported either way.
-  service::resilient_source_options rs_opts;
-  rs_opts.max_retries = max_retries;
-  service::resilient_block_source source{upstream, rs_opts, &metrics};
 
   std::signal(SIGINT, on_sigint);
-  std::cout << "\n--- incident feed (Ctrl-C to drain and stop) ---\n";
-  monitor.start(source);
-  // The main thread just babysits the stop token; detection runs on the
-  // monitor's worker.
-  while (interrupted == 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds{50});
-    if (monitor.queue().closed()) break;  // source exhausted
-  }
-  if (interrupted != 0) {
-    std::cout << "\ninterrupt: draining queue...\n";
-    monitor.request_stop();
-  }
-  monitor.wait();
-  std::cout << "--- end of feed ---\n\n";
 
-  std::cout << "metrics:\n" << metrics.to_text() << "\n";
-  const auto& st = monitor.stats();
-  std::cout << "scanned " << st.transactions << " transactions in "
-            << monitor.blocks_processed() << " blocks, " << st.flash_loans
-            << " flash loans, " << st.incidents
-            << " flagged as price manipulation attacks ("
-            << st.suppressed_by_heuristic
-            << " aggregator strategies suppressed)\n";
-  std::cout << "(ground truth: " << [&] {
-    int n = 0;
-    for (const auto& tx : pop.txs) n += tx.truth_attack;
-    return n;
-  }() << " true attacks in the population)\n";
-  if (checkpoint_path[0] != '\0') {
-    std::cout << "checkpoint written to " << checkpoint_path << " (last block "
-              << monitor.last_block() << ")\n";
+  if (shards >= 2) {
+    // ---- fleet mode: N monitors over disjoint block ranges ----
+    fleet::fleet_options fopts;
+    fopts.shards = static_cast<unsigned>(shards);
+    fopts.scan.yield_aggregator_apps = pop.aggregator_apps;
+    fopts.state_dir = state_dir;
+    fleet::shard_coordinator fleet{u.bc().creations(), u.labels(),
+                                   u.weth().id(),      u.bc().receipts(),
+                                   store,              fopts};
+    std::cout << "fleet: " << fleet.shard_count() << " shard(s)";
+    for (const fleet::shard_range& r : fleet.plan()) {
+      std::cout << "  [" << r.first_block << ".." << r.last_block << "]";
+    }
+    std::cout << "\n";
+    if (state_dir[0] != '\0' && fleet.resume()) {
+      std::cout << "resuming fleet from " << state_dir << " (watermark "
+                << fleet.committed_watermark() << ")\n";
+    }
+
+    std::cout << "\n--- fleet running (Ctrl-C to drain and stop) ---\n";
+    fleet.start();
+    std::atomic<bool> done{false};
+    std::thread waiter{[&] {
+      try {
+        fleet.wait();
+      } catch (const std::exception& e) {
+        std::cerr << "fleet failed: " << e.what() << "\n";
+      }
+      done.store(true, std::memory_order_release);
+    }};
+    while (interrupted == 0 && !done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{50});
+    }
+    if (interrupted != 0) {
+      std::cout << "\ninterrupt: draining shards...\n";
+      fleet.request_stop();
+    }
+    waiter.join();
+    std::cout << "--- fleet stopped ---\n\n";
+
+    std::cout << "merged shard counters:\n";
+    for (const auto& [name, value] : fleet.merged_counters()) {
+      std::cout << "  " << name << " = " << value << "\n";
+    }
+    std::cout << fleet.incidents_forwarded()
+              << " incident(s) fanned into the store";
+    if (state_dir[0] != '\0') {
+      std::cout << ", committed watermark " << fleet.committed_watermark();
+    }
+    std::cout << "\n";
+  } else {
+    // ---- single-monitor mode (the original path) ----
+    service::monitor_options opts;
+    opts.scan.yield_aggregator_apps = pop.aggregator_apps;
+    opts.queue_capacity = 32;
+    opts.checkpoint_path = checkpoint_path;
+    opts.reorg_journal_depth = static_cast<std::size_t>(reorg_depth);
+    std::unique_ptr<service::dead_letter_jsonl> dead_letter;
+    if (dead_letter_path[0] != '\0') {
+      dead_letter = std::make_unique<service::dead_letter_jsonl>(
+          dead_letter_path, /*append=*/true);
+      opts.dead_letter = dead_letter.get();
+    }
+    service::monitor_service monitor{u.bc().creations(), u.labels(),
+                                     u.weth().id(), metrics, opts};
+
+    service::callback_sink feed{print_feed_line};
+    monitor.add_sink(feed);
+    store::store_sink fanin{store};
+    monitor.add_sink(fanin);
+
+    std::unique_ptr<service::jsonl_sink> jsonl;
+    if (jsonl_path[0] != '\0') {
+      const bool resume = monitor.resume_from_checkpoint();
+      jsonl = std::make_unique<service::jsonl_sink>(jsonl_path, resume);
+      monitor.add_sink(*jsonl);
+      if (resume) {
+        std::cout << "resuming after block " << monitor.last_block()
+                  << " (appending to " << jsonl_path << ")\n";
+      }
+    } else if (checkpoint_path[0] != '\0' &&
+               monitor.resume_from_checkpoint()) {
+      std::cout << "resuming after block " << monitor.last_block() << "\n";
+    }
+
+    service::simulated_source_options src_opts;
+    src_opts.blocks_per_second = rate;
+    service::simulated_block_source upstream{u.bc().receipts(), src_opts};
+    // Ingest through the resilient wrapper, as a real deployment would: the
+    // simulated upstream never misbehaves, but retries, failover and the
+    // circuit breaker are armed and their counters exported either way.
+    service::resilient_source_options rs_opts;
+    rs_opts.max_retries = max_retries;
+    service::resilient_block_source source{upstream, rs_opts, &metrics};
+
+    std::cout << "\n--- incident feed (Ctrl-C to drain and stop) ---\n";
+    monitor.start(source);
+    // The main thread just babysits the stop token; detection runs on the
+    // monitor's worker.
+    while (interrupted == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{50});
+      if (monitor.queue().closed()) break;  // source exhausted
+    }
+    if (interrupted != 0) {
+      std::cout << "\ninterrupt: draining queue...\n";
+      monitor.request_stop();
+    }
+    monitor.wait();
+    std::cout << "--- end of feed ---\n\n";
+
+    std::cout << "metrics:\n" << metrics.to_text() << "\n";
+    const auto& st = monitor.stats();
+    std::cout << "scanned " << st.transactions << " transactions in "
+              << monitor.blocks_processed() << " blocks, " << st.flash_loans
+              << " flash loans, " << st.incidents
+              << " flagged as price manipulation attacks ("
+              << st.suppressed_by_heuristic
+              << " aggregator strategies suppressed)\n";
+    std::cout << "(ground truth: " << [&] {
+      int n = 0;
+      for (const auto& tx : pop.txs) n += tx.truth_attack;
+      return n;
+    }() << " true attacks in the population)\n";
+    if (checkpoint_path[0] != '\0') {
+      std::cout << "checkpoint written to " << checkpoint_path
+                << " (last block " << monitor.last_block() << ")\n";
+    }
+    if (dead_letter) {
+      std::cout << dead_letter->written()
+                << " poison receipt(s) quarantined to " << dead_letter_path
+                << "\n";
+    }
   }
-  if (dead_letter) {
-    std::cout << dead_letter->written() << " poison receipt(s) quarantined to "
-              << dead_letter_path << "\n";
+
+  const store::store_stats sstats = store.stats();
+  std::cout << "store: " << sstats.active << " active incident(s) ("
+            << sstats.retracted << " retracted), blocks "
+            << sstats.first_block << ".." << sstats.last_block << "\n";
+
+  if (server) {
+    // The stream is done but the API stays up until Ctrl-C — the common
+    // "scan once, serve forever" shape.
+    if (interrupted == 0) {
+      std::cout << "\nstream finished; still serving on port "
+                << server->port() << " (Ctrl-C to exit)\n";
+      while (interrupted == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{50});
+      }
+    }
+    std::cout << "closing listener...\n";
+    server->stop();
   }
   return 0;
 }

@@ -1,0 +1,208 @@
+#include "api/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/json.h"
+
+namespace leishen::api {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out{s};
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Split "a=1&b=2" into decoded pairs; false on a bad %-escape.
+bool parse_query(std::string_view qs,
+                 std::vector<std::pair<std::string, std::string>>& out) {
+  while (!qs.empty()) {
+    const std::size_t amp = qs.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? qs : qs.substr(0, amp);
+    qs = amp == std::string_view::npos ? std::string_view{}
+                                       : qs.substr(amp + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    bool ok = true;
+    std::string key = url_decode(
+        eq == std::string_view::npos ? pair : pair.substr(0, eq), ok);
+    if (!ok) return false;
+    std::string value;
+    if (eq != std::string_view::npos) {
+      value = url_decode(pair.substr(eq + 1), ok);
+      if (!ok) return false;
+    }
+    out.emplace_back(std::move(key), std::move(value));
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* http_request::query_param(std::string_view name) const {
+  for (const auto& [k, v] : query) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+const std::string* http_request::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+bool http_request::keep_alive() const {
+  const std::string* conn = header("connection");
+  if (conn == nullptr) return version == "HTTP/1.1";
+  const std::string lowered = to_lower(*conn);
+  if (lowered == "close") return false;
+  if (lowered == "keep-alive") return true;
+  return version == "HTTP/1.1";
+}
+
+std::string url_decode(std::string_view s, bool& ok) {
+  ok = true;
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= s.size()) {
+        ok = false;
+        return out;
+      }
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi < 0 || lo < 0) {
+        ok = false;
+        return out;
+      }
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+parse_result parse_request_head(std::string_view head,
+                                const parse_limits& limits,
+                                http_request& out) {
+  if (head.size() > limits.max_head_bytes) return parse_result::too_large;
+  out = http_request{};
+
+  // Request line: METHOD SP target SP version
+  std::size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = head.size();
+  const std::string_view request_line = head.substr(0, line_end);
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return parse_result::malformed;
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+    return parse_result::malformed;
+  }
+  out.method = std::string{request_line.substr(0, sp1)};
+  const std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out.version = std::string{request_line.substr(sp2 + 1)};
+  if (out.version != "HTTP/1.1" && out.version != "HTTP/1.0") {
+    return parse_result::malformed;
+  }
+  if (target.empty() || target.front() != '/') return parse_result::malformed;
+
+  const std::size_t qmark = target.find('?');
+  bool ok = true;
+  out.path = url_decode(
+      qmark == std::string_view::npos ? target : target.substr(0, qmark), ok);
+  if (!ok) return parse_result::malformed;
+  if (qmark != std::string_view::npos &&
+      !parse_query(target.substr(qmark + 1), out.query)) {
+    return parse_result::malformed;
+  }
+
+  // Header lines until the blank line (or end of head).
+  std::size_t pos = line_end == head.size() ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol == head.size() ? head.size() : eol + 2;
+    if (line.empty()) break;  // end of head
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return parse_result::malformed;
+    }
+    if (out.headers.size() >= limits.max_headers) {
+      return parse_result::too_large;
+    }
+    out.headers.emplace_back(to_lower(trim(line.substr(0, colon))),
+                             std::string{trim(line.substr(colon + 1))});
+  }
+  return parse_result::ok;
+}
+
+const char* status_text(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    default:  return "Unknown";
+  }
+}
+
+std::string render_response(const http_response& r, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                    status_text(r.status) + "\r\n";
+  // 304 must not carry a body; everything else gets explicit framing.
+  const bool has_body = r.status != 304;
+  if (has_body) {
+    out += "Content-Type: " + r.content_type + "\r\n";
+  }
+  out += "Content-Length: " +
+         std::to_string(has_body ? r.body.size() : 0) + "\r\n";
+  for (const auto& [k, v] : r.headers) out += k + ": " + v + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  if (has_body) out += r.body;
+  return out;
+}
+
+http_response error_response(int status, std::string_view message) {
+  http_response r;
+  r.status = status;
+  r.body = "{\"error\":\"" + json::escape(message) + "\"}";
+  return r;
+}
+
+}  // namespace leishen::api

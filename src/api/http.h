@@ -1,0 +1,68 @@
+// HTTP/1.1 message plumbing for the embedded API server: request-head
+// parsing with hard limits, URL decoding, and response rendering.
+//
+// Scope is exactly what the incident API needs: GET requests with a query
+// string and headers, keep-alive by HTTP/1.1 default, Content-Length
+// framing on every response. Bodies on requests are not supported (the API
+// is read-only); anything outside the envelope is rejected with a precise
+// status — 400 for malformed syntax, 431 when the head exceeds the byte
+// budget — rather than being guessed at.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace leishen::api {
+
+struct http_request {
+  std::string method;
+  std::string path;     // decoded, query stripped
+  std::string version;  // "HTTP/1.1"
+  /// Decoded key/value pairs in order of appearance.
+  std::vector<std::pair<std::string, std::string>> query;
+  /// Names lowercased; values trimmed of surrounding whitespace.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First value for the (decoded) query key; nullptr when absent.
+  [[nodiscard]] const std::string* query_param(std::string_view name) const;
+  /// First value for the (lowercase) header name; nullptr when absent.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+  /// HTTP/1.1 keep-alive semantics: persistent unless "Connection: close".
+  [[nodiscard]] bool keep_alive() const;
+};
+
+struct parse_limits {
+  /// Request head (request line + headers + blank line) byte budget; a head
+  /// that exceeds it is rejected with 431 before parsing.
+  std::size_t max_head_bytes = 8192;
+  std::size_t max_headers = 64;
+};
+
+enum class parse_result { ok, malformed, too_large };
+
+/// Parse a request head (everything before the blank line, CRLF-separated).
+parse_result parse_request_head(std::string_view head,
+                                const parse_limits& limits, http_request& out);
+
+/// Percent- and plus-decoding; `ok` is cleared on a truncated/invalid %XX.
+std::string url_decode(std::string_view s, bool& ok);
+
+struct http_response {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;  // extra
+};
+
+[[nodiscard]] const char* status_text(int status) noexcept;
+
+/// Serialize with Content-Length framing and an explicit Connection header.
+std::string render_response(const http_response& r, bool keep_alive);
+
+/// A JSON error body: {"error":"<escaped message>"}.
+http_response error_response(int status, std::string_view message);
+
+}  // namespace leishen::api

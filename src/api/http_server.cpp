@@ -1,0 +1,427 @@
+#include "api/http_server.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+#include <stdexcept>
+
+#include "common/json.h"
+
+namespace leishen::api {
+
+namespace {
+
+/// Sorted, re-encoded canonical form of a request: equal queries in any
+/// parameter order share one cache slot.
+std::string canonical_cache_key(const http_request& req) {
+  auto params = req.query;
+  std::sort(params.begin(), params.end());
+  std::string key = req.path;
+  char sep = '?';
+  for (const auto& [k, v] : params) {
+    key += sep;
+    key += k;
+    key += '=';
+    key += v;
+    sep = '&';
+  }
+  return key;
+}
+
+std::string make_etag(std::uint64_t version, const std::string& cache_key) {
+  const std::size_t h = std::hash<std::string>{}(cache_key);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%llu-%zx\"",
+                static_cast<unsigned long long>(version), h);
+  return buf;
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 20 ||
+      s.find_first_not_of("0123456789") != std::string_view::npos) {
+    return false;
+  }
+  out = 0;
+  for (const char c : s) {
+    if (out > (UINT64_MAX - (c - '0')) / 10) return false;  // overflow
+    out = out * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return true;
+}
+
+std::optional<core::attack_pattern> parse_pattern(std::string_view s) {
+  if (s == "KRP" || s == "krp") return core::attack_pattern::krp;
+  if (s == "SBS" || s == "sbs") return core::attack_pattern::sbs;
+  if (s == "MBS" || s == "mbs") return core::attack_pattern::mbs;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string render_incident(const store::stored_incident& s) {
+  return "{\"id\":" + std::to_string(s.id) + ",\"incident\":" +
+         service::jsonl_sink::to_json_line(s.incident) + "}";
+}
+
+std::string render_page(const store::incident_page& page) {
+  std::string out = "{\"total\":" + std::to_string(page.total) +
+                    ",\"version\":" + std::to_string(page.version) +
+                    ",\"count\":" + std::to_string(page.items.size()) +
+                    ",\"has_more\":" + (page.has_more ? "true" : "false");
+  if (page.has_more) {
+    out += ",\"next\":\"" + render_cursor(page.next) + "\"";
+  }
+  out += ",\"items\":[";
+  for (std::size_t i = 0; i < page.items.size(); ++i) {
+    if (i > 0) out += ',';
+    out += render_incident(page.items[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_stats(const store::store_stats& s) {
+  std::string out = "{\"ingested\":" + std::to_string(s.ingested) +
+                    ",\"retracted\":" + std::to_string(s.retracted) +
+                    ",\"active\":" + std::to_string(s.active) +
+                    ",\"patterns\":{";
+  for (int p = 0; p < 3; ++p) {
+    if (p > 0) out += ',';
+    out += '"';
+    out += core::to_string(static_cast<core::attack_pattern>(p));
+    out += "\":" + std::to_string(s.per_pattern[p]);
+  }
+  out += "},\"attackers\":" + std::to_string(s.attackers) +
+         ",\"first_block\":" + std::to_string(s.first_block) +
+         ",\"last_block\":" + std::to_string(s.last_block) +
+         ",\"version\":" + std::to_string(s.version) + "}";
+  return out;
+}
+
+std::string render_cursor(const store::incident_key& key) {
+  return std::to_string(key.block) + "-" + std::to_string(key.tx) + "-" +
+         std::to_string(key.id);
+}
+
+std::optional<store::incident_key> parse_cursor(std::string_view s) {
+  const std::size_t d1 = s.find('-');
+  if (d1 == std::string_view::npos) return std::nullopt;
+  const std::size_t d2 = s.find('-', d1 + 1);
+  if (d2 == std::string_view::npos) return std::nullopt;
+  store::incident_key key;
+  if (!parse_u64(s.substr(0, d1), key.block) ||
+      !parse_u64(s.substr(d1 + 1, d2 - d1 - 1), key.tx) ||
+      !parse_u64(s.substr(d2 + 1), key.id)) {
+    return std::nullopt;
+  }
+  return key;
+}
+
+std::string http_date(std::chrono::system_clock::time_point tp) {
+  const std::time_t t = std::chrono::system_clock::to_time_t(tp);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[64];
+  std::strftime(buf, sizeof buf, "%a, %d %b %Y %H:%M:%S GMT", &tm);
+  return buf;
+}
+
+http_server::http_server(const store::incident_store& store,
+                         service::metrics_registry& metrics,
+                         server_config cfg)
+    : store_{store},
+      metrics_{metrics},
+      cfg_{std::move(cfg)},
+      limiter_{cfg_.rate} {
+  if (cfg_.workers == 0) cfg_.workers = 1;
+  requests_ = &metrics_.get_counter("api_requests_total");
+  rate_limited_ = &metrics_.get_counter("api_rate_limited_total");
+  cache_hits_ = &metrics_.get_counter("api_cache_hits_total");
+  cache_misses_ = &metrics_.get_counter("api_cache_misses_total");
+  bad_requests_ = &metrics_.get_counter("api_bad_requests_total");
+  connections_ = &metrics_.get_counter("api_connections_total");
+  refused_ = &metrics_.get_counter("api_connections_refused_total");
+  request_seconds_ = &metrics_.get_histogram("api_request_seconds");
+}
+
+http_server::~http_server() { stop(); }
+
+void http_server::start() {
+  if (running_.exchange(true)) return;
+  stopping_.store(false, std::memory_order_release);
+  listener_ = std::make_unique<net::listen_socket>(cfg_.endpoint);
+  conns_ = std::make_unique<block_queue<conn>>(cfg_.pending_connections);
+  pool_ = std::make_unique<thread_pool>(cfg_.workers);
+  for (unsigned i = 0; i < cfg_.workers; ++i) {
+    pool_->submit([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread{[this] { accept_loop(); }};
+}
+
+void http_server::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (listener_) listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (conns_) conns_->close();
+  if (pool_) pool_->wait();
+  // Unserved queued connections (closed queue drains in worker_loop until
+  // wait() returns, so anything left was never popped) are just closed.
+  if (conns_) {
+    while (auto c = conns_->try_pop()) ::close(c->fd);
+  }
+  pool_.reset();
+  conns_.reset();
+  listener_.reset();
+}
+
+std::uint16_t http_server::port() const {
+  return listener_ ? listener_->port() : 0;
+}
+
+void http_server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::string peer;
+    const int fd = listener_->accept_client(100, &peer);
+    if (fd < 0) {
+      if (listener_->closed()) break;
+      continue;
+    }
+    connections_->add();
+    if (!conns_->try_push(conn{fd, std::move(peer)})) {
+      // Queue full (or closed during shutdown): refuse instead of queueing
+      // unboundedly. The response is best-effort; the close is the point.
+      refused_->add();
+      http_response busy = error_response(503, "server busy");
+      busy.status = 503;
+      net::send_all(fd, "HTTP/1.1 503 Service Unavailable\r\n"
+                        "Content-Type: application/json\r\n"
+                        "Content-Length: " +
+                            std::to_string(busy.body.size()) +
+                            "\r\nConnection: close\r\n\r\n" + busy.body);
+      ::close(fd);
+    }
+  }
+}
+
+void http_server::worker_loop() {
+  while (auto c = conns_->pop()) serve_connection(std::move(*c));
+}
+
+void http_server::serve_connection(conn c) {
+  std::string buf;
+  int idle_ms = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const std::size_t head_end = buf.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buf.size() > cfg_.limits.max_head_bytes) {
+        bad_requests_->add();
+        net::send_all(
+            c.fd, render_response(
+                      error_response(431, "request head too large"), false));
+        break;
+      }
+      // Short slices keep shutdown responsive inside keep-alive idles.
+      const int slice = std::min(200, std::max(1, cfg_.idle_timeout_ms));
+      const int n = net::recv_some(c.fd, buf, slice);
+      if (n == 0) break;  // peer closed
+      if (n < 0) {
+        idle_ms += slice;
+        if (idle_ms >= cfg_.idle_timeout_ms) break;
+        continue;
+      }
+      idle_ms = 0;
+      continue;
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    http_request req;
+    const parse_result pr = parse_request_head(
+        std::string_view{buf}.substr(0, head_end + 2), cfg_.limits, req);
+    buf.erase(0, head_end + 4);
+
+    http_response resp;
+    bool keep = false;
+    if (pr == parse_result::too_large) {
+      bad_requests_->add();
+      resp = error_response(431, "request head too large");
+    } else if (pr == parse_result::malformed) {
+      bad_requests_->add();
+      resp = error_response(400, "malformed request");
+    } else {
+      const std::string* cl = req.header("content-length");
+      std::uint64_t body_len = 0;
+      if (cl != nullptr && (!parse_u64(*cl, body_len) || body_len != 0)) {
+        // Read-only API: we never consume bodies, and leaving one in the
+        // stream would desynchronize keep-alive framing.
+        bad_requests_->add();
+        resp = error_response(400, "request bodies are not supported");
+      } else {
+        const std::string* api_key = req.header("x-api-key");
+        resp = handle(req, api_key != nullptr ? *api_key : c.peer);
+        keep = req.keep_alive();
+      }
+    }
+    request_seconds_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count());
+    if (!net::send_all(c.fd, render_response(resp, keep))) break;
+    if (!keep) break;
+  }
+  ::close(c.fd);
+}
+
+http_response http_server::handle(const http_request& req,
+                                  const std::string& client_key) {
+  requests_->add();
+  if (!limiter_.allow(client_key)) {
+    rate_limited_->add();
+    http_response r = error_response(429, "rate limit exceeded");
+    r.headers.emplace_back("Retry-After",
+                           std::to_string(limiter_.retry_after_sec()));
+    return r;
+  }
+  if (req.method != "GET" && req.method != "HEAD") {
+    http_response r = error_response(405, "method not allowed");
+    r.headers.emplace_back("Allow", "GET, HEAD");
+    return r;
+  }
+
+  // /metrics is live (its body mutates with every request served), so it
+  // bypasses the version-keyed cache entirely.
+  if (req.path == "/metrics") {
+    http_response r;
+    r.body = cfg_.metrics_json ? cfg_.metrics_json() : metrics_.to_json();
+    return r;
+  }
+
+  const std::string cache_key = canonical_cache_key(req);
+  const std::uint64_t version = store_.version();
+  const std::string etag = make_etag(version, cache_key);
+  const std::string* inm = req.header("if-none-match");
+  if (inm != nullptr && (*inm == etag || *inm == "*")) {
+    cache_hits_->add();
+    http_response r;
+    r.status = 304;
+    r.headers.emplace_back("ETag", etag);
+    return r;
+  }
+
+  if (auto cached = cache_lookup(cache_key, version)) {
+    cache_hits_->add();
+    return *cached;
+  }
+  cache_misses_->add();
+
+  http_response r = route(req);
+  if (r.status == 200) {
+    r.headers.emplace_back("ETag", etag);
+    r.headers.emplace_back("Last-Modified", http_date(store_.last_modified()));
+    cache_store(cache_key, version, r);
+  }
+  return r;
+}
+
+http_response http_server::route(const http_request& req) {
+  if (req.path == "/incidents") return incidents_list(req);
+  constexpr std::string_view detail_prefix = "/incidents/";
+  if (req.path.size() > detail_prefix.size() &&
+      std::string_view{req.path}.substr(0, detail_prefix.size()) ==
+          detail_prefix) {
+    return incident_detail(
+        std::string_view{req.path}.substr(detail_prefix.size()));
+  }
+  if (req.path == "/stats") {
+    http_response r;
+    r.body = render_stats(store_.stats());
+    return r;
+  }
+  return error_response(404, "no such resource");
+}
+
+http_response http_server::incidents_list(const http_request& req) {
+  store::incident_filter filter;
+  std::optional<store::incident_key> after;
+  std::size_t limit = cfg_.default_page_limit;
+
+  for (const auto& [key, value] : req.query) {
+    if (key == "attacker") {
+      filter.attacker = value;
+    } else if (key == "token") {
+      try {
+        filter.token = address::from_hex(value);
+      } catch (const std::invalid_argument&) {
+        return error_response(400, "token: not a hex address");
+      }
+    } else if (key == "app") {
+      filter.app = value;
+    } else if (key == "pattern") {
+      filter.pattern = parse_pattern(value);
+      if (!filter.pattern) {
+        return error_response(400, "pattern: expected KRP, SBS or MBS");
+      }
+    } else if (key == "from") {
+      if (!parse_u64(value, filter.from_block)) {
+        return error_response(400, "from: not a block number");
+      }
+    } else if (key == "to") {
+      if (!parse_u64(value, filter.to_block)) {
+        return error_response(400, "to: not a block number");
+      }
+    } else if (key == "limit") {
+      std::uint64_t n = 0;
+      if (!parse_u64(value, n) || n == 0) {
+        return error_response(400, "limit: not a positive integer");
+      }
+      limit = static_cast<std::size_t>(
+          std::min<std::uint64_t>(n, cfg_.max_page_limit));
+    } else if (key == "page") {
+      after = parse_cursor(value);
+      if (!after) {
+        return error_response(400, "page: expected <block>-<tx>-<id>");
+      }
+    } else {
+      return error_response(400, "unknown parameter: " + key);
+    }
+  }
+
+  http_response r;
+  r.body = render_page(store_.query(filter, after, limit));
+  return r;
+}
+
+http_response http_server::incident_detail(std::string_view id_text) {
+  std::uint64_t id = 0;
+  if (!parse_u64(id_text, id)) {
+    return error_response(400, "incident id: not an integer");
+  }
+  const std::optional<store::stored_incident> inc = store_.get(id);
+  if (!inc) return error_response(404, "no such incident");
+  http_response r;
+  r.body = render_incident(*inc);
+  return r;
+}
+
+std::optional<http_response> http_server::cache_lookup(
+    const std::string& cache_key, std::uint64_t version) {
+  const std::lock_guard lk{cache_mu_};
+  const auto it = cache_.find(cache_key);
+  if (it == cache_.end() || it->second.version != version) {
+    return std::nullopt;
+  }
+  return it->second.response;
+}
+
+void http_server::cache_store(const std::string& cache_key,
+                              std::uint64_t version, const http_response& r) {
+  const std::lock_guard lk{cache_mu_};
+  // Bounded by wholesale reset: entries are all same-generation in steady
+  // state (one store version), so LRU bookkeeping would buy little.
+  if (cache_.size() >= cfg_.cache_entries) cache_.clear();
+  cache_[cache_key] = cache_entry{version, r};
+}
+
+}  // namespace leishen::api

@@ -1,0 +1,159 @@
+// The embedded HTTP/1.1 JSON API over an incident_store.
+//
+// Read-only serving tier: one accept thread feeds a bounded connection
+// queue drained by a small worker pool (common::thread_pool). Endpoints:
+//
+//   GET /incidents        filtered, keyset-paginated incident list
+//                         (attacker, token, app, pattern, from, to,
+//                          limit, page=<block>-<tx>-<id>)
+//   GET /incidents/{id}   one incident by store id
+//   GET /stats            store_stats as JSON
+//   GET /metrics          metrics_registry JSON export
+//
+// Incident payloads embed `jsonl_sink::to_json_line` verbatim as the
+// "incident" field, so an object fetched over HTTP is byte-identical to
+// its line in the durable JSONL feed — one encoder, one wire format.
+//
+// Cross-cutting behavior: per-client token-bucket rate limiting (keyed on
+// the x-api-key header, else the peer address) answering 429 with
+// Retry-After; a response cache keyed on (canonical request, store
+// version) with strong ETags, so an unchanged store turns If-None-Match
+// revalidations into 304s without re-running the query; 431 for oversized
+// request heads and 400 for malformed ones.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "api/http.h"
+#include "api/rate_limiter.h"
+#include "common/block_queue.h"
+#include "common/net.h"
+#include "common/thread_pool.h"
+#include "service/metrics.h"
+#include "store/incident_store.h"
+
+namespace leishen::api {
+
+struct server_config {
+  net::endpoint endpoint{};  // port 0 binds an ephemeral port
+  unsigned workers = 2;
+  /// Accepted-but-unserved connections beyond this are refused with 503.
+  std::size_t pending_connections = 64;
+  parse_limits limits{};
+  rate_limit_config rate{};
+  std::size_t default_page_limit = 50;
+  std::size_t max_page_limit = 500;
+  std::size_t cache_entries = 256;
+  /// Keep-alive connections idle longer than this are closed.
+  int idle_timeout_ms = 5000;
+  /// Override the /metrics body (the fleet serves a merged view); empty =
+  /// the registry passed to the constructor.
+  std::function<std::string()> metrics_json;
+};
+
+/// {"id":N,"incident":<jsonl_sink::to_json_line(...)>} — the inner object
+/// is the feed line, byte for byte.
+std::string render_incident(const store::stored_incident& s);
+
+/// One /incidents page: total/version/count/has_more/next plus items.
+std::string render_page(const store::incident_page& page);
+
+std::string render_stats(const store::store_stats& s);
+
+/// "<block>-<tx>-<id>" — the page cursor wire format.
+std::string render_cursor(const store::incident_key& key);
+std::optional<store::incident_key> parse_cursor(std::string_view s);
+
+/// RFC 7231 IMF-fixdate ("Sun, 06 Nov 1994 08:49:37 GMT").
+std::string http_date(std::chrono::system_clock::time_point tp);
+
+class http_server {
+ public:
+  /// The server only reads the store; it must outlive the server. The
+  /// registry receives the api_* instruments and backs /metrics (unless
+  /// `cfg.metrics_json` overrides the body).
+  http_server(const store::incident_store& store,
+              service::metrics_registry& metrics, server_config cfg);
+  ~http_server();
+
+  http_server(const http_server&) = delete;
+  http_server& operator=(const http_server&) = delete;
+
+  /// Bind, listen, spawn accept + workers. Throws std::runtime_error when
+  /// the endpoint is unavailable.
+  void start();
+
+  /// Stop accepting, drain in-flight requests, join everything.
+  /// Idempotent; also runs from the destructor.
+  void stop();
+
+  /// The bound port (meaningful after start(); resolves ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const;
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Route one parsed request — the socket loop's brain, exposed so tests
+  /// can drive routing and caching without a real connection. `client_key`
+  /// is the rate-limit identity (peer address when driven by a socket).
+  http_response handle(const http_request& req, const std::string& client_key);
+
+ private:
+  struct conn {
+    int fd = -1;
+    std::string peer;
+  };
+
+  struct cache_entry {
+    std::uint64_t version = 0;
+    http_response response;
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(conn c);
+
+  http_response route(const http_request& req);
+  http_response incidents_list(const http_request& req);
+  http_response incident_detail(std::string_view id_text);
+  /// nullopt = not a cacheable route (/metrics is always live).
+  std::optional<http_response> cache_lookup(const std::string& cache_key,
+                                            std::uint64_t version);
+  void cache_store(const std::string& cache_key, std::uint64_t version,
+                   const http_response& r);
+
+  const store::incident_store& store_;
+  service::metrics_registry& metrics_;
+  server_config cfg_;
+
+  rate_limiter limiter_;
+  std::unique_ptr<net::listen_socket> listener_;
+  std::unique_ptr<thread_pool> pool_;
+  std::unique_ptr<block_queue<conn>> conns_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex cache_mu_;
+  std::unordered_map<std::string, cache_entry> cache_;
+
+  service::counter* requests_ = nullptr;
+  service::counter* rate_limited_ = nullptr;
+  service::counter* cache_hits_ = nullptr;
+  service::counter* cache_misses_ = nullptr;
+  service::counter* bad_requests_ = nullptr;
+  service::counter* connections_ = nullptr;
+  service::counter* refused_ = nullptr;
+  service::histogram* request_seconds_ = nullptr;
+};
+
+}  // namespace leishen::api

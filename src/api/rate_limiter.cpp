@@ -1,0 +1,58 @@
+#include "api/rate_limiter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leishen::api {
+
+bool rate_limiter::allow(const std::string& key, clock::time_point now) {
+  if (!cfg_.enabled || cfg_.refill_per_sec <= 0) return true;
+  const std::lock_guard lk{mu_};
+  prune_locked(now);
+  auto [it, inserted] = buckets_.try_emplace(key);
+  bucket& b = it->second;
+  if (inserted) {
+    b.tokens = cfg_.burst;
+    b.refilled_at = now;
+  } else {
+    const double elapsed =
+        std::chrono::duration<double>(now - b.refilled_at).count();
+    if (elapsed > 0) {
+      b.tokens = std::min(cfg_.burst, b.tokens + elapsed * cfg_.refill_per_sec);
+      b.refilled_at = now;
+    }
+  }
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
+unsigned rate_limiter::retry_after_sec() const {
+  if (cfg_.refill_per_sec <= 0) return 1;
+  return static_cast<unsigned>(
+      std::max(1.0, std::ceil(1.0 / cfg_.refill_per_sec)));
+}
+
+std::size_t rate_limiter::tracked_clients() const {
+  const std::lock_guard lk{mu_};
+  return buckets_.size();
+}
+
+void rate_limiter::prune_locked(clock::time_point now) {
+  // Amortized: sweep at most once per full-refill interval. A bucket idle
+  // that long is back at full burst, indistinguishable from a fresh one.
+  const double full_refill_sec =
+      cfg_.refill_per_sec > 0 ? cfg_.burst / cfg_.refill_per_sec : 60.0;
+  const auto interval = std::chrono::duration<double>(full_refill_sec);
+  if (now - last_prune_ < interval) return;
+  last_prune_ = now;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    if (now - it->second.refilled_at >= interval) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace leishen::api

@@ -1,0 +1,56 @@
+// Per-client token-bucket rate limiting for the API tier.
+//
+// Each client key (API key header, else peer address) owns a bucket that
+// refills at `refill_per_sec` and holds at most `burst` tokens; a request
+// spends one token or is rejected. Buckets are created lazily and pruned
+// once they have been idle long enough to be full again, so an address scan
+// cannot grow the table without bound.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace leishen::api {
+
+struct rate_limit_config {
+  double refill_per_sec = 50.0;
+  double burst = 100.0;
+  /// 0 disables limiting entirely (every allow() passes).
+  bool enabled = true;
+};
+
+class rate_limiter {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  explicit rate_limiter(rate_limit_config cfg) : cfg_{cfg} {}
+
+  /// Spend one token for `key` at the wall time "now".
+  bool allow(const std::string& key) { return allow(key, clock::now()); }
+
+  /// Deterministic variant for tests: the caller supplies the clock.
+  bool allow(const std::string& key, clock::time_point now);
+
+  /// Whole seconds until `key` next has a token (the Retry-After value).
+  [[nodiscard]] unsigned retry_after_sec() const;
+
+  [[nodiscard]] std::size_t tracked_clients() const;
+
+ private:
+  struct bucket {
+    double tokens = 0;
+    clock::time_point refilled_at{};
+  };
+
+  void prune_locked(clock::time_point now);
+
+  rate_limit_config cfg_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, bucket> buckets_;
+  clock::time_point last_prune_{};
+};
+
+}  // namespace leishen::api

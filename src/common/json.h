@@ -1,0 +1,52 @@
+// Shared JSON encoding helpers.
+//
+// Every JSON the system emits — the JSONL incident feed, the dead-letter
+// quarantine, the metrics export, and the HTTP API responses — goes through
+// these two primitives, so a given incident serializes to the same bytes on
+// every surface (the API regression tests assert that byte-identity).
+//
+// Escaping is deliberately minimal: the strings that reach these feeds are
+// application tags, hex addresses and error messages, which never contain
+// control characters; only `"` and `\` need protection. Two number forms
+// exist because the surfaces have different contracts: `number_exact`
+// (%.17g) round-trips IEEE doubles bit-for-bit, which the feed read-back
+// comparisons rely on; `number_compact` (%.9g) is the shortest form that
+// still distinguishes values, used where output is read by humans and
+// dashboards (metrics).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace leishen::json {
+
+inline void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+inline std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  append_escaped(out, s);
+  return out;
+}
+
+/// %.17g round-trips IEEE doubles exactly, so read-back compares equal.
+inline std::string number_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Shortest decimal form that still distinguishes values.
+inline std::string number_compact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace leishen::json

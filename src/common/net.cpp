@@ -1,0 +1,157 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace leishen::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+endpoint parse_endpoint(const std::string& s) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument{"endpoint '" + s + "': expected host:port"};
+  }
+  endpoint ep;
+  if (colon > 0) ep.host = s.substr(0, colon);
+  const std::string port_str = s.substr(colon + 1);
+  if (port_str.empty() ||
+      port_str.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument{"endpoint '" + s + "': bad port"};
+  }
+  const unsigned long port = std::stoul(port_str);
+  if (port > 65535) {
+    throw std::invalid_argument{"endpoint '" + s + "': port out of range"};
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+listen_socket::listen_socket(const endpoint& ep, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (ep.host.empty() || ep.host == "0.0.0.0" || ep.host == "*") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::invalid_argument{"endpoint host '" + ep.host +
+                                "': not an IPv4 address"};
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    throw_errno("bind " + ep.host + ":" + std::to_string(ep.port));
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  fd_.store(fd, std::memory_order_release);
+}
+
+listen_socket::~listen_socket() { close(); }
+
+int listen_socket::accept_client(int timeout_ms, std::string* peer) {
+  // Wait in <=50ms slices so a concurrent close() is noticed promptly even
+  // if the fd close races the poll.
+  int waited = 0;
+  while (true) {
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) return -1;
+    const int remaining = timeout_ms < 0 ? 50 : timeout_ms - waited;
+    if (remaining <= 0) return -1;
+    const int slice = std::min(50, remaining);
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, slice);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r > 0 && (pfd.revents & POLLIN) != 0) {
+      sockaddr_in addr{};
+      socklen_t len = sizeof addr;
+      const int client =
+          ::accept(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+      if (client < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return -1;
+      }
+      if (peer != nullptr) {
+        char buf[INET_ADDRSTRLEN] = {0};
+        ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof buf);
+        *peer = buf;
+      }
+      return client;
+    }
+    if (r > 0) return -1;  // POLLERR / POLLNVAL: closed under us
+    waited += slice;
+    if (timeout_ms >= 0 && waited >= timeout_ms) return -1;
+  }
+}
+
+void listen_socket::close() noexcept {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int recv_some(int fd, std::string& out, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  int r;
+  do {
+    r = ::poll(&pfd, 1, timeout_ms);
+  } while (r < 0 && errno == EINTR);
+  if (r <= 0) return -1;  // timeout or poll error
+  char buf[4096];
+  ssize_t n;
+  do {
+    n = ::recv(fd, buf, sizeof buf, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+  if (n == 0) return 0;  // orderly EOF
+  out.append(buf, static_cast<std::size_t>(n));
+  return static_cast<int>(n);
+}
+
+}  // namespace leishen::net

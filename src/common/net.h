@@ -1,0 +1,66 @@
+// Minimal POSIX TCP plumbing for the embedded API server (and its tests):
+// endpoint parsing, a listener that accepts with a timeout and can be
+// closed from another thread, and blocking send/recv helpers.
+//
+// Deliberately tiny — IPv4 only, no TLS, no nonblocking client sockets.
+// The server built on top (src/api) is an *embedded* serving tier for the
+// incident store, not a general web server; anything bigger belongs behind
+// a reverse proxy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace leishen::net {
+
+struct endpoint {
+  std::string host = "0.0.0.0";
+  std::uint16_t port = 0;  // 0 = ephemeral (the bound port is readable back)
+};
+
+/// Parse "host:port" or ":port" (empty host = all interfaces). Throws
+/// std::invalid_argument on a missing colon or an out-of-range port.
+endpoint parse_endpoint(const std::string& s);
+
+/// A bound, listening IPv4 socket. `accept_client` waits with a timeout so
+/// the accept loop can poll a shutdown flag; `close` is thread-safe and
+/// unblocks concurrent accepts — the Ctrl-C path.
+class listen_socket {
+ public:
+  /// Binds and listens; throws std::runtime_error (with errno text) when
+  /// the address is unavailable.
+  explicit listen_socket(const endpoint& ep, int backlog = 64);
+  ~listen_socket();
+
+  listen_socket(const listen_socket&) = delete;
+  listen_socket& operator=(const listen_socket&) = delete;
+
+  /// Accepted client fd, or -1 on timeout or once closed. When `peer` is
+  /// non-null it receives the client's dotted-quad address.
+  int accept_client(int timeout_ms, std::string* peer = nullptr);
+
+  /// The actually bound port (resolves an ephemeral bind to its real port).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return fd_.load(std::memory_order_acquire) < 0;
+  }
+
+  /// Idempotent, thread-safe; pending and future accepts return -1.
+  void close() noexcept;
+
+ private:
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+/// Write the whole buffer (retrying partial writes); false on error.
+bool send_all(int fd, std::string_view data);
+
+/// Read some bytes into `out` (appending), waiting up to `timeout_ms`.
+/// Returns bytes read, 0 on orderly EOF, -1 on timeout or error.
+int recv_some(int fd, std::string& out, int timeout_ms);
+
+}  // namespace leishen::net

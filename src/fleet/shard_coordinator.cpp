@@ -1,0 +1,307 @@
+#include "fleet/shard_coordinator.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace leishen::fleet {
+
+namespace {
+
+constexpr const char* kFleetMagic = "leishen-fleet-checkpoint v1";
+
+struct fleet_checkpoint {
+  std::vector<shard_range> ranges;
+  std::uint64_t watermark = 0;
+};
+
+std::optional<fleet_checkpoint> load_fleet_checkpoint(
+    const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != kFleetMagic) return std::nullopt;
+  fleet_checkpoint cp;
+  std::size_t declared = 0;
+  while (std::getline(in, line)) {
+    std::istringstream ls{line};
+    std::string key;
+    ls >> key;
+    if (key == "shards") {
+      ls >> declared;
+    } else if (key == "range") {
+      shard_range r;
+      ls >> r.begin >> r.end >> r.first_block >> r.last_block;
+      if (!ls) return std::nullopt;
+      cp.ranges.push_back(r);
+    } else if (key == "watermark") {
+      ls >> cp.watermark;
+    }
+  }
+  if (cp.ranges.size() != declared) return std::nullopt;
+  return cp;
+}
+
+}  // namespace
+
+std::vector<shard_range> plan_shards(
+    const std::vector<chain::tx_receipt>& receipts, unsigned shards) {
+  std::vector<shard_range> plan;
+  if (receipts.empty() || shards == 0) return plan;
+
+  // Block boundaries: index of the first receipt of every block.
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < receipts.size(); ++i) {
+    if (i == 0 || receipts[i].block_number != receipts[i - 1].block_number) {
+      starts.push_back(i);
+    }
+  }
+
+  const std::size_t per_shard =
+      (receipts.size() + shards - 1) / shards;  // receipts, not blocks
+  std::size_t begin = 0;
+  std::size_t next_start = 1;  // index into `starts`
+  while (begin < receipts.size()) {
+    const std::size_t want = begin + per_shard;
+    // Advance to the first block boundary at or past the target, so the
+    // cut never lands inside a block.
+    std::size_t end = receipts.size();
+    while (next_start < starts.size()) {
+      if (starts[next_start] >= want) {
+        end = starts[next_start];
+        break;
+      }
+      ++next_start;
+    }
+    if (next_start < starts.size()) ++next_start;
+    shard_range r;
+    r.begin = begin;
+    r.end = end;
+    r.first_block = receipts[begin].block_number;
+    r.last_block = receipts[end - 1].block_number;
+    plan.push_back(r);
+    begin = end;
+  }
+  return plan;
+}
+
+shard_coordinator::shard_coordinator(
+    const chain::creation_registry& creations,
+    const etherscan::label_db& labels, chain::asset weth_token,
+    const std::vector<chain::tx_receipt>& receipts,
+    store::incident_store& store, fleet_options options)
+    : creations_{creations},
+      labels_{labels},
+      weth_token_{weth_token},
+      store_{store},
+      options_{std::move(options)},
+      plan_{plan_shards(receipts, options_.shards)} {
+  if (!options_.state_dir.empty()) {
+    std::filesystem::create_directories(options_.state_dir);
+  }
+  for (const shard_range& r : plan_) {
+    auto s = std::make_unique<shard>();
+    s->range = r;
+    s->receipts.assign(receipts.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                       receipts.begin() + static_cast<std::ptrdiff_t>(r.end));
+    s->metrics = std::make_unique<service::metrics_registry>();
+    shards_.push_back(std::move(s));
+  }
+}
+
+shard_coordinator::~shard_coordinator() {
+  if (started_ && !finished_) {
+    request_stop();
+    try {
+      wait();
+    } catch (...) {
+      // Destructor shutdown: the run's error already surfaced elsewhere or
+      // is unobservable here either way.
+    }
+  }
+}
+
+std::string shard_coordinator::shard_feed_path(std::size_t i) const {
+  return options_.state_dir + "/shard-" + std::to_string(i) + ".jsonl";
+}
+
+std::string shard_coordinator::shard_checkpoint_path(std::size_t i) const {
+  return options_.state_dir + "/shard-" + std::to_string(i) + ".ckpt";
+}
+
+std::string shard_coordinator::fleet_checkpoint_path() const {
+  return options_.state_dir + "/fleet.ckpt";
+}
+
+bool shard_coordinator::resume() {
+  if (started_) throw std::logic_error{"fleet: resume() after start()"};
+  if (options_.state_dir.empty()) return false;
+  const std::optional<fleet_checkpoint> cp =
+      load_fleet_checkpoint(fleet_checkpoint_path());
+  if (!cp) return false;
+  if (cp->ranges != plan_) {
+    throw std::runtime_error{
+        "fleet: checkpointed topology (" + std::to_string(cp->ranges.size()) +
+        " shards) does not match the planned " +
+        std::to_string(plan_.size()) +
+        " — resharding a half-finished run would orphan its feeds"};
+  }
+
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard& s = *shards_[i];
+    const std::optional<service::checkpoint> shard_cp =
+        service::load_checkpoint(shard_checkpoint_path(i));
+    const std::uint64_t durable = shard_cp ? shard_cp->last_block : 0;
+
+    // The feed may run ahead of the checkpoint (feed lines land before the
+    // next checkpoint cadence). Truncate it to the durable height first;
+    // the resumed monitor re-emits everything past it, so keeping the
+    // overhang would double every incident in the gap.
+    const std::string feed = shard_feed_path(i);
+    std::vector<service::jsonl_sink::feed_record> keep;
+    if (std::filesystem::exists(feed)) {
+      for (service::jsonl_sink::feed_record& rec :
+           service::jsonl_sink::read_records(feed)) {
+        if (rec.incident.block_number <= durable) {
+          keep.push_back(std::move(rec));
+        }
+      }
+      std::ofstream out{feed, std::ios::trunc};
+      for (const service::jsonl_sink::feed_record& rec : keep) {
+        out << service::jsonl_sink::to_json_line(rec.incident, rec.retract)
+            << '\n';
+      }
+    }
+    for (const service::jsonl_sink::feed_record& rec : keep) {
+      if (rec.retract) {
+        if (!store_.retract(rec.incident)) {
+          throw std::runtime_error{
+              "fleet: shard " + std::to_string(i) +
+              " feed tombstone with no matching emission (block " +
+              std::to_string(rec.incident.block_number) + ")"};
+        }
+      } else {
+        store_.insert(rec.incident);
+      }
+    }
+    s.resumed_last_block = durable;
+  }
+  resumed_ = true;
+  return true;
+}
+
+void shard_coordinator::start() {
+  if (started_) throw std::logic_error{"fleet: one run per coordinator"};
+  started_ = true;
+  if (!resumed_ && !options_.state_dir.empty()) {
+    // Fresh start over a dirty state dir: stale checkpoints would make the
+    // new monitors skip their prefixes against truncated feeds.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      std::filesystem::remove(shard_checkpoint_path(i));
+    }
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard& s = *shards_[i];
+    service::monitor_options mopts;
+    mopts.scan = options_.scan;
+    mopts.queue_capacity = options_.queue_capacity;
+    mopts.checkpoint_every = options_.checkpoint_every;
+    if (!options_.state_dir.empty()) {
+      mopts.checkpoint_path = shard_checkpoint_path(i);
+    }
+    s.monitor = std::make_unique<service::monitor_service>(
+        creations_, labels_, weth_token_, *s.metrics, std::move(mopts));
+    if (resumed_) s.monitor->resume_from_checkpoint();
+    if (!options_.state_dir.empty()) {
+      s.feed = std::make_unique<service::jsonl_sink>(
+          shard_feed_path(i), /*append=*/resumed_);
+      s.monitor->add_sink(*s.feed);
+    }
+    s.sink = std::make_unique<store::store_sink>(store_);
+    s.monitor->add_sink(*s.sink);
+    s.source = std::make_unique<service::simulated_block_source>(s.receipts);
+    s.monitor->start(*s.source);
+  }
+  // The topology goes durable at start, not only at a clean finish — a
+  // fleet killed mid-run must still be resumable (wait() refreshes the
+  // watermark on a clean finish).
+  if (!options_.state_dir.empty()) write_fleet_checkpoint();
+}
+
+void shard_coordinator::request_stop() {
+  for (const auto& s : shards_) {
+    if (s->monitor) s->monitor->request_stop();
+  }
+}
+
+void shard_coordinator::wait() {
+  if (!started_ || finished_) return;
+  std::exception_ptr first_error;
+  for (const auto& s : shards_) {
+    if (!s->monitor) continue;
+    try {
+      s->monitor->wait();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  finished_ = true;
+  if (!options_.state_dir.empty()) write_fleet_checkpoint();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::uint64_t shard_coordinator::committed_watermark() const {
+  std::uint64_t watermark = UINT64_MAX;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::uint64_t durable = 0;
+    if (!options_.state_dir.empty()) {
+      const std::optional<service::checkpoint> cp =
+          service::load_checkpoint(shard_checkpoint_path(i));
+      if (cp) durable = cp->last_block;
+    } else if (finished_ && shards_[i]->monitor) {
+      durable = shards_[i]->monitor->last_block();
+    }
+    watermark = std::min(watermark, durable);
+  }
+  return shards_.empty() || watermark == UINT64_MAX ? 0 : watermark;
+}
+
+std::map<std::string, std::uint64_t> shard_coordinator::merged_counters()
+    const {
+  std::map<std::string, std::uint64_t> merged;
+  for (const auto& s : shards_) {
+    for (const auto& [name, value] : s->metrics->counter_snapshot()) {
+      merged[name] += value;
+    }
+  }
+  return merged;
+}
+
+std::uint64_t shard_coordinator::incidents_forwarded() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) {
+    if (s->sink) n += s->sink->forwarded();
+  }
+  return n;
+}
+
+void shard_coordinator::write_fleet_checkpoint() const {
+  const std::string path = fleet_checkpoint_path();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc};
+    out << kFleetMagic << '\n';
+    out << "shards " << plan_.size() << '\n';
+    for (const shard_range& r : plan_) {
+      out << "range " << r.begin << ' ' << r.end << ' ' << r.first_block
+          << ' ' << r.last_block << '\n';
+    }
+    out << "watermark " << committed_watermark() << '\n';
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace leishen::fleet

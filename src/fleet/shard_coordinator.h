@@ -1,0 +1,157 @@
+// Sharded monitor fleet: N monitor_service instances over disjoint block
+// ranges, fanning incidents into one shared incident_store.
+//
+// Partitioning (`plan_shards`) slices the receipt log into contiguous
+// block ranges of roughly equal receipt counts, never splitting a block —
+// a block is the unit the monitor ingests, checkpoints and rolls back, so
+// splitting one would break all three. Each shard owns its whole stack:
+// metrics registry (resume ADDS the checkpointed counter snapshot into the
+// registry, so shards must not share one), monitor, simulated source over
+// its receipt slice, a durable JSONL feed, and a store_sink into the
+// shared store. The store's canonical (block, tx, id) order makes the
+// nondeterministic cross-shard fan-in interleaving invisible: a fleet
+// store enumerates bit-identically to a serial single-monitor run.
+//
+// Consistent checkpointing: each shard checkpoints independently (v3
+// monitor checkpoints, reorg journal included); the fleet-level
+// `committed_watermark()` is the minimum durable per-shard position — the
+// block height up to which EVERY shard's incidents are both in its feed
+// and recoverable. `wait()` writes a fleet.ckpt summary naming the shard
+// count, ranges and watermark; `resume()` validates the topology against
+// it (resharding a half-finished run would orphan feed suffixes), replays
+// the per-shard feeds into the fresh store, arms each monitor's
+// checkpoint resume, and the restarted fleet appends the exact missing
+// suffix — bit-identical to a never-killed run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/receipt.h"
+#include "core/scanner.h"
+#include "service/metrics.h"
+#include "service/monitor_service.h"
+#include "store/incident_store.h"
+#include "store/store_sink.h"
+
+namespace leishen::fleet {
+
+/// One shard's slice of the receipt log: receipt indexes [begin, end) and
+/// the block span they cover.
+struct shard_range {
+  std::size_t begin = 0, end = 0;
+  std::uint64_t first_block = 0, last_block = 0;
+
+  friend bool operator==(const shard_range&, const shard_range&) = default;
+};
+
+/// Contiguous block-aligned ranges of roughly equal receipt counts. Fewer
+/// distinct blocks than shards yields fewer (non-empty) ranges; an empty
+/// receipt log yields none.
+std::vector<shard_range> plan_shards(
+    const std::vector<chain::tx_receipt>& receipts, unsigned shards);
+
+struct fleet_options {
+  unsigned shards = 2;
+  /// Detection configuration shared by every shard.
+  core::scanner_options scan;
+  std::size_t queue_capacity = 64;
+  /// Per-shard checkpoint cadence in blocks (0 = only on shutdown).
+  std::uint64_t checkpoint_every = 4;
+  /// Durable state directory (per-shard feeds + checkpoints + fleet.ckpt);
+  /// empty = in-memory only, resume unavailable.
+  std::string state_dir;
+};
+
+class shard_coordinator {
+ public:
+  /// The chain substrate, receipt log and store are borrowed and must
+  /// outlive the coordinator. Receipts must be in chain order (the same
+  /// precondition simulated_block_source enforces).
+  shard_coordinator(const chain::creation_registry& creations,
+                    const etherscan::label_db& labels,
+                    chain::asset weth_token,
+                    const std::vector<chain::tx_receipt>& receipts,
+                    store::incident_store& store, fleet_options options);
+  ~shard_coordinator();
+
+  shard_coordinator(const shard_coordinator&) = delete;
+  shard_coordinator& operator=(const shard_coordinator&) = delete;
+
+  /// Resume a killed fleet from `state_dir`: validates the topology
+  /// against fleet.ckpt, replays every shard feed into the (fresh) store,
+  /// and arms per-shard checkpoint resume. Returns false (fresh start)
+  /// when no fleet.ckpt exists. Throws std::runtime_error when the shard
+  /// count or ranges changed. Call before `start`.
+  bool resume();
+
+  /// Spawn every shard's monitor. One run per coordinator.
+  void start();
+
+  /// Graceful stop: every shard stops ingesting and drains. Never blocks.
+  void request_stop();
+
+  /// Join all shards, flush feeds, write per-shard final checkpoints and
+  /// the fleet.ckpt summary. Rethrows the first shard failure (after all
+  /// shards are joined).
+  void wait();
+
+  void run() {
+    start();
+    wait();
+  }
+
+  [[nodiscard]] const std::vector<shard_range>& plan() const noexcept {
+    return plan_;
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return plan_.size();
+  }
+
+  /// Lowest fully-processed block across all shards — the height up to
+  /// which the whole fleet's output is complete. Live monitors are
+  /// consulted after `wait()`; before any run, resumed checkpoints.
+  [[nodiscard]] std::uint64_t committed_watermark() const;
+
+  /// One shard's registry (api/diagnostics).
+  [[nodiscard]] service::metrics_registry& shard_metrics(std::size_t i) {
+    return *shards_[i]->metrics;
+  }
+
+  /// Sum of every shard's counters (fleet-level /metrics view).
+  [[nodiscard]] std::map<std::string, std::uint64_t> merged_counters() const;
+
+  [[nodiscard]] std::uint64_t incidents_forwarded() const;
+
+ private:
+  struct shard {
+    shard_range range;
+    std::vector<chain::tx_receipt> receipts;  // owned copy of the slice
+    std::unique_ptr<service::metrics_registry> metrics;
+    std::unique_ptr<service::jsonl_sink> feed;
+    std::unique_ptr<store::store_sink> sink;
+    std::unique_ptr<service::monitor_service> monitor;
+    std::unique_ptr<service::simulated_block_source> source;
+    std::uint64_t resumed_last_block = 0;
+  };
+
+  [[nodiscard]] std::string shard_feed_path(std::size_t i) const;
+  [[nodiscard]] std::string shard_checkpoint_path(std::size_t i) const;
+  [[nodiscard]] std::string fleet_checkpoint_path() const;
+  void write_fleet_checkpoint() const;
+
+  const chain::creation_registry& creations_;
+  const etherscan::label_db& labels_;
+  chain::asset weth_token_;
+  store::incident_store& store_;
+  fleet_options options_;
+  std::vector<shard_range> plan_;
+  std::vector<std::unique_ptr<shard>> shards_;
+  bool resumed_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace leishen::fleet

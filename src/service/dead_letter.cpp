@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/json.h"
 #include "service/jsonl_util.h"
 
 namespace leishen::service {
@@ -20,8 +21,8 @@ dead_letter_jsonl::~dead_letter_jsonl() {
 std::string dead_letter_jsonl::to_json_line(const dead_letter_entry& entry) {
   std::string out = "{\"block\":" + std::to_string(entry.block_number) +
                     ",\"tx\":" + std::to_string(entry.tx_index) +
-                    ",\"error\":\"" + jsonl::escape(entry.error) +
-                    "\",\"description\":\"" + jsonl::escape(entry.description) +
+                    ",\"error\":\"" + json::escape(entry.error) +
+                    "\",\"description\":\"" + json::escape(entry.description) +
                     "\"}";
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/json.h"
 #include "core/patterns.h"
 #include "service/jsonl_util.h"
 
@@ -30,12 +31,10 @@ std::string jsonl_sink::to_json_line(const monitor_incident& inc,
                 inc.incident.timestamp);
   std::string out = buf;
   if (retract) out += ",\"retract\":true";
-  out += ",\"borrower\":\"" + jsonl::escape(inc.incident.borrower_tag.str()) +
+  out += ",\"borrower\":\"" + json::escape(inc.incident.borrower_tag.str()) +
          "\"";
-  // %.17g round-trips IEEE doubles exactly, so read-back compares equal.
-  std::snprintf(buf, sizeof buf, ",\"max_volatility_pct\":%.17g",
-                inc.incident.max_volatility_pct);
-  out += buf;
+  out += ",\"max_volatility_pct\":" +
+         json::number_exact(inc.incident.max_volatility_pct);
   out += ",\"matches\":[";
   for (std::size_t i = 0; i < inc.incident.matches.size(); ++i) {
     const core::pattern_match& m = inc.incident.matches[i];
@@ -43,7 +42,7 @@ std::string jsonl_sink::to_json_line(const monitor_incident& inc,
     out += "{\"pattern\":\"";
     out += core::to_string(m.pattern);
     out += "\",\"target\":\"" + m.target.contract_address().to_hex() + "\"";
-    out += ",\"counterparty\":\"" + jsonl::escape(m.counterparty.str()) + "\"";
+    out += ",\"counterparty\":\"" + json::escape(m.counterparty.str()) + "\"";
     out += ",\"trades\":[";
     for (std::size_t t = 0; t < m.trade_indices.size(); ++t) {
       if (t > 0) out += ",";

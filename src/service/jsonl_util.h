@@ -1,8 +1,10 @@
 // Internal helpers shared by the service's JSONL feeds (incident sink,
-// dead-letter quarantine, checkpoint journal): minimal escaping and a
-// scanning reader for the exact line shapes those writers emit. Not a
-// general JSON parser — keys never repeat at different nesting depths in
-// these formats except where the callers slice sub-objects out first.
+// dead-letter quarantine, checkpoint journal): a scanning reader for the
+// exact line shapes those writers emit. Not a general JSON parser — keys
+// never repeat at different nesting depths in these formats except where
+// the callers slice sub-objects out first. The matching writers encode
+// through the shared helpers in common/json.h, so the feed bytes are
+// identical to every other JSON surface (metrics export, HTTP API).
 #pragma once
 
 #include <cstdint>
@@ -12,16 +14,6 @@
 #include <vector>
 
 namespace leishen::service::jsonl {
-
-inline std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
 
 /// Scans for `"key":` and reads the value after it.
 class line_reader {

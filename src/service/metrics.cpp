@@ -5,26 +5,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/json.h"
+
 namespace leishen::service {
 
 namespace {
 
 /// Shortest decimal form that still distinguishes values (JSON + text).
-std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.9g", v);
-  return buf;
-}
+std::string fmt_double(double v) { return json::number_compact(v); }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return json::escape(s); }
 
 }  // namespace
 

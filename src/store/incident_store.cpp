@@ -1,0 +1,239 @@
+#include "store/incident_store.h"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace leishen::store {
+
+namespace {
+
+/// Filter terms resolved once per query so the per-record check is integer
+/// compares (interning the attacker/app strings, parsing nothing).
+struct resolved_filter {
+  std::optional<tag_id> attacker;
+  std::optional<chain::asset> token;
+  std::optional<tag_id> app;
+  std::optional<core::attack_pattern> pattern;
+  std::uint64_t from_block = 0;
+  std::uint64_t to_block = UINT64_MAX;
+};
+
+resolved_filter resolve(const incident_filter& f) {
+  resolved_filter r;
+  if (f.attacker) r.attacker = tag_id{*f.attacker};
+  if (f.token) r.token = chain::asset::token(*f.token);
+  if (f.app) r.app = tag_id{*f.app};
+  r.pattern = f.pattern;
+  r.from_block = f.from_block;
+  r.to_block = f.to_block;
+  return r;
+}
+
+bool record_matches(const service::monitor_incident& inc,
+                    const resolved_filter& f) {
+  if (inc.block_number < f.from_block || inc.block_number > f.to_block) {
+    return false;
+  }
+  if (f.attacker && inc.incident.borrower_tag != *f.attacker) return false;
+  if (f.token) {
+    bool any = false;
+    for (const core::pattern_match& m : inc.incident.matches) {
+      if (m.target == *f.token) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  if (f.app) {
+    bool any = false;
+    for (const core::pattern_match& m : inc.incident.matches) {
+      if (m.counterparty == *f.app) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  if (f.pattern) {
+    bool any = false;
+    for (const core::pattern_match& m : inc.incident.matches) {
+      if (m.pattern == *f.pattern) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t incident_store::insert(const service::monitor_incident& inc) {
+  const std::unique_lock lk{mu_};
+  records_.push_back(record{inc, /*retracted=*/false});
+  const std::uint64_t id = records_.size();
+  const incident_key key{inc.block_number, inc.incident.tx_index, id};
+  by_key_.insert(key);
+  index_insert(key, records_.back());
+  bump_version();
+  return id;
+}
+
+bool incident_store::retract(const service::monitor_incident& inc) {
+  const std::unique_lock lk{mu_};
+  // All active ids at this (block, tx), newest last; monitors retract
+  // newest-first, so match from the back.
+  const incident_key lo{inc.block_number, inc.incident.tx_index, 0};
+  const incident_key hi{inc.block_number, inc.incident.tx_index, UINT64_MAX};
+  const auto begin = by_key_.lower_bound(lo);
+  const auto end = by_key_.upper_bound(hi);
+  for (auto it = std::make_reverse_iterator(end),
+            rend = std::make_reverse_iterator(begin);
+       it != rend; ++it) {
+    record& rec = records_[it->id - 1];
+    if (rec.incident != inc) continue;
+    const incident_key key = *it;
+    rec.retracted = true;
+    index_erase(key, rec);
+    by_key_.erase(key);
+    ++retracted_count_;
+    bump_version();
+    return true;
+  }
+  return false;
+}
+
+incident_page incident_store::query(const incident_filter& filter,
+                                    std::optional<incident_key> after,
+                                    std::size_t limit) const {
+  if (limit == 0) limit = 1;
+  const resolved_filter f = resolve(filter);
+  const std::shared_lock lk{mu_};
+
+  incident_page page;
+  page.version = version_.load(std::memory_order_acquire);
+
+  // Drive the walk from the most selective term's posting list; a term
+  // with no bucket at all means no matches. Every remaining term is
+  // re-checked per record, so the choice only affects work, not results.
+  const key_set* driving = nullptr;
+  if (f.attacker) {
+    const auto it = by_attacker_.find(*f.attacker);
+    if (it == by_attacker_.end()) return page;
+    driving = &it->second;
+  } else if (f.token) {
+    const auto it = by_token_.find(*f.token);
+    if (it == by_token_.end()) return page;
+    driving = &it->second;
+  } else if (f.app) {
+    const auto it = by_app_.find(*f.app);
+    if (it == by_app_.end()) return page;
+    driving = &it->second;
+  } else if (f.pattern) {
+    driving = &by_pattern_[static_cast<int>(*f.pattern)];
+  }
+  const key_set& keys = driving != nullptr ? *driving : by_key_;
+  // Walk only [from_block, to_block] — the keysets are ordered by block.
+  const auto walk_begin = keys.lower_bound(incident_key{f.from_block, 0, 0});
+  const incident_key cursor =
+      after.value_or(incident_key{});  // results are strictly after this
+  for (auto it = walk_begin; it != keys.end(); ++it) {
+    if (it->block > f.to_block) break;
+    const record& rec = records_[it->id - 1];
+    if (!record_matches(rec.incident, f)) continue;
+    ++page.total;
+    if (*it <= cursor) continue;  // already served on an earlier page
+    if (page.items.size() < limit) {
+      page.items.push_back(stored_incident{it->id, rec.incident});
+      page.next = *it;
+    } else {
+      page.has_more = true;
+    }
+  }
+  return page;
+}
+
+std::optional<stored_incident> incident_store::get(std::uint64_t id) const {
+  const std::shared_lock lk{mu_};
+  if (id == 0 || id > records_.size()) return std::nullopt;
+  const record& rec = records_[id - 1];
+  if (rec.retracted) return std::nullopt;
+  return stored_incident{id, rec.incident};
+}
+
+store_stats incident_store::stats() const {
+  const std::shared_lock lk{mu_};
+  store_stats s;
+  s.ingested = records_.size();
+  s.retracted = retracted_count_;
+  s.active = by_key_.size();
+  for (int p = 0; p < 3; ++p) s.per_pattern[p] = by_pattern_[p].size();
+  s.attackers = by_attacker_.size();
+  if (!by_key_.empty()) {
+    s.first_block = by_key_.begin()->block;
+    s.last_block = by_key_.rbegin()->block;
+  }
+  s.version = version_.load(std::memory_order_acquire);
+  return s;
+}
+
+std::chrono::system_clock::time_point incident_store::last_modified() const {
+  const std::shared_lock lk{mu_};
+  return last_modified_;
+}
+
+incident_store::replay_result incident_store::replay_jsonl(
+    const std::string& path) {
+  replay_result result;
+  for (const service::jsonl_sink::feed_record& rec :
+       service::jsonl_sink::read_records(path)) {
+    if (rec.retract) {
+      if (!retract(rec.incident)) {
+        throw std::runtime_error{
+            "incident_store: replay tombstone with no matching emission "
+            "(block " +
+            std::to_string(rec.incident.block_number) + ", tx " +
+            std::to_string(rec.incident.incident.tx_index) + ") in " + path};
+      }
+      ++result.retracted;
+    } else {
+      insert(rec.incident);
+      ++result.inserted;
+    }
+  }
+  return result;
+}
+
+void incident_store::index_insert(const incident_key& key, const record& rec) {
+  by_attacker_[rec.incident.incident.borrower_tag].insert(key);
+  for (const core::pattern_match& m : rec.incident.incident.matches) {
+    by_app_[m.counterparty].insert(key);
+    by_token_[m.target].insert(key);
+    by_pattern_[static_cast<int>(m.pattern)].insert(key);
+  }
+}
+
+void incident_store::index_erase(const incident_key& key, const record& rec) {
+  const auto drop = [&key](auto& map, const auto& term) {
+    const auto it = map.find(term);
+    if (it == map.end()) return;
+    it->second.erase(key);
+    // Empty buckets are erased so distinct-term counts (stats) stay exact.
+    if (it->second.empty()) map.erase(it);
+  };
+  drop(by_attacker_, rec.incident.incident.borrower_tag);
+  for (const core::pattern_match& m : rec.incident.incident.matches) {
+    drop(by_app_, m.counterparty);
+    drop(by_token_, m.target);
+    by_pattern_[static_cast<int>(m.pattern)].erase(key);
+  }
+}
+
+void incident_store::bump_version() {
+  version_.fetch_add(1, std::memory_order_release);
+  last_modified_ = std::chrono::system_clock::now();
+}
+
+}  // namespace leishen::store

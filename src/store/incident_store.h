@@ -1,0 +1,179 @@
+// The incident store: the queryable surface over everything the monitor
+// fleet has detected.
+//
+// Detection shards (monitor_service instances) fan their incidents into one
+// store through `store_sink`; the HTTP API tier (src/api) reads pages back
+// out. The store keeps every incident in canonical (block, tx, id) order
+// plus secondary indexes by attacker tag, manipulated token, victim
+// application, and attack pattern, so the common defender queries ("what
+// did 0xabc… do", "which incidents hit App-X", "all SBS in blocks 1000 to
+// 2000") never scan the full history.
+//
+// Reorgs retract: when a monitor rolls back an orphaned block it calls
+// `retract`, which tombstones the matching incident — it disappears from
+// the canonical order, from every secondary index, from `stats()`'s active
+// counters, and from all subsequent queries, exactly as the JSONL feed's
+// tombstone lines hide it from `jsonl_sink::read`. The record itself is
+// kept (audit trail), which is why `retracted` is counted rather than
+// forgotten.
+//
+// Query consistency: every mutation bumps `version()`. Pages are keyset-
+// paginated — the cursor is the last returned (block, tx, id) key, not an
+// offset — so a page walk interleaved with concurrent inserts never skips
+// or duplicates a key that existed when the walk started; newly inserted
+// incidents simply appear in their sorted position ahead of or behind the
+// cursor. The API's response cache keys on `version()` to invalidate.
+//
+// A store is rebuildable from sink output: `replay_jsonl` feeds a JSONL
+// incident file (emissions and tombstones, in file order) back through
+// insert/retract, which is how a restarted fleet reconstructs its serving
+// state from the per-shard durable feeds.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/asset.h"
+#include "service/incident_sink.h"
+
+namespace leishen::store {
+
+/// Canonical position of a stored incident — strictly increasing along the
+/// store's sort order and the keyset-pagination cursor. `id` breaks ties
+/// between a retracted incident and its canonical re-emission at the same
+/// (block, tx) after a reorg.
+struct incident_key {
+  std::uint64_t block = 0;
+  std::uint64_t tx = 0;
+  std::uint64_t id = 0;
+
+  friend auto operator<=>(const incident_key&, const incident_key&) = default;
+};
+
+struct stored_incident {
+  std::uint64_t id = 0;
+  service::monitor_incident incident;
+};
+
+/// Conjunctive filter; unset fields match everything. Token / app / pattern
+/// match if ANY of the incident's pattern matches carries them.
+struct incident_filter {
+  std::optional<std::string> attacker;          // borrower tag
+  std::optional<address> token;                 // manipulated token contract
+  std::optional<std::string> app;               // victim counterparty tag
+  std::optional<core::attack_pattern> pattern;
+  std::uint64_t from_block = 0;
+  std::uint64_t to_block = UINT64_MAX;
+};
+
+struct incident_page {
+  std::vector<stored_incident> items;
+  /// Total matches under the filter at the snapshot, not just this page.
+  std::uint64_t total = 0;
+  /// Store version the page was computed at (the API's ETag input).
+  std::uint64_t version = 0;
+  bool has_more = false;
+  /// Pass as `after` to continue; meaningful only when `has_more`.
+  incident_key next;
+};
+
+struct store_stats {
+  std::uint64_t ingested = 0;   // inserts ever (tombstoned ones included)
+  std::uint64_t retracted = 0;  // tombstoned by reorg retraction
+  std::uint64_t active = 0;     // ingested - retracted
+  /// Active incidents carrying at least one match of the pattern (an
+  /// incident with both SBS and MBS matches counts once under each).
+  std::uint64_t per_pattern[3] = {0, 0, 0};
+  std::uint64_t attackers = 0;  // distinct active borrower tags
+  std::uint64_t first_block = 0, last_block = 0;  // active span (0,0 = empty)
+  std::uint64_t version = 0;
+
+  friend bool operator==(const store_stats&, const store_stats&) = default;
+};
+
+class incident_store {
+ public:
+  incident_store() = default;
+  incident_store(const incident_store&) = delete;
+  incident_store& operator=(const incident_store&) = delete;
+
+  /// Ingest one incident; returns its store id (ids start at 1 and are
+  /// assigned in arrival order, so they carry no cross-shard meaning —
+  /// canonical order is (block, tx, id)). Thread-safe.
+  std::uint64_t insert(const service::monitor_incident& inc);
+
+  /// Tombstone the newest active incident equal to `inc` (the reorg
+  /// retraction path; monitors retract newest-first). Returns false when no
+  /// active match exists. Thread-safe.
+  bool retract(const service::monitor_incident& inc);
+
+  /// One page of matches in (block, tx, id) order, starting strictly after
+  /// `after` (std::nullopt = from the beginning). `limit` is clamped to at
+  /// least 1. Thread-safe; see the header comment for the consistency
+  /// contract.
+  [[nodiscard]] incident_page query(const incident_filter& filter,
+                                    std::optional<incident_key> after,
+                                    std::size_t limit) const;
+
+  /// By store id; std::nullopt for unknown or retracted ids.
+  [[nodiscard]] std::optional<stored_incident> get(std::uint64_t id) const;
+
+  [[nodiscard]] store_stats stats() const;
+
+  /// Monotone mutation counter; cheap (no lock). Equal versions imply
+  /// identical query results, which is what the API response cache and
+  /// ETags key on.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Wall-clock time of the last mutation (HTTP Last-Modified).
+  [[nodiscard]] std::chrono::system_clock::time_point last_modified() const;
+
+  struct replay_result {
+    std::uint64_t inserted = 0;
+    std::uint64_t retracted = 0;
+  };
+
+  /// Rebuild from a JSONL incident feed (`jsonl_sink` output): emissions
+  /// insert, tombstones retract, in file order. Throws std::runtime_error
+  /// on a malformed line or a tombstone with no matching emission.
+  replay_result replay_jsonl(const std::string& path);
+
+ private:
+  struct record {
+    service::monitor_incident incident;
+    bool retracted = false;
+  };
+
+  /// Ordered secondary index bucket: the keys of the active incidents in a
+  /// term's posting list, already in pagination order.
+  using key_set = std::set<incident_key>;
+
+  void index_insert(const incident_key& key, const record& rec);
+  void index_erase(const incident_key& key, const record& rec);
+  void bump_version();
+
+  mutable std::shared_mutex mu_;
+  std::vector<record> records_;  // id - 1 -> record; never shrinks
+  /// Canonical order over ACTIVE incidents only (tombstones are erased).
+  std::set<incident_key> by_key_;
+  std::unordered_map<tag_id, key_set, tag_id_hash> by_attacker_;
+  std::unordered_map<tag_id, key_set, tag_id_hash> by_app_;
+  std::unordered_map<chain::asset, key_set, chain::asset_hash> by_token_;
+  std::array<key_set, 3> by_pattern_;
+  std::uint64_t retracted_count_ = 0;
+  std::atomic<std::uint64_t> version_{0};
+  std::chrono::system_clock::time_point last_modified_{};
+};
+
+}  // namespace leishen::store

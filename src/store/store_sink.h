@@ -1,0 +1,49 @@
+// The fan-in sink: the bridge from a monitor shard's incident stream into
+// the shared incident store.
+//
+// Every shard registers one of these (or all share one — the sink is
+// stateless beyond its counters) and the store's own locking serializes the
+// fan-in, so N shards feeding one store need no coordinator in the data
+// path. Retractions forward too: a reorg rolled back on any shard
+// tombstones the incident for every API reader.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "service/incident_sink.h"
+#include "store/incident_store.h"
+
+namespace leishen::store {
+
+class store_sink final : public service::incident_sink {
+ public:
+  explicit store_sink(incident_store& store) : store_{store} {}
+
+  void on_incident(const service::monitor_incident& inc) override {
+    store_.insert(inc);
+    forwarded_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void on_retract(const service::monitor_incident& inc) override {
+    if (store_.retract(inc)) {
+      retracted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // The store is always current (in-memory); nothing to flush.
+
+  [[nodiscard]] std::uint64_t forwarded() const noexcept {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t retracted() const noexcept {
+    return retracted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  incident_store& store_;
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> retracted_{0};
+};
+
+}  // namespace leishen::store

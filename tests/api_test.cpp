@@ -1,0 +1,463 @@
+// The embedded HTTP API, exercised two ways: the routing/caching brain via
+// http_server::handle (fast, no sockets), and the full wire path via a raw
+// TCP client against a server on an ephemeral port — curl-shaped requests
+// asserting filters, pagination, ETag revalidation, rate limiting, and the
+// malformed/oversized rejection paths.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/http.h"
+#include "api/http_server.h"
+#include "api/rate_limiter.h"
+#include "common/net.h"
+#include "core/scanner.h"
+#include "store/incident_store.h"
+#include "verify/receipt_gen.h"
+
+namespace leishen::api {
+namespace {
+
+// ---- request-head parsing ---------------------------------------------------
+
+TEST(HttpParse, RequestLineAndQuery) {
+  http_request req;
+  ASSERT_EQ(parse_request_head(
+                "GET /incidents?attacker=riskless%20rider&limit=5 HTTP/1.1\r\n"
+                "Host: localhost\r\n"
+                "X-Api-Key: abc\r\n\r\n",
+                parse_limits{}, req),
+            parse_result::ok);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/incidents");
+  ASSERT_NE(req.query_param("attacker"), nullptr);
+  EXPECT_EQ(*req.query_param("attacker"), "riskless rider");
+  ASSERT_NE(req.query_param("limit"), nullptr);
+  EXPECT_EQ(*req.query_param("limit"), "5");
+  ASSERT_NE(req.header("x-api-key"), nullptr);  // names lowercased
+  EXPECT_EQ(*req.header("x-api-key"), "abc");
+  EXPECT_TRUE(req.keep_alive());
+}
+
+TEST(HttpParse, MalformedRejected) {
+  http_request req;
+  EXPECT_EQ(parse_request_head("GARBAGE\r\n\r\n", parse_limits{}, req),
+            parse_result::malformed);
+  EXPECT_EQ(parse_request_head("GET /x HTTP/9.9\r\n\r\n", parse_limits{}, req),
+            parse_result::malformed);
+  EXPECT_EQ(parse_request_head("GET noslash HTTP/1.1\r\n\r\n", parse_limits{},
+                               req),
+            parse_result::malformed);
+  EXPECT_EQ(parse_request_head("GET /x?a=%zz HTTP/1.1\r\n\r\n", parse_limits{},
+                               req),
+            parse_result::malformed);
+  EXPECT_EQ(parse_request_head("GET /x HTTP/1.1\r\nnocolon\r\n\r\n",
+                               parse_limits{}, req),
+            parse_result::malformed);
+}
+
+TEST(HttpParse, LimitsEnforced) {
+  http_request req;
+  parse_limits tight;
+  tight.max_head_bytes = 64;
+  const std::string big =
+      "GET /x HTTP/1.1\r\nPadding: " + std::string(100, 'a') + "\r\n\r\n";
+  EXPECT_EQ(parse_request_head(big, tight, req), parse_result::too_large);
+
+  tight.max_head_bytes = 8192;
+  tight.max_headers = 2;
+  EXPECT_EQ(parse_request_head("GET /x HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n"
+                               "\r\n",
+                               tight, req),
+            parse_result::too_large);
+}
+
+TEST(HttpParse, CursorRoundTrip) {
+  const store::incident_key key{123, 45, 6};
+  const std::optional<store::incident_key> back =
+      parse_cursor(render_cursor(key));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, key);
+  EXPECT_FALSE(parse_cursor("12-34").has_value());
+  EXPECT_FALSE(parse_cursor("a-b-c").has_value());
+  EXPECT_FALSE(parse_cursor("").has_value());
+}
+
+// ---- rate limiter -----------------------------------------------------------
+
+TEST(RateLimiter, BurstThenRefill) {
+  rate_limit_config cfg;
+  cfg.burst = 3;
+  cfg.refill_per_sec = 1;
+  rate_limiter limiter{cfg};
+  const auto t0 = rate_limiter::clock::now();
+  EXPECT_TRUE(limiter.allow("a", t0));
+  EXPECT_TRUE(limiter.allow("a", t0));
+  EXPECT_TRUE(limiter.allow("a", t0));
+  EXPECT_FALSE(limiter.allow("a", t0));          // burst spent
+  EXPECT_TRUE(limiter.allow("b", t0));           // independent client
+  EXPECT_FALSE(limiter.allow("a", t0 + std::chrono::milliseconds{500}));
+  EXPECT_TRUE(limiter.allow("a", t0 + std::chrono::seconds{1}));  // refilled
+  EXPECT_GE(limiter.retry_after_sec(), 1U);
+}
+
+// ---- fixture: a populated store behind a server -----------------------------
+
+class ApiServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    verify::generator_options gopts;
+    gopts.transactions = 160;
+    pop_ = new verify::generated_population{
+        verify::generate_receipts(7, gopts)};
+    store_ = new store::incident_store{};
+    core::scanner scanner{pop_->world->creations, pop_->world->labels,
+                          pop_->world->weth_token};
+    scanner.scan_all(pop_->receipts, nullptr);
+    for (const core::incident& inc : scanner.incidents()) {
+      std::uint64_t block = 0;
+      for (const chain::tx_receipt& r : pop_->receipts) {
+        if (r.tx_index == inc.tx_index) block = r.block_number;
+      }
+      store_->insert(service::monitor_incident{block, inc});
+    }
+    ASSERT_GT(store_->stats().active, 0U) << "population must detect";
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete pop_;
+    store_ = nullptr;
+    pop_ = nullptr;
+  }
+
+  static server_config quiet_config() {
+    server_config cfg;
+    cfg.endpoint.host = "127.0.0.1";
+    cfg.endpoint.port = 0;  // ephemeral
+    cfg.workers = 2;
+    return cfg;
+  }
+
+  static http_request get(const std::string& target) {
+    http_request req;
+    EXPECT_EQ(parse_request_head("GET " + target + " HTTP/1.1\r\n\r\n",
+                                 parse_limits{}, req),
+              parse_result::ok);
+    return req;
+  }
+
+  static verify::generated_population* pop_;
+  static store::incident_store* store_;
+};
+
+verify::generated_population* ApiServerTest::pop_ = nullptr;
+store::incident_store* ApiServerTest::store_ = nullptr;
+
+// ---- routing via handle() ---------------------------------------------------
+
+TEST_F(ApiServerTest, ListDetailAndFilters) {
+  service::metrics_registry metrics;
+  http_server server{*store_, metrics, quiet_config()};
+
+  // Unfiltered list reports the full population.
+  http_response all = server.handle(get("/incidents?limit=500"), "t1");
+  ASSERT_EQ(all.status, 200);
+  const store::store_stats stats = store_->stats();
+  EXPECT_NE(all.body.find("\"total\":" + std::to_string(stats.active)),
+            std::string::npos);
+
+  // Detail of id 1 embeds the feed line byte-identically.
+  const std::optional<store::stored_incident> first = store_->get(1);
+  ASSERT_TRUE(first.has_value());
+  http_response detail = server.handle(get("/incidents/1"), "t1");
+  ASSERT_EQ(detail.status, 200);
+  const std::string feed_line =
+      service::jsonl_sink::to_json_line(first->incident);
+  EXPECT_EQ(detail.body, "{\"id\":1,\"incident\":" + feed_line + "}");
+  // The list item for the same incident carries the identical bytes.
+  EXPECT_NE(all.body.find(feed_line), std::string::npos);
+
+  // Attacker filter agrees with a direct store query.
+  const std::string attacker = first->incident.incident.borrower_tag.str();
+  store::incident_filter f;
+  f.attacker = attacker;
+  const store::incident_page expected =
+      store_->query(f, std::nullopt, 500);
+  bool ok = true;
+  (void)ok;
+  http_response filtered = server.handle(
+      get("/incidents?limit=500&attacker=" + attacker), "t1");
+  ASSERT_EQ(filtered.status, 200);
+  EXPECT_NE(
+      filtered.body.find("\"total\":" + std::to_string(expected.total)),
+      std::string::npos);
+
+  // Unknown id and unknown route are 404s; bad parameters are 400s.
+  EXPECT_EQ(server.handle(get("/incidents/999999"), "t1").status, 404);
+  EXPECT_EQ(server.handle(get("/nothing"), "t1").status, 404);
+  EXPECT_EQ(server.handle(get("/incidents?pattern=XXX"), "t1").status, 400);
+  EXPECT_EQ(server.handle(get("/incidents?token=nothex"), "t1").status, 400);
+  EXPECT_EQ(server.handle(get("/incidents?limit=0"), "t1").status, 400);
+  EXPECT_EQ(server.handle(get("/incidents?page=zig"), "t1").status, 400);
+  EXPECT_EQ(server.handle(get("/incidents?bogus=1"), "t1").status, 400);
+}
+
+TEST_F(ApiServerTest, PaginationWalksTheWholeStore) {
+  service::metrics_registry metrics;
+  http_server server{*store_, metrics, quiet_config()};
+
+  std::size_t seen = 0;
+  std::string cursor;
+  for (int guard = 0; guard < 1000; ++guard) {
+    std::string target = "/incidents?limit=2";
+    if (!cursor.empty()) target += "&page=" + cursor;
+    const http_response page = server.handle(get(target), "pg");
+    ASSERT_EQ(page.status, 200);
+    std::size_t pos = 0;
+    while ((pos = page.body.find("{\"id\":", pos)) != std::string::npos) {
+      ++seen;
+      pos += 6;
+    }
+    const std::size_t next = page.body.find("\"next\":\"");
+    if (next == std::string::npos) break;
+    const std::size_t start = next + 8;
+    cursor = page.body.substr(start, page.body.find('"', start) - start);
+  }
+  EXPECT_EQ(seen, store_->stats().active);
+}
+
+TEST_F(ApiServerTest, EtagRevalidationAndCache) {
+  service::metrics_registry metrics;
+  http_server server{*store_, metrics, quiet_config()};
+
+  const http_request req = get("/incidents?limit=5");
+  const http_response first = server.handle(req, "c1");
+  ASSERT_EQ(first.status, 200);
+  std::string etag;
+  for (const auto& [k, v] : first.headers) {
+    if (k == "ETag") etag = v;
+  }
+  ASSERT_FALSE(etag.empty());
+  bool has_last_modified = false;
+  for (const auto& [k, v] : first.headers) {
+    if (k == "Last-Modified") has_last_modified = !v.empty();
+  }
+  EXPECT_TRUE(has_last_modified);
+
+  // Same query again: served from cache, identical bytes.
+  const std::uint64_t misses_before =
+      metrics.counter_value("api_cache_misses_total");
+  const http_response second = server.handle(req, "c1");
+  EXPECT_EQ(second.body, first.body);
+  EXPECT_EQ(metrics.counter_value("api_cache_misses_total"), misses_before);
+  EXPECT_GT(metrics.counter_value("api_cache_hits_total"), 0U);
+
+  // Conditional request with the ETag: 304, no body.
+  http_request conditional = req;
+  conditional.headers.emplace_back("if-none-match", etag);
+  const http_response not_modified = server.handle(conditional, "c1");
+  EXPECT_EQ(not_modified.status, 304);
+  EXPECT_TRUE(not_modified.body.empty());
+
+  // A store mutation invalidates: new ETag, fresh 200.
+  const std::optional<store::stored_incident> any = store_->get(1);
+  ASSERT_TRUE(any.has_value());
+  const std::uint64_t dup_id = store_->insert(any->incident);
+  const http_response after = server.handle(conditional, "c1");
+  EXPECT_EQ(after.status, 200);
+  // Restore the store for the other tests.
+  EXPECT_TRUE(store_->retract(any->incident));
+  // (the retract removes the newest equal incident — the duplicate)
+  EXPECT_FALSE(store_->get(dup_id).has_value());
+  ASSERT_TRUE(store_->get(1).has_value());
+}
+
+TEST_F(ApiServerTest, RateLimit429) {
+  server_config cfg = quiet_config();
+  cfg.rate.burst = 3;
+  cfg.rate.refill_per_sec = 0.5;
+  service::metrics_registry metrics;
+  http_server server{*store_, metrics, cfg};
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(server.handle(get("/stats"), "hammer").status, 200);
+  }
+  const http_response limited = server.handle(get("/stats"), "hammer");
+  EXPECT_EQ(limited.status, 429);
+  bool has_retry_after = false;
+  for (const auto& [k, v] : limited.headers) {
+    if (k == "Retry-After") has_retry_after = !v.empty();
+  }
+  EXPECT_TRUE(has_retry_after);
+  // A different client identity is unaffected.
+  EXPECT_EQ(server.handle(get("/stats"), "gentle").status, 200);
+  EXPECT_GT(metrics.counter_value("api_rate_limited_total"), 0U);
+}
+
+TEST_F(ApiServerTest, StatsAndMetricsBodies) {
+  service::metrics_registry metrics;
+  http_server server{*store_, metrics, quiet_config()};
+
+  const http_response stats = server.handle(get("/stats"), "s");
+  ASSERT_EQ(stats.status, 200);
+  EXPECT_EQ(stats.body, render_stats(store_->stats()));
+  EXPECT_NE(stats.body.find("\"patterns\":{\"KRP\":"), std::string::npos);
+
+  const http_response m = server.handle(get("/metrics"), "s");
+  ASSERT_EQ(m.status, 200);
+  EXPECT_NE(m.body.find("api_requests_total"), std::string::npos);
+
+  const http_response post = server.handle(
+      [] {
+        http_request r;
+        EXPECT_EQ(parse_request_head("POST /stats HTTP/1.1\r\n\r\n",
+                                     parse_limits{}, r),
+                  parse_result::ok);
+        return r;
+      }(),
+      "s");
+  EXPECT_EQ(post.status, 405);
+}
+
+// ---- the wire path ----------------------------------------------------------
+
+/// Tiny blocking test client over the repo's own net helpers.
+class test_client {
+ public:
+  explicit test_client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+        0)
+        << std::strerror(errno);
+  }
+  ~test_client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Send raw bytes, read one full response (head + Content-Length body).
+  /// The send result is deliberately unchecked: a server rejecting an
+  /// oversized head may close while we are still writing it.
+  std::string request(const std::string& raw) {
+    (void)net::send_all(fd_, raw);
+    std::string buf;
+    while (buf.find("\r\n\r\n") == std::string::npos) {
+      if (net::recv_some(fd_, buf, 2000) <= 0) return buf;
+    }
+    const std::size_t head_end = buf.find("\r\n\r\n") + 4;
+    std::size_t want = 0;
+    const std::size_t cl = buf.find("Content-Length: ");
+    if (cl != std::string::npos && cl < head_end) {
+      want = std::stoul(buf.substr(cl + 16));
+    }
+    while (buf.size() < head_end + want) {
+      if (net::recv_some(fd_, buf, 2000) <= 0) break;
+    }
+    return buf;
+  }
+
+  [[nodiscard]] bool alive() {
+    std::string probe;
+    return net::recv_some(fd_, probe, 50) != 0;  // -1 timeout = still open
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST_F(ApiServerTest, WireRequestsEndToEnd) {
+  service::metrics_registry metrics;
+  http_server server{*store_, metrics, quiet_config()};
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  {  // Keep-alive: two requests over one connection.
+    test_client c{server.port()};
+    const std::string r1 = c.request("GET /stats HTTP/1.1\r\n\r\n");
+    EXPECT_NE(r1.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(r1.find("\"active\":"), std::string::npos);
+    const std::string r2 =
+        c.request("GET /incidents?limit=1 HTTP/1.1\r\n\r\n");
+    EXPECT_NE(r2.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(r2.find("\"items\":[{\"id\":"), std::string::npos);
+    EXPECT_NE(r2.find("ETag: \""), std::string::npos);
+  }
+
+  {  // Conditional revalidation over the wire.
+    test_client c{server.port()};
+    const std::string first =
+        c.request("GET /incidents?limit=1 HTTP/1.1\r\n\r\n");
+    const std::size_t tag_at = first.find("ETag: ");
+    ASSERT_NE(tag_at, std::string::npos);
+    const std::string etag = first.substr(
+        tag_at + 6, first.find("\r\n", tag_at) - tag_at - 6);
+    const std::string revalidated = c.request(
+        "GET /incidents?limit=1 HTTP/1.1\r\nIf-None-Match: " + etag +
+        "\r\n\r\n");
+    EXPECT_NE(revalidated.find("HTTP/1.1 304"), std::string::npos);
+  }
+
+  {  // Malformed request line: 400, connection closed.
+    test_client c{server.port()};
+    const std::string r = c.request("NONSENSE\r\n\r\n");
+    EXPECT_NE(r.find("HTTP/1.1 400"), std::string::npos);
+    EXPECT_NE(r.find("Connection: close"), std::string::npos);
+  }
+
+  {  // Oversized head: 431.
+    test_client c{server.port()};
+    const std::string r = c.request("GET /stats HTTP/1.1\r\nPad: " +
+                                    std::string(9000, 'x') + "\r\n\r\n");
+    EXPECT_NE(r.find("HTTP/1.1 431"), std::string::npos);
+  }
+
+  {  // Method not allowed on the wire.
+    test_client c{server.port()};
+    const std::string r = c.request("DELETE /incidents/1 HTTP/1.1\r\n\r\n");
+    EXPECT_NE(r.find("HTTP/1.1 405"), std::string::npos);
+    EXPECT_NE(r.find("Allow: GET"), std::string::npos);
+  }
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ApiServerTest, WireRateLimitKeyedOnApiKey) {
+  server_config cfg = quiet_config();
+  cfg.rate.burst = 2;
+  cfg.rate.refill_per_sec = 0.1;
+  service::metrics_registry metrics;
+  http_server server{*store_, metrics, cfg};
+  server.start();
+
+  test_client c{server.port()};
+  const std::string req_a =
+      "GET /stats HTTP/1.1\r\nX-Api-Key: alpha\r\n\r\n";
+  EXPECT_NE(c.request(req_a).find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(c.request(req_a).find("HTTP/1.1 200"), std::string::npos);
+  const std::string limited = c.request(req_a);
+  EXPECT_NE(limited.find("HTTP/1.1 429"), std::string::npos);
+  EXPECT_NE(limited.find("Retry-After: "), std::string::npos);
+  // Same connection, different key: its own bucket.
+  EXPECT_NE(
+      c.request("GET /stats HTTP/1.1\r\nX-Api-Key: beta\r\n\r\n")
+          .find("HTTP/1.1 200"),
+      std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace leishen::api

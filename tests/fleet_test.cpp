@@ -1,0 +1,227 @@
+// Sharded fleet: partition planning invariants, fan-in bit-identity
+// against the serial batch scanner (N = 2 and 3), kill+resume from the
+// durable state directory, and the cross-shard committed watermark.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/scanner.h"
+#include "fleet/shard_coordinator.h"
+#include "scenarios/population.h"
+#include "scenarios/universe.h"
+#include "store/incident_store.h"
+
+namespace leishen::fleet {
+namespace {
+
+class FleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    u_ = new scenarios::universe{};
+    scenarios::population_params params;
+    params.benign_txs = 120;
+    pop_ = new scenarios::population{generate_population(*u_, params)};
+  }
+  static void TearDownTestSuite() {
+    delete pop_;
+    delete u_;
+    pop_ = nullptr;
+    u_ = nullptr;
+  }
+
+  static fleet_options base_options(unsigned shards) {
+    fleet_options opts;
+    opts.shards = shards;
+    opts.scan.yield_aggregator_apps = pop_->aggregator_apps;
+    return opts;
+  }
+
+  static shard_coordinator make_fleet(store::incident_store& store,
+                                      fleet_options opts) {
+    return shard_coordinator{u_->bc().creations(), u_->labels(),
+                             u_->weth().id(), u_->bc().receipts(), store,
+                             std::move(opts)};
+  }
+
+  /// The serial single-scanner reference: every incident with its block
+  /// number, in (block, tx) order — what any fleet must reproduce.
+  static std::vector<service::monitor_incident> serial_reference() {
+    core::scanner_options opts;
+    opts.yield_aggregator_apps = pop_->aggregator_apps;
+    core::scanner s{u_->bc().creations(), u_->labels(), u_->weth().id(),
+                    opts};
+    s.scan_all(u_->bc().receipts(), nullptr);
+    std::vector<service::monitor_incident> out;
+    for (const core::incident& inc : s.incidents()) {
+      std::uint64_t block = 0;
+      for (const chain::tx_receipt& r : u_->bc().receipts()) {
+        if (r.tx_index == inc.tx_index) block = r.block_number;
+      }
+      out.push_back(service::monitor_incident{block, inc});
+    }
+    return out;
+  }
+
+  /// Full store contents in canonical order.
+  static std::vector<service::monitor_incident> dump(
+      const store::incident_store& store) {
+    std::vector<service::monitor_incident> out;
+    std::optional<store::incident_key> cursor;
+    while (true) {
+      const store::incident_page page = store.query({}, cursor, 64);
+      for (const store::stored_incident& s : page.items) {
+        out.push_back(s.incident);
+      }
+      if (!page.has_more) break;
+      cursor = page.next;
+    }
+    return out;
+  }
+
+  static void expect_identical(
+      const std::vector<service::monitor_incident>& got,
+      const std::vector<service::monitor_incident>& want) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "diverged at incident " << i;
+    }
+  }
+
+  static std::string state_dir(const std::string& name) {
+    const std::string dir = testing::TempDir() + "fleet_test_" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+
+  static scenarios::universe* u_;
+  static scenarios::population* pop_;
+};
+
+scenarios::universe* FleetTest::u_ = nullptr;
+scenarios::population* FleetTest::pop_ = nullptr;
+
+TEST_F(FleetTest, PlanShardsInvariants) {
+  const std::vector<chain::tx_receipt>& receipts = u_->bc().receipts();
+  for (const unsigned n : {1U, 2U, 3U, 5U, 8U}) {
+    const std::vector<shard_range> plan = plan_shards(receipts, n);
+    ASSERT_FALSE(plan.empty());
+    EXPECT_LE(plan.size(), std::max<std::size_t>(n, 1));
+    // Contiguous cover of the whole log.
+    EXPECT_EQ(plan.front().begin, 0U);
+    EXPECT_EQ(plan.back().end, receipts.size());
+    for (std::size_t i = 1; i < plan.size(); ++i) {
+      EXPECT_EQ(plan[i].begin, plan[i - 1].end);
+      // Block-aligned: a block never straddles a boundary.
+      EXPECT_LT(plan[i - 1].last_block, plan[i].first_block);
+    }
+    for (const shard_range& r : plan) {
+      EXPECT_LT(r.begin, r.end);
+      EXPECT_EQ(r.first_block, receipts[r.begin].block_number);
+      EXPECT_EQ(r.last_block, receipts[r.end - 1].block_number);
+    }
+  }
+  EXPECT_TRUE(plan_shards({}, 4).empty());
+}
+
+TEST_F(FleetTest, FleetStoreMatchesSerialScanner) {
+  const std::vector<service::monitor_incident> reference =
+      serial_reference();
+  ASSERT_FALSE(reference.empty());
+
+  for (const unsigned shards : {2U, 3U}) {
+    store::incident_store store;
+    shard_coordinator fleet = make_fleet(store, base_options(shards));
+    ASSERT_GE(fleet.shard_count(), 2U);
+    fleet.run();
+
+    expect_identical(dump(store), reference);
+    EXPECT_EQ(fleet.incidents_forwarded(), reference.size());
+    EXPECT_EQ(store.stats().retracted, 0U);
+
+    // Merged counters equal the serial ground truth.
+    const std::map<std::string, std::uint64_t> merged =
+        fleet.merged_counters();
+    const auto it = merged.find("monitor_incidents");
+    ASSERT_TRUE(it != merged.end());
+    EXPECT_EQ(it->second, reference.size());
+  }
+}
+
+TEST_F(FleetTest, KilledFleetResumesBitIdentically) {
+  const std::vector<service::monitor_incident> reference =
+      serial_reference();
+  const std::string dir = state_dir("resume");
+
+  {  // First run: stopped as soon as it started — an arbitrary prefix of
+     // each shard's range lands in the feeds and checkpoints.
+    store::incident_store store;
+    fleet_options opts = base_options(2);
+    opts.state_dir = dir;
+    opts.checkpoint_every = 1;
+    shard_coordinator fleet = make_fleet(store, opts);
+    fleet.start();
+    fleet.request_stop();
+    fleet.wait();
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir + "/fleet.ckpt"));
+
+  {  // Resumed fleet over a FRESH store: replays the durable feeds, then
+     // each shard appends its missing suffix.
+    store::incident_store store;
+    fleet_options opts = base_options(2);
+    opts.state_dir = dir;
+    opts.checkpoint_every = 1;
+    shard_coordinator fleet = make_fleet(store, opts);
+    ASSERT_TRUE(fleet.resume());
+    fleet.run();
+
+    expect_identical(dump(store), reference);
+    // Every shard finished its full range, so the fleet watermark is the
+    // lowest shard's final block.
+    EXPECT_EQ(fleet.committed_watermark(), fleet.plan().front().last_block);
+  }
+
+  // Resharding a half-finished run is refused, not silently misaligned.
+  {
+    store::incident_store store;
+    fleet_options opts = base_options(3);
+    opts.state_dir = dir;
+    shard_coordinator fleet = make_fleet(store, opts);
+    if (fleet.shard_count() != 2) {
+      EXPECT_THROW(fleet.resume(), std::runtime_error);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FleetTest, ResumeOnEmptyDirIsFreshStart) {
+  const std::string dir = state_dir("fresh");
+  store::incident_store store;
+  fleet_options opts = base_options(2);
+  opts.state_dir = dir;
+  shard_coordinator fleet = make_fleet(store, opts);
+  EXPECT_FALSE(fleet.resume());  // nothing durable yet
+  fleet.run();
+  expect_identical(dump(store), serial_reference());
+  // A full clean run leaves a resumable topology + watermark behind.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/fleet.ckpt"));
+  EXPECT_EQ(fleet.committed_watermark(), fleet.plan().front().last_block);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FleetTest, InMemoryFleetNeedsNoStateDir) {
+  store::incident_store store;
+  shard_coordinator fleet = make_fleet(store, base_options(2));
+  EXPECT_FALSE(fleet.resume());
+  fleet.run();
+  expect_identical(dump(store), serial_reference());
+  EXPECT_EQ(fleet.committed_watermark(), fleet.plan().front().last_block);
+}
+
+}  // namespace
+}  // namespace leishen::fleet

@@ -1,0 +1,450 @@
+// Incident store: secondary-index correctness against brute force over
+// seeded synthetic populations, keyset-pagination stability under
+// concurrent writers, end-to-end retraction visibility driven by a real
+// monitor reorg, and JSONL replay rebuild.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/scanner.h"
+#include "service/block_source.h"
+#include "service/monitor_service.h"
+#include "store/incident_store.h"
+#include "store/store_sink.h"
+#include "verify/receipt_gen.h"
+
+namespace leishen::store {
+namespace {
+
+/// Scan a generated population with the serial batch scanner and pair each
+/// incident with its block number — the store's ingestion currency.
+std::vector<service::monitor_incident> batch_incidents(
+    const verify::generated_population& pop) {
+  core::scanner scanner{pop.world->creations, pop.world->labels,
+                        pop.world->weth_token};
+  scanner.scan_all(pop.receipts, nullptr);
+  std::vector<service::monitor_incident> out;
+  for (const core::incident& inc : scanner.incidents()) {
+    std::uint64_t block = 0;
+    for (const chain::tx_receipt& r : pop.receipts) {
+      if (r.tx_index == inc.tx_index) block = r.block_number;
+    }
+    out.push_back(service::monitor_incident{block, inc});
+  }
+  return out;
+}
+
+/// Everything the store currently serves, in canonical order, by paging
+/// with a deliberately small page size (exercises the cursor).
+std::vector<stored_incident> dump(const incident_store& store,
+                                  const incident_filter& filter = {},
+                                  std::size_t page_size = 3) {
+  std::vector<stored_incident> out;
+  std::optional<incident_key> cursor;
+  while (true) {
+    const incident_page page = store.query(filter, cursor, page_size);
+    for (const stored_incident& s : page.items) out.push_back(s);
+    if (!page.has_more) break;
+    cursor = page.next;
+  }
+  return out;
+}
+
+bool filter_matches(const service::monitor_incident& inc,
+                    const incident_filter& f) {
+  if (inc.block_number < f.from_block || inc.block_number > f.to_block) {
+    return false;
+  }
+  if (f.attacker && inc.incident.borrower_tag.str() != *f.attacker) {
+    return false;
+  }
+  const auto any_match = [&inc](auto&& pred) {
+    return std::any_of(inc.incident.matches.begin(),
+                       inc.incident.matches.end(), pred);
+  };
+  if (f.token && !any_match([&](const core::pattern_match& m) {
+        return m.target == chain::asset::token(*f.token);
+      })) {
+    return false;
+  }
+  if (f.app && !any_match([&](const core::pattern_match& m) {
+        return m.counterparty.str() == *f.app;
+      })) {
+    return false;
+  }
+  if (f.pattern && !any_match([&](const core::pattern_match& m) {
+        return m.pattern == *f.pattern;
+      })) {
+    return false;
+  }
+  return true;
+}
+
+TEST(IncidentStore, EmptyStore) {
+  incident_store store;
+  EXPECT_EQ(store.version(), 0U);
+  EXPECT_FALSE(store.get(1).has_value());
+  const incident_page page = store.query({}, std::nullopt, 10);
+  EXPECT_EQ(page.total, 0U);
+  EXPECT_TRUE(page.items.empty());
+  EXPECT_FALSE(page.has_more);
+  const store_stats s = store.stats();
+  EXPECT_EQ(s.ingested, 0U);
+  EXPECT_EQ(s.active, 0U);
+}
+
+// Every secondary index answers exactly like a brute-force scan of the
+// whole population, for every filter dimension and several block windows.
+TEST(IncidentStore, IndexesMatchBruteForce) {
+  for (const std::uint64_t seed : {11U, 42U, 1234U}) {
+    verify::generator_options gopts;
+    gopts.transactions = 160;
+    const verify::generated_population pop =
+        verify::generate_receipts(seed, gopts);
+    const std::vector<service::monitor_incident> incidents =
+        batch_incidents(pop);
+    if (incidents.empty()) continue;  // seed produced pure noise
+
+    incident_store store;
+    for (const service::monitor_incident& inc : incidents) {
+      store.insert(inc);
+    }
+
+    // One filter per dimension, drawn from the population itself, plus a
+    // block window and a conjunction.
+    std::vector<incident_filter> filters;
+    filters.push_back({});  // unfiltered
+    {
+      incident_filter f;
+      f.attacker = incidents.front().incident.borrower_tag.str();
+      filters.push_back(f);
+    }
+    if (!incidents.front().incident.matches.empty()) {
+      const core::pattern_match& m = incidents.front().incident.matches[0];
+      incident_filter by_token;
+      by_token.token = m.target.contract_address();
+      filters.push_back(by_token);
+      incident_filter by_app;
+      by_app.app = m.counterparty.str();
+      filters.push_back(by_app);
+      incident_filter by_pattern;
+      by_pattern.pattern = m.pattern;
+      filters.push_back(by_pattern);
+      incident_filter conjunction;
+      conjunction.attacker = incidents.front().incident.borrower_tag.str();
+      conjunction.pattern = m.pattern;
+      conjunction.from_block = incidents.front().block_number;
+      filters.push_back(conjunction);
+    }
+    {
+      incident_filter window;
+      window.from_block = incidents.front().block_number;
+      window.to_block =
+          incidents[incidents.size() / 2].block_number;
+      filters.push_back(window);
+    }
+    incident_filter miss;
+    miss.attacker = "nobody-ever";
+    filters.push_back(miss);
+
+    for (const incident_filter& f : filters) {
+      std::vector<service::monitor_incident> expected;
+      for (const service::monitor_incident& inc : incidents) {
+        if (filter_matches(inc, f)) expected.push_back(inc);
+      }
+      std::stable_sort(expected.begin(), expected.end(),
+                       [](const auto& a, const auto& b) {
+                         if (a.block_number != b.block_number) {
+                           return a.block_number < b.block_number;
+                         }
+                         return a.incident.tx_index < b.incident.tx_index;
+                       });
+      const std::vector<stored_incident> got = dump(store, f);
+      ASSERT_EQ(got.size(), expected.size())
+          << "seed " << seed << ": filter disagreed with brute force";
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].incident, expected[i]);
+      }
+      EXPECT_EQ(store.query(f, std::nullopt, 1).total, expected.size());
+    }
+  }
+}
+
+TEST(IncidentStore, RetractionDisappearsFromEveryIndex) {
+  verify::generator_options gopts;
+  gopts.transactions = 160;
+  const verify::generated_population pop = verify::generate_receipts(7, gopts);
+  const std::vector<service::monitor_incident> incidents =
+      batch_incidents(pop);
+  ASSERT_GE(incidents.size(), 2U) << "seed 7 must detect something";
+
+  incident_store store;
+  std::vector<std::uint64_t> ids;
+  for (const service::monitor_incident& inc : incidents) {
+    ids.push_back(store.insert(inc));
+  }
+  const store_stats before = store.stats();
+  const std::uint64_t version_before = store.version();
+
+  const service::monitor_incident victim = incidents.front();
+  ASSERT_TRUE(store.retract(victim));
+  EXPECT_GT(store.version(), version_before);
+
+  // Gone by id.
+  EXPECT_FALSE(store.get(ids.front()).has_value());
+  // Gone from every filtered view it used to satisfy.
+  incident_filter by_attacker;
+  by_attacker.attacker = victim.incident.borrower_tag.str();
+  for (const stored_incident& s : dump(store, by_attacker)) {
+    EXPECT_NE(s.id, ids.front());
+  }
+  if (!victim.incident.matches.empty()) {
+    incident_filter by_pattern;
+    by_pattern.pattern = victim.incident.matches[0].pattern;
+    for (const stored_incident& s : dump(store, by_pattern)) {
+      EXPECT_NE(s.id, ids.front());
+    }
+  }
+  // Stats subtract.
+  const store_stats after = store.stats();
+  EXPECT_EQ(after.ingested, before.ingested);
+  EXPECT_EQ(after.retracted, before.retracted + 1);
+  EXPECT_EQ(after.active, before.active - 1);
+
+  // Retracting it again finds nothing; a re-emission after the reorg
+  // becomes a fresh id and is served again.
+  EXPECT_FALSE(store.retract(victim));
+  const std::uint64_t new_id = store.insert(victim);
+  EXPECT_GT(new_id, ids.back());
+  EXPECT_TRUE(store.get(new_id).has_value());
+  EXPECT_EQ(store.stats().active, before.active);
+}
+
+// A page walk interleaved with a concurrent writer never skips or
+// duplicates a key that existed when the walk started. Runs under the
+// `api` label so the TSan matrix exercises the reader/writer interleaving.
+TEST(IncidentStore, PaginationStableUnderConcurrentWrites) {
+  verify::generator_options gopts;
+  gopts.transactions = 160;
+  const verify::generated_population pop =
+      verify::generate_receipts(42, gopts);
+  const std::vector<service::monitor_incident> incidents =
+      batch_incidents(pop);
+  ASSERT_GE(incidents.size(), 4U);
+
+  incident_store store;
+  std::vector<std::uint64_t> baseline_ids;
+  for (const service::monitor_incident& inc : incidents) {
+    baseline_ids.push_back(store.insert(inc));
+  }
+
+  // A bounded writer: enough churn to interleave into every page boundary,
+  // but finite — an unbounded writer could outrun the reader's cursor
+  // forever on a single-core box.
+  std::atomic<bool> done{false};
+  std::thread writer{[&] {
+    for (int copies = 0; copies < 8; ++copies) {
+      for (const service::monitor_incident& inc : incidents) {
+        store.insert(inc);
+      }
+    }
+    done.store(true, std::memory_order_release);
+  }};
+
+  int round = 0;
+  while (true) {
+    const bool writer_was_done = done.load(std::memory_order_acquire);
+    ++round;
+    std::vector<std::uint64_t> seen_ids;
+    std::optional<incident_key> cursor;
+    while (true) {
+      const incident_page page = store.query({}, cursor, 2);
+      for (const stored_incident& s : page.items) {
+        seen_ids.push_back(s.id);
+      }
+      if (!page.has_more) break;
+      // The cursor is strictly increasing — no revisits.
+      ASSERT_TRUE(cursor == std::nullopt || *cursor < page.next);
+      cursor = page.next;
+    }
+    // No duplicates across the walk...
+    std::vector<std::uint64_t> sorted = seen_ids;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+    // ...and every pre-existing incident was served.
+    for (const std::uint64_t id : baseline_ids) {
+      EXPECT_TRUE(std::find(sorted.begin(), sorted.end(), id) != sorted.end())
+          << "page walk skipped pre-existing id " << id;
+    }
+    // One more full walk after the writer finished, then stop.
+    if (writer_was_done) break;
+  }
+  writer.join();
+  EXPECT_GE(round, 1);
+}
+
+/// Scripted source for reorg schedules (same shape as service_test's).
+class scripted_block_source final : public service::block_source {
+ public:
+  explicit scripted_block_source(
+      std::vector<std::optional<service::block>> steps)
+      : steps_{std::move(steps)} {}
+
+  std::optional<service::block> next() override {
+    if (cursor_ >= steps_.size()) return std::nullopt;
+    return std::move(steps_[cursor_++]);
+  }
+
+ private:
+  std::vector<std::optional<service::block>> steps_;
+  std::size_t cursor_ = 0;
+};
+
+// End-to-end retraction visibility: a monitor-driven reorg tombstones the
+// orphaned incidents in the store, and the post-reorg store is exactly the
+// batch reference.
+TEST(IncidentStore, MonitorReorgRetractsFromStore) {
+  verify::generator_options gopts;
+  gopts.transactions = 160;
+  const verify::generated_population pop = verify::generate_receipts(7, gopts);
+  const std::vector<service::monitor_incident> reference =
+      batch_incidents(pop);
+  ASSERT_FALSE(reference.empty());
+
+  // Group receipts into linked blocks, then fork the tail: deliver the
+  // chain, orphan the last 2 blocks with fork siblings (same receipts,
+  // salted identities), return to canonical.
+  std::vector<service::block> chain;
+  {
+    service::simulated_block_source src{pop.receipts};
+    while (auto b = src.next()) chain.push_back(std::move(*b));
+  }
+  ASSERT_GE(chain.size(), 3U);
+  // Fork through the block holding the last incident, so the orphaned
+  // range provably contains detections to retract.
+  std::uint64_t incident_block = 0;
+  for (const chain::tx_receipt& r : pop.receipts) {
+    if (r.tx_index == reference.back().incident.tx_index) {
+      incident_block = r.block_number;
+    }
+  }
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i].number == incident_block) idx = i;
+  }
+  constexpr std::size_t d = 2;
+  ASSERT_GE(idx, d);
+
+  // Schedule: the chain up to the incident block, a fork orphaning the
+  // last d blocks, the canonical blocks again, then the rest of the chain.
+  std::vector<std::optional<service::block>> steps;
+  for (std::size_t i = 0; i <= idx; ++i) steps.emplace_back(chain[i]);
+  std::uint64_t parent = chain[idx - d].hash;
+  for (std::size_t i = idx - d + 1; i <= idx; ++i) {
+    service::block fork = chain[i];
+    fork.hash = service::block_link_hash(fork.number, /*fork_salt=*/77);
+    fork.parent_hash = parent;
+    parent = fork.hash;
+    steps.emplace_back(std::move(fork));
+  }
+  for (std::size_t i = idx - d + 1; i <= idx; ++i) steps.emplace_back(chain[i]);
+  for (std::size_t i = idx + 1; i < chain.size(); ++i) {
+    steps.emplace_back(chain[i]);
+  }
+
+  incident_store store;
+  store_sink sink{store};
+  service::metrics_registry metrics;
+  service::monitor_service monitor{pop.world->creations, pop.world->labels,
+                                   pop.world->weth_token, metrics};
+  monitor.add_sink(sink);
+  scripted_block_source source{std::move(steps)};
+  monitor.run(source);
+
+  // The scheduled fork must have been recognized as two reorgs (fork
+  // arrival and canonical return).
+  EXPECT_EQ(metrics.counter_value("reorgs_total"), 2U)
+      << "idx=" << idx << " d=" << d << " chain=" << chain.size()
+      << " incident_block=" << incident_block;
+
+  // The fork churn is visible as tombstoned history...
+  const store_stats s = store.stats();
+  EXPECT_EQ(s.retracted, sink.retracted());
+  EXPECT_GT(s.ingested, s.active);
+  // ...but what the store serves is the canonical chain, exactly.
+  const std::vector<stored_incident> served = dump(store);
+  ASSERT_EQ(served.size(), reference.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].incident, reference[i]);
+  }
+}
+
+// A store rebuilt from the durable JSONL feed (tombstones included) serves
+// exactly what the live store served.
+TEST(IncidentStore, ReplayRebuildsFromFeed) {
+  verify::generator_options gopts;
+  gopts.transactions = 160;
+  const verify::generated_population pop = verify::generate_receipts(7, gopts);
+  ASSERT_FALSE(batch_incidents(pop).empty());
+
+  const std::string feed =
+      testing::TempDir() + "store_test_replay.jsonl";
+  std::remove(feed.c_str());
+
+  incident_store live;
+  {
+    store_sink sink{live};
+    service::jsonl_sink jsonl{feed};
+    service::metrics_registry metrics;
+    service::monitor_service monitor{pop.world->creations, pop.world->labels,
+                                     pop.world->weth_token, metrics};
+    monitor.add_sink(jsonl);
+    monitor.add_sink(sink);
+    service::simulated_block_source source{pop.receipts};
+    monitor.run(source);
+  }
+
+  incident_store rebuilt;
+  const incident_store::replay_result r = rebuilt.replay_jsonl(feed);
+  EXPECT_EQ(r.inserted, live.stats().ingested);
+  EXPECT_EQ(r.retracted, live.stats().retracted);
+
+  const std::vector<stored_incident> a = dump(live);
+  const std::vector<stored_incident> b = dump(rebuilt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].incident, b[i].incident);
+  }
+  store_stats sa = live.stats(), sb = rebuilt.stats();
+  sa.version = sb.version = 0;  // version counts mutations, not content
+  EXPECT_EQ(sa, sb);
+
+  // A tombstone with no matching emission is a corrupt feed, not a silent
+  // no-op.
+  const std::string bad = testing::TempDir() + "store_test_bad.jsonl";
+  {
+    std::vector<service::jsonl_sink::feed_record> records =
+        service::jsonl_sink::read_records(feed);
+    ASSERT_FALSE(records.empty());
+    FILE* f = std::fopen(bad.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    const std::string line =
+        service::jsonl_sink::to_json_line(records[0].incident,
+                                          /*retract=*/true) +
+        "\n";
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fclose(f);
+  }
+  incident_store corrupt;
+  EXPECT_THROW(corrupt.replay_jsonl(bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace leishen::store
