@@ -181,10 +181,13 @@ const char* status_text(int status) noexcept {
   }
 }
 
-std::string render_response(const http_response& r, bool keep_alive) {
+std::string render_response(const http_response& r, bool keep_alive,
+                            bool head) {
   std::string out = "HTTP/1.1 " + std::to_string(r.status) + " " +
                     status_text(r.status) + "\r\n";
-  // 304 must not carry a body; everything else gets explicit framing.
+  // 304 must not carry a body; everything else gets explicit framing. A
+  // HEAD reply advertises the GET body's framing but omits the bytes —
+  // sending them would desynchronize a keep-alive connection.
   const bool has_body = r.status != 304;
   if (has_body) {
     out += "Content-Type: " + r.content_type + "\r\n";
@@ -194,7 +197,7 @@ std::string render_response(const http_response& r, bool keep_alive) {
   for (const auto& [k, v] : r.headers) out += k + ": " + v + "\r\n";
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   out += "\r\n";
-  if (has_body) out += r.body;
+  if (has_body && !head) out += r.body;
   return out;
 }
 

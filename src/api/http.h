@@ -60,7 +60,11 @@ struct http_response {
 [[nodiscard]] const char* status_text(int status) noexcept;
 
 /// Serialize with Content-Length framing and an explicit Connection header.
-std::string render_response(const http_response& r, bool keep_alive);
+/// `head` renders a HEAD reply: the full header block — including the
+/// Content-Length the matching GET body would have — with the body bytes
+/// suppressed, as RFC 7231 §4.3.2 requires.
+std::string render_response(const http_response& r, bool keep_alive,
+                            bool head = false);
 
 /// A JSON error body: {"error":"<escaped message>"}.
 http_response error_response(int status, std::string_view message);

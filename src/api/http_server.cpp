@@ -141,6 +141,7 @@ http_server::http_server(const store::incident_store& store,
   cache_hits_ = &metrics_.get_counter("api_cache_hits_total");
   cache_misses_ = &metrics_.get_counter("api_cache_misses_total");
   bad_requests_ = &metrics_.get_counter("api_bad_requests_total");
+  internal_errors_ = &metrics_.get_counter("api_internal_errors_total");
   connections_ = &metrics_.get_counter("api_connections_total");
   refused_ = &metrics_.get_counter("api_connections_refused_total");
   request_seconds_ = &metrics_.get_histogram("api_request_seconds");
@@ -211,6 +212,19 @@ void http_server::worker_loop() {
 }
 
 void http_server::serve_connection(conn c) {
+  // Everything inside the loop runs behind a catch-all: an exception
+  // escaping a worker thread would std::terminate the whole monitor, so a
+  // throwing request path must never propagate past this frame. The fd is
+  // closed on the way out either way.
+  try {
+    serve_requests(c);
+  } catch (...) {
+    internal_errors_->add();
+  }
+  ::close(c.fd);
+}
+
+void http_server::serve_requests(const conn& c) {
   std::string buf;
   int idle_ms = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
@@ -244,6 +258,7 @@ void http_server::serve_connection(conn c) {
 
     http_response resp;
     bool keep = false;
+    bool head = false;
     if (pr == parse_result::too_large) {
       bad_requests_->add();
       resp = error_response(431, "request head too large");
@@ -259,19 +274,36 @@ void http_server::serve_connection(conn c) {
         bad_requests_->add();
         resp = error_response(400, "request bodies are not supported");
       } else {
-        const std::string* api_key = req.header("x-api-key");
-        resp = handle(req, api_key != nullptr ? *api_key : c.peer);
-        keep = req.keep_alive();
+        head = req.method == "HEAD";
+        try {
+          resp = handle(req, client_identity(req, c.peer));
+          keep = req.keep_alive();
+        } catch (const std::exception&) {
+          // The 500 boundary: a throwing route (allocation failure, a
+          // future handler bug) answers this one request and keeps the
+          // worker and connection pool alive.
+          internal_errors_->add();
+          resp = error_response(500, "internal error");
+          keep = false;
+        }
       }
     }
     request_seconds_->observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       started)
             .count());
-    if (!net::send_all(c.fd, render_response(resp, keep))) break;
+    if (!net::send_all(c.fd, render_response(resp, keep, head))) break;
     if (!keep) break;
   }
-  ::close(c.fd);
+}
+
+std::string http_server::client_identity(const http_request& req,
+                                         const std::string& peer) const {
+  const std::string* api_key = req.header("x-api-key");
+  if (api_key != nullptr && cfg_.api_keys.count(*api_key) > 0) {
+    return "key:" + *api_key;
+  }
+  return peer;
 }
 
 http_response http_server::handle(const http_request& req,

@@ -15,7 +15,9 @@
 // its line in the durable JSONL feed — one encoder, one wire format.
 //
 // Cross-cutting behavior: per-client token-bucket rate limiting (keyed on
-// the x-api-key header, else the peer address) answering 429 with
+// the peer address; an x-api-key header becomes the identity only when it
+// matches a key in `server_config::api_keys`, so unvalidated clients
+// cannot mint fresh buckets by rotating header values) answering 429 with
 // Retry-After; a response cache keyed on (canonical request, store
 // version) with strong ETags, so an unchanged store turns If-None-Match
 // revalidations into 304s without re-running the query; 431 for oversized
@@ -31,6 +33,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "api/http.h"
 #include "api/rate_limiter.h"
@@ -49,6 +52,11 @@ struct server_config {
   std::size_t pending_connections = 64;
   parse_limits limits{};
   rate_limit_config rate{};
+  /// Recognized rate-limit identities: an x-api-key matching one of these
+  /// owns its own token bucket (shared across addresses); any other value
+  /// is ignored and the client is keyed by peer address. Empty (the
+  /// default) means every client is keyed by peer address.
+  std::unordered_set<std::string> api_keys;
   std::size_t default_page_limit = 50;
   std::size_t max_page_limit = 500;
   std::size_t cache_entries = 256;
@@ -120,7 +128,16 @@ class http_server {
 
   void accept_loop();
   void worker_loop();
+  /// Owns the fd: catch-all exception boundary around serve_requests, then
+  /// close. A throw escaping a worker would terminate the process.
   void serve_connection(conn c);
+  /// The keep-alive request/response loop for one connection.
+  void serve_requests(const conn& c);
+
+  /// Rate-limit identity for a parsed request: "key:<x-api-key>" when the
+  /// header matches a configured key, else the peer address.
+  [[nodiscard]] std::string client_identity(const http_request& req,
+                                            const std::string& peer) const;
 
   http_response route(const http_request& req);
   http_response incidents_list(const http_request& req);
@@ -151,6 +168,7 @@ class http_server {
   service::counter* cache_hits_ = nullptr;
   service::counter* cache_misses_ = nullptr;
   service::counter* bad_requests_ = nullptr;
+  service::counter* internal_errors_ = nullptr;
   service::counter* connections_ = nullptr;
   service::counter* refused_ = nullptr;
   service::histogram* request_seconds_ = nullptr;

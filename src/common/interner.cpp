@@ -41,6 +41,13 @@ std::uint32_t string_interner::intern(std::string_view s) {
   return id;
 }
 
+std::optional<std::uint32_t> string_interner::find(std::string_view s) const {
+  const std::shared_lock lk{mu_};
+  const auto it = ids_.find(s);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
 const std::string& string_interner::resolve(std::uint32_t id) const {
   if (id >= count_.load(std::memory_order_acquire)) {
     throw std::out_of_range{"string_interner::resolve: unknown id"};

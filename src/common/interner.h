@@ -24,6 +24,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -54,6 +55,12 @@ class string_interner {
 
   /// Id of `s`, interning it on first sight.
   std::uint32_t intern(std::string_view s);
+
+  /// Id of `s` if it has already been interned, std::nullopt otherwise.
+  /// Never grows the table — the lookup for untrusted strings (e.g. query
+  /// filters from the HTTP API), where interning attacker-chosen values
+  /// would let a client grow the never-freed table without bound.
+  [[nodiscard]] std::optional<std::uint32_t> find(std::string_view s) const;
 
   /// The string for a previously returned id. Lock-free; the reference
   /// stays valid for the interner's lifetime. Out-of-range ids throw
@@ -105,6 +112,16 @@ class tag_id {
     tag_id t;
     t.id_ = id;
     return t;
+  }
+
+  /// The tag for `s` if that string was ever interned, std::nullopt
+  /// otherwise — without interning. Use this for untrusted strings
+  /// (HTTP filters): a string the pipeline never produced cannot match
+  /// any tag, so callers treat std::nullopt as "matches nothing".
+  static std::optional<tag_id> find(std::string_view s) {
+    const std::optional<std::uint32_t> id = tag_interner().find(s);
+    if (!id) return std::nullopt;
+    return from_raw(*id);
   }
   [[nodiscard]] constexpr std::uint32_t raw() const noexcept { return id_; }
 

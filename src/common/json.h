@@ -5,9 +5,13 @@
 // these two primitives, so a given incident serializes to the same bytes on
 // every surface (the API regression tests assert that byte-identity).
 //
-// Escaping is deliberately minimal: the strings that reach these feeds are
-// application tags, hex addresses and error messages, which never contain
-// control characters; only `"` and `\` need protection. Two number forms
+// Escaping covers `"`, `\` and the control range (\u00XX): pipeline
+// strings (application tags, hex addresses) never contain control
+// characters, but API error bodies reflect url-decoded client input, which
+// can — and an unescaped %0A would make the response invalid JSON. The
+// JSONL feed reader's minimal unescaper (`\X` -> `X`) only ever sees
+// feed-produced strings, so the \u form never round-trips through it.
+// Two number forms
 // exist because the surfaces have different contracts: `number_exact`
 // (%.17g) round-trips IEEE doubles bit-for-bit, which the feed read-back
 // comparisons rely on; `number_compact` (%.9g) is the shortest form that
@@ -23,8 +27,17 @@ namespace leishen::json {
 
 inline void append_escaped(std::string& out, std::string_view s) {
   for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    const auto uc = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (uc < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", uc);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
   }
 }
 

@@ -8,7 +8,11 @@ namespace leishen::store {
 namespace {
 
 /// Filter terms resolved once per query so the per-record check is integer
-/// compares (interning the attacker/app strings, parsing nothing).
+/// compares. Tag terms resolve through the non-interning `tag_id::find` —
+/// filter strings arrive from unauthenticated HTTP clients, and interning
+/// them would let a client grow the never-freed global tag table without
+/// bound. A string the pipeline never interned cannot match any stored
+/// incident, so an unknown term makes the filter `unsatisfiable`.
 struct resolved_filter {
   std::optional<tag_id> attacker;
   std::optional<chain::asset> token;
@@ -16,13 +20,20 @@ struct resolved_filter {
   std::optional<core::attack_pattern> pattern;
   std::uint64_t from_block = 0;
   std::uint64_t to_block = UINT64_MAX;
+  bool unsatisfiable = false;
 };
 
 resolved_filter resolve(const incident_filter& f) {
   resolved_filter r;
-  if (f.attacker) r.attacker = tag_id{*f.attacker};
+  if (f.attacker) {
+    r.attacker = tag_id::find(*f.attacker);
+    if (!r.attacker) r.unsatisfiable = true;
+  }
   if (f.token) r.token = chain::asset::token(*f.token);
-  if (f.app) r.app = tag_id{*f.app};
+  if (f.app) {
+    r.app = tag_id::find(*f.app);
+    if (!r.app) r.unsatisfiable = true;
+  }
   r.pattern = f.pattern;
   r.from_block = f.from_block;
   r.to_block = f.to_block;
@@ -114,6 +125,7 @@ incident_page incident_store::query(const incident_filter& filter,
 
   incident_page page;
   page.version = version_.load(std::memory_order_acquire);
+  if (f.unsatisfiable) return page;
 
   // Drive the walk from the most selective term's posting list; a term
   // with no bucket at all means no matches. Every remaining term is

@@ -13,12 +13,14 @@
 
 #include <cstring>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "api/http.h"
 #include "api/http_server.h"
 #include "api/rate_limiter.h"
+#include "common/interner.h"
 #include "common/net.h"
 #include "core/scanner.h"
 #include "store/incident_store.h"
@@ -209,6 +211,43 @@ TEST_F(ApiServerTest, ListDetailAndFilters) {
   EXPECT_EQ(server.handle(get("/incidents?limit=0"), "t1").status, 400);
   EXPECT_EQ(server.handle(get("/incidents?page=zig"), "t1").status, 400);
   EXPECT_EQ(server.handle(get("/incidents?bogus=1"), "t1").status, 400);
+
+  // A reflected parameter name with url-encoded control characters still
+  // produces a valid-JSON error body (the bytes are \u-escaped).
+  const http_response reflected =
+      server.handle(get("/incidents?bad%0aparam=1"), "t1");
+  EXPECT_EQ(reflected.status, 400);
+  EXPECT_NE(reflected.body.find("bad\\u000aparam"), std::string::npos);
+  EXPECT_EQ(reflected.body.find('\n'), std::string::npos);
+}
+
+TEST_F(ApiServerTest, UnknownFilterTagsMatchNothingWithoutInterning) {
+  service::metrics_registry metrics;
+  http_server server{*store_, metrics, quiet_config()};
+
+  // Filter strings come from unauthenticated clients; a never-seen tag
+  // must NOT be interned into the process-global, never-freed tag table
+  // (that would be a remote unbounded-memory vector) — it simply matches
+  // nothing.
+  const std::size_t interned_before = tag_interner().size();
+  const http_response by_attacker = server.handle(
+      get("/incidents?attacker=no-such-attacker-tag-xyz"), "t");
+  ASSERT_EQ(by_attacker.status, 200);
+  EXPECT_NE(by_attacker.body.find("\"total\":0"), std::string::npos);
+  const http_response by_app =
+      server.handle(get("/incidents?app=no-such-app-tag-xyz"), "t");
+  ASSERT_EQ(by_app.status, 200);
+  EXPECT_NE(by_app.body.find("\"total\":0"), std::string::npos);
+  EXPECT_EQ(tag_interner().size(), interned_before);
+
+  // A known tag still filters normally through the same path.
+  const std::optional<store::stored_incident> first = store_->get(1);
+  ASSERT_TRUE(first.has_value());
+  const http_response known = server.handle(
+      get("/incidents?attacker=" + first->incident.incident.borrower_tag.str()),
+      "t");
+  ASSERT_EQ(known.status, 200);
+  EXPECT_EQ(known.body.find("\"total\":0"), std::string::npos);
 }
 
 TEST_F(ApiServerTest, PaginationWalksTheWholeStore) {
@@ -369,6 +408,17 @@ class test_client {
     return buf;
   }
 
+  /// Send raw bytes, read only the response head (for HEAD requests,
+  /// whose replies advertise Content-Length but carry no body).
+  std::string request_head_only(const std::string& raw) {
+    (void)net::send_all(fd_, raw);
+    std::string buf;
+    while (buf.find("\r\n\r\n") == std::string::npos) {
+      if (net::recv_some(fd_, buf, 2000) <= 0) return buf;
+    }
+    return buf;
+  }
+
   [[nodiscard]] bool alive() {
     std::string probe;
     return net::recv_some(fd_, probe, 50) != 0;  // -1 timeout = still open
@@ -410,6 +460,24 @@ TEST_F(ApiServerTest, WireRequestsEndToEnd) {
     EXPECT_NE(revalidated.find("HTTP/1.1 304"), std::string::npos);
   }
 
+  {  // HEAD: the GET's framing with the body suppressed, and the
+     // keep-alive connection stays in sync for the next request.
+    test_client c{server.port()};
+    const std::string full = c.request("GET /stats HTTP/1.1\r\n\r\n");
+    const std::string body = full.substr(full.find("\r\n\r\n") + 4);
+    ASSERT_FALSE(body.empty());
+    const std::string h =
+        c.request_head_only("HEAD /stats HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(h.rfind("HTTP/1.1 200 OK", 0), 0U);
+    EXPECT_NE(h.find("Content-Length: " + std::to_string(body.size())),
+              std::string::npos);
+    EXPECT_EQ(h.find("\"active\":"), std::string::npos);  // no body bytes
+    // A body on the HEAD reply would desynchronize this next response.
+    const std::string again = c.request("GET /stats HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(again.rfind("HTTP/1.1 200 OK", 0), 0U);
+    EXPECT_NE(again.find("\"active\":"), std::string::npos);
+  }
+
   {  // Malformed request line: 400, connection closed.
     test_client c{server.port()};
     const std::string r = c.request("NONSENSE\r\n\r\n");
@@ -435,15 +503,17 @@ TEST_F(ApiServerTest, WireRequestsEndToEnd) {
   EXPECT_FALSE(server.running());
 }
 
-TEST_F(ApiServerTest, WireRateLimitKeyedOnApiKey) {
+TEST_F(ApiServerTest, WireRateLimitIdentity) {
   server_config cfg = quiet_config();
   cfg.rate.burst = 2;
   cfg.rate.refill_per_sec = 0.1;
+  cfg.api_keys = {"alpha", "beta"};
   service::metrics_registry metrics;
   http_server server{*store_, metrics, cfg};
   server.start();
 
   test_client c{server.port()};
+  // A configured key owns its own bucket.
   const std::string req_a =
       "GET /stats HTTP/1.1\r\nX-Api-Key: alpha\r\n\r\n";
   EXPECT_NE(c.request(req_a).find("HTTP/1.1 200"), std::string::npos);
@@ -451,11 +521,52 @@ TEST_F(ApiServerTest, WireRateLimitKeyedOnApiKey) {
   const std::string limited = c.request(req_a);
   EXPECT_NE(limited.find("HTTP/1.1 429"), std::string::npos);
   EXPECT_NE(limited.find("Retry-After: "), std::string::npos);
-  // Same connection, different key: its own bucket.
+  // Same connection, a different configured key: its own bucket.
   EXPECT_NE(
       c.request("GET /stats HTTP/1.1\r\nX-Api-Key: beta\r\n\r\n")
           .find("HTTP/1.1 200"),
       std::string::npos);
+
+  // Unconfigured keys are NOT identities: rotating arbitrary header
+  // values stays on the peer-address bucket, so the third request is
+  // limited even though every request carried a fresh key.
+  EXPECT_NE(c.request("GET /stats HTTP/1.1\r\nX-Api-Key: fake-1\r\n\r\n")
+                .find("HTTP/1.1 200"),
+            std::string::npos);
+  EXPECT_NE(c.request("GET /stats HTTP/1.1\r\nX-Api-Key: fake-2\r\n\r\n")
+                .find("HTTP/1.1 200"),
+            std::string::npos);
+  EXPECT_NE(c.request("GET /stats HTTP/1.1\r\nX-Api-Key: fake-3\r\n\r\n")
+                .find("HTTP/1.1 429"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST_F(ApiServerTest, ThrowingRouteAnswers500AndWorkerSurvives) {
+  server_config cfg = quiet_config();
+  // /metrics with a throwing override stands in for any handler bug: the
+  // exception must become a 500 on this one request, not a process
+  // std::terminate out of the worker thread.
+  cfg.metrics_json = []() -> std::string {
+    throw std::runtime_error{"injected handler failure"};
+  };
+  service::metrics_registry metrics;
+  http_server server{*store_, metrics, cfg};
+  server.start();
+
+  {
+    test_client c{server.port()};
+    const std::string r = c.request("GET /metrics HTTP/1.1\r\n\r\n");
+    EXPECT_NE(r.find("HTTP/1.1 500"), std::string::npos);
+    EXPECT_NE(r.find("\"error\":\"internal error\""), std::string::npos);
+    EXPECT_NE(r.find("Connection: close"), std::string::npos);
+  }
+  {  // The worker pool survived; unaffected routes still serve.
+    test_client c{server.port()};
+    EXPECT_NE(c.request("GET /stats HTTP/1.1\r\n\r\n").find("HTTP/1.1 200"),
+              std::string::npos);
+  }
+  EXPECT_GT(metrics.counter_value("api_internal_errors_total"), 0U);
   server.stop();
 }
 

@@ -1,4 +1,4 @@
-// Tests for address, rate, rng and simulated time.
+// Tests for address, rate, rng, json encoding and simulated time.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/address.h"
+#include "common/json.h"
 #include "common/rate.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
@@ -59,6 +60,24 @@ TEST(Address, Ordering) {
 }
 
 // ---- rate -------------------------------------------------------------------
+
+TEST(Json, EscapeQuotesAndBackslashes) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+}
+
+TEST(Json, EscapeControlCharacters) {
+  // API error bodies reflect url-decoded client input (%00, %0A, ...);
+  // emitting those bytes raw would make the response invalid JSON.
+  EXPECT_EQ(json::escape("a\nb"), "a\\u000ab");
+  EXPECT_EQ(json::escape("a\rb"), "a\\u000db");
+  EXPECT_EQ(json::escape("a\tb"), "a\\u0009b");
+  EXPECT_EQ(json::escape(std::string_view{"a\0b", 3}), "a\\u0000b");
+  EXPECT_EQ(json::escape("\x1f"), "\\u001f");
+  // 0x20 and above pass through (escaping stops at the control range).
+  EXPECT_EQ(json::escape(" ~\x7f"), " ~\x7f");
+}
 
 TEST(Rate, BasicComparisons) {
   const rate half{u256{1}, u256{2}};

@@ -37,6 +37,24 @@ TEST(Interner, SameStringAlwaysYieldsSameId) {
   EXPECT_EQ(a.str(), "Uniswap V2");
 }
 
+TEST(Interner, FindNeverInterns) {
+  // find() is the lookup for untrusted strings (HTTP filter values): a hit
+  // returns the existing id, a miss must leave the table untouched — the
+  // table is never freed, so interning client-chosen strings would be an
+  // unbounded-memory vector.
+  const tag_id known{"interner-find-known"};
+  const std::size_t size = tag_interner().size();
+  const std::optional<tag_id> hit = tag_id::find("interner-find-known");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, known);
+  EXPECT_EQ(tag_interner().size(), size);
+  EXPECT_FALSE(tag_id::find("interner-find-never-interned").has_value());
+  EXPECT_EQ(tag_interner().size(), size);
+  // The pre-seeded empty tag is findable (it IS interned).
+  ASSERT_TRUE(tag_id::find("").has_value());
+  EXPECT_TRUE(tag_id::find("")->empty());
+}
+
 TEST(Interner, TaggerTagShapesRoundTrip) {
   // The three tag shapes account tagging produces: a label, a pseudo-tag
   // (tree-root address hex), and a conflict tag ("?" + address hex). Each
