@@ -116,16 +116,36 @@ int main(int argc, char** argv) {
   verify::generator_options gopts;
   gopts.transactions = static_cast<std::size_t>(txs);
   const verify::generated_population pop = verify::generate_receipts(7, gopts);
-  store::incident_store store;
   core::scanner scanner{pop.world->creations, pop.world->labels,
                         pop.world->weth_token};
   scanner.scan_all(pop.receipts, nullptr);
+  std::vector<service::monitor_incident> found;
+  found.reserve(scanner.incidents().size());
   for (const core::incident& inc : scanner.incidents()) {
     std::uint64_t block = 0;
     for (const chain::tx_receipt& r : pop.receipts) {
       if (r.tx_index == inc.tx_index) block = r.block_number;
     }
-    store.insert(service::monitor_incident{block, inc});
+    found.push_back(service::monitor_incident{block, inc});
+  }
+
+  // Store load, timed both ways: the one-lock/one-version-bump bulk path a
+  // backfill merge uses vs per-incident inserts. The served store is the
+  // batch-loaded one.
+  store::incident_store store;
+  const auto load0 = std::chrono::steady_clock::now();
+  store.insert_batch(found);
+  const double load_batch_us = std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - load0)
+                                   .count();
+  double load_seq_us = 0.0;
+  {
+    store::incident_store seq;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const service::monitor_incident& inc : found) seq.insert(inc);
+    load_seq_us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
   }
   const store::store_stats stats = store.stats();
   if (stats.active == 0) {
@@ -240,6 +260,11 @@ int main(int argc, char** argv) {
               "cache hit rate");
   std::printf("%12.0f %14.1f %14.1f %15.1f%%\n", qps, p50, p99,
               hit_rate * 100.0);
+  std::printf("store load: %llu incidents in %.1f us batched "
+              "(%.1f us sequential, %.2fx)\n",
+              static_cast<unsigned long long>(stats.active), load_batch_us,
+              load_seq_us,
+              load_batch_us > 0.0 ? load_seq_us / load_batch_us : 0.0);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -256,6 +281,11 @@ int main(int argc, char** argv) {
                pop.receipts.size(),
                static_cast<unsigned long long>(stats.active), mix.size(),
                kPassesPerRep);
+  std::fprintf(f,
+               "  \"store_load\": {\"incidents\": %llu, "
+               "\"batch_insert_us\": %.1f, \"sequential_insert_us\": %.1f},\n",
+               static_cast<unsigned long long>(stats.active), load_batch_us,
+               load_seq_us);
   std::fprintf(f,
                "  \"results\": {\"queries_per_s\": %.1f, "
                "\"p50_latency_us\": %.1f, \"p99_latency_us\": %.1f, "

@@ -1,0 +1,416 @@
+// Paper-scale backfill benchmark: synthesize a multi-million-block corpus,
+// then measure every stage of the backfill path over it —
+//
+//   build        corpus_generator -> corpus_writer (bytes/s to disk)
+//   open+verify  mmap + footer checksum pass (bytes/s)
+//   serial scan  scan_corpus, packed prefilter on (blocks/s, tx/s, bytes/s),
+//                with RSS sampled throughout to show the eviction window —
+//                not the corpus size — bounds resident memory
+//   fleet        shard_coordinator backfill at N=1 and N=3, each checked
+//                bit-identical to the serial scan
+//   kill+resume  a checkpointing N=3 run stopped mid-flight, resumed into a
+//                fresh store, and again checked bit-identical
+//
+// Usage: bench_backfill [--blocks N] [--shards N] [--reps N] [--seed N]
+//                       [--dir PATH] [--out FILE] [--floor-file FILE]
+// --dir places the (large) corpus file; default is the system temp dir.
+// --floor-file points at a text file holding the checked-in serial-scan
+// tx/s floor; the run fails (exit 3) if measured throughput drops below
+// 80% of it, and (exit 4) if the file is unreadable. Any fleet/serial
+// divergence exits 2. JSON results go to --out (BENCH_backfill.json).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/scanner.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/corpus_reader.h"
+#include "corpus/corpus_scan.h"
+#include "fleet/shard_coordinator.h"
+#include "store/incident_store.h"
+
+namespace leishen {
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point t0) {
+  return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+int arg_int(int argc, char** argv, const std::string& flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+std::string arg_str(int argc, char** argv, const std::string& flag,
+                    const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Current VmRSS in kB from /proc/self/status (0 where unavailable).
+std::uint64_t rss_kb() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
+/// Samples VmRSS on a background thread while a phase runs; `stop()`
+/// returns the peak observed. This is the honest flat-RSS evidence: the
+/// mapping's resident pages count toward VmRSS until evict_before_block
+/// drops them, so a peak far below the file size means the eviction window
+/// — not the corpus — bounded memory.
+class rss_sampler {
+ public:
+  rss_sampler() {
+    thread_ = std::thread{[this] {
+      while (!done_.load(std::memory_order_acquire)) {
+        const std::uint64_t now = rss_kb();
+        std::uint64_t prev = peak_.load(std::memory_order_relaxed);
+        while (now > prev &&
+               !peak_.compare_exchange_weak(prev, now,
+                                            std::memory_order_relaxed)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      }
+    }};
+  }
+  std::uint64_t stop() {
+    done_.store(true, std::memory_order_release);
+    thread_.join();
+    const std::uint64_t tail = rss_kb();
+    return std::max(tail, peak_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<bool> done_{false};
+  std::atomic<std::uint64_t> peak_{0};
+  std::thread thread_;
+};
+
+/// Full store contents in canonical (block, tx, id) order.
+std::vector<service::monitor_incident> dump_store(
+    const store::incident_store& store) {
+  std::vector<service::monitor_incident> out;
+  std::optional<store::incident_key> cursor;
+  while (true) {
+    const store::incident_page page = store.query({}, cursor, 256);
+    for (const store::stored_incident& s : page.items) {
+      out.push_back(s.incident);
+    }
+    if (!page.has_more) break;
+    cursor = page.next;
+  }
+  return out;
+}
+
+struct fleet_row {
+  unsigned shards = 1;
+  bool kill_resume = false;
+  double seconds = 0.0;        // total wall (both halves for kill+resume)
+  double stopped_after = 0.0;  // kill+resume: when the stop was requested
+  double blocks_per_s = 0.0;
+  std::uint64_t incidents = 0;
+  std::uint64_t rss_peak_kb = 0;
+  bool deterministic = false;
+};
+
+}  // namespace
+}  // namespace leishen
+
+int main(int argc, char** argv) {
+  using namespace leishen;
+
+  const std::uint64_t blocks = static_cast<std::uint64_t>(
+      std::max(1, arg_int(argc, argv, "--blocks", 1000000)));
+  const unsigned shards = static_cast<unsigned>(
+      std::max(1, arg_int(argc, argv, "--shards", 3)));
+  const int reps = std::max(1, arg_int(argc, argv, "--reps", 1));
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      std::max(1, arg_int(argc, argv, "--seed", 20260808)));
+  const std::string dir = arg_str(
+      argc, argv, "--dir", std::filesystem::temp_directory_path().string());
+  const std::string out_path =
+      arg_str(argc, argv, "--out", "BENCH_backfill.json");
+  const std::string floor_file = arg_str(argc, argv, "--floor-file", "");
+
+  const std::string corpus_path =
+      dir + "/bench_backfill_" + std::to_string(seed) + "_" +
+      std::to_string(blocks) + ".lsc";
+  const std::string state_dir = corpus_path + ".state";
+  std::filesystem::remove(corpus_path);
+  std::filesystem::remove_all(state_dir);
+
+  bench::print_header("backfill: build " + std::to_string(blocks) +
+                      "-block corpus (seed " + std::to_string(seed) + ")");
+
+  // ---- build ---------------------------------------------------------------
+  corpus::corpus_build_options build_opts;
+  build_opts.blocks = blocks;
+  clock_type::time_point t0 = clock_type::now();
+  const corpus::corpus_build_result built =
+      corpus::build_corpus(corpus_path, seed, build_opts);
+  const double build_seconds = seconds_since(t0);
+  std::printf("built   %llu blocks / %llu txs / %llu events -> %.1f MB "
+              "in %.2fs (%.0f blocks/s, %.1f MB/s)\n",
+              static_cast<unsigned long long>(built.blocks),
+              static_cast<unsigned long long>(built.transactions),
+              static_cast<unsigned long long>(built.events),
+              built.file_bytes / 1048576.0, build_seconds,
+              built.blocks / build_seconds,
+              built.file_bytes / 1048576.0 / build_seconds);
+
+  // ---- open + checksum verify ----------------------------------------------
+  t0 = clock_type::now();
+  const corpus::corpus_reader reader{corpus_path};
+  const double open_seconds = seconds_since(t0);
+  std::printf("opened  mmap + checksum pass in %.3fs (%.1f MB/s)\n",
+              open_seconds,
+              reader.file_bytes() / 1048576.0 / open_seconds);
+
+  const core::scanner_options scan_opts;  // prefilter on (default)
+  const auto make_scanner = [&] {
+    return core::scanner{built.world->creations, built.world->labels,
+                         built.world->weth_token, scan_opts};
+  };
+
+  // ---- serial reference scan (best of --reps), RSS sampled -----------------
+  bench::print_header("serial scan_corpus (packed prefilter, eviction on)");
+  const std::uint64_t rss_before = rss_kb();
+  corpus::corpus_scan_result serial;
+  double serial_seconds = 0.0;
+  std::uint64_t serial_rss_peak = 0;
+  for (int r = 0; r < reps; ++r) {
+    core::scanner s = make_scanner();
+    rss_sampler sampler;
+    t0 = clock_type::now();
+    corpus::corpus_scan_result res =
+        corpus::scan_corpus(reader, s, 0, reader.block_count());
+    const double secs = seconds_since(t0);
+    serial_rss_peak = std::max(serial_rss_peak, sampler.stop());
+    if (r == 0 || secs < serial_seconds) serial_seconds = secs;
+    serial = std::move(res);
+  }
+  const double file_mb = reader.file_bytes() / 1048576.0;
+  std::printf("scanned %llu blocks in %.2fs: %.0f blocks/s, %.0f tx/s, "
+              "%.1f MB/s\n",
+              static_cast<unsigned long long>(serial.blocks), serial_seconds,
+              serial.blocks / serial_seconds,
+              serial.transactions / serial_seconds, file_mb / serial_seconds);
+  std::printf("        %zu incidents, %llu prefilter rejects / %llu accepts\n",
+              serial.incidents.size(),
+              static_cast<unsigned long long>(serial.stats.prefilter_rejects),
+              static_cast<unsigned long long>(serial.stats.prefilter_accepts));
+  std::printf("rss     before %.1f MB, peak during scan %.1f MB "
+              "(file %.1f MB -> +%.1f MB ceiling)\n",
+              rss_before / 1024.0, serial_rss_peak / 1024.0, file_mb,
+              (serial_rss_peak - std::min(serial_rss_peak, rss_before)) /
+                  1024.0);
+
+  // ---- fleet backfill: N=1, N=shards, and kill+resume ----------------------
+  bench::print_header("fleet backfill vs serial (bit-identity checked)");
+  std::vector<fleet_row> rows;
+  bool all_identical = true;
+
+  const auto check = [&](const store::incident_store& store, fleet_row& row) {
+    const std::vector<service::monitor_incident> got = dump_store(store);
+    row.incidents = got.size();
+    row.deterministic = got == serial.incidents;
+    all_identical = all_identical && row.deterministic;
+  };
+
+  for (const unsigned n : {1U, shards}) {
+    fleet::fleet_options opts;
+    opts.shards = n;
+    opts.scan = scan_opts;
+    opts.checkpoint_every = 0;  // plain run: no durability overhead
+    store::incident_store store;
+    fleet::shard_coordinator fleet{built.world->creations, built.world->labels,
+                                   built.world->weth_token, reader, store,
+                                   opts};
+    fleet_row row;
+    row.shards = n;
+    rss_sampler sampler;
+    t0 = clock_type::now();
+    fleet.run();
+    row.seconds = seconds_since(t0);
+    row.rss_peak_kb = sampler.stop();
+    row.blocks_per_s = built.blocks / row.seconds;
+    check(store, row);
+    std::printf("shards=%u            %8.2fs  %9.0f blocks/s  rss peak "
+                "%.1f MB  %s\n",
+                n, row.seconds, row.blocks_per_s, row.rss_peak_kb / 1024.0,
+                row.deterministic ? "identical" : "DIVERGED");
+    rows.push_back(row);
+    if (n == shards) break;  // shards == 1: don't run the same row twice
+  }
+
+  {
+    // Kill mid-run (after ~25% of the measured serial wall, capped), then
+    // resume into a fresh store. On tiny corpora the run may finish before
+    // the stop lands — the resume then replays feeds and appends nothing,
+    // which still must be bit-identical.
+    const double stop_after = std::min(serial_seconds * 0.25, 5.0);
+    fleet::fleet_options opts;
+    opts.shards = shards;
+    opts.scan = scan_opts;
+    opts.checkpoint_every = 64;
+    opts.state_dir = state_dir;
+    fleet_row row;
+    row.shards = shards;
+    row.kill_resume = true;
+    row.stopped_after = stop_after;
+    rss_sampler sampler;
+    t0 = clock_type::now();
+    {
+      store::incident_store store;
+      fleet::shard_coordinator fleet{built.world->creations,
+                                     built.world->labels,
+                                     built.world->weth_token, reader, store,
+                                     opts};
+      fleet.start();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(stop_after));
+      fleet.request_stop();
+      fleet.wait();
+    }
+    {
+      store::incident_store store;
+      fleet::shard_coordinator fleet{built.world->creations,
+                                     built.world->labels,
+                                     built.world->weth_token, reader, store,
+                                     opts};
+      const bool resumed = fleet.resume();
+      fleet.run();
+      row.seconds = seconds_since(t0);
+      row.rss_peak_kb = sampler.stop();
+      row.blocks_per_s = built.blocks / row.seconds;
+      check(store, row);
+      std::printf("shards=%u kill+resume %8.2fs  %9.0f blocks/s  rss peak "
+                  "%.1f MB  %s%s\n",
+                  shards, row.seconds, row.blocks_per_s,
+                  row.rss_peak_kb / 1024.0,
+                  row.deterministic ? "identical" : "DIVERGED",
+                  resumed ? "" : "  (no checkpoint found!)");
+    }
+    rows.push_back(row);
+  }
+
+  // ---- JSON ----------------------------------------------------------------
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"backfill\", \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f,
+               "  \"corpus\": {\"blocks\": %llu, \"transactions\": %llu, "
+               "\"events\": %llu, \"file_bytes\": %llu},\n",
+               static_cast<unsigned long long>(built.blocks),
+               static_cast<unsigned long long>(built.transactions),
+               static_cast<unsigned long long>(built.events),
+               static_cast<unsigned long long>(built.file_bytes));
+  std::fprintf(f,
+               "  \"build\": {\"seconds\": %.3f, \"blocks_per_s\": %.0f, "
+               "\"mb_per_s\": %.2f},\n",
+               build_seconds, built.blocks / build_seconds,
+               built.file_bytes / 1048576.0 / build_seconds);
+  std::fprintf(f,
+               "  \"open_verify\": {\"seconds\": %.4f, \"mb_per_s\": %.2f},\n",
+               open_seconds, file_mb / open_seconds);
+  std::fprintf(f,
+               "  \"serial_scan\": {\"best_seconds\": %.3f, "
+               "\"blocks_per_s\": %.0f, \"tx_per_s\": %.0f, "
+               "\"mb_per_s\": %.2f, \"incidents\": %zu, "
+               "\"prefilter_rejects\": %llu, \"prefilter_accepts\": %llu, "
+               "\"rss_before_kb\": %llu, \"rss_peak_kb\": %llu, "
+               "\"file_kb\": %llu},\n",
+               serial_seconds, serial.blocks / serial_seconds,
+               serial.transactions / serial_seconds, file_mb / serial_seconds,
+               serial.incidents.size(),
+               static_cast<unsigned long long>(serial.stats.prefilter_rejects),
+               static_cast<unsigned long long>(serial.stats.prefilter_accepts),
+               static_cast<unsigned long long>(rss_before),
+               static_cast<unsigned long long>(serial_rss_peak),
+               static_cast<unsigned long long>(reader.file_bytes() / 1024));
+  std::fprintf(f, "  \"fleet\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const fleet_row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"shards\": %u, \"kill_resume\": %s, "
+                 "\"seconds\": %.3f, \"stopped_after_s\": %.3f, "
+                 "\"blocks_per_s\": %.0f, \"incidents\": %llu, "
+                 "\"rss_peak_kb\": %llu, \"identical_to_serial\": %s}%s\n",
+                 r.shards, r.kill_resume ? "true" : "false", r.seconds,
+                 r.stopped_after, r.blocks_per_s,
+                 static_cast<unsigned long long>(r.incidents),
+                 static_cast<unsigned long long>(r.rss_peak_kb),
+                 r.deterministic ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  std::filesystem::remove(corpus_path);
+  std::filesystem::remove_all(state_dir);
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: fleet output diverged from serial scan\n");
+    return 2;
+  }
+
+  if (!floor_file.empty()) {
+    std::FILE* ff = std::fopen(floor_file.c_str(), "r");
+    if (ff == nullptr) {
+      std::fprintf(stderr, "floor file %s is unreadable\n",
+                   floor_file.c_str());
+      return 4;
+    }
+    double floor_txps = 0.0;
+    const int got = std::fscanf(ff, "%lf", &floor_txps);
+    std::fclose(ff);
+    if (got != 1 || floor_txps <= 0.0) {
+      std::fprintf(stderr, "floor file %s holds no positive number\n",
+                   floor_file.c_str());
+      return 4;
+    }
+    const double measured = serial.transactions / serial_seconds;
+    const double limit = 0.8 * floor_txps;
+    std::printf("floor check: serial scan %.0f tx/s vs floor %.0f "
+                "(limit %.0f) -> %s\n",
+                measured, floor_txps, limit,
+                measured >= limit ? "ok" : "BELOW FLOOR");
+    if (measured < limit) return 3;
+  }
+  return 0;
+}

@@ -86,6 +86,7 @@ struct timing {
   double best_seconds = 0.0;
   double tx_per_s = 0.0;
   double speedup = 1.0;       // vs the serial (no prefilter) baseline
+  double dispatch_us = 0.0;   // parallel rows: chunk dispatch per scan
   bool deterministic = true;  // output identical to the serial reference
 };
 
@@ -166,8 +167,10 @@ int main(int argc, char** argv) {
 
   std::vector<timing> rows;
   // One thunk per row, executing exactly one steady-state scan. Engines
-  // live behind shared_ptrs captured by their thunk.
+  // live behind shared_ptrs captured by their thunk; parallel engines are
+  // also kept here (row-aligned) to read back per-scan dispatch time.
   std::vector<std::function<void()>> one_scan;
+  std::vector<std::shared_ptr<core::parallel_scanner>> engines;
   double allocs_per_tx = 0.0;  // steady-state, serial+prefilter row
 
   const auto add_serial = [&](const std::string& name,
@@ -197,6 +200,7 @@ int main(int argc, char** argv) {
       allocs_per_tx = static_cast<double>(a1 - a0) / n_tx;
     }
     rows.push_back(t);
+    engines.push_back(nullptr);  // serial rows have no dispatch phase
     one_scan.push_back([s, incidents, &receipts, n] {
       core::scan_stats st;
       incidents->clear();  // keeps capacity: no growth after the warm pass
@@ -229,6 +233,7 @@ int main(int argc, char** argv) {
     t.deterministic = ps->incidents() == reference.incidents() &&
                       ps->stats() == reference.stats();
     rows.push_back(t);
+    engines.push_back(ps);
     one_scan.push_back([ps, &receipts] { ps->scan_all(receipts); });
   }
 
@@ -248,6 +253,13 @@ int main(int argc, char** argv) {
     }
     for (std::size_t i = 0; i < rows.size(); ++i) {
       rows[i].best_seconds = best[i];
+      // Dispatch overhead of the final timed scan: chunk slot allocation +
+      // worker wakeup, always recorded by the engine (satellite of the
+      // chunk-sizing fix — the overhead the extra chunks buy must stay
+      // visible per row, not only via the stage observer).
+      if (engines[i]) {
+        rows[i].dispatch_us = engines[i]->last_dispatch_seconds() * 1e6;
+      }
     }
   }
   const double baseline = rows.front().best_seconds;
@@ -315,12 +327,12 @@ int main(int argc, char** argv) {
               "parallel dispatch %.1f us/scan\n\n",
               allocs_per_tx, prefilter_ns_per_tx, pipeline_ns_per_tx,
               chunk_setup_us);
-  std::printf("%-18s %8s %12s %12s %9s %6s\n", "engine", "threads", "ms/scan",
-              "tx/s", "speedup", "same?");
+  std::printf("%-18s %8s %12s %12s %9s %12s %6s\n", "engine", "threads",
+              "ms/scan", "tx/s", "speedup", "dispatch_us", "same?");
   for (const timing& t : rows) {
-    std::printf("%-18s %8u %12.2f %12.0f %8.2fx %6s\n", t.name.c_str(),
+    std::printf("%-18s %8u %12.2f %12.0f %8.2fx %12.1f %6s\n", t.name.c_str(),
                 t.threads, t.best_seconds * 1e3, t.tx_per_s, t.speedup,
-                t.deterministic ? "yes" : "NO");
+                t.dispatch_us, t.deterministic ? "yes" : "NO");
   }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -353,9 +365,10 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "    {\"engine\": \"%s\", \"threads\": %u, "
                  "\"best_seconds\": %.6f, \"tx_per_s\": %.1f, "
-                 "\"speedup_vs_serial\": %.3f, \"deterministic\": %s}%s\n",
+                 "\"speedup_vs_serial\": %.3f, \"dispatch_us\": %.2f, "
+                 "\"deterministic\": %s}%s\n",
                  t.name.c_str(), t.threads, t.best_seconds, t.tx_per_s,
-                 t.speedup, t.deterministic ? "true" : "false",
+                 t.speedup, t.dispatch_us, t.deterministic ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -18,12 +18,21 @@
 // feed. With --serve the process keeps serving after the stream ends,
 // until Ctrl-C.
 //
+// Backfill tier: --build-corpus writes a seeded columnar .lsc receipt
+// history to disk and exits; --backfill mmaps one and scans it with a
+// resumable shard fleet (checkpoints land in --state-dir, so a killed
+// backfill re-run picks up where it stopped). The corpus world is rebuilt
+// from --seed, which must match the seed the corpus was built with.
+//
 //   usage: chain_monitor [--benign N] [--rate BLOCKS_PER_SEC]
 //                        [--checkpoint FILE] [--jsonl FILE]
 //                        [--max-retries N] [--reorg-depth N]
 //                        [--dead-letter FILE]
 //                        [--serve HOST:PORT] [--shards N]
 //                        [--state-dir DIR] [--store-replay FILE]
+//          chain_monitor --build-corpus FILE.lsc [--blocks N] [--seed N]
+//          chain_monitor --backfill FILE.lsc [--shards N] [--seed N]
+//                        [--state-dir DIR] [--serve HOST:PORT]
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -36,6 +45,8 @@
 
 #include "api/http_server.h"
 #include "common/sim_time.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/corpus_reader.h"
 #include "fleet/shard_coordinator.h"
 #include "scenarios/population.h"
 #include "service/monitor_service.h"
@@ -81,6 +92,10 @@ int main(int argc, char** argv) {
   const char* serve_addr = "";
   const char* state_dir = "";
   const char* store_replay = "";
+  const char* build_corpus_path = "";
+  const char* backfill_path = "";
+  long blocks = 100000;
+  unsigned long long seed = 20260808ULL;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--benign") == 0) benign = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--rate") == 0) rate = std::atof(argv[i + 1]);
@@ -103,6 +118,126 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--store-replay") == 0) {
       store_replay = argv[i + 1];
     }
+    if (std::strcmp(argv[i], "--build-corpus") == 0) {
+      build_corpus_path = argv[i + 1];
+    }
+    if (std::strcmp(argv[i], "--backfill") == 0) backfill_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--blocks") == 0) blocks = std::atol(argv[i + 1]);
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+
+  if (build_corpus_path[0] != '\0') {
+    // ---- corpus synthesis: write the .lsc history and exit ----
+    corpus::corpus_build_options copts;
+    copts.blocks = blocks > 0 ? static_cast<std::uint64_t>(blocks) : 1;
+    std::cout << "building " << copts.blocks << "-block corpus (seed " << seed
+              << ") at " << build_corpus_path << "...\n";
+    try {
+      const corpus::corpus_build_result built =
+          corpus::build_corpus(build_corpus_path, seed, copts);
+      std::cout << "wrote " << built.blocks << " blocks / "
+                << built.transactions << " txs / " << built.events
+                << " events, " << built.file_bytes << " bytes (blocks "
+                << built.first_block << ".." << built.last_block << ")\n"
+                << "scan it with: chain_monitor --backfill "
+                << build_corpus_path << " --seed " << seed << " --shards 3\n";
+    } catch (const std::exception& e) {
+      std::cerr << "--build-corpus failed: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  if (backfill_path[0] != '\0') {
+    // ---- backfill mode: resumable shard fleet over an mmap'd corpus ----
+    const std::shared_ptr<verify::synthetic_world> world =
+        verify::make_world(seed);
+    std::unique_ptr<corpus::corpus_reader> reader;
+    try {
+      reader = std::make_unique<corpus::corpus_reader>(backfill_path);
+    } catch (const std::exception& e) {
+      std::cerr << "--backfill: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "backfill: " << reader->block_count() << " blocks / "
+              << reader->tx_count() << " txs, " << reader->file_bytes()
+              << " bytes mapped (checksum ok)\n";
+
+    store::incident_store store;
+    service::metrics_registry metrics;
+    std::unique_ptr<api::http_server> server;
+    if (serve_addr[0] != '\0') {
+      api::server_config cfg;
+      try {
+        cfg.endpoint = net::parse_endpoint(serve_addr);
+        server = std::make_unique<api::http_server>(store, metrics, cfg);
+        server->start();
+      } catch (const std::exception& e) {
+        std::cerr << "--serve: " << e.what() << "\n";
+        return 1;
+      }
+      std::cout << "serving incidents on port " << server->port() << "\n";
+    }
+
+    fleet::fleet_options fopts;
+    fopts.shards = shards > 0 ? static_cast<unsigned>(shards) : 1;
+    fopts.checkpoint_every = 256;
+    fopts.state_dir = state_dir;
+    fleet::shard_coordinator fleet{world->creations, world->labels,
+                                   world->weth_token, *reader, store, fopts};
+    std::cout << "fleet: " << fleet.shard_count() << " shard(s)";
+    for (const fleet::shard_range& r : fleet.plan()) {
+      std::cout << "  [" << r.first_block << ".." << r.last_block << "]";
+    }
+    std::cout << "\n";
+    if (state_dir[0] != '\0' && fleet.resume()) {
+      std::cout << "resuming backfill from " << state_dir << " (watermark "
+                << fleet.committed_watermark() << ")\n";
+    }
+
+    std::signal(SIGINT, on_sigint);
+    std::cout << "--- backfill running (Ctrl-C to checkpoint and stop) ---\n";
+    fleet.start();
+    std::atomic<bool> done{false};
+    std::thread waiter{[&] {
+      try {
+        fleet.wait();
+      } catch (const std::exception& e) {
+        std::cerr << "backfill failed: " << e.what() << "\n";
+      }
+      done.store(true, std::memory_order_release);
+    }};
+    while (interrupted == 0 && !done.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{50});
+    }
+    if (interrupted != 0) {
+      std::cout << "\ninterrupt: checkpointing shards...\n";
+      fleet.request_stop();
+    }
+    waiter.join();
+
+    const store::store_stats sstats = store.stats();
+    std::cout << "--- backfill stopped ---\n"
+              << fleet.incidents_forwarded() << " incident(s) found, "
+              << sstats.active << " active in store, blocks "
+              << sstats.first_block << ".." << sstats.last_block << "\n";
+    if (state_dir[0] != '\0') {
+      std::cout << "committed watermark " << fleet.committed_watermark()
+                << " (re-run the same command to continue)\n";
+    }
+    if (server) {
+      if (interrupted == 0) {
+        std::cout << "still serving on port " << server->port()
+                  << " (Ctrl-C to exit)\n";
+        while (interrupted == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds{50});
+        }
+      }
+      server->stop();
+    }
+    return 0;
   }
 
   scenarios::universe u;

@@ -1,0 +1,92 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace leishen {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error{"mmap_file: " + what + " '" + path +
+                           "': " + std::strerror(errno)};
+}
+
+std::size_t page_size() noexcept {
+  static const auto page =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+}  // namespace
+
+mmap_file mmap_file::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail("cannot open", path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail("cannot stat", path);
+  }
+  mmap_file m;
+  m.size_ = static_cast<std::size_t>(st.st_size);
+  if (m.size_ > 0) {
+    void* p = ::mmap(nullptr, m.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      fail("cannot map", path);
+    }
+    m.data_ = static_cast<const std::byte*>(p);
+  }
+  // The mapping keeps the file alive; the descriptor is no longer needed.
+  ::close(fd);
+  return m;
+}
+
+mmap_file::~mmap_file() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+}
+
+mmap_file::mmap_file(mmap_file&& other) noexcept
+    : data_{std::exchange(other.data_, nullptr)},
+      size_{std::exchange(other.size_, 0)} {}
+
+mmap_file& mmap_file::operator=(mmap_file&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(const_cast<std::byte*>(data_), size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void mmap_file::advise_sequential() const noexcept {
+  if (data_ == nullptr) return;
+  ::madvise(const_cast<std::byte*>(data_), size_, MADV_SEQUENTIAL);
+}
+
+void mmap_file::advise_dontneed(std::size_t offset,
+                                std::size_t length) const noexcept {
+  if (data_ == nullptr || offset >= size_) return;
+  length = std::min(length, size_ - offset);
+  // Align inward: only whole pages fully inside the range may be dropped
+  // (an outward-rounded DONTNEED would evict bytes a neighbor still needs).
+  const std::size_t page = page_size();
+  const std::size_t begin = (offset + page - 1) / page * page;
+  const std::size_t end = (offset + length) / page * page;
+  if (end <= begin) return;
+  ::madvise(const_cast<std::byte*>(data_) + begin, end - begin,
+            MADV_DONTNEED);
+}
+
+}  // namespace leishen

@@ -1,0 +1,56 @@
+// Read-only memory-mapped files for the zero-copy corpus reader.
+//
+// A corpus scan wants the whole multi-gigabyte receipt history addressable
+// without buying it in RAM: `mmap_file` maps a file read-only and lets the
+// scan walk it as one contiguous byte range, paging columns in on demand.
+// Flat-RSS scans come from `advise_dontneed`: once a scan has consumed a
+// column prefix it drops those (clean, file-backed) pages back to the
+// kernel, so resident memory is bounded by the eviction window instead of
+// growing with scan progress. `advise_sequential` hints readahead for the
+// forward-only passes (checksum verification, serial scans).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace leishen {
+
+/// Movable RAII mapping of one file, read-only. All byte offsets are from
+/// the start of the file; advice calls page-align internally and are
+/// best-effort (an madvise failure is ignored — advice, not correctness).
+class mmap_file {
+ public:
+  mmap_file() = default;
+  ~mmap_file();
+  mmap_file(mmap_file&& other) noexcept;
+  mmap_file& operator=(mmap_file&& other) noexcept;
+  mmap_file(const mmap_file&) = delete;
+  mmap_file& operator=(const mmap_file&) = delete;
+
+  /// Map `path` read-only; throws std::runtime_error (with errno text) when
+  /// the file cannot be opened, sized, or mapped. An empty file maps to a
+  /// valid zero-length object (data() == nullptr).
+  static mmap_file open(const std::string& path);
+
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return data_ != nullptr;
+  }
+
+  /// Readahead hint for a forward-only pass over the whole mapping.
+  void advise_sequential() const noexcept;
+
+  /// Drop the resident pages fully inside [offset, offset + length): they
+  /// are clean and file-backed, so the kernel frees them immediately and
+  /// refaults from the file if touched again. This is what keeps a long
+  /// backfill's RSS bounded by its eviction window.
+  void advise_dontneed(std::size_t offset, std::size_t length) const noexcept;
+
+ private:
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace leishen

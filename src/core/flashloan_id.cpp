@@ -21,9 +21,12 @@ using chain::trace_event;
 // triggers happen to have pairwise distinct lengths, which is what makes
 // the table a direct length-indexed lookup rather than a search.
 
-inline constexpr std::string_view kUniswapCallback = "uniswapV2Call";  // 13
-inline constexpr std::string_view kAaveFlashLoan = "FlashLoan";        // 9
-inline constexpr std::string_view kDydxLogOperation = "LogOperation";  // 12
+// The strings themselves are exported from the header (the corpus reader
+// resolves them against its on-disk dictionary); the packed table here is
+// just the hot-path encoding. Lengths: 13 / 9 / 12 — pairwise distinct.
+inline constexpr std::string_view kUniswapCallback = kPrefilterUniswapCallback;
+inline constexpr std::string_view kAaveFlashLoan = kPrefilterAaveEvent;
+inline constexpr std::string_view kDydxLogOperation = kPrefilterDydxEvent;
 
 inline constexpr std::uint64_t kEventLenMask =
     (std::uint64_t{1} << kAaveFlashLoan.size()) |

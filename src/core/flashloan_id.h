@@ -7,11 +7,24 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "chain/receipt.h"
 
 namespace leishen::core {
+
+/// The Table II trigger signatures, exported so other layers can reproduce
+/// the prefilter verdict without materializing a receipt: the corpus reader
+/// prefilters directly over its packed (dictionary-id, kind) signature
+/// column by resolving these three names against its dictionary once and
+/// comparing integers per event. `may_be_flash_loan` below is defined over
+/// exactly this set (a successful receipt passes iff any call record's
+/// method is `kPrefilterUniswapCallback` or any event log's name is one of
+/// the two event triggers).
+inline constexpr std::string_view kPrefilterUniswapCallback = "uniswapV2Call";
+inline constexpr std::string_view kPrefilterAaveEvent = "FlashLoan";
+inline constexpr std::string_view kPrefilterDydxEvent = "LogOperation";
 
 enum class flash_provider { uniswap, aave, dydx };
 

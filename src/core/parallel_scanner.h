@@ -40,9 +40,18 @@ struct parallel_scanner_options {
   /// participates as one of the workers during scan_all (it would otherwise
   /// just block), so width 1 runs entirely inline at serial speed.
   unsigned threads = 0;
-  /// Receipts per work unit. Small enough to balance clustered load,
-  /// large enough to amortize scheduling (one atomic fetch per chunk).
+  /// MINIMUM receipts per work unit. The effective chunk size is scaled to
+  /// the corpus: a scan produces at most `threads * chunks_per_worker`
+  /// chunks, so small corpora are not shredded into dozens of units whose
+  /// per-chunk dispatch (atomic claim + slot clear) rivals the scan itself.
+  /// Results are bit-identical for any chunking (the merge is chunk-order
+  /// concatenation of contiguous ranges), so this is purely a scheduling
+  /// knob.
   std::size_t chunk_size = 64;
+  /// Chunk-count budget per worker for dynamic load balancing: enough
+  /// stealable units that one clustered chunk cannot starve the rest of the
+  /// pool, few enough that dispatch stays amortized.
+  std::size_t chunks_per_worker = 8;
   /// Share one thread-safe account-tagging memo across workers (on top of
   /// each worker's private memo).
   bool share_tag_cache = true;
@@ -67,6 +76,14 @@ class parallel_scanner {
     return incidents_;
   }
   [[nodiscard]] unsigned threads() const noexcept { return pool_.size(); }
+  /// Dispatch overhead of the most recent scan_all call: wall time between
+  /// entry and the last pool submission (chunk slot setup + worker wakeup),
+  /// before the caller starts scanning as worker 0. Always measured — two
+  /// clock reads per scan — independent of any stage observer, so benches
+  /// can split dispatch from scan without instrumented reruns.
+  [[nodiscard]] double last_dispatch_seconds() const noexcept {
+    return last_dispatch_seconds_;
+  }
   [[nodiscard]] const shared_tag_cache& tag_cache() const noexcept {
     return tag_cache_;
   }
@@ -89,6 +106,7 @@ class parallel_scanner {
   /// so a steady-state scan_all performs no per-call slot allocation.
   std::vector<std::vector<incident>> chunk_incidents_;
   std::vector<scan_stats> chunk_stats_;
+  double last_dispatch_seconds_ = 0.0;
   scan_stats stats_;
   std::vector<incident> incidents_;
 };

@@ -100,6 +100,34 @@ void scanner::scan_one(const chain::tx_receipt& receipt, scan_stats& stats,
     }
     ++stats.prefilter_accepts;
   }
+  scan_pipeline(receipt, stats, out);
+}
+
+void scanner::scan_view(const receipt_view& view, scan_stats& stats,
+                        std::vector<incident>& out) const {
+  ++stats.transactions;
+  if (options_.prefilter) {
+    // The verdict was computed by the view's producer (e.g. over the
+    // corpus's packed signature column); no clock reads here — prefilter
+    // stage timing belongs to whoever actually ran the check.
+    if (!view.may_be_flash_loan) {
+      ++stats.prefilter_rejects;
+      return;
+    }
+    ++stats.prefilter_accepts;
+  }
+  if (view.full == nullptr) {
+    throw std::logic_error{
+        "scan_view: a view without a materialized receipt reached the "
+        "pipeline (payload-free views require prefilter=true and a false "
+        "verdict)"};
+  }
+  scan_pipeline(*view.full, stats, out);
+}
+
+void scanner::scan_pipeline(const chain::tx_receipt& receipt,
+                            scan_stats& stats,
+                            std::vector<incident>& out) const {
   timed_stage(options_.stage_observer, scan_stage::pipeline,
               [&] { detector_.analyze_into(receipt, ctx_); });
   detection_report& report = ctx_.report;

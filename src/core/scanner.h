@@ -78,6 +78,20 @@ struct scanner_options {
   scan_stage_observer* stage_observer = nullptr;
 };
 
+/// A borrowed, possibly payload-free view of one transaction, for scan
+/// paths that can decide the prefilter verdict without materializing the
+/// trace (the mmap'd corpus computes it from its packed signature column).
+/// `may_be_flash_loan` MUST equal `core::may_be_flash_loan(*full)` whenever
+/// `full` is non-null — the producer vouches for that equivalence, which is
+/// what keeps view scans bit-identical to receipt scans. `full` may be null
+/// only when the verdict is false AND the scanner's prefilter is enabled
+/// (a rejected view never reaches the pipeline, so the trace is never
+/// needed); `scan_view` throws std::logic_error otherwise.
+struct receipt_view {
+  const chain::tx_receipt* full = nullptr;
+  bool may_be_flash_loan = false;
+};
+
 struct incident {
   std::uint64_t tx_index = 0;
   std::int64_t timestamp = 0;
@@ -140,6 +154,13 @@ class scanner {
                   std::size_t begin, std::size_t end, scan_stats& stats,
                   std::vector<incident>& out) const;
 
+  /// `scan_range`'s per-transaction step over a borrowed view: the caller
+  /// supplies the prefilter verdict (see `receipt_view`), so a rejected
+  /// transaction costs one counter bump with no trace materialization.
+  /// Counters and incidents are bit-identical to scanning the full receipt.
+  void scan_view(const receipt_view& view, scan_stats& stats,
+                 std::vector<incident>& out) const;
+
   /// Invoked by `scan_range_guarded` for every receipt it quarantines.
   using poison_handler =
       std::function<void(const chain::tx_receipt&, const std::string& error)>;
@@ -158,6 +179,9 @@ class scanner {
                           const poison_handler& on_poison) const;
 
   [[nodiscard]] const scan_stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const scanner_options& options() const noexcept {
+    return options_;
+  }
   [[nodiscard]] const std::vector<incident>& incidents() const noexcept {
     return incidents_;
   }
@@ -168,6 +192,11 @@ class scanner {
  private:
   void scan_one(const chain::tx_receipt& receipt, scan_stats& stats,
                 std::vector<incident>& out) const;
+  /// The post-prefilter stages (replay/tag/simplify/match + heuristic +
+  /// incident build), shared by `scan_one` and `scan_view` so the two entry
+  /// points cannot drift.
+  void scan_pipeline(const chain::tx_receipt& receipt, scan_stats& stats,
+                     std::vector<incident>& out) const;
   [[nodiscard]] bool is_aggregator(tag_id tag) const;
 
   detector detector_;

@@ -1,0 +1,55 @@
+#include "corpus/corpus_block_source.h"
+
+#include <algorithm>
+
+namespace leishen::corpus {
+
+corpus_block_source::corpus_block_source(const corpus_reader& reader,
+                                         std::uint64_t begin_block,
+                                         std::uint64_t end_block,
+                                         corpus_source_options options)
+    : reader_{&reader},
+      options_{options},
+      begin_{begin_block},
+      end_{std::min(end_block, reader.block_count())},
+      cursor_{begin_block},
+      last_evict_{begin_block} {}
+
+void corpus_block_source::skip_to_block(std::uint64_t last_processed_number) {
+  if (last_processed_number == 0) return;
+  const std::uint64_t at = reader_->first_block_after(last_processed_number);
+  if (at <= cursor_) return;  // checkpoint predates this range: nothing to do
+  cursor_ = std::min(at, end_);
+  last_evict_ = cursor_;
+  // Link the first emission to the block the checkpoint recorded last, the
+  // same hash a full re-emission would have carried there.
+  last_hash_ = service::block_link_hash(last_processed_number);
+}
+
+std::optional<service::block> corpus_block_source::next() {
+  if (cursor_ >= end_) return std::nullopt;
+  const block_rec& blk = reader_->block(cursor_);
+
+  service::block b;
+  b.number = blk.number;
+  b.timestamp = blk.timestamp;
+  b.hash = service::block_link_hash(b.number);
+  b.parent_hash = last_hash_;
+  b.receipts.resize(blk.tx_count);
+  for (std::uint32_t i = 0; i < blk.tx_count; ++i) {
+    const std::uint64_t t = blk.first_tx + i;
+    const bool full = !options_.prefilter_skip_payload ||
+                      reader_->tx_may_be_flash_loan(t);
+    reader_->materialize_tx(t, blk.number, b.receipts[i], full);
+  }
+  last_hash_ = b.hash;
+  ++cursor_;
+  if (options_.evict_every_blocks != 0 &&
+      cursor_ - last_evict_ >= options_.evict_every_blocks) {
+    reader_->evict_before_block(cursor_);
+    last_evict_ = cursor_;
+  }
+  return b;
+}
+
+}  // namespace leishen::corpus

@@ -1,0 +1,67 @@
+// A `service::block_source` over a corpus block range: the bridge that
+// lets the streaming monitor (and therefore the sharded fleet) backfill an
+// mmap'd history through the exact ingestion path live blocks take —
+// linkage checks, checkpoints, reorg journal, resume, all unchanged.
+//
+// Linkage mirrors `simulated_block_source`: hash = block_link_hash(number),
+// parent = previously emitted hash (0 for the first emission), so per-shard
+// checkpoints written against a corpus source resume against a re-created
+// one. `skip_to_block` is the resume fast-path: instead of re-emitting the
+// processed prefix for the monitor to skip block by block, the source
+// starts at the first block past the checkpoint with the parent hash the
+// checkpoint expects — prefix decode cost drops to a binary search.
+//
+// Transactions the packed-signature prefilter rejects are materialized
+// header-only (empty trace — allocation-free): the monitor's scanner
+// prefilter reaches the identical verdict from the identical fields, so
+// stats and incidents are bit-identical to full decode. Requires the
+// monitor's prefilter to be ON; pass `prefilter_skip_payload = false` when
+// scanning with the prefilter disabled.
+#pragma once
+
+#include <cstdint>
+
+#include "corpus/corpus_reader.h"
+#include "service/block_source.h"
+
+namespace leishen::corpus {
+
+struct corpus_source_options {
+  /// Decode only the tx header for prefilter-rejected transactions. Sound
+  /// only when the consuming scanner's prefilter is enabled.
+  bool prefilter_skip_payload = true;
+  /// Evict consumed column prefixes every N emitted blocks (0 = never).
+  std::uint64_t evict_every_blocks = 8192;
+};
+
+class corpus_block_source final : public service::block_source {
+ public:
+  /// Emits corpus blocks [begin_block, end_block) (block indexes; end is
+  /// clamped). The reader must outlive the source.
+  corpus_block_source(const corpus_reader& reader, std::uint64_t begin_block,
+                      std::uint64_t end_block,
+                      corpus_source_options options = {});
+
+  std::optional<service::block> next() override;
+
+  /// Resume fast-forward: start emission at the first block with number >
+  /// `last_processed_number`, linked as if the prefix had been emitted
+  /// (parent = block_link_hash(last_processed_number)). Call before the
+  /// first next(); a no-op for number 0 (fresh start).
+  void skip_to_block(std::uint64_t last_processed_number);
+
+  [[nodiscard]] std::uint64_t remaining_blocks() const noexcept {
+    return end_ - cursor_;
+  }
+
+ private:
+  const corpus_reader* reader_;
+  corpus_source_options options_;
+  std::uint64_t begin_ = 0;
+  std::uint64_t end_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t last_hash_ = 0;
+  std::uint64_t last_evict_ = 0;
+};
+
+}  // namespace leishen::corpus

@@ -1,0 +1,58 @@
+#include "corpus/corpus_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "corpus/corpus_writer.h"
+
+namespace leishen::corpus {
+
+corpus_build_result build_corpus(const std::string& path, std::uint64_t seed,
+                                 const corpus_build_options& options) {
+  verify::generator_options gen;
+  gen.block_span = options.block_span;
+  gen.plain_transfer_fraction = options.plain_transfer_fraction;
+  gen.noise_fraction = options.noise_fraction;
+  gen.huge_amount_fraction = options.huge_amount_fraction;
+
+  corpus_build_result result;
+  result.world = verify::make_world(seed);
+  verify::generation_cursor cursor = verify::start_generation(seed, gen);
+  result.first_block = cursor.block;
+
+  corpus_writer writer{path};
+  std::vector<chain::tx_receipt> chunk;
+  const std::uint64_t chunk_txs = std::max<std::uint64_t>(1, options.chunk_txs);
+  // Count a block when its first receipt is appended; stop at the first
+  // receipt of block `target`+1 so the last block is always complete. The
+  // cursor generates a fixed sequence, so where the chunk boundaries fall
+  // cannot change the file.
+  std::uint64_t last_block = 0;
+  std::uint64_t distinct_blocks = 0;
+  bool done = false;
+  while (!done) {
+    chunk.clear();
+    verify::generate_receipts_into(*result.world, gen, cursor, chunk_txs,
+                                   chunk);
+    for (chain::tx_receipt& rec : chunk) {
+      if (distinct_blocks == 0 || rec.block_number != last_block) {
+        if (distinct_blocks >= options.blocks) {
+          done = true;
+          break;
+        }
+        ++distinct_blocks;
+        last_block = rec.block_number;
+      }
+      writer.append(rec);
+    }
+  }
+
+  result.last_block = last_block;
+  result.file_bytes = writer.finish();
+  result.blocks = writer.block_count();
+  result.transactions = writer.tx_count();
+  result.events = writer.event_count();
+  return result;
+}
+
+}  // namespace leishen::corpus

@@ -1,0 +1,56 @@
+// Seeded corpus synthesis at paper scale: stream a multi-million-block
+// receipt history through `corpus_writer` in bounded memory.
+//
+// The receipt populations come from `verify::receipt_gen`'s streaming
+// cursor — the same generator the differential tests fuzz with, so every
+// structural corner the scan pipeline handles appears in backfill corpora
+// too. The knobs here re-balance the mix for realism: most transactions
+// are plain transfers, flash loan candidates are the rare event (the paper
+// measures ~0.02 incidents per block over its 2020-2021 window), and the
+// whole history is a pure function of `(seed, options)`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "verify/receipt_gen.h"
+
+namespace leishen::corpus {
+
+struct corpus_build_options {
+  /// Distinct block records to emit (the generator stops at the first
+  /// block boundary at or past this count, so blocks are never split).
+  std::uint64_t blocks = 1000;
+  /// Max transactions sharing one block number.
+  int block_span = 4;
+  /// Fraction of transactions that are a single plain transfer.
+  double plain_transfer_fraction = 0.97;
+  /// Among the rest, fraction that is structured non-flash-loan noise
+  /// (prefilter rejects plus truncated-trigger accepts).
+  double noise_fraction = 0.75;
+  /// Probability a flash loan body carries a 2^190+-scale amount.
+  double huge_amount_fraction = 0.15;
+  /// Transactions synthesized per streaming chunk (memory high-water).
+  std::uint64_t chunk_txs = 1 << 16;
+};
+
+struct corpus_build_result {
+  std::uint64_t blocks = 0;
+  std::uint64_t transactions = 0;
+  std::uint64_t events = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t first_block = 0;
+  std::uint64_t last_block = 0;
+  /// The tagging substrate the stored receipts refer to; scanners over
+  /// this corpus must be configured with its registry and labels.
+  std::shared_ptr<verify::synthetic_world> world;
+};
+
+/// Synthesize and write the corpus `(seed, options)` describes to `path`.
+/// Throws corpus_error / std::system_error on I/O failure. Deterministic:
+/// same inputs, bit-identical file.
+corpus_build_result build_corpus(const std::string& path, std::uint64_t seed,
+                                 const corpus_build_options& options = {});
+
+}  // namespace leishen::corpus

@@ -1,0 +1,328 @@
+#include "corpus/corpus_reader.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "core/flashloan_id.h"
+
+namespace leishen::corpus {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& path, const std::string& why) {
+  throw corpus_error{"corpus '" + path + "': " + why};
+}
+
+/// Bounded payload decoder: every read is range-checked against the
+/// payload section end, so a corrupted offset that survived the checksum
+/// (checksum disabled) still cannot read out of the mapping.
+struct payload_cursor {
+  const std::uint8_t* at;
+  const std::uint8_t* end;
+
+  void need(std::size_t n) const {
+    if (static_cast<std::size_t>(end - at) < n) {
+      throw corpus_error{"corpus payload truncated mid-event"};
+    }
+  }
+  address take_address() {
+    need(address::kSize);
+    std::array<std::uint8_t, address::kSize> bytes;
+    std::memcpy(bytes.data(), at, address::kSize);
+    at += address::kSize;
+    return address{bytes};
+  }
+  std::int32_t take_i32() {
+    need(4);
+    std::int32_t v = 0;
+    std::memcpy(&v, at, 4);
+    at += 4;
+    return v;
+  }
+  u256 take_u256() {
+    need(1);
+    const std::uint8_t n = *at++;
+    if (n > 4) throw corpus_error{"corpus payload: u256 limb count > 4"};
+    need(static_cast<std::size_t>(n) * 8);
+    std::uint64_t limbs[4] = {0, 0, 0, 0};
+    for (std::uint8_t i = 0; i < n; ++i) {
+      std::memcpy(&limbs[i], at, 8);
+      at += 8;
+    }
+    return u256{limbs[0], limbs[1], limbs[2], limbs[3]};
+  }
+};
+
+}  // namespace
+
+corpus_reader::corpus_reader(const std::string& path, reader_options opts)
+    : map_{mmap_file::open(path)} {
+  if (map_.size() < sizeof(file_header) + sizeof(file_footer)) {
+    reject(path, "file too small to hold a header and footer (" +
+                     std::to_string(map_.size()) + " bytes)");
+  }
+  hdr_ = reinterpret_cast<const file_header*>(map_.data());
+  if (std::memcmp(hdr_->magic, kCorpusMagic, 8) != 0) {
+    reject(path, "bad magic (not a .lsc corpus)");
+  }
+  if (hdr_->version != kCorpusVersion) {
+    reject(path, "unsupported format version " +
+                     std::to_string(hdr_->version) + " (reader speaks " +
+                     std::to_string(kCorpusVersion) + ")");
+  }
+  if (hdr_->header_bytes != sizeof(file_header)) {
+    reject(path, "header size mismatch");
+  }
+  const std::uint64_t payload_end = map_.size() - sizeof(file_footer);
+
+  // The footer sits wherever the dictionary ends (no tail padding), so
+  // copy it out instead of casting a possibly misaligned pointer.
+  file_footer footer_copy;
+  std::memcpy(&footer_copy, map_.data() + payload_end, sizeof footer_copy);
+  const file_footer* footer = &footer_copy;
+  if (std::memcmp(footer->magic, kFooterMagic, 8) != 0) {
+    reject(path, "bad footer magic (truncated or overwritten tail)");
+  }
+  if (opts.verify_checksum) {
+    map_.advise_sequential();
+    std::uint64_t sum = kFnvOffsetBasis;
+    // Chunked, evicting the hashed prefix as it goes: the verification
+    // pass touches every page of a possibly multi-GB file, and without the
+    // periodic DONTNEED those pages stay resident — the scan that follows
+    // would start with RSS already at file size, defeating its own
+    // eviction window.
+    std::uint64_t at = 0;
+    std::uint64_t last_evict = 0;
+    while (at < payload_end) {
+      const std::uint64_t n =
+          std::min<std::uint64_t>(payload_end - at, 1u << 20);
+      sum = fnv1a64(map_.data() + at, n, sum);
+      at += n;
+      if (at - last_evict >= (64u << 20)) {
+        map_.advise_dontneed(last_evict, at - last_evict);
+        last_evict = at;
+      }
+    }
+    map_.advise_dontneed(last_evict, payload_end - last_evict);
+    if (sum != footer->checksum) {
+      reject(path, "footer checksum mismatch (stored " +
+                       std::to_string(footer->checksum) + ", computed " +
+                       std::to_string(sum) + ") — corrupted file");
+    }
+  }
+
+  // Section table: in-bounds, aligned, and large enough for the declared
+  // counts.
+  const std::uint64_t expected_bytes[kSectionCount] = {
+      hdr_->block_count * sizeof(block_rec),
+      hdr_->tx_count * sizeof(tx_rec),
+      hdr_->event_count * 4,
+      hdr_->section_bytes[kSecPayload],  // variable; bounds-checked below
+      (hdr_->dict_count + 1) * 8,
+      hdr_->section_bytes[kSecDictBytes]};
+  for (unsigned s = 0; s < kSectionCount; ++s) {
+    const std::uint64_t off = hdr_->section_offset[s];
+    const std::uint64_t len = hdr_->section_bytes[s];
+    if (off < sizeof(file_header) || off % kSectionAlign != 0 ||
+        off > payload_end || len > payload_end - off) {
+      reject(path, "section " + std::to_string(s) + " out of bounds");
+    }
+    if (len != expected_bytes[s]) {
+      reject(path, "section " + std::to_string(s) +
+                       " size does not match declared counts");
+    }
+  }
+  if (hdr_->block_count == 0 || hdr_->tx_count == 0) {
+    reject(path, "empty corpus (0 blocks)");
+  }
+  if (hdr_->dict_count == 0 || hdr_->dict_count > kMaxDictEntries) {
+    reject(path, "dictionary count out of range");
+  }
+
+  blocks_ = reinterpret_cast<const block_rec*>(section(kSecBlocks));
+  txs_ = reinterpret_cast<const tx_rec*>(section(kSecTxs));
+  sigs_ = reinterpret_cast<const std::uint32_t*>(section(kSecSigs));
+  payload_ = reinterpret_cast<const std::uint8_t*>(section(kSecPayload));
+  dict_offsets_ = reinterpret_cast<const std::uint64_t*>(
+      section(kSecDictOffsets));
+  dict_bytes_ = reinterpret_cast<const char*>(section(kSecDictBytes));
+
+  // Dictionary offsets: monotone and in-bounds, validated once here so
+  // `dict()` can be an unchecked two-load accessor.
+  const std::uint64_t dict_len = hdr_->section_bytes[kSecDictBytes];
+  for (std::uint64_t i = 0; i <= hdr_->dict_count; ++i) {
+    if (dict_offsets_[i] > dict_len ||
+        (i > 0 && dict_offsets_[i] < dict_offsets_[i - 1])) {
+      reject(path, "dictionary offsets not monotone/in-bounds");
+    }
+  }
+
+  // Block/tx spans: each block's tx span and each tx's event span must be
+  // inside the declared columns (validated eagerly; the scan paths then
+  // index without checks).
+  std::uint64_t want_tx = 0;
+  std::uint64_t prev_number = 0;
+  for (std::uint64_t b = 0; b < hdr_->block_count; ++b) {
+    if (blocks_[b].first_tx != want_tx || blocks_[b].tx_count == 0) {
+      reject(path, "block tx spans are not contiguous");
+    }
+    if (b > 0 && blocks_[b].number <= prev_number) {
+      reject(path, "block numbers not strictly increasing");
+    }
+    prev_number = blocks_[b].number;
+    want_tx += blocks_[b].tx_count;
+  }
+  if (want_tx != hdr_->tx_count) {
+    reject(path, "block tx spans do not cover the tx column");
+  }
+  std::uint64_t want_event = 0;
+  const std::uint64_t payload_len = hdr_->section_bytes[kSecPayload];
+  for (std::uint64_t t = 0; t < hdr_->tx_count; ++t) {
+    if (txs_[t].first_event != want_event) {
+      reject(path, "tx event spans are not contiguous");
+    }
+    want_event += txs_[t].event_count;
+    // Payload offsets only need to be monotone and in-bounds: record
+    // lengths are implied by the event decode, which is itself
+    // range-checked against the section end.
+    if (txs_[t].payload_offset > payload_len ||
+        (t > 0 && txs_[t].payload_offset < txs_[t - 1].payload_offset)) {
+      reject(path, "tx payload offsets not monotone/in-bounds");
+    }
+    if (txs_[t].desc_sid >= hdr_->dict_count ||
+        txs_[t].revert_sid >= hdr_->dict_count) {
+      reject(path, "tx dictionary id out of range");
+    }
+  }
+  if (want_event != hdr_->event_count) {
+    reject(path, "tx event spans do not cover the signature column");
+  }
+
+  // Resolve the Table II triggers against this corpus's dictionary once.
+  // A linear pass over the (small) dictionary; absent names stay kSigNever
+  // (matching no event, exactly like a corpus that never saw the trigger).
+  for (std::uint32_t sid = 0; sid < hdr_->dict_count; ++sid) {
+    const std::string_view s = dict(sid);
+    if (s == core::kPrefilterUniswapCallback) {
+      trigger_[0] = pack_sig(sid, kSigCall);
+    } else if (s == core::kPrefilterAaveEvent) {
+      trigger_[1] = pack_sig(sid, kSigLog);
+    } else if (s == core::kPrefilterDydxEvent) {
+      trigger_[2] = pack_sig(sid, kSigLog);
+    }
+  }
+}
+
+void corpus_reader::materialize_tx(std::uint64_t t,
+                                   std::uint64_t block_number,
+                                   chain::tx_receipt& out,
+                                   bool payload) const {
+  const tx_rec& rec = txs_[t];
+  out.tx_index = rec.tx_index;
+  out.block_number = block_number;
+  out.timestamp = rec.timestamp;
+  out.success = rec.success != 0;
+  {
+    std::array<std::uint8_t, address::kSize> bytes;
+    std::memcpy(bytes.data(), rec.from, address::kSize);
+    out.from = address{bytes};
+    std::memcpy(bytes.data(), rec.to, address::kSize);
+    out.to = address{bytes};
+  }
+  out.description.assign(dict(rec.desc_sid));
+  out.revert_reason.assign(dict(rec.revert_sid));
+  out.events.clear();
+  if (!payload || rec.event_count == 0) return;
+
+  out.events.reserve(rec.event_count);
+  const std::uint32_t* sig = sigs_ + rec.first_event;
+  payload_cursor cur{payload_ + rec.payload_offset,
+                     payload_ + hdr_->section_bytes[kSecPayload]};
+  for (std::uint32_t i = 0; i < rec.event_count; ++i) {
+    const std::uint32_t w = sig[i];
+    switch (sig_kind_of(w)) {
+      case kSigCall: {
+        chain::call_record call;
+        call.caller = cur.take_address();
+        call.callee = cur.take_address();
+        call.depth = cur.take_i32();
+        call.method.assign(dict(sig_dict_id(w)));
+        out.events.emplace_back(std::move(call));
+        break;
+      }
+      case kSigInternal: {
+        chain::internal_tx itx;
+        itx.from = cur.take_address();
+        itx.to = cur.take_address();
+        itx.amount = cur.take_u256();
+        out.events.emplace_back(itx);
+        break;
+      }
+      case kSigLog: {
+        cur.need(1);
+        const std::uint8_t flags = *cur.at++;
+        chain::event_log log;
+        log.emitter = cur.take_address();
+        if (flags & kLogAddr0) log.addr0 = cur.take_address();
+        if (flags & kLogAddr1) log.addr1 = cur.take_address();
+        if (flags & kLogAddr2) log.addr2 = cur.take_address();
+        if (flags & kLogAmount0) log.amount0 = cur.take_u256();
+        if (flags & kLogAmount1) log.amount1 = cur.take_u256();
+        if (flags & kLogAmount2) log.amount2 = cur.take_u256();
+        if (flags & kLogAmount3) log.amount3 = cur.take_u256();
+        log.name.assign(dict(sig_dict_id(w)));
+        out.events.emplace_back(std::move(log));
+        break;
+      }
+      default:
+        throw corpus_error{"corpus signature column: unknown event kind"};
+    }
+  }
+}
+
+std::uint64_t corpus_reader::first_block_after(std::uint64_t number) const
+    noexcept {
+  std::uint64_t lo = 0, hi = hdr_->block_count;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (blocks_[mid].number <= number) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::uint64_t corpus_reader::tx_count_in_blocks(std::uint64_t begin,
+                                                std::uint64_t end) const
+    noexcept {
+  if (begin >= end) return 0;
+  const std::uint64_t first = blocks_[begin].first_tx;
+  const std::uint64_t last = end < hdr_->block_count
+                                 ? blocks_[end].first_tx
+                                 : hdr_->tx_count;
+  return last - first;
+}
+
+void corpus_reader::evict_before_block(std::uint64_t b) const noexcept {
+  if (b == 0) return;
+  b = std::min(b, hdr_->block_count);
+  const std::uint64_t first_tx =
+      b < hdr_->block_count ? blocks_[b].first_tx : hdr_->tx_count;
+  const std::uint64_t first_event =
+      first_tx < hdr_->tx_count ? txs_[first_tx].first_event
+                                : hdr_->event_count;
+  const std::uint64_t first_payload =
+      first_tx < hdr_->tx_count ? txs_[first_tx].payload_offset
+                                : hdr_->section_bytes[kSecPayload];
+  map_.advise_dontneed(hdr_->section_offset[kSecBlocks],
+                       b * sizeof(block_rec));
+  map_.advise_dontneed(hdr_->section_offset[kSecTxs],
+                       first_tx * sizeof(tx_rec));
+  map_.advise_dontneed(hdr_->section_offset[kSecSigs], first_event * 4);
+  map_.advise_dontneed(hdr_->section_offset[kSecPayload], first_payload);
+}
+
+}  // namespace leishen::corpus

@@ -1,0 +1,138 @@
+// Zero-copy .lsc corpus reader over one read-only mapping.
+//
+// Open validates everything cheap eagerly — magic, version, section table
+// bounds, dictionary offsets — and (by default) the footer checksum with
+// one sequential pass, so a truncated, bit-flipped or version-skewed file
+// is rejected at open with a diagnostic instead of surfacing as garbage
+// receipts mid-scan. After open, all accessors are non-throwing reads into
+// the mapping.
+//
+// The scan-facing surface is two-tier, mirroring the scanner's prefilter
+// split:
+//   - `tx_may_be_flash_loan` answers the Table II prefilter from the packed
+//     signature column alone (three u32 compares per event, no decode) —
+//     exactly `core::may_be_flash_loan` of the materialized receipt;
+//   - `materialize_tx` decodes one transaction into a caller-owned
+//     tx_receipt (capacity reused across calls), optionally header-only
+//     (empty trace) for transactions the prefilter already rejected.
+//
+// Long scans call `evict_before_block` as they advance: consumed column
+// prefixes are madvise(DONTNEED)'d away, which is what keeps backfill RSS
+// bounded by the eviction window instead of the corpus size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "chain/receipt.h"
+#include "common/mmap_file.h"
+#include "corpus/format.h"
+
+namespace leishen::corpus {
+
+struct reader_options {
+  /// Verify the footer checksum at open (one sequential read of the file).
+  /// Leave on outside of microbenchmarks: it is the only defense against
+  /// silent mid-file corruption.
+  bool verify_checksum = true;
+};
+
+class corpus_reader {
+ public:
+  /// Maps and validates `path`; throws corpus_error on any structural
+  /// defect (missing/oversized sections, checksum mismatch, wrong version,
+  /// empty corpus) and std::runtime_error when the file cannot be mapped.
+  explicit corpus_reader(const std::string& path, reader_options opts = {});
+
+  corpus_reader(const corpus_reader&) = delete;
+  corpus_reader& operator=(const corpus_reader&) = delete;
+
+  [[nodiscard]] std::uint64_t block_count() const noexcept {
+    return hdr_->block_count;
+  }
+  [[nodiscard]] std::uint64_t tx_count() const noexcept {
+    return hdr_->tx_count;
+  }
+  [[nodiscard]] std::uint64_t event_count() const noexcept {
+    return hdr_->event_count;
+  }
+  [[nodiscard]] std::uint64_t dict_count() const noexcept {
+    return hdr_->dict_count;
+  }
+  [[nodiscard]] std::uint64_t file_bytes() const noexcept {
+    return map_.size();
+  }
+
+  [[nodiscard]] const block_rec& block(std::uint64_t i) const noexcept {
+    return blocks_[i];
+  }
+  [[nodiscard]] const tx_rec& tx(std::uint64_t t) const noexcept {
+    return txs_[t];
+  }
+  /// Dictionary string `sid` as a view into the mapping.
+  [[nodiscard]] std::string_view dict(std::uint32_t sid) const noexcept {
+    return {dict_bytes_ + dict_offsets_[sid],
+            static_cast<std::size_t>(dict_offsets_[sid + 1] -
+                                     dict_offsets_[sid])};
+  }
+
+  /// The Table II prefilter verdict for transaction `t`, from the packed
+  /// signature column: identical to core::may_be_flash_loan of the
+  /// materialized receipt (success gate included).
+  [[nodiscard]] bool tx_may_be_flash_loan(std::uint64_t t) const noexcept {
+    const tx_rec& rec = txs_[t];
+    if (rec.success == 0) return false;
+    const std::uint32_t* sig = sigs_ + rec.first_event;
+    for (std::uint32_t i = 0; i < rec.event_count; ++i) {
+      const std::uint32_t w = sig[i];
+      if (w == trigger_[0] || w == trigger_[1] || w == trigger_[2]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Decode transaction `t` into `out`, reusing its buffers (events are
+  /// cleared, capacity kept). `payload` false decodes the header fields
+  /// only and leaves the trace empty — the allocation-free shape for
+  /// prefilter-rejected transactions (sound because the writer validated
+  /// every stored receipt). `block_number` is the owning block's number
+  /// (tx records do not repeat it).
+  void materialize_tx(std::uint64_t t, std::uint64_t block_number,
+                      chain::tx_receipt& out, bool payload = true) const;
+
+  /// Index of the first block with number > `number` (== block_count() when
+  /// none). Binary search; block numbers are strictly increasing.
+  [[nodiscard]] std::uint64_t first_block_after(std::uint64_t number) const
+      noexcept;
+
+  /// Sum of tx counts of blocks [begin, end) — backfill shard planning.
+  [[nodiscard]] std::uint64_t tx_count_in_blocks(std::uint64_t begin,
+                                                 std::uint64_t end) const
+      noexcept;
+
+  /// Drop the resident pages of every column row belonging to blocks
+  /// strictly below block index `b` (callers pass a trailing watermark, so
+  /// this only ever releases data the scan has fully consumed).
+  void evict_before_block(std::uint64_t b) const noexcept;
+
+ private:
+  [[nodiscard]] const std::byte* section(unsigned s) const noexcept {
+    return map_.data() + hdr_->section_offset[s];
+  }
+
+  mmap_file map_;
+  const file_header* hdr_ = nullptr;
+  const block_rec* blocks_ = nullptr;
+  const tx_rec* txs_ = nullptr;
+  const std::uint32_t* sigs_ = nullptr;
+  const std::uint8_t* payload_ = nullptr;
+  const std::uint64_t* dict_offsets_ = nullptr;
+  const char* dict_bytes_ = nullptr;
+  /// Packed signature words of the three Table II triggers under THIS
+  /// corpus's dictionary (kSigNever for triggers the dictionary lacks).
+  std::uint32_t trigger_[3] = {kSigNever, kSigNever, kSigNever};
+};
+
+}  // namespace leishen::corpus

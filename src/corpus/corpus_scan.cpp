@@ -1,0 +1,47 @@
+#include "corpus/corpus_scan.h"
+
+#include <algorithm>
+
+namespace leishen::corpus {
+
+corpus_scan_result scan_corpus(const corpus_reader& reader,
+                               const core::scanner& scanner,
+                               std::uint64_t begin_block,
+                               std::uint64_t end_block,
+                               const corpus_scan_options& options) {
+  corpus_scan_result result;
+  end_block = std::min(end_block, reader.block_count());
+  const bool use_prefilter = scanner.options().prefilter;
+
+  chain::tx_receipt scratch;
+  std::vector<core::incident> flagged;
+  std::uint64_t last_evict = begin_block;
+  for (std::uint64_t b = begin_block; b < end_block; ++b) {
+    const block_rec& blk = reader.block(b);
+    for (std::uint64_t t = blk.first_tx; t < blk.first_tx + blk.tx_count;
+         ++t) {
+      core::receipt_view view;
+      view.may_be_flash_loan = reader.tx_may_be_flash_loan(t);
+      if (view.may_be_flash_loan || !use_prefilter) {
+        reader.materialize_tx(t, blk.number, scratch, /*payload=*/true);
+        view.full = &scratch;
+      }
+      flagged.clear();
+      scanner.scan_view(view, result.stats, flagged);
+      for (core::incident& inc : flagged) {
+        result.incidents.push_back(
+            service::monitor_incident{blk.number, std::move(inc)});
+      }
+    }
+    result.transactions += blk.tx_count;
+    ++result.blocks;
+    if (options.evict_every_blocks != 0 &&
+        b - last_evict >= options.evict_every_blocks) {
+      reader.evict_before_block(b);
+      last_evict = b;
+    }
+  }
+  return result;
+}
+
+}  // namespace leishen::corpus

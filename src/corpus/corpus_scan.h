@@ -1,0 +1,45 @@
+// Serial view-based scan over an mmap'd corpus — the reference backfill
+// path and the honest hot-path number: no queues, no threads, one scratch
+// receipt, the prefilter answered from the packed signature column.
+//
+// Incidents come out as `service::monitor_incident`s (block number
+// attached), bit-identical to what a monitor fleet over the same corpus
+// range fans into its store — which is exactly the comparison
+// bench_backfill and the corpus tests make.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scanner.h"
+#include "corpus/corpus_reader.h"
+#include "service/incident_sink.h"
+
+namespace leishen::corpus {
+
+struct corpus_scan_options {
+  /// Evict consumed column prefixes every N blocks (0 = never). The RSS
+  /// ceiling of a long scan is proportional to this window.
+  std::uint64_t evict_every_blocks = 8192;
+};
+
+struct corpus_scan_result {
+  core::scan_stats stats;
+  std::vector<service::monitor_incident> incidents;
+  std::uint64_t blocks = 0;
+  std::uint64_t transactions = 0;
+};
+
+/// Scan corpus blocks [begin_block, end_block) (block indexes, not
+/// numbers; end is clamped) through `scanner`. Transactions the packed
+/// prefilter rejects are never materialized; survivors are decoded into one
+/// reused scratch receipt and run through the full pipeline. With the
+/// scanner's prefilter disabled every transaction is materialized instead
+/// (the corpus verdict would go unused), so results match either way.
+corpus_scan_result scan_corpus(const corpus_reader& reader,
+                               const core::scanner& scanner,
+                               std::uint64_t begin_block,
+                               std::uint64_t end_block,
+                               const corpus_scan_options& options = {});
+
+}  // namespace leishen::corpus

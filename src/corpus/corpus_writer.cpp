@@ -1,0 +1,286 @@
+#include "corpus/corpus_writer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <variant>
+
+#include "core/scanner.h"
+
+namespace leishen::corpus {
+
+namespace {
+
+/// Compact u256: a significant-limb count byte, then that many LE u64
+/// limbs, least significant first. Amounts are overwhelmingly 1-2 limbs,
+/// so this beats fixed 32-byte storage ~3x.
+void encode_u256(std::vector<std::uint8_t>& out, const u256& v) {
+  std::uint8_t n = 0;
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    if (v.limb(i) != 0) n = i + 1;
+  }
+  out.push_back(n);
+  for (std::uint8_t i = 0; i < n; ++i) {
+    const std::uint64_t limb = v.limb(i);
+    const std::size_t at = out.size();
+    out.resize(at + 8);
+    std::memcpy(out.data() + at, &limb, 8);
+  }
+}
+
+void encode_address(std::vector<std::uint8_t>& out, const address& a) {
+  const std::size_t at = out.size();
+  out.resize(at + address::kSize);
+  std::memcpy(out.data() + at, a.bytes().data(), address::kSize);
+}
+
+void encode_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+}  // namespace
+
+corpus_writer::corpus_writer(std::string path) : path_{std::move(path)} {
+  const auto open_column = [this](column& col, const char* suffix) {
+    col.path = path_ + suffix;
+    // "+" because finish() reads the columns back for the assembly pass.
+    col.file = std::fopen(col.path.c_str(), "wb+");
+    if (col.file == nullptr) {
+      throw corpus_error{"corpus_writer: cannot create temporary '" +
+                         col.path + "'"};
+    }
+  };
+  open_column(blocks_, ".blocks.tmp");
+  open_column(txs_, ".txs.tmp");
+  open_column(sigs_, ".sigs.tmp");
+  open_column(payload_, ".payload.tmp");
+  // Id 0 is the empty string, so absent description/revert fields encode as
+  // 0 without a special case (mirrors the tag interner's pre-seeded "").
+  dict_.intern("");
+}
+
+corpus_writer::~corpus_writer() {
+  for (column* col : {&blocks_, &txs_, &sigs_, &payload_}) {
+    if (col->file != nullptr) std::fclose(col->file);
+    if (!finished_) {
+      std::error_code ec;
+      std::filesystem::remove(col->path, ec);
+    }
+  }
+}
+
+void corpus_writer::write_column(column& col, const void* data,
+                                 std::size_t n) {
+  if (std::fwrite(data, 1, n, col.file) != n) {
+    throw corpus_error{"corpus_writer: write failed on '" + col.path + "'"};
+  }
+  col.bytes += n;
+}
+
+std::uint32_t corpus_writer::dict_id(std::string_view s) {
+  if (dict_.size() >= kMaxDictEntries) {
+    throw corpus_error{
+        "corpus_writer: dictionary overflow (2^30 distinct strings)"};
+  }
+  return dict_.intern(s);
+}
+
+void corpus_writer::flush_block() {
+  if (!block_open_) return;
+  write_column(blocks_, &open_block_, sizeof open_block_);
+  ++block_count_;
+  block_open_ = false;
+}
+
+void corpus_writer::append(const chain::tx_receipt& receipt) {
+  if (finished_) throw corpus_error{"corpus_writer: append after finish"};
+  core::validate_receipt(receipt);
+  if (block_open_ && receipt.block_number < open_block_.number) {
+    throw corpus_error{
+        "corpus_writer: receipts out of chain order (block " +
+        std::to_string(receipt.block_number) + " after " +
+        std::to_string(open_block_.number) + ")"};
+  }
+  if (!block_open_ || receipt.block_number != open_block_.number) {
+    flush_block();
+    open_block_ = block_rec{};
+    open_block_.number = receipt.block_number;
+    open_block_.timestamp = receipt.timestamp;
+    open_block_.first_tx = tx_count_;
+    block_open_ = true;
+  }
+  ++open_block_.tx_count;
+
+  tx_rec tx;
+  tx.tx_index = receipt.tx_index;
+  tx.timestamp = receipt.timestamp;
+  tx.first_event = event_count_;
+  tx.payload_offset = payload_.bytes;
+  tx.event_count = static_cast<std::uint32_t>(receipt.events.size());
+  tx.desc_sid = dict_id(receipt.description);
+  tx.revert_sid = dict_id(receipt.revert_reason);
+  tx.success = receipt.success ? 1 : 0;
+  std::memcpy(tx.from, receipt.from.bytes().data(), address::kSize);
+  std::memcpy(tx.to, receipt.to.bytes().data(), address::kSize);
+
+  // Per-tx scratch, reused across appends.
+  static thread_local std::vector<std::uint32_t> sig_words;
+  static thread_local std::vector<std::uint8_t> body;
+  sig_words.clear();
+  body.clear();
+
+  for (const chain::trace_event& ev : receipt.events) {
+    if (const auto* call = std::get_if<chain::call_record>(&ev)) {
+      sig_words.push_back(pack_sig(dict_id(call->method), kSigCall));
+      encode_address(body, call->caller);
+      encode_address(body, call->callee);
+      encode_i32(body, call->depth);
+    } else if (const auto* itx = std::get_if<chain::internal_tx>(&ev)) {
+      sig_words.push_back(pack_sig(0, kSigInternal));
+      encode_address(body, itx->from);
+      encode_address(body, itx->to);
+      encode_u256(body, itx->amount);
+    } else {
+      const auto& log = std::get<chain::event_log>(ev);
+      sig_words.push_back(pack_sig(dict_id(log.name), kSigLog));
+      std::uint8_t flags = 0;
+      if (!log.addr0.is_zero()) flags |= kLogAddr0;
+      if (!log.addr1.is_zero()) flags |= kLogAddr1;
+      if (!log.addr2.is_zero()) flags |= kLogAddr2;
+      if (!log.amount0.is_zero()) flags |= kLogAmount0;
+      if (!log.amount1.is_zero()) flags |= kLogAmount1;
+      if (!log.amount2.is_zero()) flags |= kLogAmount2;
+      if (!log.amount3.is_zero()) flags |= kLogAmount3;
+      body.push_back(flags);
+      encode_address(body, log.emitter);
+      if (flags & kLogAddr0) encode_address(body, log.addr0);
+      if (flags & kLogAddr1) encode_address(body, log.addr1);
+      if (flags & kLogAddr2) encode_address(body, log.addr2);
+      if (flags & kLogAmount0) encode_u256(body, log.amount0);
+      if (flags & kLogAmount1) encode_u256(body, log.amount1);
+      if (flags & kLogAmount2) encode_u256(body, log.amount2);
+      if (flags & kLogAmount3) encode_u256(body, log.amount3);
+    }
+  }
+
+  write_column(txs_, &tx, sizeof tx);
+  if (!sig_words.empty()) {
+    write_column(sigs_, sig_words.data(), sig_words.size() * 4);
+  }
+  if (!body.empty()) write_column(payload_, body.data(), body.size());
+  event_count_ += sig_words.size();
+  ++tx_count_;
+}
+
+std::uint64_t corpus_writer::finish() {
+  if (finished_) throw corpus_error{"corpus_writer: double finish"};
+  flush_block();
+  if (block_count_ == 0) {
+    throw corpus_error{"corpus_writer: refusing to write an empty corpus"};
+  }
+  for (column* col : {&blocks_, &txs_, &sigs_, &payload_}) {
+    if (std::fflush(col->file) != 0) {
+      throw corpus_error{"corpus_writer: flush failed on '" + col->path +
+                         "'"};
+    }
+  }
+
+  // Dictionary sections, small enough to assemble in memory.
+  const std::uint64_t dict_count = dict_.size();
+  std::vector<std::uint64_t> dict_offsets;
+  std::string dict_bytes;
+  dict_offsets.reserve(dict_count + 1);
+  for (std::uint64_t i = 0; i < dict_count; ++i) {
+    dict_offsets.push_back(dict_bytes.size());
+    dict_bytes += dict_.resolve(static_cast<std::uint32_t>(i));
+  }
+  dict_offsets.push_back(dict_bytes.size());
+
+  // Section layout: header, then each section 16-byte aligned.
+  file_header hdr;
+  std::memcpy(hdr.magic, kCorpusMagic, 8);
+  hdr.header_bytes = sizeof hdr;
+  hdr.block_count = block_count_;
+  hdr.tx_count = tx_count_;
+  hdr.event_count = event_count_;
+  hdr.dict_count = dict_count;
+  const std::uint64_t section_sizes[kSectionCount] = {
+      blocks_.bytes, txs_.bytes, sigs_.bytes, payload_.bytes,
+      dict_offsets.size() * 8, dict_bytes.size()};
+  std::uint64_t at = sizeof hdr;
+  for (unsigned s = 0; s < kSectionCount; ++s) {
+    at = (at + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+    hdr.section_offset[s] = at;
+    hdr.section_bytes[s] = section_sizes[s];
+    at += section_sizes[s];
+  }
+
+  std::FILE* out = std::fopen(path_.c_str(), "wb");
+  if (out == nullptr) {
+    throw corpus_error{"corpus_writer: cannot create '" + path_ + "'"};
+  }
+  std::uint64_t checksum = kFnvOffsetBasis;
+  std::uint64_t written = 0;
+  const auto emit = [&](const void* data, std::size_t n) {
+    if (std::fwrite(data, 1, n, out) != n) {
+      std::fclose(out);
+      throw corpus_error{"corpus_writer: write failed on '" + path_ + "'"};
+    }
+    checksum = fnv1a64(data, n, checksum);
+    written += n;
+  };
+  const auto pad_to = [&](std::uint64_t offset) {
+    static constexpr char zeros[kSectionAlign] = {};
+    while (written < offset) {
+      emit(zeros, std::min<std::size_t>(kSectionAlign, offset - written));
+    }
+  };
+  const auto copy_column = [&](column& col) {
+    std::rewind(col.file);
+    char buf[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, col.file)) > 0) {
+      emit(buf, got);
+    }
+    if (std::ferror(col.file) != 0) {
+      std::fclose(out);
+      throw corpus_error{"corpus_writer: read-back failed on '" + col.path +
+                         "'"};
+    }
+  };
+
+  emit(&hdr, sizeof hdr);
+  column* columns[] = {&blocks_, &txs_, &sigs_, &payload_};
+  for (unsigned s = 0; s < 4; ++s) {
+    pad_to(hdr.section_offset[s]);
+    copy_column(*columns[s]);
+  }
+  pad_to(hdr.section_offset[kSecDictOffsets]);
+  emit(dict_offsets.data(), dict_offsets.size() * 8);
+  pad_to(hdr.section_offset[kSecDictBytes]);
+  emit(dict_bytes.data(), dict_bytes.size());
+
+  file_footer footer;
+  footer.checksum = checksum;
+  std::memcpy(footer.magic, kFooterMagic, 8);
+  if (std::fwrite(&footer, 1, sizeof footer, out) != sizeof footer ||
+      std::fflush(out) != 0) {
+    std::fclose(out);
+    throw corpus_error{"corpus_writer: write failed on '" + path_ + "'"};
+  }
+  std::fclose(out);
+  written += sizeof footer;
+
+  finished_ = true;
+  for (column* col : {&blocks_, &txs_, &sigs_, &payload_}) {
+    std::fclose(col->file);
+    col->file = nullptr;
+    std::error_code ec;
+    std::filesystem::remove(col->path, ec);
+  }
+  return written;
+}
+
+}  // namespace leishen::corpus

@@ -1,0 +1,81 @@
+// Streaming .lsc writer: receipts in, one columnar corpus file out.
+//
+// Write once, scan forever. `append` streams each receipt's columns into
+// per-section temporary files (so writing a multi-million-block history
+// never holds more than the string dictionary in memory); `finish`
+// assembles the final file — header, sections in order, dictionary, footer
+// checksum — with one sequential copy pass, then deletes the temporaries.
+//
+// Receipts must arrive in chain order (block numbers nondecreasing, a
+// block's receipts contiguous — the same precondition the simulated block
+// source enforces), and each is structurally validated on append
+// (`core::validate_receipt`): a corpus never stores a receipt the monitor
+// would quarantine, which is what licenses the reader's payload-free
+// decode of prefilter-rejected transactions.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "chain/receipt.h"
+#include "common/interner.h"
+#include "corpus/format.h"
+
+namespace leishen::corpus {
+
+class corpus_writer {
+ public:
+  /// Opens the column temporaries next to `path`; throws corpus_error when
+  /// any cannot be created.
+  explicit corpus_writer(std::string path);
+  /// Removes the temporaries (and nothing else) when `finish` never ran.
+  ~corpus_writer();
+  corpus_writer(const corpus_writer&) = delete;
+  corpus_writer& operator=(const corpus_writer&) = delete;
+
+  /// Append one receipt. Throws corpus_error on out-of-order blocks or
+  /// dictionary overflow, core::malformed_receipt_error on a structurally
+  /// invalid trace.
+  void append(const chain::tx_receipt& receipt);
+
+  /// Write the final file and delete the temporaries. Throws corpus_error
+  /// when the corpus is empty (a corpus of nothing is a mistake, not a
+  /// file) or on I/O failure. Returns the final file size in bytes.
+  std::uint64_t finish();
+
+  [[nodiscard]] std::uint64_t block_count() const noexcept {
+    return block_count_;
+  }
+  [[nodiscard]] std::uint64_t tx_count() const noexcept { return tx_count_; }
+  [[nodiscard]] std::uint64_t event_count() const noexcept {
+    return event_count_;
+  }
+
+ private:
+  struct column {
+    std::string path;
+    std::FILE* file = nullptr;
+    std::uint64_t bytes = 0;
+  };
+
+  void write_column(column& col, const void* data, std::size_t n);
+  std::uint32_t dict_id(std::string_view s);
+  void flush_block();
+
+  std::string path_;
+  column blocks_, txs_, sigs_, payload_;
+  /// The dictionary under construction: the existing string_interner is
+  /// exactly the string -> dense id map the format needs; `finish` dumps
+  /// resolve(0..size) as the dict sections.
+  string_interner dict_;
+  block_rec open_block_{};
+  bool block_open_ = false;
+  std::uint64_t block_count_ = 0;
+  std::uint64_t tx_count_ = 0;
+  std::uint64_t event_count_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace leishen::corpus

@@ -1,0 +1,159 @@
+// The .lsc columnar receipt-corpus format (DESIGN.md §13).
+//
+// One file, five column-family sections behind a versioned header, closed
+// by a checksummed footer:
+//
+//   [file_header]
+//   [blocks]   block_rec[block_count]      — block number/timestamp + tx span
+//   [txs]      tx_rec[tx_count]            — per-tx metadata + column offsets
+//   [sigs]     u32[event_count]            — packed (dict id << 2 | kind)
+//   [payload]  bytes                       — variable-length event bodies
+//   [dict]     u64 offsets + string bytes  — the string dictionary
+//   [file_footer]                          — FNV-1a over everything above
+//
+// The signature column is the reason the layout exists: the Table II
+// prefilter verdict is a pure function of (receipt.success, the (kind,
+// name) pair of every trace event), so a reader can reject ~99% of
+// transactions by comparing u32 signature words against the three trigger
+// ids it resolved against the dictionary once — no payload decode, no
+// allocation, no string compare. Only prefilter survivors pay for
+// materializing their trace from the payload section.
+//
+// All integers are little-endian, fixed-width, written with the exact
+// in-memory layout of the structs below (standard-layout, no padding holes
+// other than the explicit reserved fields); sections are 16-byte aligned so
+// the mmap'd arrays are directly addressable.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace leishen::corpus {
+
+static_assert(std::endian::native == std::endian::little,
+              "the .lsc format is little-endian on disk and read in place");
+
+/// Any structural defect of a corpus file: truncation, checksum mismatch,
+/// version skew, malformed section table, empty corpus. The reader throws
+/// this from open so a bad file can never reach the scan pipeline.
+class corpus_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char kCorpusMagic[8] = {'L', 'S', 'C', 'O', 'R', 'P', '0', '1'};
+inline constexpr char kFooterMagic[8] = {'L', 'S', 'C', 'E', 'N', 'D', '0', '1'};
+inline constexpr std::uint32_t kCorpusVersion = 1;
+inline constexpr std::size_t kSectionAlign = 16;
+
+/// Section index into file_header::section_offset/section_bytes.
+enum section : unsigned {
+  kSecBlocks = 0,
+  kSecTxs = 1,
+  kSecSigs = 2,
+  kSecPayload = 3,
+  kSecDictOffsets = 4,  // u64[dict_count + 1], offsets into dict bytes
+  kSecDictBytes = 5,
+  kSectionCount = 6,
+};
+
+struct file_header {
+  char magic[8];
+  std::uint32_t version = kCorpusVersion;
+  std::uint32_t header_bytes = 0;  // sizeof(file_header) at write time
+  std::uint64_t block_count = 0;
+  std::uint64_t tx_count = 0;
+  std::uint64_t event_count = 0;
+  std::uint64_t dict_count = 0;
+  std::uint64_t section_offset[kSectionCount] = {};  // absolute file offsets
+  std::uint64_t section_bytes[kSectionCount] = {};
+};
+static_assert(sizeof(file_header) ==
+              8 + 4 + 4 + 4 * 8 + 2 * kSectionCount * 8);
+
+struct file_footer {
+  std::uint64_t checksum = 0;  // FNV-1a 64 over bytes [0, filesize - 16)
+  char magic[8];
+};
+static_assert(sizeof(file_footer) == 16);
+
+/// One block: its identity and the contiguous tx_rec span it owns.
+struct block_rec {
+  std::uint64_t number = 0;
+  std::int64_t timestamp = 0;  // first receipt's timestamp (= block time)
+  std::uint64_t first_tx = 0;
+  std::uint32_t tx_count = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(block_rec) == 32);
+
+/// One transaction: everything the header-only paths need (identity,
+/// success, parties, interned description/revert strings) plus the spans of
+/// its events in the signature and payload columns.
+struct tx_rec {
+  std::uint64_t tx_index = 0;
+  std::int64_t timestamp = 0;
+  std::uint64_t first_event = 0;     // index into the signature column
+  std::uint64_t payload_offset = 0;  // byte offset into the payload section
+  std::uint32_t event_count = 0;
+  std::uint32_t desc_sid = 0;        // dictionary ids
+  std::uint32_t revert_sid = 0;
+  std::uint8_t success = 0;
+  std::uint8_t reserved[3] = {};
+  std::uint8_t from[20] = {};
+  std::uint8_t to[20] = {};
+};
+static_assert(sizeof(tx_rec) == 88);
+
+/// Signature word: the trace_event kind in the low 2 bits, the dictionary
+/// id of its name (call method / log name; 0 for internal transfers, which
+/// have no name) above. The prefilter compares whole words.
+enum sig_kind : std::uint32_t {
+  kSigCall = 0,
+  kSigInternal = 1,
+  kSigLog = 2,
+};
+inline constexpr std::uint32_t pack_sig(std::uint32_t dict_id,
+                                        sig_kind kind) noexcept {
+  return (dict_id << 2) | static_cast<std::uint32_t>(kind);
+}
+inline constexpr sig_kind sig_kind_of(std::uint32_t word) noexcept {
+  return static_cast<sig_kind>(word & 3u);
+}
+inline constexpr std::uint32_t sig_dict_id(std::uint32_t word) noexcept {
+  return word >> 2;
+}
+/// A signature word no real event can carry (needs dictionary id 2^30 - 1;
+/// the writer refuses dictionaries that large). The reader uses it for
+/// trigger names absent from a corpus's dictionary.
+inline constexpr std::uint32_t kSigNever = 0xFFFFFFFFu;
+/// Dictionary capacity that keeps kSigNever unreachable.
+inline constexpr std::uint64_t kMaxDictEntries = (1u << 30) - 1;
+
+/// Payload log-event presence flags (which optional fields follow).
+enum log_flags : std::uint8_t {
+  kLogAddr0 = 1u << 0,
+  kLogAddr1 = 1u << 1,
+  kLogAddr2 = 1u << 2,
+  kLogAmount0 = 1u << 3,
+  kLogAmount1 = 1u << 4,
+  kLogAmount2 = 1u << 5,
+  kLogAmount3 = 1u << 6,
+};
+
+/// FNV-1a 64, the same construction the checkpoint files use. Streamable:
+/// feed chunks in file order starting from `kFnvOffsetBasis`.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline std::uint64_t fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t h) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace leishen::corpus

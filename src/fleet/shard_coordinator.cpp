@@ -88,6 +88,62 @@ std::vector<shard_range> plan_shards(
   return plan;
 }
 
+std::vector<corpus_shard_plan> plan_corpus_shards(
+    const corpus::corpus_reader& corpus, unsigned shards) {
+  std::vector<corpus_shard_plan> plan;
+  const std::uint64_t blocks = corpus.block_count();
+  if (blocks == 0 || shards == 0) return plan;
+
+  // Same policy as plan_shards: contiguous block-aligned spans of roughly
+  // equal transaction counts, cut at the first block boundary at or past
+  // each per-shard target. Planned from the 32-byte block records alone.
+  const std::uint64_t per_shard = (corpus.tx_count() + shards - 1) / shards;
+  std::uint64_t b = 0;
+  std::uint64_t txs_before = 0;
+  while (b < blocks) {
+    corpus_shard_plan p;
+    p.begin_block = b;
+    p.range.begin = static_cast<std::size_t>(txs_before);
+    const std::uint64_t want = txs_before + per_shard;
+    while (b < blocks && txs_before < want) {
+      txs_before += corpus.block(b).tx_count;
+      ++b;
+    }
+    p.end_block = b;
+    p.range.end = static_cast<std::size_t>(txs_before);
+    p.range.first_block = corpus.block(p.begin_block).number;
+    p.range.last_block = corpus.block(b - 1).number;
+    plan.push_back(p);
+  }
+  return plan;
+}
+
+shard_coordinator::shard_coordinator(
+    const chain::creation_registry& creations,
+    const etherscan::label_db& labels, chain::asset weth_token,
+    const corpus::corpus_reader& corpus, store::incident_store& store,
+    fleet_options options)
+    : creations_{creations},
+      labels_{labels},
+      weth_token_{weth_token},
+      corpus_{&corpus},
+      store_{store},
+      options_{std::move(options)} {
+  if (!options_.state_dir.empty()) {
+    std::filesystem::create_directories(options_.state_dir);
+  }
+  for (const corpus_shard_plan& p :
+       plan_corpus_shards(corpus, options_.shards)) {
+    plan_.push_back(p.range);
+    auto s = std::make_unique<shard>();
+    s->range = p.range;
+    s->corpus_begin = p.begin_block;
+    s->corpus_end = p.end_block;
+    s->metrics = std::make_unique<service::metrics_registry>();
+    shards_.push_back(std::move(s));
+  }
+}
+
 shard_coordinator::shard_coordinator(
     const chain::creation_registry& creations,
     const etherscan::label_db& labels, chain::asset weth_token,
@@ -175,8 +231,18 @@ bool shard_coordinator::resume() {
             << '\n';
       }
     }
-    for (const service::jsonl_sink::feed_record& rec : keep) {
+    // Bulk-merge the surviving feed into the store: runs of emissions go
+    // through insert_batch (one lock, one version bump per run) and only a
+    // tombstone — rare — breaks a run, since it must observe the
+    // emissions before it.
+    std::vector<service::monitor_incident> run;
+    const auto flush_run = [this, &run] {
+      store_.insert_batch(run);
+      run.clear();
+    };
+    for (service::jsonl_sink::feed_record& rec : keep) {
       if (rec.retract) {
+        flush_run();
         if (!store_.retract(rec.incident)) {
           throw std::runtime_error{
               "fleet: shard " + std::to_string(i) +
@@ -184,9 +250,10 @@ bool shard_coordinator::resume() {
               std::to_string(rec.incident.block_number) + ")"};
         }
       } else {
-        store_.insert(rec.incident);
+        run.push_back(std::move(rec.incident));
       }
     }
+    flush_run();
     s.resumed_last_block = durable;
   }
   resumed_ = true;
@@ -222,8 +289,19 @@ void shard_coordinator::start() {
     }
     s.sink = std::make_unique<store::store_sink>(store_);
     s.monitor->add_sink(*s.sink);
-    s.source = std::make_unique<service::simulated_block_source>(s.receipts);
-    s.monitor->start(*s.source);
+    if (corpus_ != nullptr) {
+      corpus::corpus_source_options copts;
+      // Header-only decode of prefilter rejects is only sound when the
+      // scanner actually runs its prefilter; otherwise decode everything.
+      copts.prefilter_skip_payload = options_.scan.prefilter;
+      s.corpus_source = std::make_unique<corpus::corpus_block_source>(
+          *corpus_, s.corpus_begin, s.corpus_end, copts);
+      if (resumed_) s.corpus_source->skip_to_block(s.resumed_last_block);
+      s.monitor->start(*s.corpus_source);
+    } else {
+      s.source = std::make_unique<service::simulated_block_source>(s.receipts);
+      s.monitor->start(*s.source);
+    }
   }
   // The topology goes durable at start, not only at a clean finish — a
   // fleet killed mid-run must still be resumable (wait() refreshes the

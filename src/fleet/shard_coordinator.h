@@ -31,6 +31,8 @@
 
 #include "chain/receipt.h"
 #include "core/scanner.h"
+#include "corpus/corpus_block_source.h"
+#include "corpus/corpus_reader.h"
 #include "service/metrics.h"
 #include "service/monitor_service.h"
 #include "store/incident_store.h"
@@ -53,6 +55,22 @@ struct shard_range {
 std::vector<shard_range> plan_shards(
     const std::vector<chain::tx_receipt>& receipts, unsigned shards);
 
+/// A corpus shard: the same tx-index `range` the fleet checkpoint records
+/// (so fleet.ckpt is mode-agnostic), plus the block-INDEX span [begin,
+/// end) that drives a corpus_block_source.
+struct corpus_shard_plan {
+  shard_range range;
+  std::uint64_t begin_block = 0, end_block = 0;
+
+  friend bool operator==(const corpus_shard_plan&,
+                         const corpus_shard_plan&) = default;
+};
+
+/// Block-aligned corpus partition of roughly equal transaction counts,
+/// planned from the mmap'd block column without materializing anything.
+std::vector<corpus_shard_plan> plan_corpus_shards(
+    const corpus::corpus_reader& corpus, unsigned shards);
+
 struct fleet_options {
   unsigned shards = 2;
   /// Detection configuration shared by every shard.
@@ -74,6 +92,19 @@ class shard_coordinator {
                     const etherscan::label_db& labels,
                     chain::asset weth_token,
                     const std::vector<chain::tx_receipt>& receipts,
+                    store::incident_store& store, fleet_options options);
+
+  /// Backfill mode: shards scan disjoint block ranges of one shared
+  /// mmap'd corpus instead of owned receipt copies — per-shard memory is
+  /// the eviction window, not the slice. Checkpoint/resume semantics are
+  /// identical to receipt mode; a resumed shard fast-forwards its corpus
+  /// source past the checkpointed block instead of re-decoding the prefix.
+  /// The corpus (like the registry and labels) is borrowed and must
+  /// outlive the coordinator.
+  shard_coordinator(const chain::creation_registry& creations,
+                    const etherscan::label_db& labels,
+                    chain::asset weth_token,
+                    const corpus::corpus_reader& corpus,
                     store::incident_store& store, fleet_options options);
   ~shard_coordinator();
 
@@ -129,11 +160,14 @@ class shard_coordinator {
   struct shard {
     shard_range range;
     std::vector<chain::tx_receipt> receipts;  // owned copy of the slice
+    /// Corpus mode: block-index span into the shared reader.
+    std::uint64_t corpus_begin = 0, corpus_end = 0;
     std::unique_ptr<service::metrics_registry> metrics;
     std::unique_ptr<service::jsonl_sink> feed;
     std::unique_ptr<store::store_sink> sink;
     std::unique_ptr<service::monitor_service> monitor;
     std::unique_ptr<service::simulated_block_source> source;
+    std::unique_ptr<corpus::corpus_block_source> corpus_source;
     std::uint64_t resumed_last_block = 0;
   };
 
@@ -145,6 +179,7 @@ class shard_coordinator {
   const chain::creation_registry& creations_;
   const etherscan::label_db& labels_;
   chain::asset weth_token_;
+  const corpus::corpus_reader* corpus_ = nullptr;  // non-null in backfill mode
   store::incident_store& store_;
   fleet_options options_;
   std::vector<shard_range> plan_;

@@ -92,6 +92,25 @@ std::uint64_t incident_store::insert(const service::monitor_incident& inc) {
   return id;
 }
 
+std::uint64_t incident_store::insert_batch(
+    const std::vector<service::monitor_incident>& incidents) {
+  if (incidents.empty()) return 0;
+  const std::unique_lock lk{mu_};
+  const std::uint64_t first_id = records_.size() + 1;
+  records_.reserve(records_.size() + incidents.size());
+  for (const service::monitor_incident& inc : incidents) {
+    records_.push_back(record{inc, /*retracted=*/false});
+    const std::uint64_t id = records_.size();
+    const incident_key key{inc.block_number, inc.incident.tx_index, id};
+    // Backfill merges arrive block-ascending per shard, so the end hint is
+    // usually exact; when it is not, it degrades to a plain insert.
+    by_key_.emplace_hint(by_key_.end(), key);
+    index_insert(key, records_.back());
+  }
+  bump_version();
+  return first_id;
+}
+
 bool incident_store::retract(const service::monitor_incident& inc) {
   const std::unique_lock lk{mu_};
   // All active ids at this (block, tx), newest last; monitors retract
@@ -199,9 +218,19 @@ std::chrono::system_clock::time_point incident_store::last_modified() const {
 incident_store::replay_result incident_store::replay_jsonl(
     const std::string& path) {
   replay_result result;
-  for (const service::jsonl_sink::feed_record& rec :
+  // Feeds are overwhelmingly runs of emissions with rare tombstones, so
+  // batch each run through insert_batch and only break for retracts (which
+  // must observe every emission before them in file order).
+  std::vector<service::monitor_incident> run;
+  const auto flush = [this, &run, &result] {
+    result.inserted += run.size();
+    insert_batch(run);
+    run.clear();
+  };
+  for (service::jsonl_sink::feed_record& rec :
        service::jsonl_sink::read_records(path)) {
     if (rec.retract) {
+      flush();
       if (!retract(rec.incident)) {
         throw std::runtime_error{
             "incident_store: replay tombstone with no matching emission "
@@ -211,10 +240,10 @@ incident_store::replay_result incident_store::replay_jsonl(
       }
       ++result.retracted;
     } else {
-      insert(rec.incident);
-      ++result.inserted;
+      run.push_back(std::move(rec.incident));
     }
   }
+  flush();
   return result;
 }
 

@@ -111,6 +111,15 @@ class incident_store {
   /// canonical order is (block, tx, id)). Thread-safe.
   std::uint64_t insert(const service::monitor_incident& inc);
 
+  /// Ingest many incidents under ONE lock acquisition and ONE version bump
+  /// — the bulk path for backfill merges and feed replay, where
+  /// per-incident locking and version churn (each bump invalidates the API
+  /// response cache) dominate. Ids are assigned in element order exactly as
+  /// repeated `insert` calls would. Returns the first assigned id (0 for an
+  /// empty batch). Thread-safe.
+  std::uint64_t insert_batch(
+      const std::vector<service::monitor_incident>& incidents);
+
   /// Tombstone the newest active incident equal to `inc` (the reorg
   /// retraction path; monitors retract newest-first). Returns false when no
   /// active match exists. Thread-safe.

@@ -370,32 +370,43 @@ std::shared_ptr<synthetic_world> make_world(std::uint64_t seed) {
   return w;
 }
 
-generated_population generate_receipts(std::uint64_t seed,
-                                       const generator_options& options) {
-  generated_population pop;
-  pop.seed = seed;
-  pop.world = make_world(seed);
-  const synthetic_world& w = *pop.world;
+namespace {
 
-  rng r = rng{seed}.fork(0x6E47);
-  std::uint64_t block = 1000000 + seed % 997;
-  auto span = [&r, &options] {
-    return static_cast<int>(
-        r.next_range(1, static_cast<std::uint64_t>(
-                            options.block_span < 1 ? 1 : options.block_span)));
-  };
-  int left_in_block = span();
+int next_span(rng& r, const generator_options& options) {
+  return static_cast<int>(
+      r.next_range(1, static_cast<std::uint64_t>(
+                          options.block_span < 1 ? 1 : options.block_span)));
+}
 
-  for (int i = 0; i < options.transactions; ++i) {
-    rng t = r.fork(0x10000 + static_cast<std::uint64_t>(i));
+}  // namespace
+
+generation_cursor start_generation(std::uint64_t seed,
+                                   const generator_options& options) {
+  generation_cursor cur{.block_stream = rng{seed}.fork(0x6E47),
+                        .next_tx_index = 1,
+                        .block = 1000000 + seed % 997,
+                        .left_in_block = 0};
+  cur.left_in_block = next_span(cur.block_stream, options);
+  return cur;
+}
+
+void generate_receipts_into(const synthetic_world& w,
+                            const generator_options& options,
+                            generation_cursor& cursor, std::uint64_t count,
+                            std::vector<tx_receipt>& out) {
+  rng& r = cursor.block_stream;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const std::uint64_t i = cursor.next_tx_index - 1;  // 0-based global index
+    rng t = r.fork(0x10000 + i);
     tx_receipt rec;
-    rec.tx_index = static_cast<std::uint64_t>(i) + 1;
-    rec.block_number = block;
-    rec.timestamp = 1600000000 + static_cast<std::int64_t>(block) * 12;
+    rec.tx_index = i + 1;
+    rec.block_number = cursor.block;
+    rec.timestamp =
+        1600000000 + static_cast<std::int64_t>(cursor.block) * 12;
     rec.success = true;
-    if (--left_in_block == 0) {
-      block += 1 + r.next_below(3);
-      left_in_block = span();
+    if (--cursor.left_in_block == 0) {
+      cursor.block += 1 + r.next_below(3);
+      cursor.left_in_block = next_span(r, options);
     }
 
     tx_ctx c{.w = w,
@@ -407,7 +418,14 @@ generated_population generate_receipts(std::uint64_t seed,
     rec.to = c.borrower;
 
     const bool reverted = t.next_bool(0.05);
-    if (t.next_bool(options.noise_fraction)) {
+    if (options.plain_transfer_fraction > 0 &&
+        t.next_bool(options.plain_transfer_fraction)) {
+      // Ordinary bulk traffic: one ERC20 transfer, nothing for any pipeline
+      // stage to chew on. The fraction guard keeps this branch draw-free at
+      // the default 0, preserving legacy populations bit for bit.
+      rec.description = "transfer";
+      emit_transfer(rec, c.token(), rec.from, c.user(), c.amount());
+    } else if (t.next_bool(options.noise_fraction)) {
       // Non-flash-loan traffic: the prefilter-reject path. One variant
       // carries a truncated dYdX batch — prefilter-accepted, then rejected
       // by full identification.
@@ -441,8 +459,25 @@ generated_population generate_receipts(std::uint64_t seed,
     }
     rec.success = !reverted;
     if (reverted) rec.revert_reason = "synthetic revert";
-    pop.receipts.push_back(std::move(rec));
+    out.push_back(std::move(rec));
+    ++cursor.next_tx_index;
   }
+}
+
+generated_population generate_receipts(std::uint64_t seed,
+                                       const generator_options& options) {
+  generated_population pop;
+  pop.seed = seed;
+  pop.world = make_world(seed);
+
+  generation_cursor cur = start_generation(seed, options);
+  pop.receipts.reserve(static_cast<std::size_t>(
+      options.transactions < 0 ? 0 : options.transactions));
+  generate_receipts_into(*pop.world, options, cur,
+                         static_cast<std::uint64_t>(
+                             options.transactions < 0 ? 0
+                                                      : options.transactions),
+                         pop.receipts);
   return pop;
 }
 

@@ -23,6 +23,7 @@
 
 #include "chain/creation_registry.h"
 #include "chain/receipt.h"
+#include "common/rng.h"
 #include "etherscan/label_db.h"
 
 namespace leishen::verify {
@@ -60,6 +61,12 @@ struct generator_options {
   /// Probability that a flash loan body includes a 2^190..2^250-scale
   /// amount segment (exercises wide arithmetic).
   double huge_amount_fraction = 0.15;
+  /// Probability that a transaction is a single plain ERC20 transfer —
+  /// cheap bulk traffic for corpus-scale histories, where flash loans are
+  /// rare events in an ocean of ordinary transfers. At the default 0 the
+  /// branch draws nothing from the rng, so legacy populations are
+  /// byte-identical to builds that predate this knob.
+  double plain_transfer_fraction = 0.0;
 };
 
 struct generated_population {
@@ -77,5 +84,30 @@ struct generated_population {
 /// A full seeded population: world + receipts.
 [[nodiscard]] generated_population generate_receipts(
     std::uint64_t seed, const generator_options& options = {});
+
+/// Continuation state for streaming generation. A cursor advanced through
+/// N transactions in chunks of any size produces exactly the receipts a
+/// single `generate_receipts` call with `transactions = N` would — the
+/// block-cadence rng stream travels inside the cursor, and each
+/// transaction's private stream is forked from it by global index.
+struct generation_cursor {
+  rng block_stream;  // cadence draws + per-transaction fork base
+  std::uint64_t next_tx_index = 1;
+  std::uint64_t block = 0;
+  int left_in_block = 0;
+};
+
+/// Cursor positioned at transaction 1 of the population `(seed, options)`
+/// describes. The same seed must be used for `make_world`.
+[[nodiscard]] generation_cursor start_generation(
+    std::uint64_t seed, const generator_options& options);
+
+/// Append the next `count` transactions of the cursor's population to
+/// `out`, advancing the cursor. `world` and `options` must match the ones
+/// the cursor was started for.
+void generate_receipts_into(const synthetic_world& world,
+                            const generator_options& options,
+                            generation_cursor& cursor, std::uint64_t count,
+                            std::vector<chain::tx_receipt>& out);
 
 }  // namespace leishen::verify

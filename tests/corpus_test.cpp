@@ -1,0 +1,598 @@
+// Corpus subsystem: write -> mmap -> scan round-trip losslessness, packed
+// prefilter equivalence, durability of the on-disk format (truncation, bit
+// flips, version skew, empty files all rejected at open with diagnostics),
+// streaming-generator determinism, backfill shard planning, fleet backfill
+// bit-identity with kill+resume, and the committed golden fixture.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/flashloan_id.h"
+#include "core/scanner.h"
+#include "corpus/corpus_block_source.h"
+#include "corpus/corpus_generator.h"
+#include "corpus/corpus_reader.h"
+#include "corpus/corpus_scan.h"
+#include "corpus/corpus_writer.h"
+#include "fleet/shard_coordinator.h"
+#include "store/incident_store.h"
+#include "verify/receipt_gen.h"
+
+namespace leishen::corpus {
+namespace {
+
+// ---- helpers ---------------------------------------------------------------
+
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + "corpus_test_" + name;
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Re-stamp the footer checksum after tampering with the body, for tests
+/// that must reach the validation stages BEHIND the checksum.
+void fix_checksum(std::string& bytes) {
+  ASSERT_GE(bytes.size(), sizeof(file_footer));
+  const std::uint64_t sum =
+      fnv1a64(bytes.data(), bytes.size() - sizeof(file_footer),
+              kFnvOffsetBasis);
+  std::memcpy(bytes.data() + bytes.size() - sizeof(file_footer), &sum, 8);
+}
+
+bool events_equal(const chain::trace_event& a, const chain::trace_event& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* ca = std::get_if<chain::call_record>(&a)) {
+    const auto& cb = std::get<chain::call_record>(b);
+    return ca->caller == cb.caller && ca->callee == cb.callee &&
+           ca->method == cb.method && ca->depth == cb.depth;
+  }
+  if (const auto* ia = std::get_if<chain::internal_tx>(&a)) {
+    const auto& ib = std::get<chain::internal_tx>(b);
+    return ia->from == ib.from && ia->to == ib.to && ia->amount == ib.amount;
+  }
+  const auto& la = std::get<chain::event_log>(a);
+  const auto& lb = std::get<chain::event_log>(b);
+  return la.emitter == lb.emitter && la.name == lb.name &&
+         la.addr0 == lb.addr0 && la.addr1 == lb.addr1 &&
+         la.addr2 == lb.addr2 && la.amount0 == lb.amount0 &&
+         la.amount1 == lb.amount1 && la.amount2 == lb.amount2 &&
+         la.amount3 == lb.amount3;
+}
+
+void expect_receipt_equal(const chain::tx_receipt& got,
+                          const chain::tx_receipt& want) {
+  EXPECT_EQ(got.tx_index, want.tx_index);
+  EXPECT_EQ(got.from, want.from);
+  EXPECT_EQ(got.to, want.to);
+  EXPECT_EQ(got.description, want.description);
+  EXPECT_EQ(got.block_number, want.block_number);
+  EXPECT_EQ(got.timestamp, want.timestamp);
+  EXPECT_EQ(got.success, want.success);
+  EXPECT_EQ(got.revert_reason, want.revert_reason);
+  ASSERT_EQ(got.events.size(), want.events.size());
+  for (std::size_t e = 0; e < got.events.size(); ++e) {
+    EXPECT_TRUE(events_equal(got.events[e], want.events[e]))
+        << "tx " << want.tx_index << " event " << e;
+  }
+}
+
+/// A small but structurally rich population: flash loans of every provider,
+/// noise, plain transfers, reverts.
+verify::generated_population rich_population(std::uint64_t seed, int txs) {
+  verify::generator_options opts;
+  opts.transactions = txs;
+  opts.plain_transfer_fraction = 0.4;
+  opts.noise_fraction = 0.3;
+  return verify::generate_receipts(seed, opts);
+}
+
+std::string write_population_corpus(const verify::generated_population& pop,
+                                    const std::string& name) {
+  const std::string path = temp_path(name);
+  corpus_writer w{path};
+  for (const chain::tx_receipt& rec : pop.receipts) w.append(rec);
+  w.finish();
+  return path;
+}
+
+core::scanner make_scanner(const verify::synthetic_world& world,
+                           bool prefilter = true) {
+  core::scanner_options opts;
+  opts.prefilter = prefilter;
+  return core::scanner{world.creations, world.labels, world.weth_token, opts};
+}
+
+/// Full store contents in canonical order.
+std::vector<service::monitor_incident> dump(
+    const store::incident_store& store) {
+  std::vector<service::monitor_incident> out;
+  std::optional<store::incident_key> cursor;
+  while (true) {
+    const store::incident_page page = store.query({}, cursor, 64);
+    for (const store::stored_incident& s : page.items) {
+      out.push_back(s.incident);
+    }
+    if (!page.has_more) break;
+    cursor = page.next;
+  }
+  return out;
+}
+
+// ---- streaming generator ----------------------------------------------------
+
+TEST(ReceiptGenStreaming, ChunkedCursorMatchesBatchGeneration) {
+  verify::generator_options opts;
+  opts.transactions = 257;
+  opts.plain_transfer_fraction = 0.5;
+  const verify::generated_population batch =
+      verify::generate_receipts(99, opts);
+
+  auto world = verify::make_world(99);
+  verify::generation_cursor cur = verify::start_generation(99, opts);
+  std::vector<chain::tx_receipt> streamed;
+  // Deliberately awkward chunk sizes: boundaries must be invisible.
+  for (const std::uint64_t n : {1ULL, 7ULL, 64ULL, 100ULL, 85ULL}) {
+    verify::generate_receipts_into(*world, opts, cur, n, streamed);
+  }
+  ASSERT_EQ(streamed.size(), batch.receipts.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    expect_receipt_equal(streamed[i], batch.receipts[i]);
+  }
+}
+
+// ---- round trip -------------------------------------------------------------
+
+TEST(CorpusRoundTrip, WriteMmapMaterializeIsLossless) {
+  const verify::generated_population pop = rich_population(7, 400);
+  const std::string path = write_population_corpus(pop, "roundtrip.lsc");
+
+  corpus_reader r{path};
+  EXPECT_EQ(r.tx_count(), pop.receipts.size());
+  ASSERT_GT(r.block_count(), 0U);
+
+  chain::tx_receipt scratch;
+  std::uint64_t t = 0;
+  for (std::uint64_t b = 0; b < r.block_count(); ++b) {
+    const block_rec& blk = r.block(b);
+    EXPECT_EQ(blk.first_tx, t);
+    for (std::uint32_t i = 0; i < blk.tx_count; ++i, ++t) {
+      r.materialize_tx(t, blk.number, scratch, /*payload=*/true);
+      expect_receipt_equal(scratch, pop.receipts[t]);
+    }
+  }
+  EXPECT_EQ(t, r.tx_count());
+  std::filesystem::remove(path);
+}
+
+TEST(CorpusRoundTrip, PackedPrefilterEqualsMayBeFlashLoan) {
+  const verify::generated_population pop = rich_population(11, 400);
+  const std::string path = write_population_corpus(pop, "prefilter.lsc");
+
+  corpus_reader r{path};
+  std::uint64_t accepts = 0;
+  for (std::uint64_t t = 0; t < r.tx_count(); ++t) {
+    const bool want = core::may_be_flash_loan(pop.receipts[t]);
+    EXPECT_EQ(r.tx_may_be_flash_loan(t), want) << "tx " << t;
+    accepts += want ? 1 : 0;
+  }
+  // The population must exercise both sides of the prefilter.
+  EXPECT_GT(accepts, 0U);
+  EXPECT_LT(accepts, r.tx_count());
+  std::filesystem::remove(path);
+}
+
+TEST(CorpusRoundTrip, HeaderOnlyMaterializeKeepsHeaderFields) {
+  const verify::generated_population pop = rich_population(13, 64);
+  const std::string path = write_population_corpus(pop, "headeronly.lsc");
+
+  corpus_reader r{path};
+  chain::tx_receipt scratch;
+  // Pre-dirty the scratch trace: header-only decode must clear it.
+  scratch.events.push_back(chain::internal_tx{});
+  std::uint64_t t = 0;
+  for (std::uint64_t b = 0; b < r.block_count(); ++b) {
+    const block_rec& blk = r.block(b);
+    for (std::uint32_t i = 0; i < blk.tx_count; ++i, ++t) {
+      r.materialize_tx(t, blk.number, scratch, /*payload=*/false);
+      EXPECT_TRUE(scratch.events.empty());
+      const chain::tx_receipt& want = pop.receipts[t];
+      EXPECT_EQ(scratch.tx_index, want.tx_index);
+      EXPECT_EQ(scratch.success, want.success);
+      EXPECT_EQ(scratch.from, want.from);
+      EXPECT_EQ(scratch.description, want.description);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(CorpusRoundTrip, ScanCorpusMatchesInMemoryScanner) {
+  const verify::generated_population pop = rich_population(17, 500);
+  const std::string path = write_population_corpus(pop, "scan.lsc");
+  corpus_reader r{path};
+
+  for (const bool prefilter : {true, false}) {
+    core::scanner mem = make_scanner(*pop.world, prefilter);
+    core::scan_stats want_stats;
+    std::vector<core::incident> want_incidents;
+    mem.scan_range(pop.receipts, 0, pop.receipts.size(), want_stats,
+                   want_incidents);
+
+    core::scanner via_corpus = make_scanner(*pop.world, prefilter);
+    const corpus_scan_result got = scan_corpus(r, via_corpus, 0,
+                                               r.block_count());
+    EXPECT_EQ(got.stats, want_stats) << "prefilter=" << prefilter;
+    ASSERT_EQ(got.incidents.size(), want_incidents.size());
+    for (std::size_t i = 0; i < want_incidents.size(); ++i) {
+      EXPECT_EQ(got.incidents[i].incident, want_incidents[i]);
+    }
+    EXPECT_GT(got.stats.incidents, 0U);
+    EXPECT_EQ(got.transactions, pop.receipts.size());
+  }
+  std::filesystem::remove(path);
+}
+
+// ---- durability -------------------------------------------------------------
+
+class CorpusDurability : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pop_ = new verify::generated_population{rich_population(23, 128)};
+    path_ = new std::string{write_population_corpus(*pop_, "durability.lsc")};
+    bytes_ = new std::string{read_file(*path_)};
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove(*path_);
+    delete bytes_;
+    delete path_;
+    delete pop_;
+  }
+
+  static void expect_rejected(const std::string& bytes,
+                              const std::string& diagnostic_substring,
+                              const std::string& name) {
+    const std::string path = temp_path(name);
+    write_file(path, bytes);
+    try {
+      corpus_reader r{path};
+      FAIL() << "expected corpus_error mentioning '" << diagnostic_substring
+             << "'";
+    } catch (const corpus_error& e) {
+      EXPECT_NE(std::string{e.what()}.find(diagnostic_substring),
+                std::string::npos)
+          << "actual diagnostic: " << e.what();
+    }
+    std::filesystem::remove(path);
+  }
+
+  static verify::generated_population* pop_;
+  static std::string* path_;
+  static std::string* bytes_;
+};
+
+verify::generated_population* CorpusDurability::pop_ = nullptr;
+std::string* CorpusDurability::path_ = nullptr;
+std::string* CorpusDurability::bytes_ = nullptr;
+
+TEST_F(CorpusDurability, IntactFileOpens) {
+  corpus_reader r{*path_};
+  EXPECT_EQ(r.tx_count(), pop_->receipts.size());
+}
+
+TEST_F(CorpusDurability, EmptyFileRejected) {
+  expect_rejected("", "too small", "empty.lsc");
+}
+
+TEST_F(CorpusDurability, TruncatedFileRejected) {
+  // Mid-file truncation: the footer magic lands on garbage.
+  expect_rejected(bytes_->substr(0, bytes_->size() / 2), "footer",
+                  "truncated.lsc");
+  // Losing just the final byte also kills it.
+  expect_rejected(bytes_->substr(0, bytes_->size() - 1), "footer",
+                  "truncated1.lsc");
+}
+
+TEST_F(CorpusDurability, FlippedByteRejected) {
+  // One bit flip in the middle of the data sections.
+  std::string corrupt = *bytes_;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  expect_rejected(corrupt, "checksum", "flipped.lsc");
+}
+
+TEST_F(CorpusDurability, WrongVersionRejected) {
+  // Future version with a VALID checksum: the version gate itself must
+  // fire, not the corruption check.
+  std::string skewed = *bytes_;
+  const std::uint32_t version = 999;
+  std::memcpy(skewed.data() + 8, &version, 4);  // file_header::version
+  fix_checksum(skewed);
+  expect_rejected(skewed, "version", "version.lsc");
+}
+
+TEST_F(CorpusDurability, ZeroBlockCorpusRejected) {
+  // Patch the header to declare 0 blocks/txs/events and empty sections —
+  // structurally plausible, semantically meaningless.
+  std::string empty = *bytes_;
+  file_header hdr;
+  std::memcpy(&hdr, empty.data(), sizeof hdr);
+  hdr.block_count = 0;
+  hdr.tx_count = 0;
+  hdr.event_count = 0;
+  for (unsigned s = 0; s < kSecDictOffsets; ++s) hdr.section_bytes[s] = 0;
+  std::memcpy(empty.data(), &hdr, sizeof hdr);
+  fix_checksum(empty);
+  expect_rejected(empty, "empty corpus", "zeroblocks.lsc");
+}
+
+TEST_F(CorpusDurability, WriterRefusesEmptyCorpus) {
+  const std::string path = temp_path("refuse-empty.lsc");
+  corpus_writer w{path};
+  EXPECT_THROW(w.finish(), corpus_error);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(CorpusDurability, WriterRejectsOutOfOrderBlocks) {
+  const std::string path = temp_path("order.lsc");
+  corpus_writer w{path};
+  chain::tx_receipt a = pop_->receipts.front();
+  a.block_number = 100;
+  w.append(a);
+  a.block_number = 99;
+  EXPECT_THROW(w.append(a), corpus_error);
+}
+
+// ---- backfill planning + fleet ---------------------------------------------
+
+class CorpusBackfill : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_build_options opts;
+    opts.blocks = 120;
+    opts.plain_transfer_fraction = 0.80;  // denser than default: more
+    opts.noise_fraction = 0.5;            // incidents in a small corpus
+    path_ = new std::string{temp_path("backfill.lsc")};
+    built_ = new corpus_build_result{build_corpus(*path_, 31, opts)};
+    reader_ = new corpus_reader{*path_};
+  }
+  static void TearDownTestSuite() {
+    delete reader_;
+    std::filesystem::remove(*path_);
+    delete built_;
+    delete path_;
+  }
+
+  static fleet::fleet_options fleet_opts(unsigned shards) {
+    fleet::fleet_options opts;
+    opts.shards = shards;
+    opts.checkpoint_every = 8;
+    return opts;
+  }
+
+  static fleet::shard_coordinator make_fleet(store::incident_store& store,
+                                             fleet::fleet_options opts) {
+    const verify::synthetic_world& w = *built_->world;
+    return fleet::shard_coordinator{w.creations, w.labels, w.weth_token,
+                                    *reader_, store, std::move(opts)};
+  }
+
+  static std::vector<service::monitor_incident> serial_reference() {
+    core::scanner s = make_scanner(*built_->world);
+    return scan_corpus(*reader_, s, 0, reader_->block_count()).incidents;
+  }
+
+  static std::string* path_;
+  static corpus_build_result* built_;
+  static corpus_reader* reader_;
+};
+
+std::string* CorpusBackfill::path_ = nullptr;
+corpus_build_result* CorpusBackfill::built_ = nullptr;
+corpus_reader* CorpusBackfill::reader_ = nullptr;
+
+TEST_F(CorpusBackfill, BuildCorpusHitsBlockTarget) {
+  EXPECT_EQ(built_->blocks, 120U);
+  EXPECT_EQ(reader_->block_count(), built_->blocks);
+  EXPECT_EQ(reader_->tx_count(), built_->transactions);
+  EXPECT_EQ(reader_->file_bytes(), built_->file_bytes);
+  EXPECT_EQ(reader_->block(0).number, built_->first_block);
+  EXPECT_EQ(reader_->block(reader_->block_count() - 1).number,
+            built_->last_block);
+}
+
+TEST_F(CorpusBackfill, PlanCorpusShardsInvariants) {
+  for (const unsigned n : {1U, 2U, 3U, 7U}) {
+    const std::vector<fleet::corpus_shard_plan> plan =
+        fleet::plan_corpus_shards(*reader_, n);
+    ASSERT_FALSE(plan.empty());
+    EXPECT_LE(plan.size(), static_cast<std::size_t>(n));
+    EXPECT_EQ(plan.front().begin_block, 0U);
+    EXPECT_EQ(plan.back().end_block, reader_->block_count());
+    EXPECT_EQ(plan.front().range.begin, 0U);
+    EXPECT_EQ(plan.back().range.end, reader_->tx_count());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const fleet::corpus_shard_plan& p = plan[i];
+      EXPECT_LT(p.begin_block, p.end_block);
+      if (i > 0) {
+        EXPECT_EQ(p.begin_block, plan[i - 1].end_block);
+        EXPECT_EQ(p.range.begin, plan[i - 1].range.end);
+        EXPECT_LT(plan[i - 1].range.last_block, p.range.first_block);
+      }
+      EXPECT_EQ(p.range.first_block, reader_->block(p.begin_block).number);
+      EXPECT_EQ(p.range.last_block, reader_->block(p.end_block - 1).number);
+      EXPECT_EQ(p.range.end - p.range.begin,
+                reader_->tx_count_in_blocks(p.begin_block, p.end_block));
+    }
+  }
+}
+
+TEST_F(CorpusBackfill, FleetBackfillMatchesSerialScan) {
+  const std::vector<service::monitor_incident> reference = serial_reference();
+  ASSERT_FALSE(reference.empty());
+
+  for (const unsigned shards : {1U, 3U}) {
+    store::incident_store store;
+    fleet::shard_coordinator fleet = make_fleet(store, fleet_opts(shards));
+    fleet.run();
+
+    const std::vector<service::monitor_incident> got = dump(store);
+    ASSERT_EQ(got.size(), reference.size()) << "shards=" << shards;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], reference[i]) << "shards=" << shards << " i=" << i;
+    }
+    EXPECT_EQ(fleet.incidents_forwarded(), reference.size());
+  }
+}
+
+TEST_F(CorpusBackfill, KilledBackfillResumesBitIdentically) {
+  const std::vector<service::monitor_incident> reference = serial_reference();
+  const std::string dir = testing::TempDir() + "corpus_test_resume";
+  std::filesystem::remove_all(dir);
+
+  {  // Killed mid-run: stop immediately after start so each shard
+     // checkpoints an arbitrary prefix.
+    store::incident_store store;
+    fleet::fleet_options opts = fleet_opts(2);
+    opts.state_dir = dir;
+    opts.checkpoint_every = 1;
+    fleet::shard_coordinator fleet = make_fleet(store, opts);
+    fleet.start();
+    fleet.request_stop();
+    fleet.wait();
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir + "/fleet.ckpt"));
+
+  {  // Resume into a fresh store: feed replay + fast-forwarded corpus
+     // sources append exactly the missing suffix.
+    store::incident_store store;
+    fleet::fleet_options opts = fleet_opts(2);
+    opts.state_dir = dir;
+    opts.checkpoint_every = 1;
+    fleet::shard_coordinator fleet = make_fleet(store, opts);
+    ASSERT_TRUE(fleet.resume());
+    fleet.run();
+
+    const std::vector<service::monitor_incident> got = dump(store);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], reference[i]) << "diverged at incident " << i;
+    }
+    EXPECT_EQ(fleet.committed_watermark(), fleet.plan().front().last_block);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CorpusBackfill, SkipToBlockFastForwardMatchesFullEmission) {
+  // Emit the first half through one source, then a second source
+  // fast-forwarded to the same position must continue the identical chain.
+  corpus_source_options copts;
+  copts.prefilter_skip_payload = false;
+  corpus_block_source full{*reader_, 0, reader_->block_count(), copts};
+  std::vector<service::block> want;
+  while (auto b = full.next()) want.push_back(std::move(*b));
+  ASSERT_GT(want.size(), 4U);
+
+  const std::size_t cut = want.size() / 2;
+  corpus_block_source resumed{*reader_, 0, reader_->block_count(), copts};
+  resumed.skip_to_block(want[cut - 1].number);
+  for (std::size_t i = cut; i < want.size(); ++i) {
+    const auto got = resumed.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->number, want[i].number);
+    EXPECT_EQ(got->hash, want[i].hash);
+    EXPECT_EQ(got->parent_hash, want[i].parent_hash);
+    EXPECT_EQ(got->receipts.size(), want[i].receipts.size());
+  }
+  EXPECT_FALSE(resumed.next().has_value());
+}
+
+// ---- bulk store ingestion ---------------------------------------------------
+
+TEST_F(CorpusBackfill, InsertBatchEqualsSequentialInserts) {
+  const std::vector<service::monitor_incident> incidents = serial_reference();
+  ASSERT_FALSE(incidents.empty());
+
+  store::incident_store one_by_one;
+  for (const service::monitor_incident& inc : incidents) {
+    one_by_one.insert(inc);
+  }
+  store::incident_store batched;
+  EXPECT_EQ(batched.insert_batch(incidents), 1U);
+  EXPECT_EQ(batched.insert_batch({}), 0U);  // empty batch: no-op, id 0
+
+  const auto got = dump(batched);
+  const auto want = dump(one_by_one);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], want[i]);
+  // Stats agree except the version counter, which is exactly what batching
+  // collapses: one bump for the whole batch vs one per insert.
+  store::store_stats bs = batched.stats();
+  store::store_stats ss = one_by_one.stats();
+  EXPECT_EQ(bs.version, 1U);
+  EXPECT_EQ(ss.version, incidents.size());
+  bs.version = ss.version = 0;
+  EXPECT_EQ(bs, ss);
+}
+
+// ---- golden fixture ---------------------------------------------------------
+
+corpus_build_options golden_options() {
+  corpus_build_options opts;
+  opts.blocks = 48;
+  opts.plain_transfer_fraction = 0.6;
+  opts.noise_fraction = 0.4;
+  return opts;
+}
+constexpr std::uint64_t kGoldenSeed = 20260808;
+
+TEST(CorpusGolden, CommittedFixtureIsBitIdenticalToRebuild) {
+  const std::string golden =
+      std::string{LEISHEN_TEST_DATA_DIR} + "/golden-corpus-v1.lsc";
+  if (!std::filesystem::exists(golden)) {
+    if (std::getenv("LEISHEN_REGEN_GOLDEN") != nullptr) {
+      build_corpus(golden, kGoldenSeed, golden_options());
+    } else {
+      FAIL() << "missing committed fixture " << golden
+             << " (set LEISHEN_REGEN_GOLDEN=1 to create it)";
+    }
+  }
+
+  // The same (seed, options) must rebuild the committed file bit for bit —
+  // any drift in generator, dictionary order or layout is a format break
+  // that needs a version bump and a regenerated fixture.
+  const std::string fresh = temp_path("golden-rebuild.lsc");
+  const corpus_build_result rebuilt =
+      build_corpus(fresh, kGoldenSeed, golden_options());
+  EXPECT_EQ(read_file(fresh), read_file(golden))
+      << "rebuild diverged from the committed fixture";
+  std::filesystem::remove(fresh);
+
+  // And the committed bytes still open, scan and detect.
+  corpus_reader r{golden};
+  EXPECT_EQ(r.block_count(), 48U);
+  core::scanner s = make_scanner(*rebuilt.world);
+  const corpus_scan_result scanned = scan_corpus(r, s, 0, r.block_count());
+  EXPECT_EQ(scanned.transactions, r.tx_count());
+  EXPECT_GT(scanned.stats.prefilter_rejects, 0U);
+  EXPECT_GT(scanned.stats.incidents, 0U);
+}
+
+}  // namespace
+}  // namespace leishen::corpus
