@@ -84,7 +84,7 @@ std::uint64_t rss_kb() {
 
 /// Samples VmRSS on a background thread while a phase runs; `stop()`
 /// returns the peak observed. This is the honest flat-RSS evidence: the
-/// mapping's resident pages count toward VmRSS until evict_before_block
+/// mapping's resident pages count toward VmRSS until evict_block_range
 /// drops them, so a peak far below the file size means the eviction window
 /// — not the corpus — bounded memory.
 class rss_sampler {

@@ -44,9 +44,11 @@ std::optional<service::block> corpus_block_source::next() {
   }
   last_hash_ = b.hash;
   ++cursor_;
+  // Evict only this shard's consumed window: a global prefix would drop
+  // pages slower shards in earlier block ranges are still reading.
   if (options_.evict_every_blocks != 0 &&
       cursor_ - last_evict_ >= options_.evict_every_blocks) {
-    reader_->evict_before_block(cursor_);
+    reader_->evict_block_range(last_evict_, cursor_);
     last_evict_ = cursor_;
   }
   return b;

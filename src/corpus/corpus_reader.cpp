@@ -112,8 +112,25 @@ corpus_reader::corpus_reader(const std::string& path, reader_options opts)
     }
   }
 
+  // Header counts are untrusted u64s: bound each against the file size
+  // BEFORE they feed any multiplication or loop bound — a 2^59-scale count
+  // would wrap `count * sizeof(rec)` into a small product that matches a
+  // tiny section, and the span-validation loops below would then iterate
+  // the huge declared count straight out of the mapping.
+  if (hdr_->block_count == 0 || hdr_->tx_count == 0) {
+    reject(path, "empty corpus (0 blocks)");
+  }
+  if (hdr_->block_count > payload_end / sizeof(block_rec) ||
+      hdr_->tx_count > payload_end / sizeof(tx_rec) ||
+      hdr_->event_count > payload_end / 4) {
+    reject(path, "declared counts exceed the file size");
+  }
+  if (hdr_->dict_count == 0 || hdr_->dict_count > kMaxDictEntries) {
+    reject(path, "dictionary count out of range");
+  }
+
   // Section table: in-bounds, aligned, and large enough for the declared
-  // counts.
+  // counts (all products overflow-free after the bounds above).
   const std::uint64_t expected_bytes[kSectionCount] = {
       hdr_->block_count * sizeof(block_rec),
       hdr_->tx_count * sizeof(tx_rec),
@@ -132,12 +149,6 @@ corpus_reader::corpus_reader(const std::string& path, reader_options opts)
       reject(path, "section " + std::to_string(s) +
                        " size does not match declared counts");
     }
-  }
-  if (hdr_->block_count == 0 || hdr_->tx_count == 0) {
-    reject(path, "empty corpus (0 blocks)");
-  }
-  if (hdr_->dict_count == 0 || hdr_->dict_count > kMaxDictEntries) {
-    reject(path, "dictionary count out of range");
   }
 
   blocks_ = reinterpret_cast<const block_rec*>(section(kSecBlocks));
@@ -197,6 +208,35 @@ corpus_reader::corpus_reader(const std::string& path, reader_options opts)
   }
   if (want_event != hdr_->event_count) {
     reject(path, "tx event spans do not cover the signature column");
+  }
+
+  // Signature words: kind and dictionary id validated once here, because
+  // the scan paths hand sig_dict_id(w) to the unchecked dict() accessor —
+  // a crafted id (up to 2^30 - 1) would otherwise index far past the
+  // offset table and yield a wild string_view. The checksum is integrity,
+  // not authentication (recomputable, and can be disabled), so this must
+  // hold structurally. Chunked with periodic eviction like the checksum
+  // pass: this column is 4 bytes/event and can be multi-GB.
+  {
+    constexpr std::uint64_t kEvictEveryWords = 16u << 20;  // 64 MB
+    std::uint64_t last_evict = 0;
+    for (std::uint64_t i = 0; i < hdr_->event_count; ++i) {
+      const std::uint32_t w = sigs_[i];
+      if ((w & 3u) == 3u || sig_dict_id(w) >= hdr_->dict_count) {
+        reject(path, "signature word " + std::to_string(i) +
+                         " has an unknown kind or out-of-range dictionary "
+                         "id");
+      }
+      if (i - last_evict >= kEvictEveryWords) {
+        map_.advise_dontneed(hdr_->section_offset[kSecSigs] + last_evict * 4,
+                             (i - last_evict) * 4);
+        last_evict = i;
+      }
+    }
+    if (last_evict != 0) {
+      map_.advise_dontneed(hdr_->section_offset[kSecSigs] + last_evict * 4,
+                           (hdr_->event_count - last_evict) * 4);
+    }
   }
 
   // Resolve the Table II triggers against this corpus's dictionary once.
@@ -306,23 +346,32 @@ std::uint64_t corpus_reader::tx_count_in_blocks(std::uint64_t begin,
   return last - first;
 }
 
-void corpus_reader::evict_before_block(std::uint64_t b) const noexcept {
-  if (b == 0) return;
-  b = std::min(b, hdr_->block_count);
-  const std::uint64_t first_tx =
-      b < hdr_->block_count ? blocks_[b].first_tx : hdr_->tx_count;
-  const std::uint64_t first_event =
-      first_tx < hdr_->tx_count ? txs_[first_tx].first_event
-                                : hdr_->event_count;
-  const std::uint64_t first_payload =
-      first_tx < hdr_->tx_count ? txs_[first_tx].payload_offset
-                                : hdr_->section_bytes[kSecPayload];
-  map_.advise_dontneed(hdr_->section_offset[kSecBlocks],
-                       b * sizeof(block_rec));
-  map_.advise_dontneed(hdr_->section_offset[kSecTxs],
-                       first_tx * sizeof(tx_rec));
-  map_.advise_dontneed(hdr_->section_offset[kSecSigs], first_event * 4);
-  map_.advise_dontneed(hdr_->section_offset[kSecPayload], first_payload);
+void corpus_reader::evict_block_range(std::uint64_t from,
+                                      std::uint64_t to) const noexcept {
+  to = std::min(to, hdr_->block_count);
+  if (from >= to) return;
+  // Column boundary (tx index, event index, payload offset) at block
+  // index `b` — one past the last row of block b-1.
+  const auto column_mark = [this](std::uint64_t b, std::uint64_t& tx,
+                                  std::uint64_t& event,
+                                  std::uint64_t& payload) {
+    tx = b < hdr_->block_count ? blocks_[b].first_tx : hdr_->tx_count;
+    event = tx < hdr_->tx_count ? txs_[tx].first_event : hdr_->event_count;
+    payload = tx < hdr_->tx_count ? txs_[tx].payload_offset
+                                  : hdr_->section_bytes[kSecPayload];
+  };
+  std::uint64_t tx0, event0, payload0, tx1, event1, payload1;
+  column_mark(from, tx0, event0, payload0);
+  column_mark(to, tx1, event1, payload1);
+  map_.advise_dontneed(
+      hdr_->section_offset[kSecBlocks] + from * sizeof(block_rec),
+      (to - from) * sizeof(block_rec));
+  map_.advise_dontneed(hdr_->section_offset[kSecTxs] + tx0 * sizeof(tx_rec),
+                       (tx1 - tx0) * sizeof(tx_rec));
+  map_.advise_dontneed(hdr_->section_offset[kSecSigs] + event0 * 4,
+                       (event1 - event0) * 4);
+  map_.advise_dontneed(hdr_->section_offset[kSecPayload] + payload0,
+                       payload1 - payload0);
 }
 
 }  // namespace leishen::corpus

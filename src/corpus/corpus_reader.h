@@ -1,7 +1,8 @@
 // Zero-copy .lsc corpus reader over one read-only mapping.
 //
 // Open validates everything cheap eagerly — magic, version, section table
-// bounds, dictionary offsets — and (by default) the footer checksum with
+// bounds, dictionary offsets, signature-word kinds and dictionary ids —
+// and (by default) the footer checksum with
 // one sequential pass, so a truncated, bit-flipped or version-skewed file
 // is rejected at open with a diagnostic instead of surfacing as garbage
 // receipts mid-scan. After open, all accessors are non-throwing reads into
@@ -16,9 +17,11 @@
 //     tx_receipt (capacity reused across calls), optionally header-only
 //     (empty trace) for transactions the prefilter already rejected.
 //
-// Long scans call `evict_before_block` as they advance: consumed column
-// prefixes are madvise(DONTNEED)'d away, which is what keeps backfill RSS
-// bounded by the eviction window instead of the corpus size.
+// Long scans call `evict_block_range` over their consumed window as they
+// advance: those column rows are madvise(DONTNEED)'d away, which is what
+// keeps backfill RSS bounded by the eviction window instead of the corpus
+// size — without touching pages other shards of the same mapping are
+// still reading.
 #pragma once
 
 #include <cstdint>
@@ -112,10 +115,13 @@ class corpus_reader {
                                                  std::uint64_t end) const
       noexcept;
 
-  /// Drop the resident pages of every column row belonging to blocks
-  /// strictly below block index `b` (callers pass a trailing watermark, so
-  /// this only ever releases data the scan has fully consumed).
-  void evict_before_block(std::uint64_t b) const noexcept;
+  /// Drop the resident pages of every column row belonging to blocks with
+  /// index in [from, to) — callers pass their own consumed window (last
+  /// eviction watermark to current cursor), never a global prefix, so
+  /// concurrent shards scanning other ranges of the same mapping keep
+  /// their working set.
+  void evict_block_range(std::uint64_t from, std::uint64_t to) const
+      noexcept;
 
  private:
   [[nodiscard]] const std::byte* section(unsigned s) const noexcept {

@@ -37,7 +37,7 @@ corpus_scan_result scan_corpus(const corpus_reader& reader,
     ++result.blocks;
     if (options.evict_every_blocks != 0 &&
         b - last_evict >= options.evict_every_blocks) {
-      reader.evict_before_block(b);
+      reader.evict_block_range(last_evict, b);
       last_evict = b;
     }
   }

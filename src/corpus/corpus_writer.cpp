@@ -80,11 +80,15 @@ void corpus_writer::write_column(column& col, const void* data,
 }
 
 std::uint32_t corpus_writer::dict_id(std::string_view s) {
-  if (dict_.size() >= kMaxDictEntries) {
+  // Intern first: a writer sitting exactly at the cap must keep accepting
+  // strings it has already stored (they reuse their existing id). Only a
+  // NEWLY allocated id can overflow the format's id space.
+  const std::uint32_t id = dict_.intern(s);
+  if (id >= kMaxDictEntries) {
     throw corpus_error{
         "corpus_writer: dictionary overflow (2^30 distinct strings)"};
   }
-  return dict_.intern(s);
+  return id;
 }
 
 void corpus_writer::flush_block() {
@@ -189,6 +193,12 @@ std::uint64_t corpus_writer::finish() {
 
   // Dictionary sections, small enough to assemble in memory.
   const std::uint64_t dict_count = dict_.size();
+  if (dict_count > kMaxDictEntries) {
+    // Reachable only by appending past a dict_id overflow that the caller
+    // swallowed; refuse rather than emit a file every reader rejects.
+    throw corpus_error{
+        "corpus_writer: dictionary overflow (2^30 distinct strings)"};
+  }
   std::vector<std::uint64_t> dict_offsets;
   std::string dict_bytes;
   dict_offsets.reserve(dict_count + 1);

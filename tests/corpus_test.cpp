@@ -342,6 +342,45 @@ TEST_F(CorpusDurability, ZeroBlockCorpusRejected) {
   expect_rejected(empty, "empty corpus", "zeroblocks.lsc");
 }
 
+TEST_F(CorpusDurability, WrappingBlockCountRejected) {
+  // block_count bumped by 2^59 so count * sizeof(block_rec) wraps mod 2^64
+  // back to the true section size: the size check alone would pass and the
+  // span-validation loop would iterate 2^59 entries off the mapping.
+  std::string bad = *bytes_;
+  file_header hdr;
+  std::memcpy(&hdr, bad.data(), sizeof hdr);
+  hdr.block_count += 1ULL << 59;
+  std::memcpy(bad.data(), &hdr, sizeof hdr);
+  fix_checksum(bad);
+  expect_rejected(bad, "exceed", "wrapcount.lsc");
+}
+
+TEST_F(CorpusDurability, SignatureWordUnknownKindRejected) {
+  std::string bad = *bytes_;
+  file_header hdr;
+  std::memcpy(&hdr, bad.data(), sizeof hdr);
+  ASSERT_GT(hdr.event_count, 0U);
+  const std::uint32_t w = kSigNever;  // kind bits == 3: no such event kind
+  std::memcpy(bad.data() + hdr.section_offset[kSecSigs], &w, 4);
+  fix_checksum(bad);
+  expect_rejected(bad, "signature word", "sigkind.lsc");
+}
+
+TEST_F(CorpusDurability, SignatureWordOutOfRangeDictIdRejected) {
+  // A dictionary id >= dict_count would send dict() far past the offset
+  // table: must die at open with a diagnostic, not at materialize time
+  // with a wild read.
+  std::string bad = *bytes_;
+  file_header hdr;
+  std::memcpy(&hdr, bad.data(), sizeof hdr);
+  ASSERT_GT(hdr.event_count, 0U);
+  const std::uint32_t w =
+      pack_sig(static_cast<std::uint32_t>(hdr.dict_count), kSigLog);
+  std::memcpy(bad.data() + hdr.section_offset[kSecSigs], &w, 4);
+  fix_checksum(bad);
+  expect_rejected(bad, "dictionary id", "sigid.lsc");
+}
+
 TEST_F(CorpusDurability, WriterRefusesEmptyCorpus) {
   const std::string path = temp_path("refuse-empty.lsc");
   corpus_writer w{path};
