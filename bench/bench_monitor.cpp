@@ -5,11 +5,19 @@
 // stream matches the serial batch scanner. Emits BENCH_monitor.json and
 // the monitor's metrics-registry JSON export (BENCH_monitor_metrics.json).
 //
+// A WAL-overhead section measures store insert throughput with and
+// without an attached fsync-per-record write-ahead log (the fleet fan-in
+// path as deployed with --wal), so the durability tax is a tracked number.
+// --floor-file points at a text file holding the checked-in WAL-on
+// inserts/sec floor; the run fails (exit 3) below 80% of it.
+//
 // Usage: bench_monitor [--benign N] [--noise N] [--reps R] [--out FILE]
-//                      [--metrics-out FILE]
+//                      [--metrics-out FILE] [--wal-inserts N]
+//                      [--floor-file FILE]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -18,6 +26,8 @@
 #include "scenarios/known_attacks.h"
 #include "service/monitor_service.h"
 #include "service/resilient_block_source.h"
+#include "store/incident_store.h"
+#include "store/wal.h"
 
 using namespace leishen;
 
@@ -73,6 +83,25 @@ struct run_result {
   bool deterministic = true;
 };
 
+/// Inserts/sec for `n` synthetic incidents into a fresh store, optionally
+/// behind a WAL — the fleet fan-in write path with and without --wal.
+double store_insert_rate(std::uint64_t n, store::wal_writer* wal) {
+  store::incident_store s;
+  if (wal != nullptr) s.attach_wal(wal);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    service::monitor_incident mi;
+    mi.block_number = 1'000'000 + i;
+    mi.incident.tx_index = i % 7;
+    mi.incident.borrower_tag = "bench";
+    s.insert(mi);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (wal != nullptr) s.attach_wal(nullptr);
+  return static_cast<double>(n) /
+         std::chrono::duration<double>(t1 - t0).count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,6 +112,9 @@ int main(int argc, char** argv) {
       arg_str(argc, argv, "--out", "BENCH_monitor.json");
   const std::string metrics_path =
       arg_str(argc, argv, "--metrics-out", "BENCH_monitor_metrics.json");
+  const std::uint64_t wal_inserts = static_cast<std::uint64_t>(
+      std::max(100, arg_int(argc, argv, "--wal-inserts", 2000)));
+  const std::string floor_file = arg_str(argc, argv, "--floor-file", "");
 
   scenarios::universe u;
   scenarios::run_known_attacks(u);
@@ -153,6 +185,30 @@ int main(int argc, char** argv) {
   std::printf("%-28s %12s\n", "matches batch scanner",
               best.deterministic ? "yes" : "NO");
 
+  // ---- WAL overhead: store inserts/sec with the log off vs on ----
+  const double wal_off_rate = store_insert_rate(wal_inserts, nullptr);
+  const std::string wal_dir = out_path + ".waltmp";
+  std::filesystem::remove_all(wal_dir);
+  double wal_on_rate = 0.0;
+  std::uint64_t wal_appended = 0, wal_fsyncs = 0, wal_rotations = 0;
+  {
+    store::wal_options wopts;
+    wopts.dir = wal_dir;
+    store::wal_writer wal{wopts};
+    wal_on_rate = store_insert_rate(wal_inserts, &wal);
+    wal_appended = wal.appended();
+    wal_fsyncs = wal.fsyncs();
+    wal_rotations = wal.rotations();
+  }
+  std::filesystem::remove_all(wal_dir);
+  const double wal_overhead_pct =
+      wal_off_rate > 0.0 ? 100.0 * (1.0 - wal_on_rate / wal_off_rate) : 0.0;
+  std::printf("\nWAL overhead (%llu store inserts, fsync per record):\n",
+              static_cast<unsigned long long>(wal_inserts));
+  std::printf("%-28s %12.0f\n", "inserts/sec, WAL off", wal_off_rate);
+  std::printf("%-28s %12.0f\n", "inserts/sec, WAL on", wal_on_rate);
+  std::printf("%-28s %11.1f%%\n", "durability tax", wal_overhead_pct);
+
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -177,7 +233,10 @@ int main(int argc, char** argv) {
       f,
       "  \"robustness\": {\"source_retries\": %llu, \"source_failovers\": "
       "%llu, \"circuit_opens\": %llu, \"source_errors\": %llu, \"reorgs\": "
-      "%llu, \"poisoned_receipts\": %llu, \"worker_restarts\": %llu}\n}\n",
+      "%llu, \"poisoned_receipts\": %llu, \"worker_restarts\": %llu,\n"
+      "    \"wal\": {\"inserts\": %llu, \"insert_per_s_off\": %.1f, "
+      "\"insert_per_s_on\": %.1f, \"overhead_pct\": %.2f, \"appended\": "
+      "%llu, \"fsyncs\": %llu, \"rotations\": %llu}}\n}\n",
       static_cast<unsigned long long>(
           metrics.counter_value("source_retries_total")),
       static_cast<unsigned long long>(
@@ -190,7 +249,12 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(
           metrics.counter_value("poisoned_receipts_total")),
       static_cast<unsigned long long>(
-          metrics.counter_value("monitor_worker_restarts")));
+          metrics.counter_value("monitor_worker_restarts")),
+      static_cast<unsigned long long>(wal_inserts), wal_off_rate,
+      wal_on_rate, wal_overhead_pct,
+      static_cast<unsigned long long>(wal_appended),
+      static_cast<unsigned long long>(wal_fsyncs),
+      static_cast<unsigned long long>(wal_rotations));
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
 
@@ -203,6 +267,31 @@ int main(int argc, char** argv) {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("wrote %s (metrics registry export)\n", metrics_path.c_str());
+
+  if (!floor_file.empty()) {
+    std::FILE* ff = std::fopen(floor_file.c_str(), "r");
+    if (ff == nullptr) {
+      std::fprintf(stderr, "floor file %s is unreadable\n",
+                   floor_file.c_str());
+      return 2;
+    }
+    double floor_rate = 0.0;
+    const int got = std::fscanf(ff, "%lf", &floor_rate);
+    std::fclose(ff);
+    if (got != 1 || floor_rate <= 0.0) {
+      std::fprintf(stderr, "floor file %s holds no positive number\n",
+                   floor_file.c_str());
+      return 2;
+    }
+    // Same 20% slack as the other floor guards: the WAL-on rate is
+    // fsync-bound, so it wobbles with the machine's storage stack.
+    const double limit = 0.8 * floor_rate;
+    std::printf("floor check: WAL-on %.0f inserts/s vs floor %.0f "
+                "(limit %.0f) -> %s\n",
+                wal_on_rate, floor_rate, limit,
+                wal_on_rate >= limit ? "ok" : "REGRESSION");
+    if (wal_on_rate < limit) return 3;
+  }
 
   return best.deterministic ? 0 : 1;
 }

@@ -24,15 +24,27 @@
 // backfill re-run picks up where it stopped). The corpus world is rebuilt
 // from --seed, which must match the seed the corpus was built with.
 //
+// Self-healing tier (DESIGN.md §14): --restart-budget caps per-shard
+// supervised restarts before the remaining range hands off to survivors;
+// --wal logs every store mutation to --state-dir/wal so a crashed run
+// restores the store from the log instead of replaying feeds;
+// --feed-fsync-every N fsyncs the JSONL feed every Nth record (default
+// off); --dead-letter-max-bytes rotates the quarantine file at the cap.
+// With --serve in backfill mode, /healthz reports per-shard liveness and
+// WAL lag and /readyz answers 503 until the fleet is serving.
+//
 //   usage: chain_monitor [--benign N] [--rate BLOCKS_PER_SEC]
 //                        [--checkpoint FILE] [--jsonl FILE]
 //                        [--max-retries N] [--reorg-depth N]
-//                        [--dead-letter FILE]
+//                        [--dead-letter FILE] [--dead-letter-max-bytes N]
+//                        [--feed-fsync-every N]
 //                        [--serve HOST:PORT] [--shards N]
 //                        [--state-dir DIR] [--store-replay FILE]
+//                        [--restart-budget N] [--wal]
 //          chain_monitor --build-corpus FILE.lsc [--blocks N] [--seed N]
 //          chain_monitor --backfill FILE.lsc [--shards N] [--seed N]
 //                        [--state-dir DIR] [--serve HOST:PORT]
+//                        [--restart-budget N] [--wal]
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -96,6 +108,13 @@ int main(int argc, char** argv) {
   const char* backfill_path = "";
   long blocks = 100000;
   unsigned long long seed = 20260808ULL;
+  int restart_budget = 2;
+  bool wal = false;
+  long dead_letter_max_bytes = 0;
+  long feed_fsync_every = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--wal") == 0) wal = true;
+  }
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--benign") == 0) benign = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--rate") == 0) rate = std::atof(argv[i + 1]);
@@ -125,6 +144,15 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--blocks") == 0) blocks = std::atol(argv[i + 1]);
     if (std::strcmp(argv[i], "--seed") == 0) {
       seed = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--restart-budget") == 0) {
+      restart_budget = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--dead-letter-max-bytes") == 0) {
+      dead_letter_max_bytes = std::atol(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--feed-fsync-every") == 0) {
+      feed_fsync_every = std::atol(argv[i + 1]);
     }
   }
 
@@ -167,9 +195,23 @@ int main(int argc, char** argv) {
 
     store::incident_store store;
     service::metrics_registry metrics;
+
+    fleet::fleet_options fopts;
+    fopts.shards = shards > 0 ? static_cast<unsigned>(shards) : 1;
+    fopts.checkpoint_every = 256;
+    fopts.state_dir = state_dir;
+    fopts.restart_budget = restart_budget;
+    fopts.wal = wal;
+    fleet::shard_coordinator fleet{world->creations, world->labels,
+                                   world->weth_token, *reader, store, fopts};
+
     std::unique_ptr<api::http_server> server;
     if (serve_addr[0] != '\0') {
       api::server_config cfg;
+      // Ops endpoints ride the fleet: /healthz exposes per-shard liveness
+      // and WAL lag, /readyz answers 503 until the shards are serving.
+      cfg.health_json = [&fleet] { return fleet.health_json(); };
+      cfg.ready = [&fleet] { return fleet.ready(); };
       try {
         cfg.endpoint = net::parse_endpoint(serve_addr);
         server = std::make_unique<api::http_server>(store, metrics, cfg);
@@ -178,15 +220,9 @@ int main(int argc, char** argv) {
         std::cerr << "--serve: " << e.what() << "\n";
         return 1;
       }
-      std::cout << "serving incidents on port " << server->port() << "\n";
+      std::cout << "serving incidents on port " << server->port()
+                << "  (GET /incidents /stats /metrics /healthz /readyz)\n";
     }
-
-    fleet::fleet_options fopts;
-    fopts.shards = shards > 0 ? static_cast<unsigned>(shards) : 1;
-    fopts.checkpoint_every = 256;
-    fopts.state_dir = state_dir;
-    fleet::shard_coordinator fleet{world->creations, world->labels,
-                                   world->weth_token, *reader, store, fopts};
     std::cout << "fleet: " << fleet.shard_count() << " shard(s)";
     for (const fleet::shard_range& r : fleet.plan()) {
       std::cout << "  [" << r.first_block << ".." << r.last_block << "]";
@@ -297,6 +333,8 @@ int main(int argc, char** argv) {
     fopts.shards = static_cast<unsigned>(shards);
     fopts.scan.yield_aggregator_apps = pop.aggregator_apps;
     fopts.state_dir = state_dir;
+    fopts.restart_budget = restart_budget;
+    fopts.wal = wal;
     fleet::shard_coordinator fleet{u.bc().creations(), u.labels(),
                                    u.weth().id(),      u.bc().receipts(),
                                    store,              fopts};
@@ -351,7 +389,10 @@ int main(int argc, char** argv) {
     std::unique_ptr<service::dead_letter_jsonl> dead_letter;
     if (dead_letter_path[0] != '\0') {
       dead_letter = std::make_unique<service::dead_letter_jsonl>(
-          dead_letter_path, /*append=*/true);
+          dead_letter_path, /*append=*/true,
+          dead_letter_max_bytes > 0
+              ? static_cast<std::uint64_t>(dead_letter_max_bytes)
+              : 0);
       opts.dead_letter = dead_letter.get();
     }
     service::monitor_service monitor{u.bc().creations(), u.labels(),
@@ -365,7 +406,10 @@ int main(int argc, char** argv) {
     std::unique_ptr<service::jsonl_sink> jsonl;
     if (jsonl_path[0] != '\0') {
       const bool resume = monitor.resume_from_checkpoint();
-      jsonl = std::make_unique<service::jsonl_sink>(jsonl_path, resume);
+      jsonl = std::make_unique<service::jsonl_sink>(
+          jsonl_path, resume,
+          feed_fsync_every > 0 ? static_cast<std::uint64_t>(feed_fsync_every)
+                               : 0);
       monitor.add_sink(*jsonl);
       if (resume) {
         std::cout << "resuming after block " << monitor.last_block()
@@ -420,8 +464,12 @@ int main(int argc, char** argv) {
     }
     if (dead_letter) {
       std::cout << dead_letter->written()
-                << " poison receipt(s) quarantined to " << dead_letter_path
-                << "\n";
+                << " poison receipt(s) quarantined to " << dead_letter_path;
+      if (dead_letter->rotated_records() > 0) {
+        std::cout << " (" << dead_letter->rotated_records()
+                  << " rotated out at the byte cap)";
+      }
+      std::cout << "\n";
     }
   }
 

@@ -309,6 +309,26 @@ std::string http_server::client_identity(const http_request& req,
 http_response http_server::handle(const http_request& req,
                                   const std::string& client_key) {
   requests_->add();
+  // Health probes come first: they bypass the rate limiter (a throttled
+  // liveness probe reads as a dead instance) and the version-keyed cache
+  // (readiness must reflect this instant, not the last store mutation).
+  if (req.path == "/healthz" || req.path == "/readyz") {
+    if (req.method != "GET" && req.method != "HEAD") {
+      http_response r = error_response(405, "method not allowed");
+      r.headers.emplace_back("Allow", "GET, HEAD");
+      return r;
+    }
+    const bool is_ready = !cfg_.ready || cfg_.ready();
+    http_response r;
+    if (req.path == "/readyz" && !is_ready) {
+      r = error_response(503, "not ready");
+      r.headers.emplace_back("Retry-After", "1");
+      return r;
+    }
+    r.body = cfg_.health_json ? cfg_.health_json()
+                              : std::string{"{\"ready\":true}"};
+    return r;
+  }
   if (!limiter_.allow(client_key)) {
     rate_limited_->add();
     http_response r = error_response(429, "rate limit exceeded");

@@ -9,6 +9,9 @@
 //   GET /incidents/{id}   one incident by store id
 //   GET /stats            store_stats as JSON
 //   GET /metrics          metrics_registry JSON export
+//   GET /healthz          liveness: per-shard state, WAL lag, queue depths
+//   GET /readyz           readiness: 200 while serving, 503 + Retry-After
+//                         when the fleet can no longer make progress
 //
 // Incident payloads embed `jsonl_sink::to_json_line` verbatim as the
 // "incident" field, so an object fetched over HTTP is byte-identical to
@@ -65,6 +68,14 @@ struct server_config {
   /// Override the /metrics body (the fleet serves a merged view); empty =
   /// the registry passed to the constructor.
   std::function<std::string()> metrics_json;
+  /// /healthz body — per-shard liveness, WAL lag, queue depths (the fleet
+  /// wires its health_json here); empty = a minimal always-ok payload.
+  /// Health probes bypass the rate limiter and the response cache: an
+  /// orchestrator must never see a 429 instead of its liveness answer.
+  std::function<std::string()> health_json;
+  /// /readyz predicate; false answers 503 with Retry-After so load
+  /// balancers drain the instance. Empty = always ready.
+  std::function<bool()> ready;
 };
 
 /// {"id":N,"incident":<jsonl_sink::to_json_line(...)>} — the inner object

@@ -1,0 +1,74 @@
+#include "common/fault_fs.h"
+
+#include <atomic>
+#include <cerrno>
+
+#ifdef _WIN32
+#include <io.h>
+#define LEISHEN_FSYNC _commit
+#define LEISHEN_FILENO _fileno
+#define LEISHEN_FTRUNCATE _chsize_s
+#else
+#include <unistd.h>
+#define LEISHEN_FSYNC ::fsync
+#define LEISHEN_FILENO ::fileno
+#define LEISHEN_FTRUNCATE ::ftruncate
+#endif
+
+namespace leishen::fault_fs {
+
+namespace {
+
+std::atomic<fault_hook*> g_hook{nullptr};
+
+}  // namespace
+
+fault_hook* set_hook(fault_hook* hook) noexcept {
+  return g_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+fault_hook* hook() noexcept { return g_hook.load(std::memory_order_acquire); }
+
+bool write(std::FILE* f, const std::string& path, const void* data,
+           std::size_t n) {
+  if (n == 0) return true;
+  if (fault_hook* h = hook()) {
+    int err = EIO;
+    const std::size_t allow = h->on_write(path, n, err);
+    if (allow < n) {
+      // The torn prefix really lands in the stream — that is the point: a
+      // crashed writer leaves a partial record for recovery to deal with.
+      if (allow > 0) std::fwrite(data, 1, allow, f);
+      errno = err;
+      return false;
+    }
+  }
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool flush(std::FILE* f, const std::string& path) {
+  (void)path;
+  return std::fflush(f) == 0;
+}
+
+bool sync(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0) return false;
+  if (fault_hook* h = hook()) {
+    int err = EIO;
+    if (h->on_fsync(path, err)) {
+      errno = err;
+      return false;
+    }
+  }
+  return LEISHEN_FSYNC(LEISHEN_FILENO(f)) == 0;
+}
+
+void truncate_to(std::FILE* f, const std::string& path, long offset) {
+  (void)path;
+  if (offset < 0) return;
+  std::fflush(f);  // push the torn prefix out so ftruncate sees it
+  (void)!LEISHEN_FTRUNCATE(LEISHEN_FILENO(f), offset);
+  std::fseek(f, offset, SEEK_SET);
+}
+
+}  // namespace leishen::fault_fs

@@ -1,0 +1,73 @@
+// Fault-injectable filesystem layer for the durable writers.
+//
+// Every writer whose output must survive a crash (JSONL incident feeds,
+// monitor checkpoints, the store WAL, the dead-letter quarantine) routes
+// its buffered writes and fsyncs through these wrappers instead of calling
+// libc directly. In production nothing is installed and the wrappers are
+// thin passthroughs; the chaos harness installs a seeded `fault_hook` to
+// make one specific write return ENOSPC, fail with EIO, tear at a chosen
+// byte offset, or make one fsync fail — the disk half of the failure model
+// (DESIGN.md §14).
+//
+// The hook is process-global on purpose: faults must reach writers deep
+// inside the fleet (per-shard feeds, the shared WAL) without threading a
+// parameter through every layer. Hook implementations are called from
+// multiple detection workers concurrently and must synchronize internally.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace leishen::fault_fs {
+
+/// Decides the fate of individual filesystem operations. The default
+/// implementation of every method is "no fault".
+class fault_hook {
+ public:
+  virtual ~fault_hook() = default;
+
+  /// One buffered write of `n` bytes to the file at `path`. Return `n` for
+  /// success; return k < n to write only the first k bytes (a torn write)
+  /// and fail the operation with errno `err` (e.g. ENOSPC, EIO).
+  virtual std::size_t on_write(const std::string& path, std::size_t n,
+                               int& err) {
+    (void)path;
+    (void)err;
+    return n;
+  }
+
+  /// One fsync of the file at `path`. Return true to fail it with `err`.
+  virtual bool on_fsync(const std::string& path, int& err) {
+    (void)path;
+    (void)err;
+    return false;
+  }
+};
+
+/// Install a hook (nullptr = faults off, the default). The previous hook is
+/// returned so tests can restore it. Writers observe the change on their
+/// next operation.
+fault_hook* set_hook(fault_hook* hook) noexcept;
+
+[[nodiscard]] fault_hook* hook() noexcept;
+
+/// fwrite through the hook. True when all `n` bytes reached the stream; on
+/// a fault (injected or real) errno is set and false is returned — the
+/// stream may hold a torn prefix, see `truncate_to`.
+bool write(std::FILE* f, const std::string& path, const void* data,
+           std::size_t n);
+
+/// fflush through the hook (injected write faults fire on write, not
+/// flush; this reports real flush failures).
+bool flush(std::FILE* f, const std::string& path);
+
+/// fflush + fsync(fileno(f)) through the hook. False on failure.
+bool sync(std::FILE* f, const std::string& path);
+
+/// Best-effort rollback of a failed write: drop whatever landed past
+/// `offset` and reposition the stream there, so an append-only file never
+/// carries a torn record into its next line. Errors are ignored (this runs
+/// on the failure path; the caller is already surfacing one).
+void truncate_to(std::FILE* f, const std::string& path, long offset);
+
+}  // namespace leishen::fault_fs

@@ -1,74 +1,46 @@
 #include "fleet/shard_coordinator.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/json.h"
+#include "service/checkpoint.h"
+
 namespace leishen::fleet {
 
 namespace {
 
-constexpr const char* kFleetMagic = "leishen-fleet-checkpoint v1";
-
-struct fleet_checkpoint {
-  std::vector<shard_range> ranges;
-  std::uint64_t watermark = 0;
-};
-
-std::optional<fleet_checkpoint> load_fleet_checkpoint(
-    const std::string& path) {
-  std::ifstream in{path};
-  if (!in) return std::nullopt;
-  std::string line;
-  if (!std::getline(in, line) || line != kFleetMagic) return std::nullopt;
-  fleet_checkpoint cp;
-  std::size_t declared = 0;
-  while (std::getline(in, line)) {
-    std::istringstream ls{line};
-    std::string key;
-    ls >> key;
-    if (key == "shards") {
-      ls >> declared;
-    } else if (key == "range") {
-      shard_range r;
-      ls >> r.begin >> r.end >> r.first_block >> r.last_block;
-      if (!ls) return std::nullopt;
-      cp.ranges.push_back(r);
-    } else if (key == "watermark") {
-      ls >> cp.watermark;
-    }
-  }
-  if (cp.ranges.size() != declared) return std::nullopt;
-  return cp;
-}
-
-}  // namespace
-
-std::vector<shard_range> plan_shards(
-    const std::vector<chain::tx_receipt>& receipts, unsigned shards) {
+/// plan_shards over a sub-span [span_begin, span_end) of the receipt log —
+/// the primitive both initial planning and failure handoff splitting use.
+std::vector<shard_range> split_receipt_span(
+    const std::vector<chain::tx_receipt>& receipts, std::size_t span_begin,
+    std::size_t span_end, unsigned pieces) {
   std::vector<shard_range> plan;
-  if (receipts.empty() || shards == 0) return plan;
+  if (span_begin >= span_end || pieces == 0) return plan;
 
-  // Block boundaries: index of the first receipt of every block.
+  // Block boundaries: index of the first receipt of every block in span.
   std::vector<std::size_t> starts;
-  for (std::size_t i = 0; i < receipts.size(); ++i) {
-    if (i == 0 || receipts[i].block_number != receipts[i - 1].block_number) {
+  for (std::size_t i = span_begin; i < span_end; ++i) {
+    if (i == span_begin ||
+        receipts[i].block_number != receipts[i - 1].block_number) {
       starts.push_back(i);
     }
   }
 
-  const std::size_t per_shard =
-      (receipts.size() + shards - 1) / shards;  // receipts, not blocks
-  std::size_t begin = 0;
+  const std::size_t count = span_end - span_begin;
+  const std::size_t per_piece = (count + pieces - 1) / pieces;
+  std::size_t begin = span_begin;
   std::size_t next_start = 1;  // index into `starts`
-  while (begin < receipts.size()) {
-    const std::size_t want = begin + per_shard;
+  while (begin < span_end) {
+    const std::size_t want = begin + per_piece;
     // Advance to the first block boundary at or past the target, so the
     // cut never lands inside a block.
-    std::size_t end = receipts.size();
+    std::size_t end = span_end;
     while (next_start < starts.size()) {
       if (starts[next_start] >= want) {
         end = starts[next_start];
@@ -88,24 +60,29 @@ std::vector<shard_range> plan_shards(
   return plan;
 }
 
-std::vector<corpus_shard_plan> plan_corpus_shards(
-    const corpus::corpus_reader& corpus, unsigned shards) {
+/// plan_corpus_shards over a block-index sub-span [begin_block, end_block).
+/// `tx_base` is the absolute tx index of the span's first receipt, so the
+/// produced ranges stay in global tx-index coordinates.
+std::vector<corpus_shard_plan> split_corpus_span(
+    const corpus::corpus_reader& corpus, std::uint64_t begin_block,
+    std::uint64_t end_block, std::uint64_t tx_base, unsigned pieces) {
   std::vector<corpus_shard_plan> plan;
-  const std::uint64_t blocks = corpus.block_count();
-  if (blocks == 0 || shards == 0) return plan;
+  if (begin_block >= end_block || pieces == 0) return plan;
 
-  // Same policy as plan_shards: contiguous block-aligned spans of roughly
-  // equal transaction counts, cut at the first block boundary at or past
-  // each per-shard target. Planned from the 32-byte block records alone.
-  const std::uint64_t per_shard = (corpus.tx_count() + shards - 1) / shards;
-  std::uint64_t b = 0;
-  std::uint64_t txs_before = 0;
-  while (b < blocks) {
+  std::uint64_t span_txs = 0;
+  for (std::uint64_t b = begin_block; b < end_block; ++b) {
+    span_txs += corpus.block(b).tx_count;
+  }
+  const std::uint64_t per_piece =
+      std::max<std::uint64_t>(1, (span_txs + pieces - 1) / pieces);
+  std::uint64_t b = begin_block;
+  std::uint64_t txs_before = tx_base;
+  while (b < end_block) {
     corpus_shard_plan p;
     p.begin_block = b;
     p.range.begin = static_cast<std::size_t>(txs_before);
-    const std::uint64_t want = txs_before + per_shard;
-    while (b < blocks && txs_before < want) {
+    const std::uint64_t want = txs_before + per_piece;
+    while (b < end_block && txs_before < want) {
       txs_before += corpus.block(b).tx_count;
       ++b;
     }
@@ -116,6 +93,102 @@ std::vector<corpus_shard_plan> plan_corpus_shards(
     plan.push_back(p);
   }
   return plan;
+}
+
+constexpr int kFleetFormatVersion = 2;  // v2: checksummed + segment topology
+
+struct fleet_checkpoint_v2 {
+  std::vector<shard_range> plan;
+  std::uint64_t watermark = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t next_segment = 1;
+  struct seg {
+    std::uint64_t id = 0;
+    shard_range range;
+    std::uint64_t corpus_begin = 0, corpus_end = 0;
+    bool done = false;
+  };
+  std::vector<seg> segments;
+};
+
+std::optional<fleet_checkpoint_v2> parse_fleet_payload(
+    const std::string& payload) {
+  fleet_checkpoint_v2 cp;
+  bool version_ok = false;
+  std::size_t declared_slots = 0;
+  std::istringstream lines{payload};
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "leishen_fleet_v") {
+      version_ok = std::strtoull(value.c_str(), nullptr, 10) ==
+                   kFleetFormatVersion;
+    } else if (key == "slots") {
+      declared_slots = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "watermark") {
+      cp.watermark = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "handoffs") {
+      cp.handoffs = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "next_segment") {
+      cp.next_segment = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key.starts_with("plan.")) {
+      shard_range r;
+      std::istringstream vs{value};
+      if (!(vs >> r.begin >> r.end >> r.first_block >> r.last_block)) {
+        return std::nullopt;
+      }
+      cp.plan.push_back(r);
+    } else if (key.starts_with("segment.")) {
+      fleet_checkpoint_v2::seg s;
+      s.id = std::strtoull(key.c_str() + sizeof "segment." - 1, nullptr, 10);
+      int state = 0;
+      std::istringstream vs{value};
+      if (!(vs >> s.range.begin >> s.range.end >> s.range.first_block >>
+            s.range.last_block >> s.corpus_begin >> s.corpus_end >> state) ||
+          s.id == 0) {
+        return std::nullopt;
+      }
+      s.done = state == 2;
+      cp.segments.push_back(s);
+    }
+  }
+  if (!version_ok || cp.plan.size() != declared_slots) return std::nullopt;
+  if (cp.segments.empty()) return std::nullopt;
+  return cp;
+}
+
+/// Truncate a segment feed to the durable height: keep only records at or
+/// below `durable`, tolerating a torn trailing line (the crash footprint).
+/// Returns the surviving records in file order.
+std::vector<service::jsonl_sink::feed_record> truncate_feed(
+    const std::string& path, std::uint64_t durable) {
+  std::vector<service::jsonl_sink::feed_record> keep;
+  if (!std::filesystem::exists(path)) return keep;
+  for (service::jsonl_sink::feed_record& rec :
+       service::jsonl_sink::read_records(path, /*tolerate_torn_tail=*/true)) {
+    if (rec.incident.block_number <= durable) keep.push_back(std::move(rec));
+  }
+  std::ofstream out{path, std::ios::trunc};
+  for (const service::jsonl_sink::feed_record& rec : keep) {
+    out << service::jsonl_sink::to_json_line(rec.incident, rec.retract)
+        << '\n';
+  }
+  return keep;
+}
+
+}  // namespace
+
+std::vector<shard_range> plan_shards(
+    const std::vector<chain::tx_receipt>& receipts, unsigned shards) {
+  return split_receipt_span(receipts, 0, receipts.size(), shards);
+}
+
+std::vector<corpus_shard_plan> plan_corpus_shards(
+    const corpus::corpus_reader& corpus, unsigned shards) {
+  return split_corpus_span(corpus, 0, corpus.block_count(), 0, shards);
 }
 
 shard_coordinator::shard_coordinator(
@@ -129,19 +202,12 @@ shard_coordinator::shard_coordinator(
       corpus_{&corpus},
       store_{store},
       options_{std::move(options)} {
-  if (!options_.state_dir.empty()) {
-    std::filesystem::create_directories(options_.state_dir);
-  }
   for (const corpus_shard_plan& p :
        plan_corpus_shards(corpus, options_.shards)) {
     plan_.push_back(p.range);
-    auto s = std::make_unique<shard>();
-    s->range = p.range;
-    s->corpus_begin = p.begin_block;
-    s->corpus_end = p.end_block;
-    s->metrics = std::make_unique<service::metrics_registry>();
-    shards_.push_back(std::move(s));
   }
+  if (durable()) std::filesystem::create_directories(options_.state_dir);
+  build_fresh_segments();
 }
 
 shard_coordinator::shard_coordinator(
@@ -152,19 +218,34 @@ shard_coordinator::shard_coordinator(
     : creations_{creations},
       labels_{labels},
       weth_token_{weth_token},
+      receipts_{&receipts},
       store_{store},
       options_{std::move(options)},
       plan_{plan_shards(receipts, options_.shards)} {
-  if (!options_.state_dir.empty()) {
-    std::filesystem::create_directories(options_.state_dir);
-  }
-  for (const shard_range& r : plan_) {
-    auto s = std::make_unique<shard>();
-    s->range = r;
-    s->receipts.assign(receipts.begin() + static_cast<std::ptrdiff_t>(r.begin),
-                       receipts.begin() + static_cast<std::ptrdiff_t>(r.end));
-    s->metrics = std::make_unique<service::metrics_registry>();
-    shards_.push_back(std::move(s));
+  if (durable()) std::filesystem::create_directories(options_.state_dir);
+  build_fresh_segments();
+}
+
+void shard_coordinator::build_fresh_segments() {
+  segments_.clear();
+  next_segment_id_ = 1;
+  if (corpus_ != nullptr) {
+    for (const corpus_shard_plan& p :
+         plan_corpus_shards(*corpus_, options_.shards)) {
+      segment seg;
+      seg.id = next_segment_id_++;
+      seg.range = p.range;
+      seg.corpus_begin = p.begin_block;
+      seg.corpus_end = p.end_block;
+      segments_.emplace(seg.id, seg);
+    }
+  } else {
+    for (const shard_range& r : plan_) {
+      segment seg;
+      seg.id = next_segment_id_++;
+      seg.range = r;
+      segments_.emplace(seg.id, seg);
+    }
   }
 }
 
@@ -178,83 +259,165 @@ shard_coordinator::~shard_coordinator() {
       // is unobservable here either way.
     }
   }
+  // The store outlives the coordinator; never leave it pointing at a WAL
+  // writer that is about to be destroyed.
+  if (wal_) store_.attach_wal(nullptr);
 }
 
-std::string shard_coordinator::shard_feed_path(std::size_t i) const {
-  return options_.state_dir + "/shard-" + std::to_string(i) + ".jsonl";
+std::string shard_coordinator::segment_feed_path(std::uint64_t id) const {
+  return options_.state_dir + "/seg-" + std::to_string(id) + ".jsonl";
 }
 
-std::string shard_coordinator::shard_checkpoint_path(std::size_t i) const {
-  return options_.state_dir + "/shard-" + std::to_string(i) + ".ckpt";
+std::string shard_coordinator::segment_checkpoint_path(
+    std::uint64_t id) const {
+  return options_.state_dir + "/seg-" + std::to_string(id) + ".ckpt";
 }
 
 std::string shard_coordinator::fleet_checkpoint_path() const {
   return options_.state_dir + "/fleet.ckpt";
 }
 
+std::string shard_coordinator::wal_dir() const {
+  return options_.state_dir + "/wal";
+}
+
+void shard_coordinator::retract_store_range(std::uint64_t from_block,
+                                            std::uint64_t to_block) {
+  if (from_block > to_block) return;
+  store::incident_filter filter;
+  filter.from_block = from_block;
+  filter.to_block = to_block;
+  // Segment block ranges are disjoint, so everything in the window belongs
+  // to the segment being recovered. Retracting shrinks the result set, so
+  // page from the start until empty.
+  for (;;) {
+    const store::incident_page page = store_.query(filter, std::nullopt, 256);
+    if (page.items.empty()) break;
+    for (const store::stored_incident& item : page.items) {
+      store_.retract(item.incident);
+    }
+  }
+}
+
 bool shard_coordinator::resume() {
   if (started_) throw std::logic_error{"fleet: resume() after start()"};
-  if (options_.state_dir.empty()) return false;
-  const std::optional<fleet_checkpoint> cp =
-      load_fleet_checkpoint(fleet_checkpoint_path());
-  if (!cp) return false;
-  if (cp->ranges != plan_) {
+  if (!durable()) return false;
+
+  const std::string path = fleet_checkpoint_path();
+  const bool current_exists = std::filesystem::exists(path);
+  const bool prev_exists = std::filesystem::exists(path + ".prev");
+  if (!current_exists && !prev_exists) return false;
+
+  std::optional<fleet_checkpoint_v2> cp;
+  if (auto payload = service::load_checksummed_payload(path)) {
+    cp = parse_fleet_payload(*payload);
+  }
+  if (!cp) {
+    // Torn or corrupt current generation: fall back to the previous one —
+    // its feeds/checkpoints are still consistent with its topology.
+    if (auto payload = service::load_checksummed_payload(path + ".prev")) {
+      cp = parse_fleet_payload(*payload);
+    }
+  }
+  if (!cp) {
     throw std::runtime_error{
-        "fleet: checkpointed topology (" + std::to_string(cp->ranges.size()) +
+        "fleet: " + path +
+        " exists but fails validation on both generations — refusing to "
+        "silently reshard a half-finished run"};
+  }
+  if (cp->plan != plan_) {
+    throw std::runtime_error{
+        "fleet: checkpointed topology (" + std::to_string(cp->plan.size()) +
         " shards) does not match the planned " +
         std::to_string(plan_.size()) +
         " — resharding a half-finished run would orphan its feeds"};
   }
 
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    shard& s = *shards_[i];
-    const std::optional<service::checkpoint> shard_cp =
-        service::load_checkpoint(shard_checkpoint_path(i));
-    const std::uint64_t durable = shard_cp ? shard_cp->last_block : 0;
+  // Restore the segment topology — handoff splits included, so the resumed
+  // run continues the reassigned ranges instead of the original plan.
+  segments_.clear();
+  next_segment_id_ = cp->next_segment;
+  for (const fleet_checkpoint_v2::seg& s : cp->segments) {
+    segment seg;
+    seg.id = s.id;
+    seg.range = s.range;
+    seg.corpus_begin = s.corpus_begin;
+    seg.corpus_end = s.corpus_end;
+    seg.state = s.done ? segment_state::done : segment_state::pending;
+    segments_.emplace(seg.id, seg);
+    next_segment_id_ = std::max(next_segment_id_, s.id + 1);
+  }
+  handoffs_ = cp->handoffs;
 
-    // The feed may run ahead of the checkpoint (feed lines land before the
-    // next checkpoint cadence). Truncate it to the durable height first;
-    // the resumed monitor re-emits everything past it, so keeping the
-    // overhang would double every incident in the gap.
-    const std::string feed = shard_feed_path(i);
-    std::vector<service::jsonl_sink::feed_record> keep;
-    if (std::filesystem::exists(feed)) {
-      for (service::jsonl_sink::feed_record& rec :
-           service::jsonl_sink::read_records(feed)) {
-        if (rec.incident.block_number <= durable) {
-          keep.push_back(std::move(rec));
-        }
-      }
-      std::ofstream out{feed, std::ios::trunc};
-      for (const service::jsonl_sink::feed_record& rec : keep) {
-        out << service::jsonl_sink::to_json_line(rec.incident, rec.retract)
-            << '\n';
-      }
+  // Rebuild the store. Preferred path: replay the WAL — one sequential log
+  // instead of every feed. Either way each segment's feed is truncated to
+  // its durable checkpoint so the resumed monitors append the exact
+  // missing suffix.
+  const bool from_wal = options_.wal && store::wal_present(wal_dir());
+  if (from_wal) {
+    const store::wal_recovery rec = store::recover_wal(wal_dir(), store_);
+    store::wal_options wopts;
+    wopts.dir = wal_dir();
+    wopts.segment_max_bytes = options_.wal_segment_max_bytes;
+    wopts.fsync_every_n = options_.wal_fsync_every_n;
+    wal_ = std::make_unique<store::wal_writer>(wopts, rec.next_segment);
+    store_.attach_wal(wal_.get());
+  } else if (options_.wal) {
+    // WAL enabled for the first time over feed-era state: attach BEFORE
+    // the replay so the full store content bootstraps into the log.
+    store::wal_options wopts;
+    wopts.dir = wal_dir();
+    wopts.segment_max_bytes = options_.wal_segment_max_bytes;
+    wopts.fsync_every_n = options_.wal_fsync_every_n;
+    wal_ = std::make_unique<store::wal_writer>(wopts, 1);
+    store_.attach_wal(wal_.get());
+  }
+
+  for (auto& [id, seg] : segments_) {
+    const std::optional<service::checkpoint> seg_cp =
+        service::load_checkpoint(segment_checkpoint_path(id));
+    // A done segment's whole range is durable even when its checkpoint
+    // trails (checkpoints land every N blocks) or is lost: truncating its
+    // feed or retracting its tail would drop work nothing ever re-runs.
+    const std::uint64_t seg_durable =
+        seg.state == segment_state::done
+            ? seg.range.last_block
+            : (seg_cp ? seg_cp->last_block : 0);
+    const std::vector<service::jsonl_sink::feed_record> keep =
+        truncate_feed(segment_feed_path(id), seg_durable);
+    if (from_wal) {
+      // The WAL may run ahead of the checkpoint (it logs every mutation
+      // immediately); the resumed monitor will re-emit everything past the
+      // checkpoint, so retract the recovered overhang first. The
+      // retractions land in the new WAL, keeping log and store identical.
+      const std::uint64_t lo =
+          seg_durable >= seg.range.first_block ? seg_durable + 1
+                                               : seg.range.first_block;
+      retract_store_range(lo, seg.range.last_block);
+      continue;
     }
-    // Bulk-merge the surviving feed into the store: runs of emissions go
-    // through insert_batch (one lock, one version bump per run) and only a
-    // tombstone — rare — breaks a run, since it must observe the
-    // emissions before it.
+    // Feed replay: bulk-merge runs of emissions through insert_batch (one
+    // lock, one version bump per run); only a tombstone — rare — breaks a
+    // run, since it must observe the emissions before it.
     std::vector<service::monitor_incident> run;
     const auto flush_run = [this, &run] {
       store_.insert_batch(run);
       run.clear();
     };
-    for (service::jsonl_sink::feed_record& rec : keep) {
+    for (const service::jsonl_sink::feed_record& rec : keep) {
       if (rec.retract) {
         flush_run();
         if (!store_.retract(rec.incident)) {
           throw std::runtime_error{
-              "fleet: shard " + std::to_string(i) +
+              "fleet: segment " + std::to_string(id) +
               " feed tombstone with no matching emission (block " +
               std::to_string(rec.incident.block_number) + ")"};
         }
       } else {
-        run.push_back(std::move(rec.incident));
+        run.push_back(rec.incident);
       }
     }
     flush_run();
-    s.resumed_last_block = durable;
   }
   resumed_ = true;
   return true;
@@ -263,123 +426,617 @@ bool shard_coordinator::resume() {
 void shard_coordinator::start() {
   if (started_) throw std::logic_error{"fleet: one run per coordinator"};
   started_ = true;
-  if (!resumed_ && !options_.state_dir.empty()) {
+
+  if (!resumed_ && durable()) {
     // Fresh start over a dirty state dir: stale checkpoints would make the
-    // new monitors skip their prefixes against truncated feeds.
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      std::filesystem::remove(shard_checkpoint_path(i));
+    // new monitors skip their prefixes against truncated feeds, and a
+    // stale WAL would double the store on the next resume.
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator{options_.state_dir, ec}) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("seg-", 0) == 0) std::filesystem::remove(entry.path());
+    }
+    std::filesystem::remove_all(wal_dir(), ec);
+    if (options_.wal) {
+      store::wal_options wopts;
+      wopts.dir = wal_dir();
+      wopts.segment_max_bytes = options_.wal_segment_max_bytes;
+      wopts.fsync_every_n = options_.wal_fsync_every_n;
+      wal_ = std::make_unique<store::wal_writer>(wopts, 1);
+      store_.attach_wal(wal_.get());
     }
   }
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    shard& s = *shards_[i];
-    service::monitor_options mopts;
-    mopts.scan = options_.scan;
-    mopts.queue_capacity = options_.queue_capacity;
-    mopts.checkpoint_every = options_.checkpoint_every;
-    if (!options_.state_dir.empty()) {
-      mopts.checkpoint_path = shard_checkpoint_path(i);
+
+  {
+    const std::lock_guard lk{mu_};
+    // Fixed slots, one per planned shard; each picks pending segments in
+    // block order until none remain.
+    for (std::size_t i = 0; i < plan_.size(); ++i) {
+      auto sl = std::make_unique<slot_runtime>();
+      sl->index = i;
+      slots_.push_back(std::move(sl));
     }
-    s.monitor = std::make_unique<service::monitor_service>(
-        creations_, labels_, weth_token_, *s.metrics, std::move(mopts));
-    if (resumed_) s.monitor->resume_from_checkpoint();
-    if (!options_.state_dir.empty()) {
-      s.feed = std::make_unique<service::jsonl_sink>(
-          shard_feed_path(i), /*append=*/resumed_);
-      s.monitor->add_sink(*s.feed);
+    for (auto& sl : slots_) {
+      segment* next = nullptr;
+      for (auto& [id, seg] : segments_) {
+        if (seg.state != segment_state::pending) continue;
+        if (next == nullptr ||
+            seg.range.first_block < next->range.first_block) {
+          next = &seg;
+        }
+      }
+      if (next == nullptr) break;
+      start_segment_on_slot_locked(*sl, *next);
     }
-    s.sink = std::make_unique<store::store_sink>(store_);
-    s.monitor->add_sink(*s.sink);
-    if (corpus_ != nullptr) {
-      corpus::corpus_source_options copts;
-      // Header-only decode of prefilter rejects is only sound when the
-      // scanner actually runs its prefilter; otherwise decode everything.
-      copts.prefilter_skip_payload = options_.scan.prefilter;
-      s.corpus_source = std::make_unique<corpus::corpus_block_source>(
-          *corpus_, s.corpus_begin, s.corpus_end, copts);
-      if (resumed_) s.corpus_source->skip_to_block(s.resumed_last_block);
-      s.monitor->start(*s.corpus_source);
-    } else {
-      s.source = std::make_unique<service::simulated_block_source>(s.receipts);
-      s.monitor->start(*s.source);
-    }
+    // The topology goes durable at start, not only at a clean finish — a
+    // fleet killed mid-run must still be resumable.
+    if (durable()) write_fleet_checkpoint_locked();
   }
-  // The topology goes durable at start, not only at a clean finish — a
-  // fleet killed mid-run must still be resumable (wait() refreshes the
-  // watermark on a clean finish).
-  if (!options_.state_dir.empty()) write_fleet_checkpoint();
+
+  supervisor_ = std::thread{[this] { supervise(); }};
 }
 
 void shard_coordinator::request_stop() {
-  for (const auto& s : shards_) {
-    if (s->monitor) s->monitor->request_stop();
+  stop_.store(true, std::memory_order_release);
+  const std::lock_guard lk{mu_};
+  for (auto& sl : slots_) {
+    if (sl->monitor) sl->monitor->request_stop();
   }
 }
 
 void shard_coordinator::wait() {
   if (!started_ || finished_) return;
-  std::exception_ptr first_error;
-  for (const auto& s : shards_) {
-    if (!s->monitor) continue;
-    try {
-      s->monitor->wait();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
+  if (supervisor_.joinable()) supervisor_.join();
+  {
+    // The fatal path ends supervision with the monitors merely asked to
+    // stop. Join them before the run is declared finished: a worker still
+    // draining its queue past this point would keep advancing its feed and
+    // checkpoint after the destructor detaches the WAL, leaving durable
+    // state ahead of the log — a silent hole on the next resume.
+    const std::lock_guard lk{mu_};
+    for (auto& slp : slots_) join_slot_locked(*slp);
   }
   finished_ = true;
-  if (!options_.state_dir.empty()) write_fleet_checkpoint();
-  if (first_error) std::rethrow_exception(first_error);
+  {
+    const std::lock_guard lk{mu_};
+    if (durable()) write_fleet_checkpoint_locked();
+    if (fatal_error_) std::rethrow_exception(fatal_error_);
+  }
+}
+
+void shard_coordinator::supervise() {
+  for (;;) {
+    bool done = false;
+    try {
+      const std::lock_guard lk{mu_};
+      done = tick_locked();
+    } catch (...) {
+      // A recovery step itself failed (a faulted disk during feed
+      // truncation or store retraction, a corrupt feed): the run cannot
+      // be healed from inside — record the error and end the run so the
+      // operator's resume gets a chance instead of the process dying.
+      const std::lock_guard lk{mu_};
+      if (!fatal_error_) fatal_error_ = std::current_exception();
+      for (auto& sl : slots_) {
+        if (sl->monitor) sl->monitor->request_stop();
+      }
+      return;
+    }
+    if (done) return;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds{options_.heartbeat_interval_ms});
+  }
+}
+
+void shard_coordinator::join_slot_locked(slot_runtime& sl) {
+  if (sl.joined || !sl.monitor) return;
+  sl.joined = true;
+  try {
+    sl.monitor->wait();
+  } catch (...) {
+    // The failure already shows as run_state::failed; recovery or handoff
+    // decides what happens next. Remember the error in case supervision
+    // cannot absorb it — an absorbed failure must NOT leak out of wait().
+    last_failure_ = std::current_exception();
+  }
+}
+
+bool shard_coordinator::tick_locked() {
+  const bool stopping = stop_.load(std::memory_order_acquire);
+  const auto now = std::chrono::steady_clock::now();
+
+  for (auto& slp : slots_) {
+    slot_runtime& sl = *slp;
+    if (sl.dead || sl.segment_id == 0) continue;
+    auto seg_it = segments_.find(sl.segment_id);
+    segment& seg = seg_it->second;
+
+    if (sl.recovering) {
+      if (stopping) {
+        // Abandon the restart: the segment's durable state is already
+        // consistent (recover happens at restart time), so it simply goes
+        // back on the pending queue for a future resume.
+        seg.state = segment_state::pending;
+        sl.segment_id = 0;
+        sl.recovering = false;
+        continue;
+      }
+      if (now < sl.restart_at) continue;
+      recover_to_durable_locked(sl, seg);
+      ++restarts_;
+      sl.recovering = false;
+      start_segment_on_slot_locked(sl, seg);
+      continue;
+    }
+
+    if (!sl.monitor) continue;
+    const service::run_state st = sl.monitor->state();
+    if (st == service::run_state::running ||
+        st == service::run_state::idle) {
+      sl.last_progress = sl.monitor->progress();
+      continue;
+    }
+
+    join_slot_locked(sl);
+    if (st == service::run_state::done) {
+      if (sl.monitor->last_block() >= seg.range.last_block) {
+        seg.state = segment_state::done;
+        if (durable()) write_fleet_checkpoint_locked();
+      } else {
+        // Graceful stop mid-range: progress is durable in the segment
+        // checkpoint; the segment resumes as pending next run.
+        seg.state = segment_state::pending;
+      }
+      sl.segment_id = 0;
+      continue;
+    }
+
+    // failed
+    if (!durable()) {
+      // No durable state to recover from: in-memory failures are fatal
+      // (the monitor's own internal restarts already ran their course).
+      sl.dead = true;
+      sl.segment_id = 0;
+      seg.state = segment_state::pending;
+      if (!fatal_error_) {
+        fatal_error_ =
+            last_failure_ ? last_failure_
+                          : std::make_exception_ptr(std::runtime_error{
+                                "fleet: shard " + std::to_string(sl.index) +
+                                " failed with no state dir to recover from"});
+      }
+      continue;
+    }
+    if (stopping) {
+      seg.state = segment_state::pending;
+      sl.segment_id = 0;
+      continue;
+    }
+    if (sl.restarts_used < options_.restart_budget) {
+      // Schedule the restart with exponential backoff; recovery itself
+      // runs at the scheduled time.
+      sl.recovering = true;
+      sl.restart_at =
+          now + std::chrono::milliseconds{options_.backoff_base_ms
+                                          << sl.restarts_used};
+      ++sl.restarts_used;
+      continue;
+    }
+    handoff_locked(sl, seg);
+  }
+
+  // Assign pending segments to idle, alive slots (never while stopping).
+  if (!stopping) {
+    for (auto& slp : slots_) {
+      slot_runtime& sl = *slp;
+      if (sl.dead || sl.recovering || sl.segment_id != 0) continue;
+      segment* next = nullptr;
+      for (auto& [id, seg] : segments_) {
+        if (seg.state != segment_state::pending) continue;
+        if (next == nullptr ||
+            seg.range.first_block < next->range.first_block) {
+          next = &seg;
+        }
+      }
+      if (next == nullptr) break;
+      start_segment_on_slot_locked(sl, *next);
+    }
+  }
+
+  bool any_running = false;
+  for (const auto& slp : slots_) {
+    if (slp->segment_id != 0) any_running = true;
+  }
+  if (stopping) return !any_running;
+
+  bool any_pending = false;
+  for (const auto& [id, seg] : segments_) {
+    if (seg.state != segment_state::done) any_pending = true;
+  }
+  if (!any_running && !any_pending) return true;  // clean finish
+  if (!any_running && any_pending) {
+    bool any_alive = false;
+    for (const auto& slp : slots_) {
+      if (!slp->dead) any_alive = true;
+    }
+    if (!any_alive) {
+      if (!fatal_error_) {
+        fatal_error_ = std::make_exception_ptr(std::runtime_error{
+            "fleet: every shard exhausted its restart budget with work "
+            "remaining"});
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void shard_coordinator::start_segment_on_slot_locked(slot_runtime& sl,
+                                                     segment& seg) {
+  // Retire the previous completed stack's counters before replacing it, so
+  // merged_counters keeps counting finished segments.
+  if (sl.metrics) {
+    for (const auto& [name, value] : sl.metrics->counter_snapshot()) {
+      sl.retired_counters[name] += value;
+    }
+  }
+  if (sl.sink) sl.retired_forwarded += sl.sink->forwarded();
+  sl.monitor.reset();
+  sl.feed.reset();
+  sl.sink.reset();
+  sl.source.reset();
+  sl.corpus_source.reset();
+  sl.metrics = std::make_unique<service::metrics_registry>();
+
+  seg.state = segment_state::running;
+  sl.segment_id = seg.id;
+  sl.joined = false;
+
+  service::monitor_options mopts;
+  mopts.scan = options_.scan;
+  mopts.queue_capacity = options_.queue_capacity;
+  mopts.checkpoint_every = options_.checkpoint_every;
+  if (durable()) {
+    mopts.checkpoint_path = segment_checkpoint_path(seg.id);
+    // Supervised shards surface every failure to the coordinator: its
+    // segment-level recovery is lossless (feed truncation + store
+    // retraction + checkpoint resume), while the monitor's internal
+    // restart would silently lose the in-flight block.
+    mopts.max_worker_restarts = 0;
+  }
+  if (options_.post_block_hook) {
+    mopts.post_block_hook = [hook = options_.post_block_hook,
+                             slot = sl.index](std::uint64_t block) {
+      hook(slot, block);
+    };
+  }
+  sl.monitor = std::make_unique<service::monitor_service>(
+      creations_, labels_, weth_token_, *sl.metrics, std::move(mopts));
+  const bool armed = durable() && sl.monitor->resume_from_checkpoint();
+  if (durable()) {
+    sl.feed = std::make_unique<service::jsonl_sink>(
+        segment_feed_path(seg.id), /*append=*/armed,
+        options_.feed_fsync_every_n);
+    sl.monitor->add_sink(*sl.feed);
+  }
+  sl.sink = std::make_unique<store::store_sink>(store_);
+  sl.monitor->add_sink(*sl.sink);
+
+  if (corpus_ != nullptr) {
+    corpus::corpus_source_options copts;
+    // Header-only decode of prefilter rejects is only sound when the
+    // scanner actually runs its prefilter; otherwise decode everything.
+    copts.prefilter_skip_payload = options_.scan.prefilter;
+    sl.corpus_source = std::make_unique<corpus::corpus_block_source>(
+        *corpus_, seg.corpus_begin, seg.corpus_end, copts);
+    if (armed) sl.corpus_source->skip_to_block(sl.monitor->last_block());
+    sl.monitor->start(*sl.corpus_source);
+  } else {
+    sl.receipts.assign(
+        receipts_->begin() + static_cast<std::ptrdiff_t>(seg.range.begin),
+        receipts_->begin() + static_cast<std::ptrdiff_t>(seg.range.end));
+    sl.source = std::make_unique<service::simulated_block_source>(sl.receipts);
+    sl.monitor->start(*sl.source);
+  }
+  sl.last_progress = sl.monitor->progress();
+}
+
+std::uint64_t shard_coordinator::recover_to_durable_locked(slot_runtime& sl,
+                                                           segment& seg) {
+  join_slot_locked(sl);
+  const std::optional<service::checkpoint> cp =
+      service::load_checkpoint(segment_checkpoint_path(seg.id));
+  const std::uint64_t seg_durable = cp ? cp->last_block : 0;
+  truncate_feed(segment_feed_path(seg.id), seg_durable);
+  // The store holds whatever the dead run fanned in beyond its checkpoint;
+  // the restarted monitor re-emits all of it, so retract the overhang
+  // (logged to the WAL when one is attached).
+  const std::uint64_t lo = seg_durable >= seg.range.first_block
+                               ? seg_durable + 1
+                               : seg.range.first_block;
+  retract_store_range(lo, seg.range.last_block);
+  // Tear the stack down; metrics are NOT retired — checkpoint resume adds
+  // the durable counter snapshot back into the fresh registry, and folding
+  // the live one would double-count everything up to the checkpoint.
+  sl.monitor.reset();
+  sl.feed.reset();
+  sl.sink.reset();
+  sl.source.reset();
+  sl.corpus_source.reset();
+  sl.metrics.reset();
+  return seg_durable;
+}
+
+void shard_coordinator::handoff_locked(slot_runtime& sl, segment& seg) {
+  const std::uint64_t seg_durable = recover_to_durable_locked(sl, seg);
+  sl.dead = true;
+  sl.segment_id = 0;
+
+  unsigned alive = 0;
+  for (const auto& slp : slots_) {
+    if (!slp->dead) ++alive;
+  }
+  const unsigned pieces = std::max(1u, alive);
+
+  if (seg_durable < seg.range.first_block) {
+    // Nothing durable: the whole segment goes back on the pending queue
+    // for a survivor to run from scratch.
+    seg.state = segment_state::pending;
+  } else {
+    // Split at the dead shard's checkpoint: shrink the segment to its
+    // durable prefix (complete, feed and checkpoint agree) and cut the
+    // remainder into fresh segments for the survivors.
+    const shard_range old = seg.range;
+    const std::uint64_t old_corpus_end = seg.corpus_end;
+    std::vector<segment> remainder;
+    if (corpus_ != nullptr) {
+      std::uint64_t b = seg.corpus_begin;
+      std::uint64_t txs = seg.range.begin;
+      while (b < old_corpus_end && corpus_->block(b).number <= seg_durable) {
+        txs += corpus_->block(b).tx_count;
+        ++b;
+      }
+      seg.corpus_end = b;
+      seg.range.end = static_cast<std::size_t>(txs);
+      seg.range.last_block = seg_durable;
+      for (const corpus_shard_plan& p :
+           split_corpus_span(*corpus_, b, old_corpus_end, txs, pieces)) {
+        segment ns;
+        ns.range = p.range;
+        ns.corpus_begin = p.begin_block;
+        ns.corpus_end = p.end_block;
+        remainder.push_back(ns);
+      }
+    } else {
+      std::size_t cut = seg.range.begin;
+      while (cut < old.end && (*receipts_)[cut].block_number <= seg_durable) {
+        ++cut;
+      }
+      seg.range.end = cut;
+      seg.range.last_block = seg_durable;
+      for (const shard_range& r :
+           split_receipt_span(*receipts_, cut, old.end, pieces)) {
+        segment ns;
+        ns.range = r;
+        remainder.push_back(ns);
+      }
+    }
+    seg.state = segment_state::done;
+    for (segment& ns : remainder) {
+      ns.id = next_segment_id_++;
+      ns.state = segment_state::pending;
+      // A fresh id can still collide with stale files from an older run's
+      // dirty dir; make sure the new segment starts clean.
+      std::filesystem::remove(segment_feed_path(ns.id));
+      std::filesystem::remove(segment_checkpoint_path(ns.id));
+      std::filesystem::remove(segment_checkpoint_path(ns.id) + ".prev");
+      segments_.emplace(ns.id, ns);
+    }
+  }
+  ++handoffs_;
+  if (durable()) write_fleet_checkpoint_locked();
+}
+
+std::uint64_t shard_coordinator::segment_durable(const segment& seg) const {
+  if (durable()) {
+    const std::optional<service::checkpoint> cp =
+        service::load_checkpoint(segment_checkpoint_path(seg.id));
+    return cp ? cp->last_block : 0;
+  }
+  // In-memory: durable == processed, but only once the run finished.
+  if (finished_ && seg.state == segment_state::done) {
+    return seg.range.last_block;
+  }
+  return 0;
+}
+
+std::uint64_t shard_coordinator::watermark_locked() const {
+  // Walk the segments in block order: advance through fully-durable ones,
+  // stop inside the first partial one. Handoff keeps ranges disjoint and
+  // contiguous, so the walk visits every height exactly once.
+  std::vector<const segment*> ordered;
+  ordered.reserve(segments_.size());
+  for (const auto& [id, seg] : segments_) ordered.push_back(&seg);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const segment* a, const segment* b) {
+              return a->range.first_block < b->range.first_block;
+            });
+  std::uint64_t w = 0;
+  for (const segment* seg : ordered) {
+    const std::uint64_t d = segment_durable(*seg);
+    if (d >= seg->range.last_block) {
+      w = seg->range.last_block;
+      continue;
+    }
+    if (d >= seg->range.first_block) w = d;
+    break;
+  }
+  return w;
 }
 
 std::uint64_t shard_coordinator::committed_watermark() const {
-  std::uint64_t watermark = UINT64_MAX;
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    std::uint64_t durable = 0;
-    if (!options_.state_dir.empty()) {
-      const std::optional<service::checkpoint> cp =
-          service::load_checkpoint(shard_checkpoint_path(i));
-      if (cp) durable = cp->last_block;
-    } else if (finished_ && shards_[i]->monitor) {
-      durable = shards_[i]->monitor->last_block();
-    }
-    watermark = std::min(watermark, durable);
+  const std::lock_guard lk{mu_};
+  return watermark_locked();
+}
+
+service::metrics_registry& shard_coordinator::shard_metrics(std::size_t i) {
+  const std::lock_guard lk{mu_};
+  if (i >= slots_.size() || !slots_[i]->metrics) {
+    throw std::out_of_range{"fleet: slot has no live registry"};
   }
-  return shards_.empty() || watermark == UINT64_MAX ? 0 : watermark;
+  return *slots_[i]->metrics;
 }
 
 std::map<std::string, std::uint64_t> shard_coordinator::merged_counters()
     const {
+  const std::lock_guard lk{mu_};
   std::map<std::string, std::uint64_t> merged;
-  for (const auto& s : shards_) {
-    for (const auto& [name, value] : s->metrics->counter_snapshot()) {
+  for (const auto& sl : slots_) {
+    for (const auto& [name, value] : sl->retired_counters) {
       merged[name] += value;
+    }
+    if (sl->metrics) {
+      for (const auto& [name, value] : sl->metrics->counter_snapshot()) {
+        merged[name] += value;
+      }
     }
   }
   return merged;
 }
 
 std::uint64_t shard_coordinator::incidents_forwarded() const {
+  const std::lock_guard lk{mu_};
   std::uint64_t n = 0;
-  for (const auto& s : shards_) {
-    if (s->sink) n += s->sink->forwarded();
+  for (const auto& sl : slots_) {
+    n += sl->retired_forwarded;
+    if (sl->sink) n += sl->sink->forwarded();
   }
   return n;
 }
 
-void shard_coordinator::write_fleet_checkpoint() const {
-  const std::string path = fleet_checkpoint_path();
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out{tmp, std::ios::trunc};
-    out << kFleetMagic << '\n';
-    out << "shards " << plan_.size() << '\n';
-    for (const shard_range& r : plan_) {
-      out << "range " << r.begin << ' ' << r.end << ' ' << r.first_block
-          << ' ' << r.last_block << '\n';
+std::uint64_t shard_coordinator::handoffs() const {
+  const std::lock_guard lk{mu_};
+  return handoffs_;
+}
+
+std::uint64_t shard_coordinator::restarts() const {
+  const std::lock_guard lk{mu_};
+  return restarts_;
+}
+
+fleet_health shard_coordinator::health_locked() const {
+  fleet_health h;
+  h.watermark = watermark_locked();
+  h.handoffs = handoffs_;
+  h.restarts = restarts_;
+  for (const auto& [id, seg] : segments_) {
+    switch (seg.state) {
+      case segment_state::pending: ++h.segments_pending; break;
+      case segment_state::running: ++h.segments_running; break;
+      case segment_state::done: ++h.segments_done; break;
     }
-    out << "watermark " << committed_watermark() << '\n';
   }
-  std::filesystem::rename(tmp, path);
+  if (wal_) {
+    h.wal_appended = wal_->appended();
+    h.wal_fsyncs = wal_->fsyncs();
+    h.wal_rotations = wal_->rotations();
+    h.wal_lag_records = wal_->lag_records();
+  }
+  bool any_alive = false;
+  for (const auto& slp : slots_) {
+    const slot_runtime& sl = *slp;
+    if (!sl.dead) any_alive = true;
+    slot_health sh;
+    sh.slot = sl.index;
+    sh.segment = sl.segment_id;
+    sh.alive = !sl.dead;
+    sh.restarts = sl.restarts_used;
+    if (sl.dead) {
+      sh.state = "dead";
+    } else if (sl.recovering) {
+      sh.state = "recovering";
+    } else if (!sl.monitor) {
+      sh.state = "idle";
+    } else {
+      switch (sl.monitor->state()) {
+        case service::run_state::idle: sh.state = "idle"; break;
+        case service::run_state::running: sh.state = "running"; break;
+        case service::run_state::done: sh.state = "done"; break;
+        case service::run_state::failed: sh.state = "failed"; break;
+      }
+      sh.progress = sl.monitor->progress();
+      sh.queue_depth = sl.monitor->queue().size();
+    }
+    h.slots.push_back(std::move(sh));
+  }
+  const bool all_done = h.segments_pending == 0 && h.segments_running == 0;
+  h.ready = started_ && fatal_error_ == nullptr && (all_done || any_alive);
+  return h;
+}
+
+fleet_health shard_coordinator::health() const {
+  const std::lock_guard lk{mu_};
+  return health_locked();
+}
+
+bool shard_coordinator::ready() const {
+  const std::lock_guard lk{mu_};
+  return health_locked().ready;
+}
+
+std::string shard_coordinator::health_json() const {
+  const fleet_health h = health();
+  std::string out = "{\"ready\":";
+  out += h.ready ? "true" : "false";
+  out += ",\"watermark\":" + std::to_string(h.watermark);
+  out += ",\"handoffs\":" + std::to_string(h.handoffs);
+  out += ",\"restarts\":" + std::to_string(h.restarts);
+  out += ",\"segments\":{\"pending\":" + std::to_string(h.segments_pending) +
+         ",\"running\":" + std::to_string(h.segments_running) +
+         ",\"done\":" + std::to_string(h.segments_done) + "}";
+  out += ",\"wal\":{\"appended\":" + std::to_string(h.wal_appended) +
+         ",\"fsyncs\":" + std::to_string(h.wal_fsyncs) +
+         ",\"rotations\":" + std::to_string(h.wal_rotations) +
+         ",\"lag_records\":" + std::to_string(h.wal_lag_records) + "}";
+  out += ",\"shards\":[";
+  for (std::size_t i = 0; i < h.slots.size(); ++i) {
+    const slot_health& sh = h.slots[i];
+    if (i > 0) out += ",";
+    out += "{\"slot\":" + std::to_string(sh.slot);
+    out += ",\"segment\":" + std::to_string(sh.segment);
+    out += ",\"alive\":";
+    out += sh.alive ? "true" : "false";
+    out += ",\"state\":\"" + json::escape(sh.state) + "\"";
+    out += ",\"progress\":" + std::to_string(sh.progress);
+    out += ",\"restarts\":" + std::to_string(sh.restarts);
+    out += ",\"queue_depth\":" + std::to_string(sh.queue_depth) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void shard_coordinator::write_fleet_checkpoint_locked() const {
+  std::ostringstream os;
+  os << "leishen_fleet_v=" << kFleetFormatVersion << "\n";
+  os << "slots=" << plan_.size() << "\n";
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    const shard_range& r = plan_[i];
+    os << "plan." << i << "=" << r.begin << ' ' << r.end << ' '
+       << r.first_block << ' ' << r.last_block << "\n";
+  }
+  os << "next_segment=" << next_segment_id_ << "\n";
+  os << "handoffs=" << handoffs_ << "\n";
+  os << "watermark=" << watermark_locked() << "\n";
+  for (const auto& [id, seg] : segments_) {
+    // `running` persists as pending (0): liveness is a per-run property,
+    // and a resumed run re-arms the segment from its own checkpoint.
+    const int state = seg.state == segment_state::done ? 2 : 0;
+    os << "segment." << id << "=" << seg.range.begin << ' ' << seg.range.end
+       << ' ' << seg.range.first_block << ' ' << seg.range.last_block << ' '
+       << seg.corpus_begin << ' ' << seg.corpus_end << ' ' << state << "\n";
+  }
+  service::save_checksummed_file(fleet_checkpoint_path(), os.str());
 }
 
 }  // namespace leishen::fleet

@@ -1,32 +1,57 @@
-// Sharded monitor fleet: N monitor_service instances over disjoint block
-// ranges, fanning incidents into one shared incident_store.
+// Self-healing sharded monitor fleet: N monitor_service instances over
+// disjoint block ranges, fanning incidents into one shared incident_store,
+// supervised by a coordinator that detects shard failure and hands work
+// off to survivors.
 //
 // Partitioning (`plan_shards`) slices the receipt log into contiguous
 // block ranges of roughly equal receipt counts, never splitting a block —
 // a block is the unit the monitor ingests, checkpoints and rolls back, so
-// splitting one would break all three. Each shard owns its whole stack:
-// metrics registry (resume ADDS the checkpointed counter snapshot into the
-// registry, so shards must not share one), monitor, simulated source over
-// its receipt slice, a durable JSONL feed, and a store_sink into the
-// shared store. The store's canonical (block, tx, id) order makes the
-// nondeterministic cross-shard fan-in interleaving invisible: a fleet
-// store enumerates bit-identically to a serial single-monitor run.
+// splitting one would break all three. The unit of supervised work is the
+// *segment*: a block range with its own durable feed (`seg-<id>.jsonl`)
+// and v3 checkpoint (`seg-<id>.ckpt`). The fleet starts with one segment
+// per planned shard; failure handoff splits the unfinished remainder of a
+// dead shard's segment into new segments, so the set grows over a run.
+// Each of the fixed *slots* (= planned shard count) runs one segment at a
+// time through its own stack: metrics registry (resume ADDS the
+// checkpointed counter snapshot into the registry, so slots must not
+// share one), monitor, source over the segment's slice, feed sink, and a
+// store_sink into the shared store. The store's canonical (block, tx, id)
+// order makes the nondeterministic cross-shard fan-in interleaving
+// invisible: a fleet store enumerates bit-identically to a serial
+// single-monitor run — including runs with restarts and handoffs.
 //
-// Consistent checkpointing: each shard checkpoints independently (v3
-// monitor checkpoints, reorg journal included); the fleet-level
-// `committed_watermark()` is the minimum durable per-shard position — the
-// block height up to which EVERY shard's incidents are both in its feed
-// and recoverable. `wait()` writes a fleet.ckpt summary naming the shard
-// count, ranges and watermark; `resume()` validates the topology against
-// it (resharding a half-finished run would orphan feed suffixes), replays
-// the per-shard feeds into the fresh store, arms each monitor's
-// checkpoint resume, and the restarted fleet appends the exact missing
-// suffix — bit-identical to a never-killed run.
+// Supervision (DESIGN.md §14): a heartbeat thread polls each slot's
+// monitor (run_state + progress watermark). A failed monitor is joined
+// and its segment recovered losslessly — feed truncated to the durable
+// checkpoint, the store's overhang for the segment's block range
+// retracted, a fresh stack resumed from the checkpoint — with exponential
+// backoff, up to `restart_budget` restarts per slot. Past the budget the
+// slot's circuit opens: the segment is shrunk to its durable watermark
+// (marked done) and the remainder is split into new pending segments for
+// the surviving slots. When every slot is dead with work remaining, the
+// run fails and `wait()` rethrows.
+//
+// Durability: `committed_watermark()` walks the segments in block order
+// and returns the height up to which the fleet's output is contiguously
+// durable. `fleet.ckpt` (v2, FNV-1a checksummed with a `.prev` fallback
+// generation) records the plan AND the live segment topology, so a
+// killed-and-resumed run replays handoff reassignments instead of
+// resharding; a fleet.ckpt that fails validation on both generations
+// throws rather than silently starting fresh. With `wal` enabled every
+// store mutation is also logged to `state_dir`/wal (see store/wal.h) and
+// a crashed fleet host rebuilds its store from the WAL instead of
+// replaying every feed.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "chain/receipt.h"
@@ -37,6 +62,7 @@
 #include "service/monitor_service.h"
 #include "store/incident_store.h"
 #include "store/store_sink.h"
+#include "store/wal.h"
 
 namespace leishen::fleet {
 
@@ -78,9 +104,61 @@ struct fleet_options {
   std::size_t queue_capacity = 64;
   /// Per-shard checkpoint cadence in blocks (0 = only on shutdown).
   std::uint64_t checkpoint_every = 4;
-  /// Durable state directory (per-shard feeds + checkpoints + fleet.ckpt);
-  /// empty = in-memory only, resume unavailable.
+  /// Durable state directory (per-segment feeds + checkpoints, fleet.ckpt,
+  /// the WAL); empty = in-memory only, resume and failure recovery
+  /// unavailable (a shard failure is then fatal to the run).
   std::string state_dir;
+
+  // --- supervision ---
+  /// Times one slot's monitor is torn down and restarted from its segment
+  /// checkpoint before the slot's circuit opens and its remaining range is
+  /// handed off to the surviving slots.
+  int restart_budget = 2;
+  /// Supervisor poll cadence.
+  std::uint64_t heartbeat_interval_ms = 10;
+  /// Restart backoff: attempt k waits backoff_base_ms * 2^k.
+  std::uint64_t backoff_base_ms = 5;
+
+  // --- durability ---
+  /// Log every store mutation to `state_dir`/wal (see store/wal.h); a
+  /// resumed fleet then rebuilds the store from the WAL instead of
+  /// replaying feeds. Requires a state_dir.
+  bool wal = false;
+  std::uint64_t wal_fsync_every_n = 1;
+  std::uint64_t wal_segment_max_bytes = 1u << 20;
+  /// Per-segment feed fsync cadence (0 = OS page cache, the default).
+  std::uint64_t feed_fsync_every_n = 0;
+
+  /// Chaos-harness hook, fired by slot `slot`'s worker after each
+  /// fully-processed block (may throw simulated_kill). Null in production.
+  std::function<void(std::size_t slot, std::uint64_t block)> post_block_hook;
+};
+
+/// One slot's entry in the fleet health report.
+struct slot_health {
+  std::size_t slot = 0;
+  std::uint64_t segment = 0;  // segment id being run; 0 = idle
+  bool alive = true;          // restart budget not exhausted
+  std::string state;          // idle|running|recovering|done|failed|dead
+  std::uint64_t progress = 0;
+  int restarts = 0;
+  std::size_t queue_depth = 0;
+};
+
+struct fleet_health {
+  bool ready = false;
+  std::uint64_t watermark = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t segments_pending = 0;
+  std::uint64_t segments_running = 0;
+  std::uint64_t segments_done = 0;
+  // WAL counters (all 0 when the WAL is off).
+  std::uint64_t wal_appended = 0;
+  std::uint64_t wal_fsyncs = 0;
+  std::uint64_t wal_rotations = 0;
+  std::uint64_t wal_lag_records = 0;
+  std::vector<slot_health> slots;
 };
 
 class shard_coordinator {
@@ -111,22 +189,27 @@ class shard_coordinator {
   shard_coordinator(const shard_coordinator&) = delete;
   shard_coordinator& operator=(const shard_coordinator&) = delete;
 
-  /// Resume a killed fleet from `state_dir`: validates the topology
-  /// against fleet.ckpt, replays every shard feed into the (fresh) store,
-  /// and arms per-shard checkpoint resume. Returns false (fresh start)
-  /// when no fleet.ckpt exists. Throws std::runtime_error when the shard
-  /// count or ranges changed. Call before `start`.
+  /// Resume a killed fleet from `state_dir`: validates the plan against
+  /// fleet.ckpt (falling back to fleet.ckpt.prev when the current file is
+  /// torn; throws when BOTH generations fail validation), restores the
+  /// segment topology — handoff splits included — rebuilds the store (from
+  /// the WAL when present and enabled, else by replaying segment feeds),
+  /// and arms per-segment checkpoint resume. Returns false (fresh start)
+  /// when no fleet checkpoint exists. Throws std::runtime_error when the
+  /// planned shard count or ranges changed. Call before `start`.
   bool resume();
 
-  /// Spawn every shard's monitor. One run per coordinator.
+  /// Spawn every slot's monitor and the supervisor. One run per
+  /// coordinator.
   void start();
 
-  /// Graceful stop: every shard stops ingesting and drains. Never blocks.
+  /// Graceful stop: every slot stops ingesting and drains; pending
+  /// segments stay pending (a resume picks them up). Never blocks.
   void request_stop();
 
-  /// Join all shards, flush feeds, write per-shard final checkpoints and
-  /// the fleet.ckpt summary. Rethrows the first shard failure (after all
-  /// shards are joined).
+  /// Join the supervisor (which joins every monitor), write the fleet
+  /// checkpoint, and rethrow the run's fatal error if it had one (a shard
+  /// failure the supervision could not absorb).
   void wait();
 
   void run() {
@@ -141,49 +224,114 @@ class shard_coordinator {
     return plan_.size();
   }
 
-  /// Lowest fully-processed block across all shards — the height up to
-  /// which the whole fleet's output is complete. Live monitors are
-  /// consulted after `wait()`; before any run, resumed checkpoints.
+  /// Height up to which the fleet's output is contiguously durable: walks
+  /// the segments in block order, advancing through fully-durable ones and
+  /// stopping inside the first partial one.
   [[nodiscard]] std::uint64_t committed_watermark() const;
 
-  /// One shard's registry (api/diagnostics).
-  [[nodiscard]] service::metrics_registry& shard_metrics(std::size_t i) {
-    return *shards_[i]->metrics;
-  }
+  /// One slot's live registry (diagnostics; throws when the slot has no
+  /// running stack).
+  [[nodiscard]] service::metrics_registry& shard_metrics(std::size_t i);
 
-  /// Sum of every shard's counters (fleet-level /metrics view).
+  /// Sum of every slot's counters, finished segments included
+  /// (fleet-level /metrics view).
   [[nodiscard]] std::map<std::string, std::uint64_t> merged_counters() const;
 
   [[nodiscard]] std::uint64_t incidents_forwarded() const;
 
+  /// Budget-exhaustion handoffs performed this run.
+  [[nodiscard]] std::uint64_t handoffs() const;
+  /// Supervised in-place restarts performed this run.
+  [[nodiscard]] std::uint64_t restarts() const;
+
+  /// Liveness / readiness snapshot (the API's /healthz payload).
+  [[nodiscard]] fleet_health health() const;
+  [[nodiscard]] std::string health_json() const;
+  /// True while the fleet can still make progress: started, no fatal
+  /// error, and work is either finished or at least one slot is alive.
+  [[nodiscard]] bool ready() const;
+
  private:
-  struct shard {
+  enum class segment_state { pending, running, done };
+
+  /// A supervised unit of work: a block range with its own feed and
+  /// checkpoint files.
+  struct segment {
+    std::uint64_t id = 0;
     shard_range range;
-    std::vector<chain::tx_receipt> receipts;  // owned copy of the slice
     /// Corpus mode: block-index span into the shared reader.
     std::uint64_t corpus_begin = 0, corpus_end = 0;
+    segment_state state = segment_state::pending;
+  };
+
+  /// One supervised worker position and its live stack.
+  struct slot_runtime {
+    std::size_t index = 0;
+    std::uint64_t segment_id = 0;  // 0 = idle
+    bool dead = false;             // circuit open (budget exhausted)
+    bool recovering = false;       // failed; restart scheduled
+    bool joined = false;
+    int restarts_used = 0;
+    std::chrono::steady_clock::time_point restart_at{};
+    std::uint64_t last_progress = 0;
+    std::vector<chain::tx_receipt> receipts;  // receipt-mode slice copy
     std::unique_ptr<service::metrics_registry> metrics;
     std::unique_ptr<service::jsonl_sink> feed;
     std::unique_ptr<store::store_sink> sink;
     std::unique_ptr<service::monitor_service> monitor;
     std::unique_ptr<service::simulated_block_source> source;
     std::unique_ptr<corpus::corpus_block_source> corpus_source;
-    std::uint64_t resumed_last_block = 0;
+    /// Counters and forward counts folded in from finished segments.
+    std::map<std::string, std::uint64_t> retired_counters;
+    std::uint64_t retired_forwarded = 0;
   };
 
-  [[nodiscard]] std::string shard_feed_path(std::size_t i) const;
-  [[nodiscard]] std::string shard_checkpoint_path(std::size_t i) const;
+  [[nodiscard]] std::string segment_feed_path(std::uint64_t id) const;
+  [[nodiscard]] std::string segment_checkpoint_path(std::uint64_t id) const;
   [[nodiscard]] std::string fleet_checkpoint_path() const;
-  void write_fleet_checkpoint() const;
+  [[nodiscard]] std::string wal_dir() const;
+  [[nodiscard]] bool durable() const { return !options_.state_dir.empty(); }
+
+  void build_fresh_segments();
+  void supervise();
+  /// One supervisor pass; returns true when the run is over.
+  bool tick_locked();
+  void join_slot_locked(slot_runtime& sl);
+  void start_segment_on_slot_locked(slot_runtime& sl, segment& seg);
+  /// Join + truncate feed to the durable checkpoint + retract the store's
+  /// overhang for the segment's range + destroy the stack. Returns the
+  /// durable watermark (0 = nothing durable).
+  std::uint64_t recover_to_durable_locked(slot_runtime& sl, segment& seg);
+  void handoff_locked(slot_runtime& sl, segment& seg);
+  void retract_store_range(std::uint64_t from_block, std::uint64_t to_block);
+  [[nodiscard]] std::uint64_t segment_durable(const segment& seg) const;
+  [[nodiscard]] std::uint64_t watermark_locked() const;
+  [[nodiscard]] fleet_health health_locked() const;
+  void write_fleet_checkpoint_locked() const;
 
   const chain::creation_registry& creations_;
   const etherscan::label_db& labels_;
   chain::asset weth_token_;
+  const std::vector<chain::tx_receipt>* receipts_ = nullptr;  // receipt mode
   const corpus::corpus_reader* corpus_ = nullptr;  // non-null in backfill mode
   store::incident_store& store_;
   fleet_options options_;
   std::vector<shard_range> plan_;
-  std::vector<std::unique_ptr<shard>> shards_;
+
+  mutable std::mutex mu_;  // guards segments_, slots_, counters below
+  std::map<std::uint64_t, segment> segments_;
+  std::uint64_t next_segment_id_ = 1;
+  std::vector<std::unique_ptr<slot_runtime>> slots_;
+  std::uint64_t handoffs_ = 0;
+  std::uint64_t restarts_ = 0;
+  /// The most recent joined-monitor exception — promoted to fatal_error_
+  /// only when supervision cannot absorb the failure.
+  std::exception_ptr last_failure_;
+  std::exception_ptr fatal_error_;
+
+  std::unique_ptr<store::wal_writer> wal_;
+  std::thread supervisor_;
+  std::atomic<bool> stop_{false};
   bool resumed_ = false;
   bool started_ = false;
   bool finished_ = false;

@@ -4,22 +4,13 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/fault_fs.h"
+
 namespace leishen::service {
 
 namespace {
 
 constexpr int kFormatVersion = 3;  // v3: last_hash + reorg journal
-
-/// FNV-1a over the payload (everything before the checksum line). Cheap,
-/// dependency-free, and plenty to reject truncated or bit-flipped files —
-/// this guards against torn writes, not adversaries.
-std::uint64_t fnv1a(std::string_view s) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : s) {
-    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
-  }
-  return h;
-}
 
 void render_stats(std::ostringstream& os, const std::string& prefix,
                   const core::scan_stats& s) {
@@ -95,33 +86,12 @@ std::string render_payload(const checkpoint& cp) {
 /// a file cut short mid-write (no checksum line, or a checksum over
 /// different bytes) is rejected as a whole rather than half-applied.
 std::optional<checkpoint> load_one(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return std::nullopt;
-  std::string content;
-  char buf[4096];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
-    content.append(buf, n);
-  }
-  std::fclose(f);
-
-  // The payload is everything up to and including the newline before the
-  // final "checksum=" line.
-  constexpr std::string_view kChecksumKey = "checksum=";
-  const std::size_t tail = content.rfind('\n', content.size() - 2);
-  const std::size_t checksum_at = tail == std::string::npos ? 0 : tail + 1;
-  if (content.empty() ||
-      content.compare(checksum_at, kChecksumKey.size(), kChecksumKey) != 0) {
-    return std::nullopt;  // truncated before the checksum line
-  }
-  const std::string_view payload{content.data(), checksum_at};
-  const std::uint64_t claimed = std::strtoull(
-      content.c_str() + checksum_at + kChecksumKey.size(), nullptr, 16);
-  if (claimed != fnv1a(payload)) return std::nullopt;
+  const std::optional<std::string> payload = load_checksummed_payload(path);
+  if (!payload) return std::nullopt;
 
   checkpoint cp;
   bool version_ok = false;
-  std::istringstream lines{std::string{payload}};
+  std::istringstream lines{*payload};
   std::string s;
   try {
     while (std::getline(lines, s)) {
@@ -181,28 +151,73 @@ std::optional<checkpoint> load_one(const std::string& path) {
 
 }  // namespace
 
-bool save_checkpoint(const checkpoint& cp, const std::string& path) {
+/// FNV-1a over the payload (everything before the checksum line). Cheap,
+/// dependency-free, and plenty to reject truncated or bit-flipped files —
+/// this guards against torn writes, not adversaries.
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+bool save_checksummed_file(const std::string& path,
+                           const std::string& payload) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) return false;
 
-  const std::string payload = render_payload(cp);
   char checksum_line[32];
   std::snprintf(checksum_line, sizeof checksum_line, "checksum=%016llx\n",
-                static_cast<unsigned long long>(fnv1a(payload)));
-  bool wrote =
-      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
-  wrote = std::fputs(checksum_line, f) >= 0 && wrote;
-  wrote = std::fflush(f) == 0 && wrote;
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  bool wrote = fault_fs::write(f, tmp, payload.data(), payload.size());
+  wrote = fault_fs::write(f, tmp, checksum_line,
+                          std::char_traits<char>::length(checksum_line)) &&
+          wrote;
+  // fsync before the rename: the atomic cutover only protects against a
+  // crash if the new bytes are durable before the name points at them.
+  wrote = fault_fs::sync(f, tmp) && wrote;
   std::fclose(f);
   if (!wrote) {
     std::remove(tmp.c_str());
     return false;
   }
-  // Keep the superseded checkpoint as the fallback generation before the
-  // atomic cutover (first save: nothing to keep; ignore the failure).
+  // Keep the superseded file as the fallback generation before the atomic
+  // cutover (first save: nothing to keep; ignore the failure).
   std::rename(path.c_str(), (path + ".prev").c_str());
   return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<std::string> load_checksummed_payload(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string content;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+
+  // The payload is everything up to and including the newline before the
+  // final "checksum=" line.
+  constexpr std::string_view kChecksumKey = "checksum=";
+  if (content.empty()) return std::nullopt;
+  const std::size_t tail = content.rfind('\n', content.size() - 2);
+  const std::size_t checksum_at = tail == std::string::npos ? 0 : tail + 1;
+  if (content.compare(checksum_at, kChecksumKey.size(), kChecksumKey) != 0) {
+    return std::nullopt;  // truncated before the checksum line
+  }
+  std::string payload = content.substr(0, checksum_at);
+  const std::uint64_t claimed = std::strtoull(
+      content.c_str() + checksum_at + kChecksumKey.size(), nullptr, 16);
+  if (claimed != fnv1a64(payload)) return std::nullopt;
+  return payload;
+}
+
+bool save_checkpoint(const checkpoint& cp, const std::string& path) {
+  return save_checksummed_file(path, render_payload(cp));
 }
 
 std::optional<checkpoint> load_checkpoint(const std::string& path) {

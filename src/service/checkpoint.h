@@ -28,6 +28,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/scanner.h"
@@ -59,6 +60,24 @@ struct checkpoint {
 
   friend bool operator==(const checkpoint&, const checkpoint&) = default;
 };
+
+/// FNV-1a 64-bit over `s` — the integrity hash shared by every checksummed
+/// state file (monitor checkpoints, fleet.ckpt, WAL frames).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+/// Write `payload` + a trailing `checksum=<fnv1a64 hex>` line atomically:
+/// temp file, fsync, rename — keeping the superseded file as
+/// `path + ".prev"` (the fallback generation). Returns false on any I/O
+/// failure, leaving the current file untouched. Writes go through
+/// `fault_fs` so the chaos harness can tear them.
+bool save_checksummed_file(const std::string& path,
+                           const std::string& payload);
+
+/// Read one checksummed file and validate its trailing checksum. Returns
+/// the payload (checksum line stripped), or std::nullopt when the file is
+/// absent, truncated before the checksum line, or fails validation. No
+/// `.prev` fallback — generation policy is the caller's.
+std::optional<std::string> load_checksummed_payload(const std::string& path);
 
 /// Write atomically (temp + rename), preserving the superseded file as
 /// `path + ".prev"`. Returns false on I/O failure.

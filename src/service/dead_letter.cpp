@@ -1,16 +1,35 @@
 #include "service/dead_letter.h"
 
+#include <cstdio>
 #include <stdexcept>
 
+#include "common/fault_fs.h"
 #include "common/json.h"
 #include "service/jsonl_util.h"
 
 namespace leishen::service {
 
-dead_letter_jsonl::dead_letter_jsonl(const std::string& path, bool append)
-    : file_{std::fopen(path.c_str(), append ? "ab" : "wb")} {
+dead_letter_jsonl::dead_letter_jsonl(const std::string& path, bool append,
+                                     std::uint64_t max_bytes)
+    : file_{std::fopen(path.c_str(), append ? "ab" : "wb")},
+      path_{path},
+      max_bytes_{max_bytes} {
   if (file_ == nullptr) {
     throw std::runtime_error{"dead_letter_jsonl: cannot open " + path};
+  }
+  if (append) {
+    std::fseek(file_, 0, SEEK_END);
+    const long at = std::ftell(file_);
+    if (at > 0) bytes_in_file_ = static_cast<std::uint64_t>(at);
+    // Continuing a file whose record count we no longer know: a rotation
+    // of it would under-report rotated_records. Count what is there.
+    if (bytes_in_file_ > 0) {
+      try {
+        records_in_file_ = read(path).size();
+      } catch (const std::exception&) {
+        // Unparseable leftovers still occupy bytes; the byte cap governs.
+      }
+    }
   }
 }
 
@@ -27,13 +46,53 @@ std::string dead_letter_jsonl::to_json_line(const dead_letter_entry& entry) {
   return out;
 }
 
+void dead_letter_jsonl::rotate() {
+  std::fclose(file_);
+  file_ = nullptr;
+  std::remove((path_ + ".1").c_str());
+  std::rename(path_.c_str(), (path_ + ".1").c_str());
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    // Reopening the quarantine failed (the disk may be the very thing
+    // that's broken) — fall back to appending to the rotated file rather
+    // than losing the channel entirely.
+    std::rename((path_ + ".1").c_str(), path_.c_str());
+    file_ = std::fopen(path_.c_str(), "ab");
+    if (file_ == nullptr) {
+      throw std::runtime_error{"dead_letter_jsonl: cannot reopen " + path_};
+    }
+    return;
+  }
+  ++rotations_;
+  rotated_records_ += records_in_file_;
+  bytes_in_file_ = 0;
+  records_in_file_ = 0;
+}
+
 void dead_letter_jsonl::on_poison(const dead_letter_entry& entry) {
   const std::string line = to_json_line(entry) + "\n";
-  std::fwrite(line.data(), 1, line.size(), file_);
+  if (max_bytes_ != 0 && bytes_in_file_ > 0 &&
+      bytes_in_file_ + line.size() > max_bytes_) {
+    rotate();
+  }
+  std::fflush(file_);
+  const long start = std::ftell(file_);
+  if (!fault_fs::write(file_, path_, line.data(), line.size()) ||
+      !fault_fs::flush(file_, path_)) {
+    // Quarantine must never kill the worker: roll the torn record back and
+    // count the loss instead of throwing.
+    fault_fs::truncate_to(file_, path_, start);
+    ++dropped_writes_;
+    return;
+  }
+  bytes_in_file_ += line.size();
+  ++records_in_file_;
   ++written_;
 }
 
-void dead_letter_jsonl::flush() { std::fflush(file_); }
+void dead_letter_jsonl::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
 
 std::vector<dead_letter_entry> dead_letter_jsonl::read(
     const std::string& path) {

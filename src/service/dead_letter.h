@@ -54,9 +54,23 @@ class dead_letter_recorder final : public dead_letter_sink {
 };
 
 /// Durable quarantine feed: one JSON object per line, append-only.
+///
+/// Quarantine must never take the worker down, so this sink is the one
+/// durable writer that swallows I/O failures: a failed append is rolled
+/// back to the previous whole record and counted in `dropped_writes()`
+/// instead of throwing. Every record is flushed as it is written — the
+/// quarantine exists for post-crash inspection, a buffered poison receipt
+/// that dies with the process defeats the point.
+///
+/// `max_bytes` > 0 caps the file: when an append would pass the cap the
+/// current file rotates to `path + ".1"` (replacing any earlier rotation)
+/// and the feed restarts empty, so one decoder bug looping over a poison
+/// block cannot fill the disk. Records discarded with the overwritten
+/// rotation are counted in `rotated_records()`.
 class dead_letter_jsonl final : public dead_letter_sink {
  public:
-  explicit dead_letter_jsonl(const std::string& path, bool append = false);
+  explicit dead_letter_jsonl(const std::string& path, bool append = false,
+                             std::uint64_t max_bytes = 0);
   ~dead_letter_jsonl() override;
 
   dead_letter_jsonl(const dead_letter_jsonl&) = delete;
@@ -66,6 +80,15 @@ class dead_letter_jsonl final : public dead_letter_sink {
   void flush() override;
 
   [[nodiscard]] std::uint64_t written() const noexcept { return written_; }
+  [[nodiscard]] std::uint64_t rotations() const noexcept {
+    return rotations_;
+  }
+  [[nodiscard]] std::uint64_t rotated_records() const noexcept {
+    return rotated_records_;
+  }
+  [[nodiscard]] std::uint64_t dropped_writes() const noexcept {
+    return dropped_writes_;
+  }
 
   static std::string to_json_line(const dead_letter_entry& entry);
 
@@ -74,8 +97,17 @@ class dead_letter_jsonl final : public dead_letter_sink {
   static std::vector<dead_letter_entry> read(const std::string& path);
 
  private:
+  void rotate();
+
   std::FILE* file_;
+  std::string path_;
+  std::uint64_t max_bytes_ = 0;
+  std::uint64_t bytes_in_file_ = 0;
+  std::uint64_t records_in_file_ = 0;
   std::uint64_t written_ = 0;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t rotated_records_ = 0;
+  std::uint64_t dropped_writes_ = 0;
 };
 
 }  // namespace leishen::service

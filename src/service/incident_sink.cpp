@@ -1,9 +1,11 @@
 #include "service/incident_sink.h"
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstring>
 #include <stdexcept>
 
+#include "common/fault_fs.h"
 #include "common/json.h"
 #include "core/patterns.h"
 #include "service/jsonl_util.h"
@@ -78,8 +80,11 @@ jsonl_sink::feed_record jsonl_sink::record_from_json_line(
   return rec;
 }
 
-jsonl_sink::jsonl_sink(const std::string& path, bool append)
-    : file_{std::fopen(path.c_str(), append ? "ab" : "wb")} {
+jsonl_sink::jsonl_sink(const std::string& path, bool append,
+                       std::uint64_t fsync_every_n)
+    : file_{std::fopen(path.c_str(), append ? "ab" : "wb")},
+      path_{path},
+      fsync_every_n_{fsync_every_n} {
   if (file_ == nullptr) {
     throw std::runtime_error{"jsonl: cannot open " + path};
   }
@@ -89,27 +94,63 @@ jsonl_sink::~jsonl_sink() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+void jsonl_sink::write_line(const std::string& line) {
+  // Remember where this record starts so a failed write can be rolled back
+  // to a whole-record boundary instead of leaving a torn line in the feed.
+  std::fflush(file_);
+  const long start = std::ftell(file_);
+  const std::string with_newline = line + "\n";
+  if (!fault_fs::write(file_, path_, with_newline.data(),
+                       with_newline.size())) {
+    const int err = errno;
+    fault_fs::truncate_to(file_, path_, start);
+    throw std::runtime_error{"jsonl: write failed for " + path_ + ": " +
+                             std::strerror(err)};
+  }
+  if (fsync_every_n_ != 0 && ++records_since_fsync_ >= fsync_every_n_) {
+    records_since_fsync_ = 0;
+    if (!fault_fs::sync(file_, path_)) {
+      throw std::runtime_error{"jsonl: fsync failed for " + path_};
+    }
+    ++fsyncs_;
+  }
+}
+
 void jsonl_sink::on_incident(const monitor_incident& inc) {
-  const std::string line = to_json_line(inc);
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
+  write_line(to_json_line(inc));
   ++written_;
 }
 
 void jsonl_sink::on_retract(const monitor_incident& inc) {
-  const std::string line = to_json_line(inc, /*retract=*/true);
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
+  write_line(to_json_line(inc, /*retract=*/true));
   ++retracted_;
 }
 
-void jsonl_sink::flush() { std::fflush(file_); }
+void jsonl_sink::flush() {
+  if (fsync_every_n_ != 0) {
+    records_since_fsync_ = 0;
+    if (!fault_fs::sync(file_, path_)) {
+      throw std::runtime_error{"jsonl: fsync failed for " + path_};
+    }
+    ++fsyncs_;
+    return;
+  }
+  std::fflush(file_);
+}
 
 std::vector<jsonl_sink::feed_record> jsonl_sink::read_records(
-    const std::string& path) {
+    const std::string& path, bool tolerate_torn_tail) {
   std::vector<feed_record> out;
-  for (const std::string& line : jsonl::read_lines(path)) {
-    out.push_back(record_from_json_line(line));
+  const std::vector<std::string> lines = jsonl::read_lines(path);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    try {
+      out.push_back(record_from_json_line(lines[i]));
+    } catch (const std::exception&) {
+      // A malformed final line is the footprint of a crash mid-append; the
+      // recovery reader drops it. Anywhere else it is corruption.
+      if (tolerate_torn_tail && i + 1 == lines.size()) break;
+      throw;
+    }
   }
   return out;
 }

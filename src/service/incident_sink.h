@@ -87,12 +87,19 @@ class jsonl_sink final : public incident_sink {
     monitor_incident incident;
   };
 
-  explicit jsonl_sink(const std::string& path, bool append = false);
+  /// `fsync_every_n` > 0 fsyncs the feed after every Nth record (and on
+  /// every flush) — the opt-in latency-for-durability trade; 0 (default)
+  /// leaves durability to the OS page cache until flush/fsync elsewhere.
+  explicit jsonl_sink(const std::string& path, bool append = false,
+                      std::uint64_t fsync_every_n = 0);
   ~jsonl_sink() override;
 
   jsonl_sink(const jsonl_sink&) = delete;
   jsonl_sink& operator=(const jsonl_sink&) = delete;
 
+  /// Write failures (ENOSPC, EIO, a torn write) first roll the file back to
+  /// the last whole record — a reader never sees a torn line — and then
+  /// throw std::runtime_error, surfacing the failure to the worker.
   void on_incident(const monitor_incident& inc) override;
   void on_retract(const monitor_incident& inc) override;
   void flush() override;
@@ -101,6 +108,7 @@ class jsonl_sink final : public incident_sink {
   [[nodiscard]] std::uint64_t retracted() const noexcept {
     return retracted_;
   }
+  [[nodiscard]] std::uint64_t fsyncs() const noexcept { return fsyncs_; }
 
   /// Serialize one incident to its JSONL line (no trailing newline). With
   /// `retract` the line is a tombstone: same payload plus "retract":true.
@@ -118,7 +126,11 @@ class jsonl_sink final : public incident_sink {
   static std::vector<monitor_incident> read(const std::string& path);
 
   /// The raw emit/retract history, tombstones preserved (audit trail).
-  static std::vector<feed_record> read_records(const std::string& path);
+  /// With `tolerate_torn_tail` a malformed FINAL line (the footprint of a
+  /// crash mid-append) is dropped instead of throwing — the recovery
+  /// reader's contract; a malformed line anywhere else still throws.
+  static std::vector<feed_record> read_records(
+      const std::string& path, bool tolerate_torn_tail = false);
 
   /// Apply tombstones to an in-order record list (what `read` does after
   /// parsing). Exposed so in-memory consumers can collapse the same way.
@@ -126,9 +138,15 @@ class jsonl_sink final : public incident_sink {
       const std::vector<feed_record>& records);
 
  private:
+  void write_line(const std::string& line);
+
   std::FILE* file_;
+  std::string path_;
+  std::uint64_t fsync_every_n_ = 0;
   std::uint64_t written_ = 0;
   std::uint64_t retracted_ = 0;
+  std::uint64_t records_since_fsync_ = 0;
+  std::uint64_t fsyncs_ = 0;
 };
 
 }  // namespace leishen::service

@@ -96,11 +96,13 @@ bool monitor_service::resume_from_checkpoint() {
   }
   seen_cache_hits_ = 0;  // the in-memory cache itself starts empty again
   seen_cache_misses_ = 0;
+  progress_.store(last_block_, std::memory_order_release);
   return true;
 }
 
 void monitor_service::start(block_source& source) {
   started_ = true;
+  state_.store(run_state::running, std::memory_order_release);
   pool_.submit([this] { consume(); });
   producer_ = std::thread{[this, &source] { produce(source); }};
 }
@@ -233,6 +235,19 @@ void monitor_service::consume() {
         process_block(ev->blk);
       }
     }
+    // The success-path epilogue lives inside the try: a sink flush that
+    // throws (disk full at the finish line) goes through the same restart /
+    // failure supervision as a mid-block death.
+    write_checkpoint();
+    for (incident_sink* sink : sinks_) sink->flush();
+    if (options_.dead_letter != nullptr) options_.dead_letter->flush();
+  } catch (const simulated_kill&) {
+    // Chaos harness SIGKILL: no restart, no checkpoint, no flush — the
+    // process is "gone". Whatever the OS page cache held is whatever a
+    // crash would have left; recovery must cope with exactly that.
+    queue_.close();
+    state_.store(run_state::failed, std::memory_order_release);
+    throw;
   } catch (const std::exception&) {
     // Supervision: the worker died mid-block (a throwing sink, a bug the
     // receipt validator does not catch). The in-flight block is lost, but
@@ -245,13 +260,16 @@ void monitor_service::consume() {
       return;
     }
     queue_.close();  // unblock the producer; the run is over
-    write_checkpoint();
-    for (incident_sink* sink : sinks_) sink->flush();
+    state_.store(run_state::failed, std::memory_order_release);
+    try {
+      write_checkpoint();
+      for (incident_sink* sink : sinks_) sink->flush();
+    } catch (...) {
+      // Best effort only — keep the original exception, not this one.
+    }
     throw;  // surfaces from wait()
   }
-  write_checkpoint();
-  for (incident_sink* sink : sinks_) sink->flush();
-  if (options_.dead_letter != nullptr) options_.dead_letter->flush();
+  state_.store(run_state::done, std::memory_order_release);
 }
 
 void monitor_service::handle_rollback(const block_event& ev) {
@@ -270,6 +288,7 @@ void monitor_service::handle_rollback(const block_event& ev) {
   }
   last_block_ = ev.target_number;
   last_hash_ = ev.target_hash;
+  progress_.store(last_block_, std::memory_order_release);
   // A rollback below the resume cursor re-opens those heights: the
   // canonical replacements must be processed, not skipped.
   if (resuming_ && resume_block_ > ev.target_number) {
@@ -339,6 +358,7 @@ void monitor_service::process_block(block& b) {
   last_block_ = b.number;
   last_hash_ = b.hash;
   ++blocks_processed_;
+  progress_.store(last_block_, std::memory_order_release);
   if (!b.unlinked()) {
     // Remember enough to undo this block if a fork orphans it.
     journal_entry e;
@@ -351,6 +371,10 @@ void monitor_service::process_block(block& b) {
       journal_.pop_front();
     }
   }
+  // The kill hook fires between the progress update and the cadence
+  // checkpoint — the worst possible crash point: the block is processed
+  // and its incidents emitted, but nothing about it is durable yet.
+  if (options_.post_block_hook) options_.post_block_hook(b.number);
   if (!options_.checkpoint_path.empty() && options_.checkpoint_every != 0 &&
       blocks_processed_ % options_.checkpoint_every == 0) {
     write_checkpoint();

@@ -49,6 +49,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,6 +64,20 @@
 #include "service/metrics.h"
 
 namespace leishen::service {
+
+/// Thrown by a chaos-harness `post_block_hook` to simulate SIGKILL at a
+/// chosen watermark. Deliberately NOT a std::exception: the worker's
+/// restart supervision catches std::exception, and a simulated kill must
+/// sail past it — no internal restart, no final checkpoint, no sink flush —
+/// exactly like the real signal. It still propagates cleanly out of
+/// `wait()` through the pool's catch-all.
+struct simulated_kill {
+  std::uint64_t block = 0;  // the watermark the kill fired at
+};
+
+/// Where a monitor's run stands — polled by the fleet supervisor's
+/// heartbeat to tell a making-progress shard from a dead one.
+enum class run_state { idle, running, done, failed };
 
 /// What travels through the ingestion queue: a block to process, or an
 /// instruction to rewind to a fork point before the blocks that follow.
@@ -101,6 +116,10 @@ struct monitor_options {
   /// Times an unexpectedly dying detection worker is restarted before the
   /// run gives up (the in-flight block is lost either way).
   int max_worker_restarts = 3;
+  /// Called by the detection worker after each fully-processed block,
+  /// before the cadence checkpoint. The chaos harness uses it to throw
+  /// `simulated_kill` at seeded watermarks; null in production.
+  std::function<void(std::uint64_t block)> post_block_hook;
 };
 
 class monitor_service {
@@ -158,6 +177,19 @@ class monitor_service {
     return queue_;
   }
 
+  // Live observers (safe to poll from a supervisor thread mid-run).
+  /// Where the run stands. `failed` is set before the worker's exception
+  /// propagates, so a supervisor that sees it can join via `wait()` without
+  /// racing the unwinding.
+  [[nodiscard]] run_state state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+  /// Highest fully-processed block number — the liveness watermark the
+  /// supervisor's heartbeat compares across polls.
+  [[nodiscard]] std::uint64_t progress() const noexcept {
+    return progress_.load(std::memory_order_acquire);
+  }
+
  private:
   void produce(block_source& source);
   /// Linkage-check one delivery and enqueue the events it implies. False =
@@ -179,6 +211,8 @@ class monitor_service {
   std::thread producer_;
   std::atomic<bool> stop_{false};
   bool started_ = false;
+  std::atomic<run_state> state_{run_state::idle};
+  std::atomic<std::uint64_t> progress_{0};
 
   // Producer-side chain window: (number, hash) of recently delivered
   // blocks, the reference against which duplicates, reorgs and unlinkable

@@ -3,6 +3,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "store/wal.h"
+
 namespace leishen::store {
 
 namespace {
@@ -83,6 +85,9 @@ bool record_matches(const service::monitor_incident& inc,
 
 std::uint64_t incident_store::insert(const service::monitor_incident& inc) {
   const std::unique_lock lk{mu_};
+  // Log before apply: if the append throws, the record is in neither the
+  // WAL nor the store, and the exception surfaces like any sink failure.
+  if (wal_ != nullptr) wal_->append(inc, /*retract=*/false);
   records_.push_back(record{inc, /*retracted=*/false});
   const std::uint64_t id = records_.size();
   const incident_key key{inc.block_number, inc.incident.tx_index, id};
@@ -99,6 +104,10 @@ std::uint64_t incident_store::insert_batch(
   const std::uint64_t first_id = records_.size() + 1;
   records_.reserve(records_.size() + incidents.size());
   for (const service::monitor_incident& inc : incidents) {
+    // Per-record append-then-apply, even in the bulk path: a mid-batch
+    // append failure must leave WAL == store (the prefix in both, the rest
+    // in neither), which an append-the-whole-batch-first scheme breaks.
+    if (wal_ != nullptr) wal_->append(inc, /*retract=*/false);
     records_.push_back(record{inc, /*retracted=*/false});
     const std::uint64_t id = records_.size();
     const incident_key key{inc.block_number, inc.incident.tx_index, id};
@@ -124,6 +133,9 @@ bool incident_store::retract(const service::monitor_incident& inc) {
        it != rend; ++it) {
     record& rec = records_[it->id - 1];
     if (rec.incident != inc) continue;
+    // Match found — log the tombstone before tombstoning, so a failed
+    // append leaves the incident active in both WAL and store.
+    if (wal_ != nullptr) wal_->append(inc, /*retract=*/true);
     const incident_key key = *it;
     rec.retracted = true;
     index_erase(key, rec);

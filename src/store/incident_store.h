@@ -100,11 +100,20 @@ struct store_stats {
   friend bool operator==(const store_stats&, const store_stats&) = default;
 };
 
+class wal_writer;
+
 class incident_store {
  public:
   incident_store() = default;
   incident_store(const incident_store&) = delete;
   incident_store& operator=(const incident_store&) = delete;
+
+  /// Route every subsequent mutation through `wal` (not owned; must
+  /// outlive the store or be detached with nullptr first): each record is
+  /// appended to the log, then applied, under the store's write lock — so
+  /// a failed append leaves WAL and store identical and rethrows to the
+  /// caller. Call during setup, after any WAL/feed recovery replay.
+  void attach_wal(wal_writer* wal) noexcept { wal_ = wal; }
 
   /// Ingest one incident; returns its store id (ids start at 1 and are
   /// assigned in arrival order, so they carry no cross-shard meaning —
@@ -173,6 +182,7 @@ class incident_store {
   void bump_version();
 
   mutable std::shared_mutex mu_;
+  wal_writer* wal_ = nullptr;    // append-before-apply when attached
   std::vector<record> records_;  // id - 1 -> record; never shrinks
   /// Canonical order over ACTIVE incidents only (tombstones are erased).
   std::set<incident_key> by_key_;

@@ -1,0 +1,223 @@
+#include "store/wal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "common/fault_fs.h"
+#include "service/checkpoint.h"
+#include "store/incident_store.h"
+
+namespace leishen::store {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = sizeof(std::uint32_t) +
+                                          sizeof(std::uint64_t);
+
+std::string segment_path(const std::string& dir, std::uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof name, "wal-%06llu.log",
+                static_cast<unsigned long long>(seq));
+  return dir + "/" + name;
+}
+
+/// The sequence number of a `wal-<seq>.log` filename, or 0.
+std::uint64_t parse_segment_name(const std::string& name) {
+  if (name.size() < 9 || name.rfind("wal-", 0) != 0 ||
+      name.compare(name.size() - 4, 4, ".log") != 0) {
+    return 0;
+  }
+  char* end = nullptr;
+  const std::uint64_t seq = std::strtoull(name.c_str() + 4, &end, 10);
+  if (end == nullptr || std::string{end} != ".log") return 0;
+  return seq;
+}
+
+/// One frame: header and payload in a single buffer so a torn write tears
+/// the frame, exactly like a crashed appender.
+std::string encode_frame(const std::string& payload) {
+  std::string frame;
+  frame.resize(kFrameHeaderBytes);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint64_t sum = service::fnv1a64(payload);
+  std::memcpy(frame.data(), &len, sizeof len);
+  std::memcpy(frame.data() + sizeof len, &sum, sizeof sum);
+  frame += payload;
+  return frame;
+}
+
+}  // namespace
+
+wal_writer::wal_writer(wal_options options, std::uint64_t first_segment)
+    : options_{std::move(options)} {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  open_segment(first_segment == 0 ? 1 : first_segment);
+}
+
+wal_writer::~wal_writer() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void wal_writer::open_segment(std::uint64_t seq) {
+  if (file_ != nullptr) std::fclose(file_);
+  path_ = segment_path(options_.dir, seq);
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error{"wal: cannot open segment " + path_};
+  }
+  segment_.store(seq, std::memory_order_relaxed);
+  bytes_in_segment_ = 0;
+}
+
+void wal_writer::append(const service::monitor_incident& inc, bool retract) {
+  const std::string frame =
+      encode_frame(service::jsonl_sink::to_json_line(inc, retract));
+  const std::lock_guard lk{mu_};
+  if (bytes_in_segment_ > 0 &&
+      bytes_in_segment_ + frame.size() > options_.segment_max_bytes) {
+    // Rotation boundary. The old segment is complete; fsync it so its
+    // frames cannot be lost after the writer has moved on.
+    if (!fault_fs::sync(file_, path_)) {
+      throw std::runtime_error{"wal: fsync failed for " + path_};
+    }
+    open_segment(segment_.load(std::memory_order_relaxed) + 1);
+    rotations_.fetch_add(1, std::memory_order_relaxed);
+    records_since_fsync_ = 0;
+    lag_records_.store(0, std::memory_order_relaxed);
+  }
+  std::fflush(file_);
+  const long start = std::ftell(file_);
+  if (!fault_fs::write(file_, path_, frame.data(), frame.size())) {
+    const int err = errno;
+    fault_fs::truncate_to(file_, path_, start);
+    throw std::runtime_error{"wal: append failed for " + path_ + ": " +
+                             std::strerror(err)};
+  }
+  bytes_in_segment_ += frame.size();
+  appended_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.fsync_every_n != 0 &&
+      ++records_since_fsync_ >= options_.fsync_every_n) {
+    if (!fault_fs::sync(file_, path_)) {
+      // The frame is written but not durable; the caller treats the record
+      // as failed, so drop it from the log too — WAL must not run ahead of
+      // the store.
+      fault_fs::truncate_to(file_, path_, start);
+      bytes_in_segment_ -= frame.size();
+      appended_.fetch_sub(1, std::memory_order_relaxed);
+      records_since_fsync_ = 0;
+      throw std::runtime_error{"wal: fsync failed for " + path_};
+    }
+    records_since_fsync_ = 0;
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
+    lag_records_.store(0, std::memory_order_relaxed);
+  } else {
+    lag_records_.store(records_since_fsync_, std::memory_order_relaxed);
+  }
+}
+
+void wal_writer::flush() {
+  const std::lock_guard lk{mu_};
+  if (!fault_fs::sync(file_, path_)) {
+    throw std::runtime_error{"wal: fsync failed for " + path_};
+  }
+  records_since_fsync_ = 0;
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  lag_records_.store(0, std::memory_order_relaxed);
+}
+
+bool wal_present(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator{dir, ec}) {
+    if (parse_segment_name(entry.path().filename().string()) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+wal_recovery recover_wal(const std::string& dir, incident_store& store) {
+  wal_recovery result;
+
+  std::vector<std::uint64_t> seqs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator{dir, ec}) {
+    const std::uint64_t seq =
+        parse_segment_name(entry.path().filename().string());
+    if (seq != 0) seqs.push_back(seq);
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  for (std::size_t s = 0; s < seqs.size(); ++s) {
+    const bool last_segment = s + 1 == seqs.size();
+    const std::string path = segment_path(dir, seqs[s]);
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      throw std::runtime_error{"wal: cannot open segment " + path};
+    }
+    std::string content;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+    std::fclose(f);
+
+    std::size_t at = 0;
+    while (at < content.size()) {
+      std::uint32_t len = 0;
+      std::uint64_t sum = 0;
+      bool bad = content.size() - at < kFrameHeaderBytes;
+      if (!bad) {
+        std::memcpy(&len, content.data() + at, sizeof len);
+        std::memcpy(&sum, content.data() + at + sizeof len, sizeof sum);
+        bad = content.size() - at - kFrameHeaderBytes < len;
+      }
+      std::string payload;
+      if (!bad) {
+        payload = content.substr(at + kFrameHeaderBytes, len);
+        bad = service::fnv1a64(payload) != sum;
+      }
+      if (bad) {
+        // A bad frame at the tail of the final segment is the footprint of
+        // a crash mid-append: truncate it off the file so the next writer
+        // and the next recovery both see a clean log. Anywhere else it is
+        // corruption, and a silently incomplete store is worse than no
+        // store.
+        if (!last_segment) {
+          throw std::runtime_error{"wal: corrupt frame in non-final segment " +
+                                   path};
+        }
+        result.truncated_bytes += content.size() - at;
+        std::FILE* w = std::fopen(path.c_str(), "rb+");
+        if (w != nullptr) {
+          fault_fs::truncate_to(w, path, static_cast<long>(at));
+          std::fclose(w);
+        }
+        break;
+      }
+      const service::jsonl_sink::feed_record rec =
+          service::jsonl_sink::record_from_json_line(payload);
+      if (rec.retract) {
+        if (!store.retract(rec.incident)) {
+          throw std::runtime_error{
+              "wal: tombstone with no matching emission in " + path};
+        }
+        ++result.retracts;
+      } else {
+        store.insert(rec.incident);
+        ++result.inserts;
+      }
+      ++result.frames;
+      at += kFrameHeaderBytes + len;
+    }
+    ++result.segments;
+  }
+
+  result.next_segment = seqs.empty() ? 1 : seqs.back() + 1;
+  return result;
+}
+
+}  // namespace leishen::store

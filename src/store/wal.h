@@ -1,0 +1,132 @@
+// Crash-consistent write-ahead log for the incident store.
+//
+// The store is in-memory; its durable twin is the per-shard JSONL feed,
+// and rebuilding from feeds means replaying every shard's full history.
+// The WAL gives a crashed monitor host a faster, store-local path back:
+// every insert and retraction is appended (and by default fsync'd) to a
+// segmented log BEFORE it is applied to the in-memory indexes, so on
+// restart `recover_wal` replays the log and the store is back — without
+// touching the feeds at all.
+//
+// Frame format, per record:
+//
+//   [u32 payload_len][u64 fnv1a64(payload)][payload bytes]
+//
+// where the payload is exactly the record's JSONL feed line
+// (`jsonl_sink::to_json_line`, tombstones included) — one serialization
+// for feed, WAL, HTTP and checkpoint journal means one parser and
+// byte-identical semantics everywhere. Segments are named
+// `wal-<seq>.log` and rotate at `segment_max_bytes`.
+//
+// Torn-tail contract: a crash mid-append leaves a truncated frame at the
+// end of the LAST segment. Recovery truncates it off the file and counts
+// the dropped bytes; a torn or corrupt frame anywhere else is real
+// corruption and recovery throws rather than serving a silently
+// incomplete store. Appends go through `fault_fs`, so the chaos harness
+// can tear them at chosen offsets.
+//
+// Ordering contract: `incident_store::attach_wal` appends each record
+// under the store's write lock immediately before applying it, one
+// record at a time. An append that fails therefore leaves WAL == store
+// exactly — the failed record is in neither — and the exception
+// propagates to the worker like any sink failure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "service/incident_sink.h"
+
+namespace leishen::store {
+
+class incident_store;
+
+struct wal_options {
+  /// Directory the segments live in (created if missing).
+  std::string dir;
+  /// Rotate to a new segment when the current one would pass this size.
+  std::uint64_t segment_max_bytes = 1u << 20;
+  /// fsync after every Nth appended record. 1 (default) = every record,
+  /// the crash-consistent setting; 0 = never (flush to the OS only) —
+  /// faster, loses the page-cache tail on power failure.
+  std::uint64_t fsync_every_n = 1;
+};
+
+class wal_writer {
+ public:
+  /// Opens segment `first_segment` fresh (recovery passes the next unused
+  /// sequence number; 1 for an empty dir). Throws on I/O failure.
+  explicit wal_writer(wal_options options, std::uint64_t first_segment = 1);
+  ~wal_writer();
+
+  wal_writer(const wal_writer&) = delete;
+  wal_writer& operator=(const wal_writer&) = delete;
+
+  /// Append one record's frame; durable per `fsync_every_n`. Throws
+  /// std::runtime_error on any I/O failure, after rolling the segment back
+  /// to the previous whole frame.
+  void append(const service::monitor_incident& inc, bool retract);
+
+  /// fsync the current segment regardless of cadence.
+  void flush();
+
+  // Health counters (safe to read from any thread).
+  [[nodiscard]] std::uint64_t appended() const noexcept {
+    return appended_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fsyncs() const noexcept {
+    return fsyncs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rotations() const noexcept {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+  /// Records appended since the last fsync — the durability lag a crash
+  /// right now would lose (always 0 when `fsync_every_n == 1`).
+  [[nodiscard]] std::uint64_t lag_records() const noexcept {
+    return lag_records_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t current_segment() const noexcept {
+    return segment_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void open_segment(std::uint64_t seq);
+
+  wal_options options_;
+  std::mutex mu_;  // serializes append/flush against each other
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t bytes_in_segment_ = 0;
+  std::uint64_t records_since_fsync_ = 0;
+  std::atomic<std::uint64_t> segment_{0};
+  std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::uint64_t> fsyncs_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+  std::atomic<std::uint64_t> lag_records_{0};
+};
+
+struct wal_recovery {
+  std::uint64_t segments = 0;         // segment files replayed
+  std::uint64_t frames = 0;           // whole frames applied
+  std::uint64_t inserts = 0;
+  std::uint64_t retracts = 0;
+  std::uint64_t truncated_bytes = 0;  // torn tail dropped from the last segment
+  /// First unused sequence number — what to hand a new wal_writer so it
+  /// never overwrites a replayed segment.
+  std::uint64_t next_segment = 1;
+};
+
+/// True when `dir` holds at least one WAL segment (the "can we recover
+/// from WAL instead of replaying feeds" probe).
+[[nodiscard]] bool wal_present(const std::string& dir);
+
+/// Replay every segment in `dir` into `store`, ascending by sequence
+/// number. A torn frame at the tail of the LAST segment is truncated off
+/// the file (the crash footprint); a bad frame anywhere else throws
+/// std::runtime_error. Call on a fresh store, before attaching a writer.
+wal_recovery recover_wal(const std::string& dir, incident_store& store);
+
+}  // namespace leishen::store

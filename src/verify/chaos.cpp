@@ -1,0 +1,293 @@
+#include "verify/chaos.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <stdexcept>
+
+#include "fleet/shard_coordinator.h"
+#include "service/monitor_service.h"
+#include "store/store_sink.h"
+#include "store/wal.h"
+
+namespace leishen::verify {
+
+std::size_t fs_fault_plan::on_write(const std::string& path, std::size_t n,
+                                    int& err) {
+  (void)path;
+  const std::lock_guard lk{mu_};
+  ++writes_seen_;
+  if (budget_ == 0 || n == 0 || !rng_.next_bool(write_fault_p_)) return n;
+  --budget_;
+  ++write_faults_;
+  switch (rng_.next_below(3)) {
+    case 0:
+      err = ENOSPC;
+      return 0;
+    case 1:
+      err = EIO;
+      return 0;
+    default:
+      // Torn write: a random proper prefix lands before the failure — the
+      // crash footprint the recovery readers must truncate away.
+      ++torn_writes_;
+      err = EIO;
+      return static_cast<std::size_t>(rng_.next_below(n));
+  }
+}
+
+bool fs_fault_plan::on_fsync(const std::string& path, int& err) {
+  (void)path;
+  const std::lock_guard lk{mu_};
+  if (budget_ == 0 || !rng_.next_bool(fsync_fault_p_)) return false;
+  --budget_;
+  ++fsync_faults_;
+  err = EIO;
+  return true;
+}
+
+std::uint64_t fs_fault_plan::writes_seen() const {
+  const std::lock_guard lk{mu_};
+  return writes_seen_;
+}
+std::uint64_t fs_fault_plan::write_faults() const {
+  const std::lock_guard lk{mu_};
+  return write_faults_;
+}
+std::uint64_t fs_fault_plan::torn_writes() const {
+  const std::lock_guard lk{mu_};
+  return torn_writes_;
+}
+std::uint64_t fs_fault_plan::fsync_faults() const {
+  const std::lock_guard lk{mu_};
+  return fsync_faults_;
+}
+
+kill_plan::kill_plan(rng r, const std::vector<chain::tx_receipt>& receipts,
+                     unsigned kills) {
+  std::vector<std::uint64_t> blocks;
+  for (const chain::tx_receipt& rc : receipts) {
+    if (blocks.empty() || blocks.back() != rc.block_number) {
+      blocks.push_back(rc.block_number);
+    }
+  }
+  // Sample without replacement; fewer distinct blocks than kills just
+  // means every block is a kill point.
+  while (planned_.size() < kills && planned_.size() < blocks.size()) {
+    planned_.insert(blocks[r.next_below(blocks.size())]);
+  }
+  pending_ = planned_;
+}
+
+void kill_plan::on_block(std::size_t slot, std::uint64_t block) {
+  (void)slot;
+  {
+    const std::lock_guard lk{mu_};
+    const auto it = pending_.find(block);
+    if (it == pending_.end()) return;
+    pending_.erase(it);
+    ++fired_;
+  }
+  throw service::simulated_kill{block};
+}
+
+std::uint64_t kill_plan::fired() const {
+  const std::lock_guard lk{mu_};
+  return fired_;
+}
+
+std::vector<service::monitor_incident> dump_store(
+    const store::incident_store& store) {
+  std::vector<service::monitor_incident> out;
+  store::incident_filter all;
+  std::optional<store::incident_key> after;
+  for (;;) {
+    const store::incident_page page = store.query(all, after, 256);
+    for (const store::stored_incident& s : page.items) {
+      out.push_back(s.incident);
+    }
+    if (!page.has_more) break;
+    after = page.next;
+  }
+  return out;
+}
+
+namespace {
+
+/// Serial reference: the same receipts through one unsupervised monitor
+/// into a fresh store — the stream every chaos schedule must reproduce.
+std::vector<service::monitor_incident> serial_reference(
+    const chain::creation_registry& creations,
+    const etherscan::label_db& labels, chain::asset weth_token,
+    const std::vector<chain::tx_receipt>& receipts,
+    const core::scanner_options& scan) {
+  store::incident_store store;
+  service::metrics_registry metrics;
+  service::monitor_options mopts;
+  mopts.scan = scan;
+  service::monitor_service monitor{creations, labels, weth_token, metrics,
+                                   std::move(mopts)};
+  store::store_sink sink{store};
+  monitor.add_sink(sink);
+  service::simulated_block_source source{receipts};
+  monitor.run(source);
+  return dump_store(store);
+}
+
+/// First difference between a schedule's store dump and the reference,
+/// reported as one divergence (the schedules are independent; one finding
+/// per schedule keeps the report actionable).
+std::optional<divergence> compare_dumps(
+    const std::string& engine,
+    const std::vector<service::monitor_incident>& reference,
+    const std::vector<service::monitor_incident>& got) {
+  const std::size_t n = std::min(reference.size(), got.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (got[i] == reference[i]) continue;
+    divergence d;
+    d.engine = engine;
+    d.field = "store.incident";
+    d.block_number = reference[i].block_number;
+    d.tx_index = reference[i].incident.tx_index;
+    d.detail = "incident " + std::to_string(i) + " differs from reference" +
+               " (ref block=" + std::to_string(reference[i].block_number) +
+               " tx=" + std::to_string(reference[i].incident.tx_index) +
+               ", got block=" + std::to_string(got[i].block_number) +
+               " tx=" + std::to_string(got[i].incident.tx_index) +
+               "; sizes ref=" + std::to_string(reference.size()) +
+               " got=" + std::to_string(got.size()) + ")";
+    return d;
+  }
+  if (reference.size() != got.size()) {
+    divergence d;
+    d.engine = engine;
+    d.field = "store.size";
+    d.detail = "reference has " + std::to_string(reference.size()) +
+               " active incidents, store has " + std::to_string(got.size());
+    return d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+chaos_report run_fleet_chaos(const chain::creation_registry& creations,
+                             const etherscan::label_db& labels,
+                             chain::asset weth_token,
+                             const std::vector<chain::tx_receipt>& receipts,
+                             const chaos_options& options) {
+  if (options.state_dir.empty()) {
+    throw std::invalid_argument{"chaos: state_dir is required"};
+  }
+  chaos_report report;
+  const std::vector<service::monitor_incident> reference = serial_reference(
+      creations, labels, weth_token, receipts, options.scan);
+  const rng root{options.seed};
+
+  for (unsigned s = 0; s < options.schedules; ++s) {
+    const std::string label =
+        "fleet[chaos schedule=" + std::to_string(s) + "]";
+    const std::string dir =
+        options.state_dir + "/sched-" + std::to_string(s);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+
+    const rng schedule_rng = root.fork(s + 1);
+    kill_plan kills{schedule_rng.fork(1), receipts,
+                    options.kills_per_schedule};
+    fs_fault_plan disk{schedule_rng.fork(2), options.write_fault_p,
+                      options.fsync_fault_p, options.max_disk_faults};
+    const scoped_fault_hook install{&disk};
+
+    // Operator loop: each attempt is one coordinator lifetime — the
+    // process-level crash/relaunch cycle. Supervision absorbs what it can
+    // inside an attempt; a fatal run error costs an operator restart.
+    bool completed = false;
+    for (unsigned attempt = 0;
+         attempt <= options.max_operator_restarts && !completed; ++attempt) {
+      store::incident_store store;
+      fleet::fleet_options fopts;
+      fopts.shards = options.shards;
+      fopts.scan = options.scan;
+      fopts.checkpoint_every = options.checkpoint_every;
+      fopts.state_dir = dir;
+      fopts.restart_budget = options.restart_budget;
+      fopts.heartbeat_interval_ms = options.heartbeat_interval_ms;
+      fopts.backoff_base_ms = options.backoff_base_ms;
+      fopts.wal = options.wal;
+      fopts.post_block_hook = [&kills](std::size_t slot,
+                                       std::uint64_t block) {
+        kills.on_block(slot, block);
+      };
+      fleet::shard_coordinator fleet{creations, labels,    weth_token,
+                                     receipts,  store,     fopts};
+      try {
+        fleet.resume();
+        fleet.run();
+        completed = true;
+      } catch (...) {
+        ++report.operator_restarts;
+      }
+      report.shard_restarts += fleet.restarts();
+      report.handoffs += fleet.handoffs();
+
+      if (completed) {
+        if (auto d = compare_dumps(label, reference, dump_store(store))) {
+          report.divergences.push_back(std::move(*d));
+        }
+      }
+    }
+    if (!completed) {
+      divergence d;
+      d.engine = label;
+      d.field = "run";
+      d.detail = "schedule did not complete within " +
+                 std::to_string(options.max_operator_restarts) +
+                 " operator restarts";
+      report.divergences.push_back(std::move(d));
+    } else if (options.wal) {
+      // Crash-consistency of the log itself: a store rebuilt from the WAL
+      // alone — no feeds, no checkpoints — must also match the reference.
+      store::incident_store rebuilt;
+      try {
+        store::recover_wal(dir + "/wal", rebuilt);
+        ++report.wal_recoveries;
+        if (auto d = compare_dumps(label + " wal-rebuild", reference,
+                                   dump_store(rebuilt))) {
+          report.divergences.push_back(std::move(*d));
+        }
+      } catch (const std::exception& e) {
+        divergence d;
+        d.engine = label;
+        d.field = "wal";
+        d.detail = std::string{"WAL recovery failed: "} + e.what();
+        report.divergences.push_back(std::move(d));
+      }
+    }
+
+    report.kills_fired += kills.fired();
+    report.disk_write_faults += disk.write_faults();
+    report.disk_fsync_faults += disk.fsync_faults();
+    ++report.schedules_run;
+    std::filesystem::remove_all(dir, ec);
+  }
+  return report;
+}
+
+diff_result run_diff_with_chaos(const chain::creation_registry& creations,
+                                const etherscan::label_db& labels,
+                                chain::asset weth_token,
+                                const std::vector<chain::tx_receipt>& receipts,
+                                const diff_options& diff_opts,
+                                const chaos_options& chaos_opts) {
+  const diff_engine engine{creations, labels, weth_token, diff_opts};
+  diff_result result = engine.run(receipts);
+  const chaos_report chaos =
+      run_fleet_chaos(creations, labels, weth_token, receipts, chaos_opts);
+  for (const divergence& d : chaos.divergences) {
+    result.divergences.push_back(d);
+  }
+  return result;
+}
+
+}  // namespace leishen::verify

@@ -1,0 +1,193 @@
+// The disk / process chaos harness (DESIGN.md §14).
+//
+// The self-healing fleet promises one thing: whatever dies — a shard at an
+// arbitrary watermark, a disk write, an fsync, the whole process — the
+// final incident store is bit-identical to a serial scan of the same
+// receipts. This harness turns that promise into a seeded, replayable
+// property check:
+//
+//   - `fs_fault_plan` is a `fault_fs::fault_hook` that injects ENOSPC,
+//     EIO, short/torn writes and fsync failures at seeded points into
+//     every durable writer (feeds, checkpoints, WAL, dead-letter).
+//   - `kill_plan` drives the fleet's `post_block_hook`: at seeded block
+//     watermarks it throws `service::simulated_kill`, which sails past
+//     the monitor's internal restart supervision exactly like SIGKILL —
+//     no final checkpoint, no sink flush.
+//   - `run_fleet_chaos` runs a population through a supervised fleet
+//     under N independent schedules. Each schedule injects kills and disk
+//     faults, lets supervision restart / hand off, and — when the run
+//     still dies — performs operator restarts (a fresh coordinator
+//     resuming from `state_dir`, the kill-the-process-and-relaunch path).
+//     Every schedule's final store must enumerate bit-identically to the
+//     serial reference; with the WAL enabled, a store rebuilt from the
+//     WAL alone must match too.
+//   - `run_diff_with_chaos` is the diff engine's `fleet[chaos]` mode: the
+//     ordinary cross-engine diff plus the chaos sweep, divergences
+//     appended to the same report.
+//
+// Everything is deterministic from `chaos_options::seed` except thread
+// interleaving, which the store's canonical order makes invisible — so a
+// failing schedule replays from its seed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fault_fs.h"
+#include "common/rng.h"
+#include "service/incident_sink.h"
+#include "store/incident_store.h"
+#include "verify/diff_engine.h"
+
+namespace leishen::verify {
+
+/// Seeded disk-fault schedule. Each write / fsync flowing through
+/// `fault_fs` independently faults with the configured probability until
+/// `max_faults` faults have fired; an injected write fault is ENOSPC, EIO
+/// or a torn write (a random prefix lands, then the op fails) with equal
+/// probability. Thread-safe (workers of every shard call concurrently).
+class fs_fault_plan final : public fault_fs::fault_hook {
+ public:
+  fs_fault_plan(rng r, double write_fault_p, double fsync_fault_p,
+                std::uint64_t max_faults)
+      : rng_{r},
+        write_fault_p_{write_fault_p},
+        fsync_fault_p_{fsync_fault_p},
+        budget_{max_faults} {}
+
+  std::size_t on_write(const std::string& path, std::size_t n,
+                       int& err) override;
+  bool on_fsync(const std::string& path, int& err) override;
+
+  [[nodiscard]] std::uint64_t writes_seen() const;
+  [[nodiscard]] std::uint64_t write_faults() const;
+  [[nodiscard]] std::uint64_t torn_writes() const;
+  [[nodiscard]] std::uint64_t fsync_faults() const;
+
+ private:
+  mutable std::mutex mu_;
+  rng rng_;
+  double write_fault_p_;
+  double fsync_fault_p_;
+  std::uint64_t budget_;
+  std::uint64_t writes_seen_ = 0;
+  std::uint64_t write_faults_ = 0;
+  std::uint64_t torn_writes_ = 0;
+  std::uint64_t fsync_faults_ = 0;
+};
+
+/// Installs a hook for a scope, restoring the previous one on exit.
+class scoped_fault_hook {
+ public:
+  explicit scoped_fault_hook(fault_fs::fault_hook* hook)
+      : prev_{fault_fs::set_hook(hook)} {}
+  ~scoped_fault_hook() { fault_fs::set_hook(prev_); }
+
+  scoped_fault_hook(const scoped_fault_hook&) = delete;
+  scoped_fault_hook& operator=(const scoped_fault_hook&) = delete;
+
+ private:
+  fault_fs::fault_hook* prev_;
+};
+
+/// Seeded shard killer: picks `kills` distinct block watermarks from the
+/// population's span; the fleet hook throws `simulated_kill` when a worker
+/// finishes one of them. Each kill point fires exactly once — the restarted
+/// shard re-processes the block and must survive it the second time.
+/// Thread-safe; shard block ranges are disjoint, so a block identifies its
+/// killer uniquely.
+class kill_plan {
+ public:
+  kill_plan(rng r, const std::vector<chain::tx_receipt>& receipts,
+            unsigned kills);
+
+  /// The fleet's post_block_hook. Throws service::simulated_kill when
+  /// `block` is an unfired kill point.
+  void on_block(std::size_t slot, std::uint64_t block);
+
+  [[nodiscard]] std::uint64_t fired() const;
+  [[nodiscard]] const std::set<std::uint64_t>& points() const {
+    return planned_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::set<std::uint64_t> pending_;
+  std::set<std::uint64_t> planned_;
+  std::uint64_t fired_ = 0;
+};
+
+struct chaos_options {
+  /// Detection configuration, identical for the fleet and the reference.
+  core::scanner_options scan;
+  /// Independent seeded schedules to sweep (the acceptance floor is 50).
+  unsigned schedules = 8;
+  std::uint64_t seed = 0xC4A05;
+  /// Root for per-schedule state dirs (`<root>/sched-<i>`, wiped first).
+  std::string state_dir;
+
+  // Fleet shape under test.
+  unsigned shards = 3;
+  int restart_budget = 1;
+  std::uint64_t checkpoint_every = 2;
+  bool wal = true;
+  std::uint64_t heartbeat_interval_ms = 1;
+  std::uint64_t backoff_base_ms = 1;
+
+  // Injection intensity.
+  unsigned kills_per_schedule = 2;
+  double write_fault_p = 0.0;
+  double fsync_fault_p = 0.0;
+  std::uint64_t max_disk_faults = 4;
+  /// Full resume cycles (kill the coordinator, resume from state_dir)
+  /// allowed per schedule before it is declared stuck.
+  unsigned max_operator_restarts = 4;
+};
+
+struct chaos_report {
+  unsigned schedules_run = 0;
+  std::uint64_t kills_fired = 0;
+  std::uint64_t disk_write_faults = 0;
+  std::uint64_t disk_fsync_faults = 0;
+  /// Supervised in-place shard restarts across all schedules.
+  std::uint64_t shard_restarts = 0;
+  /// Budget-exhaustion handoffs across all schedules.
+  std::uint64_t handoffs = 0;
+  /// Coordinator-level resume cycles taken after fatal run errors.
+  std::uint64_t operator_restarts = 0;
+  /// Stores rebuilt from the WAL alone and compared to the reference.
+  std::uint64_t wal_recoveries = 0;
+  std::vector<divergence> divergences;
+
+  [[nodiscard]] bool ok() const noexcept { return divergences.empty(); }
+};
+
+/// Enumerate a store's active incidents in canonical (block, tx, id) order
+/// — the bit-identity comparison surface (store ids are arrival-order and
+/// deliberately excluded).
+std::vector<service::monitor_incident> dump_store(
+    const store::incident_store& store);
+
+/// Run the chaos sweep: `schedules` seeded kill + disk-fault schedules over
+/// a supervised fleet, each asserted bit-identical to the serial reference.
+/// Receipts must be in chain order and reference accounts of `creations` /
+/// `labels` (e.g. a generated_population with its world).
+chaos_report run_fleet_chaos(const chain::creation_registry& creations,
+                             const etherscan::label_db& labels,
+                             chain::asset weth_token,
+                             const std::vector<chain::tx_receipt>& receipts,
+                             const chaos_options& options);
+
+/// The diff engine's `fleet[chaos]` mode: the ordinary cross-engine diff,
+/// plus the chaos sweep with its divergences appended to the same result.
+diff_result run_diff_with_chaos(const chain::creation_registry& creations,
+                                const etherscan::label_db& labels,
+                                chain::asset weth_token,
+                                const std::vector<chain::tx_receipt>& receipts,
+                                const diff_options& diff_opts,
+                                const chaos_options& chaos_opts);
+
+}  // namespace leishen::verify

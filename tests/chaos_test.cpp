@@ -1,0 +1,769 @@
+// The failure-model-II suite (DESIGN.md §14): fault-fs injection units,
+// WAL round-trip / rotation / torn-tail recovery, supervised shard restart
+// and budget-exhaustion handoff, the crash-point matrix (kill + resume at
+// every checkpoint boundary), fleet.ckpt corruption fallback, dead-letter
+// rotation, the feed fsync knob, and the seeded multi-schedule chaos sweep
+// asserting every schedule bit-identical to the serial scan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fault_fs.h"
+#include "common/rng.h"
+#include "fleet/shard_coordinator.h"
+#include "scenarios/population.h"
+#include "scenarios/universe.h"
+#include "service/checkpoint.h"
+#include "service/dead_letter.h"
+#include "service/incident_sink.h"
+#include "service/monitor_service.h"
+#include "store/incident_store.h"
+#include "store/wal.h"
+#include "verify/chaos.h"
+
+namespace leishen {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "chaos_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+service::monitor_incident make_incident(std::uint64_t block,
+                                        std::uint64_t tx) {
+  service::monitor_incident inc;
+  inc.block_number = block;
+  inc.incident.tx_index = tx;
+  inc.incident.borrower_tag = "attacker";
+  return inc;
+}
+
+// ---------------------------------------------------------------- fault_fs
+
+/// Fails the Nth write routed through fault_fs (counting from 1), tearing
+/// it at `tear_at` bytes; every other operation passes.
+class nth_write_fault final : public fault_fs::fault_hook {
+ public:
+  nth_write_fault(std::uint64_t nth, std::size_t tear_at, int err)
+      : nth_{nth}, tear_at_{tear_at}, err_{err} {}
+
+  std::size_t on_write(const std::string&, std::size_t n, int& err) override {
+    if (++seen_ != nth_) return n;
+    err = err_;
+    return std::min(tear_at_, n == 0 ? std::size_t{0} : n - 1);
+  }
+
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+
+ private:
+  std::uint64_t seen_ = 0;
+  std::uint64_t nth_;
+  std::size_t tear_at_;
+  int err_;
+};
+
+/// Fails the Nth fsync.
+class nth_fsync_fault final : public fault_fs::fault_hook {
+ public:
+  explicit nth_fsync_fault(std::uint64_t nth) : nth_{nth} {}
+
+  bool on_fsync(const std::string&, int& err) override {
+    if (++seen_ != nth_) return false;
+    err = EIO;
+    return true;
+  }
+
+ private:
+  std::uint64_t seen_ = 0;
+  std::uint64_t nth_;
+};
+
+TEST(FaultFs, PassthroughWithoutHook) {
+  ASSERT_EQ(fault_fs::hook(), nullptr);
+  const std::string path = temp_dir("passthrough");
+  std::filesystem::create_directories(path);
+  const std::string file = path + "/f.txt";
+  std::FILE* f = std::fopen(file.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(fault_fs::write(f, file, "hello", 5));
+  EXPECT_TRUE(fault_fs::sync(f, file));
+  std::fclose(f);
+  EXPECT_EQ(std::filesystem::file_size(file), 5U);
+  std::filesystem::remove_all(path);
+}
+
+TEST(FaultFs, InjectedTornWriteAndTruncateRollback) {
+  const std::string path = temp_dir("torn");
+  std::filesystem::create_directories(path);
+  const std::string file = path + "/f.txt";
+  std::FILE* f = std::fopen(file.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+
+  nth_write_fault fault{2, 3, ENOSPC};  // tear the 2nd write after 3 bytes
+  verify::scoped_fault_hook install{&fault};
+  ASSERT_TRUE(fault_fs::write(f, file, "first|", 6));
+  std::fflush(f);
+  const long start = std::ftell(f);
+  errno = 0;
+  EXPECT_FALSE(fault_fs::write(f, file, "second|", 7));
+  EXPECT_EQ(errno, ENOSPC);
+  // The torn prefix is on the stream; rollback restores the last whole
+  // record, exactly what every durable writer does on this path.
+  fault_fs::truncate_to(f, file, start);
+  EXPECT_TRUE(fault_fs::write(f, file, "third|", 6));
+  std::fclose(f);
+
+  std::ifstream in{file};
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "first|third|");
+  std::filesystem::remove_all(path);
+}
+
+TEST(FaultFs, SeededFaultPlanRespectsBudget) {
+  verify::fs_fault_plan plan{rng{7}, /*write_fault_p=*/1.0,
+                             /*fsync_fault_p=*/1.0, /*max_faults=*/2};
+  int err = 0;
+  std::uint64_t faults = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (plan.on_write("x", 100, err) != 100) ++faults;
+  }
+  EXPECT_EQ(faults, 2U);  // budget exhausted, then passthrough
+  EXPECT_FALSE(plan.on_fsync("x", err));
+  EXPECT_EQ(plan.write_faults(), 2U);
+  EXPECT_EQ(plan.fsync_faults(), 0U);
+  EXPECT_EQ(plan.writes_seen(), 10U);
+}
+
+// ------------------------------------------------------------------ sinks
+
+TEST(JsonlSinkChaos, TornWriteRollsBackToWholeRecord) {
+  const std::string path = temp_dir("feed");
+  std::filesystem::create_directories(path);
+  const std::string file = path + "/feed.jsonl";
+  {
+    service::jsonl_sink sink{file};
+    sink.on_incident(make_incident(10, 1));
+    nth_write_fault fault{1, 5, EIO};
+    verify::scoped_fault_hook install{&fault};
+    EXPECT_THROW(sink.on_incident(make_incident(11, 2)),
+                 std::runtime_error);
+  }
+  // The torn line was truncated away: the feed parses clean and holds
+  // exactly the record that succeeded.
+  const auto records = service::jsonl_sink::read_records(file);
+  ASSERT_EQ(records.size(), 1U);
+  EXPECT_EQ(records[0].incident.block_number, 10U);
+  std::filesystem::remove_all(path);
+}
+
+TEST(JsonlSinkChaos, FsyncKnobDefaultsOffAndCounts) {
+  const std::string path = temp_dir("fsync_knob");
+  std::filesystem::create_directories(path);
+  {
+    service::jsonl_sink lazy{path + "/lazy.jsonl"};
+    lazy.on_incident(make_incident(1, 1));
+    lazy.on_incident(make_incident(2, 2));
+    EXPECT_EQ(lazy.fsyncs(), 0U);  // default: OS page cache
+  }
+  {
+    service::jsonl_sink eager{path + "/eager.jsonl", false,
+                              /*fsync_every_n=*/2};
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+      eager.on_incident(make_incident(i, i));
+    }
+    EXPECT_EQ(eager.fsyncs(), 2U);  // after records 2 and 4
+    eager.flush();
+    EXPECT_EQ(eager.fsyncs(), 3U);  // flush fsyncs when the knob is on
+  }
+  std::filesystem::remove_all(path);
+}
+
+TEST(DeadLetterChaos, ByteCapRotatesAndCounts) {
+  const std::string path = temp_dir("dead_letter");
+  std::filesystem::create_directories(path);
+  const std::string file = path + "/poison.jsonl";
+  service::dead_letter_entry entry;
+  entry.block_number = 7;
+  entry.error = "decode failed";
+  const std::size_t line_bytes =
+      service::dead_letter_jsonl::to_json_line(entry).size() + 1;
+
+  service::dead_letter_jsonl sink{file, false,
+                                  /*max_bytes=*/3 * line_bytes};
+  for (int i = 0; i < 10; ++i) sink.on_poison(entry);
+  EXPECT_EQ(sink.written(), 10U);
+  EXPECT_GE(sink.rotations(), 2U);
+  EXPECT_GE(sink.rotated_records(), 3U);
+  EXPECT_EQ(sink.dropped_writes(), 0U);
+  // The live file respects the cap; the previous generation is kept.
+  EXPECT_LE(std::filesystem::file_size(file), 3 * line_bytes);
+  EXPECT_TRUE(std::filesystem::exists(file + ".1"));
+  EXPECT_FALSE(service::dead_letter_jsonl::read(file).empty());
+  std::filesystem::remove_all(path);
+}
+
+TEST(DeadLetterChaos, WriteFailureIsSwallowedAndCounted) {
+  const std::string path = temp_dir("dead_letter_fail");
+  std::filesystem::create_directories(path);
+  service::dead_letter_jsonl sink{path + "/poison.jsonl"};
+  service::dead_letter_entry entry;
+  entry.error = "x";
+  sink.on_poison(entry);
+  {
+    nth_write_fault fault{1, 0, ENOSPC};
+    verify::scoped_fault_hook install{&fault};
+    sink.on_poison(entry);  // must NOT throw: quarantine never kills the worker
+  }
+  EXPECT_EQ(sink.written(), 1U);
+  EXPECT_EQ(sink.dropped_writes(), 1U);
+  std::filesystem::remove_all(path);
+}
+
+// -------------------------------------------------------------------- WAL
+
+TEST(Wal, RoundTripInsertsAndRetracts) {
+  const std::string dir = temp_dir("wal_roundtrip");
+  store::incident_store store;
+  {
+    store::wal_options opts;
+    opts.dir = dir;
+    store::wal_writer wal{opts};
+    store.attach_wal(&wal);
+    store.insert(make_incident(5, 1));
+    store.insert(make_incident(6, 2));
+    store.insert(make_incident(7, 3));
+    ASSERT_TRUE(store.retract(make_incident(6, 2)));
+    EXPECT_EQ(wal.appended(), 4U);
+    EXPECT_EQ(wal.fsyncs(), 4U);  // fsync_every_n defaults to 1
+    EXPECT_EQ(wal.lag_records(), 0U);
+    store.attach_wal(nullptr);
+  }
+  ASSERT_TRUE(store::wal_present(dir));
+
+  store::incident_store rebuilt;
+  const store::wal_recovery rec = store::recover_wal(dir, rebuilt);
+  EXPECT_EQ(rec.frames, 4U);
+  EXPECT_EQ(rec.inserts, 3U);
+  EXPECT_EQ(rec.retracts, 1U);
+  EXPECT_EQ(rec.truncated_bytes, 0U);
+  EXPECT_EQ(rec.next_segment, 2U);
+  EXPECT_EQ(verify::dump_store(rebuilt), verify::dump_store(store));
+  EXPECT_EQ(rebuilt.stats().active, 2U);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Wal, SegmentRotationAtByteCap) {
+  const std::string dir = temp_dir("wal_rotate");
+  store::incident_store store;
+  {
+    store::wal_options opts;
+    opts.dir = dir;
+    opts.segment_max_bytes = 256;  // a handful of frames per segment
+    store::wal_writer wal{opts};
+    store.attach_wal(&wal);
+    for (std::uint64_t i = 1; i <= 20; ++i) store.insert(make_incident(i, i));
+    EXPECT_GE(wal.rotations(), 2U);
+    EXPECT_GE(wal.current_segment(), 3U);
+    store.attach_wal(nullptr);
+  }
+  std::size_t segments = 0;
+  for (const auto& e : std::filesystem::directory_iterator{dir}) {
+    (void)e;
+    ++segments;
+  }
+  EXPECT_GE(segments, 3U);
+
+  store::incident_store rebuilt;
+  const store::wal_recovery rec = store::recover_wal(dir, rebuilt);
+  EXPECT_EQ(rec.segments, segments);
+  EXPECT_EQ(rec.inserts, 20U);
+  EXPECT_EQ(verify::dump_store(rebuilt), verify::dump_store(store));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Wal, TornTailIsTruncatedNotFatal) {
+  const std::string dir = temp_dir("wal_torn");
+  store::incident_store store;
+  std::string last_segment;
+  {
+    store::wal_options opts;
+    opts.dir = dir;
+    store::wal_writer wal{opts};
+    store.attach_wal(&wal);
+    for (std::uint64_t i = 1; i <= 4; ++i) store.insert(make_incident(i, i));
+    store.attach_wal(nullptr);
+  }
+  for (const auto& e : std::filesystem::directory_iterator{dir}) {
+    last_segment = e.path().string();
+  }
+  // Crash footprint: half a frame header dangling off the tail.
+  {
+    std::ofstream out{last_segment, std::ios::app | std::ios::binary};
+    out.write("\x20\x00", 2);
+  }
+  const auto before = std::filesystem::file_size(last_segment);
+
+  store::incident_store rebuilt;
+  const store::wal_recovery rec = store::recover_wal(dir, rebuilt);
+  EXPECT_EQ(rec.inserts, 4U);
+  EXPECT_EQ(rec.truncated_bytes, 2U);
+  EXPECT_EQ(std::filesystem::file_size(last_segment), before - 2);
+  // Second recovery over the repaired log is clean.
+  store::incident_store again;
+  EXPECT_EQ(store::recover_wal(dir, again).truncated_bytes, 0U);
+  EXPECT_EQ(verify::dump_store(again), verify::dump_store(rebuilt));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Wal, CorruptFrameInNonFinalSegmentThrows) {
+  const std::string dir = temp_dir("wal_corrupt_mid");
+  store::incident_store store;
+  {
+    store::wal_options opts;
+    opts.dir = dir;
+    opts.segment_max_bytes = 128;  // force several segments
+    store::wal_writer wal{opts};
+    store.attach_wal(&wal);
+    for (std::uint64_t i = 1; i <= 12; ++i) store.insert(make_incident(i, i));
+    store.attach_wal(nullptr);
+  }
+  std::vector<std::string> segments;
+  for (const auto& e : std::filesystem::directory_iterator{dir}) {
+    segments.push_back(e.path().string());
+  }
+  std::sort(segments.begin(), segments.end());
+  ASSERT_GE(segments.size(), 2U);
+  {  // Flip a payload byte in the FIRST segment: corruption at rest, not a
+     // crash footprint — recovery must refuse, not silently skip records.
+    std::fstream f{segments.front(),
+                   std::ios::in | std::ios::out | std::ios::binary};
+    f.seekp(20);
+    f.put('#');
+  }
+  store::incident_store rebuilt;
+  EXPECT_THROW(store::recover_wal(dir, rebuilt), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Wal, FailedAppendLeavesWalMatchingStore) {
+  const std::string dir = temp_dir("wal_fail_append");
+  store::incident_store store;
+  {
+    store::wal_options opts;
+    opts.dir = dir;
+    store::wal_writer wal{opts};
+    store.attach_wal(&wal);
+    store.insert(make_incident(1, 1));
+    {
+      nth_write_fault fault{1, 4, ENOSPC};
+      verify::scoped_fault_hook install{&fault};
+      EXPECT_THROW(store.insert(make_incident(2, 2)), std::runtime_error);
+    }
+    {
+      nth_fsync_fault fault{1};
+      verify::scoped_fault_hook install{&fault};
+      EXPECT_THROW(store.insert(make_incident(3, 3)), std::runtime_error);
+    }
+    // Both failures rolled the frame back; the store rejected both records.
+    EXPECT_EQ(wal.appended(), 1U);
+    EXPECT_EQ(store.stats().active, 1U);
+    store.insert(make_incident(4, 4));
+    store.attach_wal(nullptr);
+  }
+  store::incident_store rebuilt;
+  const store::wal_recovery rec = store::recover_wal(dir, rebuilt);
+  EXPECT_EQ(rec.inserts, 2U);
+  EXPECT_EQ(rec.truncated_bytes, 0U);
+  EXPECT_EQ(verify::dump_store(rebuilt), verify::dump_store(store));
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------- checksummed files
+
+TEST(ChecksummedFile, RoundTripAndPrevGeneration) {
+  const std::string dir = temp_dir("ckpt");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/state.ckpt";
+  ASSERT_TRUE(service::save_checksummed_file(path, "generation=1\n"));
+  ASSERT_TRUE(service::save_checksummed_file(path, "generation=2\n"));
+  EXPECT_EQ(service::load_checksummed_payload(path), "generation=2\n");
+  EXPECT_EQ(service::load_checksummed_payload(path + ".prev"),
+            "generation=1\n");
+  // Torn current generation fails validation; the caller falls back.
+  {
+    std::ofstream out{path, std::ios::trunc};
+    out << "generation=2\nchecksum=dead";
+  }
+  EXPECT_FALSE(service::load_checksummed_payload(path).has_value());
+  EXPECT_TRUE(service::load_checksummed_payload(path + ".prev").has_value());
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------------- fleet chaos
+
+class FleetChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    u_ = new scenarios::universe{};
+    scenarios::population_params params;
+    params.benign_txs = 30;  // small on purpose: the crash-point matrix and
+                             // the 50-schedule sweep run full fleets per case
+    pop_ = new scenarios::population{generate_population(*u_, params)};
+  }
+  static void TearDownTestSuite() {
+    delete pop_;
+    delete u_;
+    pop_ = nullptr;
+    u_ = nullptr;
+  }
+
+  static core::scanner_options scan_options() {
+    core::scanner_options opts;
+    opts.yield_aggregator_apps = pop_->aggregator_apps;
+    return opts;
+  }
+
+  static fleet::fleet_options base_options(unsigned shards,
+                                           const std::string& dir) {
+    fleet::fleet_options opts;
+    opts.shards = shards;
+    opts.scan = scan_options();
+    opts.state_dir = dir;
+    opts.checkpoint_every = 1;
+    opts.heartbeat_interval_ms = 1;
+    opts.backoff_base_ms = 1;
+    return opts;
+  }
+
+  static fleet::shard_coordinator make_fleet(store::incident_store& store,
+                                             fleet::fleet_options opts) {
+    return fleet::shard_coordinator{u_->bc().creations(), u_->labels(),
+                                    u_->weth().id(), u_->bc().receipts(),
+                                    store, std::move(opts)};
+  }
+
+  static std::vector<service::monitor_incident> reference() {
+    store::incident_store store;
+    fleet::fleet_options opts;
+    opts.shards = 1;
+    opts.scan = scan_options();
+    fleet::shard_coordinator fleet = make_fleet(store, std::move(opts));
+    fleet.run();
+    return verify::dump_store(store);
+  }
+
+  static std::vector<std::uint64_t> distinct_blocks() {
+    std::vector<std::uint64_t> blocks;
+    for (const chain::tx_receipt& r : u_->bc().receipts()) {
+      if (blocks.empty() || blocks.back() != r.block_number) {
+        blocks.push_back(r.block_number);
+      }
+    }
+    return blocks;
+  }
+
+  static scenarios::universe* u_;
+  static scenarios::population* pop_;
+};
+
+scenarios::universe* FleetChaosTest::u_ = nullptr;
+scenarios::population* FleetChaosTest::pop_ = nullptr;
+
+TEST_F(FleetChaosTest, SupervisedRestartAbsorbsKill) {
+  const std::vector<service::monitor_incident> want = reference();
+  const std::string dir = temp_dir("restart");
+  const std::vector<std::uint64_t> blocks = distinct_blocks();
+
+  store::incident_store store;
+  fleet::fleet_options opts = base_options(2, dir);
+  opts.restart_budget = 2;
+  std::atomic<bool> fired{false};
+  const std::uint64_t kill_block = blocks[blocks.size() / 3];
+  opts.post_block_hook = [&fired, kill_block](std::size_t,
+                                              std::uint64_t block) {
+    if (block == kill_block && !fired.exchange(true)) {
+      throw service::simulated_kill{block};
+    }
+  };
+  fleet::shard_coordinator fleet = make_fleet(store, std::move(opts));
+  fleet.run();  // absorbed: no exception reaches us
+
+  EXPECT_TRUE(fired.load());
+  EXPECT_GE(fleet.restarts(), 1U);
+  EXPECT_EQ(fleet.handoffs(), 0U);
+  EXPECT_EQ(verify::dump_store(store), want);
+  EXPECT_EQ(fleet.committed_watermark(), fleet.plan().back().last_block);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FleetChaosTest, BudgetExhaustionHandsOffToSurvivor) {
+  const std::vector<service::monitor_incident> want = reference();
+  const std::string dir = temp_dir("handoff");
+  const std::vector<std::uint64_t> blocks = distinct_blocks();
+
+  store::incident_store store;
+  fleet::fleet_options opts = base_options(2, dir);
+  opts.restart_budget = 0;  // first failure opens the circuit
+  std::atomic<bool> fired{false};
+  const std::uint64_t kill_block = blocks[blocks.size() / 4];
+  opts.post_block_hook = [&fired, kill_block](std::size_t,
+                                              std::uint64_t block) {
+    if (block == kill_block && !fired.exchange(true)) {
+      throw service::simulated_kill{block};
+    }
+  };
+  fleet::shard_coordinator fleet = make_fleet(store, std::move(opts));
+  fleet.run();
+
+  EXPECT_TRUE(fired.load());
+  EXPECT_GE(fleet.handoffs(), 1U);
+  EXPECT_EQ(verify::dump_store(store), want);
+  // The reassigned topology is durable: a fresh coordinator resumes it
+  // and sees the whole plan complete.
+  store::incident_store store2;
+  fleet::shard_coordinator resumed =
+      make_fleet(store2, base_options(2, dir));
+  ASSERT_TRUE(resumed.resume());
+  resumed.run();
+  EXPECT_EQ(verify::dump_store(store2), want);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FleetChaosTest, AllBudgetsExhaustedFailsTheRunButResumes) {
+  const std::vector<service::monitor_incident> want = reference();
+  const std::string dir = temp_dir("all_dead");
+
+  store::incident_store store;
+  fleet::fleet_options opts = base_options(2, dir);
+  opts.restart_budget = 0;
+  // Every block is a kill point until 8 have fired: both slots exhaust
+  // their budgets, then every handoff segment dies too.
+  std::atomic<int> kills_left{8};
+  opts.post_block_hook = [&kills_left](std::size_t, std::uint64_t block) {
+    if (kills_left.fetch_sub(1) > 0) throw service::simulated_kill{block};
+  };
+  {
+    fleet::shard_coordinator fleet = make_fleet(store, std::move(opts));
+    fleet.start();
+    EXPECT_THROW(fleet.wait(), std::runtime_error);
+    EXPECT_FALSE(fleet.ready());
+  }
+  // Operator restart: resume from the durable topology and finish.
+  store::incident_store store2;
+  fleet::shard_coordinator resumed =
+      make_fleet(store2, base_options(2, dir));
+  ASSERT_TRUE(resumed.resume());
+  resumed.run();
+  EXPECT_EQ(verify::dump_store(store2), want);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FleetChaosTest, CrashPointMatrixResumesFromEveryBoundary) {
+  // The exhaustive crash matrix: kill a shard after EVERY block of the
+  // population (checkpoint_every=1 makes each a checkpoint boundary), let
+  // a fresh coordinator resume, and require bit-identity each time.
+  const std::vector<service::monitor_incident> want = reference();
+  const std::vector<std::uint64_t> blocks = distinct_blocks();
+  ASSERT_FALSE(blocks.empty());
+
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const std::string dir =
+        temp_dir("matrix_" + std::to_string(blocks[i]));
+    const std::uint64_t kill_block = blocks[i];
+    {
+      store::incident_store store;
+      fleet::fleet_options opts = base_options(2, dir);
+      opts.restart_budget = 0;
+      opts.wal = true;
+      std::atomic<bool> fired{false};
+      // Kill whichever shard reaches the boundary; with budget 0 and two
+      // slots the segment hands off, so also fail the handoff runner once
+      // to force the operator-resume path on some boundaries.
+      opts.post_block_hook = [&fired, kill_block](std::size_t,
+                                                  std::uint64_t block) {
+        if (block == kill_block && !fired.exchange(true)) {
+          throw service::simulated_kill{block};
+        }
+      };
+      fleet::shard_coordinator fleet = make_fleet(store, std::move(opts));
+      try {
+        fleet.run();
+      } catch (...) {
+        // fatal run — the resume below must still converge
+      }
+    }
+    store::incident_store store;
+    fleet::fleet_options opts = base_options(2, dir);
+    opts.wal = true;
+    fleet::shard_coordinator resumed = make_fleet(store, std::move(opts));
+    ASSERT_TRUE(resumed.resume()) << "boundary " << kill_block;
+    resumed.run();
+    ASSERT_EQ(verify::dump_store(store), want)
+        << "diverged after kill at block " << kill_block;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST_F(FleetChaosTest, FleetCheckpointFallsBackToPrevGeneration) {
+  const std::vector<service::monitor_incident> want = reference();
+  const std::string dir = temp_dir("ckpt_fallback");
+  {
+    store::incident_store store;
+    fleet::shard_coordinator fleet =
+        make_fleet(store, base_options(2, dir));
+    fleet.run();
+  }
+  const std::string ckpt = dir + "/fleet.ckpt";
+  ASSERT_TRUE(std::filesystem::exists(ckpt));
+  ASSERT_TRUE(std::filesystem::exists(ckpt + ".prev"));
+
+  {  // Corrupt the current generation: resume falls back to .prev.
+    std::ofstream out{ckpt, std::ios::trunc};
+    out << "garbage";
+  }
+  {
+    store::incident_store store;
+    fleet::shard_coordinator fleet =
+        make_fleet(store, base_options(2, dir));
+    ASSERT_TRUE(fleet.resume());
+    fleet.run();
+    EXPECT_EQ(verify::dump_store(store), want);
+  }
+  {  // Corrupt BOTH generations: refusing beats silently resharding.
+    std::ofstream{ckpt, std::ios::trunc} << "garbage";
+    std::ofstream{ckpt + ".prev", std::ios::trunc} << "garbage";
+    store::incident_store store;
+    fleet::shard_coordinator fleet =
+        make_fleet(store, base_options(2, dir));
+    EXPECT_THROW(fleet.resume(), std::runtime_error);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FleetChaosTest, WalRecoveryRestoresStoreWithoutFeedReplay) {
+  const std::vector<service::monitor_incident> want = reference();
+  const std::string dir = temp_dir("wal_resume");
+  {
+    store::incident_store store;
+    fleet::fleet_options opts = base_options(2, dir);
+    opts.wal = true;
+    fleet::shard_coordinator fleet = make_fleet(store, std::move(opts));
+    fleet.run();
+  }
+  ASSERT_TRUE(store::wal_present(dir + "/wal"));
+
+  // The WAL alone rebuilds the store — no feeds, no checkpoints.
+  store::incident_store from_wal;
+  store::recover_wal(dir + "/wal", from_wal);
+  EXPECT_EQ(verify::dump_store(from_wal), want);
+
+  // And the coordinator's resume path uses it end to end.
+  store::incident_store store;
+  fleet::fleet_options opts = base_options(2, dir);
+  opts.wal = true;
+  fleet::shard_coordinator fleet = make_fleet(store, std::move(opts));
+  ASSERT_TRUE(fleet.resume());
+  fleet.run();
+  EXPECT_EQ(verify::dump_store(store), want);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FleetChaosTest, HealthReportsSlotsAndWatermark) {
+  const std::string dir = temp_dir("health");
+  store::incident_store store;
+  fleet::fleet_options opts = base_options(2, dir);
+  opts.wal = true;
+  fleet::shard_coordinator fleet = make_fleet(store, std::move(opts));
+  fleet.run();
+
+  const fleet::fleet_health h = fleet.health();
+  EXPECT_TRUE(h.ready);
+  EXPECT_EQ(h.watermark, fleet.plan().back().last_block);
+  EXPECT_EQ(h.segments_pending, 0U);
+  EXPECT_EQ(h.segments_running, 0U);
+  EXPECT_GE(h.segments_done, 2U);
+  EXPECT_GT(h.wal_appended, 0U);
+  ASSERT_EQ(h.slots.size(), 2U);
+  for (const fleet::slot_health& sh : h.slots) {
+    EXPECT_TRUE(sh.alive);
+  }
+  const std::string json = fleet.health_json();
+  EXPECT_NE(json.find("\"ready\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"watermark\":"), std::string::npos);
+  EXPECT_NE(json.find("\"wal\":"), std::string::npos);
+  EXPECT_TRUE(fleet.ready());
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(FleetChaosTest, SeededChaosSweepIsBitIdentical) {
+  // The acceptance sweep: 50 independent seeded schedules of kills + disk
+  // faults over the supervised fleet, every one required to converge to
+  // the serial reference — and every WAL to rebuild it from scratch.
+  verify::chaos_options opts;
+  opts.scan = scan_options();
+  opts.state_dir = temp_dir("sweep");
+  opts.schedules = 50;
+  opts.seed = 0x5EED;
+  opts.shards = 2;
+  opts.restart_budget = 1;
+  opts.kills_per_schedule = 2;
+  opts.wal = true;
+  opts.write_fault_p = 0.01;
+  opts.fsync_fault_p = 0.01;
+  opts.max_disk_faults = 3;
+
+  const verify::chaos_report report = verify::run_fleet_chaos(
+      u_->bc().creations(), u_->labels(), u_->weth().id(),
+      u_->bc().receipts(), opts);
+
+  for (const verify::divergence& d : report.divergences) {
+    ADD_FAILURE() << d.engine << " " << d.field << ": " << d.detail;
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.schedules_run, 50U);
+  EXPECT_EQ(report.wal_recoveries, 50U);
+  // The sweep must actually have exercised the machinery it certifies.
+  EXPECT_GT(report.kills_fired, 0U);
+  EXPECT_GT(report.disk_write_faults + report.disk_fsync_faults, 0U);
+  EXPECT_GT(report.shard_restarts + report.handoffs +
+                report.operator_restarts,
+            0U);
+  std::filesystem::remove_all(opts.state_dir);
+}
+
+TEST_F(FleetChaosTest, DiffEngineChaosMode) {
+  verify::diff_options dopts;
+  dopts.scan = scan_options();
+  dopts.parallel_configs = {{2, 16}};
+  dopts.include_faults = false;
+
+  verify::chaos_options copts;
+  copts.scan = scan_options();
+  copts.state_dir = temp_dir("diff_chaos");
+  copts.schedules = 3;
+  copts.shards = 2;
+  copts.kills_per_schedule = 1;
+  copts.wal = true;
+
+  const verify::diff_result result = verify::run_diff_with_chaos(
+      u_->bc().creations(), u_->labels(), u_->weth().id(),
+      u_->bc().receipts(), dopts, copts);
+  for (const verify::divergence& d : result.divergences) {
+    ADD_FAILURE() << d.engine << " " << d.field << ": " << d.detail;
+  }
+  EXPECT_TRUE(result.ok());
+  std::filesystem::remove_all(copts.state_dir);
+}
+
+}  // namespace
+}  // namespace leishen

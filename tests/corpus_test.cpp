@@ -5,6 +5,7 @@
 // bit-identity with kill+resume, and the committed golden fixture.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdlib>
@@ -33,7 +34,11 @@ namespace {
 // ---- helpers ---------------------------------------------------------------
 
 std::string temp_path(const std::string& name) {
-  const std::string path = testing::TempDir() + "corpus_test_" + name;
+  // Pid-qualified: ctest runs each discovered test as its own process, so
+  // concurrently scheduled tests sharing a fixture name must not share a
+  // file (two SetUpTestSuite builds of the same path race).
+  const std::string path = testing::TempDir() + "corpus_test_" +
+                           std::to_string(::getpid()) + "_" + name;
   std::filesystem::remove(path);
   return path;
 }
@@ -502,7 +507,8 @@ TEST_F(CorpusBackfill, FleetBackfillMatchesSerialScan) {
 
 TEST_F(CorpusBackfill, KilledBackfillResumesBitIdentically) {
   const std::vector<service::monitor_incident> reference = serial_reference();
-  const std::string dir = testing::TempDir() + "corpus_test_resume";
+  const std::string dir = testing::TempDir() + "corpus_test_" +
+                          std::to_string(::getpid()) + "_resume";
   std::filesystem::remove_all(dir);
 
   {  // Killed mid-run: stop immediately after start so each shard
@@ -533,7 +539,7 @@ TEST_F(CorpusBackfill, KilledBackfillResumesBitIdentically) {
     for (std::size_t i = 0; i < got.size(); ++i) {
       EXPECT_EQ(got[i], reference[i]) << "diverged at incident " << i;
     }
-    EXPECT_EQ(fleet.committed_watermark(), fleet.plan().front().last_block);
+    EXPECT_EQ(fleet.committed_watermark(), fleet.plan().back().last_block);
   }
   std::filesystem::remove_all(dir);
 }

@@ -181,9 +181,9 @@ TEST_F(FleetTest, KilledFleetResumesBitIdentically) {
     fleet.run();
 
     expect_identical(dump(store), reference);
-    // Every shard finished its full range, so the fleet watermark is the
-    // lowest shard's final block.
-    EXPECT_EQ(fleet.committed_watermark(), fleet.plan().front().last_block);
+    // Every segment finished its full range, so the fleet watermark is the
+    // plan's final block.
+    EXPECT_EQ(fleet.committed_watermark(), fleet.plan().back().last_block);
   }
 
   // Resharding a half-finished run is refused, not silently misaligned.
@@ -210,7 +210,7 @@ TEST_F(FleetTest, ResumeOnEmptyDirIsFreshStart) {
   expect_identical(dump(store), serial_reference());
   // A full clean run leaves a resumable topology + watermark behind.
   EXPECT_TRUE(std::filesystem::exists(dir + "/fleet.ckpt"));
-  EXPECT_EQ(fleet.committed_watermark(), fleet.plan().front().last_block);
+  EXPECT_EQ(fleet.committed_watermark(), fleet.plan().back().last_block);
   std::filesystem::remove_all(dir);
 }
 
@@ -220,7 +220,7 @@ TEST_F(FleetTest, InMemoryFleetNeedsNoStateDir) {
   EXPECT_FALSE(fleet.resume());
   fleet.run();
   expect_identical(dump(store), serial_reference());
-  EXPECT_EQ(fleet.committed_watermark(), fleet.plan().front().last_block);
+  EXPECT_EQ(fleet.committed_watermark(), fleet.plan().back().last_block);
 }
 
 }  // namespace
